@@ -1,0 +1,164 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//  A1  ACYCLIC condition on vs. off — what does cycle prevention cost on
+//      the containment association?
+//  A2  Participation maxima finite vs. unlimited — what do role maxima
+//      cost per relationship insert?
+//  A3  Pattern-relationship index — effective-relationship views scale
+//      with the pattern's degree, not the database's relationship count.
+//  A4  Generalization depth — per-update cost as the class chain deepens.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "pattern/pattern_manager.h"
+#include "schema/schema_builder.h"
+
+namespace {
+
+using seed::AssociationId;
+using seed::ClassId;
+using seed::core::CreateOptions;
+using seed::core::Database;
+using seed::ObjectId;
+using seed::schema::Cardinality;
+using seed::schema::Role;
+using seed::schema::SchemaBuilder;
+
+struct AblationSchema {
+  seed::schema::SchemaPtr schema;
+  ClassId node;
+  AssociationId edge;
+};
+
+AblationSchema BuildGraphSchema(bool acyclic, bool bounded) {
+  SchemaBuilder b(acyclic ? "AcyclicGraph" : "FreeGraph");
+  AblationSchema s;
+  s.node = b.AddIndependentClass("Node");
+  s.edge = b.AddAssociation(
+      "Edge",
+      Role{"from", s.node,
+           bounded ? Cardinality(0, 8) : Cardinality::Any()},
+      Role{"to", s.node, Cardinality::Any()},
+      acyclic);
+  s.schema = *b.Build();
+  return s;
+}
+
+/// A1: tree-shaped inserts with and without the ACYCLIC check.
+void GraphInserts(benchmark::State& state, bool acyclic) {
+  AblationSchema s = BuildGraphSchema(acyclic, /*bounded=*/false);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(s.schema);
+    std::vector<ObjectId> nodes;
+    for (int i = 0; i < state.range(0); ++i) {
+      nodes.push_back(*db.CreateObject(s.node, "N" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (int i = 1; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          db.CreateRelationship(s.edge, nodes[i], nodes[(i - 1) / 2]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) - 1));
+}
+
+void BM_Ablation_AcyclicOn(benchmark::State& state) {
+  GraphInserts(state, true);
+}
+BENCHMARK(BM_Ablation_AcyclicOn)->Arg(64)->Arg(512);
+
+void BM_Ablation_AcyclicOff(benchmark::State& state) {
+  GraphInserts(state, false);
+}
+BENCHMARK(BM_Ablation_AcyclicOff)->Arg(64)->Arg(512);
+
+/// A2: hub inserts with finite vs. unlimited participation maxima.
+void HubInserts(benchmark::State& state, bool bounded) {
+  AblationSchema s = BuildGraphSchema(false, bounded);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(s.schema);
+    std::vector<ObjectId> spokes;
+    ObjectId hub = *db.CreateObject(s.node, "Hub");
+    int n = bounded ? 8 : static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      spokes.push_back(*db.CreateObject(s.node, "S" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (ObjectId spoke : spokes) {
+      benchmark::DoNotOptimize(db.CreateRelationship(s.edge, spoke, hub));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Ablation_MaximaFinite(benchmark::State& state) {
+  HubInserts(state, true);
+}
+BENCHMARK(BM_Ablation_MaximaFinite)->Arg(8);
+
+void BM_Ablation_MaximaUnlimited(benchmark::State& state) {
+  HubInserts(state, false);
+}
+BENCHMARK(BM_Ablation_MaximaUnlimited)->Arg(8);
+
+/// A3: effective relationships of an inheritor while UNRELATED pattern
+/// relationships flood the database: with the participation index the view
+/// cost depends on the pattern's own degree only.
+void BM_Ablation_PatternViewVsDbSize(benchmark::State& state) {
+  AblationSchema s = BuildGraphSchema(false, false);
+  Database db(s.schema);
+  seed::pattern::PatternManager pm(&db);
+  CreateOptions pattern_opts;
+  pattern_opts.pattern = true;
+
+  ObjectId pat = *db.CreateObject(s.node, "Pat", pattern_opts);
+  ObjectId anchor = *db.CreateObject(s.node, "Anchor");
+  (void)*db.CreateRelationship(s.edge, pat, anchor, pattern_opts);
+  ObjectId real = *db.CreateObject(s.node, "Real");
+  (void)pm.Inherit(real, pat);
+
+  // Noise: unrelated pattern relationships elsewhere in the database.
+  ObjectId other_pat = *db.CreateObject(s.node, "OtherPat", pattern_opts);
+  for (int i = 0; i < state.range(0); ++i) {
+    ObjectId n = *db.CreateObject(s.node, "Noise" + std::to_string(i));
+    (void)*db.CreateRelationship(s.edge, other_pat, n, pattern_opts);
+  }
+
+  for (auto _ : state) {
+    auto rels = pm.EffectiveRelationships(real);
+    benchmark::DoNotOptimize(rels);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["noise_rels"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Ablation_PatternViewVsDbSize)->Arg(0)->Arg(1000)->Arg(10000);
+
+/// A4: role-name resolution cost as the generalization chain deepens.
+void BM_Ablation_GeneralizationDepth(benchmark::State& state) {
+  SchemaBuilder b("DeepChain");
+  ClassId root = b.AddIndependentClass("L0");
+  b.AddDependentClass(root, "Note", Cardinality::Any(),
+                      seed::schema::ValueType::kString);
+  ClassId cur = root;
+  for (int i = 1; i <= state.range(0); ++i) {
+    ClassId next = b.AddIndependentClass("L" + std::to_string(i));
+    b.SetGeneralization(next, cur);
+    cur = next;
+  }
+  auto schema = *b.Build();
+  // Role resolution walks the generalization chain from the deepest class
+  // up to the root, where "Note" is declared.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema->ResolveSubObjectRole(cur, "Note"));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Ablation_GeneralizationDepth)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment C2: the price of the consistency/completeness split.
+//
+// Consistency is checked incrementally on every update (cheap, bounded);
+// completeness is an explicit whole-database (or subtree) scan. This bench
+// shows both sides: per-update consistency cost stays flat while the
+// explicit completeness scan grows with database size — exactly the
+// trade-off the paper's design intends.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+/// Builds a spec with `n` data objects, half of them incomplete.
+std::unique_ptr<Database> BuildSpec(int n) {
+  auto db = std::make_unique<Database>(Fig3().schema);
+  ObjectId hub = *db->CreateObject(Fig3().ids.action, "Hub");
+  for (int i = 0; i < n; ++i) {
+    ObjectId d = *db->CreateObject(Fig3().ids.input_data,
+                                   "D" + std::to_string(i));
+    if (i % 2 == 0) {
+      (void)db->CreateRelationship(Fig3().ids.read, d, hub);
+    }
+  }
+  return db;
+}
+
+/// Explicit full completeness scan vs. database size.
+void BM_Completeness_FullScan(benchmark::State& state) {
+  auto db = BuildSpec(static_cast<int>(state.range(0)));
+  size_t findings = 0;
+  for (auto _ : state) {
+    auto report = db->CheckCompleteness();
+    findings = report.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_Completeness_FullScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Scoped (one-object) completeness check: flat regardless of DB size.
+void BM_Completeness_ScopedCheck(benchmark::State& state) {
+  auto db = BuildSpec(static_cast<int>(state.range(0)));
+  ObjectId probe = *db->FindObjectByName("D1");
+  for (auto _ : state) {
+    auto report = db->CheckCompleteness(probe);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["db_objects"] =
+      static_cast<double>(db->num_live_objects());
+}
+BENCHMARK(BM_Completeness_ScopedCheck)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Per-update (incremental consistency) cost while the DB grows: the
+/// counterpart that must NOT scale with database size.
+void BM_Completeness_UpdateCostVsDbSize(benchmark::State& state) {
+  auto db = BuildSpec(static_cast<int>(state.range(0)));
+  ObjectId probe = *db->FindObjectByName("D1");
+  ObjectId desc = *db->CreateSubObject(probe, "Description");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->SetValue(desc, Value::String("v" + std::to_string(i++))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["db_objects"] =
+      static_cast<double>(db->num_live_objects());
+}
+BENCHMARK(BM_Completeness_UpdateCostVsDbSize)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
+
+/// What eager minimum-cardinality checking would have cost: a full
+/// completeness scan after EVERY update (the design the paper rejects).
+void BM_Completeness_EagerCheckingStrawman(benchmark::State& state) {
+  auto db = BuildSpec(static_cast<int>(state.range(0)));
+  ObjectId probe = *db->FindObjectByName("D1");
+  ObjectId desc = *db->CreateSubObject(probe, "Description");
+  int i = 0;
+  for (auto _ : state) {
+    (void)db->SetValue(desc, Value::String("v" + std::to_string(i++)));
+    auto report = db->CheckCompleteness();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Completeness_EagerCheckingStrawman)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

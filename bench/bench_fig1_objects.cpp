@@ -1,0 +1,116 @@
+// Experiment F1 (paper Fig. 1): hierarchical object structures.
+//
+// Measures the cost of building Fig. 1-shaped object trees (independent
+// object, Text/Body/Selector/Keywords sub-objects), resolving dotted-path
+// names, and composing full names — the bread-and-butter operations of the
+// SEED prototype's "simple retrieval by name" interface.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+
+seed::spades::Fig2Schema& Fig2() {
+  static auto schema = *seed::spades::BuildFig2Schema();
+  return schema;
+}
+
+/// Builds one Fig. 1 structure under `name`; returns the root.
+ObjectId BuildAlarmsTree(Database* db, const std::string& name) {
+  ObjectId root = *db->CreateObject(Fig2().ids.data, name);
+  ObjectId text = *db->CreateSubObject(root, "Text");
+  ObjectId body = *db->CreateSubObject(text, "Body");
+  ObjectId contents = *db->CreateSubObject(body, "Contents");
+  (void)db->SetValue(contents,
+                     Value::String("Alarms are represented in an alarm "
+                                   "display matrix"));
+  ObjectId selector = *db->CreateSubObject(text, "Selector");
+  (void)db->SetValue(selector, Value::String("Representation"));
+  for (const char* kw : {"Alarmhandling", "Display"}) {
+    ObjectId k = *db->CreateSubObject(body, "Keywords");
+    (void)db->SetValue(k, Value::String(kw));
+  }
+  return root;
+}
+
+void BM_Fig1_BuildObjectTree(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db(Fig2().schema);
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          BuildAlarmsTree(&db, "Alarms_" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 7);
+  state.counters["objects_per_tree"] = 7;
+}
+BENCHMARK(BM_Fig1_BuildObjectTree)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Fig1_FindByDottedPath(benchmark::State& state) {
+  Database db(Fig2().schema);
+  for (int i = 0; i < state.range(0); ++i) {
+    BuildAlarmsTree(&db, "Alarms_" + std::to_string(i));
+  }
+  std::string path =
+      "Alarms_" + std::to_string(state.range(0) / 2) +
+      ".Text[0].Body.Keywords[1]";
+  for (auto _ : state) {
+    auto id = db.FindObjectByName(path);
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_FindByDottedPath)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Fig1_ComposeFullName(benchmark::State& state) {
+  Database db(Fig2().schema);
+  BuildAlarmsTree(&db, "Alarms");
+  ObjectId leaf = *db.FindObjectByName("Alarms.Text[0].Body.Keywords[1]");
+  for (auto _ : state) {
+    std::string name = db.FullName(leaf);
+    benchmark::DoNotOptimize(name);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_ComposeFullName);
+
+void BM_Fig1_SubObjectNavigation(benchmark::State& state) {
+  Database db(Fig2().schema);
+  ObjectId root = BuildAlarmsTree(&db, "Alarms");
+  for (auto _ : state) {
+    for (ObjectId text : db.SubObjects(root, "Text")) {
+      for (ObjectId body : db.SubObjects(text, "Body")) {
+        benchmark::DoNotOptimize(db.SubObjects(body, "Keywords"));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_SubObjectNavigation);
+
+void BM_Fig1_DeleteCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(Fig2().schema);
+    std::vector<ObjectId> roots;
+    for (int i = 0; i < state.range(0); ++i) {
+      roots.push_back(BuildAlarmsTree(&db, "Alarms_" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (ObjectId root : roots) {
+      benchmark::DoNotOptimize(db.DeleteObject(root));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig1_DeleteCascade)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Experiment F2 (paper Fig. 2): the cost of permanent consistency.
+//
+// Every SEED update runs the consistency rules derivable from the schema.
+// This bench quantifies that price per rule family: relationship creation
+// with membership + cardinality + duplicate checks, the ACYCLIC check as
+// the containment tree grows, and attached-procedure dispatch.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::UpdateEvent;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::Status;
+
+seed::spades::Fig2Schema& Fig2() {
+  static auto schema = *seed::spades::BuildFig2Schema();
+  return schema;
+}
+
+/// Relationship creation: the paper's core consistency surface (class
+/// membership, role maxima, duplicates). Participation lists of the shared
+/// action grow with range(0).
+void BM_Fig2_CreateRelationshipChecked(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(Fig2().schema);
+    ObjectId action = *db.CreateObject(Fig2().ids.action, "Hub");
+    std::vector<ObjectId> data;
+    for (int i = 0; i < state.range(0); ++i) {
+      data.push_back(
+          *db.CreateObject(Fig2().ids.data, "D" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (ObjectId d : data) {
+      benchmark::DoNotOptimize(
+          db.CreateRelationship(Fig2().ids.read, d, action));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig2_CreateRelationshipChecked)->Arg(10)->Arg(100)->Arg(1000);
+
+/// ACYCLIC enforcement while growing a containment tree of `n` actions
+/// (every insert runs a reachability check).
+void BM_Fig2_AcyclicTreeGrowth(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(Fig2().schema);
+    std::vector<ObjectId> actions;
+    for (int i = 0; i < state.range(0); ++i) {
+      actions.push_back(
+          *db.CreateObject(Fig2().ids.action, "A" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (int i = 1; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(db.CreateRelationship(
+          Fig2().ids.contained, actions[i], actions[(i - 1) / 2]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) - 1));
+}
+BENCHMARK(BM_Fig2_AcyclicTreeGrowth)->Arg(32)->Arg(256)->Arg(1024);
+
+/// The ACYCLIC rejection path: an insert that would close a cycle at the
+/// far end of a chain of length n (worst-case reachability walk).
+void BM_Fig2_AcyclicRejection(benchmark::State& state) {
+  Database db(Fig2().schema);
+  std::vector<ObjectId> actions;
+  for (int i = 0; i < state.range(0); ++i) {
+    actions.push_back(
+        *db.CreateObject(Fig2().ids.action, "A" + std::to_string(i)));
+  }
+  for (int i = 1; i < state.range(0); ++i) {
+    (void)db.CreateRelationship(Fig2().ids.contained, actions[i],
+                                actions[i - 1]);
+  }
+  for (auto _ : state) {
+    auto rejected = db.CreateRelationship(Fig2().ids.contained, actions[0],
+                                          actions.back());
+    benchmark::DoNotOptimize(rejected);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig2_AcyclicRejection)->Arg(32)->Arg(256)->Arg(1024);
+
+/// SetValue with and without an attached procedure, isolating hook cost.
+void BM_Fig2_SetValuePlain(benchmark::State& state) {
+  Database db(Fig2().schema);
+  ObjectId alarms = *db.CreateObject(Fig2().ids.data, "Alarms");
+  ObjectId text = *db.CreateSubObject(alarms, "Text");
+  ObjectId selector = *db.CreateSubObject(text, "Selector");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SetValue(selector, Value::String("v" + std::to_string(i++))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig2_SetValuePlain);
+
+void BM_Fig2_SetValueWithAttachedProcedure(benchmark::State& state) {
+  Database db(Fig2().schema);
+  db.AttachProcedure(Fig2().ids.selector, [](const UpdateEvent& e) {
+    auto obj = e.db->GetObject(e.object);
+    if (obj.ok() && (*obj)->value.is_string() &&
+        (*obj)->value.as_string().size() > 1000) {
+      return Status::InvalidArgument("too long");
+    }
+    return Status::OK();
+  });
+  ObjectId alarms = *db.CreateObject(Fig2().ids.data, "Alarms");
+  ObjectId text = *db.CreateSubObject(alarms, "Text");
+  ObjectId selector = *db.CreateSubObject(text, "Selector");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SetValue(selector, Value::String("v" + std::to_string(i++))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig2_SetValueWithAttachedProcedure);
+
+/// Full-audit cost as the database grows (used by migration and check-in).
+void BM_Fig2_FullAudit(benchmark::State& state) {
+  Database db(Fig2().schema);
+  ObjectId hub = *db.CreateObject(Fig2().ids.action, "Hub");
+  for (int i = 0; i < state.range(0); ++i) {
+    ObjectId d = *db.CreateObject(Fig2().ids.data, "D" + std::to_string(i));
+    (void)db.CreateRelationship(Fig2().ids.read, d, hub);
+  }
+  for (auto _ : state) {
+    auto report = db.AuditConsistency();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig2_FullAudit)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Experiment F3 (paper Fig. 3): vague-to-precise refinement.
+//
+// Measures re-classification of objects down (and up) the generalization
+// hierarchy and specialization of Access relationships into Read/Write —
+// the operations that make SEED's vague-information concept usable — plus
+// the full paper narrative as one macro operation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::RelationshipId;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+/// Thing -> Data -> OutputData -> Data -> Thing round trip per object.
+void BM_Fig3_ReclassifyRoundTrip(benchmark::State& state) {
+  Database db(Fig3().schema);
+  std::vector<ObjectId> things;
+  for (int i = 0; i < state.range(0); ++i) {
+    things.push_back(
+        *db.CreateObject(Fig3().ids.thing, "T" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    for (ObjectId t : things) {
+      benchmark::DoNotOptimize(db.Reclassify(t, Fig3().ids.data));
+      benchmark::DoNotOptimize(db.Reclassify(t, Fig3().ids.output_data));
+      benchmark::DoNotOptimize(db.Reclassify(t, Fig3().ids.data));
+      benchmark::DoNotOptimize(db.Reclassify(t, Fig3().ids.thing));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_Fig3_ReclassifyRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Re-classification cost when the object carries relationships that must
+/// be re-validated (scales with the object's relationship count).
+void BM_Fig3_ReclassifyWithRelationships(benchmark::State& state) {
+  Database db(Fig3().schema);
+  ObjectId data = *db.CreateObject(Fig3().ids.data, "Hot");
+  for (int i = 0; i < state.range(0); ++i) {
+    ObjectId a =
+        *db.CreateObject(Fig3().ids.action, "A" + std::to_string(i));
+    (void)db.CreateRelationship(Fig3().ids.access, data, a);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Reclassify(data, Fig3().ids.input_data));
+    benchmark::DoNotOptimize(db.Reclassify(data, Fig3().ids.data));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["relationships"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig3_ReclassifyWithRelationships)->Arg(1)->Arg(16)->Arg(128);
+
+/// Specializing Access into Write (relationship re-classification).
+void BM_Fig3_SpecializeFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(Fig3().schema);
+    ObjectId out = *db.CreateObject(Fig3().ids.output_data, "Out");
+    std::vector<RelationshipId> flows;
+    for (int i = 0; i < state.range(0); ++i) {
+      ObjectId a =
+          *db.CreateObject(Fig3().ids.action, "A" + std::to_string(i));
+      flows.push_back(*db.CreateRelationship(Fig3().ids.access, out, a));
+    }
+    state.ResumeTiming();
+    for (RelationshipId f : flows) {
+      benchmark::DoNotOptimize(
+          db.ReclassifyRelationship(f, Fig3().ids.write));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig3_SpecializeFlow)->Arg(10)->Arg(100)->Arg(1000);
+
+/// The complete Fig. 3 narrative as one unit of work: vague thing ->
+/// data -> access -> output -> write -> attributes.
+void BM_Fig3_PaperNarrative(benchmark::State& state) {
+  int round = 0;
+  Database db(Fig3().schema);
+  ObjectId sensor = *db.CreateObject(Fig3().ids.action, "Sensor");
+  for (auto _ : state) {
+    std::string name = "Alarms_" + std::to_string(round++);
+    ObjectId alarms = *db.CreateObject(Fig3().ids.thing, name);
+    (void)db.Reclassify(alarms, Fig3().ids.data);
+    RelationshipId access =
+        *db.CreateRelationship(Fig3().ids.access, alarms, sensor);
+    (void)db.Reclassify(alarms, Fig3().ids.output_data);
+    (void)db.ReclassifyRelationship(access, Fig3().ids.write);
+    ObjectId n = *db.CreateSubObject(access, "NumberOfWrites");
+    (void)db.SetValue(n, Value::Int(2));
+    ObjectId eh = *db.CreateSubObject(access, "ErrorHandling");
+    (void)db.SetValue(eh, Value::Enum("repeat"));
+    benchmark::DoNotOptimize(access);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_PaperNarrative);
+
+/// Baseline: the same end state entered directly (already precise), to
+/// expose the overhead vague entry + refinement adds over precise entry.
+void BM_Fig3_DirectPreciseEntry(benchmark::State& state) {
+  int round = 0;
+  Database db(Fig3().schema);
+  ObjectId sensor = *db.CreateObject(Fig3().ids.action, "Sensor");
+  for (auto _ : state) {
+    std::string name = "Alarms_" + std::to_string(round++);
+    ObjectId alarms = *db.CreateObject(Fig3().ids.output_data, name);
+    RelationshipId write =
+        *db.CreateRelationship(Fig3().ids.write, alarms, sensor);
+    ObjectId n = *db.CreateSubObject(write, "NumberOfWrites");
+    (void)db.SetValue(n, Value::Int(2));
+    ObjectId eh = *db.CreateSubObject(write, "ErrorHandling");
+    (void)db.SetValue(eh, Value::Enum("repeat"));
+    benchmark::DoNotOptimize(write);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_DirectPreciseEntry);
+
+}  // namespace
+
+BENCHMARK_MAIN();

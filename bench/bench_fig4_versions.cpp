@@ -1,0 +1,183 @@
+// Experiment F4 / C3 (paper Fig. 4): versions.
+//
+// The paper's claim: "When creating a version we do not save the complete
+// database. We only store those objects and relationships that have been
+// changed." This bench shows (a) snapshot cost tracks the changed-set
+// size, not the database size; (b) delta storage is much smaller than
+// full copies; (c) view materialization cost vs. history length.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "core/item_codec.h"
+#include "spades/spec_schema.h"
+#include "version/version_manager.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::version::VersionManager;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+/// Populates `n` actions with descriptions; returns the description ids.
+std::vector<ObjectId> Populate(Database* db, int n) {
+  std::vector<ObjectId> descs;
+  for (int i = 0; i < n; ++i) {
+    ObjectId a = *db->CreateObject(Fig3().ids.action,
+                                   "Action_" + std::to_string(i));
+    ObjectId d = *db->CreateSubObject(a, "Description");
+    (void)db->SetValue(d, Value::String("step " + std::to_string(i)));
+    descs.push_back(d);
+  }
+  return descs;
+}
+
+/// Snapshot cost with a FIXED changed set (16 items) over a database of
+/// range(0) objects: the paper's delta design makes this flat in DB size.
+void BM_Fig4_SnapshotFixedDelta(benchmark::State& state) {
+  Database db(Fig3().schema);
+  VersionManager vm(&db);
+  auto descs = Populate(&db, static_cast<int>(state.range(0)));
+  (void)vm.CreateVersion();  // baseline version holding everything
+  int round = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      (void)db.SetValue(descs[i],
+                        Value::String("r" + std::to_string(round)));
+    }
+    ++round;
+    auto v = vm.CreateVersion();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["db_objects"] = static_cast<double>(db.num_live_objects());
+}
+BENCHMARK(BM_Fig4_SnapshotFixedDelta)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Snapshot cost proportional to the changed-set size.
+void BM_Fig4_SnapshotScalesWithDelta(benchmark::State& state) {
+  Database db(Fig3().schema);
+  VersionManager vm(&db);
+  auto descs = Populate(&db, 4096);
+  (void)vm.CreateVersion();
+  int round = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < state.range(0); ++i) {
+      (void)db.SetValue(descs[i],
+                        Value::String("r" + std::to_string(round)));
+    }
+    ++round;
+    auto v = vm.CreateVersion();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig4_SnapshotScalesWithDelta)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Delta storage footprint vs. hypothetical full-copy storage, printed as
+/// counters after a 50-version history with 1% churn per version.
+void BM_Fig4_DeltaVsFullCopyBytes(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db(Fig3().schema);
+    VersionManager vm(&db);
+    auto descs = Populate(&db, 1000);
+    (void)vm.CreateVersion();
+    std::uint64_t full_copy_bytes = 0;
+    for (int v = 0; v < 50; ++v) {
+      for (int i = 0; i < 10; ++i) {
+        (void)db.SetValue(descs[(v * 10 + i) % descs.size()],
+                          Value::String("v" + std::to_string(v)));
+      }
+      (void)vm.CreateVersion();
+      // What a naive full-copy scheme would write for this version:
+      std::uint64_t snapshot = 0;
+      db.ForEachObject([&](const seed::core::ObjectItem& obj) {
+        snapshot += seed::core::ItemCodec::EncodeObjectToString(obj).size();
+      });
+      db.ForEachRelationship([&](const seed::core::RelationshipItem& rel) {
+        snapshot +=
+            seed::core::ItemCodec::EncodeRelationshipToString(rel).size();
+      });
+      full_copy_bytes += snapshot;
+    }
+    state.counters["delta_bytes"] =
+        static_cast<double>(vm.StoredBytes());
+    state.counters["full_copy_bytes"] =
+        static_cast<double>(full_copy_bytes);
+    state.counters["savings_x"] =
+        static_cast<double>(full_copy_bytes) /
+        static_cast<double>(vm.StoredBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_Fig4_DeltaVsFullCopyBytes)->Iterations(1);
+
+/// View materialization cost vs. history length (the view walks the
+/// ancestor path and resolves the newest payload per item).
+void BM_Fig4_MaterializeView(benchmark::State& state) {
+  Database db(Fig3().schema);
+  VersionManager vm(&db);
+  auto descs = Populate(&db, 256);
+  seed::version::VersionId last;
+  for (int v = 0; v < state.range(0); ++v) {
+    for (int i = 0; i < 8; ++i) {
+      (void)db.SetValue(descs[(v * 8 + i) % descs.size()],
+                        Value::String("v" + std::to_string(v)));
+    }
+    last = *vm.CreateVersion();
+  }
+  for (auto _ : state) {
+    auto view = vm.MaterializeView(last);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["history_len"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig4_MaterializeView)->Arg(4)->Arg(16)->Arg(64);
+
+/// Alternative selection (rollback to a historical version).
+void BM_Fig4_SelectVersion(benchmark::State& state) {
+  Database db(Fig3().schema);
+  VersionManager vm(&db);
+  auto descs = Populate(&db, 256);
+  auto v1 = *vm.CreateVersion();
+  for (int i = 0; i < 64; ++i) {
+    (void)db.SetValue(descs[i], Value::String("new"));
+  }
+  auto v2 = *vm.CreateVersion();
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.SelectVersion(flip ? v1 : v2));
+    flip = !flip;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig4_SelectVersion);
+
+/// History navigation: "find all versions of object X beginning with v".
+void BM_Fig4_HistoryRetrieval(benchmark::State& state) {
+  Database db(Fig3().schema);
+  VersionManager vm(&db);
+  ObjectId a = *db.CreateObject(Fig3().ids.action, "AlarmHandler");
+  ObjectId d = *db.CreateSubObject(a, "Description");
+  for (int v = 0; v < state.range(0); ++v) {
+    (void)db.SetValue(d, Value::String("v" + std::to_string(v)));
+    (void)vm.CreateVersion();
+  }
+  for (auto _ : state) {
+    auto hits = vm.VersionsOfObject(d);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig4_HistoryRetrieval)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

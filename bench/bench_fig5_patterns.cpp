@@ -1,0 +1,190 @@
+// Experiment F5 / C4 (paper Fig. 5): patterns and variants.
+//
+// The paper's pattern semantics make an update of shared information O(1)
+// ("any update of a pattern automatically propagates to all inheritors"),
+// where a copy-based design pays O(#inheritors) per update. The read side
+// pays a small overlay cost instead. This bench measures both sides plus
+// variant-family construction.
+
+#include <benchmark/benchmark.h>
+
+#include "pattern/pattern_manager.h"
+#include "pattern/variants.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::CreateOptions;
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::pattern::PatternManager;
+using seed::pattern::VariantFamily;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+struct PatternWorld {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<PatternManager> pm;
+  ObjectId pattern;
+  ObjectId pattern_desc;
+  std::vector<ObjectId> inheritors;
+};
+
+PatternWorld BuildWorld(int inheritors) {
+  PatternWorld w;
+  w.db = std::make_unique<Database>(Fig3().schema);
+  w.pm = std::make_unique<PatternManager>(w.db.get());
+  CreateOptions opts;
+  opts.pattern = true;
+  w.pattern = *w.db->CreateObject(Fig3().ids.action, "Template", opts);
+  w.pattern_desc = *w.db->CreateSubObject(w.pattern, "Description");
+  (void)w.db->SetValue(w.pattern_desc, Value::String("shared"));
+  for (int i = 0; i < inheritors; ++i) {
+    ObjectId real = *w.db->CreateObject(Fig3().ids.action,
+                                        "Proc_" + std::to_string(i));
+    (void)w.pm->Inherit(real, w.pattern);
+    w.inheritors.push_back(real);
+  }
+  return w;
+}
+
+/// SEED pattern update: one write, all inheritors see it. Flat in N.
+void BM_Fig5_PatternUpdate(benchmark::State& state) {
+  PatternWorld w = BuildWorld(static_cast<int>(state.range(0)));
+  int round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.db->SetValue(
+        w.pattern_desc, Value::String("v" + std::to_string(round++))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["inheritors"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_PatternUpdate)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Copy-based baseline: the shared value is duplicated per object, so a
+/// "change the common deadline" update costs O(N) writes.
+void BM_Fig5_CopyBasedUpdate(benchmark::State& state) {
+  Database db(Fig3().schema);
+  std::vector<ObjectId> descs;
+  for (int i = 0; i < state.range(0); ++i) {
+    ObjectId real =
+        *db.CreateObject(Fig3().ids.action, "Proc_" + std::to_string(i));
+    ObjectId d = *db.CreateSubObject(real, "Description");
+    (void)db.SetValue(d, Value::String("shared"));
+    descs.push_back(d);
+  }
+  int round = 0;
+  for (auto _ : state) {
+    Value v = Value::String("v" + std::to_string(round++));
+    for (ObjectId d : descs) {
+      benchmark::DoNotOptimize(db.SetValue(d, v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["inheritors"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_CopyBasedUpdate)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Read-side cost of the overlay: effective value through the pattern vs.
+/// a direct own sub-object read.
+void BM_Fig5_EffectiveValueThroughPattern(benchmark::State& state) {
+  PatternWorld w = BuildWorld(16);
+  ObjectId probe = w.inheritors[7];
+  for (auto _ : state) {
+    auto v = w.pm->EffectiveValue(probe, "Description");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig5_EffectiveValueThroughPattern);
+
+void BM_Fig5_OwnValueDirect(benchmark::State& state) {
+  Database db(Fig3().schema);
+  PatternManager pm(&db);
+  ObjectId real = *db.CreateObject(Fig3().ids.action, "Proc");
+  ObjectId d = *db.CreateSubObject(real, "Description");
+  (void)db.SetValue(d, Value::String("own"));
+  for (auto _ : state) {
+    auto v = pm.EffectiveValue(real, "Description");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig5_OwnValueDirect);
+
+/// Inheritance establishment (includes the deferred consistency check).
+void BM_Fig5_InheritValidation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PatternWorld w = BuildWorld(0);
+    std::vector<ObjectId> reals;
+    for (int i = 0; i < state.range(0); ++i) {
+      reals.push_back(*w.db->CreateObject(Fig3().ids.action,
+                                          "R" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (ObjectId r : reals) {
+      benchmark::DoNotOptimize(w.pm->Inherit(r, w.pattern));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig5_InheritValidation)->Arg(10)->Arg(100);
+
+/// Variant-family construction: common part + connector + N variants.
+void BM_Fig5_VariantFamilyConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(Fig3().schema);
+    PatternManager pm(&db);
+    VariantFamily family("Configs", &pm);
+    ObjectId common = *db.CreateObject(Fig3().ids.action, "Core");
+    (void)family.AddCommonObject(common);
+    (void)family.CreateConnector("PO", Fig3().ids.action,
+                                 Fig3().ids.contained, 0, common);
+    std::vector<std::vector<ObjectId>> variants;
+    for (int v = 0; v < state.range(0); ++v) {
+      std::vector<ObjectId> members;
+      for (int m = 0; m < 4; ++m) {
+        members.push_back(*db.CreateObject(
+            Fig3().ids.action,
+            "V" + std::to_string(v) + "_M" + std::to_string(m)));
+      }
+      variants.push_back(std::move(members));
+    }
+    state.ResumeTiming();
+    for (int v = 0; v < state.range(0); ++v) {
+      benchmark::DoNotOptimize(
+          family.AddVariant("Var" + std::to_string(v), variants[v]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fig5_VariantFamilyConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+/// Shared-relationship view per variant member.
+void BM_Fig5_SharedRelationships(benchmark::State& state) {
+  Database db(Fig3().schema);
+  PatternManager pm(&db);
+  VariantFamily family("Configs", &pm);
+  ObjectId common = *db.CreateObject(Fig3().ids.action, "Core");
+  (void)family.AddCommonObject(common);
+  (void)family.CreateConnector("PO", Fig3().ids.action, Fig3().ids.contained,
+                               0, common);
+  ObjectId member = *db.CreateObject(Fig3().ids.action, "M");
+  (void)family.AddVariant("V", {member});
+  for (auto _ : state) {
+    auto shared = family.SharedRelationshipsOf(member);
+    benchmark::DoNotOptimize(shared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig5_SharedRelationships);
+
+}  // namespace
+
+BENCHMARK_MAIN();

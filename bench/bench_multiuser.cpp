@@ -1,0 +1,118 @@
+// Experiment C6: the two-level multi-user design (paper, open problems).
+//
+// Measures checkout/checkin round-trip cost vs. subtree size, the check-in
+// audit (the single-transaction guarantee), and the lock-conflict path.
+
+#include <benchmark/benchmark.h>
+
+#include "multiuser/client.h"
+#include "multiuser/server.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Value;
+using seed::multiuser::ClientSession;
+using seed::multiuser::Server;
+using seed::ObjectId;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+/// Server with `n` actions, each carrying a description.
+std::unique_ptr<Server> BuildServer(int n) {
+  auto server = std::make_unique<Server>(Fig3().schema);
+  for (int i = 0; i < n; ++i) {
+    ObjectId a = *server->master()->CreateObject(
+        Fig3().ids.action, "Action_" + std::to_string(i));
+    ObjectId d = *server->master()->CreateSubObject(a, "Description");
+    (void)server->master()->SetValue(
+        d, Value::String("step " + std::to_string(i)));
+  }
+  server->master()->ClearChangeTracking();
+  return server;
+}
+
+/// Full edit cycle: checkout one subtree, modify, check back in.
+void BM_Multiuser_EditCycle(benchmark::State& state) {
+  auto server = BuildServer(static_cast<int>(state.range(0)));
+  int round = 0;
+  for (auto _ : state) {
+    auto session = std::move(ClientSession::Open(server.get(), "alice")).value();
+    std::string target = "Action_" + std::to_string(round % state.range(0));
+    if (!session->CheckoutByName({target}).ok()) {
+      state.SkipWithError("checkout failed");
+    }
+    ObjectId local = *session->local()->FindObjectByName(target);
+    ObjectId d = session->local()->SubObjects(local, "Description")[0];
+    (void)session->local()->SetValue(
+        d, Value::String("edited " + std::to_string(round)));
+    if (!session->Checkin().ok()) state.SkipWithError("checkin failed");
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["master_objects"] =
+      static_cast<double>(server->master()->num_live_objects());
+}
+BENCHMARK(BM_Multiuser_EditCycle)->Arg(16)->Arg(128)->Arg(512);
+
+/// Checkout alone, as the subtree grows.
+void BM_Multiuser_CheckoutSubtree(benchmark::State& state) {
+  auto server = std::make_unique<Server>(Fig3().schema);
+  ObjectId root =
+      *server->master()->CreateObject(Fig3().ids.data, "BigData");
+  for (int i = 0; i < state.range(0) && i < 16; ++i) {
+    ObjectId text = *server->master()->CreateSubObject(root, "Text");
+    ObjectId body = *server->master()->CreateSubObject(text, "Body");
+    for (int j = 0; j < state.range(0) / 16; ++j) {
+      if (server->master()->SubObjects(body, "Keywords").size() >= 8) break;
+      (void)server->master()->CreateSubObject(body, "Keywords");
+    }
+  }
+  server->master()->ClearChangeTracking();
+  for (auto _ : state) {
+    auto session = std::move(ClientSession::Open(server.get(), "alice")).value();
+    benchmark::DoNotOptimize(session->Checkout({root}));
+    (void)session->Abandon();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Multiuser_CheckoutSubtree)->Arg(16)->Arg(64);
+
+/// Lock conflict path: the second client's checkout must fail fast.
+void BM_Multiuser_LockConflict(benchmark::State& state) {
+  auto server = BuildServer(4);
+  auto alice = std::move(ClientSession::Open(server.get(), "alice")).value();
+  (void)alice->CheckoutByName({"Action_0"});
+  auto bob = std::move(ClientSession::Open(server.get(), "bob")).value();
+  ObjectId target = *server->master()->FindObjectByName("Action_0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bob->Checkout({target}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Multiuser_LockConflict);
+
+/// Check-in cost is dominated by the master audit: show its growth with
+/// master size (the honest cost of the all-or-nothing transaction).
+void BM_Multiuser_CheckinAudit(benchmark::State& state) {
+  auto server = BuildServer(static_cast<int>(state.range(0)));
+  int round = 0;
+  for (auto _ : state) {
+    auto session = std::move(ClientSession::Open(server.get(), "w")).value();
+    auto fresh = session->local()->CreateObject(
+        Fig3().ids.action, "Fresh_" + std::to_string(round++));
+    benchmark::DoNotOptimize(fresh);
+    if (!session->Checkin().ok()) state.SkipWithError("checkin failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["master_objects"] =
+      static_cast<double>(server->master()->num_live_objects());
+}
+BENCHMARK(BM_Multiuser_CheckinAudit)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

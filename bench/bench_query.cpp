@@ -1,0 +1,112 @@
+// Extension benchmark: the ER algebra (Parent & Spaccapietra-style),
+// measuring selection, relationship join and pipeline queries over a
+// generated specification.
+
+#include <benchmark/benchmark.h>
+
+#include "query/algebra.h"
+#include "query/predicate.h"
+#include "spades/spec_schema.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::ObjectId;
+using seed::query::Algebra;
+using seed::query::Predicate;
+
+seed::spades::Fig3Schema& Fig3() {
+  static auto schema = *seed::spades::BuildFig3Schema();
+  return schema;
+}
+
+std::unique_ptr<Database> BuildWorld(int n) {
+  auto db = std::make_unique<Database>(Fig3().schema);
+  std::vector<ObjectId> data, actions;
+  for (int i = 0; i < n; ++i) {
+    data.push_back(*db->CreateObject(Fig3().ids.input_data,
+                                     "Data_" + std::to_string(i)));
+    actions.push_back(*db->CreateObject(Fig3().ids.action,
+                                        "Action_" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      (void)db->CreateRelationship(Fig3().ids.read, data[(i + j * 7) % n],
+                                   actions[i]);
+    }
+  }
+  return db;
+}
+
+void BM_Query_ClassExtent(benchmark::State& state) {
+  auto db = BuildWorld(static_cast<int>(state.range(0)));
+  Algebra algebra(db.get());
+  for (auto _ : state) {
+    auto r = algebra.ClassExtent(Fig3().ids.thing, "t");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_Query_ClassExtent)->Arg(100)->Arg(1000);
+
+void BM_Query_Select(benchmark::State& state) {
+  auto db = BuildWorld(static_cast<int>(state.range(0)));
+  Algebra algebra(db.get());
+  auto extent = algebra.ClassExtent(Fig3().ids.data, "d");
+  auto pred = Predicate::NameContains("7");
+  for (auto _ : state) {
+    auto r = algebra.Select(extent, "d", pred);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_Select)->Arg(100)->Arg(1000);
+
+void BM_Query_RelationshipJoin(benchmark::State& state) {
+  auto db = BuildWorld(static_cast<int>(state.range(0)));
+  Algebra algebra(db.get());
+  auto data = algebra.ClassExtent(Fig3().ids.data, "d");
+  auto actions = algebra.ClassExtent(Fig3().ids.action, "a");
+  for (auto _ : state) {
+    auto r = algebra.RelationshipJoin(data, "d", Fig3().ids.access, actions,
+                                      "a");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_Query_RelationshipJoin)->Arg(100)->Arg(1000);
+
+void BM_Query_Pipeline(benchmark::State& state) {
+  auto db = BuildWorld(static_cast<int>(state.range(0)));
+  Algebra algebra(db.get());
+  for (auto _ : state) {
+    auto data = algebra.ClassExtent(Fig3().ids.data, "d");
+    auto actions = algebra.ClassExtent(Fig3().ids.action, "a");
+    auto joined = *algebra.RelationshipJoin(data, "d", Fig3().ids.access,
+                                            actions, "a");
+    auto filtered =
+        *algebra.Select(joined, "d", Predicate::NameContains("1"));
+    auto result = *algebra.Project(filtered, {"a"});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Query_Pipeline)->Arg(100)->Arg(1000);
+
+void BM_Query_CartesianProduct(benchmark::State& state) {
+  auto db = BuildWorld(static_cast<int>(state.range(0)));
+  Algebra algebra(db.get());
+  auto data = algebra.ClassExtent(Fig3().ids.data, "d");
+  auto actions = algebra.ClassExtent(Fig3().ids.action, "a");
+  for (auto _ : state) {
+    auto r = algebra.CartesianProduct(data, actions);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_Query_CartesianProduct)->Arg(32)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

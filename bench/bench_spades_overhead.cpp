@@ -1,0 +1,98 @@
+// Experiment C1: "SPADES has become considerably slower, but much more
+// flexible."
+//
+// The paper's only performance observation. We run the identical
+// specification session through the SEED-backed tool and through the
+// hand-rolled pre-SEED baseline; the ratio of the two is the "considerably
+// slower" factor the paper reports qualitatively. The flexibility side is
+// structural (consistency checks, vagueness, completeness) and is covered
+// by the test suite.
+
+#include <benchmark/benchmark.h>
+
+#include "spades/spec_tool.h"
+#include "spades/workload.h"
+
+namespace {
+
+using seed::spades::DirectSpecTool;
+using seed::spades::SeedSpecTool;
+using seed::spades::SessionParams;
+
+SessionParams ParamsFor(int scale) {
+  SessionParams p;
+  p.num_actions = static_cast<size_t>(scale);
+  p.num_data = static_cast<size_t>(scale);
+  p.flows_per_action = 3;
+  p.num_queries = static_cast<size_t>(scale) * 2;
+  return p;
+}
+
+void BM_Spades_OnSeed(benchmark::State& state) {
+  SessionParams params = ParamsFor(static_cast<int>(state.range(0)));
+  std::uint64_t mutations = 0;
+  for (auto _ : state) {
+    auto tool = std::move(SeedSpecTool::Create()).value();
+    auto stats = seed::spades::RunSession(tool.get(), params);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    mutations = stats->mutations + stats->queries;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mutations));
+  state.counters["session_ops"] = static_cast<double>(mutations);
+}
+BENCHMARK(BM_Spades_OnSeed)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Spades_Direct(benchmark::State& state) {
+  SessionParams params = ParamsFor(static_cast<int>(state.range(0)));
+  std::uint64_t mutations = 0;
+  for (auto _ : state) {
+    DirectSpecTool tool;
+    auto stats = seed::spades::RunSession(&tool, params);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    mutations = stats->mutations + stats->queries;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mutations));
+  state.counters["session_ops"] = static_cast<double>(mutations);
+}
+BENCHMARK(BM_Spades_Direct)->Arg(25)->Arg(50)->Arg(100);
+
+/// Query-only comparison on a prebuilt session (retrieval overhead).
+void BM_Spades_QueriesOnSeed(benchmark::State& state) {
+  auto tool = std::move(SeedSpecTool::Create()).value();
+  SessionParams params = ParamsFor(50);
+  params.num_queries = 0;
+  if (!seed::spades::RunSession(tool.get(), params).ok()) {
+    state.SkipWithError("session failed");
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto r = tool->ActionsAccessing("Data_" + std::to_string(i++ % 50));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Spades_QueriesOnSeed);
+
+void BM_Spades_QueriesDirect(benchmark::State& state) {
+  DirectSpecTool tool;
+  SessionParams params = ParamsFor(50);
+  params.num_queries = 0;
+  if (!seed::spades::RunSession(&tool, params).ok()) {
+    state.SkipWithError("session failed");
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto r = tool.ActionsAccessing("Data_" + std::to_string(i++ % 50));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Spades_QueriesDirect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// The two-level multi-user design from the paper's "Open problems": a
+// central server holds the master database; clients check out subtrees
+// under write locks, edit locally, and check back in as one transaction.
+//
+//   $ ./build/examples/multiuser_session
+
+#include <cstdio>
+
+#include "multiuser/client.h"
+#include "multiuser/server.h"
+#include "spades/spec_schema.h"
+
+using seed::core::Value;
+using seed::multiuser::ClientSession;
+using seed::multiuser::Server;
+using seed::ObjectId;
+
+int main() {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  if (!fig3.ok()) return 1;
+  Server server(fig3->schema);
+  const auto& ids = fig3->ids;
+
+  // Seed the master.
+  (void)*server.master()->CreateObject(ids.action, "AlarmHandler");
+  (void)*server.master()->CreateObject(ids.action, "OperatorAlert");
+  server.master()->ClearChangeTracking();
+
+  auto alice = std::move(ClientSession::Open(&server, "alice")).value();
+  auto bob = std::move(ClientSession::Open(&server, "bob")).value();
+
+  // Alice locks AlarmHandler; Bob's attempt on the same object fails.
+  (void)alice->CheckoutByName({"AlarmHandler"});
+  std::printf("alice checked out AlarmHandler (locked: %s)\n",
+              server.IsLocked(
+                  *server.master()->FindObjectByName("AlarmHandler"))
+                  ? "yes"
+                  : "no");
+  auto conflict = bob->CheckoutByName({"AlarmHandler"});
+  std::printf("bob tries the same     -> %s\n",
+              conflict.ToString().c_str());
+  (void)bob->CheckoutByName({"OperatorAlert"});
+  std::printf("bob checked out OperatorAlert instead\n\n");
+
+  // Both edit locally; the master sees nothing until check-in.
+  ObjectId a = *alice->local()->FindObjectByName("AlarmHandler");
+  ObjectId ad = *alice->local()->CreateSubObject(a, "Description");
+  (void)alice->local()->SetValue(
+      ad, Value::String("Generates alarms from process data"));
+
+  ObjectId o = *bob->local()->FindObjectByName("OperatorAlert");
+  ObjectId od = *bob->local()->CreateSubObject(o, "Description");
+  (void)bob->local()->SetValue(od, Value::String("Pages the operator"));
+
+  std::printf("master sees AlarmHandler.Description before checkin: %s\n",
+              server.master()
+                  ->FindObjectByName("AlarmHandler.Description")
+                  .ok()
+                  ? "yes"
+                  : "no");
+
+  // Check both sessions in (single transactions, audited server-side).
+  std::printf("alice checkin -> %s\n", alice->Checkin().ToString().c_str());
+  std::printf("bob checkin   -> %s\n\n", bob->Checkin().ToString().c_str());
+
+  for (const char* path :
+       {"AlarmHandler.Description", "OperatorAlert.Description"}) {
+    auto d = server.master()->FindObjectByName(path);
+    std::printf("master %-28s = %s\n", path,
+                (*server.master()->GetObject(*d))->value.ToString().c_str());
+  }
+  std::printf(
+      "\nserver stats: %llu applied, %llu rejected, %llu lock conflicts\n",
+      static_cast<unsigned long long>(server.checkins_applied()),
+      static_cast<unsigned long long>(server.checkins_rejected()),
+      static_cast<unsigned long long>(server.lock_conflicts()));
+  std::printf("master consistent: %s\n",
+              server.master()->AuditConsistency().clean() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,420 @@
+// seed_shell: an interactive command shell over a SEED database running
+// the paper's Fig. 3 schema — the closest thing to sitting at the 1986
+// prototype. Reads commands from stdin (pipe a script for batch use).
+//
+//   $ ./build/examples/seed_shell
+//   seed> create Thing Alarms
+//   seed> reclass Alarms Data
+//   seed> link Access Alarms Sensor
+//   seed> check
+//
+// Commands: help, find <Class> [exact] [where ...], schema, show [path],
+// create <Class> <Name>, sub <path> <role>, set <path> <value>,
+// link <Assoc> <path0> <path1>, refine <path> <Class>,
+// refinerel <Assoc> <path0> <path1> <NewAssoc>, rels <path>,
+// delete <path>, rename <path> <new>, check [path], audit, version [id],
+// versions, select <id>, history <path>, save <dir>, load <dir>, stats,
+// dot [schema], quit.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/export.h"
+#include "core/persistence.h"
+#include "core/printer.h"
+#include "core/stats.h"
+#include "query/parser.h"
+#include "spades/spec_schema.h"
+#include "version/version_io.h"
+#include "version/version_manager.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Printer;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::Result;
+using seed::Status;
+using seed::version::VersionId;
+using seed::version::VersionManager;
+
+class Shell {
+ public:
+  Shell() {
+    auto fig3 = seed::spades::BuildFig3Schema();
+    db_ = std::make_unique<Database>(fig3->schema);
+    vm_ = std::make_unique<VersionManager>(db_.get());
+  }
+
+  int Run() {
+    std::string line;
+    bool tty = isatty(fileno(stdin));
+    while (true) {
+      if (tty) std::printf("seed> ");
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  static std::vector<std::string> Tokenize(const std::string& line) {
+    std::istringstream in(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    bool in_quote = false;
+    std::string quoted;
+    while (in >> token) {
+      if (!in_quote && token.front() == '"') {
+        if (token.size() > 1 && token.back() == '"') {
+          tokens.push_back(token.substr(1, token.size() - 2));
+        } else {
+          in_quote = true;
+          quoted = token.substr(1);
+        }
+      } else if (in_quote) {
+        quoted += " " + token;
+        if (token.back() == '"') {
+          quoted.pop_back();
+          tokens.push_back(quoted);
+          in_quote = false;
+        }
+      } else {
+        tokens.push_back(token);
+      }
+    }
+    return tokens;
+  }
+
+  void Print(const Status& s) {
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+  }
+
+  Result<ObjectId> Find(const std::string& path) {
+    auto id = db_->FindObjectByName(path);
+    if (id.ok()) return id;
+    return db_->FindPatternByName(path);
+  }
+
+  /// Parses a value according to the target object's class.
+  Result<Value> ParseValue(ObjectId obj, const std::string& text) {
+    auto item = db_->GetObject(obj);
+    if (!item.ok()) return item.status();
+    auto cls = db_->schema()->GetClass((*item)->cls);
+    if (!cls.ok()) return cls.status();
+    using seed::schema::ValueType;
+    switch ((*cls)->value_type) {
+      case ValueType::kString:
+        return Value::String(text);
+      case ValueType::kInt: {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0') {
+          return Status::InvalidArgument("'" + text + "' is not an integer");
+        }
+        return Value::Int(v);
+      }
+      case ValueType::kReal: {
+        errno = 0;
+        char* end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0') {
+          return Status::InvalidArgument("'" + text + "' is not a number");
+        }
+        return Value::Real(v);
+      }
+      case ValueType::kBool:
+        if (text == "true") return Value::Bool(true);
+        if (text == "false") return Value::Bool(false);
+        return Status::InvalidArgument("want true/false");
+      case ValueType::kDate: {
+        auto d = seed::schema::Date::Parse(text);
+        if (!d.ok()) return d.status();
+        return Value::OfDate(*d);
+      }
+      case ValueType::kEnum:
+        return Value::Enum(text);
+      case ValueType::kNone:
+        return Status::FailedPrecondition("class '" + (*cls)->full_name +
+                                          "' carries no value");
+    }
+    return Status::Internal("unknown value type");
+  }
+
+  bool Dispatch(const std::string& line) {
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) return true;
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "find <Class> [exact] [where ...] | "
+          "schema | show [path] | create <Class> <Name> | sub <path> <role>"
+          "\nset <path> <value> | link <Assoc> <p0> <p1> | refine <path> "
+          "<Class>\nrefinerel <Assoc> <p0> <p1> <NewAssoc> | rels <path> | "
+          "delete <path>\nrename <path> <new> | check [path] | audit | "
+          "version [id] | versions\nselect <id> | history <path> | save "
+          "<dir> | load <dir> | stats | dot [schema] | quit\n");
+      return true;
+    }
+    if (cmd == "find") {
+      auto result = seed::query::RunQuery(*db_, line);
+      if (!result.ok()) {
+        Print(result.status());
+        return true;
+      }
+      for (seed::ObjectId id : *result) {
+        std::printf("%s\n", db_->FullName(id).c_str());
+      }
+      std::printf("(%zu match%s)\n", result->size(),
+                  result->size() == 1 ? "" : "es");
+      return true;
+    }
+    if (cmd == "schema") {
+      std::printf("%s", Printer::RenderSchema(*db_->schema()).c_str());
+      return true;
+    }
+    if (cmd == "stats") {
+      std::printf("%s", seed::core::CollectStats(*db_).ToString().c_str());
+      return true;
+    }
+    if (cmd == "dot") {
+      if (tokens.size() >= 2 && tokens[1] == "schema") {
+        std::printf("%s",
+                    seed::core::DotExport::Schema(*db_->schema()).c_str());
+      } else {
+        std::printf("%s", seed::core::DotExport::Database(*db_).c_str());
+      }
+      return true;
+    }
+    if (cmd == "show") {
+      if (tokens.size() < 2) {
+        std::printf("%s", Printer::RenderDatabase(*db_).c_str());
+      } else if (auto id = Find(tokens[1]); id.ok()) {
+        std::printf("%s", Printer::RenderObjectTree(*db_, *id).c_str());
+      } else {
+        Print(id.status());
+      }
+      return true;
+    }
+    if (cmd == "create" && tokens.size() == 3) {
+      auto cls = db_->schema()->FindIndependentClass(tokens[1]);
+      if (!cls.ok()) {
+        Print(cls.status());
+        return true;
+      }
+      Print(db_->CreateObject(*cls, tokens[2]).status());
+      return true;
+    }
+    if (cmd == "sub" && tokens.size() == 3) {
+      auto parent = Find(tokens[1]);
+      if (!parent.ok()) {
+        Print(parent.status());
+        return true;
+      }
+      Print(db_->CreateSubObject(*parent, tokens[2]).status());
+      return true;
+    }
+    if (cmd == "set" && tokens.size() >= 3) {
+      auto obj = Find(tokens[1]);
+      if (!obj.ok()) {
+        Print(obj.status());
+        return true;
+      }
+      std::string text = tokens[2];
+      for (size_t i = 3; i < tokens.size(); ++i) text += " " + tokens[i];
+      auto value = ParseValue(*obj, text);
+      if (!value.ok()) {
+        Print(value.status());
+        return true;
+      }
+      Print(db_->SetValue(*obj, std::move(*value)));
+      return true;
+    }
+    if (cmd == "link" && tokens.size() == 4) {
+      auto assoc = db_->schema()->FindAssociation(tokens[1]);
+      auto p0 = Find(tokens[2]);
+      auto p1 = Find(tokens[3]);
+      if (!assoc.ok() || !p0.ok() || !p1.ok()) {
+        Print(!assoc.ok() ? assoc.status()
+                          : (!p0.ok() ? p0.status() : p1.status()));
+        return true;
+      }
+      Print(db_->CreateRelationship(*assoc, *p0, *p1).status());
+      return true;
+    }
+    if (cmd == "refine" && tokens.size() == 3) {
+      auto obj = Find(tokens[1]);
+      auto cls = db_->schema()->FindIndependentClass(tokens[2]);
+      if (!obj.ok() || !cls.ok()) {
+        Print(!obj.ok() ? obj.status() : cls.status());
+        return true;
+      }
+      Print(db_->Reclassify(*obj, *cls));
+      return true;
+    }
+    if (cmd == "refinerel" && tokens.size() == 5) {
+      auto assoc = db_->schema()->FindAssociation(tokens[1]);
+      auto p0 = Find(tokens[2]);
+      auto p1 = Find(tokens[3]);
+      auto target = db_->schema()->FindAssociation(tokens[4]);
+      if (!assoc.ok() || !p0.ok() || !p1.ok() || !target.ok()) {
+        std::printf("error: bad association or path\n");
+        return true;
+      }
+      for (seed::RelationshipId rid : db_->RelationshipsOf(*p0, *assoc, 0)) {
+        auto rel = db_->GetRelationship(rid);
+        if (rel.ok() && (*rel)->ends[1] == *p1) {
+          Print(db_->ReclassifyRelationship(rid, *target));
+          return true;
+        }
+      }
+      std::printf("no such relationship\n");
+      return true;
+    }
+    if (cmd == "rels" && tokens.size() == 2) {
+      auto obj = Find(tokens[1]);
+      if (!obj.ok()) {
+        Print(obj.status());
+        return true;
+      }
+      for (seed::RelationshipId rid : db_->RelationshipsOf(*obj)) {
+        std::printf("%s\n", Printer::RenderRelationship(*db_, rid).c_str());
+      }
+      return true;
+    }
+    if (cmd == "delete" && tokens.size() == 2) {
+      auto obj = Find(tokens[1]);
+      if (!obj.ok()) {
+        Print(obj.status());
+        return true;
+      }
+      Print(db_->DeleteObject(*obj));
+      return true;
+    }
+    if (cmd == "rename" && tokens.size() == 3) {
+      auto obj = Find(tokens[1]);
+      if (!obj.ok()) {
+        Print(obj.status());
+        return true;
+      }
+      Print(db_->Rename(*obj, tokens[2]));
+      return true;
+    }
+    if (cmd == "check") {
+      seed::core::Report report;
+      if (tokens.size() >= 2) {
+        auto obj = Find(tokens[1]);
+        if (!obj.ok()) {
+          Print(obj.status());
+          return true;
+        }
+        report = db_->CheckCompleteness(*obj);
+      } else {
+        report = db_->CheckCompleteness();
+      }
+      std::printf("%s", report.clean() ? "complete\n"
+                                       : report.ToString().c_str());
+      return true;
+    }
+    if (cmd == "audit") {
+      auto report = db_->AuditConsistency();
+      std::printf("%s", report.clean() ? "consistent\n"
+                                       : report.ToString().c_str());
+      return true;
+    }
+    if (cmd == "version") {
+      if (tokens.size() >= 2) {
+        auto id = VersionId::Parse(tokens[1]);
+        if (!id.ok()) {
+          Print(id.status());
+          return true;
+        }
+        Print(vm_->CreateVersion(*id));
+      } else {
+        auto v = vm_->CreateVersion();
+        if (v.ok()) {
+          std::printf("created version %s\n", v->ToString().c_str());
+        } else {
+          Print(v.status());
+        }
+      }
+      return true;
+    }
+    if (cmd == "versions") {
+      for (const VersionId& v : vm_->AllVersions()) {
+        auto parent = vm_->ParentOf(v);
+        std::printf("%s%s%s%s\n", v.ToString().c_str(),
+                    parent.ok() && parent->valid() ? " (from " : "",
+                    parent.ok() && parent->valid()
+                        ? parent->ToString().c_str()
+                        : "",
+                    parent.ok() && parent->valid() ? ")" : "");
+      }
+      std::printf("basis: %s\n", vm_->current_basis().ToString().c_str());
+      return true;
+    }
+    if (cmd == "select" && tokens.size() == 2) {
+      auto id = VersionId::Parse(tokens[1]);
+      if (!id.ok()) {
+        Print(id.status());
+        return true;
+      }
+      Print(vm_->SelectVersion(*id));
+      return true;
+    }
+    if (cmd == "history" && tokens.size() == 2) {
+      auto hits = vm_->VersionsOfObject(tokens[1]);
+      if (!hits.ok()) {
+        Print(hits.status());
+        return true;
+      }
+      for (const auto& hit : *hits) {
+        std::printf("%s%s\n", hit.version.ToString().c_str(),
+                    hit.deleted ? " (deleted)" : "");
+      }
+      return true;
+    }
+    if (cmd == "save" && tokens.size() == 2) {
+      seed::storage::KvStore kv;
+      Status s = kv.Open(tokens[1]);
+      if (s.ok()) s = seed::core::Persistence::SaveFull(*db_, &kv);
+      if (s.ok()) s = seed::version::VersionPersistence::Save(*vm_, &kv);
+      if (s.ok()) s = kv.Close();
+      Print(s);
+      return true;
+    }
+    if (cmd == "load" && tokens.size() == 2) {
+      seed::storage::KvStore kv;
+      Status s = kv.Open(tokens[1]);
+      if (!s.ok()) {
+        Print(s);
+        return true;
+      }
+      auto loaded = seed::core::Persistence::Load(&kv);
+      if (!loaded.ok()) {
+        Print(loaded.status());
+        return true;
+      }
+      db_ = std::move(*loaded);
+      vm_ = std::make_unique<VersionManager>(db_.get());
+      Print(seed::version::VersionPersistence::Load(vm_.get(), &kv));
+      return true;
+    }
+    std::printf("unknown command (try 'help')\n");
+    return true;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<VersionManager> vm_;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

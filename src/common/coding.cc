@@ -1,0 +1,15 @@
+#include "common/coding.h"
+
+namespace seed {
+
+std::uint64_t Fnv1a64(const void* data, size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace seed

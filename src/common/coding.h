@@ -1,0 +1,174 @@
+// Byte-level encoding primitives used by the storage layer and by item
+// serialization: little-endian fixed ints, LEB128 varints, length-prefixed
+// strings, and a simple incremental Decoder with bounds checking.
+
+#ifndef SEED_COMMON_CODING_H_
+#define SEED_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seed {
+
+/// Growable byte buffer with append-style encoders.
+class Encoder {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Unsigned LEB128.
+  void PutVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Varint length followed by raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked sequential reader over a byte span.
+class Decoder {
+ public:
+  Decoder(const void* data, size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  Result<std::uint8_t> GetU8() {
+    if (remaining() < 1) return Truncated("u8");
+    return data_[pos_++];
+  }
+
+  Result<std::uint32_t> GetU32() {
+    if (remaining() < 4) return Truncated("u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> GetU64() {
+    if (remaining() < 8) return Truncated("u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::int64_t> GetI64() {
+    auto v = GetU64();
+    if (!v.ok()) return v.status();
+    return static_cast<std::int64_t>(*v);
+  }
+
+  Result<double> GetDouble() {
+    auto v = GetU64();
+    if (!v.ok()) return v.status();
+    double d;
+    std::uint64_t bits = *v;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  Result<bool> GetBool() {
+    auto v = GetU8();
+    if (!v.ok()) return v.status();
+    return *v != 0;
+  }
+
+  Result<std::uint64_t> GetVarint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (remaining() < 1) return Truncated("varint");
+      if (shift >= 64) {
+        return Status::Corruption("varint too long");
+      }
+      std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  /// Skips `n` bytes.
+  Status Skip(size_t n) {
+    if (remaining() < n) return Truncated("skip");
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<std::string> GetString() {
+    auto len = GetVarint();
+    if (!len.ok()) return len.status();
+    if (remaining() < *len) return Truncated("string body");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(*len));
+    pos_ += static_cast<size_t>(*len);
+    return s;
+  }
+
+ private:
+  Status Truncated(std::string_view what) const {
+    return Status::Corruption("decode: truncated " + std::string(what) +
+                              " at offset " + std::to_string(pos_));
+  }
+
+  const std::uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash, used as a cheap page/record checksum.
+std::uint64_t Fnv1a64(const void* data, size_t n);
+
+}  // namespace seed
+
+#endif  // SEED_COMMON_CODING_H_

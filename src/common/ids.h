@@ -1,0 +1,99 @@
+// Strongly typed identifiers. SEED keys schema elements and data items by
+// small integer ids; typed wrappers prevent mixing an ObjectId with a
+// ClassId at compile time while staying trivially copyable and hashable.
+
+#ifndef SEED_COMMON_IDS_H_
+#define SEED_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace seed {
+
+/// CRTP-free typed id: `Tag` disambiguates, `kInvalid` (0) means "no id".
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr TypedId() : raw_(0) {}
+  constexpr explicit TypedId(underlying_type raw) : raw_(raw) {}
+
+  constexpr underlying_type raw() const { return raw_; }
+  constexpr bool valid() const { return raw_ != 0; }
+
+  constexpr bool operator==(const TypedId&) const = default;
+  constexpr auto operator<=>(const TypedId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    return os << id.raw_;
+  }
+
+ private:
+  underlying_type raw_;
+};
+
+struct ClassIdTag {};
+struct AssociationIdTag {};
+struct RoleIdTag {};
+struct ObjectIdTag {};
+struct RelationshipIdTag {};
+struct PageIdTag {};
+struct TxnIdTag {};
+struct ClientIdTag {};
+
+/// Identifies an object class (including dependent classes) in a schema.
+using ClassId = TypedId<ClassIdTag>;
+/// Identifies an association (relationship class) in a schema.
+using AssociationId = TypedId<AssociationIdTag>;
+/// Identifies an object (independent or dependent) in the database.
+using ObjectId = TypedId<ObjectIdTag>;
+/// Identifies a relationship instance in the database.
+using RelationshipId = TypedId<RelationshipIdTag>;
+/// Identifies a page in a storage file.
+using PageId = TypedId<PageIdTag>;
+/// Identifies a transaction in the WAL / multiuser layer.
+using TxnId = TypedId<TxnIdTag>;
+/// Identifies a client session in the multiuser layer.
+using ClientId = TypedId<ClientIdTag>;
+
+/// Monotonic id generator; not thread-safe (SEED's core is single-user,
+/// as in the paper; the multiuser layer serializes access at the server).
+template <typename Id>
+class IdGenerator {
+ public:
+  explicit IdGenerator(typename Id::underlying_type first = 1)
+      : next_(first) {}
+
+  Id Next() { return Id(next_++); }
+
+  /// Ensures the generator will never re-issue `id` (used when loading
+  /// persisted state).
+  void ReserveThrough(Id id) {
+    if (id.raw() >= next_) next_ = id.raw() + 1;
+  }
+
+  /// Hard-sets the next id, downward if necessary. Only for callers that
+  /// manage disjoint id ranges themselves (the multiuser client pins its
+  /// generator back into its own stripe after importing foreign items).
+  void ResetTo(typename Id::underlying_type next) { next_ = next; }
+
+  typename Id::underlying_type next_raw() const { return next_; }
+
+ private:
+  typename Id::underlying_type next_;
+};
+
+}  // namespace seed
+
+namespace std {
+template <typename Tag>
+struct hash<seed::TypedId<Tag>> {
+  size_t operator()(const seed::TypedId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};
+}  // namespace std
+
+#endif  // SEED_COMMON_IDS_H_

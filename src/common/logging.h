@@ -1,0 +1,45 @@
+// Minimal leveled logger. SEED libraries log sparingly (storage recovery,
+// multiuser server events); tests silence it by default.
+
+#ifndef SEED_COMMON_LOGGING_H_
+#define SEED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace seed {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr as "[LEVEL] message".
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seed
+
+#define SEED_LOG(level) \
+  ::seed::internal::LogLine(::seed::LogLevel::k##level)
+
+#endif  // SEED_COMMON_LOGGING_H_

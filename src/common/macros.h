@@ -1,0 +1,31 @@
+// Error-propagation macros in the Arrow style.
+
+#ifndef SEED_COMMON_MACROS_H_
+#define SEED_COMMON_MACROS_H_
+
+#include <utility>
+
+#include "common/status.h"
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is an error.
+#define SEED_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::seed::Status _seed_status = (expr);         \
+    if (!_seed_status.ok()) return _seed_status;  \
+  } while (false)
+
+#define SEED_CONCAT_IMPL(a, b) a##b
+#define SEED_CONCAT(a, b) SEED_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define SEED_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SEED_ASSIGN_OR_RETURN_IMPL(SEED_CONCAT(_seed_result, __LINE__), lhs, rexpr)
+
+#define SEED_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value();
+
+#endif  // SEED_COMMON_MACROS_H_

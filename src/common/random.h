@@ -1,0 +1,82 @@
+// Deterministic random source for workload generators and property tests.
+// A thin wrapper over a fixed PRNG so results are reproducible across
+// platforms and standard-library versions (std::uniform_int_distribution is
+// not portable across implementations; we implement Lemire-style bounded
+// draws ourselves).
+
+#ifndef SEED_COMMON_RANDOM_H_
+#define SEED_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seed {
+
+/// SplitMix64-seeded xorshift*; small, fast, reproducible.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x5EED) {
+    // SplitMix64 scramble so nearby seeds give unrelated streams.
+    std::uint64_t z = seed + 0x9E3779B97f4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x5EEDull;
+  }
+
+  std::uint64_t NextU64() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0..1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random identifier of `len` chars starting with a letter.
+  std::string Identifier(size_t len) {
+    static const char kAlpha[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    static const char kAlnum[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    std::string s;
+    s.reserve(len);
+    if (len == 0) return s;
+    s.push_back(kAlpha[Uniform(sizeof(kAlpha) - 1)]);
+    for (size_t i = 1; i < len; ++i) {
+      s.push_back(kAlnum[Uniform(sizeof(kAlnum) - 1)]);
+    }
+    return s;
+  }
+
+  /// Picks a uniformly random element; `v` must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace seed
+
+#endif  // SEED_COMMON_RANDOM_H_

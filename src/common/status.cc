@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace seed {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kConsistencyViolation:
+      return "consistency violation";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kIoError:
+      return "I/O error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kLockConflict:
+      return "lock conflict";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  return Status(code(), std::move(msg));
+}
+
+}  // namespace seed

@@ -1,0 +1,163 @@
+// Status: error propagation without exceptions, modeled after the
+// arrow::Status / rocksdb::Status idiom. Every fallible SEED operation
+// returns a Status (or a Result<T>, see result.h). Statuses are cheap to
+// move, carry a code plus a human-readable message, and may carry a list
+// of structured consistency violations (see violation.h usage in seed_core).
+
+#ifndef SEED_COMMON_STATUS_H_
+#define SEED_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seed {
+
+/// Canonical SEED error codes. Codes are stable and coarse; details live in
+/// the message.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A schema element, object, relationship or version was not found.
+  kNotFound = 1,
+  /// An id or name is already in use.
+  kAlreadyExists = 2,
+  /// Malformed argument (bad name, bad cardinality range, null handle...).
+  kInvalidArgument = 3,
+  /// The requested operation would violate consistency information
+  /// (class membership, maximum cardinalities, ACYCLIC, attached procedures).
+  kConsistencyViolation = 4,
+  /// The operation is structurally impossible in the current state
+  /// (e.g. re-classifying outside the generalization hierarchy,
+  /// updating inherited pattern data in an inheritor).
+  kFailedPrecondition = 5,
+  /// Storage layer I/O failure.
+  kIoError = 6,
+  /// Data on disk failed validation (checksum, magic, truncation).
+  kCorruption = 7,
+  /// Feature intentionally absent (mirrors the paper's prototype limits).
+  kNotSupported = 8,
+  /// Resource exhausted (buffer pool full of pinned pages, etc.).
+  kResourceExhausted = 9,
+  /// A write lock held by another client blocks this operation.
+  kLockConflict = 10,
+  /// Internal invariant broken; indicates a bug in SEED itself.
+  kInternal = 11,
+};
+
+/// Returns the canonical lower-case name of a code, e.g. "consistency
+/// violation".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK (the common case, represented by a null state so
+/// that passing OK around is free) or an error with a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+
+  Status(StatusCode code, std::string msg) {
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ConsistencyViolation(std::string msg) {
+    return Status(StatusCode::kConsistencyViolation, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status LockConflict(std::string msg) {
+    return Status(StatusCode::kLockConflict, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  explicit operator bool() const { return ok(); }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsConsistencyViolation() const {
+    return code() == StatusCode::kConsistencyViolation;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsLockConflict() const { return code() == StatusCode::kLockConflict; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// for adding call-site information while propagating.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null iff OK
+};
+
+}  // namespace seed
+
+#endif  // SEED_COMMON_STATUS_H_

@@ -1,0 +1,122 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace seed {
+
+std::string PathSegment::ToString() const {
+  if (!index.has_value()) return name;
+  return name + "[" + std::to_string(*index) + "]";
+}
+
+namespace strings {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<PathSegment> ParseSegment(std::string_view s) {
+  PathSegment seg;
+  size_t bracket = s.find('[');
+  if (bracket == std::string_view::npos) {
+    if (!IsIdentifier(s)) {
+      return Status::InvalidArgument("bad path segment '" + std::string(s) +
+                                     "'");
+    }
+    seg.name = std::string(s);
+    return seg;
+  }
+  if (s.empty() || s.back() != ']') {
+    return Status::InvalidArgument("unterminated index in segment '" +
+                                   std::string(s) + "'");
+  }
+  std::string_view name = s.substr(0, bracket);
+  std::string_view idx = s.substr(bracket + 1, s.size() - bracket - 2);
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument("bad path segment '" + std::string(s) +
+                                   "'");
+  }
+  if (idx.empty()) {
+    return Status::InvalidArgument("empty index in segment '" +
+                                   std::string(s) + "'");
+  }
+  std::uint64_t value = 0;
+  for (char c : idx) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("non-numeric index in segment '" +
+                                     std::string(s) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("index overflow in segment '" +
+                                     std::string(s) + "'");
+    }
+  }
+  seg.name = std::string(name);
+  seg.index = static_cast<std::uint32_t>(value);
+  return seg;
+}
+
+Result<std::vector<PathSegment>> ParsePath(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty path");
+  std::vector<PathSegment> out;
+  for (const std::string& part : Split(s, '.')) {
+    auto seg = ParseSegment(part);
+    if (!seg.ok()) return seg.status();
+    out.push_back(std::move(seg).value());
+  }
+  return out;
+}
+
+std::string PathToString(const std::vector<PathSegment>& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += '.';
+    out += path[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace strings
+}  // namespace seed

@@ -1,0 +1,63 @@
+// String and dotted-path utilities.
+//
+// SEED names dependent objects by composing the parent name with the role,
+// e.g. `Alarms.Text.Body.Keywords[1]` (paper, Fig. 1). This header provides
+// the path grammar used throughout:
+//
+//   path      := segment ('.' segment)*
+//   segment   := identifier ('[' index ']')?
+//   identifier := [A-Za-z_][A-Za-z0-9_]*
+
+#ifndef SEED_COMMON_STRINGS_H_
+#define SEED_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seed {
+
+/// One component of a dotted path: a role name plus an optional index for
+/// multi-valued roles (`Keywords[1]`).
+struct PathSegment {
+  std::string name;
+  /// Index for multi-valued roles; nullopt for single-valued segments.
+  std::optional<std::uint32_t> index;
+
+  bool operator==(const PathSegment&) const = default;
+
+  /// Renders "name" or "name[index]".
+  std::string ToString() const;
+};
+
+namespace strings {
+
+/// Splits `s` on `sep`; keeps empty tokens.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True iff `s` is a valid SEED identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool IsIdentifier(std::string_view s);
+
+/// Parses a single path segment ("Body" or "Keywords[1]").
+Result<PathSegment> ParseSegment(std::string_view s);
+
+/// Parses a full dotted path ("Alarms.Text.Body.Keywords[1]").
+Result<std::vector<PathSegment>> ParsePath(std::string_view s);
+
+/// Renders a path back to its dotted form.
+std::string PathToString(const std::vector<PathSegment>& path);
+
+}  // namespace strings
+}  // namespace seed
+
+#endif  // SEED_COMMON_STRINGS_H_

@@ -1,0 +1,349 @@
+// Database: SEED's operational interface.
+//
+// The paper describes a procedural interface providing data creation,
+// update, and simple retrieval by name. Every mutating operation runs the
+// *consistency* rules derivable from the schema (class/association
+// membership, maximum cardinalities, ACYCLIC conditions, attached
+// procedures) and is vetoed on violation, so the database is permanently
+// consistent. *Completeness* rules (minimum cardinalities, covering
+// conditions) are only evaluated by the explicit CheckCompleteness()
+// operation and never veto anything — this split is what lets SEED accept
+// vague and incomplete information.
+//
+// Items flagged as patterns bypass consistency checking at creation and are
+// invisible to normal retrieval; the pattern layer (seed_pattern) validates
+// them when they are inherited.
+
+#ifndef SEED_CORE_DATABASE_H_
+#define SEED_CORE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/items.h"
+#include "core/value.h"
+#include "core/violation.h"
+#include "schema/schema.h"
+
+namespace seed::core {
+
+/// Mutation kinds, passed to attached procedures.
+enum class UpdateKind {
+  kCreateObject,
+  kCreateSubObject,
+  kSetValue,
+  kClearValue,
+  kRename,
+  kDeleteObject,
+  kReclassifyObject,
+  kCreateRelationship,
+  kDeleteRelationship,
+  kReclassifyRelationship,
+};
+
+class Database;
+
+/// Event handed to attached procedures after the tentative update has been
+/// applied; returning a non-OK status vetoes (rolls back) the update.
+struct UpdateEvent {
+  UpdateKind kind;
+  const Database* db;
+  ObjectId object;            // primary object, if any
+  RelationshipId relationship;  // primary relationship, if any
+};
+
+/// Attached procedure (paper: "executed when an item of the corresponding
+/// schema element is updated; used to express complex integrity
+/// constraints"). Part of the consistency information.
+using AttachedProcedure = std::function<Status(const UpdateEvent&)>;
+
+/// Options for item creation.
+struct CreateOptions {
+  /// Create the item as a pattern: exempt from consistency checks and
+  /// invisible to retrieval until inherited.
+  bool pattern = false;
+};
+
+class Database {
+ public:
+  explicit Database(schema::SchemaPtr schema);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const schema::SchemaPtr& schema() const { return schema_; }
+
+  // --- Object creation and update -----------------------------------------
+
+  /// Creates an independent object of `cls` with unique `name`.
+  Result<ObjectId> CreateObject(ClassId cls, std::string name,
+                                const CreateOptions& opts = {});
+
+  /// Creates a dependent object under `parent` in role `role` (the role
+  /// must resolve on the parent's class or a generalization ancestor).
+  /// Multi-valued roles get the next free index.
+  Result<ObjectId> CreateSubObject(ObjectId parent, std::string_view role);
+
+  /// Creates a relationship attribute (dependent object under a
+  /// relationship, paper Fig. 3: `Write.NumberOfWrites`).
+  Result<ObjectId> CreateSubObject(RelationshipId parent,
+                                   std::string_view role);
+
+  Status SetValue(ObjectId obj, Value value);
+  Status ClearValue(ObjectId obj);
+
+  /// Renames an independent object.
+  Status Rename(ObjectId obj, std::string new_name);
+
+  /// Deletes an object; cascades to its sub-objects and to all
+  /// relationships it participates in. Items are tombstoned, not removed.
+  Status DeleteObject(ObjectId obj);
+
+  /// Re-classifies an object within its generalization hierarchy (paper:
+  /// moving vague data down — or back up — the hierarchy as knowledge
+  /// changes). The object keeps its identity.
+  Status Reclassify(ObjectId obj, ClassId new_cls);
+
+  // --- Relationships ----------------------------------------------------------
+
+  /// Creates a relationship of `assoc` with `end0` filling role 0 and
+  /// `end1` filling role 1.
+  Result<RelationshipId> CreateRelationship(AssociationId assoc,
+                                            ObjectId end0, ObjectId end1,
+                                            const CreateOptions& opts = {});
+
+  Status DeleteRelationship(RelationshipId rel);
+
+  /// Re-classifies a relationship within the association generalization
+  /// hierarchy (paper: specializing an `Access` into a `Write`).
+  Status ReclassifyRelationship(RelationshipId rel, AssociationId new_assoc);
+
+  // --- Retrieval -------------------------------------------------------------
+
+  /// Resolves a dotted path (`Alarms.Text.Body.Keywords[1]`) to an object.
+  /// Patterns are invisible here.
+  Result<ObjectId> FindObjectByName(std::string_view path) const;
+
+  /// Resolves a dotted path among pattern items.
+  Result<ObjectId> FindPatternByName(std::string_view path) const;
+
+  Result<const ObjectItem*> GetObject(ObjectId id) const;
+  Result<const RelationshipItem*> GetRelationship(RelationshipId id) const;
+
+  /// Composed display name ("Alarms.Text.Body.Keywords[1]").
+  std::string FullName(ObjectId id) const;
+
+  /// Live non-pattern objects whose class is `cls` (or a specialization,
+  /// when `include_specializations`).
+  std::vector<ObjectId> ObjectsOfClass(
+      ClassId cls, bool include_specializations = true) const;
+
+  /// Live non-pattern relationships of `assoc` (or specializations).
+  std::vector<RelationshipId> RelationshipsOfAssociation(
+      AssociationId assoc, bool include_specializations = true) const;
+
+  /// Live relationships `obj` participates in; restricted to the family of
+  /// `assoc` when valid, and to `role` when >= 0.
+  std::vector<RelationshipId> RelationshipsOf(
+      ObjectId obj, AssociationId assoc = AssociationId(),
+      int role = -1) const;
+
+  /// Live *pattern* relationships `obj` participates in (the overlay data
+  /// the pattern layer projects into inheritor contexts), restricted to the
+  /// family of `assoc` when valid.
+  std::vector<RelationshipId> PatternRelationshipsOf(
+      ObjectId obj, AssociationId assoc = AssociationId()) const;
+
+  /// Live sub-objects of `parent` in `role` (all roles when empty),
+  /// ordered by index.
+  std::vector<ObjectId> SubObjects(ObjectId parent,
+                                   std::string_view role = {}) const;
+  std::vector<ObjectId> SubObjects(RelationshipId parent,
+                                   std::string_view role = {}) const;
+
+  /// All live non-pattern independent objects.
+  std::vector<ObjectId> AllIndependentObjects() const;
+  /// All live pattern items (independent roots only).
+  std::vector<ObjectId> AllPatternRoots() const;
+
+  void ForEachObject(const std::function<void(const ObjectItem&)>& fn) const;
+  void ForEachRelationship(
+      const std::function<void(const RelationshipItem&)>& fn) const;
+
+  size_t num_live_objects() const { return live_objects_; }
+  size_t num_live_relationships() const { return live_relationships_; }
+
+  // --- Checking -------------------------------------------------------------
+
+  /// Full consistency audit over the whole database. Always clean after
+  /// any sequence of accepted updates; exposed for tests and recovery.
+  Report AuditConsistency() const;
+
+  /// Explicit completeness check (minimum cardinalities, covering
+  /// conditions, undefined values). Reports, never vetoes.
+  Report CheckCompleteness() const;
+
+  /// Completeness check restricted to one object (and its subtree).
+  Report CheckCompleteness(ObjectId root) const;
+
+  // --- Attached procedures -----------------------------------------------------
+
+  void AttachProcedure(ClassId cls, AttachedProcedure proc);
+  void AttachProcedure(AssociationId assoc, AttachedProcedure proc);
+  void DetachProcedures(ClassId cls);
+  void DetachProcedures(AssociationId assoc);
+
+  // --- Change tracking (consumed by the version layer) --------------------------
+
+  /// Object/relationship ids touched (created, updated, deleted) since the
+  /// last ClearChangeTracking().
+  const std::unordered_set<ObjectId>& changed_objects() const {
+    return changed_objects_;
+  }
+  const std::unordered_set<RelationshipId>& changed_relationships() const {
+    return changed_relationships_;
+  }
+  void ClearChangeTracking();
+
+  // --- Schema evolution ---------------------------------------------------------
+
+  /// Swaps in an evolved schema (same element ids for existing elements).
+  /// Fails if existing data would become inconsistent under the new schema.
+  Status MigrateToSchema(schema::SchemaPtr new_schema);
+
+  // --- Internal access for sibling layers (version, pattern, multiuser) ---------
+
+  /// Raw item tables, including tombstones. Read-only.
+  const std::map<ObjectId, ObjectItem>& objects_raw() const {
+    return objects_;
+  }
+  const std::map<RelationshipId, RelationshipItem>& relationships_raw()
+      const {
+    return relationships_;
+  }
+
+  /// Restores a full item state (used by version-view materialization and
+  /// multiuser check-in). Bypasses consistency checks; callers are trusted
+  /// layers that re-audit afterwards.
+  void RestoreObject(ObjectItem item);
+  void RestoreRelationship(RelationshipItem item);
+  /// Re-derives every index after a batch of Restore* calls.
+  void RebuildIndexes();
+
+  /// Drops all items and indexes but keeps the schema, attached procedures
+  /// and id watermarks (ids are never reused across version selection).
+  void ClearContents();
+
+  /// Physically removes an item (trusted; used by the multiuser layer to
+  /// roll back a rejected check-in). Call RebuildIndexes() afterwards.
+  void EraseObjectTrusted(ObjectId id) { objects_.erase(id); }
+  void EraseRelationshipTrusted(RelationshipId id) {
+    relationships_.erase(id);
+  }
+
+  /// Trusted schema swap without a consistency audit; used by the version
+  /// layer when materializing views under historical schema versions.
+  void ResetSchemaTrusted(schema::SchemaPtr s) { schema_ = std::move(s); }
+
+  /// Id generators, exposed so persistence can save/restore watermarks.
+  IdGenerator<ObjectId>& object_ids() { return object_ids_; }
+  IdGenerator<RelationshipId>& relationship_ids() {
+    return relationship_ids_;
+  }
+
+ private:
+  // -- Incremental consistency helpers (database_checks.cc) --
+  Status CheckIndependentName(const std::string& name, bool pattern,
+                              ObjectId ignore) const;
+  Status CheckValueConforms(const schema::ObjectClass& cls,
+                            const Value& value) const;
+  /// Number of live children of `parent_children` with class `cls`.
+  size_t CountChildrenOfClass(const std::vector<ObjectId>& children,
+                              ClassId cls) const;
+  std::uint32_t NextChildIndex(const std::vector<ObjectId>& children,
+                               ClassId cls) const;
+  /// Live participation count of `obj` in role `role` over the family of
+  /// `assoc` (specializations included), excluding pattern relationships.
+  size_t CountParticipation(ObjectId obj, AssociationId assoc,
+                            int role) const;
+  /// Checks the maximum participation bounds that adding one relationship
+  /// of `assoc` with the given ends would have to respect.
+  Status CheckParticipationMaxima(AssociationId assoc, ObjectId end0,
+                                  ObjectId end1) const;
+  /// True if a live non-pattern relationship assoc(end0, end1) exists.
+  bool DuplicateExists(AssociationId assoc, ObjectId end0, ObjectId end1,
+                       RelationshipId ignore) const;
+  /// Would edge end0 -> end1 close a cycle in the family graph of `root`?
+  bool WouldCreateCycle(AssociationId root, ObjectId from, ObjectId to,
+                        RelationshipId ignore) const;
+  /// Runs ACYCLIC checks for every acyclic association in the
+  /// generalization chain of `assoc`.
+  Status CheckAcyclicity(AssociationId assoc, ObjectId end0, ObjectId end1,
+                         RelationshipId ignore) const;
+  /// Runs attached procedures for `cls` and its ancestors.
+  Status RunProcedures(ClassId cls, const UpdateEvent& event) const;
+  Status RunProcedures(AssociationId assoc, const UpdateEvent& event) const;
+
+  // -- Completeness helpers (database_checks.cc) --
+  void CheckObjectCompleteness(const ObjectItem& obj, Report* report) const;
+  void CheckRelationshipCompleteness(const RelationshipItem& rel,
+                                     Report* report) const;
+
+  // -- Index maintenance --
+  void IndexObject(const ObjectItem& obj);
+  void UnindexObject(const ObjectItem& obj);
+  void IndexRelationship(const RelationshipItem& rel);
+  void UnindexRelationship(const RelationshipItem& rel);
+  void Touch(ObjectId id) { changed_objects_.insert(id); }
+  void Touch(RelationshipId id) { changed_relationships_.insert(id); }
+
+  ObjectItem* MutableObject(ObjectId id);
+  RelationshipItem* MutableRelationship(RelationshipId id);
+
+  Result<ObjectId> CreateSubObjectImpl(ParentKind kind, ObjectId pobj,
+                                       RelationshipId prel,
+                                       std::string_view role);
+  Status DeleteObjectImpl(ObjectId id, bool cascade_into_relationships);
+  Status DeleteRelationshipImpl(RelationshipId id);
+
+  schema::SchemaPtr schema_;
+
+  // Ordered maps so scans and serialization are deterministic.
+  std::map<ObjectId, ObjectItem> objects_;
+  std::map<RelationshipId, RelationshipItem> relationships_;
+
+  IdGenerator<ObjectId> object_ids_;
+  IdGenerator<RelationshipId> relationship_ids_;
+
+  // Indexes over live items.
+  std::unordered_map<std::string, ObjectId> name_index_;          // normal
+  std::unordered_map<std::string, ObjectId> pattern_name_index_;  // patterns
+  std::unordered_map<ClassId, std::vector<ObjectId>> by_class_;
+  std::unordered_map<AssociationId, std::vector<RelationshipId>> by_assoc_;
+  std::unordered_map<ObjectId, std::vector<RelationshipId>> rels_by_object_;
+
+  std::unordered_map<ClassId, std::vector<AttachedProcedure>>
+      class_procedures_;
+  std::unordered_map<AssociationId, std::vector<AttachedProcedure>>
+      assoc_procedures_;
+
+  std::unordered_set<ObjectId> changed_objects_;
+  std::unordered_set<RelationshipId> changed_relationships_;
+
+  size_t live_objects_ = 0;
+  size_t live_relationships_ = 0;
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_DATABASE_H_

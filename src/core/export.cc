@@ -1,0 +1,141 @@
+#include "core/export.h"
+
+namespace seed::core {
+
+std::string DotExport::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+namespace {
+
+/// Record-label lines for a class's dependent subtree, indented by depth.
+void AppendDependentLabel(const schema::Schema& schema, ClassId cls,
+                          int depth, std::string* label) {
+  auto info = schema.GetClass(cls);
+  if (!info.ok()) return;
+  const schema::ObjectClass& c = **info;
+  *label += "\\n";
+  for (int i = 0; i < depth; ++i) *label += "  ";
+  *label += c.name + " [" + c.cardinality.ToString() + "]";
+  if (c.value_type != schema::ValueType::kNone) {
+    *label += " : " + std::string(schema::ValueTypeToString(c.value_type));
+  }
+  for (ClassId dep :
+       schema.DependentClassesOf(schema::StructuralOwner::OfClass(cls))) {
+    AppendDependentLabel(schema, dep, depth + 1, label);
+  }
+}
+
+}  // namespace
+
+std::string DotExport::Schema(const schema::Schema& schema) {
+  std::string out = "digraph \"" + Escape(schema.name()) + "\" {\n";
+  out += "  node [shape=box];\n";
+  for (ClassId cls : schema.AllClassIds()) {
+    auto info = schema.GetClass(cls);
+    if (!info.ok() || (*info)->is_dependent()) continue;
+    std::string label = (*info)->name;
+    if ((*info)->covering) label += " (covering)";
+    for (ClassId dep : schema.DependentClassesOf(
+             schema::StructuralOwner::OfClass(cls))) {
+      AppendDependentLabel(schema, dep, 1, &label);
+    }
+    out += "  c" + std::to_string(cls.raw()) + " [label=\"" +
+           Escape(label) + "\"];\n";
+    if ((*info)->is_specialized()) {
+      out += "  c" + std::to_string(cls.raw()) + " -> c" +
+             std::to_string((*info)->generalizes_into.raw()) +
+             " [style=dashed, arrowhead=onormal, label=\"is-a\"];\n";
+    }
+  }
+  for (AssociationId assoc : schema.AllAssociationIds()) {
+    auto info = schema.GetAssociation(assoc);
+    if (!info.ok()) continue;
+    const schema::Association& a = **info;
+    std::string name = "a" + std::to_string(assoc.raw());
+    std::string label = a.name;
+    if (a.acyclic) label += "\\nACYCLIC";
+    if (a.covering) label += " (covering)";
+    for (ClassId dep : schema.DependentClassesOf(
+             schema::StructuralOwner::OfAssociation(assoc))) {
+      AppendDependentLabel(schema, dep, 1, &label);
+    }
+    out += "  " + name + " [shape=diamond, label=\"" + Escape(label) +
+           "\"];\n";
+    for (int i = 0; i < 2; ++i) {
+      out += "  " + name + " -> c" +
+             std::to_string(a.roles[i].target.raw()) + " [label=\"" +
+             Escape(a.roles[i].name) + " " +
+             a.roles[i].cardinality.ToString() + "\"];\n";
+    }
+    if (a.is_specialized()) {
+      out += "  " + name + " -> a" +
+             std::to_string(a.generalizes_into.raw()) +
+             " [style=dashed, arrowhead=onormal, label=\"is-a\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DotExport::Database(const core::Database& db) {
+  std::string out = "digraph seed_database {\n  node [shape=box];\n";
+  auto render_root = [&](ObjectId root) {
+    auto obj = db.GetObject(root);
+    if (!obj.ok()) return;
+    auto cls = db.schema()->GetClass((*obj)->cls);
+    std::string label =
+        (*obj)->name + " : " + (cls.ok() ? (*cls)->name : "?");
+    // Sub-object values, one line each (depth-first, limited rendering).
+    std::vector<ObjectId> work = db.SubObjects(root);
+    while (!work.empty()) {
+      ObjectId id = work.back();
+      work.pop_back();
+      auto sub = db.GetObject(id);
+      if (!sub.ok()) continue;
+      if ((*sub)->value.defined()) {
+        auto sub_cls = db.schema()->GetClass((*sub)->cls);
+        label += "\\n" + (sub_cls.ok() ? (*sub_cls)->name : "?") + " = " +
+                 (*sub)->value.ToString();
+      }
+      auto children = db.SubObjects(id);
+      work.insert(work.end(), children.begin(), children.end());
+    }
+    out += "  o" + std::to_string(root.raw()) + " [label=\"" +
+           Escape(label) + "\"";
+    if ((*obj)->is_pattern) out += ", style=dashed";
+    out += "];\n";
+  };
+  for (ObjectId root : db.AllIndependentObjects()) render_root(root);
+  for (ObjectId root : db.AllPatternRoots()) render_root(root);
+
+  db.ForEachRelationship([&](const RelationshipItem& rel) {
+    // Only draw edges between independent roots (dependent participants
+    // are folded into their root's node).
+    auto e0 = db.GetObject(rel.ends[0]);
+    auto e1 = db.GetObject(rel.ends[1]);
+    if (!e0.ok() || !e1.ok() || !(*e0)->is_independent() ||
+        !(*e1)->is_independent()) {
+      return;
+    }
+    auto assoc = db.schema()->GetAssociation(rel.assoc);
+    out += "  o" + std::to_string(rel.ends[0].raw()) + " -> o" +
+           std::to_string(rel.ends[1].raw()) + " [label=\"" +
+           Escape(assoc.ok() ? (*assoc)->name : "?") + "\"";
+    if (rel.is_pattern) out += ", style=dashed";
+    out += "];\n";
+  });
+  out += "}\n";
+  return out;
+}
+
+}  // namespace seed::core

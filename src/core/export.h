@@ -1,0 +1,37 @@
+// Graphviz (DOT) export of schemas and databases.
+//
+// SPADES — the system SEED was built for — was "a specification and design
+// system and its graphical interface" (paper ref [9]); diagram export is
+// the natural modern counterpart. Schemas render as the paper's modified
+// ER diagrams (boxes for classes, edges for associations and
+// generalizations); databases render object/relationship graphs.
+
+#ifndef SEED_CORE_EXPORT_H_
+#define SEED_CORE_EXPORT_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "schema/schema.h"
+
+namespace seed::core {
+
+class DotExport {
+ public:
+  /// DOT digraph of the schema: class boxes (dependent classes nested as
+  /// record labels), association edges with role/cardinality labels, and
+  /// dashed generalization edges.
+  static std::string Schema(const schema::Schema& schema);
+
+  /// DOT digraph of the live database: independent objects as nodes
+  /// (sub-object values in the label), relationships as edges, pattern
+  /// items dashed, inherits-edges omitted (the pattern layer owns them).
+  static std::string Database(const core::Database& db);
+
+ private:
+  static std::string Escape(const std::string& s);
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_EXPORT_H_

@@ -1,0 +1,110 @@
+#include "core/item_codec.h"
+
+#include "common/macros.h"
+
+namespace seed::core {
+
+void ItemCodec::Encode(const ObjectItem& obj, Encoder* enc) {
+  enc->PutU64(obj.id.raw());
+  enc->PutU64(obj.cls.raw());
+  enc->PutString(obj.name);
+  enc->PutU8(static_cast<std::uint8_t>(obj.parent_kind));
+  enc->PutU64(obj.parent_object.raw());
+  enc->PutU64(obj.parent_relationship.raw());
+  enc->PutU32(obj.index);
+  obj.value.EncodeTo(enc);
+  enc->PutVarint(obj.children.size());
+  for (ObjectId child : obj.children) enc->PutU64(child.raw());
+  enc->PutBool(obj.is_pattern);
+  enc->PutBool(obj.deleted);
+}
+
+Result<ObjectItem> ItemCodec::DecodeObject(Decoder* dec) {
+  ObjectItem obj;
+  SEED_ASSIGN_OR_RETURN(std::uint64_t id_raw, dec->GetU64());
+  obj.id = ObjectId(id_raw);
+  SEED_ASSIGN_OR_RETURN(std::uint64_t cls_raw, dec->GetU64());
+  obj.cls = ClassId(cls_raw);
+  SEED_ASSIGN_OR_RETURN(obj.name, dec->GetString());
+  SEED_ASSIGN_OR_RETURN(std::uint8_t kind, dec->GetU8());
+  if (kind > static_cast<std::uint8_t>(ParentKind::kRelationship)) {
+    return Status::Corruption("bad parent kind in object stream");
+  }
+  obj.parent_kind = static_cast<ParentKind>(kind);
+  SEED_ASSIGN_OR_RETURN(std::uint64_t pobj_raw, dec->GetU64());
+  obj.parent_object = ObjectId(pobj_raw);
+  SEED_ASSIGN_OR_RETURN(std::uint64_t prel_raw, dec->GetU64());
+  obj.parent_relationship = RelationshipId(prel_raw);
+  SEED_ASSIGN_OR_RETURN(obj.index, dec->GetU32());
+  SEED_ASSIGN_OR_RETURN(obj.value, Value::Decode(dec));
+  SEED_ASSIGN_OR_RETURN(std::uint64_t num_children, dec->GetVarint());
+  obj.children.reserve(num_children);
+  for (std::uint64_t i = 0; i < num_children; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint64_t child_raw, dec->GetU64());
+    obj.children.push_back(ObjectId(child_raw));
+  }
+  SEED_ASSIGN_OR_RETURN(obj.is_pattern, dec->GetBool());
+  SEED_ASSIGN_OR_RETURN(obj.deleted, dec->GetBool());
+  return obj;
+}
+
+void ItemCodec::Encode(const RelationshipItem& rel, Encoder* enc) {
+  enc->PutU64(rel.id.raw());
+  enc->PutU64(rel.assoc.raw());
+  enc->PutU64(rel.ends[0].raw());
+  enc->PutU64(rel.ends[1].raw());
+  enc->PutVarint(rel.children.size());
+  for (ObjectId child : rel.children) enc->PutU64(child.raw());
+  enc->PutBool(rel.is_pattern);
+  enc->PutBool(rel.deleted);
+}
+
+Result<RelationshipItem> ItemCodec::DecodeRelationship(Decoder* dec) {
+  RelationshipItem rel;
+  SEED_ASSIGN_OR_RETURN(std::uint64_t id_raw, dec->GetU64());
+  rel.id = RelationshipId(id_raw);
+  SEED_ASSIGN_OR_RETURN(std::uint64_t assoc_raw, dec->GetU64());
+  rel.assoc = AssociationId(assoc_raw);
+  for (int i = 0; i < 2; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint64_t end_raw, dec->GetU64());
+    rel.ends[i] = ObjectId(end_raw);
+  }
+  SEED_ASSIGN_OR_RETURN(std::uint64_t num_children, dec->GetVarint());
+  rel.children.reserve(num_children);
+  for (std::uint64_t i = 0; i < num_children; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint64_t child_raw, dec->GetU64());
+    rel.children.push_back(ObjectId(child_raw));
+  }
+  SEED_ASSIGN_OR_RETURN(rel.is_pattern, dec->GetBool());
+  SEED_ASSIGN_OR_RETURN(rel.deleted, dec->GetBool());
+  return rel;
+}
+
+std::string ItemCodec::EncodeObjectToString(const ObjectItem& obj) {
+  Encoder enc;
+  Encode(obj, &enc);
+  return std::string(reinterpret_cast<const char*>(enc.bytes().data()),
+                     enc.size());
+}
+
+Result<ObjectItem> ItemCodec::DecodeObjectFromString(
+    std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  return DecodeObject(&dec);
+}
+
+std::string ItemCodec::EncodeRelationshipToString(
+    const RelationshipItem& rel) {
+  Encoder enc;
+  Encode(rel, &enc);
+  return std::string(reinterpret_cast<const char*>(enc.bytes().data()),
+                     enc.size());
+}
+
+Result<RelationshipItem> ItemCodec::DecodeRelationshipFromString(
+    std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  return DecodeRelationship(&dec);
+}
+
+}  // namespace seed::core

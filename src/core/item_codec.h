@@ -1,0 +1,33 @@
+// Serialization of individual data items. Shared by the persistence layer
+// (seed.db records), the version store (delta snapshots) and the multiuser
+// layer (checkout/checkin transfer).
+
+#ifndef SEED_CORE_ITEM_CODEC_H_
+#define SEED_CORE_ITEM_CODEC_H_
+
+#include <string>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "core/items.h"
+
+namespace seed::core {
+
+class ItemCodec {
+ public:
+  static void Encode(const ObjectItem& obj, Encoder* enc);
+  static Result<ObjectItem> DecodeObject(Decoder* dec);
+
+  static void Encode(const RelationshipItem& rel, Encoder* enc);
+  static Result<RelationshipItem> DecodeRelationship(Decoder* dec);
+
+  static std::string EncodeObjectToString(const ObjectItem& obj);
+  static Result<ObjectItem> DecodeObjectFromString(std::string_view bytes);
+  static std::string EncodeRelationshipToString(const RelationshipItem& rel);
+  static Result<RelationshipItem> DecodeRelationshipFromString(
+      std::string_view bytes);
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_ITEM_CODEC_H_

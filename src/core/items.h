@@ -1,0 +1,68 @@
+// Data items: objects and relationships.
+//
+// Objects are *independent* (top-level, named) or *dependent* (sub-objects
+// owned by an object or by a relationship, named by their role and, for
+// multi-valued roles, an index — `Alarms.Text.Body.Keywords[1]`).
+//
+// Items are tombstoned rather than physically removed (`deleted` flag), as
+// the paper's version concept requires, and may be flagged as *patterns*
+// (invisible to retrieval and exempt from consistency checks until
+// inherited).
+
+#ifndef SEED_CORE_ITEMS_H_
+#define SEED_CORE_ITEMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/value.h"
+
+namespace seed::core {
+
+/// What owns a dependent object.
+enum class ParentKind : std::uint8_t { kNone = 0, kObject = 1,
+                                       kRelationship = 2 };
+
+struct ObjectItem {
+  ObjectId id;
+  ClassId cls;
+
+  /// Top-level name for independent objects; empty for dependent objects
+  /// (their display name is composed from the parent and role).
+  std::string name;
+
+  ParentKind parent_kind = ParentKind::kNone;
+  ObjectId parent_object;
+  RelationshipId parent_relationship;
+  /// Position within (parent, dependent class); 0 for single-valued roles.
+  std::uint32_t index = 0;
+
+  Value value;
+
+  /// Sub-objects in creation order (includes all classes of children).
+  std::vector<ObjectId> children;
+
+  bool is_pattern = false;
+  bool deleted = false;
+
+  bool is_independent() const { return parent_kind == ParentKind::kNone; }
+};
+
+struct RelationshipItem {
+  RelationshipId id;
+  AssociationId assoc;
+  /// Participants: ends[i] fills roles[i] of the association.
+  ObjectId ends[2];
+
+  /// Relationship attributes (dependent objects owned by this relationship).
+  std::vector<ObjectId> children;
+
+  bool is_pattern = false;
+  bool deleted = false;
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_ITEMS_H_

@@ -1,0 +1,82 @@
+#include "core/persistence.h"
+
+#include "common/macros.h"
+#include "core/item_codec.h"
+#include "schema/schema_io.h"
+
+namespace seed::core {
+
+Status Persistence::SaveFull(const Database& db, storage::KvStore* kv) {
+  Encoder schema_enc;
+  schema::SchemaCodec::Encode(*db.schema(), &schema_enc);
+  SEED_RETURN_IF_ERROR(kv->Put(
+      MetaKey(0),
+      std::string_view(
+          reinterpret_cast<const char*>(schema_enc.bytes().data()),
+          schema_enc.size())));
+  for (const auto& [id, obj] : db.objects_raw()) {
+    SEED_RETURN_IF_ERROR(
+        kv->Put(ObjectKey(id), ItemCodec::EncodeObjectToString(obj)));
+  }
+  for (const auto& [id, rel] : db.relationships_raw()) {
+    SEED_RETURN_IF_ERROR(kv->Put(RelationshipKey(id),
+                                 ItemCodec::EncodeRelationshipToString(rel)));
+  }
+  return kv->Checkpoint();
+}
+
+Status Persistence::SaveChanges(Database* db, storage::KvStore* kv) {
+  const auto& objects = db->objects_raw();
+  for (ObjectId id : db->changed_objects()) {
+    auto it = objects.find(id);
+    if (it == objects.end()) continue;  // vetoed creation, nothing to save
+    SEED_RETURN_IF_ERROR(
+        kv->Put(ObjectKey(id), ItemCodec::EncodeObjectToString(it->second)));
+  }
+  const auto& rels = db->relationships_raw();
+  for (RelationshipId id : db->changed_relationships()) {
+    auto it = rels.find(id);
+    if (it == rels.end()) continue;
+    SEED_RETURN_IF_ERROR(kv->Put(
+        RelationshipKey(id),
+        ItemCodec::EncodeRelationshipToString(it->second)));
+  }
+  db->ClearChangeTracking();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Persistence::Load(storage::KvStore* kv) {
+  SEED_ASSIGN_OR_RETURN(std::string schema_bytes, kv->Get(MetaKey(0)));
+  Decoder schema_dec(schema_bytes.data(), schema_bytes.size());
+  SEED_ASSIGN_OR_RETURN(schema::SchemaPtr schema,
+                        schema::SchemaCodec::Decode(&schema_dec));
+  auto db = std::make_unique<Database>(schema);
+
+  Status item_status = Status::OK();
+  SEED_RETURN_IF_ERROR(
+      kv->Scan([&db, &item_status](std::uint64_t key, std::string_view bytes) {
+        if (!item_status.ok()) return;
+        std::uint64_t tag = key >> 56;
+        if (tag == 2) {
+          auto obj = ItemCodec::DecodeObjectFromString(bytes);
+          if (!obj.ok()) {
+            item_status = obj.status();
+            return;
+          }
+          db->RestoreObject(std::move(*obj));
+        } else if (tag == 3) {
+          auto rel = ItemCodec::DecodeRelationshipFromString(bytes);
+          if (!rel.ok()) {
+            item_status = rel.status();
+            return;
+          }
+          db->RestoreRelationship(std::move(*rel));
+        }
+      }));
+  SEED_RETURN_IF_ERROR(item_status);
+  db->RebuildIndexes();
+  db->ClearChangeTracking();
+  return db;
+}
+
+}  // namespace seed::core

@@ -1,0 +1,50 @@
+// Durable persistence of a Database through the storage substrate.
+//
+// Key layout in the KvStore (u64): the top byte is a namespace tag, the low
+// 56 bits are the item id. Tag 1 holds metadata (schema bytes at id 0),
+// tag 2 objects, tag 3 relationships.
+//
+// SaveChanges() writes only items touched since the last call (using the
+// Database's change tracking), mirroring the paper's "implemented in a
+// straightforward manner" persistence while staying incremental.
+
+#ifndef SEED_CORE_PERSISTENCE_H_
+#define SEED_CORE_PERSISTENCE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "storage/kv_store.h"
+
+namespace seed::core {
+
+class Persistence {
+ public:
+  /// Writes schema + every item (full save), then checkpoints.
+  static Status SaveFull(const Database& db, storage::KvStore* kv);
+
+  /// Writes only changed items, clears the database's change tracking.
+  /// Does not checkpoint (the WAL covers durability).
+  static Status SaveChanges(Database* db, storage::KvStore* kv);
+
+  /// Rebuilds a Database from the store. The schema is loaded from the
+  /// store itself.
+  static Result<std::unique_ptr<Database>> Load(storage::KvStore* kv);
+
+  // Key helpers, exposed for tests.
+  static std::uint64_t MetaKey(std::uint64_t id) { return Key(1, id); }
+  static std::uint64_t ObjectKey(ObjectId id) { return Key(2, id.raw()); }
+  static std::uint64_t RelationshipKey(RelationshipId id) {
+    return Key(3, id.raw());
+  }
+
+ private:
+  static std::uint64_t Key(std::uint64_t tag, std::uint64_t id) {
+    return (tag << 56) | (id & 0x00FFFFFFFFFFFFFFull);
+  }
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_PERSISTENCE_H_

@@ -1,0 +1,153 @@
+#include "core/printer.h"
+
+namespace seed::core {
+
+namespace {
+
+std::string Indent(int depth) { return std::string(depth * 2, ' '); }
+
+}  // namespace
+
+void Printer::RenderClassSubtree(const schema::Schema& schema, ClassId cls,
+                                 int depth, std::string* out) {
+  auto info = schema.GetClass(cls);
+  if (!info.ok()) return;
+  const schema::ObjectClass& c = **info;
+  *out += Indent(depth) + c.name;
+  if (c.is_dependent()) *out += " [" + c.cardinality.ToString() + "]";
+  if (c.value_type != schema::ValueType::kNone) {
+    *out += " : " + std::string(schema::ValueTypeToString(c.value_type));
+    if (c.value_type == schema::ValueType::kEnum) {
+      *out += " (";
+      for (size_t i = 0; i < c.enum_values.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += c.enum_values[i];
+      }
+      *out += ")";
+    }
+  }
+  if (c.is_specialized()) {
+    auto super = schema.GetClass(c.generalizes_into);
+    if (super.ok()) *out += " is-a " + (*super)->name;
+  }
+  if (c.covering) *out += " COVERING";
+  *out += "\n";
+  for (ClassId dep :
+       schema.DependentClassesOf(schema::StructuralOwner::OfClass(cls))) {
+    RenderClassSubtree(schema, dep, depth + 1, out);
+  }
+}
+
+std::string Printer::RenderSchema(const schema::Schema& schema) {
+  std::string out = "schema " + schema.name() + " v" +
+                    std::to_string(schema.version()) + "\n";
+  for (ClassId cls : schema.AllClassIds()) {
+    auto info = schema.GetClass(cls);
+    if (!info.ok() || (*info)->is_dependent()) continue;
+    out += "class ";
+    RenderClassSubtree(schema, cls, 0, &out);
+  }
+  for (AssociationId assoc : schema.AllAssociationIds()) {
+    auto info = schema.GetAssociation(assoc);
+    if (!info.ok()) continue;
+    const schema::Association& a = **info;
+    out += "association " + a.name + " (";
+    for (int i = 0; i < 2; ++i) {
+      if (i > 0) out += ", ";
+      auto target = schema.GetClass(a.roles[i].target);
+      out += a.roles[i].name + ": " +
+             (target.ok() ? (*target)->name : "?") + " [" +
+             a.roles[i].cardinality.ToString() + "]";
+    }
+    out += ")";
+    if (a.acyclic) out += " ACYCLIC";
+    if (a.is_specialized()) {
+      auto super = schema.GetAssociation(a.generalizes_into);
+      if (super.ok()) out += " is-a " + (*super)->name;
+    }
+    if (a.covering) out += " COVERING";
+    out += "\n";
+    for (ClassId dep : schema.DependentClassesOf(
+             schema::StructuralOwner::OfAssociation(assoc))) {
+      RenderClassSubtree(schema, dep, 1, &out);
+    }
+  }
+  return out;
+}
+
+void Printer::RenderObjectSubtree(const Database& db, ObjectId obj,
+                                  int depth, std::string* out) {
+  auto item = db.GetObject(obj);
+  if (!item.ok()) return;
+  auto cls = db.schema()->GetClass((*item)->cls);
+  *out += Indent(depth);
+  if ((*item)->is_independent()) {
+    *out += (*item)->name + " : " + (cls.ok() ? (*cls)->name : "?");
+    if ((*item)->is_pattern) *out += " (pattern)";
+  } else {
+    std::string segment = cls.ok() ? (*cls)->name : "?";
+    if (cls.ok() && (*cls)->cardinality.max != 1) {
+      segment += "[" + std::to_string((*item)->index) + "]";
+    }
+    *out += segment;
+  }
+  if ((*item)->value.defined()) {
+    *out += " = " + (*item)->value.ToString();
+  }
+  *out += "\n";
+  for (ObjectId child : db.SubObjects(obj)) {
+    RenderObjectSubtree(db, child, depth + 1, out);
+  }
+}
+
+std::string Printer::RenderObjectTree(const Database& db, ObjectId root) {
+  std::string out;
+  RenderObjectSubtree(db, root, 0, &out);
+  return out;
+}
+
+std::string Printer::RenderRelationship(const Database& db,
+                                        RelationshipId rel) {
+  auto item = db.GetRelationship(rel);
+  if (!item.ok()) return "<dead relationship>";
+  auto assoc = db.schema()->GetAssociation((*item)->assoc);
+  std::string out = (assoc.ok() ? (*assoc)->name : "?") + "(";
+  out += db.FullName((*item)->ends[0]) + ", " +
+         db.FullName((*item)->ends[1]) + ")";
+  if ((*item)->is_pattern) out += " (pattern)";
+  // Attributes inline.
+  auto attrs = db.SubObjects(rel);
+  if (!attrs.empty()) {
+    out += " {";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      auto attr = db.GetObject(attrs[i]);
+      auto cls = db.schema()->GetClass((*attr)->cls);
+      out += (cls.ok() ? (*cls)->name : "?") + "=" +
+             (*attr)->value.ToString();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+std::string Printer::RenderDatabase(const Database& db) {
+  std::string out;
+  for (ObjectId root : db.AllIndependentObjects()) {
+    out += RenderObjectTree(db, root);
+  }
+  for (ObjectId root : db.AllPatternRoots()) {
+    out += RenderObjectTree(db, root);
+  }
+  bool first = true;
+  db.ForEachRelationship([&](const RelationshipItem& rel) {
+    if (first) {
+      out += "relationships:\n";
+      first = false;
+    }
+    out += "  " + RenderRelationship(db, rel.id) + "\n";
+  });
+  return out;
+}
+
+}  // namespace seed::core

@@ -1,0 +1,51 @@
+// Text rendering of schemas and database contents, in the spirit of the
+// paper's modified entity-relationship diagrams: classes with their
+// dependent-class trees and cardinalities, associations with roles, and
+// object trees with values. Used by the interactive shell and for test
+// diagnostics.
+
+#ifndef SEED_CORE_PRINTER_H_
+#define SEED_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "schema/schema.h"
+
+namespace seed::core {
+
+class Printer {
+ public:
+  /// Renders the whole schema:
+  ///   class Data
+  ///     Text [0..16]
+  ///       Body [1..1]
+  ///         Contents [1..1] : STRING
+  ///   association Read (from: Data [1..*], by: Action [0..*])
+  static std::string RenderSchema(const schema::Schema& schema);
+
+  /// Renders one object subtree with values:
+  ///   Alarms : Data
+  ///     Text[0]
+  ///       Body
+  ///         Keywords[1] = "Display"
+  static std::string RenderObjectTree(const Database& db, ObjectId root);
+
+  /// Renders every live independent object (patterns marked), each with its
+  /// subtree and relationships.
+  static std::string RenderDatabase(const Database& db);
+
+  /// One line per relationship: Read(Alarms, AlarmHandler).
+  static std::string RenderRelationship(const Database& db,
+                                        RelationshipId rel);
+
+ private:
+  static void RenderClassSubtree(const schema::Schema& schema, ClassId cls,
+                                 int depth, std::string* out);
+  static void RenderObjectSubtree(const Database& db, ObjectId obj,
+                                  int depth, std::string* out);
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_PRINTER_H_

@@ -1,0 +1,103 @@
+#include "core/stats.h"
+
+#include "core/violation.h"
+
+namespace seed::core {
+
+DatabaseStats CollectStats(const Database& db) {
+  DatabaseStats stats;
+  stats.live_objects = db.num_live_objects();
+  stats.live_relationships = db.num_live_relationships();
+
+  // Depth per object, computed by walking parents (memoless; trees are
+  // shallow in practice).
+  auto depth_of = [&db](const ObjectItem& obj) {
+    std::size_t depth = 0;
+    const ObjectItem* cur = &obj;
+    while (!cur->is_independent()) {
+      ++depth;
+      if (cur->parent_kind == ParentKind::kObject) {
+        auto it = db.objects_raw().find(cur->parent_object);
+        if (it == db.objects_raw().end()) break;
+        cur = &it->second;
+      } else {
+        break;  // relationship attribute: counts one level
+      }
+    }
+    return depth;
+  };
+
+  db.ForEachObject([&](const ObjectItem& obj) {
+    if (obj.is_independent()) ++stats.independent_objects;
+    if (obj.is_pattern) ++stats.pattern_items;
+    auto cls = db.schema()->GetClass(obj.cls);
+    if (cls.ok()) {
+      ++stats.objects_per_class[(*cls)->full_name];
+      if ((*cls)->value_type != schema::ValueType::kNone) {
+        if (obj.value.defined()) {
+          ++stats.defined_values;
+        } else {
+          ++stats.undefined_values;
+        }
+      }
+    }
+    stats.max_depth = std::max(stats.max_depth, depth_of(obj));
+  });
+  db.ForEachRelationship([&](const RelationshipItem& rel) {
+    if (rel.is_pattern) ++stats.pattern_items;
+    auto assoc = db.schema()->GetAssociation(rel.assoc);
+    if (assoc.ok()) {
+      ++stats.relationships_per_association[(*assoc)->name];
+    }
+  });
+  for (const auto& [id, obj] : db.objects_raw()) {
+    if (obj.deleted) ++stats.tombstones;
+  }
+  for (const auto& [id, rel] : db.relationships_raw()) {
+    if (rel.deleted) ++stats.tombstones;
+  }
+  for (const Violation& v : db.CheckCompleteness().violations) {
+    ++stats.completeness_findings[std::string(RuleToString(v.rule))];
+  }
+  return stats;
+}
+
+std::string DatabaseStats::ToString() const {
+  std::string out;
+  out += "objects: " + std::to_string(live_objects) + " live (" +
+         std::to_string(independent_objects) + " independent, " +
+         std::to_string(pattern_items) + " pattern items), depth <= " +
+         std::to_string(max_depth) + "\n";
+  out += "relationships: " + std::to_string(live_relationships) +
+         " live; tombstones: " + std::to_string(tombstones) + "\n";
+  char coverage[32];
+  std::snprintf(coverage, sizeof(coverage), "%.1f%%",
+                ValueCoverage() * 100.0);
+  out += "value coverage: " + std::string(coverage) + " (" +
+         std::to_string(defined_values) + " defined, " +
+         std::to_string(undefined_values) + " undefined)\n";
+  if (!objects_per_class.empty()) {
+    out += "per class:";
+    for (const auto& [name, count] : objects_per_class) {
+      out += " " + name + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  if (!relationships_per_association.empty()) {
+    out += "per association:";
+    for (const auto& [name, count] : relationships_per_association) {
+      out += " " + name + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  if (!completeness_findings.empty()) {
+    out += "completeness findings:";
+    for (const auto& [rule, count] : completeness_findings) {
+      out += " " + rule + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace seed::core

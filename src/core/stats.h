@@ -1,0 +1,50 @@
+// Database statistics: per-class and per-association population counts,
+// structure depth, value coverage, completeness summary. The kind of
+// dashboard a software-engineering environment shows for a specification
+// database ("how formal/complete is this spec by now?").
+
+#ifndef SEED_CORE_STATS_H_
+#define SEED_CORE_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+
+namespace seed::core {
+
+struct DatabaseStats {
+  std::size_t live_objects = 0;
+  std::size_t independent_objects = 0;
+  std::size_t pattern_items = 0;
+  std::size_t live_relationships = 0;
+  std::size_t tombstones = 0;
+  /// Deepest sub-object nesting among live objects (0 = flat).
+  std::size_t max_depth = 0;
+  /// Live objects of value-carrying classes with / without a value.
+  std::size_t defined_values = 0;
+  std::size_t undefined_values = 0;
+  /// Exact-class population (class full name -> live count).
+  std::map<std::string, std::size_t> objects_per_class;
+  /// Exact-association population.
+  std::map<std::string, std::size_t> relationships_per_association;
+  /// Completeness findings per rule name.
+  std::map<std::string, std::size_t> completeness_findings;
+
+  /// Fraction of value-carrying objects that are defined (1.0 when none).
+  double ValueCoverage() const {
+    std::size_t total = defined_values + undefined_values;
+    return total == 0 ? 1.0
+                      : static_cast<double>(defined_values) /
+                            static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
+/// One full scan (plus a completeness check) over the database.
+DatabaseStats CollectStats(const Database& db);
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_STATS_H_

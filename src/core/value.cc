@@ -1,0 +1,106 @@
+#include "core/value.h"
+
+#include "common/macros.h"
+
+namespace seed::core {
+
+schema::ValueType Value::type() const {
+  using schema::ValueType;
+  if (is_string()) return ValueType::kString;
+  if (is_int()) return ValueType::kInt;
+  if (is_real()) return ValueType::kReal;
+  if (is_bool()) return ValueType::kBool;
+  if (is_date()) return ValueType::kDate;
+  if (is_enum()) return ValueType::kEnum;
+  return ValueType::kNone;
+}
+
+std::string Value::ToString() const {
+  if (!defined()) return "<undefined>";
+  if (is_string()) return "\"" + as_string() + "\"";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) return std::to_string(as_real());
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_date()) return as_date().ToString();
+  return as_enum();
+}
+
+namespace {
+enum Tag : std::uint8_t {
+  kTagUndefined = 0,
+  kTagString = 1,
+  kTagInt = 2,
+  kTagReal = 3,
+  kTagBool = 4,
+  kTagDate = 5,
+  kTagEnum = 6,
+};
+}  // namespace
+
+void Value::EncodeTo(Encoder* enc) const {
+  if (!defined()) {
+    enc->PutU8(kTagUndefined);
+  } else if (is_string()) {
+    enc->PutU8(kTagString);
+    enc->PutString(as_string());
+  } else if (is_int()) {
+    enc->PutU8(kTagInt);
+    enc->PutI64(as_int());
+  } else if (is_real()) {
+    enc->PutU8(kTagReal);
+    enc->PutDouble(as_real());
+  } else if (is_bool()) {
+    enc->PutU8(kTagBool);
+    enc->PutBool(as_bool());
+  } else if (is_date()) {
+    enc->PutU8(kTagDate);
+    const schema::Date& d = as_date();
+    enc->PutI64(d.year);
+    enc->PutU8(d.month);
+    enc->PutU8(d.day);
+  } else {
+    enc->PutU8(kTagEnum);
+    enc->PutString(as_enum());
+  }
+}
+
+Result<Value> Value::Decode(Decoder* dec) {
+  SEED_ASSIGN_OR_RETURN(std::uint8_t tag, dec->GetU8());
+  switch (tag) {
+    case kTagUndefined:
+      return Value();
+    case kTagString: {
+      SEED_ASSIGN_OR_RETURN(std::string s, dec->GetString());
+      return Value::String(std::move(s));
+    }
+    case kTagInt: {
+      SEED_ASSIGN_OR_RETURN(std::int64_t v, dec->GetI64());
+      return Value::Int(v);
+    }
+    case kTagReal: {
+      SEED_ASSIGN_OR_RETURN(double v, dec->GetDouble());
+      return Value::Real(v);
+    }
+    case kTagBool: {
+      SEED_ASSIGN_OR_RETURN(bool v, dec->GetBool());
+      return Value::Bool(v);
+    }
+    case kTagDate: {
+      SEED_ASSIGN_OR_RETURN(std::int64_t year, dec->GetI64());
+      SEED_ASSIGN_OR_RETURN(std::uint8_t month, dec->GetU8());
+      SEED_ASSIGN_OR_RETURN(std::uint8_t day, dec->GetU8());
+      SEED_ASSIGN_OR_RETURN(
+          schema::Date d,
+          schema::Date::Make(static_cast<std::int32_t>(year), month, day));
+      return Value::OfDate(d);
+    }
+    case kTagEnum: {
+      SEED_ASSIGN_OR_RETURN(std::string s, dec->GetString());
+      return Value::Enum(std::move(s));
+    }
+    default:
+      return Status::Corruption("unknown value tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace seed::core

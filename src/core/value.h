@@ -1,0 +1,82 @@
+// Value: the (possibly undefined) datum carried by an object.
+//
+// The paper's treatment of incomplete information makes "undefined" a
+// first-class state: an object of a value-carrying class may exist without
+// a value; in searches an undefined object matches nothing, and only the
+// explicit completeness check reports it.
+
+#ifndef SEED_CORE_VALUE_H_
+#define SEED_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "schema/types.h"
+
+namespace seed::core {
+
+/// Distinguishes enum values from plain strings in the variant.
+struct EnumValue {
+  std::string name;
+  bool operator==(const EnumValue&) const = default;
+};
+
+class Value {
+ public:
+  /// Undefined value.
+  Value() = default;
+
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+  static Value Int(std::int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value OfDate(schema::Date d) { return Value(Repr(d)); }
+  static Value Enum(std::string name) {
+    return Value(Repr(EnumValue{std::move(name)}));
+  }
+
+  bool defined() const {
+    return !std::holds_alternative<std::monostate>(repr_);
+  }
+
+  /// The schema type this value conforms to (kNone when undefined).
+  schema::ValueType type() const;
+
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(repr_); }
+  bool is_real() const { return std::holds_alternative<double>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_date() const { return std::holds_alternative<schema::Date>(repr_); }
+  bool is_enum() const { return std::holds_alternative<EnumValue>(repr_); }
+
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(repr_); }
+  double as_real() const { return std::get<double>(repr_); }
+  bool as_bool() const { return std::get<bool>(repr_); }
+  const schema::Date& as_date() const { return std::get<schema::Date>(repr_); }
+  const std::string& as_enum() const {
+    return std::get<EnumValue>(repr_).name;
+  }
+
+  bool operator==(const Value&) const = default;
+
+  /// Human-readable rendering ("<undefined>", "\"text\"", "42", ...).
+  std::string ToString() const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<Value> Decode(Decoder* dec);
+
+ private:
+  using Repr = std::variant<std::monostate, std::string, std::int64_t,
+                            double, bool, schema::Date, EnumValue>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_VALUE_H_

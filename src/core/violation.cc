@@ -1,0 +1,54 @@
+#include "core/violation.h"
+
+namespace seed::core {
+
+std::string_view RuleToString(Rule rule) {
+  switch (rule) {
+    case Rule::kClassMembership:
+      return "class membership";
+    case Rule::kMaxCardinality:
+      return "maximum cardinality";
+    case Rule::kRoleMaxParticipation:
+      return "maximum role participation";
+    case Rule::kAcyclic:
+      return "ACYCLIC";
+    case Rule::kValueType:
+      return "value type";
+    case Rule::kDuplicateRelationship:
+      return "duplicate relationship";
+    case Rule::kNameConflict:
+      return "name conflict";
+    case Rule::kAttachedProcedure:
+      return "attached procedure";
+    case Rule::kPatternSeparation:
+      return "pattern separation";
+    case Rule::kMinCardinality:
+      return "minimum cardinality";
+    case Rule::kRoleMinParticipation:
+      return "minimum role participation";
+    case Rule::kCovering:
+      return "covering condition";
+    case Rule::kUndefinedValue:
+      return "undefined value";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::string out(RuleToString(rule));
+  out += ": ";
+  out += detail;
+  return out;
+}
+
+std::string Report::ToString() const {
+  if (clean()) return "clean";
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace seed::core

@@ -1,0 +1,70 @@
+// Structured rule-violation reports.
+//
+// The paper splits schema information into *consistency* rules (enforced on
+// every update) and *completeness* rules (checked only by explicit
+// operations). Both kinds of check report through this vocabulary.
+
+#ifndef SEED_CORE_VIOLATION_H_
+#define SEED_CORE_VIOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace seed::core {
+
+enum class Rule {
+  // Consistency rules (veto updates).
+  kClassMembership,        // item's class not legal in this position
+  kMaxCardinality,         // too many sub-objects in a role
+  kRoleMaxParticipation,   // object participates in too many relationships
+  kAcyclic,                // relationship would close a cycle
+  kValueType,              // value does not conform to the class
+  kDuplicateRelationship,  // same association and participants already exist
+  kNameConflict,           // independent object name already taken
+  kAttachedProcedure,      // an attached procedure vetoed the update
+  kPatternSeparation,      // illegal mixing of patterns and normal items
+
+  // Completeness rules (reported, never vetoed).
+  kMinCardinality,        // too few sub-objects in a role
+  kRoleMinParticipation,  // object participates in too few relationships
+  kCovering,              // instance not yet specialized under a covering
+                          // generalization
+  kUndefinedValue,        // value-carrying object without a value
+};
+
+std::string_view RuleToString(Rule rule);
+
+struct Violation {
+  Rule rule;
+  /// Offending object (invalid if the violation concerns a relationship).
+  ObjectId object;
+  RelationshipId relationship;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Result of an explicit completeness check (or a full consistency audit).
+struct Report {
+  std::vector<Violation> violations;
+
+  bool clean() const { return violations.empty(); }
+  size_t size() const { return violations.size(); }
+
+  /// Violations of one rule.
+  std::vector<Violation> Of(Rule rule) const {
+    std::vector<Violation> out;
+    for (const Violation& v : violations) {
+      if (v.rule == rule) out.push_back(v);
+    }
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_VIOLATION_H_

@@ -1,0 +1,74 @@
+// Client session for the two-level multi-user design: a local Database
+// copy for updates, backed by write locks in the central database, plus a
+// local VersionManager ("versions are kept both locally and globally").
+
+#ifndef SEED_MULTIUSER_CLIENT_H_
+#define SEED_MULTIUSER_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "multiuser/server.h"
+#include "version/version_manager.h"
+
+namespace seed::multiuser {
+
+class ClientSession {
+ public:
+  /// Connects to the server and prepares an empty local workspace whose id
+  /// generators start inside the client's id stripe.
+  static Result<std::unique_ptr<ClientSession>> Open(Server* server,
+                                                     std::string name);
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  ClientId id() const { return id_; }
+
+  /// Local working copy: make updates here with the normal Database API
+  /// (consistency is checked locally; incomplete local data is fine
+  /// because minimum cardinalities are completeness rules).
+  core::Database* local() { return local_.get(); }
+
+  /// Local version control over the working copy.
+  version::VersionManager* local_versions() { return local_versions_.get(); }
+
+  // --- Checkout / check-in -------------------------------------------------------
+
+  /// Resolves `names` in the master, write-locks their subtrees, and
+  /// imports copies into the local workspace.
+  Status CheckoutByName(const std::vector<std::string>& names);
+  Status Checkout(const std::vector<ObjectId>& roots);
+
+  /// Ships every locally changed item back; on success the server applied
+  /// them in one transaction, all this client's locks are released, and
+  /// the local workspace is cleared.
+  Status Checkin();
+
+  /// Releases all locks and drops local changes.
+  Status Abandon();
+
+ private:
+  ClientSession(Server* server, ClientId id, std::uint64_t stripe_base);
+
+  void ImportBundle(const CheckoutBundle& bundle);
+  void ResetLocal();
+  void CaptureWatermarks();
+
+  Server* server_;
+  ClientId id_;
+  std::uint64_t stripe_base_;
+  /// High-water marks of ids handed out from the stripe. They survive
+  /// workspace resets: an id consumed in an earlier edit cycle may already
+  /// live in the master and must never be reissued.
+  std::uint64_t object_id_watermark_;
+  std::uint64_t relationship_id_watermark_;
+  std::unique_ptr<core::Database> local_;
+  std::unique_ptr<version::VersionManager> local_versions_;
+};
+
+}  // namespace seed::multiuser
+
+#endif  // SEED_MULTIUSER_CLIENT_H_

@@ -1,0 +1,296 @@
+#include "multiuser/server.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace seed::multiuser {
+
+namespace {
+/// Ids 2^40 apart can never collide between clients.
+constexpr std::uint64_t kStripeSize = 1ull << 40;
+}  // namespace
+
+Server::Server(schema::SchemaPtr schema) : schema_(std::move(schema)) {
+  master_ = std::make_unique<core::Database>(schema_);
+  versions_ = std::make_unique<version::VersionManager>(master_.get());
+}
+
+Result<ClientId> Server::Connect(std::string client_name) {
+  ClientId id = client_ids_.Next();
+  ClientInfo info;
+  info.name = std::move(client_name);
+  info.stripe_base = next_stripe_ * kStripeSize;
+  ++next_stripe_;
+  clients_[id] = std::move(info);
+  return id;
+}
+
+Status Server::Disconnect(ClientId client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  // Release every lock the client still holds.
+  for (auto lock_it = locks_.begin(); lock_it != locks_.end();) {
+    if (lock_it->second == client) {
+      lock_it = locks_.erase(lock_it);
+    } else {
+      ++lock_it;
+    }
+  }
+  clients_.erase(it);
+  return Status::OK();
+}
+
+Result<std::uint64_t> Server::IdStripeBase(ClientId client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  return it->second.stripe_base;
+}
+
+ObjectId Server::RootOf(ObjectId id) const {
+  const auto& objects = master_->objects_raw();
+  ObjectId cur = id;
+  size_t steps = 0;
+  while (steps++ <= objects.size()) {
+    auto it = objects.find(cur);
+    if (it == objects.end()) return cur;
+    const core::ObjectItem& obj = it->second;
+    if (obj.is_independent()) return cur;
+    if (obj.parent_kind == core::ParentKind::kObject) {
+      cur = obj.parent_object;
+      continue;
+    }
+    // Relationship attribute: anchor at the role-0 participant's root.
+    auto rel_it =
+        master_->relationships_raw().find(obj.parent_relationship);
+    if (rel_it == master_->relationships_raw().end()) return cur;
+    cur = rel_it->second.ends[0];
+  }
+  return cur;
+}
+
+bool Server::IsLocked(ObjectId root) const {
+  return locks_.find(root) != locks_.end();
+}
+
+Result<ClientId> Server::LockOwner(ObjectId root) const {
+  auto it = locks_.find(root);
+  if (it == locks_.end()) {
+    return Status::NotFound("no lock on object " + std::to_string(root.raw()));
+  }
+  return it->second;
+}
+
+std::vector<ObjectId> Server::LocksOf(ClientId client) const {
+  std::vector<ObjectId> out;
+  for (const auto& [root, owner] : locks_) {
+    if (owner == client) out.push_back(root);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<CheckoutBundle> Server::Checkout(ClientId client,
+                                        const std::vector<ObjectId>& roots) {
+  if (clients_.find(client) == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  // Validate all roots first: existence, independence, lock availability.
+  for (ObjectId root : roots) {
+    SEED_ASSIGN_OR_RETURN(const core::ObjectItem* obj,
+                          master_->GetObject(root));
+    if (!obj->is_independent()) {
+      return Status::InvalidArgument(
+          "checkout granularity is the independent object; '" +
+          master_->FullName(root) + "' is dependent");
+    }
+    auto lock = locks_.find(root);
+    if (lock != locks_.end() && lock->second != client) {
+      ++lock_conflicts_;
+      return Status::LockConflict(
+          "object '" + master_->FullName(root) + "' is write-locked by "
+          "client " + std::to_string(lock->second.raw()));
+    }
+  }
+  // Acquire locks and collect subtree copies.
+  CheckoutBundle bundle;
+  std::unordered_set<ObjectId> in_bundle;
+  for (ObjectId root : roots) {
+    locks_[root] = client;
+    std::vector<ObjectId> work{root};
+    while (!work.empty()) {
+      ObjectId oid = work.back();
+      work.pop_back();
+      auto it = master_->objects_raw().find(oid);
+      if (it == master_->objects_raw().end() || it->second.deleted) continue;
+      if (!in_bundle.insert(oid).second) continue;
+      bundle.objects.push_back(it->second);
+      work.insert(work.end(), it->second.children.begin(),
+                  it->second.children.end());
+    }
+  }
+  // Relationships whose both ends are in the bundle, plus their attribute
+  // subtrees.
+  for (const auto& [rid, rel] : master_->relationships_raw()) {
+    if (rel.deleted) continue;
+    if (in_bundle.count(rel.ends[0]) == 0 ||
+        in_bundle.count(rel.ends[1]) == 0) {
+      continue;
+    }
+    bundle.relationships.push_back(rel);
+    std::vector<ObjectId> work(rel.children.begin(), rel.children.end());
+    while (!work.empty()) {
+      ObjectId oid = work.back();
+      work.pop_back();
+      auto it = master_->objects_raw().find(oid);
+      if (it == master_->objects_raw().end() || it->second.deleted) continue;
+      if (!in_bundle.insert(oid).second) continue;
+      bundle.objects.push_back(it->second);
+      work.insert(work.end(), it->second.children.begin(),
+                  it->second.children.end());
+    }
+  }
+  return bundle;
+}
+
+Status Server::ReleaseLocks(ClientId client,
+                            const std::vector<ObjectId>& roots) {
+  for (ObjectId root : roots) {
+    auto it = locks_.find(root);
+    if (it == locks_.end() || it->second != client) {
+      return Status::FailedPrecondition(
+          "client does not hold the lock on object " +
+          std::to_string(root.raw()));
+    }
+  }
+  for (ObjectId root : roots) locks_.erase(root);
+  return Status::OK();
+}
+
+Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
+  auto client_it = clients_.find(client);
+  if (client_it == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  std::uint64_t stripe_lo = client_it->second.stripe_base;
+  std::uint64_t stripe_hi = stripe_lo + kStripeSize;
+
+  // --- Validate lock coverage -------------------------------------------------
+  const auto& objects = master_->objects_raw();
+  const auto& rels = master_->relationships_raw();
+  auto holds_lock = [this, client](ObjectId root) {
+    auto it = locks_.find(root);
+    return it != locks_.end() && it->second == client;
+  };
+  for (const core::ObjectItem& obj : bundle.objects) {
+    auto existing = objects.find(obj.id);
+    if (existing != objects.end()) {
+      if (!holds_lock(RootOf(obj.id))) {
+        ++checkins_rejected_;
+        return Status::LockConflict(
+            "modified object '" + master_->FullName(obj.id) +
+            "' is not covered by a write lock of this client");
+      }
+    } else if (obj.id.raw() < stripe_lo || obj.id.raw() >= stripe_hi) {
+      ++checkins_rejected_;
+      return Status::FailedPrecondition(
+          "new object id " + std::to_string(obj.id.raw()) +
+          " lies outside the client's id stripe");
+    }
+  }
+  for (const core::RelationshipItem& rel : bundle.relationships) {
+    auto existing = rels.find(rel.id);
+    if (existing == rels.end() &&
+        (rel.id.raw() < stripe_lo || rel.id.raw() >= stripe_hi)) {
+      ++checkins_rejected_;
+      return Status::FailedPrecondition(
+          "new relationship id " + std::to_string(rel.id.raw()) +
+          " lies outside the client's id stripe");
+    }
+    // Every pre-existing participant must be covered by a lock: creating
+    // or changing a relationship updates both ends' participation.
+    for (ObjectId end : rel.ends) {
+      if (objects.find(end) != objects.end() && !holds_lock(RootOf(end))) {
+        ++checkins_rejected_;
+        return Status::LockConflict(
+            "relationship participant '" + master_->FullName(end) +
+            "' is not covered by a write lock of this client");
+      }
+    }
+  }
+
+  // --- Apply as a single transaction with undo log ---------------------------------
+  struct ObjectUndo {
+    ObjectId id;
+    bool existed;
+    core::ObjectItem old_state;
+  };
+  struct RelationshipUndo {
+    RelationshipId id;
+    bool existed;
+    core::RelationshipItem old_state;
+  };
+  std::vector<ObjectUndo> object_undo;
+  std::vector<RelationshipUndo> rel_undo;
+  for (const core::ObjectItem& obj : bundle.objects) {
+    auto existing = objects.find(obj.id);
+    ObjectUndo undo;
+    undo.id = obj.id;
+    undo.existed = existing != objects.end();
+    if (undo.existed) undo.old_state = existing->second;
+    object_undo.push_back(std::move(undo));
+    master_->RestoreObject(obj);
+  }
+  for (const core::RelationshipItem& rel : bundle.relationships) {
+    auto existing = rels.find(rel.id);
+    RelationshipUndo undo;
+    undo.id = rel.id;
+    undo.existed = existing != rels.end();
+    if (undo.existed) undo.old_state = existing->second;
+    rel_undo.push_back(std::move(undo));
+    master_->RestoreRelationship(rel);
+  }
+  master_->RebuildIndexes();
+
+  core::Report audit = master_->AuditConsistency();
+  if (!audit.clean()) {
+    for (auto it = rel_undo.rbegin(); it != rel_undo.rend(); ++it) {
+      if (it->existed) {
+        master_->RestoreRelationship(it->old_state);
+      } else {
+        master_->EraseRelationshipTrusted(it->id);
+      }
+    }
+    for (auto it = object_undo.rbegin(); it != object_undo.rend(); ++it) {
+      if (it->existed) {
+        master_->RestoreObject(it->old_state);
+      } else {
+        master_->EraseObjectTrusted(it->id);
+      }
+    }
+    master_->RebuildIndexes();
+    ++checkins_rejected_;
+    return Status::ConsistencyViolation(
+        "check-in rejected: " + audit.violations.front().ToString() +
+        (audit.size() > 1
+             ? " (and " + std::to_string(audit.size() - 1) + " more)"
+             : ""));
+  }
+
+  // Success: release all locks held by this client.
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second == client) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++checkins_applied_;
+  return Status::OK();
+}
+
+}  // namespace seed::multiuser

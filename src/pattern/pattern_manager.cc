@@ -1,0 +1,322 @@
+#include "pattern/pattern_manager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace seed::pattern {
+
+using core::ObjectItem;
+using core::RelationshipItem;
+
+namespace {
+
+template <typename T>
+void EraseFrom(std::vector<T>& v, const T& value) {
+  v.erase(std::remove(v.begin(), v.end(), value), v.end());
+}
+
+}  // namespace
+
+bool PatternManager::Inherits(ObjectId inheritor, ObjectId pattern) const {
+  auto it = patterns_of_.find(inheritor);
+  if (it == patterns_of_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), pattern) !=
+         it->second.end();
+}
+
+std::vector<ObjectId> PatternManager::PatternsOf(ObjectId inheritor) const {
+  auto it = patterns_of_.find(inheritor);
+  return it == patterns_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::vector<ObjectId> PatternManager::InheritorsOf(ObjectId pattern) const {
+  auto it = inheritors_of_.find(pattern);
+  return it == inheritors_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+Status PatternManager::ValidateInheritance(const ObjectItem& inheritor,
+                                           const ObjectItem& pattern) const {
+  const auto& schema = *db_->schema();
+
+  // The pattern's own value (if any) must conform to its class — this was
+  // not checked at creation time.
+  auto pattern_cls = schema.GetClass(pattern.cls);
+  if (!pattern_cls.ok()) {
+    return Status::ConsistencyViolation(
+        "pattern has unknown class id " + std::to_string(pattern.cls.raw()));
+  }
+
+  // Count the inheritor's effective sub-objects per role: own + already
+  // inherited + the candidate pattern's.
+  std::unordered_map<std::uint64_t, size_t> role_counts;
+  auto count_children = [this, &role_counts](const ObjectItem& owner) {
+    for (ObjectId child_id : owner.children) {
+      auto child = db_->objects_raw().find(child_id);
+      if (child == db_->objects_raw().end() || child->second.deleted) {
+        continue;
+      }
+      ++role_counts[child->second.cls.raw()];
+    }
+  };
+  count_children(inheritor);
+  for (ObjectId prior : PatternsOf(inheritor.id)) {
+    auto it = db_->objects_raw().find(prior);
+    if (it != db_->objects_raw().end()) count_children(it->second);
+  }
+  count_children(pattern);
+
+  // Every sub-object (the pattern's whole subtree) must resolve and
+  // conform; top-level roles must respect combined maximum cardinalities.
+  std::vector<ObjectId> work(pattern.children.begin(),
+                             pattern.children.end());
+  bool top_level = true;
+  std::vector<ObjectId> next;
+  while (!work.empty()) {
+    next.clear();
+    for (ObjectId child_id : work) {
+      auto it = db_->objects_raw().find(child_id);
+      if (it == db_->objects_raw().end() || it->second.deleted) continue;
+      const ObjectItem& child = it->second;
+      auto child_cls = schema.GetClass(child.cls);
+      if (!child_cls.ok()) {
+        return Status::ConsistencyViolation(
+            "pattern sub-object has unknown class");
+      }
+      if (top_level) {
+        // Role must exist on the inheritor's class (via generalization).
+        auto resolved =
+            schema.ResolveSubObjectRole(inheritor.cls, (*child_cls)->name);
+        if (!resolved.ok() || *resolved != child.cls) {
+          return Status::ConsistencyViolation(
+              "pattern role '" + (*child_cls)->full_name +
+              "' does not exist on the inheritor's class");
+        }
+        if (!(*child_cls)->cardinality.unlimited_max() &&
+            role_counts[child.cls.raw()] > (*child_cls)->cardinality.max) {
+          return Status::ConsistencyViolation(
+              "inheriting would exceed the maximum cardinality of role '" +
+              (*child_cls)->full_name + "' (" +
+              (*child_cls)->cardinality.ToString() + ")");
+        }
+      }
+      if (child.value.defined()) {
+        using schema::ValueType;
+        if ((*child_cls)->value_type == ValueType::kNone ||
+            child.value.type() != (*child_cls)->value_type) {
+          return Status::ConsistencyViolation(
+              "pattern value " + child.value.ToString() +
+              " does not conform to class '" + (*child_cls)->full_name +
+              "'");
+        }
+        if ((*child_cls)->value_type == ValueType::kEnum) {
+          const auto& allowed = (*child_cls)->enum_values;
+          if (std::find(allowed.begin(), allowed.end(),
+                        child.value.as_enum()) == allowed.end()) {
+            return Status::ConsistencyViolation(
+                "pattern enum value " + child.value.ToString() +
+                " is not allowed by class '" + (*child_cls)->full_name +
+                "'");
+          }
+        }
+      }
+      next.insert(next.end(), child.children.begin(), child.children.end());
+    }
+    work = next;
+    top_level = false;
+  }
+
+  // The pattern's relationships must accept the inheritor as a substitute
+  // participant.
+  for (RelationshipId rid : db_->PatternRelationshipsOf(pattern.id)) {
+    const RelationshipItem& rel = db_->relationships_raw().at(rid);
+    for (int i = 0; i < 2; ++i) {
+      if (rel.ends[i] != pattern.id) continue;
+      auto assoc = schema.GetAssociation(rel.assoc);
+      if (!assoc.ok()) {
+        return Status::ConsistencyViolation(
+            "pattern relationship has unknown association");
+      }
+      if (!schema.IsSameOrSpecializationOf(inheritor.cls,
+                                           (*assoc)->roles[i].target)) {
+        return Status::ConsistencyViolation(
+            "inheritor of class does not conform to role '" +
+            (*assoc)->roles[i].name + "' of pattern relationship '" +
+            (*assoc)->name + "'");
+      }
+      // The other end must be a live normal object, so the projected
+      // relationship has well-defined participants.
+      ObjectId other = rel.ends[1 - i];
+      if (other != pattern.id) {
+        auto other_it = db_->objects_raw().find(other);
+        if (other_it == db_->objects_raw().end() ||
+            other_it->second.deleted || other_it->second.is_pattern) {
+          return Status::ConsistencyViolation(
+              "pattern relationship '" + (*assoc)->name +
+              "' does not connect to a live normal object");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PatternManager::Inherit(ObjectId inheritor_id, ObjectId pattern_id) {
+  auto inheritor_it = db_->objects_raw().find(inheritor_id);
+  if (inheritor_it == db_->objects_raw().end() ||
+      inheritor_it->second.deleted) {
+    return Status::NotFound("inheritor object " +
+                            std::to_string(inheritor_id.raw()));
+  }
+  auto pattern_it = db_->objects_raw().find(pattern_id);
+  if (pattern_it == db_->objects_raw().end() ||
+      pattern_it->second.deleted) {
+    return Status::NotFound("pattern object " +
+                            std::to_string(pattern_id.raw()));
+  }
+  const ObjectItem& inheritor = inheritor_it->second;
+  const ObjectItem& pattern = pattern_it->second;
+  if (!pattern.is_pattern) {
+    return Status::FailedPrecondition("'" + db_->FullName(pattern_id) +
+                                      "' is not a pattern");
+  }
+  if (inheritor.is_pattern) {
+    return Status::FailedPrecondition(
+        "patterns cannot inherit other patterns");
+  }
+  if (Inherits(inheritor_id, pattern_id)) {
+    return Status::AlreadyExists("inherits-relationship already exists");
+  }
+  SEED_RETURN_IF_ERROR(ValidateInheritance(inheritor, pattern));
+
+  patterns_of_[inheritor_id].push_back(pattern_id);
+  inheritors_of_[pattern_id].push_back(inheritor_id);
+  ++edge_count_;
+  return Status::OK();
+}
+
+Status PatternManager::Disinherit(ObjectId inheritor_id,
+                                  ObjectId pattern_id) {
+  if (!Inherits(inheritor_id, pattern_id)) {
+    return Status::NotFound("no inherits-relationship between these items");
+  }
+  EraseFrom(patterns_of_[inheritor_id], pattern_id);
+  EraseFrom(inheritors_of_[pattern_id], inheritor_id);
+  --edge_count_;
+  return Status::OK();
+}
+
+std::vector<EffectiveSubObject> PatternManager::EffectiveSubObjects(
+    ObjectId obj, std::string_view role) const {
+  std::vector<EffectiveSubObject> out;
+  for (ObjectId own : db_->SubObjects(obj, role)) {
+    out.push_back(EffectiveSubObject{own, false, ObjectId()});
+  }
+  for (ObjectId pattern : PatternsOf(obj)) {
+    for (ObjectId projected : db_->SubObjects(pattern, role)) {
+      out.push_back(EffectiveSubObject{projected, true, pattern});
+    }
+  }
+  return out;
+}
+
+std::vector<EffectiveRelationship> PatternManager::EffectiveRelationships(
+    ObjectId obj, AssociationId assoc) const {
+  std::vector<EffectiveRelationship> out;
+  for (RelationshipId rid : db_->RelationshipsOf(obj, assoc)) {
+    auto rel = db_->GetRelationship(rid);
+    if (!rel.ok()) continue;
+    EffectiveRelationship er;
+    er.id = rid;
+    er.assoc = (*rel)->assoc;
+    er.ends[0] = (*rel)->ends[0];
+    er.ends[1] = (*rel)->ends[1];
+    er.inherited = false;
+    out.push_back(er);
+  }
+  for (ObjectId pattern : PatternsOf(obj)) {
+    // O(degree of the pattern), via the participation index.
+    for (RelationshipId rid : db_->PatternRelationshipsOf(pattern, assoc)) {
+      auto it = db_->relationships_raw().find(rid);
+      if (it == db_->relationships_raw().end() || it->second.deleted) {
+        continue;
+      }
+      const RelationshipItem& rel = it->second;
+      EffectiveRelationship er;
+      er.id = rid;
+      er.assoc = rel.assoc;
+      er.ends[0] = rel.ends[0] == pattern ? obj : rel.ends[0];
+      er.ends[1] = rel.ends[1] == pattern ? obj : rel.ends[1];
+      er.inherited = true;
+      er.pattern = pattern;
+      out.push_back(er);
+    }
+  }
+  return out;
+}
+
+Result<core::Value> PatternManager::EffectiveValue(
+    ObjectId obj, std::string_view role) const {
+  auto own = db_->SubObjects(obj, role);
+  if (!own.empty()) {
+    SEED_ASSIGN_OR_RETURN(const ObjectItem* item, db_->GetObject(own[0]));
+    return item->value;
+  }
+  for (ObjectId pattern : PatternsOf(obj)) {
+    auto projected = db_->SubObjects(pattern, role);
+    if (!projected.empty()) {
+      SEED_ASSIGN_OR_RETURN(const ObjectItem* item,
+                            db_->GetObject(projected[0]));
+      return item->value;
+    }
+  }
+  return Status::NotFound("no effective sub-object in role '" +
+                          std::string(role) + "'");
+}
+
+Status PatternManager::SetValueInContext(ObjectId obj, std::string_view role,
+                                         core::Value value) {
+  auto own = db_->SubObjects(obj, role);
+  if (!own.empty()) {
+    return db_->SetValue(own[0], std::move(value));
+  }
+  for (ObjectId pattern : PatternsOf(obj)) {
+    if (!db_->SubObjects(pattern, role).empty()) {
+      return Status::FailedPrecondition(
+          "role '" + std::string(role) + "' of '" + db_->FullName(obj) +
+          "' is inherited from pattern '" + db_->FullName(pattern) +
+          "'; pattern information can only be updated in the pattern "
+          "itself");
+    }
+  }
+  return Status::NotFound("no effective sub-object in role '" +
+                          std::string(role) + "'");
+}
+
+void PatternManager::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(edge_count_);
+  for (const auto& [inheritor, patterns] : patterns_of_) {
+    for (ObjectId pattern : patterns) {
+      enc->PutU64(inheritor.raw());
+      enc->PutU64(pattern.raw());
+    }
+  }
+}
+
+Status PatternManager::DecodeFrom(Decoder* dec) {
+  patterns_of_.clear();
+  inheritors_of_.clear();
+  edge_count_ = 0;
+  SEED_ASSIGN_OR_RETURN(std::uint64_t n, dec->GetVarint());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint64_t inheritor_raw, dec->GetU64());
+    SEED_ASSIGN_OR_RETURN(std::uint64_t pattern_raw, dec->GetU64());
+    patterns_of_[ObjectId(inheritor_raw)].push_back(ObjectId(pattern_raw));
+    inheritors_of_[ObjectId(pattern_raw)].push_back(ObjectId(inheritor_raw));
+    ++edge_count_;
+  }
+  return Status::OK();
+}
+
+}  // namespace seed::pattern

@@ -1,0 +1,118 @@
+// Patterns (paper, "Patterns and Variants").
+//
+// Any data item can be marked as a pattern at creation. Patterns are
+// invisible to normal retrieval and exempt from consistency checking
+// *until they are inherited* by a normal item: establishing an
+// inherits-relationship is the moment the pattern's content is validated
+// against the inheritor's context.
+//
+// Semantics: "all retrieval operations view patterns as if they were
+// inserted in the context of the inheritors. However, instead of a real
+// insertion we establish a special inherits-relationship... Thus pattern
+// information cannot be updated in the context of the inheritors, but only
+// in the pattern itself. Conversely, any update of a pattern automatically
+// propagates to all inheritors."
+//
+// Propagation here is structural: effective views are computed on read, so
+// a pattern update is O(1) and every inheritor observes it immediately.
+
+#ifndef SEED_PATTERN_PATTERN_MANAGER_H_
+#define SEED_PATTERN_PATTERN_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "core/database.h"
+
+namespace seed::pattern {
+
+/// A sub-object as seen through the pattern overlay.
+struct EffectiveSubObject {
+  ObjectId id;        // real object id (owned by the inheritor or a pattern)
+  bool inherited;     // true if projected from a pattern
+  ObjectId pattern;   // the pattern it came from (invalid when own)
+};
+
+/// A relationship as seen through the pattern overlay: inherited entries
+/// substitute the inheritor for the pattern end.
+struct EffectiveRelationship {
+  RelationshipId id;  // real relationship id (a pattern rel when inherited)
+  AssociationId assoc;
+  ObjectId ends[2];   // with the pattern end substituted by the inheritor
+  bool inherited;
+  ObjectId pattern;
+};
+
+class PatternManager {
+ public:
+  explicit PatternManager(core::Database* db) : db_(db) {}
+
+  core::Database* database() { return db_; }
+
+  // --- Inheritance ------------------------------------------------------------
+
+  /// Establishes the inherits-relationship `inheritor` <- `pattern`.
+  /// This is where the pattern is checked for consistency: its sub-object
+  /// roles must resolve on the inheritor's class, combined cardinalities
+  /// must hold, its values must conform, and its relationships must accept
+  /// the inheritor as a substitute participant.
+  Status Inherit(ObjectId inheritor, ObjectId pattern);
+
+  /// Removes an inherits-relationship.
+  Status Disinherit(ObjectId inheritor, ObjectId pattern);
+
+  std::vector<ObjectId> PatternsOf(ObjectId inheritor) const;
+  std::vector<ObjectId> InheritorsOf(ObjectId pattern) const;
+  bool Inherits(ObjectId inheritor, ObjectId pattern) const;
+  size_t num_edges() const { return edge_count_; }
+
+  // --- Effective (overlay) views --------------------------------------------------
+
+  /// Own live sub-objects plus those projected from inherited patterns,
+  /// optionally restricted to one role.
+  std::vector<EffectiveSubObject> EffectiveSubObjects(
+      ObjectId obj, std::string_view role = {}) const;
+
+  /// Own relationships plus projected pattern relationships (with the
+  /// pattern end substituted by `obj`), optionally restricted to an
+  /// association family.
+  std::vector<EffectiveRelationship> EffectiveRelationships(
+      ObjectId obj, AssociationId assoc = AssociationId()) const;
+
+  /// Value of the sub-object in `role`, resolving through patterns when the
+  /// inheritor has no own sub-object there.
+  Result<core::Value> EffectiveValue(ObjectId obj,
+                                     std::string_view role) const;
+
+  // --- Write protection -------------------------------------------------------------
+
+  /// Updates the value of the sub-object in `role` *in the context of*
+  /// `obj`: allowed for own sub-objects, rejected with kFailedPrecondition
+  /// when the sub-object is inherited from a pattern (paper: pattern
+  /// information can only be updated in the pattern itself).
+  Status SetValueInContext(ObjectId obj, std::string_view role,
+                           core::Value value);
+
+  // --- Persistence --------------------------------------------------------------------
+
+  void EncodeTo(Encoder* enc) const;
+  Status DecodeFrom(Decoder* dec);
+
+ private:
+  /// Validates `pattern`'s content against `inheritor` (the deferred
+  /// consistency check).
+  Status ValidateInheritance(const core::ObjectItem& inheritor,
+                             const core::ObjectItem& pattern) const;
+
+  core::Database* db_;
+  std::unordered_map<ObjectId, std::vector<ObjectId>> patterns_of_;
+  std::unordered_map<ObjectId, std::vector<ObjectId>> inheritors_of_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace seed::pattern
+
+#endif  // SEED_PATTERN_PATTERN_MANAGER_H_

@@ -1,0 +1,116 @@
+#include "pattern/variants.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace seed::pattern {
+
+Status VariantFamily::AddCommonObject(ObjectId obj) {
+  auto item = pm_->database()->GetObject(obj);
+  if (!item.ok()) return item.status();
+  if ((*item)->is_pattern) {
+    return Status::FailedPrecondition(
+        "common part objects must be ordinary items");
+  }
+  if (std::find(common_.begin(), common_.end(), obj) != common_.end()) {
+    return Status::AlreadyExists("object already in the common part");
+  }
+  common_.push_back(obj);
+  return Status::OK();
+}
+
+Result<ObjectId> VariantFamily::CreateConnector(
+    const std::string& connector_name, ClassId cls, AssociationId assoc,
+    int connector_role, ObjectId common_obj) {
+  if (connector_role != 0 && connector_role != 1) {
+    return Status::InvalidArgument("connector_role must be 0 or 1");
+  }
+  if (std::find(common_.begin(), common_.end(), common_obj) ==
+      common_.end()) {
+    return Status::FailedPrecondition(
+        "connector must attach to a registered common-part object");
+  }
+  core::Database* db = pm_->database();
+  core::CreateOptions pattern_opts;
+  pattern_opts.pattern = true;
+  SEED_ASSIGN_OR_RETURN(ObjectId connector,
+                        db->CreateObject(cls, connector_name, pattern_opts));
+  ObjectId end0 = connector_role == 0 ? connector : common_obj;
+  ObjectId end1 = connector_role == 0 ? common_obj : connector;
+  auto rel = db->CreateRelationship(assoc, end0, end1, pattern_opts);
+  if (!rel.ok()) {
+    // Roll the connector object back so a failed wiring leaves no debris.
+    (void)db->DeleteObject(connector);
+    return rel.status();
+  }
+  connectors_.push_back(connector);
+  return connector;
+}
+
+Status VariantFamily::AddVariant(const std::string& variant_name,
+                                 const std::vector<ObjectId>& members) {
+  if (variants_.count(variant_name) != 0) {
+    return Status::AlreadyExists("variant '" + variant_name +
+                                 "' already exists");
+  }
+  // Establish all inherits-relationships; roll back on first failure so the
+  // family is never half-wired.
+  std::vector<std::pair<ObjectId, ObjectId>> established;
+  for (ObjectId member : members) {
+    for (ObjectId connector : connectors_) {
+      Status s = pm_->Inherit(member, connector);
+      if (!s.ok()) {
+        for (auto& [m, c] : established) (void)pm_->Disinherit(m, c);
+        return s.WithContext("variant '" + variant_name + "'");
+      }
+      established.emplace_back(member, connector);
+    }
+  }
+  variants_[variant_name] = members;
+  return Status::OK();
+}
+
+Status VariantFamily::RemoveVariant(const std::string& variant_name) {
+  auto it = variants_.find(variant_name);
+  if (it == variants_.end()) {
+    return Status::NotFound("variant '" + variant_name + "'");
+  }
+  for (ObjectId member : it->second) {
+    for (ObjectId connector : connectors_) {
+      (void)pm_->Disinherit(member, connector);
+    }
+  }
+  variants_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> VariantFamily::VariantNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, members] : variants_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<ObjectId>> VariantFamily::MembersOf(
+    const std::string& variant_name) const {
+  auto it = variants_.find(variant_name);
+  if (it == variants_.end()) {
+    return Status::NotFound("variant '" + variant_name + "'");
+  }
+  return it->second;
+}
+
+std::vector<EffectiveRelationship> VariantFamily::SharedRelationshipsOf(
+    ObjectId member) const {
+  std::vector<EffectiveRelationship> out;
+  for (const EffectiveRelationship& er : pm_->EffectiveRelationships(member)) {
+    if (!er.inherited) continue;
+    if (std::find(connectors_.begin(), connectors_.end(), er.pattern) !=
+        connectors_.end()) {
+      out.push_back(er);
+    }
+  }
+  return out;
+}
+
+}  // namespace seed::pattern

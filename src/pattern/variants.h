@@ -1,0 +1,82 @@
+// Variant families (paper, Fig. 5).
+//
+// "We define a variants family to be some sets of objects and relationships
+// that have a part of their information in common, but differ in some other
+// parts." The common part and the variant parts are ordinary items; the
+// connections between them are *pattern relationships* that every variant
+// inherits, so pattern semantics guarantee that all variant parts have the
+// same relationships to the common part.
+//
+// Variants differ from alternatives: alternatives are coexisting versions
+// of the database (seed_version); variants are coexisting data with a
+// shared common part.
+
+#ifndef SEED_PATTERN_VARIANTS_H_
+#define SEED_PATTERN_VARIANTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/pattern_manager.h"
+
+namespace seed::pattern {
+
+class VariantFamily {
+ public:
+  /// A family is identified by name and built on a PatternManager.
+  VariantFamily(std::string name, PatternManager* pm)
+      : name_(std::move(name)), pm_(pm) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Common part ------------------------------------------------------------
+
+  /// Registers an ordinary object as part of the family's common part.
+  Status AddCommonObject(ObjectId obj);
+  const std::vector<ObjectId>& common_part() const { return common_; }
+
+  /// Creates a connector: a pattern object of `cls` plus a pattern
+  /// relationship of `assoc` between the connector (filling
+  /// `connector_role`, 0 or 1) and `common_obj` (filling the other role).
+  /// Every variant member inheriting the connector then shares an
+  /// identical relationship to the common part (paper: PO1/PR1, PO2/PR2).
+  Result<ObjectId> CreateConnector(const std::string& connector_name,
+                                   ClassId cls, AssociationId assoc,
+                                   int connector_role, ObjectId common_obj);
+
+  const std::vector<ObjectId>& connectors() const { return connectors_; }
+
+  // --- Variants ------------------------------------------------------------------
+
+  /// Declares a variant: every root object of the variant part inherits
+  /// every connector of the family. Fails atomically: if some member
+  /// cannot inherit a connector (deferred consistency check), previously
+  /// established inherits-relationships of this call are rolled back.
+  Status AddVariant(const std::string& variant_name,
+                    const std::vector<ObjectId>& members);
+
+  Status RemoveVariant(const std::string& variant_name);
+
+  std::vector<std::string> VariantNames() const;
+  Result<std::vector<ObjectId>> MembersOf(
+      const std::string& variant_name) const;
+  size_t num_variants() const { return variants_.size(); }
+
+  /// The relationships a member shares with the common part through the
+  /// family's connectors (all inherited).
+  std::vector<EffectiveRelationship> SharedRelationshipsOf(
+      ObjectId member) const;
+
+ private:
+  std::string name_;
+  PatternManager* pm_;
+  std::vector<ObjectId> common_;
+  std::vector<ObjectId> connectors_;
+  std::map<std::string, std::vector<ObjectId>> variants_;
+};
+
+}  // namespace seed::pattern
+
+#endif  // SEED_PATTERN_VARIANTS_H_

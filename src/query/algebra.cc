@@ -1,0 +1,195 @@
+#include "query/algebra.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace seed::query {
+
+int QueryRelation::AttrIndex(std::string_view name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Algebra::Dedup(QueryRelation* rel) {
+  std::sort(rel->tuples.begin(), rel->tuples.end());
+  rel->tuples.erase(std::unique(rel->tuples.begin(), rel->tuples.end()),
+                    rel->tuples.end());
+}
+
+QueryRelation Algebra::ClassExtent(ClassId cls, std::string attribute,
+                                   bool include_specializations) const {
+  QueryRelation out;
+  out.attributes = {std::move(attribute)};
+  for (ObjectId id : db_->ObjectsOfClass(cls, include_specializations)) {
+    out.tuples.push_back({id});
+  }
+  Dedup(&out);
+  return out;
+}
+
+Result<QueryRelation> Algebra::Select(const QueryRelation& in,
+                                      std::string_view attribute,
+                                      const Predicate& p) const {
+  int idx = in.AttrIndex(attribute);
+  if (idx < 0) {
+    return Status::InvalidArgument("no attribute '" + std::string(attribute) +
+                                   "' in relation");
+  }
+  QueryRelation out;
+  out.attributes = in.attributes;
+  for (const auto& tuple : in.tuples) {
+    if (p.Eval(*db_, tuple[idx])) out.tuples.push_back(tuple);
+  }
+  return out;
+}
+
+Result<QueryRelation> Algebra::Project(
+    const QueryRelation& in, const std::vector<std::string>& keep) const {
+  std::vector<int> indexes;
+  for (const std::string& name : keep) {
+    int idx = in.AttrIndex(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("no attribute '" + name +
+                                     "' in relation");
+    }
+    indexes.push_back(idx);
+  }
+  QueryRelation out;
+  out.attributes = keep;
+  for (const auto& tuple : in.tuples) {
+    std::vector<ObjectId> projected;
+    projected.reserve(indexes.size());
+    for (int idx : indexes) projected.push_back(tuple[idx]);
+    out.tuples.push_back(std::move(projected));
+  }
+  Dedup(&out);
+  return out;
+}
+
+Result<QueryRelation> Algebra::CartesianProduct(const QueryRelation& a,
+                                                const QueryRelation& b) const {
+  for (const std::string& attr : b.attributes) {
+    if (a.AttrIndex(attr) >= 0) {
+      return Status::InvalidArgument("attribute '" + attr +
+                                     "' appears on both sides");
+    }
+  }
+  QueryRelation out;
+  out.attributes = a.attributes;
+  out.attributes.insert(out.attributes.end(), b.attributes.begin(),
+                        b.attributes.end());
+  for (const auto& ta : a.tuples) {
+    for (const auto& tb : b.tuples) {
+      std::vector<ObjectId> tuple = ta;
+      tuple.insert(tuple.end(), tb.begin(), tb.end());
+      out.tuples.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+Result<QueryRelation> Algebra::RelationshipJoin(const QueryRelation& a,
+                                                std::string_view attr_a,
+                                                AssociationId assoc,
+                                                const QueryRelation& b,
+                                                std::string_view attr_b) const {
+  int ia = a.AttrIndex(attr_a);
+  if (ia < 0) {
+    return Status::InvalidArgument("no attribute '" + std::string(attr_a) +
+                                   "' in left relation");
+  }
+  int ib = b.AttrIndex(attr_b);
+  if (ib < 0) {
+    return Status::InvalidArgument("no attribute '" + std::string(attr_b) +
+                                   "' in right relation");
+  }
+  for (const std::string& attr : b.attributes) {
+    if (a.AttrIndex(attr) >= 0) {
+      return Status::InvalidArgument("attribute '" + attr +
+                                     "' appears on both sides");
+    }
+  }
+  // Existing relationships of the family: role0 end -> role1 ends.
+  std::unordered_map<ObjectId, std::vector<ObjectId>> right_of;
+  for (RelationshipId rid : db_->RelationshipsOfAssociation(assoc, true)) {
+    auto rel = db_->GetRelationship(rid);
+    if (!rel.ok()) continue;
+    right_of[(*rel)->ends[0]].push_back((*rel)->ends[1]);
+  }
+
+  // Hash the right side by the join attribute.
+  std::unordered_map<ObjectId, std::vector<const std::vector<ObjectId>*>>
+      right_index;
+  for (const auto& tb : b.tuples) right_index[tb[ib]].push_back(&tb);
+
+  QueryRelation out;
+  out.attributes = a.attributes;
+  out.attributes.insert(out.attributes.end(), b.attributes.begin(),
+                        b.attributes.end());
+  for (const auto& ta : a.tuples) {
+    auto partners = right_of.find(ta[ia]);
+    if (partners == right_of.end()) continue;
+    for (ObjectId partner : partners->second) {
+      auto matches = right_index.find(partner);
+      if (matches == right_index.end()) continue;
+      for (const auto* tb : matches->second) {
+        std::vector<ObjectId> tuple = ta;
+        tuple.insert(tuple.end(), tb->begin(), tb->end());
+        out.tuples.push_back(std::move(tuple));
+      }
+    }
+  }
+  Dedup(&out);
+  return out;
+}
+
+Result<QueryRelation> Algebra::Union(const QueryRelation& a,
+                                     const QueryRelation& b) const {
+  if (a.attributes != b.attributes) {
+    return Status::InvalidArgument(
+        "union requires identical attribute lists");
+  }
+  QueryRelation out;
+  out.attributes = a.attributes;
+  out.tuples = a.tuples;
+  out.tuples.insert(out.tuples.end(), b.tuples.begin(), b.tuples.end());
+  Dedup(&out);
+  return out;
+}
+
+Result<QueryRelation> Algebra::Difference(const QueryRelation& a,
+                                          const QueryRelation& b) const {
+  if (a.attributes != b.attributes) {
+    return Status::InvalidArgument(
+        "difference requires identical attribute lists");
+  }
+  std::set<std::vector<ObjectId>> exclude(b.tuples.begin(), b.tuples.end());
+  QueryRelation out;
+  out.attributes = a.attributes;
+  for (const auto& tuple : a.tuples) {
+    if (exclude.count(tuple) == 0) out.tuples.push_back(tuple);
+  }
+  Dedup(&out);
+  return out;
+}
+
+Result<QueryRelation> Algebra::Intersect(const QueryRelation& a,
+                                         const QueryRelation& b) const {
+  if (a.attributes != b.attributes) {
+    return Status::InvalidArgument(
+        "intersection requires identical attribute lists");
+  }
+  std::set<std::vector<ObjectId>> keep(b.tuples.begin(), b.tuples.end());
+  QueryRelation out;
+  out.attributes = a.attributes;
+  for (const auto& tuple : a.tuples) {
+    if (keep.count(tuple) != 0) out.tuples.push_back(tuple);
+  }
+  Dedup(&out);
+  return out;
+}
+
+}  // namespace seed::query

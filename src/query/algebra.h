@@ -1,0 +1,88 @@
+// A small entity-relationship algebra (after Parent & Spaccapietra [10],
+// cited by the paper): relations over object ids with named attributes,
+// closed under selection, projection, cartesian product, and a join that is
+// "defined on existing relationships only" — which is what makes undefined
+// and incomplete items harmless in query evaluation.
+//
+// The SEED prototype itself only shipped retrieval-by-name; this module is
+// the natural extension the paper's RELATED WORK section points at.
+
+#ifndef SEED_QUERY_ALGEBRA_H_
+#define SEED_QUERY_ALGEBRA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "query/predicate.h"
+
+namespace seed::query {
+
+/// A relation: named columns of object ids, set semantics (duplicates are
+/// removed by every operator).
+struct QueryRelation {
+  std::vector<std::string> attributes;
+  std::vector<std::vector<ObjectId>> tuples;
+
+  size_t arity() const { return attributes.size(); }
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+
+  /// Index of an attribute, or -1.
+  int AttrIndex(std::string_view name) const;
+};
+
+class Algebra {
+ public:
+  explicit Algebra(const core::Database* db) : db_(db) {}
+
+  /// Unary relation of all live objects of `cls` (specializations
+  /// included unless disabled).
+  QueryRelation ClassExtent(ClassId cls, std::string attribute,
+                            bool include_specializations = true) const;
+
+  /// Tuples whose `attribute` satisfies `p`.
+  Result<QueryRelation> Select(const QueryRelation& in,
+                               std::string_view attribute,
+                               const Predicate& p) const;
+
+  /// Keeps the listed attributes (deduplicates).
+  Result<QueryRelation> Project(const QueryRelation& in,
+                                const std::vector<std::string>& keep) const;
+
+  /// All combinations; attribute sets must be disjoint.
+  Result<QueryRelation> CartesianProduct(const QueryRelation& a,
+                                         const QueryRelation& b) const;
+
+  /// Joins `a` and `b` on relationships of `assoc` (family included):
+  /// keeps (ta, tb) iff a relationship connects ta[attr_a] in role 0 with
+  /// tb[attr_b] in role 1. Undefined items participate in no
+  /// relationships, so they simply never join.
+  Result<QueryRelation> RelationshipJoin(const QueryRelation& a,
+                                         std::string_view attr_a,
+                                         AssociationId assoc,
+                                         const QueryRelation& b,
+                                         std::string_view attr_b) const;
+
+  /// Set union (same attribute lists required).
+  Result<QueryRelation> Union(const QueryRelation& a,
+                              const QueryRelation& b) const;
+
+  /// Set difference a \ b (same attribute lists required).
+  Result<QueryRelation> Difference(const QueryRelation& a,
+                                   const QueryRelation& b) const;
+
+  /// Set intersection (same attribute lists required).
+  Result<QueryRelation> Intersect(const QueryRelation& a,
+                                  const QueryRelation& b) const;
+
+ private:
+  static void Dedup(QueryRelation* rel);
+
+  const core::Database* db_;
+};
+
+}  // namespace seed::query
+
+#endif  // SEED_QUERY_ALGEBRA_H_

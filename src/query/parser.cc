@@ -1,0 +1,193 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "query/predicate.h"
+#include "schema/types.h"
+
+namespace seed::query {
+
+namespace {
+
+struct Token {
+  std::string text;
+  bool quoted = false;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '"') {
+      size_t end = text.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tokens.push_back(
+          Token{std::string(text.substr(i + 1, end - i - 1)), true});
+      i = end + 1;
+      continue;
+    }
+    size_t end = i;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end])) &&
+           text[end] != '"') {
+      ++end;
+    }
+    tokens.push_back(Token{std::string(text.substr(i, end - i)), false});
+    i = end;
+  }
+  return tokens;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t start = (s[0] == '-') ? 1 : 0;
+  if (start == s.size()) return false;
+  for (size_t i = start; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+/// Builds an equality predicate for a literal token: quoted strings match
+/// string values only; bare tokens try every plausible typed reading.
+Predicate LiteralEquals(const Token& token) {
+  if (token.quoted) {
+    return Predicate::ValueEquals(core::Value::String(token.text));
+  }
+  Predicate p = Predicate::ValueEquals(core::Value::String(token.text))
+                    .Or(Predicate::ValueEquals(core::Value::Enum(token.text)));
+  if (LooksLikeInt(token.text)) {
+    p = p.Or(Predicate::ValueEquals(
+        core::Value::Int(std::stoll(token.text))));
+  }
+  if (auto date = schema::Date::Parse(token.text); date.ok()) {
+    p = p.Or(Predicate::ValueEquals(core::Value::OfDate(*date)));
+  }
+  if (token.text == "true") {
+    p = p.Or(Predicate::ValueEquals(core::Value::Bool(true)));
+  }
+  if (token.text == "false") {
+    p = p.Or(Predicate::ValueEquals(core::Value::Bool(false)));
+  }
+  return p;
+}
+
+class Parser {
+ public:
+  Parser(const core::Database& db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  Result<std::vector<ObjectId>> Run() {
+    SEED_RETURN_IF_ERROR(Expect("find"));
+    SEED_ASSIGN_OR_RETURN(Token cls_token, Next("class name"));
+    auto cls = db_.schema()->FindIndependentClass(cls_token.text);
+    if (!cls.ok()) return cls.status();
+
+    bool exact = false;
+    if (PeekIs("exact")) {
+      ++pos_;
+      exact = true;
+    }
+
+    Predicate pred = Predicate::True();
+    if (pos_ < tokens_.size()) {
+      SEED_RETURN_IF_ERROR(Expect("where"));
+      SEED_ASSIGN_OR_RETURN(pred, ParseCondition());
+      while (PeekIs("and")) {
+        ++pos_;
+        SEED_ASSIGN_OR_RETURN(Predicate next, ParseCondition());
+        pred = pred.And(next);
+      }
+    }
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     tokens_[pos_].text + "'");
+    }
+
+    std::vector<ObjectId> out;
+    for (ObjectId id : db_.ObjectsOfClass(*cls, !exact)) {
+      if (pred.Eval(db_, id)) out.push_back(id);
+    }
+    return out;
+  }
+
+ private:
+  bool PeekIs(std::string_view word) const {
+    return pos_ < tokens_.size() && !tokens_[pos_].quoted &&
+           tokens_[pos_].text == word;
+  }
+
+  Status Expect(std::string_view word) {
+    if (!PeekIs(word)) {
+      return Status::InvalidArgument(
+          "expected '" + std::string(word) + "'" +
+          (pos_ < tokens_.size() ? ", got '" + tokens_[pos_].text + "'"
+                                 : " at end of query"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<Token> Next(std::string_view what) {
+    if (pos_ >= tokens_.size()) {
+      return Status::InvalidArgument("expected " + std::string(what) +
+                                     " at end of query");
+    }
+    return tokens_[pos_++];
+  }
+
+  Result<Predicate> ParseCondition() {
+    SEED_ASSIGN_OR_RETURN(Token subject, Next("condition subject"));
+    if (subject.quoted) {
+      return Status::InvalidArgument("condition must start with a name");
+    }
+    if (subject.text == "has") {
+      SEED_ASSIGN_OR_RETURN(Token role, Next("role name"));
+      return Predicate::OnSubObject(role.text, Predicate::True());
+    }
+    SEED_ASSIGN_OR_RETURN(Token op, Next("'is' or 'contains'"));
+    if (op.text != "is" && op.text != "contains") {
+      return Status::InvalidArgument("expected 'is' or 'contains', got '" +
+                                     op.text + "'");
+    }
+    SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
+
+    if (subject.text == "name") {
+      return op.text == "is" ? Predicate::NameIs(operand.text)
+                             : Predicate::NameContains(operand.text);
+    }
+    if (subject.text == "value") {
+      return op.text == "is"
+                 ? LiteralEquals(operand)
+                 : Predicate::ValueContains(operand.text);
+    }
+    // Otherwise the subject is a sub-object role.
+    Predicate inner = op.text == "is"
+                          ? LiteralEquals(operand)
+                          : Predicate::ValueContains(operand.text);
+    return Predicate::OnSubObject(subject.text, inner);
+  }
+
+  const core::Database& db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
+                                       std::string_view text) {
+  SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  if (tokens.empty()) return Status::InvalidArgument("empty query");
+  return Parser(db, std::move(tokens)).Run();
+}
+
+}  // namespace seed::query

@@ -1,0 +1,43 @@
+// A small textual query language over the ER algebra, for the interactive
+// shell and for tools that want string-driven retrieval. (The 1986
+// prototype had no query language — "retrieval with complex queries is not
+// supported" — this is a deliberate extension on top of the algebra.)
+//
+// Grammar (case-sensitive keywords, strings in double quotes):
+//
+//   query  := 'find' CLASS ['exact'] [ 'where' cond ('and' cond)* ]
+//   cond   := 'name' 'is' IDENT
+//           | 'name' 'contains' STRING-or-IDENT
+//           | 'value' 'is' literal
+//           | 'value' 'contains' STRING-or-IDENT
+//           | 'has' ROLE
+//           | ROLE 'is' literal
+//           | ROLE 'contains' STRING-or-IDENT
+//   literal := INT | DATE(YYYY-MM-DD) | true | false | STRING | IDENT
+//
+// 'exact' restricts the extent to the class itself (no specializations).
+// Examples:
+//   find Data where name contains "Alarm"
+//   find Action where Description contains "sensor" and has Revised
+//   find Thing exact
+//   find OutputData where Revised is 1986-02-05
+
+#ifndef SEED_QUERY_PARSER_H_
+#define SEED_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace seed::query {
+
+/// Parses and runs `text` against `db`; returns matching object ids,
+/// ascending. Undefined values match nothing, per the paper.
+Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
+                                       std::string_view text);
+
+}  // namespace seed::query
+
+#endif  // SEED_QUERY_PARSER_H_

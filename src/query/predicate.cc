@@ -1,0 +1,114 @@
+#include "query/predicate.h"
+
+namespace seed::query {
+
+using core::Database;
+using core::ObjectItem;
+
+namespace {
+
+/// Fetches the live item or nullptr.
+const ObjectItem* Live(const Database& db, ObjectId id) {
+  auto obj = db.GetObject(id);
+  return obj.ok() ? *obj : nullptr;
+}
+
+}  // namespace
+
+Predicate Predicate::True() { return Predicate(); }
+
+Predicate Predicate::HasValue() {
+  return Predicate([](const Database& db, ObjectId id) {
+    const ObjectItem* obj = Live(db, id);
+    return obj != nullptr && obj->value.defined();
+  });
+}
+
+Predicate Predicate::ValueEquals(core::Value v) {
+  return Predicate([v = std::move(v)](const Database& db, ObjectId id) {
+    const ObjectItem* obj = Live(db, id);
+    return obj != nullptr && obj->value.defined() && obj->value == v;
+  });
+}
+
+Predicate Predicate::ValueContains(std::string needle) {
+  return Predicate(
+      [needle = std::move(needle)](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->value.is_string() &&
+               obj->value.as_string().find(needle) != std::string::npos;
+      });
+}
+
+Predicate Predicate::IntLess(std::int64_t v) {
+  return Predicate([v](const Database& db, ObjectId id) {
+    const ObjectItem* obj = Live(db, id);
+    return obj != nullptr && obj->value.is_int() && obj->value.as_int() < v;
+  });
+}
+
+Predicate Predicate::IntGreater(std::int64_t v) {
+  return Predicate([v](const Database& db, ObjectId id) {
+    const ObjectItem* obj = Live(db, id);
+    return obj != nullptr && obj->value.is_int() && obj->value.as_int() > v;
+  });
+}
+
+Predicate Predicate::NameIs(std::string name) {
+  return Predicate([name = std::move(name)](const Database& db, ObjectId id) {
+    const ObjectItem* obj = Live(db, id);
+    return obj != nullptr && obj->is_independent() && obj->name == name;
+  });
+}
+
+Predicate Predicate::NameContains(std::string needle) {
+  return Predicate(
+      [needle = std::move(needle)](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->is_independent() &&
+               obj->name.find(needle) != std::string::npos;
+      });
+}
+
+Predicate Predicate::OfClass(ClassId cls, bool include_specializations) {
+  return Predicate(
+      [cls, include_specializations](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        if (obj == nullptr) return false;
+        if (!include_specializations) return obj->cls == cls;
+        return db.schema()->IsSameOrSpecializationOf(obj->cls, cls);
+      });
+}
+
+Predicate Predicate::OnSubObject(std::string role, Predicate p) {
+  return Predicate(
+      [role = std::move(role), p = std::move(p)](const Database& db,
+                                                 ObjectId id) {
+        for (ObjectId sub : db.SubObjects(id, role)) {
+          if (p.Eval(db, sub)) return true;
+        }
+        return false;  // missing (undefined) sub-object matches nothing
+      });
+}
+
+Predicate Predicate::And(Predicate other) const {
+  return Predicate(
+      [a = *this, b = std::move(other)](const Database& db, ObjectId id) {
+        return a.Eval(db, id) && b.Eval(db, id);
+      });
+}
+
+Predicate Predicate::Or(Predicate other) const {
+  return Predicate(
+      [a = *this, b = std::move(other)](const Database& db, ObjectId id) {
+        return a.Eval(db, id) || b.Eval(db, id);
+      });
+}
+
+Predicate Predicate::Not() const {
+  return Predicate([a = *this](const Database& db, ObjectId id) {
+    return !a.Eval(db, id);
+  });
+}
+
+}  // namespace seed::query

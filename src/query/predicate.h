@@ -1,0 +1,62 @@
+// Selection predicates with the paper's undefined-item semantics:
+// "When the database is searched for data that meet certain selection
+// criteria, an undefined object matches nothing." Every value-inspecting
+// predicate therefore evaluates to false on objects without a value.
+
+#ifndef SEED_QUERY_PREDICATE_H_
+#define SEED_QUERY_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+
+namespace seed::query {
+
+class Predicate {
+ public:
+  using Fn = std::function<bool(const core::Database&, ObjectId)>;
+
+  Predicate() : fn_([](const core::Database&, ObjectId) { return true; }) {}
+  explicit Predicate(Fn fn) : fn_(std::move(fn)) {}
+
+  bool Eval(const core::Database& db, ObjectId obj) const {
+    return fn_(db, obj);
+  }
+
+  // --- Atoms -----------------------------------------------------------------
+
+  static Predicate True();
+  /// Object carries a defined value.
+  static Predicate HasValue();
+  /// Value equals `v` (false on undefined).
+  static Predicate ValueEquals(core::Value v);
+  /// String value contains `needle` (false on undefined or non-string).
+  static Predicate ValueContains(std::string needle);
+  /// Integer value compares against `v` (false on undefined/non-int).
+  static Predicate IntLess(std::int64_t v);
+  static Predicate IntGreater(std::int64_t v);
+  /// Independent object name equals / contains.
+  static Predicate NameIs(std::string name);
+  static Predicate NameContains(std::string needle);
+  /// Object's class is `cls` or a specialization of it.
+  static Predicate OfClass(ClassId cls, bool include_specializations = true);
+  /// The object's sub-object in `role` exists and satisfies `p`
+  /// (false when the sub-object is missing — an undefined sub-object
+  /// matches nothing).
+  static Predicate OnSubObject(std::string role, Predicate p);
+
+  // --- Combinators -------------------------------------------------------------
+
+  Predicate And(Predicate other) const;
+  Predicate Or(Predicate other) const;
+  Predicate Not() const;
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace seed::query
+
+#endif  // SEED_QUERY_PREDICATE_H_

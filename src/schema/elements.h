@@ -1,0 +1,123 @@
+// Schema elements: object classes and associations (relationship classes).
+//
+// Two orthogonal hierarchies exist over classes:
+//  * the *structural* hierarchy: a dependent class belongs to an owner
+//    (a class or an association) under a role name with a cardinality —
+//    paper Fig. 2: `Data.Text` with cardinality 0..16, `Data.Text.Body`;
+//  * the *generalization* hierarchy ("is-a"): a class may specialize one
+//    more general class — paper Fig. 3: `Thing` ⊒ `Data` ⊒ `OutputData`.
+// Associations participate in generalization too (`Access` ⊒ `Read`).
+
+#ifndef SEED_SCHEMA_ELEMENTS_H_
+#define SEED_SCHEMA_ELEMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "schema/types.h"
+
+namespace seed::schema {
+
+/// Who structurally owns a dependent class: nobody (independent class),
+/// an object class, or an association (paper Fig. 3 hangs `NumberOfWrites`
+/// and `ErrorHandling` off the `Write` association).
+enum class OwnerKind : std::uint8_t { kNone = 0, kClass = 1, kAssociation = 2 };
+
+struct StructuralOwner {
+  OwnerKind kind = OwnerKind::kNone;
+  std::uint64_t id_raw = 0;  // ClassId or AssociationId raw value
+
+  static StructuralOwner None() { return {}; }
+  static StructuralOwner OfClass(ClassId c) {
+    return {OwnerKind::kClass, c.raw()};
+  }
+  static StructuralOwner OfAssociation(AssociationId a) {
+    return {OwnerKind::kAssociation, a.raw()};
+  }
+
+  bool is_none() const { return kind == OwnerKind::kNone; }
+  ClassId class_id() const { return ClassId(id_raw); }
+  AssociationId association_id() const { return AssociationId(id_raw); }
+
+  bool operator==(const StructuralOwner&) const = default;
+};
+
+/// An object class. Independent classes sit at top level; dependent classes
+/// have a structural owner and a role name (their instances are sub-objects).
+struct ObjectClass {
+  ClassId id;
+  /// Top-level name for independent classes; role name within the owner for
+  /// dependent classes (`Text` in `Data.Text`).
+  std::string name;
+
+  StructuralOwner owner;
+  /// How many sub-objects of this class one owner instance may/must have.
+  /// Meaningless (0..*) for independent classes.
+  Cardinality cardinality = Cardinality::Any();
+
+  /// Type of the value instances carry; kNone for pure structure nodes.
+  ValueType value_type = ValueType::kNone;
+  /// Allowed identifiers when value_type == kEnum.
+  std::vector<std::string> enum_values;
+
+  /// Generalization parent ("is-a"); invalid id when not specialized.
+  ClassId generalizes_into;
+  /// Covering condition: every instance must *finally* live in a proper
+  /// specialization of this class (completeness information).
+  bool covering = false;
+
+  bool is_dependent() const { return !owner.is_none(); }
+  bool is_specialized() const { return generalizes_into.valid(); }
+
+  /// Dotted schema path, filled by the Schema on freeze ("Data.Text.Body").
+  std::string full_name;
+};
+
+/// One end of a binary association.
+struct Role {
+  /// Role name, e.g. `from` / `by` (paper Fig. 2).
+  std::string name;
+  /// Class whose instances may fill this role (instances of its
+  /// specializations qualify too).
+  ClassId target;
+  /// Participation bounds for a single target instance: how many
+  /// relationships of this association (or its specializations) one object
+  /// may (max: consistency) / must (min: completeness) take part in.
+  Cardinality cardinality = Cardinality::Any();
+};
+
+/// A binary association (relationship class), e.g. `Read(from: Data,
+/// by: Action)`.
+struct Association {
+  AssociationId id;
+  std::string name;
+  /// Exactly two roles; specializations correspond to the general
+  /// association's roles positionally.
+  Role roles[2];
+
+  /// ACYCLIC attribute: the directed graph over objects formed by
+  /// relationships of this association (and its specializations), read as
+  /// role[0]-object -> role[1]-object, must contain no cycle
+  /// (paper Fig. 2: `Contained ... ACYCLIC` imposes a tree on `Action`).
+  bool acyclic = false;
+
+  /// Generalization parent association; invalid when not specialized.
+  AssociationId generalizes_into;
+  /// Covering condition on the generalization (completeness information).
+  bool covering = false;
+
+  bool is_specialized() const { return generalizes_into.valid(); }
+
+  /// Index of the role named `role_name`, or -1.
+  int RoleIndex(const std::string& role_name) const {
+    if (roles[0].name == role_name) return 0;
+    if (roles[1].name == role_name) return 1;
+    return -1;
+  }
+};
+
+}  // namespace seed::schema
+
+#endif  // SEED_SCHEMA_ELEMENTS_H_

@@ -1,0 +1,324 @@
+#include "schema/schema_builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace seed::schema {
+
+SchemaBuilder::SchemaBuilder(std::string schema_name)
+    : name_(std::move(schema_name)) {}
+
+SchemaBuilder SchemaBuilder::Evolve(const Schema& base) {
+  SchemaBuilder b(base.name());
+  b.version_ = base.version() + 1;
+  b.classes_ = base.classes_;
+  b.associations_ = base.associations_;
+  return b;
+}
+
+ClassId SchemaBuilder::AddIndependentClass(std::string name,
+                                           ValueType value_type) {
+  ObjectClass c;
+  c.id = ClassId(classes_.size() + 1);
+  c.name = std::move(name);
+  c.owner = StructuralOwner::None();
+  c.value_type = value_type;
+  classes_.push_back(std::move(c));
+  return classes_.back().id;
+}
+
+ClassId SchemaBuilder::AddDependentClass(ClassId owner, std::string name,
+                                         Cardinality cardinality,
+                                         ValueType value_type) {
+  ObjectClass c;
+  c.id = ClassId(classes_.size() + 1);
+  c.name = std::move(name);
+  c.owner = StructuralOwner::OfClass(owner);
+  c.cardinality = cardinality;
+  c.value_type = value_type;
+  classes_.push_back(std::move(c));
+  return classes_.back().id;
+}
+
+ClassId SchemaBuilder::AddDependentClass(AssociationId owner,
+                                         std::string name,
+                                         Cardinality cardinality,
+                                         ValueType value_type) {
+  ObjectClass c;
+  c.id = ClassId(classes_.size() + 1);
+  c.name = std::move(name);
+  c.owner = StructuralOwner::OfAssociation(owner);
+  c.cardinality = cardinality;
+  c.value_type = value_type;
+  classes_.push_back(std::move(c));
+  return classes_.back().id;
+}
+
+SchemaBuilder& SchemaBuilder::SetEnumValues(ClassId cls,
+                                            std::vector<std::string> values) {
+  if (cls.valid() && cls.raw() <= classes_.size()) {
+    classes_[cls.raw() - 1].enum_values = std::move(values);
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::SetGeneralization(ClassId sub, ClassId super) {
+  if (sub.valid() && sub.raw() <= classes_.size()) {
+    classes_[sub.raw() - 1].generalizes_into = super;
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::SetCovering(ClassId cls, bool covering) {
+  if (cls.valid() && cls.raw() <= classes_.size()) {
+    classes_[cls.raw() - 1].covering = covering;
+  }
+  return *this;
+}
+
+AssociationId SchemaBuilder::AddAssociation(std::string name, Role role0,
+                                            Role role1, bool acyclic) {
+  Association a;
+  a.id = AssociationId(associations_.size() + 1);
+  a.name = std::move(name);
+  a.roles[0] = std::move(role0);
+  a.roles[1] = std::move(role1);
+  a.acyclic = acyclic;
+  associations_.push_back(std::move(a));
+  return associations_.back().id;
+}
+
+SchemaBuilder& SchemaBuilder::SetGeneralization(AssociationId sub,
+                                                AssociationId super) {
+  if (sub.valid() && sub.raw() <= associations_.size()) {
+    associations_[sub.raw() - 1].generalizes_into = super;
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::SetCovering(AssociationId assoc,
+                                          bool covering) {
+  if (assoc.valid() && assoc.raw() <= associations_.size()) {
+    associations_[assoc.raw() - 1].covering = covering;
+  }
+  return *this;
+}
+
+Result<SchemaPtr> SchemaBuilder::Build() const {
+  auto schema = std::shared_ptr<Schema>(new Schema());
+  schema->name_ = name_;
+  schema->version_ = version_;
+  schema->classes_ = classes_;
+  schema->associations_ = associations_;
+  schema->BuildIndexes();
+  SEED_RETURN_IF_ERROR(Validate(*schema));
+  return SchemaPtr(schema);
+}
+
+namespace {
+
+Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
+
+}  // namespace
+
+Status SchemaBuilder::Validate(const Schema& schema) const {
+  // -- Names ------------------------------------------------------------
+  std::unordered_set<std::string> top_names;
+  for (const ObjectClass& c : classes_) {
+    if (!strings::IsIdentifier(c.name)) {
+      return Fail("class name '" + c.name + "' is not an identifier");
+    }
+    if (!c.is_dependent() && !top_names.insert(c.name).second) {
+      return Fail("duplicate top-level name '" + c.name + "'");
+    }
+  }
+  for (const Association& a : associations_) {
+    if (!strings::IsIdentifier(a.name)) {
+      return Fail("association name '" + a.name + "' is not an identifier");
+    }
+    if (!top_names.insert(a.name).second) {
+      return Fail("duplicate top-level name '" + a.name +
+                  "' (classes and associations share one namespace)");
+    }
+  }
+
+  // -- Structural ownership ----------------------------------------------
+  for (const ObjectClass& c : classes_) {
+    if (!c.is_dependent()) continue;
+    if (c.owner.kind == OwnerKind::kClass) {
+      ClassId owner = c.owner.class_id();
+      if (!owner.valid() || owner.raw() > classes_.size()) {
+        return Fail("class '" + c.name + "' has a dangling owner class");
+      }
+      if (owner.raw() >= c.id.raw()) {
+        return Fail("class '" + c.name +
+                    "' must be declared after its owner");
+      }
+    } else {
+      AssociationId owner = c.owner.association_id();
+      if (!owner.valid() || owner.raw() > associations_.size()) {
+        return Fail("class '" + c.name +
+                    "' has a dangling owner association");
+      }
+    }
+    if (!c.cardinality.IsValid() || c.cardinality.max == 0) {
+      return Fail("class '" + c.name + "' has invalid cardinality " +
+                  c.cardinality.ToString());
+    }
+  }
+
+  // -- Value types ---------------------------------------------------------
+  for (const ObjectClass& c : classes_) {
+    if (c.value_type == ValueType::kEnum) {
+      if (c.enum_values.empty()) {
+        return Fail("enum class '" + c.name + "' declares no values");
+      }
+      std::unordered_set<std::string> seen;
+      for (const std::string& v : c.enum_values) {
+        if (!strings::IsIdentifier(v)) {
+          return Fail("enum value '" + v + "' of class '" + c.name +
+                      "' is not an identifier");
+        }
+        if (!seen.insert(v).second) {
+          return Fail("duplicate enum value '" + v + "' in class '" +
+                      c.name + "'");
+        }
+      }
+    } else if (!c.enum_values.empty()) {
+      return Fail("class '" + c.name +
+                  "' declares enum values but is not an enum");
+    }
+  }
+
+  // -- Class generalization --------------------------------------------------
+  for (const ObjectClass& c : classes_) {
+    if (!c.is_specialized()) continue;
+    ClassId super = c.generalizes_into;
+    if (!super.valid() || super.raw() > classes_.size()) {
+      return Fail("class '" + c.name +
+                  "' specializes a non-existent class");
+    }
+    if (super == c.id) {
+      return Fail("class '" + c.name + "' specializes itself");
+    }
+    const ObjectClass& s = classes_[super.raw() - 1];
+    if (c.is_dependent() || s.is_dependent()) {
+      return Fail("generalization between '" + s.name + "' and '" + c.name +
+                  "' involves a dependent class; only independent classes "
+                  "may be generalized");
+    }
+  }
+  // Acyclicity of the generalization graph.
+  for (const ObjectClass& c : classes_) {
+    ClassId cur = c.generalizes_into;
+    size_t steps = 0;
+    while (cur.valid()) {
+      if (cur == c.id) {
+        return Fail("generalization cycle through class '" + c.name + "'");
+      }
+      if (++steps > classes_.size()) {
+        return Fail("generalization cycle detected (classes)");
+      }
+      cur = classes_[cur.raw() - 1].generalizes_into;
+    }
+  }
+
+  // -- Role-name collisions along generalization chains ------------------------
+  for (const ObjectClass& c : classes_) {
+    if (c.is_dependent()) continue;
+    std::unordered_map<std::string, ClassId> roles;
+    for (ClassId level : schema.GeneralizationChain(c.id)) {
+      for (ClassId dep :
+           schema.DependentClassesOf(StructuralOwner::OfClass(level))) {
+        auto dep_cls = schema.GetClass(dep);
+        const std::string& role = (*dep_cls)->name;
+        auto [it, inserted] = roles.emplace(role, dep);
+        if (!inserted && it->second != dep) {
+          return Fail("role '" + role + "' of class '" + c.name +
+                      "' collides with an inherited role");
+        }
+      }
+    }
+  }
+
+  // -- Associations ------------------------------------------------------------
+  for (const Association& a : associations_) {
+    if (a.roles[0].name == a.roles[1].name) {
+      return Fail("association '" + a.name + "' has two roles named '" +
+                  a.roles[0].name + "'");
+    }
+    for (const Role& r : a.roles) {
+      if (!strings::IsIdentifier(r.name)) {
+        return Fail("role name '" + r.name + "' of association '" + a.name +
+                    "' is not an identifier");
+      }
+      if (!r.target.valid() || r.target.raw() > classes_.size()) {
+        return Fail("association '" + a.name + "' role '" + r.name +
+                    "' targets a non-existent class");
+      }
+      if (!r.cardinality.IsValid()) {
+        return Fail("association '" + a.name + "' role '" + r.name +
+                    "' has invalid cardinality " + r.cardinality.ToString());
+      }
+    }
+  }
+
+  // -- Association generalization ------------------------------------------------
+  for (const Association& a : associations_) {
+    if (!a.is_specialized()) continue;
+    AssociationId super = a.generalizes_into;
+    if (!super.valid() || super.raw() > associations_.size()) {
+      return Fail("association '" + a.name +
+                  "' specializes a non-existent association");
+    }
+    if (super == a.id) {
+      return Fail("association '" + a.name + "' specializes itself");
+    }
+    const Association& s = associations_[super.raw() - 1];
+    // Roles correspond positionally; the specialized role target must be
+    // the same class or a specialization of the general role target.
+    for (int i = 0; i < 2; ++i) {
+      if (!schema.IsSameOrSpecializationOf(a.roles[i].target,
+                                           s.roles[i].target)) {
+        return Fail("association '" + a.name + "' role '" +
+                    a.roles[i].name +
+                    "' targets a class that does not specialize the "
+                    "general association's role target");
+      }
+    }
+  }
+  for (const Association& a : associations_) {
+    AssociationId cur = a.generalizes_into;
+    size_t steps = 0;
+    while (cur.valid()) {
+      if (cur == a.id) {
+        return Fail("generalization cycle through association '" + a.name +
+                    "'");
+      }
+      if (++steps > associations_.size()) {
+        return Fail("generalization cycle detected (associations)");
+      }
+      cur = associations_[cur.raw() - 1].generalizes_into;
+    }
+  }
+
+  // -- Covering conditions require specializations -------------------------------
+  for (const ObjectClass& c : classes_) {
+    if (c.covering && schema.SpecializationsOf(c.id).empty()) {
+      return Fail("covering class '" + c.name + "' has no specializations");
+    }
+  }
+  for (const Association& a : associations_) {
+    if (a.covering && schema.SpecializationsOf(a.id).empty()) {
+      return Fail("covering association '" + a.name +
+                  "' has no specializations");
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace seed::schema

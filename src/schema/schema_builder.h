@@ -1,0 +1,86 @@
+// SchemaBuilder: records schema elements, validates the whole schema at
+// Build() time, and freezes it into an immutable Schema.
+//
+// Ids are assigned in declaration order and remain stable under evolution:
+// Evolve(base) starts from a copy of `base` with version + 1 and only
+// appends (this implementation's schema evolution is additive; the paper
+// versions schemas but does not specify element deletion).
+
+#ifndef SEED_SCHEMA_SCHEMA_BUILDER_H_
+#define SEED_SCHEMA_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace seed::schema {
+
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string schema_name);
+
+  /// Starts from an existing schema (its elements keep their ids); the
+  /// resulting schema has version() == base.version() + 1.
+  static SchemaBuilder Evolve(const Schema& base);
+
+  // --- Classes -------------------------------------------------------------
+
+  /// Adds an independent (top-level) class.
+  ClassId AddIndependentClass(std::string name,
+                              ValueType value_type = ValueType::kNone);
+
+  /// Adds a dependent class under `owner` with role `name`: each owner
+  /// instance may have `cardinality` sub-objects of this class.
+  ClassId AddDependentClass(ClassId owner, std::string name,
+                            Cardinality cardinality,
+                            ValueType value_type = ValueType::kNone);
+
+  /// Adds a dependent class under an association (relationship attribute,
+  /// paper Fig. 3: `Write.NumberOfWrites`).
+  ClassId AddDependentClass(AssociationId owner, std::string name,
+                            Cardinality cardinality,
+                            ValueType value_type = ValueType::kNone);
+
+  /// Declares the allowed identifiers of a kEnum class.
+  SchemaBuilder& SetEnumValues(ClassId cls, std::vector<std::string> values);
+
+  /// Declares `sub` to be a specialization of `super` ("is-a").
+  SchemaBuilder& SetGeneralization(ClassId sub, ClassId super);
+
+  /// Marks the generalization rooted at `cls` as covering: every instance
+  /// must finally be re-classified into a proper specialization
+  /// (completeness information).
+  SchemaBuilder& SetCovering(ClassId cls, bool covering = true);
+
+  // --- Associations ----------------------------------------------------------
+
+  /// Adds a binary association. `acyclic` imposes the ACYCLIC condition on
+  /// the graph role0-object -> role1-object.
+  AssociationId AddAssociation(std::string name, Role role0, Role role1,
+                               bool acyclic = false);
+
+  SchemaBuilder& SetGeneralization(AssociationId sub, AssociationId super);
+  SchemaBuilder& SetCovering(AssociationId assoc, bool covering = true);
+
+  // --- Freeze ----------------------------------------------------------------
+
+  /// Validates everything and returns the immutable schema.
+  /// On failure, the status message lists the first violated rule.
+  Result<SchemaPtr> Build() const;
+
+ private:
+  friend class SchemaCodec;
+
+  Status Validate(const Schema& schema) const;
+
+  std::string name_;
+  std::uint64_t version_ = 1;
+  std::vector<ObjectClass> classes_;
+  std::vector<Association> associations_;
+};
+
+}  // namespace seed::schema
+
+#endif  // SEED_SCHEMA_SCHEMA_BUILDER_H_

@@ -1,0 +1,128 @@
+#include "schema/schema_io.h"
+
+#include "common/macros.h"
+#include "schema/schema_builder.h"
+
+namespace seed::schema {
+
+namespace {
+constexpr std::uint32_t kSchemaFormatVersion = 1;
+
+void EncodeCardinality(const Cardinality& c, Encoder* enc) {
+  enc->PutU32(c.min);
+  enc->PutU32(c.max);
+}
+
+Result<Cardinality> DecodeCardinality(Decoder* dec) {
+  Cardinality c;
+  SEED_ASSIGN_OR_RETURN(c.min, dec->GetU32());
+  SEED_ASSIGN_OR_RETURN(c.max, dec->GetU32());
+  return c;
+}
+}  // namespace
+
+void SchemaCodec::Encode(const Schema& schema, Encoder* enc) {
+  enc->PutU32(kSchemaFormatVersion);
+  enc->PutString(schema.name_);
+  enc->PutU64(schema.version_);
+
+  enc->PutVarint(schema.classes_.size());
+  for (const ObjectClass& c : schema.classes_) {
+    enc->PutU64(c.id.raw());
+    enc->PutString(c.name);
+    enc->PutU8(static_cast<std::uint8_t>(c.owner.kind));
+    enc->PutU64(c.owner.id_raw);
+    EncodeCardinality(c.cardinality, enc);
+    enc->PutU8(static_cast<std::uint8_t>(c.value_type));
+    enc->PutVarint(c.enum_values.size());
+    for (const std::string& v : c.enum_values) enc->PutString(v);
+    enc->PutU64(c.generalizes_into.raw());
+    enc->PutBool(c.covering);
+  }
+
+  enc->PutVarint(schema.associations_.size());
+  for (const Association& a : schema.associations_) {
+    enc->PutU64(a.id.raw());
+    enc->PutString(a.name);
+    for (const Role& r : a.roles) {
+      enc->PutString(r.name);
+      enc->PutU64(r.target.raw());
+      EncodeCardinality(r.cardinality, enc);
+    }
+    enc->PutBool(a.acyclic);
+    enc->PutU64(a.generalizes_into.raw());
+    enc->PutBool(a.covering);
+  }
+}
+
+Result<SchemaPtr> SchemaCodec::Decode(Decoder* dec) {
+  SEED_ASSIGN_OR_RETURN(std::uint32_t format, dec->GetU32());
+  if (format != kSchemaFormatVersion) {
+    return Status::Corruption("unknown schema format version " +
+                              std::to_string(format));
+  }
+  SchemaBuilder builder("");
+  SEED_ASSIGN_OR_RETURN(builder.name_, dec->GetString());
+  SEED_ASSIGN_OR_RETURN(builder.version_, dec->GetU64());
+
+  SEED_ASSIGN_OR_RETURN(std::uint64_t num_classes, dec->GetVarint());
+  builder.classes_.reserve(num_classes);
+  for (std::uint64_t i = 0; i < num_classes; ++i) {
+    ObjectClass c;
+    SEED_ASSIGN_OR_RETURN(std::uint64_t id_raw, dec->GetU64());
+    c.id = ClassId(id_raw);
+    if (c.id.raw() != i + 1) {
+      return Status::Corruption("non-dense class id in schema stream");
+    }
+    SEED_ASSIGN_OR_RETURN(c.name, dec->GetString());
+    SEED_ASSIGN_OR_RETURN(std::uint8_t owner_kind, dec->GetU8());
+    if (owner_kind > static_cast<std::uint8_t>(OwnerKind::kAssociation)) {
+      return Status::Corruption("bad owner kind in schema stream");
+    }
+    c.owner.kind = static_cast<OwnerKind>(owner_kind);
+    SEED_ASSIGN_OR_RETURN(c.owner.id_raw, dec->GetU64());
+    SEED_ASSIGN_OR_RETURN(c.cardinality, DecodeCardinality(dec));
+    SEED_ASSIGN_OR_RETURN(std::uint8_t vt, dec->GetU8());
+    if (vt > static_cast<std::uint8_t>(ValueType::kEnum)) {
+      return Status::Corruption("bad value type in schema stream");
+    }
+    c.value_type = static_cast<ValueType>(vt);
+    SEED_ASSIGN_OR_RETURN(std::uint64_t num_enum, dec->GetVarint());
+    for (std::uint64_t j = 0; j < num_enum; ++j) {
+      SEED_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+      c.enum_values.push_back(std::move(v));
+    }
+    SEED_ASSIGN_OR_RETURN(std::uint64_t gen_raw, dec->GetU64());
+    c.generalizes_into = ClassId(gen_raw);
+    SEED_ASSIGN_OR_RETURN(c.covering, dec->GetBool());
+    builder.classes_.push_back(std::move(c));
+  }
+
+  SEED_ASSIGN_OR_RETURN(std::uint64_t num_assocs, dec->GetVarint());
+  builder.associations_.reserve(num_assocs);
+  for (std::uint64_t i = 0; i < num_assocs; ++i) {
+    Association a;
+    SEED_ASSIGN_OR_RETURN(std::uint64_t id_raw, dec->GetU64());
+    a.id = AssociationId(id_raw);
+    if (a.id.raw() != i + 1) {
+      return Status::Corruption("non-dense association id in schema stream");
+    }
+    SEED_ASSIGN_OR_RETURN(a.name, dec->GetString());
+    for (Role& r : a.roles) {
+      SEED_ASSIGN_OR_RETURN(r.name, dec->GetString());
+      SEED_ASSIGN_OR_RETURN(std::uint64_t target_raw, dec->GetU64());
+      r.target = ClassId(target_raw);
+      SEED_ASSIGN_OR_RETURN(r.cardinality, DecodeCardinality(dec));
+    }
+    SEED_ASSIGN_OR_RETURN(a.acyclic, dec->GetBool());
+    SEED_ASSIGN_OR_RETURN(std::uint64_t gen_raw, dec->GetU64());
+    a.generalizes_into = AssociationId(gen_raw);
+    SEED_ASSIGN_OR_RETURN(a.covering, dec->GetBool());
+    builder.associations_.push_back(std::move(a));
+  }
+
+  // Build() re-validates, so corrupt streams cannot produce a bad schema.
+  return builder.Build();
+}
+
+}  // namespace seed::schema

@@ -1,0 +1,22 @@
+// Schema (de)serialization. Decoded schemas are re-validated through the
+// SchemaBuilder, so a corrupted byte stream can never yield an inconsistent
+// schema object.
+
+#ifndef SEED_SCHEMA_SCHEMA_IO_H_
+#define SEED_SCHEMA_SCHEMA_IO_H_
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace seed::schema {
+
+class SchemaCodec {
+ public:
+  static void Encode(const Schema& schema, Encoder* enc);
+  static Result<SchemaPtr> Decode(Decoder* dec);
+};
+
+}  // namespace seed::schema
+
+#endif  // SEED_SCHEMA_SCHEMA_IO_H_

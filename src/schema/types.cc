@@ -1,0 +1,101 @@
+#include "schema/types.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace seed::schema {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNone:
+      return "NONE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kDate:
+      return "DATE";
+    case ValueType::kEnum:
+      return "ENUM";
+  }
+  return "?";
+}
+
+namespace {
+bool IsLeapYear(std::int32_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+std::uint8_t DaysInMonth(std::int32_t year, std::uint8_t month) {
+  static constexpr std::uint8_t kDays[] = {31, 28, 31, 30, 31, 30,
+                                           31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+}  // namespace
+
+Result<Date> Date::Make(std::int32_t year, std::uint8_t month,
+                        std::uint8_t day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month " + std::to_string(month) +
+                                   " out of range");
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day " + std::to_string(day) +
+                                   " out of range for " +
+                                   std::to_string(year) + "-" +
+                                   std::to_string(month));
+  }
+  return Date{year, month, day};
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year, month, day);
+  return buf;
+}
+
+Result<Date> Date::Parse(std::string_view s) {
+  auto parts = strings::Split(s, '-');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("bad date '" + std::string(s) +
+                                   "', want YYYY-MM-DD");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long y = std::strtol(parts[0].c_str(), &end, 10);
+  if (end == parts[0].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad year in date '" + std::string(s) +
+                                   "'");
+  }
+  long m = std::strtol(parts[1].c_str(), &end, 10);
+  if (end == parts[1].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad month in date '" + std::string(s) +
+                                   "'");
+  }
+  long d = std::strtol(parts[2].c_str(), &end, 10);
+  if (end == parts[2].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad day in date '" + std::string(s) +
+                                   "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("date components out of range in '" +
+                                   std::string(s) + "'");
+  }
+  return Date::Make(static_cast<std::int32_t>(y),
+                    static_cast<std::uint8_t>(m),
+                    static_cast<std::uint8_t>(d));
+}
+
+std::string Cardinality::ToString() const {
+  std::string out = std::to_string(min) + "..";
+  out += unlimited_max() ? "*" : std::to_string(max);
+  return out;
+}
+
+}  // namespace seed::schema

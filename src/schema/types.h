@@ -1,0 +1,88 @@
+// Basic schema vocabulary: value types, cardinalities, dates.
+
+#ifndef SEED_SCHEMA_TYPES_H_
+#define SEED_SCHEMA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace seed::schema {
+
+/// Primitive types a leaf class's instances may carry as values.
+/// (Paper Fig. 2: `Contents STRING`; Fig. 3: `Revised DATE`,
+/// `ErrorHandling (abort, repeat)` — the latter is an enumeration.)
+enum class ValueType : std::uint8_t {
+  kNone = 0,  // instances carry no value
+  kString = 1,
+  kInt = 2,
+  kReal = 3,
+  kBool = 4,
+  kDate = 5,
+  kEnum = 6,  // one of a fixed identifier list declared on the class
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// Calendar date (paper Fig. 3 attaches a `Revised DATE` to `Thing`).
+struct Date {
+  std::int32_t year = 1970;
+  std::uint8_t month = 1;  // 1..12
+  std::uint8_t day = 1;    // 1..31
+
+  static Result<Date> Make(std::int32_t year, std::uint8_t month,
+                           std::uint8_t day);
+
+  bool operator==(const Date&) const = default;
+  auto operator<=>(const Date&) const = default;
+
+  /// ISO "YYYY-MM-DD".
+  std::string ToString() const;
+  static Result<Date> Parse(std::string_view s);
+};
+
+/// Cardinality range `min..max` with `*` for unlimited (paper notation
+/// "n..m, * = unlimited"). Maximum cardinalities are *consistency*
+/// information (checked on every update); minimum cardinalities are
+/// *completeness* information (checked only by explicit operations).
+struct Cardinality {
+  static constexpr std::uint32_t kUnlimited =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t min = 0;
+  std::uint32_t max = kUnlimited;
+
+  constexpr Cardinality() = default;
+  constexpr Cardinality(std::uint32_t min_, std::uint32_t max_)
+      : min(min_), max(max_) {}
+
+  /// `min..*`
+  static constexpr Cardinality AtLeast(std::uint32_t m) {
+    return Cardinality(m, kUnlimited);
+  }
+  /// `0..*`
+  static constexpr Cardinality Any() { return Cardinality(0, kUnlimited); }
+  /// `n..n`
+  static constexpr Cardinality Exactly(std::uint32_t n) {
+    return Cardinality(n, n);
+  }
+  /// `0..1`
+  static constexpr Cardinality Optional() { return Cardinality(0, 1); }
+  /// `1..1`
+  static constexpr Cardinality One() { return Cardinality(1, 1); }
+
+  bool unlimited_max() const { return max == kUnlimited; }
+  bool IsValid() const { return max == kUnlimited || min <= max; }
+
+  bool operator==(const Cardinality&) const = default;
+
+  /// "1..*", "0..16", ...
+  std::string ToString() const;
+};
+
+}  // namespace seed::schema
+
+#endif  // SEED_SCHEMA_TYPES_H_

@@ -1,0 +1,127 @@
+#include "spades/spec_schema.h"
+
+#include "common/macros.h"
+#include "schema/schema_builder.h"
+
+namespace seed::spades {
+
+using schema::Cardinality;
+using schema::Role;
+using schema::SchemaBuilder;
+using schema::ValueType;
+
+Result<Fig2Schema> BuildFig2Schema() {
+  SchemaBuilder b("Fig2MiniSpec");
+  Fig2Ids ids;
+
+  ids.data = b.AddIndependentClass("Data");
+  ids.text = b.AddDependentClass(ids.data, "Text", Cardinality(0, 16));
+  ids.body = b.AddDependentClass(ids.text, "Body", Cardinality::One());
+  ids.contents = b.AddDependentClass(ids.body, "Contents",
+                                     Cardinality::One(), ValueType::kString);
+  ids.keywords = b.AddDependentClass(ids.body, "Keywords", Cardinality(0, 8),
+                                     ValueType::kString);
+  ids.selector = b.AddDependentClass(ids.text, "Selector",
+                                     Cardinality::Optional(),
+                                     ValueType::kString);
+
+  ids.action = b.AddIndependentClass("Action");
+  ids.description = b.AddDependentClass(ids.action, "Description",
+                                        Cardinality::Optional(),
+                                        ValueType::kString);
+
+  // "'1..*' means that 'Data' must have at least one relationship with an
+  // instance of 'Action'" — the Data-side roles carry min 1.
+  ids.read = b.AddAssociation(
+      "Read", Role{"from", ids.data, Cardinality::AtLeast(1)},
+      Role{"by", ids.action, Cardinality::Any()});
+  ids.write = b.AddAssociation(
+      "Write", Role{"to", ids.data, Cardinality::AtLeast(1)},
+      Role{"by", ids.action, Cardinality::Any()});
+
+  // "The association 'Contained' imposes a tree structure on ... 'Action'
+  // by means of the attribute ACYCLIC and the cardinality 0..1 for the
+  // role 'in'": each action is contained in at most one container.
+  ids.contained = b.AddAssociation(
+      "Contained", Role{"contained", ids.action, Cardinality::Optional()},
+      Role{"container", ids.action, Cardinality::Any()},
+      /*acyclic=*/true);
+
+  SEED_ASSIGN_OR_RETURN(schema::SchemaPtr schema, b.Build());
+  return Fig2Schema{std::move(schema), ids};
+}
+
+Result<Fig3Schema> BuildFig3Schema() {
+  SchemaBuilder b("Fig3GeneralizedSpec");
+  Fig3Ids ids;
+
+  // Generalization root: Thing, carrying Revised DATE and Description.
+  ids.thing = b.AddIndependentClass("Thing");
+  ids.revised = b.AddDependentClass(ids.thing, "Revised",
+                                    Cardinality::Optional(),
+                                    ValueType::kDate);
+  ids.description = b.AddDependentClass(ids.thing, "Description",
+                                        Cardinality::Optional(),
+                                        ValueType::kString);
+
+  ids.data = b.AddIndependentClass("Data");
+  b.SetGeneralization(ids.data, ids.thing);
+  ids.text = b.AddDependentClass(ids.data, "Text", Cardinality(0, 16));
+  ids.body = b.AddDependentClass(ids.text, "Body", Cardinality::One());
+  ids.contents = b.AddDependentClass(ids.body, "Contents",
+                                     Cardinality::One(), ValueType::kString);
+  ids.keywords = b.AddDependentClass(ids.body, "Keywords", Cardinality(0, 8),
+                                     ValueType::kString);
+  ids.selector = b.AddDependentClass(ids.text, "Selector",
+                                     Cardinality::Optional(),
+                                     ValueType::kString);
+
+  ids.input_data = b.AddIndependentClass("InputData");
+  b.SetGeneralization(ids.input_data, ids.data);
+  ids.output_data = b.AddIndependentClass("OutputData");
+  b.SetGeneralization(ids.output_data, ids.data);
+
+  ids.action = b.AddIndependentClass("Action");
+  b.SetGeneralization(ids.action, ids.thing);
+
+  // Thing is a covering generalization: every Thing must finally become a
+  // Data (or below) or an Action.
+  b.SetCovering(ids.thing);
+
+  // Access generalizes Read and Write. "The cardinality 1..* of 'Access
+  // by' means that every object of class 'Action' eventually must access
+  // at least one object of class 'Data'. However, the cardinality 0..* of
+  // 'Read by' and 'Write by' allows either a write or a read access to
+  // satisfy this condition."
+  ids.access = b.AddAssociation(
+      "Access", Role{"of", ids.data, Cardinality::AtLeast(1)},
+      Role{"by", ids.action, Cardinality::AtLeast(1)});
+  ids.read = b.AddAssociation(
+      "Read", Role{"from", ids.input_data, Cardinality::AtLeast(1)},
+      Role{"by", ids.action, Cardinality::Any()});
+  b.SetGeneralization(ids.read, ids.access);
+  ids.write = b.AddAssociation(
+      "Write", Role{"to", ids.output_data, Cardinality::AtLeast(1)},
+      Role{"by", ids.action, Cardinality::Any()});
+  b.SetGeneralization(ids.write, ids.access);
+  // Access must finally be specialized into Read or Write.
+  b.SetCovering(ids.access);
+
+  // Write attributes (paper: "written twice ... repeated in case of
+  // error").
+  ids.number_of_writes = b.AddDependentClass(
+      ids.write, "NumberOfWrites", Cardinality::One(), ValueType::kInt);
+  ids.error_handling = b.AddDependentClass(
+      ids.write, "ErrorHandling", Cardinality::Optional(), ValueType::kEnum);
+  b.SetEnumValues(ids.error_handling, {"abort", "repeat"});
+
+  ids.contained = b.AddAssociation(
+      "Contained", Role{"contained", ids.action, Cardinality::Optional()},
+      Role{"container", ids.action, Cardinality::Any()},
+      /*acyclic=*/true);
+
+  SEED_ASSIGN_OR_RETURN(schema::SchemaPtr schema, b.Build());
+  return Fig3Schema{std::move(schema), ids};
+}
+
+}  // namespace seed::spades

@@ -1,0 +1,55 @@
+// The paper's example schemas.
+//
+// BuildFig2Schema(): the "primitive specification system" of Fig. 2 —
+// classes Data (with the Text/Body/Selector/Keywords subtree) and Action,
+// associations Read and Write (minimum cardinality 1..* on the Data side),
+// and the ACYCLIC association Contained imposing a tree on Actions.
+//
+// BuildFig3Schema(): Fig. 2 extended with the generalizations of Fig. 3 —
+// class Thing generalizing Data and Action (with Revised DATE and
+// Description STRING), InputData/OutputData specializing Data, association
+// Access generalizing Read and Write, and the Write attributes
+// NumberOfWrites (INT) and ErrorHandling (enum abort/repeat).
+
+#ifndef SEED_SPADES_SPEC_SCHEMA_H_
+#define SEED_SPADES_SPEC_SCHEMA_H_
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace seed::spades {
+
+/// Ids of the Fig. 2 schema elements.
+struct Fig2Ids {
+  ClassId data, text, body, contents, keywords, selector;
+  ClassId action, description;
+  AssociationId read, write, contained;
+};
+
+struct Fig2Schema {
+  schema::SchemaPtr schema;
+  Fig2Ids ids;
+};
+
+Result<Fig2Schema> BuildFig2Schema();
+
+/// Ids of the Fig. 3 schema elements (includes the Fig. 2 subset).
+struct Fig3Ids {
+  ClassId thing, revised, description;
+  ClassId data, text, body, contents, keywords, selector;
+  ClassId input_data, output_data;
+  ClassId action;
+  AssociationId access, read, write, contained;
+  ClassId number_of_writes, error_handling;
+};
+
+struct Fig3Schema {
+  schema::SchemaPtr schema;
+  Fig3Ids ids;
+};
+
+Result<Fig3Schema> BuildFig3Schema();
+
+}  // namespace seed::spades
+
+#endif  // SEED_SPADES_SPEC_SCHEMA_H_

@@ -1,0 +1,281 @@
+#include "spades/spec_tool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace seed::spades {
+
+// --- SeedSpecTool -------------------------------------------------------------
+
+Result<std::unique_ptr<SeedSpecTool>> SeedSpecTool::Create() {
+  SEED_ASSIGN_OR_RETURN(Fig3Schema fig3, BuildFig3Schema());
+  auto db = std::make_unique<core::Database>(fig3.schema);
+  return std::unique_ptr<SeedSpecTool>(
+      new SeedSpecTool(std::move(db), fig3.ids));
+}
+
+Status SeedSpecTool::AddThing(const std::string& name) {
+  return db_->CreateObject(ids_.thing, name).status();
+}
+
+Status SeedSpecTool::AddData(const std::string& name) {
+  return db_->CreateObject(ids_.data, name).status();
+}
+
+Status SeedSpecTool::AddAction(const std::string& name) {
+  return db_->CreateObject(ids_.action, name).status();
+}
+
+Status SeedSpecTool::RefineThingToData(const std::string& name) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  return db_->Reclassify(id, ids_.data);
+}
+
+Status SeedSpecTool::RefineThingToAction(const std::string& name) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  return db_->Reclassify(id, ids_.action);
+}
+
+Status SeedSpecTool::RefineDataToInput(const std::string& name) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  return db_->Reclassify(id, ids_.input_data);
+}
+
+Status SeedSpecTool::RefineDataToOutput(const std::string& name) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  return db_->Reclassify(id, ids_.output_data);
+}
+
+Status SeedSpecTool::AddFlow(const std::string& action,
+                             const std::string& data, FlowKind kind) {
+  SEED_ASSIGN_OR_RETURN(ObjectId action_id, db_->FindObjectByName(action));
+  SEED_ASSIGN_OR_RETURN(ObjectId data_id, db_->FindObjectByName(data));
+  AssociationId assoc = kind == FlowKind::kUnknown ? ids_.access
+                        : kind == FlowKind::kRead  ? ids_.read
+                                                   : ids_.write;
+  return db_->CreateRelationship(assoc, data_id, action_id).status();
+}
+
+Result<RelationshipId> SeedSpecTool::FindFlow(const std::string& action,
+                                              const std::string& data) {
+  SEED_ASSIGN_OR_RETURN(ObjectId action_id, db_->FindObjectByName(action));
+  SEED_ASSIGN_OR_RETURN(ObjectId data_id, db_->FindObjectByName(data));
+  for (RelationshipId rid : db_->RelationshipsOf(data_id, ids_.access, 0)) {
+    SEED_ASSIGN_OR_RETURN(const core::RelationshipItem* rel,
+                          db_->GetRelationship(rid));
+    if (rel->ends[1] == action_id) return rid;
+  }
+  return Status::NotFound("no flow between '" + action + "' and '" + data +
+                          "'");
+}
+
+Status SeedSpecTool::RefineFlow(const std::string& action,
+                                const std::string& data, FlowKind kind) {
+  if (kind == FlowKind::kUnknown) {
+    return Status::InvalidArgument("cannot refine a flow to 'unknown'");
+  }
+  SEED_ASSIGN_OR_RETURN(RelationshipId rid, FindFlow(action, data));
+  return db_->ReclassifyRelationship(
+      rid, kind == FlowKind::kRead ? ids_.read : ids_.write);
+}
+
+Status SeedSpecTool::Contain(const std::string& parent,
+                             const std::string& child) {
+  SEED_ASSIGN_OR_RETURN(ObjectId parent_id, db_->FindObjectByName(parent));
+  SEED_ASSIGN_OR_RETURN(ObjectId child_id, db_->FindObjectByName(child));
+  return db_
+      ->CreateRelationship(ids_.contained, child_id, parent_id)
+      .status();
+}
+
+Status SeedSpecTool::SetDescription(const std::string& name,
+                                    const std::string& text) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  std::vector<ObjectId> existing = db_->SubObjects(id, "Description");
+  ObjectId desc;
+  if (existing.empty()) {
+    SEED_ASSIGN_OR_RETURN(desc, db_->CreateSubObject(id, "Description"));
+  } else {
+    desc = existing[0];
+  }
+  return db_->SetValue(desc, core::Value::String(text));
+}
+
+Result<std::string> SeedSpecTool::GetDescription(const std::string& name) {
+  SEED_ASSIGN_OR_RETURN(ObjectId id, db_->FindObjectByName(name));
+  std::vector<ObjectId> existing = db_->SubObjects(id, "Description");
+  if (existing.empty()) {
+    return Status::NotFound("'" + name + "' has no description");
+  }
+  SEED_ASSIGN_OR_RETURN(const core::ObjectItem* desc,
+                        db_->GetObject(existing[0]));
+  if (!desc->value.defined()) {
+    return Status::NotFound("'" + name + "' has an undefined description");
+  }
+  return desc->value.as_string();
+}
+
+Result<std::vector<std::string>> SeedSpecTool::DataReadBy(
+    const std::string& action) {
+  SEED_ASSIGN_OR_RETURN(ObjectId action_id, db_->FindObjectByName(action));
+  std::vector<std::string> out;
+  for (RelationshipId rid : db_->RelationshipsOf(action_id, ids_.read, 1)) {
+    SEED_ASSIGN_OR_RETURN(const core::RelationshipItem* rel,
+                          db_->GetRelationship(rid));
+    out.push_back(db_->FullName(rel->ends[0]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> SeedSpecTool::ActionsAccessing(
+    const std::string& data) {
+  SEED_ASSIGN_OR_RETURN(ObjectId data_id, db_->FindObjectByName(data));
+  std::vector<std::string> out;
+  for (RelationshipId rid : db_->RelationshipsOf(data_id, ids_.access, 0)) {
+    SEED_ASSIGN_OR_RETURN(const core::RelationshipItem* rel,
+                          db_->GetRelationship(rid));
+    out.push_back(db_->FullName(rel->ends[1]));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::uint64_t> SeedSpecTool::CountIncomplete() {
+  return static_cast<std::uint64_t>(db_->CheckCompleteness().size());
+}
+
+// --- DirectSpecTool ---------------------------------------------------------------
+
+Status DirectSpecTool::AddThing(const std::string& name) {
+  if (!nodes_.emplace(name, Node{Kind::kThing, {}}).second) {
+    return Status::AlreadyExists("'" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status DirectSpecTool::AddData(const std::string& name) {
+  if (!nodes_.emplace(name, Node{Kind::kData, {}}).second) {
+    return Status::AlreadyExists("'" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status DirectSpecTool::AddAction(const std::string& name) {
+  if (!nodes_.emplace(name, Node{Kind::kAction, {}}).second) {
+    return Status::AlreadyExists("'" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status DirectSpecTool::RefineThingToData(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  it->second.kind = Kind::kData;
+  return Status::OK();
+}
+
+Status DirectSpecTool::RefineThingToAction(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  it->second.kind = Kind::kAction;
+  return Status::OK();
+}
+
+Status DirectSpecTool::RefineDataToInput(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  it->second.kind = Kind::kInput;
+  return Status::OK();
+}
+
+Status DirectSpecTool::RefineDataToOutput(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  it->second.kind = Kind::kOutput;
+  return Status::OK();
+}
+
+Status DirectSpecTool::AddFlow(const std::string& action,
+                               const std::string& data, FlowKind kind) {
+  if (nodes_.find(action) == nodes_.end()) {
+    return Status::NotFound("'" + action + "'");
+  }
+  if (nodes_.find(data) == nodes_.end()) {
+    return Status::NotFound("'" + data + "'");
+  }
+  flows_.push_back(Flow{action, data, kind});
+  return Status::OK();
+}
+
+Status DirectSpecTool::RefineFlow(const std::string& action,
+                                  const std::string& data, FlowKind kind) {
+  for (Flow& flow : flows_) {
+    if (flow.action == action && flow.data == data) {
+      flow.kind = kind;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no flow between '" + action + "' and '" + data +
+                          "'");
+}
+
+Status DirectSpecTool::Contain(const std::string& parent,
+                               const std::string& child) {
+  if (nodes_.find(parent) == nodes_.end()) {
+    return Status::NotFound("'" + parent + "'");
+  }
+  if (nodes_.find(child) == nodes_.end()) {
+    return Status::NotFound("'" + child + "'");
+  }
+  container_of_[child] = parent;  // no cycle check: the old tool trusted you
+  return Status::OK();
+}
+
+Status DirectSpecTool::SetDescription(const std::string& name,
+                                      const std::string& text) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  it->second.description = text;
+  return Status::OK();
+}
+
+Result<std::string> DirectSpecTool::GetDescription(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("'" + name + "'");
+  if (it->second.description.empty()) {
+    return Status::NotFound("'" + name + "' has no description");
+  }
+  return it->second.description;
+}
+
+Result<std::vector<std::string>> DirectSpecTool::DataReadBy(
+    const std::string& action) {
+  std::vector<std::string> out;
+  for (const Flow& flow : flows_) {
+    if (flow.action == action && flow.kind == FlowKind::kRead) {
+      out.push_back(flow.data);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> DirectSpecTool::ActionsAccessing(
+    const std::string& data) {
+  std::vector<std::string> out;
+  for (const Flow& flow : flows_) {
+    if (flow.data == data) out.push_back(flow.action);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::uint64_t> DirectSpecTool::CountIncomplete() {
+  return std::uint64_t{0};  // the old tool has no completeness concept
+}
+
+}  // namespace seed::spades

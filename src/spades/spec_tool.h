@@ -1,0 +1,168 @@
+// A miniature SPADES: the specification/design tool the paper integrated
+// SEED into. Two implementations share one interface:
+//
+//  * SeedSpecTool — backed by a SEED Database under the Fig. 3 schema
+//    (vague Things, Access flows, re-classification, completeness checks);
+//  * DirectSpecTool — the pre-SEED baseline: hand-rolled in-memory
+//    structures with no consistency checking and no database features.
+//
+// The paper's only performance observation — "SPADES has become
+// considerably slower, but much more flexible" — is reproduced by running
+// the same workload through both (bench_spades_overhead).
+
+#ifndef SEED_SPADES_SPEC_TOOL_H_
+#define SEED_SPADES_SPEC_TOOL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace seed::spades {
+
+enum class FlowKind { kUnknown, kRead, kWrite };
+
+/// The operations a specification session performs.
+class SpecTool {
+ public:
+  virtual ~SpecTool() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Vague entry: "there is a thing with this name".
+  virtual Status AddThing(const std::string& name) = 0;
+  virtual Status AddData(const std::string& name) = 0;
+  virtual Status AddAction(const std::string& name) = 0;
+
+  /// Makes a previously vague thing precise.
+  virtual Status RefineThingToData(const std::string& name) = 0;
+  virtual Status RefineThingToAction(const std::string& name) = 0;
+  /// Further precision: data becomes input or output.
+  virtual Status RefineDataToInput(const std::string& name) = 0;
+  virtual Status RefineDataToOutput(const std::string& name) = 0;
+
+  /// Adds a dataflow between an action and a data item. kUnknown records a
+  /// vague Access; kRead/kWrite record precise flows (the data item must
+  /// already be input/output respectively under the Fig. 3 schema).
+  virtual Status AddFlow(const std::string& action, const std::string& data,
+                         FlowKind kind) = 0;
+  /// Specializes an existing vague flow.
+  virtual Status RefineFlow(const std::string& action,
+                            const std::string& data, FlowKind kind) = 0;
+
+  /// Nests `child` inside `parent` (actions form a tree).
+  virtual Status Contain(const std::string& parent,
+                         const std::string& child) = 0;
+
+  virtual Status SetDescription(const std::string& name,
+                                const std::string& text) = 0;
+  virtual Result<std::string> GetDescription(const std::string& name) = 0;
+
+  /// Names of data items the action reads (precise Read flows only).
+  virtual Result<std::vector<std::string>> DataReadBy(
+      const std::string& action) = 0;
+  /// Names of actions with any flow to/from the data item.
+  virtual Result<std::vector<std::string>> ActionsAccessing(
+      const std::string& data) = 0;
+
+  /// Number of open completeness findings (0 for tools without the
+  /// concept).
+  virtual Result<std::uint64_t> CountIncomplete() = 0;
+};
+
+/// SEED-backed implementation (Fig. 3 schema).
+class SeedSpecTool : public SpecTool {
+ public:
+  static Result<std::unique_ptr<SeedSpecTool>> Create();
+
+  std::string name() const override { return "SeedSpecTool"; }
+
+  Status AddThing(const std::string& name) override;
+  Status AddData(const std::string& name) override;
+  Status AddAction(const std::string& name) override;
+  Status RefineThingToData(const std::string& name) override;
+  Status RefineThingToAction(const std::string& name) override;
+  Status RefineDataToInput(const std::string& name) override;
+  Status RefineDataToOutput(const std::string& name) override;
+  Status AddFlow(const std::string& action, const std::string& data,
+                 FlowKind kind) override;
+  Status RefineFlow(const std::string& action, const std::string& data,
+                    FlowKind kind) override;
+  Status Contain(const std::string& parent,
+                 const std::string& child) override;
+  Status SetDescription(const std::string& name,
+                        const std::string& text) override;
+  Result<std::string> GetDescription(const std::string& name) override;
+  Result<std::vector<std::string>> DataReadBy(
+      const std::string& action) override;
+  Result<std::vector<std::string>> ActionsAccessing(
+      const std::string& data) override;
+  Result<std::uint64_t> CountIncomplete() override;
+
+  core::Database* database() { return db_.get(); }
+  const Fig3Ids& ids() const { return ids_; }
+
+ private:
+  SeedSpecTool(std::unique_ptr<core::Database> db, Fig3Ids ids)
+      : db_(std::move(db)), ids_(ids) {}
+
+  Result<RelationshipId> FindFlow(const std::string& action,
+                                  const std::string& data);
+
+  std::unique_ptr<core::Database> db_;
+  Fig3Ids ids_;
+};
+
+/// Pre-SEED baseline: plain structs, no checking, no vagueness concept
+/// beyond a kind tag.
+class DirectSpecTool : public SpecTool {
+ public:
+  std::string name() const override { return "DirectSpecTool"; }
+
+  Status AddThing(const std::string& name) override;
+  Status AddData(const std::string& name) override;
+  Status AddAction(const std::string& name) override;
+  Status RefineThingToData(const std::string& name) override;
+  Status RefineThingToAction(const std::string& name) override;
+  Status RefineDataToInput(const std::string& name) override;
+  Status RefineDataToOutput(const std::string& name) override;
+  Status AddFlow(const std::string& action, const std::string& data,
+                 FlowKind kind) override;
+  Status RefineFlow(const std::string& action, const std::string& data,
+                    FlowKind kind) override;
+  Status Contain(const std::string& parent,
+                 const std::string& child) override;
+  Status SetDescription(const std::string& name,
+                        const std::string& text) override;
+  Result<std::string> GetDescription(const std::string& name) override;
+  Result<std::vector<std::string>> DataReadBy(
+      const std::string& action) override;
+  Result<std::vector<std::string>> ActionsAccessing(
+      const std::string& data) override;
+  Result<std::uint64_t> CountIncomplete() override;
+
+ private:
+  enum class Kind { kThing, kData, kInput, kOutput, kAction };
+  struct Node {
+    Kind kind;
+    std::string description;
+  };
+  struct Flow {
+    std::string action;
+    std::string data;
+    FlowKind kind;
+  };
+
+  std::unordered_map<std::string, Node> nodes_;
+  std::vector<Flow> flows_;
+  std::unordered_map<std::string, std::string> container_of_;
+};
+
+}  // namespace seed::spades
+
+#endif  // SEED_SPADES_SPEC_TOOL_H_

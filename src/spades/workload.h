@@ -1,0 +1,38 @@
+// Deterministic specification-session workload, runnable against any
+// SpecTool implementation. Models the paper's development narrative at
+// scale: vague entries first, progressive refinement, dataflows, action
+// nesting, descriptions, and interleaved retrieval.
+
+#ifndef SEED_SPADES_WORKLOAD_H_
+#define SEED_SPADES_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "spades/spec_tool.h"
+
+namespace seed::spades {
+
+struct SessionParams {
+  std::size_t num_actions = 50;
+  std::size_t num_data = 50;
+  /// Fraction of data items first entered vaguely as Things.
+  double vague_fraction = 0.5;
+  std::size_t flows_per_action = 3;
+  std::size_t num_queries = 100;
+  std::uint64_t seed = 42;
+};
+
+struct SessionStats {
+  std::uint64_t mutations = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t incomplete_findings = 0;
+};
+
+/// Runs one full session; every operation must succeed (the stream is
+/// constructed to be consistent under the Fig. 3 schema).
+Result<SessionStats> RunSession(SpecTool* tool, const SessionParams& params);
+
+}  // namespace seed::spades
+
+#endif  // SEED_SPADES_WORKLOAD_H_

@@ -1,0 +1,157 @@
+#include "storage/buffer_pool.h"
+
+#include "common/macros.h"
+
+#include <cassert>
+
+namespace seed::storage {
+
+PageGuard::PageGuard(BufferPool* pool, PageId id, Page* page,
+                     bool* dirty_flag)
+    : pool_(pool), id_(id), page_(page), dirty_flag_(dirty_flag) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      id_(other.id_),
+      page_(other.page_),
+      dirty_flag_(other.dirty_flag_) {
+  other.pool_ = nullptr;
+  other.page_ = nullptr;
+  other.dirty_flag_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    dirty_flag_ = other.dirty_flag_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.dirty_flag_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_flag_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.reserve(capacity_);
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->pin_count > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = table_.find(id);
+  assert(it != table_.end());
+  Frame& f = *frames_[it->second];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+  if (f.pin_count == 0 && !f.in_lru) {
+    lru_.push_back(it->second);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Frame>());
+    return frames_.size() - 1;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& victim = *frames_[idx];
+  victim.in_lru = false;
+  if (victim.dirty) {
+    SEED_RETURN_IF_ERROR(disk_->WritePage(victim.id, victim.page));
+    victim.dirty = false;
+  }
+  table_.erase(victim.id);
+  return idx;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    Frame& f = *frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, id, &f.page, &f.dirty);
+  }
+  ++misses_;
+  SEED_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  Frame& f = *frames_[idx];
+  Status s = disk_->ReadPage(id, &f.page);
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page, &f.dirty);
+}
+
+Result<PageGuard> BufferPool::New() {
+  SEED_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  SEED_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  Frame& f = *frames_[idx];
+  f.id = id;
+  f.page.Zero();
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page, &f.dirty);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& fp : frames_) {
+    Frame& f = *fp;
+    if (f.dirty && f.id.valid()) {
+      SEED_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Checkpoint() {
+  SEED_RETURN_IF_ERROR(FlushAll());
+  return disk_->Sync();
+}
+
+}  // namespace seed::storage

@@ -1,0 +1,110 @@
+// Buffer pool: caches pages in fixed frames with pin counting and LRU
+// eviction of unpinned frames. Single-threaded by design (the paper's SEED
+// is a single-user system; the multiuser layer serializes at the server).
+
+#ifndef SEED_STORAGE_BUFFER_POOL_H_
+#define SEED_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace seed::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins (and records dirtiness) on
+/// destruction. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, Page* page, bool* dirty_flag);
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Read-only access.
+  const Page& page() const { return *page_; }
+  /// Mutable access; marks the frame dirty.
+  Page& MutablePage() {
+    *dirty_flag_ = true;
+    return *page_;
+  }
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_;
+  Page* page_ = nullptr;
+  bool* dirty_flag_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches `id` into the pool (reading from disk on miss) and pins it.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a new page on disk, pins it, and returns it zero-filled.
+  Result<PageGuard> New();
+
+  /// Writes all dirty frames back to disk (does not evict, does not fsync).
+  Status FlushAll();
+
+  /// FlushAll + fsync.
+  Status Checkpoint();
+
+  size_t capacity() const { return capacity_; }
+  std::uint64_t hit_count() const { return hits_; }
+  std::uint64_t miss_count() const { return misses_; }
+  size_t pinned_frames() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id;
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  /// Returns a free frame index, evicting an unpinned frame if needed.
+  Result<size_t> GetFreeFrame();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  std::list<size_t> lru_;                     // unpinned frames, LRU at front
+  std::vector<size_t> free_frames_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_BUFFER_POOL_H_

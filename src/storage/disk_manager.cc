@@ -1,0 +1,138 @@
+#include "storage/disk_manager.h"
+
+#include "common/macros.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seed::storage {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x5EEDDA7AF11E0001ull;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+}  // namespace
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DiskManager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("disk manager already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Status::IoError(Errno("open " + path));
+  path_ = path;
+
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IoError(Errno("lseek " + path));
+  if (size == 0) {
+    // Fresh file: write header page 0.
+    Page header;
+    header.WriteU64(0, kMagic);
+    num_pages_ = 1;
+    header.WriteU64(8, num_pages_);
+    if (::pwrite(fd_, header.bytes(), kPageSize, 0) !=
+        static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError(Errno("write header " + path));
+    }
+    return Status::OK();
+  }
+  if (size % kPageSize != 0) {
+    return Status::Corruption("data file size " + std::to_string(size) +
+                              " is not a multiple of the page size");
+  }
+  Page header;
+  if (::pread(fd_, header.bytes(), kPageSize, 0) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("read header " + path));
+  }
+  if (header.ReadU64(0) != kMagic) {
+    return Status::Corruption("bad magic in data file " + path);
+  }
+  num_pages_ = static_cast<std::uint64_t>(size) / kPageSize;
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ < 0) return Status::OK();
+  SEED_RETURN_IF_ERROR(Sync());
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IoError(Errno("close " + path_));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status DiskManager::CheckId(PageId id) const {
+  // Page 0 (the header/superblock page) is directly addressable here even
+  // though PageId(0) serves as the "no page" sentinel elsewhere.
+  if (id.raw() >= num_pages_) {
+    return Status::InvalidArgument("page id " + std::to_string(id.raw()) +
+                                   " out of range (num_pages=" +
+                                   std::to_string(num_pages_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (fd_ < 0) return Status::FailedPrecondition("disk manager not open");
+  PageId id(num_pages_);
+  Page zero;
+  if (::pwrite(fd_, zero.bytes(), kPageSize,
+               static_cast<off_t>(id.raw() * kPageSize)) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("extend " + path_));
+  }
+  ++num_pages_;
+  // Persist the watermark in the header page.
+  Page header;
+  if (::pread(fd_, header.bytes(), kPageSize, 0) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("read header " + path_));
+  }
+  header.WriteU64(8, num_pages_);
+  if (::pwrite(fd_, header.bytes(), kPageSize, 0) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("update header " + path_));
+  }
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("disk manager not open");
+  SEED_RETURN_IF_ERROR(CheckId(id));
+  ssize_t n = ::pread(fd_, out->bytes(), kPageSize,
+                      static_cast<off_t>(id.raw() * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("read page " + std::to_string(id.raw())));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  if (fd_ < 0) return Status::FailedPrecondition("disk manager not open");
+  SEED_RETURN_IF_ERROR(CheckId(id));
+  ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
+                       static_cast<off_t>(id.raw() * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("write page " + std::to_string(id.raw())));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("disk manager not open");
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync " + path_));
+  return Status::OK();
+}
+
+}  // namespace seed::storage

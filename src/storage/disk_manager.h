@@ -1,0 +1,55 @@
+// File-backed page storage. A DiskManager owns one data file, which is an
+// array of kPageSize pages. PageId n maps to byte offset n * kPageSize.
+// PageId 0 is reserved as invalid; the file therefore starts with a dummy
+// header page that stores a magic number and the allocation watermark.
+
+#ifndef SEED_STORAGE_DISK_MANAGER_H_
+#define SEED_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace seed::storage {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (or creates) the data file at `path`.
+  Status Open(const std::string& path);
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Allocates a fresh page at the end of the file; its contents are zeroed.
+  Result<PageId> AllocatePage();
+
+  Status ReadPage(PageId id, Page* out);
+  Status WritePage(PageId id, const Page& page);
+
+  /// fsync the data file.
+  Status Sync();
+
+  /// Number of allocated pages, including the reserved header page 0.
+  std::uint64_t num_pages() const { return num_pages_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status CheckId(PageId id) const;
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t num_pages_ = 0;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_DISK_MANAGER_H_

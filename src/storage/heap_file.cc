@@ -1,0 +1,166 @@
+#include "storage/heap_file.h"
+
+#include "common/macros.h"
+#include "storage/slotted_page.h"
+
+namespace seed::storage {
+
+size_t HeapFile::MaxRecordSize() {
+  return kPageSize - SlottedPage::kHeaderSize - SlottedPage::kSlotSize;
+}
+
+Result<PageId> HeapFile::Create() {
+  SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->New());
+  SlottedPage sp(&guard.MutablePage());
+  sp.Init();
+  first_page_ = guard.id();
+  pages_ = {first_page_};
+  free_space_ = {sp.FreeSpaceForInsert()};
+  return first_page_;
+}
+
+Status HeapFile::Open(PageId first_page) {
+  pages_.clear();
+  free_space_.clear();
+  first_page_ = first_page;
+  PageId cur = first_page;
+  while (cur.valid()) {
+    SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
+    // SlottedPage needs a mutable Page; we only read. Const-cast is safe
+    // because we do not mark the frame dirty.
+    SlottedPage sp(const_cast<Page*>(&guard.page()));
+    pages_.push_back(cur);
+    free_space_.push_back(sp.FreeSpaceForInsert());
+    cur = sp.next_page();
+  }
+  if (pages_.empty()) {
+    return Status::InvalidArgument("heap file chain is empty");
+  }
+  return Status::OK();
+}
+
+Result<PageId> HeapFile::AppendPage() {
+  SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->New());
+  SlottedPage sp(&guard.MutablePage());
+  sp.Init();
+  PageId new_id = guard.id();
+  guard.Release();
+
+  PageId last = pages_.back();
+  SEED_ASSIGN_OR_RETURN(PageGuard last_guard, pool_->Fetch(last));
+  SlottedPage last_sp(&last_guard.MutablePage());
+  last_sp.set_next_page(new_id);
+
+  pages_.push_back(new_id);
+  free_space_.push_back(kPageSize - SlottedPage::kHeaderSize -
+                        SlottedPage::kSlotSize);
+  return new_id;
+}
+
+Result<RecordId> HeapFile::Insert(std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds page capacity");
+  }
+  // First fit over the cached free-space table, starting from the tail
+  // (recent pages are most likely to have room).
+  for (size_t i = pages_.size(); i-- > 0;) {
+    if (free_space_[i] < record.size()) continue;
+    SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pages_[i]));
+    SlottedPage sp(&guard.MutablePage());
+    auto slot = sp.Insert(record);
+    if (slot.ok()) {
+      free_space_[i] = sp.FreeSpaceForInsert();
+      return RecordId{pages_[i], *slot};
+    }
+    // Stale cache entry; refresh and keep looking.
+    free_space_[i] = sp.FreeSpaceForInsert();
+  }
+  SEED_ASSIGN_OR_RETURN(PageId new_page, AppendPage());
+  SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(new_page));
+  SlottedPage sp(&guard.MutablePage());
+  SEED_ASSIGN_OR_RETURN(std::uint32_t slot, sp.Insert(record));
+  free_space_.back() = sp.FreeSpaceForInsert();
+  return RecordId{new_page, slot};
+}
+
+Result<std::string> HeapFile::Get(RecordId rid) const {
+  SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  SlottedPage sp(const_cast<Page*>(&guard.page()));
+  SEED_ASSIGN_OR_RETURN(std::string_view rec, sp.Get(rid.slot));
+  return std::string(rec);
+}
+
+Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds page capacity");
+  }
+  size_t page_idx = pages_.size();
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i] == rid.page) {
+      page_idx = i;
+      break;
+    }
+  }
+  if (page_idx == pages_.size()) {
+    return Status::InvalidArgument("record id page not in heap file");
+  }
+  {
+    SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+    SlottedPage sp(&guard.MutablePage());
+    if (!sp.IsLive(rid.slot)) {
+      return Status::NotFound("record to update does not exist");
+    }
+    Status s = sp.Replace(rid.slot, record);
+    free_space_[page_idx] = sp.FreeSpaceForInsert();
+    if (s.ok()) return rid;
+    if (!s.IsResourceExhausted()) return s;
+    // Replace freed the slot but could not fit the new payload; fall
+    // through and insert elsewhere.
+  }
+  return Insert(record);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  size_t page_idx = pages_.size();
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i] == rid.page) {
+      page_idx = i;
+      break;
+    }
+  }
+  if (page_idx == pages_.size()) {
+    return Status::InvalidArgument("record id page not in heap file");
+  }
+  SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  SlottedPage sp(&guard.MutablePage());
+  SEED_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  free_space_[page_idx] = sp.FreeSpaceForInsert();
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<void(RecordId, std::string_view)>& fn) const {
+  for (PageId pid : pages_) {
+    SEED_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pid));
+    SlottedPage sp(const_cast<Page*>(&guard.page()));
+    for (std::uint32_t slot : sp.LiveSlots()) {
+      auto rec = sp.Get(slot);
+      if (!rec.ok()) return rec.status();
+      fn(RecordId{pid, slot}, *rec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> HeapFile::CountRecords() const {
+  std::uint64_t n = 0;
+  SEED_RETURN_IF_ERROR(
+      Scan([&n](RecordId, std::string_view) { ++n; }));
+  return n;
+}
+
+}  // namespace seed::storage

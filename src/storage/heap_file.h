@@ -1,0 +1,72 @@
+// Heap file: an unordered collection of variable-length records spread over
+// a chain of slotted pages, addressed by RecordId {page, slot}.
+//
+// The chain's first page id is the caller's to remember (the KvStore keeps
+// it in its superblock). Free-space information is cached in memory and
+// rebuilt on open by walking the chain.
+
+#ifndef SEED_STORAGE_HEAP_FILE_H_
+#define SEED_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace seed::storage {
+
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates a fresh heap file; returns the id of its first page.
+  Result<PageId> Create();
+
+  /// Opens an existing heap file whose chain starts at `first_page`.
+  Status Open(PageId first_page);
+
+  PageId first_page() const { return first_page_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Inserts a record, growing the chain if necessary. Records larger than
+  /// a page's capacity are rejected (SEED items are small; large values are
+  /// the schema designer's problem, as in 1986).
+  Result<RecordId> Insert(std::string_view record);
+
+  /// Reads a record into an owned string.
+  Result<std::string> Get(RecordId rid) const;
+
+  /// Updates a record. The record may move; the returned RecordId is the
+  /// new location (equal to `rid` when the update fit in place).
+  Result<RecordId> Update(RecordId rid, std::string_view record);
+
+  Status Delete(RecordId rid);
+
+  /// Invokes `fn(rid, record)` for every live record. Iteration order is
+  /// page-chain order, then slot order.
+  Status Scan(
+      const std::function<void(RecordId, std::string_view)>& fn) const;
+
+  /// Total live records (O(pages) scan of slot directories).
+  Result<std::uint64_t> CountRecords() const;
+
+ private:
+  /// Largest payload a single empty page can hold.
+  static size_t MaxRecordSize();
+
+  Result<PageId> AppendPage();
+
+  BufferPool* pool_;
+  PageId first_page_;
+  std::vector<PageId> pages_;          // chain order
+  std::vector<size_t> free_space_;     // cached FreeSpaceForInsert per page
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_HEAP_FILE_H_

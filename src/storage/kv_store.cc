@@ -1,0 +1,188 @@
+#include "storage/kv_store.h"
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace seed::storage {
+
+namespace {
+// Offset in the disk manager's header page where the heap file's first
+// page id is stored (bytes 0..16 hold the magic and page watermark).
+constexpr size_t kSuperblockHeapRootOffset = 16;
+
+std::string EncodeEntry(std::uint64_t key, std::string_view value) {
+  Encoder enc;
+  enc.PutVarint(key);
+  enc.PutString(value);
+  return std::string(reinterpret_cast<const char*>(enc.bytes().data()),
+                     enc.size());
+}
+
+Status DecodeEntry(std::string_view record, std::uint64_t* key,
+                   std::string* value) {
+  Decoder dec(record.data(), record.size());
+  SEED_ASSIGN_OR_RETURN(*key, dec.GetVarint());
+  SEED_ASSIGN_OR_RETURN(*value, dec.GetString());
+  return Status::OK();
+}
+}  // namespace
+
+KvStore::~KvStore() {
+  if (is_open()) Close();  // best effort; errors are lost in a destructor
+}
+
+Status KvStore::Open(const std::string& dir, const KvStoreOptions& options) {
+  if (is_open()) return Status::FailedPrecondition("KvStore already open");
+  Status s = OpenImpl(dir, options);
+  if (!s.ok()) {
+    // Leave no half-initialized state behind: a failed Open must look like
+    // a store that was never opened.
+    wal_.reset();
+    heap_.reset();
+    pool_.reset();
+    disk_.reset();
+    index_.clear();
+  }
+  return s;
+}
+
+Status KvStore::OpenImpl(const std::string& dir,
+                         const KvStoreOptions& options) {
+  disk_ = std::make_unique<DiskManager>();
+  SEED_RETURN_IF_ERROR(disk_->Open(dir + "/seed.db"));
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options.buffer_pool_pages);
+  heap_ = std::make_unique<HeapFile>(pool_.get());
+
+  // The header page's superblock slot tells us whether a heap exists.
+  Page header;
+  SEED_RETURN_IF_ERROR(disk_->ReadPage(PageId(0), &header));
+  PageId heap_root(header.ReadU64(kSuperblockHeapRootOffset));
+  if (heap_root.valid()) {
+    SEED_RETURN_IF_ERROR(heap_->Open(heap_root));
+    SEED_RETURN_IF_ERROR(heap_->Scan([this](RecordId rid,
+                                            std::string_view record) {
+      std::uint64_t key = 0;
+      std::string value;
+      if (DecodeEntry(record, &key, &value).ok()) index_[key] = rid;
+    }));
+  } else {
+    SEED_ASSIGN_OR_RETURN(heap_root, heap_->Create());
+    header.WriteU64(kSuperblockHeapRootOffset, heap_root.raw());
+    SEED_RETURN_IF_ERROR(disk_->WritePage(PageId(0), header));
+    SEED_RETURN_IF_ERROR(disk_->Sync());
+  }
+
+  wal_ = std::make_unique<Wal>();
+  SEED_RETURN_IF_ERROR(
+      wal_->Open(dir + "/seed.wal", options.sync_on_append));
+  // Redo: replay the tail of the log onto the checkpointed heap state.
+  SEED_RETURN_IF_ERROR(wal_->Replay([this](const WalRecord& rec) {
+    if (rec.op == WalOp::kPut) return ApplyPut(rec.key, rec.value);
+    Status s = ApplyDelete(rec.key);
+    if (s.IsNotFound()) return Status::OK();  // idempotent replay
+    return s;
+  }));
+  return Status::OK();
+}
+
+Status KvStore::Close() {
+  if (!is_open()) return Status::OK();
+  Status s = Checkpoint();
+  if (wal_) {
+    Status ws = wal_->Close();
+    if (s.ok()) s = ws;
+  }
+  if (disk_) {
+    Status ds = disk_->Close();
+    if (s.ok()) s = ds;
+  }
+  wal_.reset();
+  heap_.reset();
+  pool_.reset();
+  disk_.reset();
+  index_.clear();
+  return s;
+}
+
+Status KvStore::ApplyPut(std::uint64_t key, std::string_view value) {
+  std::string record = EncodeEntry(key, value);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    SEED_ASSIGN_OR_RETURN(RecordId rid, heap_->Insert(record));
+    index_[key] = rid;
+    return Status::OK();
+  }
+  SEED_ASSIGN_OR_RETURN(RecordId rid, heap_->Update(it->second, record));
+  it->second = rid;
+  return Status::OK();
+}
+
+Status KvStore::ApplyDelete(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  SEED_RETURN_IF_ERROR(heap_->Delete(it->second));
+  index_.erase(it);
+  return Status::OK();
+}
+
+Status KvStore::Put(std::uint64_t key, std::string_view value) {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  SEED_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+  return ApplyPut(key, value);
+}
+
+Status KvStore::Delete(std::uint64_t key) {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  if (index_.find(key) == index_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  SEED_RETURN_IF_ERROR(wal_->AppendDelete(key));
+  return ApplyDelete(key);
+}
+
+Result<std::string> KvStore::Get(std::uint64_t key) const {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  SEED_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
+  std::uint64_t stored_key = 0;
+  std::string value;
+  SEED_RETURN_IF_ERROR(DecodeEntry(record, &stored_key, &value));
+  if (stored_key != key) {
+    return Status::Corruption("index points at record for key " +
+                              std::to_string(stored_key) + ", expected " +
+                              std::to_string(key));
+  }
+  return value;
+}
+
+bool KvStore::Contains(std::uint64_t key) const {
+  return index_.find(key) != index_.end();
+}
+
+Status KvStore::Scan(
+    const std::function<void(std::uint64_t, std::string_view)>& fn) const {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  return heap_->Scan([&fn](RecordId, std::string_view record) {
+    std::uint64_t key = 0;
+    std::string value;
+    if (DecodeEntry(record, &key, &value).ok()) fn(key, value);
+  });
+}
+
+Status KvStore::Checkpoint() {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  SEED_RETURN_IF_ERROR(pool_->Checkpoint());
+  return wal_->Truncate();
+}
+
+Result<std::uint64_t> KvStore::WalBytes() const {
+  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  return wal_->SizeBytes();
+}
+
+}  // namespace seed::storage

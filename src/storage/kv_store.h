@@ -1,0 +1,83 @@
+// KvStore: durable map from u64 keys to byte strings, built from the heap
+// file, buffer pool and WAL. This is the persistence substrate the SEED
+// engine serializes its schema, items and versions into.
+//
+// Durability contract: a mutation is recoverable once its WAL append
+// returns (immediately durable when opened with sync_on_append=true).
+// Checkpoint() flushes all pages, fsyncs the data file and truncates the
+// WAL; recovery = last checkpoint state + idempotent WAL replay.
+
+#ifndef SEED_STORAGE_KV_STORE_H_
+#define SEED_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/wal.h"
+
+namespace seed::storage {
+
+struct KvStoreOptions {
+  /// Buffer pool frames (8 KiB each).
+  size_t buffer_pool_pages = 256;
+  /// fsync the WAL on every mutation.
+  bool sync_on_append = false;
+};
+
+class KvStore {
+ public:
+  KvStore() = default;
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Opens (creating if absent) a store in directory `dir`, which must
+  /// exist. Files used: `<dir>/seed.db` and `<dir>/seed.wal`.
+  Status Open(const std::string& dir, const KvStoreOptions& options = {});
+  Status Close();
+
+  bool is_open() const { return disk_ != nullptr; }
+
+  Status Put(std::uint64_t key, std::string_view value);
+  Result<std::string> Get(std::uint64_t key) const;
+  bool Contains(std::uint64_t key) const;
+  Status Delete(std::uint64_t key);
+
+  /// Iterates all live entries (unspecified order).
+  Status Scan(
+      const std::function<void(std::uint64_t, std::string_view)>& fn) const;
+
+  std::uint64_t size() const { return index_.size(); }
+
+  /// Flush + fsync + truncate WAL.
+  Status Checkpoint();
+
+  /// Bytes currently queued in the WAL (0 right after a checkpoint).
+  Result<std::uint64_t> WalBytes() const;
+
+  const BufferPool* buffer_pool() const { return pool_.get(); }
+
+ private:
+  Status OpenImpl(const std::string& dir, const KvStoreOptions& options);
+  Status ApplyPut(std::uint64_t key, std::string_view value);
+  Status ApplyDelete(std::uint64_t key);
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<Wal> wal_;
+  std::unordered_map<std::uint64_t, RecordId> index_;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_KV_STORE_H_

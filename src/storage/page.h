@@ -1,0 +1,57 @@
+// Fixed-size page abstraction. All SEED files are arrays of 8 KiB pages;
+// page 0 of every data file is a file header page (see disk_manager.h).
+
+#ifndef SEED_STORAGE_PAGE_H_
+#define SEED_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/ids.h"
+
+namespace seed::storage {
+
+inline constexpr size_t kPageSize = 8192;
+
+/// Raw page buffer. Interpretation (slotted, header, ...) is layered on top.
+struct Page {
+  std::array<std::uint8_t, kPageSize> data;
+
+  Page() { data.fill(0); }
+
+  std::uint8_t* bytes() { return data.data(); }
+  const std::uint8_t* bytes() const { return data.data(); }
+
+  void Zero() { data.fill(0); }
+
+  std::uint32_t ReadU32(size_t off) const {
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU32(size_t off, std::uint32_t v) {
+    std::memcpy(data.data() + off, &v, sizeof(v));
+  }
+  std::uint64_t ReadU64(size_t off) const {
+    std::uint64_t v;
+    std::memcpy(&v, data.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU64(size_t off, std::uint64_t v) {
+    std::memcpy(data.data() + off, &v, sizeof(v));
+  }
+};
+
+/// Location of a record inside a heap file.
+struct RecordId {
+  PageId page;
+  std::uint32_t slot = 0;
+
+  bool valid() const { return page.valid(); }
+  bool operator==(const RecordId&) const = default;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_PAGE_H_

@@ -1,0 +1,170 @@
+#include "storage/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace seed::storage {
+
+void SlottedPage::Init() {
+  page_->Zero();
+  set_slot_count(0);
+  set_free_data_offset(kPageSize);
+  set_next_page(PageId());
+}
+
+size_t SlottedPage::ContiguousFree() const {
+  size_t dir_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t data_start = free_data_offset();
+  return data_start > dir_end ? data_start - dir_end : 0;
+}
+
+std::optional<std::uint32_t> SlottedPage::FindFreeSlot() const {
+  for (std::uint32_t s = 0; s < slot_count(); ++s) {
+    if (GetRecordOffset(s) == 0) return s;
+  }
+  return std::nullopt;
+}
+
+bool SlottedPage::IsLive(std::uint32_t slot) const {
+  return slot < slot_count() && GetRecordOffset(slot) != 0;
+}
+
+std::vector<std::uint32_t> SlottedPage::LiveSlots() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t s = 0; s < slot_count(); ++s) {
+    if (GetRecordOffset(s) != 0) out.push_back(s);
+  }
+  return out;
+}
+
+size_t SlottedPage::LiveBytes() const {
+  size_t total = 0;
+  for (std::uint32_t s = 0; s < slot_count(); ++s) {
+    if (GetRecordOffset(s) != 0) total += GetRecordSize(s);
+  }
+  return total;
+}
+
+size_t SlottedPage::FreeSpaceForInsert() const {
+  // After a hypothetical compaction, the data region holds exactly the live
+  // bytes; a new record may also need a new slot entry unless one is free.
+  size_t dir_bytes = kHeaderSize + slot_count() * kSlotSize;
+  size_t live = LiveBytes();
+  size_t used = dir_bytes + live;
+  if (used >= kPageSize) return 0;
+  size_t avail = kPageSize - used;
+  if (!FindFreeSlot().has_value()) {
+    if (avail < kSlotSize) return 0;
+    avail -= kSlotSize;
+  }
+  return avail;
+}
+
+void SlottedPage::Compact() {
+  // Collect live records (copying payloads out, since we rewrite in place).
+  struct Rec {
+    std::uint32_t slot;
+    std::vector<std::uint8_t> data;
+  };
+  std::vector<Rec> live;
+  for (std::uint32_t s = 0; s < slot_count(); ++s) {
+    std::uint32_t off = GetRecordOffset(s);
+    if (off == 0) continue;
+    std::uint32_t size = GetRecordSize(s);
+    Rec r;
+    r.slot = s;
+    r.data.assign(page_->bytes() + off, page_->bytes() + off + size);
+    live.push_back(std::move(r));
+  }
+  std::uint32_t cursor = kPageSize;
+  for (const Rec& r : live) {
+    cursor -= static_cast<std::uint32_t>(r.data.size());
+    std::memcpy(page_->bytes() + cursor, r.data.data(), r.data.size());
+    SetSlot(r.slot, cursor, static_cast<std::uint32_t>(r.data.size()));
+  }
+  set_free_data_offset(cursor);
+}
+
+Result<std::uint32_t> SlottedPage::Insert(std::string_view record) {
+  std::optional<std::uint32_t> reuse = FindFreeSlot();
+  size_t need = record.size() + (reuse ? 0 : kSlotSize);
+  if (ContiguousFree() < need) {
+    if (FreeSpaceForInsert() < record.size()) {
+      return Status::ResourceExhausted("record does not fit in page");
+    }
+    Compact();
+    if (ContiguousFree() < need) {
+      return Status::ResourceExhausted("record does not fit in page");
+    }
+  }
+  std::uint32_t slot;
+  if (reuse) {
+    slot = *reuse;
+  } else {
+    slot = slot_count();
+    set_slot_count(slot + 1);
+  }
+  std::uint32_t off =
+      free_data_offset() - static_cast<std::uint32_t>(record.size());
+  std::memcpy(page_->bytes() + off, record.data(), record.size());
+  set_free_data_offset(off);
+  SetSlot(slot, off, static_cast<std::uint32_t>(record.size()));
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(std::uint32_t slot) const {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  return std::string_view(
+      reinterpret_cast<const char*>(page_->bytes() + GetRecordOffset(slot)),
+      GetRecordSize(slot));
+}
+
+Status SlottedPage::Replace(std::uint32_t slot, std::string_view record) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  std::uint32_t old_size = GetRecordSize(slot);
+  if (record.size() <= old_size) {
+    // Shrink in place at the old offset.
+    std::uint32_t off = GetRecordOffset(slot);
+    std::memcpy(page_->bytes() + off, record.data(), record.size());
+    SetSlot(slot, off, static_cast<std::uint32_t>(record.size()));
+    return Status::OK();
+  }
+  // Grow: free the old payload, then place the new one.
+  SetSlot(slot, 0, 0);
+  if (ContiguousFree() < record.size()) {
+    size_t dir_bytes = kHeaderSize + slot_count() * kSlotSize;
+    size_t after_compact = kPageSize - dir_bytes - LiveBytes();
+    if (after_compact < record.size()) {
+      // Restore the old slot so the caller's record is not lost.
+      Compact();
+      // Old payload bytes are gone from the data region; re-insert is the
+      // caller's job. Mark as failed without restoring (caller holds data).
+      return Status::ResourceExhausted("replacement record does not fit");
+    }
+    Compact();
+  }
+  std::uint32_t off =
+      free_data_offset() - static_cast<std::uint32_t>(record.size());
+  std::memcpy(page_->bytes() + off, record.data(), record.size());
+  set_free_data_offset(off);
+  SetSlot(slot, off, static_cast<std::uint32_t>(record.size()));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(std::uint32_t slot) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  SetSlot(slot, 0, 0);
+  // Trim trailing free slots so the directory can shrink.
+  std::uint32_t count = slot_count();
+  while (count > 0 && GetRecordOffset(count - 1) == 0) --count;
+  set_slot_count(count);
+  return Status::OK();
+}
+
+}  // namespace seed::storage

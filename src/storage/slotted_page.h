@@ -1,0 +1,103 @@
+// Slotted-page layout for variable-length records.
+//
+// Layout:
+//   [0..4)    slot_count        u32
+//   [4..8)    free_data_offset  u32   start of the used data region
+//   [8..16)   next_page         u64   raw PageId of the next page in a chain
+//   [16..)    slot directory, 8 bytes per slot: {offset u32, size u32}
+//   ...free space...
+//   [free_data_offset..kPageSize)  record payloads, growing downward
+//
+// A slot with offset == 0 is free (record offsets are always >= header size,
+// so 0 is an unambiguous sentinel). Deleting a record frees its slot; the
+// slot may be reused by a later insert. Fragmented space is reclaimed by
+// Compact(), which Insert/Replace call automatically when contiguous space
+// is insufficient but total free space suffices.
+
+#ifndef SEED_STORAGE_SLOTTED_PAGE_H_
+#define SEED_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace seed::storage {
+
+/// Mutating view over a Page buffer. Does not own the page.
+class SlottedPage {
+ public:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotSize = 8;
+
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats a fresh page (zero slots, empty data region).
+  void Init();
+
+  std::uint32_t slot_count() const { return page_->ReadU32(0); }
+  PageId next_page() const { return PageId(page_->ReadU64(8)); }
+  void set_next_page(PageId id) { page_->WriteU64(8, id.raw()); }
+
+  /// Largest record insertable right now (after a potential compaction).
+  size_t FreeSpaceForInsert() const;
+
+  /// Inserts a record; returns its slot, or kResourceExhausted if it does
+  /// not fit even after compaction.
+  Result<std::uint32_t> Insert(std::string_view record);
+
+  /// Reads the record in `slot`.
+  Result<std::string_view> Get(std::uint32_t slot) const;
+
+  /// Replaces the record in `slot` in place (slot number is stable).
+  /// Fails with kResourceExhausted if the new payload does not fit.
+  Status Replace(std::uint32_t slot, std::string_view record);
+
+  /// Frees `slot`.
+  Status Delete(std::uint32_t slot);
+
+  /// True if `slot` currently holds a record.
+  bool IsLive(std::uint32_t slot) const;
+
+  /// All live slot numbers, ascending.
+  std::vector<std::uint32_t> LiveSlots() const;
+
+  /// Sum of live record payload sizes.
+  size_t LiveBytes() const;
+
+  /// Rewrites the data region to remove fragmentation.
+  void Compact();
+
+ private:
+  std::uint32_t SlotOffset(std::uint32_t slot) const {
+    return static_cast<std::uint32_t>(kHeaderSize + slot * kSlotSize);
+  }
+  std::uint32_t GetRecordOffset(std::uint32_t slot) const {
+    return page_->ReadU32(SlotOffset(slot));
+  }
+  std::uint32_t GetRecordSize(std::uint32_t slot) const {
+    return page_->ReadU32(SlotOffset(slot) + 4);
+  }
+  void SetSlot(std::uint32_t slot, std::uint32_t offset, std::uint32_t size) {
+    page_->WriteU32(SlotOffset(slot), offset);
+    page_->WriteU32(SlotOffset(slot) + 4, size);
+  }
+  std::uint32_t free_data_offset() const { return page_->ReadU32(4); }
+  void set_free_data_offset(std::uint32_t v) { page_->WriteU32(4, v); }
+  void set_slot_count(std::uint32_t v) { page_->WriteU32(0, v); }
+
+  /// Contiguous gap between the slot directory and the data region.
+  size_t ContiguousFree() const;
+
+  /// Finds a free slot to reuse, if any.
+  std::optional<std::uint32_t> FindFreeSlot() const;
+
+  Page* page_;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,136 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace seed::storage {
+
+namespace {
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Open(const std::string& path, bool sync_on_append) {
+  if (fd_ >= 0) return Status::FailedPrecondition("WAL already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return Status::IoError(Errno("open WAL " + path));
+  path_ = path;
+  sync_on_append_ = sync_on_append;
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IoError(Errno("close WAL " + path_));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status Wal::Append(const WalRecord& rec) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  Encoder payload;
+  payload.PutU8(static_cast<std::uint8_t>(rec.op));
+  payload.PutVarint(rec.key);
+  if (rec.op == WalOp::kPut) payload.PutString(rec.value);
+
+  Encoder frame;
+  frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+  frame.PutU64(Fnv1a64(payload.bytes().data(), payload.size()));
+  frame.PutRaw(payload.bytes().data(), payload.size());
+
+  const auto& bytes = frame.bytes();
+  ssize_t n = ::write(fd_, bytes.data(), bytes.size());
+  if (n != static_cast<ssize_t>(bytes.size())) {
+    return Status::IoError(Errno("append WAL " + path_));
+  }
+  if (sync_on_append_) return Sync();
+  return Status::OK();
+}
+
+Status Wal::AppendPut(std::uint64_t key, std::string_view value) {
+  return Append(WalRecord{WalOp::kPut, key, std::string(value)});
+}
+
+Status Wal::AppendDelete(std::uint64_t key) {
+  return Append(WalRecord{WalOp::kDelete, key, {}});
+}
+
+Status Wal::Truncate() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError(Errno("truncate WAL " + path_));
+  }
+  return Sync();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync WAL " + path_));
+  return Status::OK();
+}
+
+Result<std::uint64_t> Wal::SizeBytes() const {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IoError(Errno("lseek WAL " + path_));
+  return static_cast<std::uint64_t>(size);
+}
+
+Status Wal::Replay(const std::function<Status(const WalRecord&)>& apply) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IoError(Errno("lseek WAL " + path_));
+  std::vector<std::uint8_t> buf(static_cast<size_t>(end));
+  if (end > 0) {
+    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+    if (n != end) return Status::IoError(Errno("read WAL " + path_));
+  }
+  Decoder dec(buf.data(), buf.size());
+  while (!dec.done()) {
+    auto len = dec.GetU32();
+    if (!len.ok()) break;  // torn tail
+    auto checksum = dec.GetU64();
+    if (!checksum.ok()) break;
+    if (dec.remaining() < *len) break;
+    // Slice out the payload for checksum verification.
+    size_t offset = buf.size() - dec.remaining();
+    const std::uint8_t* payload = buf.data() + offset;
+    if (Fnv1a64(payload, *len) != *checksum) break;  // torn/corrupt tail
+    Decoder body(payload, *len);
+    auto op = body.GetU8();
+    auto key = body.GetVarint();
+    if (!op.ok() || !key.ok()) break;
+    WalRecord rec;
+    rec.key = *key;
+    if (*op == static_cast<std::uint8_t>(WalOp::kPut)) {
+      rec.op = WalOp::kPut;
+      auto value = body.GetString();
+      if (!value.ok()) break;
+      rec.value = std::move(*value);
+    } else if (*op == static_cast<std::uint8_t>(WalOp::kDelete)) {
+      rec.op = WalOp::kDelete;
+    } else {
+      break;  // unknown op: treat as corrupt tail
+    }
+    SEED_RETURN_IF_ERROR(apply(rec));
+    SEED_RETURN_IF_ERROR(dec.Skip(*len));
+  }
+  return Status::OK();
+}
+
+}  // namespace seed::storage

@@ -1,0 +1,75 @@
+// Write-ahead log with logical redo records.
+//
+// The KvStore logs every mutation (Put/Delete) before applying it to the
+// heap file. Recovery replays the log onto the last checkpointed heap
+// state; both operations are idempotent, so replay is safe even when some
+// dirty pages reached disk between checkpoints.
+//
+// On-disk format, per record:
+//   [u32 payload_len][u64 fnv1a64(payload)][payload bytes]
+// payload:
+//   [u8 op]  1 = Put, 2 = Delete
+//   [varint key]
+//   [string value]          (Put only)
+// A truncated or checksum-failing tail terminates replay (torn final write
+// from a crash); everything before it is applied.
+
+#ifndef SEED_STORAGE_WAL_H_
+#define SEED_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace seed::storage {
+
+enum class WalOp : std::uint8_t { kPut = 1, kDelete = 2 };
+
+struct WalRecord {
+  WalOp op;
+  std::uint64_t key;
+  std::string value;  // empty for kDelete
+};
+
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (or creates) the log at `path` for appending.
+  Status Open(const std::string& path, bool sync_on_append);
+  Status Close();
+
+  Status AppendPut(std::uint64_t key, std::string_view value);
+  Status AppendDelete(std::uint64_t key);
+
+  /// Truncates the log to empty (after a successful checkpoint).
+  Status Truncate();
+
+  Status Sync();
+
+  /// Replays all intact records in order. Stops silently at a torn tail.
+  Status Replay(const std::function<Status(const WalRecord&)>& apply);
+
+  /// Bytes currently in the log.
+  Result<std::uint64_t> SizeBytes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status Append(const WalRecord& rec);
+
+  int fd_ = -1;
+  std::string path_;
+  bool sync_on_append_ = false;
+};
+
+}  // namespace seed::storage
+
+#endif  // SEED_STORAGE_WAL_H_

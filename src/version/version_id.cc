@@ -1,0 +1,72 @@
+#include "version/version_id.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace seed::version {
+
+Result<VersionId> VersionId::Parse(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty version id");
+  std::vector<std::uint32_t> components;
+  for (const std::string& part : strings::Split(s, '.')) {
+    if (part.empty()) {
+      return Status::InvalidArgument("bad version id '" + std::string(s) +
+                                     "'");
+    }
+    std::uint64_t v = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad version id '" + std::string(s) +
+                                       "'");
+      }
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      if (v > 0xFFFFFFFFull) {
+        return Status::InvalidArgument("version component overflow in '" +
+                                       std::string(s) + "'");
+      }
+    }
+    components.push_back(static_cast<std::uint32_t>(v));
+  }
+  return VersionId(std::move(components));
+}
+
+std::string VersionId::ToString() const {
+  if (!valid()) return "<none>";
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+VersionId VersionId::IncrementLast() const {
+  std::vector<std::uint32_t> c = components_;
+  if (c.empty()) return VersionId({1, 0});
+  ++c.back();
+  return VersionId(std::move(c));
+}
+
+VersionId VersionId::Child(std::uint32_t component) const {
+  std::vector<std::uint32_t> c = components_;
+  c.push_back(component);
+  return VersionId(std::move(c));
+}
+
+void VersionId::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(components_.size());
+  for (std::uint32_t c : components_) enc->PutU32(c);
+}
+
+Result<VersionId> VersionId::Decode(Decoder* dec) {
+  SEED_ASSIGN_OR_RETURN(std::uint64_t n, dec->GetVarint());
+  std::vector<std::uint32_t> components;
+  components.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint32_t c, dec->GetU32());
+    components.push_back(c);
+  }
+  return VersionId(std::move(components));
+}
+
+}  // namespace seed::version

@@ -1,0 +1,68 @@
+// Decimal version classification (paper: "Versions are identified by a
+// decimal classification. The classification tree reflects the version
+// history."). A VersionId is a non-empty sequence of numeric components,
+// rendered "2.0" or "1.0.1". Ordering is lexicographic on components,
+// which matches numeric order on linear histories.
+
+#ifndef SEED_VERSION_VERSION_ID_H_
+#define SEED_VERSION_VERSION_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+
+namespace seed::version {
+
+class VersionId {
+ public:
+  /// The invalid ("no version yet") id.
+  VersionId() = default;
+  explicit VersionId(std::vector<std::uint32_t> components)
+      : components_(std::move(components)) {}
+
+  static Result<VersionId> Parse(std::string_view s);
+
+  bool valid() const { return !components_.empty(); }
+  const std::vector<std::uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+
+  /// "1.0", "2.0", "1.0.1"; "<none>" when invalid.
+  std::string ToString() const;
+
+  /// Same id with the last component incremented (successor on the same
+  /// branch level).
+  VersionId IncrementLast() const;
+  /// This id with `component` appended (first child on a new branch level).
+  VersionId Child(std::uint32_t component) const;
+
+  bool operator==(const VersionId&) const = default;
+  auto operator<=>(const VersionId&) const = default;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<VersionId> Decode(Decoder* dec);
+
+ private:
+  std::vector<std::uint32_t> components_;
+};
+
+}  // namespace seed::version
+
+namespace std {
+template <>
+struct hash<seed::version::VersionId> {
+  size_t operator()(const seed::version::VersionId& v) const noexcept {
+    size_t h = 0xcbf29ce484222325ull;
+    for (uint32_t c : v.components()) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+}  // namespace std
+
+#endif  // SEED_VERSION_VERSION_ID_H_

@@ -1,0 +1,109 @@
+#include "version/version_io.h"
+
+#include "common/macros.h"
+
+namespace seed::version {
+
+namespace {
+
+std::string EncodeRecord(const VersionRecord& rec) {
+  Encoder enc;
+  rec.id.EncodeTo(&enc);
+  rec.parent.EncodeTo(&enc);
+  enc.PutU64(rec.sequence);
+  enc.PutU64(rec.schema_version);
+  enc.PutVarint(rec.changes.size());
+  for (const auto& [key, payload] : rec.changes) {
+    enc.PutU64(key.packed);
+    enc.PutString(payload);
+  }
+  return std::string(reinterpret_cast<const char*>(enc.bytes().data()),
+                     enc.size());
+}
+
+Result<VersionRecord> DecodeRecord(std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  VersionRecord rec;
+  SEED_ASSIGN_OR_RETURN(rec.id, VersionId::Decode(&dec));
+  SEED_ASSIGN_OR_RETURN(rec.parent, VersionId::Decode(&dec));
+  SEED_ASSIGN_OR_RETURN(rec.sequence, dec.GetU64());
+  SEED_ASSIGN_OR_RETURN(rec.schema_version, dec.GetU64());
+  SEED_ASSIGN_OR_RETURN(std::uint64_t n, dec.GetVarint());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SEED_ASSIGN_OR_RETURN(std::uint64_t packed, dec.GetU64());
+    SEED_ASSIGN_OR_RETURN(std::string payload, dec.GetString());
+    rec.changes[ItemKey{packed}] = std::move(payload);
+  }
+  return rec;
+}
+
+}  // namespace
+
+Status VersionPersistence::Save(const VersionManager& vm,
+                                storage::KvStore* kv) {
+  // Remove stale record keys (versions deleted since the last save).
+  std::vector<std::uint64_t> stale;
+  std::unordered_set<std::uint64_t> live_sequences;
+  for (const auto& [id, rec] : vm.records_) live_sequences.insert(rec.sequence);
+  SEED_RETURN_IF_ERROR(kv->Scan([&](std::uint64_t key, std::string_view) {
+    if ((key >> 56) == 4 &&
+        live_sequences.count(key & 0x00FFFFFFFFFFFFFFull) == 0) {
+      stale.push_back(key);
+    }
+  }));
+  for (std::uint64_t key : stale) {
+    SEED_RETURN_IF_ERROR(kv->Delete(key));
+  }
+
+  for (const auto& [id, rec] : vm.records_) {
+    SEED_RETURN_IF_ERROR(
+        kv->Put(RecordKey(rec.sequence), EncodeRecord(rec)));
+  }
+  for (const auto& [sv, blob] : vm.schema_blobs_) {
+    SEED_RETURN_IF_ERROR(kv->Put(SchemaBlobKey(sv), blob));
+  }
+  Encoder state;
+  vm.basis_.EncodeTo(&state);
+  state.PutU64(vm.next_sequence_);
+  return kv->Put(StateKey(),
+                 std::string_view(
+                     reinterpret_cast<const char*>(state.bytes().data()),
+                     state.size()));
+}
+
+Status VersionPersistence::Load(VersionManager* vm, storage::KvStore* kv) {
+  vm->records_.clear();
+  vm->schema_blobs_.clear();
+
+  Status inner = Status::OK();
+  SEED_RETURN_IF_ERROR(
+      kv->Scan([&](std::uint64_t key, std::string_view bytes) {
+        if (!inner.ok()) return;
+        std::uint64_t tag = key >> 56;
+        if (tag == 4) {
+          auto rec = DecodeRecord(bytes);
+          if (!rec.ok()) {
+            inner = rec.status();
+            return;
+          }
+          VersionId id = rec->id;
+          vm->records_[id] = std::move(*rec);
+        } else if (tag == 5) {
+          vm->schema_blobs_[key & 0x00FFFFFFFFFFFFFFull] =
+              std::string(bytes);
+        }
+      }));
+  SEED_RETURN_IF_ERROR(inner);
+
+  auto state = kv->Get(StateKey());
+  if (state.ok()) {
+    Decoder dec(state->data(), state->size());
+    SEED_ASSIGN_OR_RETURN(vm->basis_, VersionId::Decode(&dec));
+    SEED_ASSIGN_OR_RETURN(vm->next_sequence_, dec.GetU64());
+  } else if (!state.status().IsNotFound()) {
+    return state.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace seed::version

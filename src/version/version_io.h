@@ -1,0 +1,39 @@
+// Persistence of the version store through the KvStore.
+//
+// Key layout (shared u64 key space with core::Persistence, which uses tags
+// 1-3): tag 4 holds version records keyed by creation sequence, tag 5 holds
+// schema blobs keyed by schema version, and the manager's own state (basis,
+// next sequence) lives at tag 1 id 1.
+
+#ifndef SEED_VERSION_VERSION_IO_H_
+#define SEED_VERSION_VERSION_IO_H_
+
+#include "common/result.h"
+#include "storage/kv_store.h"
+#include "version/version_manager.h"
+
+namespace seed::version {
+
+class VersionPersistence {
+ public:
+  /// Writes the whole version store (records are immutable, so rewriting
+  /// them is idempotent; deleted versions disappear from the store on the
+  /// next Save because keys are re-derived from live records).
+  static Status Save(const VersionManager& vm, storage::KvStore* kv);
+
+  /// Restores a manager's records into `vm` (which must be freshly
+  /// constructed on the already-loaded database).
+  static Status Load(VersionManager* vm, storage::KvStore* kv);
+
+  static std::uint64_t RecordKey(std::uint64_t sequence) {
+    return (4ull << 56) | sequence;
+  }
+  static std::uint64_t SchemaBlobKey(std::uint64_t schema_version) {
+    return (5ull << 56) | schema_version;
+  }
+  static std::uint64_t StateKey() { return (1ull << 56) | 1; }
+};
+
+}  // namespace seed::version
+
+#endif  // SEED_VERSION_VERSION_IO_H_

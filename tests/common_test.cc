@@ -1,0 +1,328 @@
+// Tests for the common substrate: Status/Result, macros, strings/paths,
+// byte coding, deterministic randomness.
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/ids.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace seed {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("object 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "object 42");
+  EXPECT_EQ(s.ToString(), "not found: object 42");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ConsistencyViolation("x").IsConsistencyViolation());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::LockConflict("x").IsLockConflict());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Corruption("bad page");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsCorruption());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IoError("pread failed").WithContext("page 7");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(s.message(), "page 7: pread failed");
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+// --- Result ----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SEED_ASSIGN_OR_RETURN(int h, Half(x));
+  SEED_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+Status EnsureSmall(int x) {
+  if (x > 100) return Status::InvalidArgument("too big");
+  return Status::OK();
+}
+
+Status Combined(int x) {
+  SEED_RETURN_IF_ERROR(EnsureSmall(x));
+  SEED_ASSIGN_OR_RETURN(int q, Quarter(x));
+  (void)q;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Combined(8).ok());
+  EXPECT_TRUE(Combined(200).IsInvalidArgument());
+  EXPECT_FALSE(Combined(10).ok());
+}
+
+// --- TypedId -----------------------------------------------------------------
+
+TEST(IdsTest, InvalidByDefault) {
+  ObjectId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.raw(), 0u);
+}
+
+TEST(IdsTest, GeneratorIsMonotonic) {
+  IdGenerator<ObjectId> gen;
+  ObjectId a = gen.Next();
+  ObjectId b = gen.Next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+}
+
+TEST(IdsTest, ReserveThroughSkipsUsedIds) {
+  IdGenerator<ObjectId> gen;
+  gen.ReserveThrough(ObjectId(100));
+  EXPECT_EQ(gen.Next().raw(), 101u);
+  gen.ReserveThrough(ObjectId(50));  // lower watermark is a no-op
+  EXPECT_EQ(gen.Next().raw(), 102u);
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ObjectId, ClassId>);
+  static_assert(!std::is_same_v<RelationshipId, AssociationId>);
+}
+
+// --- Strings and paths ----------------------------------------------------------
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = strings::Split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(strings::Join(parts, "."), "a.b..c");
+  EXPECT_EQ(strings::Split("abc", '.').size(), 1u);
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(strings::StartsWith("Alarms.Text", "Alarms"));
+  EXPECT_FALSE(strings::StartsWith("Al", "Alarms"));
+  EXPECT_TRUE(strings::EndsWith("Alarms.Text", ".Text"));
+  EXPECT_FALSE(strings::EndsWith("Text", "Alarms.Text"));
+}
+
+TEST(StringsTest, IdentifierValidation) {
+  EXPECT_TRUE(strings::IsIdentifier("AlarmHandler"));
+  EXPECT_TRUE(strings::IsIdentifier("_x9"));
+  EXPECT_FALSE(strings::IsIdentifier(""));
+  EXPECT_FALSE(strings::IsIdentifier("9lives"));
+  EXPECT_FALSE(strings::IsIdentifier("has space"));
+  EXPECT_FALSE(strings::IsIdentifier("dot.ted"));
+}
+
+TEST(StringsTest, ParseSegmentPlain) {
+  auto seg = strings::ParseSegment("Body");
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->name, "Body");
+  EXPECT_FALSE(seg->index.has_value());
+  EXPECT_EQ(seg->ToString(), "Body");
+}
+
+TEST(StringsTest, ParseSegmentIndexed) {
+  auto seg = strings::ParseSegment("Keywords[1]");
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->name, "Keywords");
+  EXPECT_EQ(seg->index, 1u);
+  EXPECT_EQ(seg->ToString(), "Keywords[1]");
+}
+
+TEST(StringsTest, ParseSegmentErrors) {
+  EXPECT_FALSE(strings::ParseSegment("Keywords[").ok());
+  EXPECT_FALSE(strings::ParseSegment("Keywords[]").ok());
+  EXPECT_FALSE(strings::ParseSegment("Keywords[x]").ok());
+  EXPECT_FALSE(strings::ParseSegment("[1]").ok());
+  EXPECT_FALSE(strings::ParseSegment("Keywords[99999999999]").ok());
+}
+
+TEST(StringsTest, ParsePathFig1Example) {
+  // The paper's Fig. 1 dependent-object name.
+  auto path = strings::ParsePath("Alarms.Text.Body.Keywords[1]");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 4u);
+  EXPECT_EQ((*path)[0].name, "Alarms");
+  EXPECT_EQ((*path)[3].name, "Keywords");
+  EXPECT_EQ((*path)[3].index, 1u);
+  EXPECT_EQ(strings::PathToString(*path), "Alarms.Text.Body.Keywords[1]");
+}
+
+TEST(StringsTest, ParsePathErrors) {
+  EXPECT_FALSE(strings::ParsePath("").ok());
+  EXPECT_FALSE(strings::ParsePath("a..b").ok());
+  EXPECT_FALSE(strings::ParsePath(".a").ok());
+}
+
+// --- Coding ----------------------------------------------------------------------
+
+TEST(CodingTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI64(-42);
+  enc.PutDouble(3.5);
+  enc.PutBool(true);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(*dec.GetU8(), 0xAB);
+  EXPECT_EQ(*dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*dec.GetI64(), -42);
+  EXPECT_EQ(*dec.GetDouble(), 3.5);
+  EXPECT_EQ(*dec.GetBool(), true);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  Encoder enc;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20,
+                                  0xFFFFFFFFFFFFFFFFull};
+  for (std::uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.bytes());
+  for (std::uint64_t v : values) EXPECT_EQ(*dec.GetVarint(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, VarintSmallValuesAreOneByte) {
+  Encoder enc;
+  enc.PutVarint(100);
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(CodingTest, StringRoundTrip) {
+  Encoder enc;
+  enc.PutString("alarms");
+  enc.PutString("");
+  enc.PutString(std::string("\0binary\xff", 8));
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(*dec.GetString(), "alarms");
+  EXPECT_EQ(*dec.GetString(), "");
+  EXPECT_EQ(dec.GetString()->size(), 8u);
+}
+
+TEST(CodingTest, TruncationIsCorruption) {
+  Encoder enc;
+  enc.PutU32(5);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetU64().status().IsCorruption());
+}
+
+TEST(CodingTest, TruncatedStringBody) {
+  Encoder enc;
+  enc.PutVarint(100);  // length prefix promising 100 bytes
+  enc.PutU8('x');
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetString().status().IsCorruption());
+}
+
+TEST(CodingTest, SkipBoundsChecked) {
+  Encoder enc;
+  enc.PutU32(1);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.Skip(4).ok());
+  EXPECT_TRUE(dec.Skip(1).IsCorruption());
+}
+
+TEST(CodingTest, Fnv1aIsStable) {
+  const char* s = "seed";
+  EXPECT_EQ(Fnv1a64(s, 4), Fnv1a64(s, 4));
+  EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
+}
+
+// --- Random ------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicBySeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    std::int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, IdentifiersAreValid) {
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(strings::IsIdentifier(rng.Identifier(8)));
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace seed

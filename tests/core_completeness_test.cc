@@ -1,0 +1,177 @@
+// Completeness tests: the paper's split between consistency and
+// completeness information. Minimum cardinalities, covering conditions and
+// undefined values never veto updates; they only appear in the reports of
+// the explicit check operations.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace seed::core {
+namespace {
+
+using spades::BuildFig2Schema;
+using spades::BuildFig3Schema;
+
+class Fig2CompletenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig2 = BuildFig2Schema();
+    ASSERT_TRUE(fig2.ok());
+    ids_ = fig2->ids;
+    db_ = std::make_unique<Database>(fig2->schema);
+  }
+
+  spades::Fig2Ids ids_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(Fig2CompletenessTest, PaperExample2IncompleteDataIsAccepted) {
+  // Paper: "We cannot enter 'Alarms' as an object of class 'Data' without
+  // also entering a 'Read'- and a 'Write'-relationship ... because the
+  // database would become inconsistent otherwise." SEED's split makes the
+  // entry legal and reports it as incomplete instead.
+  auto alarms = db_->CreateObject(ids_.data, "Alarms");
+  ASSERT_TRUE(alarms.ok()) << alarms.status().ToString();
+
+  Report report = db_->CheckCompleteness();
+  auto missing = report.Of(Rule::kRoleMinParticipation);
+  // Read 'from' (1..*) and Write 'to' (1..*) are both unsatisfied.
+  EXPECT_EQ(missing.size(), 2u);
+
+  // Consistency stays clean the whole time.
+  EXPECT_TRUE(db_->AuditConsistency().clean());
+}
+
+TEST_F(Fig2CompletenessTest, SatisfyingMinimaClearsFindings) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  ObjectId handler = *db_->CreateObject(ids_.action, "Handler");
+  (void)*db_->CreateRelationship(ids_.read, alarms, handler);
+  (void)*db_->CreateRelationship(ids_.write, alarms, handler);
+  Report report = db_->CheckCompleteness(alarms);
+  EXPECT_TRUE(report.Of(Rule::kRoleMinParticipation).empty())
+      << report.ToString();
+}
+
+TEST_F(Fig2CompletenessTest, MinCardinalityOfSubObjectsReported) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  ObjectId text = *db_->CreateSubObject(alarms, "Text");
+  // Data.Text.Body has cardinality 1..1 — the Text node lacks its Body.
+  Report report = db_->CheckCompleteness(alarms);
+  auto missing = report.Of(Rule::kMinCardinality);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].object, text);
+  // Adding the Body (with its mandatory Contents) fixes the Text node.
+  ObjectId body = *db_->CreateSubObject(text, "Body");
+  report = db_->CheckCompleteness(text);
+  missing = report.Of(Rule::kMinCardinality);
+  ASSERT_EQ(missing.size(), 1u);  // now Body.Contents (1..1) is missing
+  EXPECT_EQ(missing[0].object, body);
+}
+
+TEST_F(Fig2CompletenessTest, UndefinedValueReported) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  ObjectId text = *db_->CreateSubObject(alarms, "Text");
+  ObjectId selector = *db_->CreateSubObject(text, "Selector");
+  Report report = db_->CheckCompleteness(alarms);
+  auto undefined = report.Of(Rule::kUndefinedValue);
+  ASSERT_EQ(undefined.size(), 1u);
+  EXPECT_EQ(undefined[0].object, selector);
+  ASSERT_TRUE(db_->SetValue(selector, Value::String("Rep")).ok());
+  EXPECT_TRUE(db_->CheckCompleteness(alarms).Of(Rule::kUndefinedValue).empty());
+}
+
+TEST_F(Fig2CompletenessTest, SubtreeCheckIsScoped) {
+  (void)*db_->CreateObject(ids_.data, "Alarms");
+  ObjectId other = *db_->CreateObject(ids_.data, "Other");
+  // Full check sees both incomplete Data objects; scoped check only one.
+  EXPECT_EQ(db_->CheckCompleteness().Of(Rule::kRoleMinParticipation).size(),
+            4u);
+  EXPECT_EQ(
+      db_->CheckCompleteness(other).Of(Rule::kRoleMinParticipation).size(),
+      2u);
+}
+
+class Fig3CompletenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+  }
+
+  spades::Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(Fig3CompletenessTest, CoveringClassReported) {
+  // Thing is covering: a vague Thing is legal but incomplete until
+  // specialized.
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  Report report = db_->CheckCompleteness(alarms);
+  auto covering = report.Of(Rule::kCovering);
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0].object, alarms);
+
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  EXPECT_TRUE(db_->CheckCompleteness(alarms).Of(Rule::kCovering).empty());
+}
+
+TEST_F(Fig3CompletenessTest, CoveringAssociationReported) {
+  ObjectId data = *db_->CreateObject(ids_.data, "D");
+  ObjectId action = *db_->CreateObject(ids_.action, "A");
+  RelationshipId access = *db_->CreateRelationship(ids_.access, data, action);
+  Report report = db_->CheckCompleteness();
+  auto covering = report.Of(Rule::kCovering);
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0].relationship, access);
+
+  ASSERT_TRUE(db_->Reclassify(data, ids_.input_data).ok());
+  ASSERT_TRUE(db_->ReclassifyRelationship(access, ids_.read).ok());
+  EXPECT_TRUE(db_->CheckCompleteness().Of(Rule::kCovering).empty());
+}
+
+TEST_F(Fig3CompletenessTest, RelationshipAttributeMinimaReported) {
+  ObjectId out = *db_->CreateObject(ids_.output_data, "Out");
+  ObjectId action = *db_->CreateObject(ids_.action, "A");
+  RelationshipId write = *db_->CreateRelationship(ids_.write, out, action);
+  // Write.NumberOfWrites is 1..1 and absent.
+  Report report = db_->CheckCompleteness();
+  auto missing = report.Of(Rule::kMinCardinality);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].relationship, write);
+
+  ObjectId n = *db_->CreateSubObject(write, "NumberOfWrites");
+  ASSERT_TRUE(db_->SetValue(n, Value::Int(2)).ok());
+  EXPECT_TRUE(db_->CheckCompleteness().Of(Rule::kMinCardinality).empty());
+}
+
+TEST_F(Fig3CompletenessTest, FullyRefinedStateIsComplete) {
+  // Build a small, fully precise specification and expect zero findings.
+  ObjectId in = *db_->CreateObject(ids_.input_data, "ProcessData");
+  ObjectId out = *db_->CreateObject(ids_.output_data, "Alarms");
+  ObjectId action = *db_->CreateObject(ids_.action, "AlarmHandler");
+  (void)*db_->CreateRelationship(ids_.read, in, action);
+  RelationshipId write = *db_->CreateRelationship(ids_.write, out, action);
+  ObjectId n = *db_->CreateSubObject(write, "NumberOfWrites");
+  ASSERT_TRUE(db_->SetValue(n, Value::Int(1)).ok());
+
+  Report report = db_->CheckCompleteness();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(Fig3CompletenessTest, CompletenessNeverVetoes) {
+  // A long sequence of partially complete mutations all succeed.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db_->CreateObject(ids_.thing, "T" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(db_->num_live_objects(), 20u);
+  EXPECT_EQ(db_->CheckCompleteness().Of(Rule::kCovering).size(), 20u);
+  EXPECT_TRUE(db_->AuditConsistency().clean());
+}
+
+}  // namespace
+}  // namespace seed::core

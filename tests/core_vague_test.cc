@@ -1,0 +1,226 @@
+// Vague-information tests: the paper's Fig. 3 narrative — enter a vague
+// Thing, re-classify downward as knowledge becomes precise, specialize
+// vague Access flows into Read/Write, attach relationship attributes.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "spades/spec_schema.h"
+
+namespace seed::core {
+namespace {
+
+using spades::BuildFig3Schema;
+using spades::Fig3Ids;
+
+class VagueDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+  }
+
+  void TearDown() override {
+    Report audit = db_->AuditConsistency();
+    EXPECT_TRUE(audit.clean()) << audit.ToString();
+  }
+
+  Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(VagueDataTest, PaperNarrativeEndToEnd) {
+  // "There is a thing with name 'Alarms'."
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+
+  // A Thing cannot participate in Access yet (role wants Data).
+  EXPECT_TRUE(db_->CreateRelationship(ids_.access, alarms, sensor)
+                  .status()
+                  .IsConsistencyViolation());
+
+  // "...it is a data object which is accessed by action 'Sensor'."
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  RelationshipId access =
+      *db_->CreateRelationship(ids_.access, alarms, sensor);
+
+  // "...'Alarms' is an output" — but Write wants OutputData, so the flow
+  // cannot be specialized before the object is.
+  EXPECT_TRUE(db_->ReclassifyRelationship(access, ids_.write)
+                  .IsConsistencyViolation());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.output_data).ok());
+  ASSERT_TRUE(db_->ReclassifyRelationship(access, ids_.write).ok());
+
+  // "'Alarms' is an output written twice by 'Sensor', and writing is
+  // repeated in case of error."
+  ObjectId n = *db_->CreateSubObject(access, "NumberOfWrites");
+  ASSERT_TRUE(db_->SetValue(n, Value::Int(2)).ok());
+  ObjectId eh = *db_->CreateSubObject(access, "ErrorHandling");
+  ASSERT_TRUE(db_->SetValue(eh, Value::Enum("repeat")).ok());
+
+  auto rel = db_->GetRelationship(access);
+  EXPECT_EQ((*rel)->assoc, ids_.write);
+  EXPECT_EQ(db_->SubObjects(access).size(), 2u);
+}
+
+TEST_F(VagueDataTest, ReclassifyUpwards) {
+  // Moving back up the hierarchy (information turned out wrong).
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.output_data).ok());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.thing).ok());
+  EXPECT_EQ((*db_->GetObject(alarms))->cls, ids_.thing);
+}
+
+TEST_F(VagueDataTest, ReclassifyAcrossBranchesRejected) {
+  ObjectId alarms = *db_->CreateObject(ids_.input_data, "Alarms");
+  // InputData -> OutputData crosses branches; must go via Data.
+  EXPECT_TRUE(
+      db_->Reclassify(alarms, ids_.output_data).IsFailedPrecondition());
+  EXPECT_TRUE(db_->Reclassify(alarms, ids_.action).IsFailedPrecondition());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.output_data).ok());
+}
+
+TEST_F(VagueDataTest, ReclassifyToSameClassRejected) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  EXPECT_TRUE(db_->Reclassify(alarms, ids_.data).IsInvalidArgument());
+}
+
+TEST_F(VagueDataTest, ReclassifyKeepsIdentityAndSubObjects) {
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  ObjectId desc = *db_->CreateSubObject(alarms, "Description");
+  ASSERT_TRUE(db_->SetValue(desc, Value::String("vague for now")).ok());
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  // Same id, same sub-objects, same name.
+  EXPECT_EQ(*db_->FindObjectByName("Alarms"), alarms);
+  EXPECT_EQ(*db_->FindObjectByName("Alarms.Description"), desc);
+  // The inherited role is still usable after specialization, and the Data
+  // roles become available.
+  EXPECT_TRUE(db_->CreateSubObject(alarms, "Text").ok());
+}
+
+TEST_F(VagueDataTest, ReclassifyUpOrphaningSubObjectsRejected) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  ASSERT_TRUE(db_->CreateSubObject(alarms, "Text").ok());
+  // Thing has no Text role: generalizing would orphan the sub-object.
+  Status s = db_->Reclassify(alarms, ids_.thing);
+  EXPECT_TRUE(s.IsConsistencyViolation());
+  EXPECT_EQ((*db_->GetObject(alarms))->cls, ids_.data);
+}
+
+TEST_F(VagueDataTest, ReclassifyUpBreakingRelationshipsRejected) {
+  ObjectId alarms = *db_->CreateObject(ids_.output_data, "Alarms");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  ASSERT_TRUE(db_->CreateRelationship(ids_.write, alarms, sensor).ok());
+  // Write wants OutputData in role 'to'; generalizing Alarms to Data would
+  // break the existing Write relationship.
+  EXPECT_TRUE(db_->Reclassify(alarms, ids_.data).IsConsistencyViolation());
+  // An Access-level relationship would be fine with Data, so after the
+  // Write is generalized the object can move up too.
+  RelationshipId rel = db_->RelationshipsOf(alarms)[0];
+  ASSERT_TRUE(db_->ReclassifyRelationship(rel, ids_.access).ok());
+  EXPECT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+}
+
+TEST_F(VagueDataTest, DependentObjectReclassifyRejected) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  ObjectId text = *db_->CreateSubObject(alarms, "Text");
+  EXPECT_TRUE(db_->Reclassify(text, ids_.thing).IsFailedPrecondition());
+}
+
+TEST_F(VagueDataTest, GeneralizedCardinalityCountsSpecializations) {
+  // Paper: "the cardinality 1..* of 'Access by' means that every object of
+  // class 'Action' eventually must access at least one object of 'Data'.
+  // However, the cardinality 0..* of 'Read by' and 'Write by' allows
+  // either a write or a read access to satisfy this condition."
+  ObjectId in = *db_->CreateObject(ids_.input_data, "In");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  ASSERT_TRUE(db_->CreateRelationship(ids_.read, in, sensor).ok());
+
+  // The Read counts as an Access: completeness for Sensor is satisfied.
+  Report completeness = db_->CheckCompleteness(sensor);
+  for (const Violation& v : completeness.violations) {
+    EXPECT_NE(v.rule, Rule::kRoleMinParticipation) << v.ToString();
+  }
+}
+
+TEST_F(VagueDataTest, ReclassifyRelationshipChecksAttributeRoles) {
+  ObjectId out = *db_->CreateObject(ids_.output_data, "Out");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  RelationshipId write = *db_->CreateRelationship(ids_.write, out, sensor);
+  ObjectId n = *db_->CreateSubObject(write, "NumberOfWrites");
+  ASSERT_TRUE(db_->SetValue(n, Value::Int(1)).ok());
+  // Generalizing Write -> Access would orphan NumberOfWrites (declared on
+  // Write only).
+  EXPECT_TRUE(
+      db_->ReclassifyRelationship(write, ids_.access).IsConsistencyViolation());
+}
+
+TEST_F(VagueDataTest, ReclassifyRelationshipAcrossBranchesRejected) {
+  ObjectId data = *db_->CreateObject(ids_.data, "D");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  RelationshipId access = *db_->CreateRelationship(ids_.access, data, sensor);
+  ASSERT_TRUE(db_->Reclassify(data, ids_.input_data).ok());
+  ASSERT_TRUE(db_->ReclassifyRelationship(access, ids_.read).ok());
+  // Read -> Write crosses branches.
+  EXPECT_TRUE(
+      db_->ReclassifyRelationship(access, ids_.write).IsFailedPrecondition());
+}
+
+TEST_F(VagueDataTest, ReclassifyRelationshipDuplicateVetoed) {
+  ObjectId in = *db_->CreateObject(ids_.input_data, "In");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  (void)*db_->CreateRelationship(ids_.read, in, sensor);
+  RelationshipId access = *db_->CreateRelationship(ids_.access, in, sensor);
+  // Specializing the Access into a second identical Read must fail.
+  EXPECT_TRUE(
+      db_->ReclassifyRelationship(access, ids_.read).IsConsistencyViolation());
+}
+
+TEST_F(VagueDataTest, EnumValueValidated) {
+  ObjectId out = *db_->CreateObject(ids_.output_data, "Out");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  RelationshipId write = *db_->CreateRelationship(ids_.write, out, sensor);
+  ObjectId eh = *db_->CreateSubObject(write, "ErrorHandling");
+  EXPECT_TRUE(
+      db_->SetValue(eh, Value::Enum("explode")).IsConsistencyViolation());
+  EXPECT_TRUE(db_->SetValue(eh, Value::Enum("abort")).ok());
+}
+
+TEST_F(VagueDataTest, DateValueOnThing) {
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  ObjectId revised = *db_->CreateSubObject(alarms, "Revised");
+  ASSERT_TRUE(
+      db_->SetValue(revised, Value::OfDate(*schema::Date::Parse("1986-02-05")))
+          .ok());
+  EXPECT_TRUE(db_->SetValue(revised, Value::String("1986-02-05"))
+                  .IsConsistencyViolation());
+}
+
+TEST_F(VagueDataTest, ObjectsOfClassSeesSpecializations) {
+  (void)*db_->CreateObject(ids_.thing, "T");
+  (void)*db_->CreateObject(ids_.data, "D");
+  (void)*db_->CreateObject(ids_.input_data, "I");
+  (void)*db_->CreateObject(ids_.action, "A");
+  EXPECT_EQ(db_->ObjectsOfClass(ids_.thing).size(), 4u);
+  EXPECT_EQ(db_->ObjectsOfClass(ids_.thing, false).size(), 1u);
+  EXPECT_EQ(db_->ObjectsOfClass(ids_.data).size(), 2u);
+}
+
+TEST_F(VagueDataTest, RelationshipsOfAssociationSeesFamily) {
+  ObjectId in = *db_->CreateObject(ids_.input_data, "In");
+  ObjectId out = *db_->CreateObject(ids_.output_data, "Out");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  (void)*db_->CreateRelationship(ids_.read, in, sensor);
+  (void)*db_->CreateRelationship(ids_.write, out, sensor);
+  (void)*db_->CreateRelationship(ids_.access, in, sensor);
+  EXPECT_EQ(db_->RelationshipsOfAssociation(ids_.access).size(), 3u);
+  EXPECT_EQ(db_->RelationshipsOfAssociation(ids_.access, false).size(), 1u);
+  EXPECT_EQ(db_->RelationshipsOfAssociation(ids_.read).size(), 1u);
+}
+
+}  // namespace
+}  // namespace seed::core

@@ -1,0 +1,111 @@
+// Tests for DOT export and database statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/export.h"
+#include "core/stats.h"
+#include "spades/spec_schema.h"
+
+namespace seed::core {
+namespace {
+
+using spades::BuildFig3Schema;
+
+class ExportStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+  }
+
+  spades::Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExportStatsTest, SchemaDotContainsClassesAndAssociations) {
+  std::string dot = DotExport::Schema(*db_->schema());
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("Thing (covering)"), std::string::npos);
+  EXPECT_NE(dot.find("ACYCLIC"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"is-a\""), std::string::npos);
+  EXPECT_NE(dot.find("from 1..*"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces (one digraph block).
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST_F(ExportStatsTest, DatabaseDotContainsObjectsAndEdges) {
+  ObjectId alarms = *db_->CreateObject(ids_.output_data, "Alarms");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  ObjectId d = *db_->CreateSubObject(sensor, "Description");
+  ASSERT_TRUE(db_->SetValue(d, Value::String("polls")).ok());
+  (void)*db_->CreateRelationship(ids_.write, alarms, sensor);
+
+  std::string dot = DotExport::Database(*db_);
+  EXPECT_NE(dot.find("Alarms : OutputData"), std::string::npos);
+  EXPECT_NE(dot.find("Description = \\\"polls\\\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"Write\""), std::string::npos);
+}
+
+TEST_F(ExportStatsTest, PatternsRenderDashed) {
+  CreateOptions opts;
+  opts.pattern = true;
+  (void)*db_->CreateObject(ids_.action, "Template", opts);
+  std::string dot = DotExport::Database(*db_);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(ExportStatsTest, EscapingSpecialCharacters) {
+  ObjectId a = *db_->CreateObject(ids_.action, "A");
+  ObjectId d = *db_->CreateSubObject(a, "Description");
+  ASSERT_TRUE(db_->SetValue(d, Value::String("uses \"quotes\" & {braces}"))
+                  .ok());
+  std::string dot = DotExport::Database(*db_);
+  EXPECT_NE(dot.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(dot.find("\\{braces\\}"), std::string::npos);
+}
+
+TEST_F(ExportStatsTest, StatsCountPopulations) {
+  ObjectId alarms = *db_->CreateObject(ids_.output_data, "Alarms");
+  ObjectId sensor = *db_->CreateObject(ids_.action, "Sensor");
+  ObjectId d = *db_->CreateSubObject(sensor, "Description");
+  ASSERT_TRUE(db_->SetValue(d, Value::String("x")).ok());
+  (void)*db_->CreateSubObject(alarms, "Revised");  // undefined DATE
+  (void)*db_->CreateRelationship(ids_.write, alarms, sensor);
+  ObjectId doomed = *db_->CreateObject(ids_.action, "Doomed");
+  ASSERT_TRUE(db_->DeleteObject(doomed).ok());
+
+  DatabaseStats stats = CollectStats(*db_);
+  EXPECT_EQ(stats.live_objects, 4u);
+  EXPECT_EQ(stats.independent_objects, 2u);
+  EXPECT_EQ(stats.live_relationships, 1u);
+  EXPECT_EQ(stats.tombstones, 1u);
+  EXPECT_EQ(stats.max_depth, 1u);
+  EXPECT_EQ(stats.defined_values, 1u);
+  EXPECT_EQ(stats.undefined_values, 1u);
+  EXPECT_DOUBLE_EQ(stats.ValueCoverage(), 0.5);
+  EXPECT_EQ(stats.objects_per_class["Action"], 1u);
+  EXPECT_EQ(stats.objects_per_class["OutputData"], 1u);
+  EXPECT_EQ(stats.relationships_per_association["Write"], 1u);
+  EXPECT_GT(stats.completeness_findings.size(), 0u);
+}
+
+TEST_F(ExportStatsTest, StatsOnEmptyDatabase) {
+  DatabaseStats stats = CollectStats(*db_);
+  EXPECT_EQ(stats.live_objects, 0u);
+  EXPECT_DOUBLE_EQ(stats.ValueCoverage(), 1.0);
+  EXPECT_TRUE(stats.completeness_findings.empty());
+}
+
+TEST_F(ExportStatsTest, StatsToStringIsReadable) {
+  (void)*db_->CreateObject(ids_.action, "A");
+  std::string text = CollectStats(*db_).ToString();
+  EXPECT_NE(text.find("objects: 1 live"), std::string::npos);
+  EXPECT_NE(text.find("Action=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seed::core

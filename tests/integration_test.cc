@@ -1,0 +1,240 @@
+// End-to-end integration tests combining every layer: the full paper
+// walk-through (Figs. 1-5) on one database, with persistence, versions,
+// patterns and multi-user operation interacting.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/persistence.h"
+#include "schema/schema_builder.h"
+#include "multiuser/client.h"
+#include "multiuser/server.h"
+#include "pattern/pattern_manager.h"
+#include "pattern/variants.h"
+#include "query/algebra.h"
+#include "spades/spec_schema.h"
+#include "version/version_io.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using spades::BuildFig3Schema;
+using version::VersionId;
+using version::VersionManager;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = ::testing::TempDir() + "/integ." + std::to_string(::getpid()) +
+           "." + std::to_string(counter++);
+    std::filesystem::create_directories(dir_);
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  spades::Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(IntegrationTest, FullPaperWalkthrough) {
+  VersionManager vm(db_.get());
+  pattern::PatternManager pm(db_.get());
+
+  // --- Fig. 1: the Alarms object structure --------------------------------
+  ObjectId alarms = *db_->CreateObject(ids_.thing, "Alarms");
+  ObjectId handler = *db_->CreateObject(ids_.action, "AlarmHandler");
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.data).ok());
+  ObjectId text = *db_->CreateSubObject(alarms, "Text");
+  ObjectId body = *db_->CreateSubObject(text, "Body");
+  ObjectId contents = *db_->CreateSubObject(body, "Contents");
+  ASSERT_TRUE(db_->SetValue(
+                     contents, Value::String("Alarms are represented in an "
+                                             "alarm display matrix"))
+                  .ok());
+  ObjectId selector = *db_->CreateSubObject(text, "Selector");
+  ASSERT_TRUE(db_->SetValue(selector, Value::String("Representation")).ok());
+  ObjectId kw0 = *db_->CreateSubObject(body, "Keywords");
+  ASSERT_TRUE(db_->SetValue(kw0, Value::String("Alarmhandling")).ok());
+  ObjectId kw1 = *db_->CreateSubObject(body, "Keywords");
+  ASSERT_TRUE(db_->SetValue(kw1, Value::String("Display")).ok());
+
+  // --- Fig. 3 narrative: vague -> precise -----------------------------------
+  RelationshipId flow =
+      *db_->CreateRelationship(ids_.access, alarms, handler);
+  ASSERT_TRUE(db_->Reclassify(alarms, ids_.output_data).ok());
+  ASSERT_TRUE(db_->ReclassifyRelationship(flow, ids_.write).ok());
+  ObjectId n = *db_->CreateSubObject(flow, "NumberOfWrites");
+  ASSERT_TRUE(db_->SetValue(n, Value::Int(2)).ok());
+
+  // --- Fig. 4: versions -------------------------------------------------------
+  ObjectId desc = *db_->CreateSubObject(handler, "Description");
+  ASSERT_TRUE(db_->SetValue(desc, Value::String("Handles alarms")).ok());
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+  ASSERT_TRUE(
+      db_->SetValue(desc, Value::String("Handles alarms derived from "
+                                        "ProcessData"))
+          .ok());
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("2.0")).ok());
+  ASSERT_TRUE(
+      db_->SetValue(desc, Value::String("Generates alarms from process "
+                                        "data, triggers Operator Alert"))
+          .ok());
+
+  auto v1 = vm.MaterializeView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*(*v1)->GetObject(*(*v1)->FindObjectByName(
+                "AlarmHandler.Description")))
+                ->value.as_string(),
+            "Handles alarms");
+
+  // --- Fig. 5: variants ---------------------------------------------------------
+  pattern::VariantFamily family("Configs", &pm);
+  ASSERT_TRUE(family.AddCommonObject(handler).ok());
+  ASSERT_TRUE(family
+                  .CreateConnector("PO1", ids_.action, ids_.contained,
+                                   /*connector_role=*/0, handler)
+                  .ok());
+  ObjectId var_a = *db_->CreateObject(ids_.action, "DriverA");
+  ObjectId var_b = *db_->CreateObject(ids_.action, "DriverB");
+  ASSERT_TRUE(family.AddVariant("A", {var_a}).ok());
+  ASSERT_TRUE(family.AddVariant("B", {var_b}).ok());
+  EXPECT_EQ(family.SharedRelationshipsOf(var_a).size(), 1u);
+  EXPECT_EQ(family.SharedRelationshipsOf(var_b).size(), 1u);
+
+  // --- Query the result ------------------------------------------------------------
+  query::Algebra algebra(db_.get());
+  auto data = algebra.ClassExtent(ids_.data, "d");
+  auto actions = algebra.ClassExtent(ids_.action, "a");
+  auto joined =
+      *algebra.RelationshipJoin(data, "d", ids_.access, actions, "a");
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined.tuples[0][0], alarms);
+  EXPECT_EQ(joined.tuples[0][1], handler);
+
+  // --- Persist everything and reload --------------------------------------------------
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir_).ok());
+    ASSERT_TRUE(core::Persistence::SaveFull(*db_, &kv).ok());
+    ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+  storage::KvStore kv;
+  ASSERT_TRUE(kv.Open(dir_).ok());
+  auto loaded = core::Persistence::Load(&kv);
+  ASSERT_TRUE(loaded.ok());
+  VersionManager loaded_vm(loaded->get());
+  ASSERT_TRUE(version::VersionPersistence::Load(&loaded_vm, &kv).ok());
+
+  EXPECT_TRUE((*loaded)->AuditConsistency().clean());
+  EXPECT_EQ((*loaded)->num_live_objects(), db_->num_live_objects());
+  EXPECT_EQ(loaded_vm.num_versions(), 2u);
+  EXPECT_EQ(
+      *(*loaded)->FindObjectByName("Alarms.Text[0].Body.Keywords[1]"), kw1);
+
+  // The whole database is consistent; completeness reports the open work.
+  core::Report completeness = db_->CheckCompleteness();
+  EXPECT_FALSE(completeness.clean());  // e.g. handler never reads anything
+  EXPECT_TRUE(db_->AuditConsistency().clean());
+}
+
+TEST_F(IntegrationTest, VersionsOfPatternedDatabase) {
+  // Patterns and versions interact: a pattern update is a change like any
+  // other and lands in the next version's delta.
+  pattern::PatternManager pm(db_.get());
+  VersionManager vm(db_.get());
+  core::CreateOptions opts;
+  opts.pattern = true;
+  ObjectId p = *db_->CreateObject(ids_.action, "Template", opts);
+  ObjectId pd = *db_->CreateSubObject(p, "Description");
+  ASSERT_TRUE(db_->SetValue(pd, Value::String("shared v1")).ok());
+  ObjectId real = *db_->CreateObject(ids_.action, "Real");
+  ASSERT_TRUE(pm.Inherit(real, p).ok());
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+
+  ASSERT_TRUE(db_->SetValue(pd, Value::String("shared v2")).ok());
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("2.0")).ok());
+
+  auto v1 = vm.MaterializeView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(v1.ok());
+  ObjectId v1pd = *(*v1)->FindPatternByName("Template.Description");
+  EXPECT_EQ((*(*v1)->GetObject(v1pd))->value.as_string(), "shared v1");
+  EXPECT_EQ(pm.EffectiveValue(real, "Description")->as_string(),
+            "shared v2");
+}
+
+TEST_F(IntegrationTest, MultiuserOverVersionedMaster) {
+  auto fig3 = BuildFig3Schema();
+  multiuser::Server server(fig3->schema);
+  ObjectId alarms =
+      *server.master()->CreateObject(ids_.output_data, "Alarms");
+  (void)alarms;
+  ASSERT_TRUE(
+      server.global_versions()->CreateVersion(*VersionId::Parse("1.0")).ok());
+
+  auto session = multiuser::ClientSession::Open(&server, "alice");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->CheckoutByName({"Alarms"}).ok());
+  ObjectId local_alarms = *(*session)->local()->FindObjectByName("Alarms");
+  ObjectId d = *(*session)->local()->CreateSubObject(local_alarms,
+                                                     "Description");
+  ASSERT_TRUE(
+      (*session)->local()->SetValue(d, Value::String("updated")).ok());
+  ASSERT_TRUE((*session)->Checkin().ok());
+
+  // The global version history can snapshot the merged state.
+  ASSERT_TRUE(
+      server.global_versions()->CreateVersion(*VersionId::Parse("2.0")).ok());
+  auto v1 = server.global_versions()->MaterializeView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(
+      (*v1)->FindObjectByName("Alarms.Description").status().IsNotFound());
+  auto v2 = server.global_versions()->MaterializeView(*VersionId::Parse("2.0"));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE((*v2)->FindObjectByName("Alarms.Description").ok());
+}
+
+TEST_F(IntegrationTest, SchemaEvolutionWithLiveData) {
+  ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
+  (void)alarms;
+  // Evolve: add a Priority attribute to Thing.
+  schema::SchemaBuilder b = schema::SchemaBuilder::Evolve(*db_->schema());
+  ClassId priority = b.AddDependentClass(ids_.thing, "Priority",
+                                         schema::Cardinality::Optional(),
+                                         schema::ValueType::kInt);
+  auto evolved = b.Build();
+  ASSERT_TRUE(evolved.ok());
+  ASSERT_TRUE(db_->MigrateToSchema(*evolved).ok());
+  (void)priority;
+  // The old object can use the new role immediately.
+  ObjectId p = *db_->CreateSubObject(alarms, "Priority");
+  ASSERT_TRUE(db_->SetValue(p, Value::Int(3)).ok());
+  EXPECT_TRUE(db_->AuditConsistency().clean());
+}
+
+TEST_F(IntegrationTest, MigrationRejectedWhenDataWouldBreak) {
+  // Build data under Fig. 3, then try to migrate to a schema where class
+  // ids mean different things. The audit must veto the swap.
+  ObjectId alarms = *db_->CreateObject(ids_.output_data, "Alarms");
+  (void)alarms;
+  schema::SchemaBuilder b("Unrelated");
+  b.AddIndependentClass("OnlyOne");
+  auto tiny = b.Build();
+  ASSERT_TRUE(tiny.ok());
+  Status s = db_->MigrateToSchema(*tiny);
+  EXPECT_TRUE(s.IsConsistencyViolation());
+  // Original schema still in force.
+  EXPECT_EQ(db_->schema()->name(), "Fig3GeneralizedSpec");
+}
+
+}  // namespace
+}  // namespace seed

@@ -1,0 +1,195 @@
+// Long-lived project simulation: several specification sessions with
+// version snapshots in between, full persistence round-trips mid-project,
+// pattern templates shared across sessions, and a final audit — the
+// closest test to how the paper expects SEED to be used over weeks of a
+// software project.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/persistence.h"
+#include "core/stats.h"
+#include "pattern/pattern_manager.h"
+#include "spades/spec_schema.h"
+#include "version/version_io.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using spades::BuildFig3Schema;
+using version::VersionId;
+using version::VersionManager;
+
+TEST(LifecycleTest, MultiSessionProjectWithPersistence) {
+  std::string dir = ::testing::TempDir() + "/lifecycle." +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto fig3 = *BuildFig3Schema();
+  std::vector<std::string> version_log;
+
+  // ---- Session 1: rough sketch, everything vague --------------------------
+  {
+    Database db(fig3.schema);
+    VersionManager vm(&db);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(
+          db.CreateObject(fig3.ids.thing, "Item_" + std::to_string(i)).ok());
+    }
+    // Vague stage: many covering findings, zero consistency violations.
+    EXPECT_EQ(db.CheckCompleteness().Of(core::Rule::kCovering).size(), 8u);
+    ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+    version_log.push_back("1.0");
+
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir).ok());
+    ASSERT_TRUE(core::Persistence::SaveFull(db, &kv).ok());
+    ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+
+  // ---- Session 2 (new process): refinement ---------------------------------
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir).ok());
+    auto db = std::move(core::Persistence::Load(&kv)).value();
+    VersionManager vm(db.get());
+    ASSERT_TRUE(version::VersionPersistence::Load(&vm, &kv).ok());
+    EXPECT_EQ(vm.current_basis().ToString(), "1.0");
+
+    // Items 0-3 become actions, 4-7 data; wire dataflows.
+    for (int i = 0; i < 4; ++i) {
+      ObjectId item = *db->FindObjectByName("Item_" + std::to_string(i));
+      ASSERT_TRUE(db->Reclassify(item, fig3.ids.action).ok());
+    }
+    for (int i = 4; i < 8; ++i) {
+      ObjectId item = *db->FindObjectByName("Item_" + std::to_string(i));
+      ASSERT_TRUE(db->Reclassify(item, fig3.ids.data).ok());
+    }
+    for (int i = 0; i < 4; ++i) {
+      ObjectId action = *db->FindObjectByName("Item_" + std::to_string(i));
+      ObjectId data = *db->FindObjectByName("Item_" + std::to_string(i + 4));
+      ASSERT_TRUE(
+          db->CreateRelationship(fig3.ids.access, data, action).ok());
+    }
+    EXPECT_TRUE(db->CheckCompleteness().Of(core::Rule::kCovering).size() ==
+                4u);  // the 4 Access flows still vague
+    ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("2.0")).ok());
+    version_log.push_back("2.0");
+
+    ASSERT_TRUE(core::Persistence::SaveFull(*db, &kv).ok());
+    ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+
+  // ---- Session 3: precision + shared template ------------------------------
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir).ok());
+    auto db = std::move(core::Persistence::Load(&kv)).value();
+    VersionManager vm(db.get());
+    ASSERT_TRUE(version::VersionPersistence::Load(&vm, &kv).ok());
+    pattern::PatternManager pm(db.get());
+
+    // Flows become reads; data becomes inputs.
+    for (int i = 4; i < 8; ++i) {
+      ObjectId data = *db->FindObjectByName("Item_" + std::to_string(i));
+      ASSERT_TRUE(db->Reclassify(data, fig3.ids.input_data).ok());
+    }
+    for (RelationshipId rid :
+         db->RelationshipsOfAssociation(fig3.ids.access, false)) {
+      ASSERT_TRUE(db->ReclassifyRelationship(rid, fig3.ids.read).ok());
+    }
+    // A shared description template for all actions.
+    core::CreateOptions opts;
+    opts.pattern = true;
+    ObjectId tpl = *db->CreateObject(fig3.ids.action, "Template", opts);
+    ObjectId tpl_desc = *db->CreateSubObject(tpl, "Description");
+    ASSERT_TRUE(
+        db->SetValue(tpl_desc, Value::String("standard step")).ok());
+    for (int i = 0; i < 4; ++i) {
+      ObjectId action = *db->FindObjectByName("Item_" + std::to_string(i));
+      ASSERT_TRUE(pm.Inherit(action, tpl).ok());
+      EXPECT_EQ(pm.EffectiveValue(action, "Description")->as_string(),
+                "standard step");
+    }
+    // Covering satisfied everywhere now.
+    EXPECT_TRUE(db->CheckCompleteness().Of(core::Rule::kCovering).empty());
+    ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("3.0")).ok());
+    version_log.push_back("3.0");
+
+    // History views still reconstruct the vague past.
+    auto v1 = vm.MaterializeView(*VersionId::Parse("1.0"));
+    ASSERT_TRUE(v1.ok());
+    ObjectId old_item = *(*v1)->FindObjectByName("Item_0");
+    EXPECT_EQ((*(*v1)->GetObject(old_item))->cls, fig3.ids.thing);
+
+    core::DatabaseStats stats = core::CollectStats(*db);
+    // 4 real actions + the pattern template (stats count patterns too;
+    // the pattern_items counter separates them).
+    EXPECT_EQ(stats.objects_per_class["Action"], 5u);
+    EXPECT_EQ(stats.objects_per_class["InputData"], 4u);
+    EXPECT_EQ(stats.pattern_items, 2u);  // template + its description
+
+    EXPECT_TRUE(db->AuditConsistency().clean());
+    ASSERT_TRUE(core::Persistence::SaveFull(*db, &kv).ok());
+    ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+
+  // ---- Final reopen: everything survived three process generations --------
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir).ok());
+    auto db = std::move(core::Persistence::Load(&kv)).value();
+    VersionManager vm(db.get());
+    ASSERT_TRUE(version::VersionPersistence::Load(&vm, &kv).ok());
+
+    EXPECT_EQ(vm.num_versions(), version_log.size());
+    for (const std::string& v : version_log) {
+      EXPECT_TRUE(vm.HasVersion(*VersionId::Parse(v))) << v;
+    }
+    EXPECT_TRUE(db->AuditConsistency().clean());
+    EXPECT_EQ(db->ObjectsOfClass(fig3.ids.thing).size(), 8u);
+    // Version chain parents are intact: 3.0 -> 2.0 -> 1.0.
+    EXPECT_EQ(vm.ParentOf(*VersionId::Parse("3.0"))->ToString(), "2.0");
+    EXPECT_EQ(vm.ParentOf(*VersionId::Parse("2.0"))->ToString(), "1.0");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LifecycleTest, TransitionRulesGuardReleaseHistory) {
+  // A release policy as a history-sensitive rule: no release version may
+  // have open covering findings (everything must be precise by release).
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  VersionManager vm(&db);
+  vm.AddTransitionRule(
+      "release-precision",
+      [](const Database&, const Database& succ) {
+        auto findings = succ.CheckCompleteness().Of(core::Rule::kCovering);
+        if (!findings.empty()) {
+          return Status::FailedPrecondition(
+              std::to_string(findings.size()) +
+              " items are still vague; refine before releasing");
+        }
+        return Status::OK();
+      });
+
+  (void)*db.CreateObject(fig3.ids.thing, "Vague");
+  Status veto = vm.CreateVersion(*VersionId::Parse("1.0"));
+  EXPECT_TRUE(veto.IsConsistencyViolation());
+  EXPECT_NE(veto.message().find("still vague"), std::string::npos);
+
+  ObjectId item = *db.FindObjectByName("Vague");
+  ASSERT_TRUE(db.Reclassify(item, fig3.ids.action).ok());
+  EXPECT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+}
+
+}  // namespace
+}  // namespace seed

@@ -1,0 +1,205 @@
+// Coverage for smaller surfaces: algebra set operators, logging, heap-file
+// edge paths, version-store persistence after deletions, and buffer-pool
+// statistics through the KvStore.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "core/persistence.h"
+#include "query/algebra.h"
+#include "spades/spec_schema.h"
+#include "storage/heap_file.h"
+#include "version/version_io.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using query::Algebra;
+using spades::BuildFig3Schema;
+using version::VersionId;
+using version::VersionManager;
+
+// --- Algebra set operators ----------------------------------------------------
+
+class SetOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+    algebra_ = std::make_unique<Algebra>(db_.get());
+    a_ = *db_->CreateObject(ids_.action, "A");
+    b_ = *db_->CreateObject(ids_.action, "B");
+    c_ = *db_->CreateObject(ids_.action, "C");
+  }
+
+  query::QueryRelation Rel(std::vector<ObjectId> ids) {
+    query::QueryRelation out;
+    out.attributes = {"x"};
+    for (ObjectId id : ids) out.tuples.push_back({id});
+    return out;
+  }
+
+  spades::Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Algebra> algebra_;
+  ObjectId a_, b_, c_;
+};
+
+TEST_F(SetOpsTest, Difference) {
+  auto diff = algebra_->Difference(Rel({a_, b_, c_}), Rel({b_}));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 2u);
+  auto empty = algebra_->Difference(Rel({a_}), Rel({a_, b_}));
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(SetOpsTest, Intersect) {
+  auto both = algebra_->Intersect(Rel({a_, b_}), Rel({b_, c_}));
+  ASSERT_TRUE(both.ok());
+  ASSERT_EQ(both->size(), 1u);
+  EXPECT_EQ(both->tuples[0][0], b_);
+}
+
+TEST_F(SetOpsTest, SetOpsRequireSameAttributes) {
+  query::QueryRelation other;
+  other.attributes = {"y"};
+  EXPECT_TRUE(
+      algebra_->Difference(Rel({a_}), other).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      algebra_->Intersect(Rel({a_}), other).status().IsInvalidArgument());
+}
+
+TEST_F(SetOpsTest, DeMorganOverExtents) {
+  // actions \ (actions \ X) == actions ∩ X, for X = {a, b}.
+  auto actions = algebra_->ClassExtent(ids_.action, "x");
+  auto x = Rel({a_, b_});
+  auto lhs =
+      *algebra_->Difference(actions, *algebra_->Difference(actions, x));
+  auto rhs = *algebra_->Intersect(actions, x);
+  EXPECT_EQ(lhs.tuples, rhs.tuples);
+}
+
+// --- Logging -----------------------------------------------------------------------
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Dropped (below threshold) and emitted paths both execute safely.
+  SEED_LOG(Debug) << "invisible " << 42;
+  SEED_LOG(Error) << "visible " << 42;
+  SetLogLevel(old_level);
+}
+
+// --- Heap file edge paths --------------------------------------------------------------
+
+TEST(HeapFileEdgeTest, OpenWithInvalidFirstPageFails) {
+  std::string path = ::testing::TempDir() + "/heapedge." +
+                     std::to_string(::getpid()) + ".db";
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(path).ok());
+  storage::BufferPool pool(&disk, 4);
+  storage::HeapFile heap(&pool);
+  EXPECT_FALSE(heap.Open(PageId()).ok());
+  (void)disk.Close();
+  std::remove(path.c_str());
+}
+
+TEST(HeapFileEdgeTest, DeleteOnForeignPageRejected) {
+  std::string path = ::testing::TempDir() + "/heapedge2." +
+                     std::to_string(::getpid()) + ".db";
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(path).ok());
+  storage::BufferPool pool(&disk, 4);
+  storage::HeapFile heap(&pool);
+  ASSERT_TRUE(heap.Create().ok());
+  storage::RecordId bogus{PageId(999), 0};
+  EXPECT_TRUE(heap.Delete(bogus).IsInvalidArgument());
+  EXPECT_TRUE(heap.Update(bogus, "x").status().IsInvalidArgument());
+  (void)disk.Close();
+  std::remove(path.c_str());
+}
+
+// --- Version persistence after deletion ----------------------------------------------------
+
+TEST(VersionIoTest, DeletedVersionsDisappearFromStoreOnResave) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "/viodel." +
+                    std::to_string(::getpid()) + "." +
+                    std::to_string(counter++);
+  std::filesystem::create_directories(dir);
+
+  auto fig3 = BuildFig3Schema();
+  Database db(fig3->schema);
+  VersionManager vm(&db);
+  (void)*db.CreateObject(fig3->ids.action, "A");
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+  (void)*db.CreateObject(fig3->ids.action, "B");
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("2.0")).ok());
+  // Branch a deletable leaf.
+  ASSERT_TRUE(vm.SelectVersion(*VersionId::Parse("1.0")).ok());
+  (void)*db.CreateObject(fig3->ids.action, "C");
+  auto branch = vm.CreateVersion();
+  ASSERT_TRUE(branch.ok());
+
+  storage::KvStore kv;
+  ASSERT_TRUE(kv.Open(dir).ok());
+  ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+  std::uint64_t with_branch = kv.size();
+
+  ASSERT_TRUE(vm.SelectVersion(*VersionId::Parse("2.0")).ok());
+  ASSERT_TRUE(vm.DeleteVersion(*branch).ok());
+  ASSERT_TRUE(version::VersionPersistence::Save(vm, &kv).ok());
+  EXPECT_LT(kv.size(), with_branch);
+
+  VersionManager reloaded(&db);
+  ASSERT_TRUE(version::VersionPersistence::Load(&reloaded, &kv).ok());
+  EXPECT_EQ(reloaded.num_versions(), 2u);
+  EXPECT_FALSE(reloaded.HasVersion(*branch));
+  std::filesystem::remove_all(dir);
+}
+
+// --- Buffer pool stats through the KvStore ------------------------------------------------
+
+TEST(KvStoreStatsTest, BufferPoolCountersVisible) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "/kvstats." +
+                    std::to_string(::getpid()) + "." +
+                    std::to_string(counter++);
+  std::filesystem::create_directories(dir);
+  storage::KvStore kv;
+  storage::KvStoreOptions opts;
+  opts.buffer_pool_pages = 4;
+  ASSERT_TRUE(kv.Open(dir, opts).ok());
+  std::string value(2000, 'v');
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(kv.Put(k, value).ok());
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(kv.Get(k).ok());
+  }
+  const storage::BufferPool* pool = kv.buffer_pool();
+  EXPECT_GT(pool->hit_count(), 0u);
+  EXPECT_GT(pool->miss_count(), 0u);  // 4-frame pool over >16 pages must miss
+  ASSERT_TRUE(kv.Close().ok());
+  std::filesystem::remove_all(dir);
+}
+
+// --- Id generator ResetTo ----------------------------------------------------------------
+
+TEST(IdGeneratorTest, ResetToMovesDownward) {
+  IdGenerator<ObjectId> gen;
+  gen.ReserveThrough(ObjectId(1000));
+  gen.ResetTo(5);
+  EXPECT_EQ(gen.Next().raw(), 5u);
+  EXPECT_EQ(gen.Next().raw(), 6u);
+}
+
+}  // namespace
+}  // namespace seed

@@ -1,0 +1,432 @@
+// Pattern and variant tests: pattern invisibility, deferred consistency
+// checking at inheritance time, effective (overlay) views, update
+// propagation, write protection, and the Fig. 5 variants family.
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_manager.h"
+#include "pattern/variants.h"
+#include "schema/schema_builder.h"
+#include "spades/spec_schema.h"
+
+namespace seed::pattern {
+namespace {
+
+using core::CreateOptions;
+using core::Database;
+using core::Value;
+using schema::Cardinality;
+using schema::Role;
+using schema::SchemaBuilder;
+using schema::ValueType;
+
+/// A procedure-specification schema in the spirit of the paper's pattern
+/// example: procedures with a deadline, plus a Calls association.
+struct ProcSchema {
+  schema::SchemaPtr schema;
+  ClassId procedure;
+  ClassId deadline;
+  ClassId module;
+  AssociationId calls;     // procedure -> procedure
+  AssociationId belongs;   // procedure -> module
+};
+
+ProcSchema BuildProcSchema() {
+  SchemaBuilder b("ProcSpec");
+  ProcSchema s;
+  s.procedure = b.AddIndependentClass("Procedure");
+  s.deadline = b.AddDependentClass(s.procedure, "Deadline",
+                                   Cardinality::Optional(), ValueType::kDate);
+  s.module = b.AddIndependentClass("Module");
+  s.calls = b.AddAssociation(
+      "Calls", Role{"caller", s.procedure, Cardinality::Any()},
+      Role{"callee", s.procedure, Cardinality::Any()});
+  s.belongs = b.AddAssociation(
+      "Belongs", Role{"member", s.procedure, Cardinality::Any()},
+      Role{"home", s.module, Cardinality::Any()});
+  auto built = b.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  s.schema = *built;
+  return s;
+}
+
+class PatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = BuildProcSchema();
+    db_ = std::make_unique<Database>(s_.schema);
+    pm_ = std::make_unique<PatternManager>(db_.get());
+    pattern_opts_.pattern = true;
+  }
+
+  ProcSchema s_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PatternManager> pm_;
+  CreateOptions pattern_opts_;
+};
+
+// --- Invisibility ------------------------------------------------------------------
+
+TEST_F(PatternTest, PatternsInvisibleToRetrieval) {
+  ASSERT_TRUE(
+      db_->CreateObject(s_.procedure, "Template", pattern_opts_).ok());
+  EXPECT_TRUE(db_->FindObjectByName("Template").status().IsNotFound());
+  EXPECT_TRUE(db_->FindPatternByName("Template").ok());
+  EXPECT_TRUE(db_->ObjectsOfClass(s_.procedure).empty());
+  EXPECT_EQ(db_->AllPatternRoots().size(), 1u);
+  EXPECT_TRUE(db_->AllIndependentObjects().empty());
+}
+
+TEST_F(PatternTest, PatternNamespaceIsSeparate) {
+  ASSERT_TRUE(db_->CreateObject(s_.procedure, "P", pattern_opts_).ok());
+  // A normal object may reuse the name; a second pattern may not.
+  EXPECT_TRUE(db_->CreateObject(s_.procedure, "P").ok());
+  EXPECT_TRUE(db_->CreateObject(s_.procedure, "P", pattern_opts_)
+                  .status()
+                  .IsConsistencyViolation());
+}
+
+TEST_F(PatternTest, PatternsSkipConsistencyChecks) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
+  ObjectId d = *db_->CreateSubObject(p, "Deadline");
+  // Wrong value type: accepted on a pattern (checked only at inheritance).
+  EXPECT_TRUE(db_->SetValue(d, Value::String("not a date")).ok());
+  // And the audit ignores patterns.
+  EXPECT_TRUE(db_->AuditConsistency().clean());
+}
+
+TEST_F(PatternTest, NormalRelationshipToPatternRejected) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
+  ObjectId q = *db_->CreateObject(s_.procedure, "Real");
+  EXPECT_TRUE(db_->CreateRelationship(s_.calls, p, q)
+                  .status()
+                  .IsConsistencyViolation());
+  // As a pattern relationship it is fine.
+  CreateOptions opts;
+  opts.pattern = true;
+  EXPECT_TRUE(db_->CreateRelationship(s_.calls, p, q, opts).ok());
+}
+
+// --- Inheritance ----------------------------------------------------------------------
+
+TEST_F(PatternTest, InheritValidatesAndEstablishesEdge) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
+  ObjectId d = *db_->CreateSubObject(p, "Deadline");
+  ASSERT_TRUE(
+      db_->SetValue(d, Value::OfDate(*schema::Date::Parse("1986-06-30")))
+          .ok());
+  ObjectId real = *db_->CreateObject(s_.procedure, "InitAlarm");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+  EXPECT_TRUE(pm_->Inherits(real, p));
+  EXPECT_EQ(pm_->PatternsOf(real).size(), 1u);
+  EXPECT_EQ(pm_->InheritorsOf(p).size(), 1u);
+  EXPECT_EQ(pm_->num_edges(), 1u);
+}
+
+TEST_F(PatternTest, InheritRejectsBadPatternValue) {
+  // The deferred consistency check: a pattern with an ill-typed deadline is
+  // caught when someone tries to inherit it.
+  ObjectId p = *db_->CreateObject(s_.procedure, "Broken", pattern_opts_);
+  ObjectId d = *db_->CreateSubObject(p, "Deadline");
+  ASSERT_TRUE(db_->SetValue(d, Value::String("garbage")).ok());
+  ObjectId real = *db_->CreateObject(s_.procedure, "Real");
+  EXPECT_TRUE(pm_->Inherit(real, p).IsConsistencyViolation());
+  EXPECT_FALSE(pm_->Inherits(real, p));
+}
+
+TEST_F(PatternTest, InheritRejectsRoleNotOnInheritor) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
+  (void)*db_->CreateSubObject(p, "Deadline");
+  // A Module has no Deadline role.
+  ObjectId mod = *db_->CreateObject(s_.module, "Kernel");
+  EXPECT_TRUE(pm_->Inherit(mod, p).IsConsistencyViolation());
+}
+
+TEST_F(PatternTest, InheritRejectsCardinalityOverflow) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
+  (void)*db_->CreateSubObject(p, "Deadline");
+  ObjectId real = *db_->CreateObject(s_.procedure, "Real");
+  // The real object already has its own (0..1) deadline.
+  (void)*db_->CreateSubObject(real, "Deadline");
+  EXPECT_TRUE(pm_->Inherit(real, p).IsConsistencyViolation());
+}
+
+TEST_F(PatternTest, InheritRejectsNonPatterns) {
+  ObjectId a = *db_->CreateObject(s_.procedure, "A");
+  ObjectId b = *db_->CreateObject(s_.procedure, "B");
+  EXPECT_TRUE(pm_->Inherit(a, b).IsFailedPrecondition());
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId q = *db_->CreateObject(s_.procedure, "Q", pattern_opts_);
+  EXPECT_TRUE(pm_->Inherit(p, q).IsFailedPrecondition());
+}
+
+TEST_F(PatternTest, DoubleInheritRejected) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+  EXPECT_TRUE(pm_->Inherit(real, p).IsAlreadyExists());
+}
+
+TEST_F(PatternTest, Disinherit) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+  ASSERT_TRUE(pm_->Disinherit(real, p).ok());
+  EXPECT_FALSE(pm_->Inherits(real, p));
+  EXPECT_TRUE(pm_->Disinherit(real, p).IsNotFound());
+}
+
+// --- Effective views and propagation ------------------------------------------------------
+
+TEST_F(PatternTest, DeadlineExampleFromPaper) {
+  // "The user may define a pattern procedure object with a given deadline.
+  // Every real procedure object that should share this deadline inherits
+  // the pattern."
+  ObjectId p = *db_->CreateObject(s_.procedure, "CommonDeadline",
+                                  pattern_opts_);
+  ObjectId d = *db_->CreateSubObject(p, "Deadline");
+  ASSERT_TRUE(
+      db_->SetValue(d, Value::OfDate(*schema::Date::Parse("1986-06-30")))
+          .ok());
+
+  ObjectId r1 = *db_->CreateObject(s_.procedure, "InitAlarm");
+  ObjectId r2 = *db_->CreateObject(s_.procedure, "ClearAlarm");
+  ASSERT_TRUE(pm_->Inherit(r1, p).ok());
+  ASSERT_TRUE(pm_->Inherit(r2, p).ok());
+
+  auto v1 = pm_->EffectiveValue(r1, "Deadline");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->as_date().ToString(), "1986-06-30");
+  EXPECT_EQ(pm_->EffectiveValue(r2, "Deadline")->as_date().ToString(),
+            "1986-06-30");
+
+  // "A change in the pattern affects all inheriting objects in the same
+  // way": one update, every inheritor sees it.
+  ASSERT_TRUE(
+      db_->SetValue(d, Value::OfDate(*schema::Date::Parse("1986-09-30")))
+          .ok());
+  EXPECT_EQ(pm_->EffectiveValue(r1, "Deadline")->as_date().ToString(),
+            "1986-09-30");
+  EXPECT_EQ(pm_->EffectiveValue(r2, "Deadline")->as_date().ToString(),
+            "1986-09-30");
+}
+
+TEST_F(PatternTest, WriteProtectionInInheritorContext) {
+  // "Pattern information cannot be updated in the context of the
+  // inheritors, but only in the pattern itself."
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId d = *db_->CreateSubObject(p, "Deadline");
+  ASSERT_TRUE(
+      db_->SetValue(d, Value::OfDate(*schema::Date::Parse("1986-06-30")))
+          .ok());
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+
+  Status s = pm_->SetValueInContext(
+      real, "Deadline", Value::OfDate(*schema::Date::Parse("1999-01-01")));
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  // The pattern value is untouched.
+  EXPECT_EQ(pm_->EffectiveValue(real, "Deadline")->as_date().ToString(),
+            "1986-06-30");
+}
+
+TEST_F(PatternTest, OwnSubObjectShadowsNothingButIsWritable) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());  // P has no deadline yet
+  // The real object grows its own deadline: writable in context.
+  (void)*db_->CreateSubObject(real, "Deadline");
+  EXPECT_TRUE(pm_->SetValueInContext(
+                     real, "Deadline",
+                     Value::OfDate(*schema::Date::Parse("2000-01-01")))
+                  .ok());
+  EXPECT_EQ(pm_->EffectiveValue(real, "Deadline")->as_date().ToString(),
+            "2000-01-01");
+}
+
+TEST_F(PatternTest, EffectiveSubObjectsMergeOwnAndInherited) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  (void)*db_->CreateSubObject(p, "Deadline");
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+  auto effective = pm_->EffectiveSubObjects(real);
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_TRUE(effective[0].inherited);
+  EXPECT_EQ(effective[0].pattern, p);
+}
+
+TEST_F(PatternTest, EffectiveRelationshipsSubstituteInheritor) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId mod = *db_->CreateObject(s_.module, "Kernel");
+  CreateOptions opts;
+  opts.pattern = true;
+  RelationshipId pr = *db_->CreateRelationship(s_.belongs, p, mod, opts);
+  ObjectId real = *db_->CreateObject(s_.procedure, "R");
+  ASSERT_TRUE(pm_->Inherit(real, p).ok());
+
+  auto rels = pm_->EffectiveRelationships(real);
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_TRUE(rels[0].inherited);
+  EXPECT_EQ(rels[0].id, pr);
+  EXPECT_EQ(rels[0].ends[0], real);  // pattern end substituted
+  EXPECT_EQ(rels[0].ends[1], mod);
+  EXPECT_EQ(rels[0].assoc, s_.belongs);
+}
+
+TEST_F(PatternTest, InheritRejectsIncompatibleRelationshipRole) {
+  // Pattern is a Procedure with a Belongs relationship in the member role;
+  // a Module inheritor cannot substitute (Belongs.member wants Procedure).
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId mod = *db_->CreateObject(s_.module, "Kernel");
+  CreateOptions opts;
+  opts.pattern = true;
+  (void)*db_->CreateRelationship(s_.belongs, p, mod, opts);
+  ObjectId mod2 = *db_->CreateObject(s_.module, "Shell");
+  EXPECT_TRUE(pm_->Inherit(mod2, p).IsConsistencyViolation());
+}
+
+TEST_F(PatternTest, EdgeCodecRoundTrip) {
+  ObjectId p = *db_->CreateObject(s_.procedure, "P", pattern_opts_);
+  ObjectId r1 = *db_->CreateObject(s_.procedure, "R1");
+  ObjectId r2 = *db_->CreateObject(s_.procedure, "R2");
+  ASSERT_TRUE(pm_->Inherit(r1, p).ok());
+  ASSERT_TRUE(pm_->Inherit(r2, p).ok());
+
+  Encoder enc;
+  pm_->EncodeTo(&enc);
+  PatternManager loaded(db_.get());
+  Decoder dec(enc.bytes());
+  ASSERT_TRUE(loaded.DecodeFrom(&dec).ok());
+  EXPECT_TRUE(loaded.Inherits(r1, p));
+  EXPECT_TRUE(loaded.Inherits(r2, p));
+  EXPECT_EQ(loaded.num_edges(), 2u);
+}
+
+// --- Variants (Fig. 5) -------------------------------------------------------------------
+
+class VariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = BuildProcSchema();
+    db_ = std::make_unique<Database>(s_.schema);
+    pm_ = std::make_unique<PatternManager>(db_.get());
+  }
+
+  ProcSchema s_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PatternManager> pm_;
+};
+
+TEST_F(VariantsTest, Fig5FamilySharesCommonPart) {
+  // Common part: the portable module. Variants: hardware-dependent
+  // procedure sets A and B, connected through inherited pattern
+  // relationships — "all variant parts have the same relationships to the
+  // common part".
+  VariantFamily family("SystemConfig", pm_.get());
+  ObjectId common = *db_->CreateObject(s_.module, "PortableCore");
+  ASSERT_TRUE(family.AddCommonObject(common).ok());
+
+  auto connector = family.CreateConnector("PO1", s_.procedure, s_.belongs,
+                                          /*connector_role=*/0, common);
+  ASSERT_TRUE(connector.ok()) << connector.status().ToString();
+
+  ObjectId a1 = *db_->CreateObject(s_.procedure, "DriverA");
+  ObjectId a2 = *db_->CreateObject(s_.procedure, "IrqA");
+  ObjectId b1 = *db_->CreateObject(s_.procedure, "DriverB");
+  ASSERT_TRUE(family.AddVariant("HardwareA", {a1, a2}).ok());
+  ASSERT_TRUE(family.AddVariant("HardwareB", {b1}).ok());
+
+  EXPECT_EQ(family.num_variants(), 2u);
+  // Every member shares an identical relationship to the common part.
+  for (ObjectId member : {a1, a2, b1}) {
+    auto shared = family.SharedRelationshipsOf(member);
+    ASSERT_EQ(shared.size(), 1u) << db_->FullName(member);
+    EXPECT_EQ(shared[0].ends[0], member);
+    EXPECT_EQ(shared[0].ends[1], common);
+    EXPECT_TRUE(shared[0].inherited);
+  }
+}
+
+TEST_F(VariantsTest, CommonPartMustBeOrdinary) {
+  VariantFamily family("F", pm_.get());
+  CreateOptions opts;
+  opts.pattern = true;
+  ObjectId pat = *db_->CreateObject(s_.module, "Pat", opts);
+  EXPECT_TRUE(family.AddCommonObject(pat).IsFailedPrecondition());
+}
+
+TEST_F(VariantsTest, ConnectorRequiresRegisteredCommonObject) {
+  VariantFamily family("F", pm_.get());
+  ObjectId stray = *db_->CreateObject(s_.module, "Stray");
+  EXPECT_TRUE(family.CreateConnector("PO", s_.procedure, s_.belongs, 0, stray)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(VariantsTest, AddVariantIsAtomic) {
+  VariantFamily family("F", pm_.get());
+  ObjectId common = *db_->CreateObject(s_.module, "Core");
+  ASSERT_TRUE(family.AddCommonObject(common).ok());
+  ASSERT_TRUE(
+      family.CreateConnector("PO", s_.procedure, s_.belongs, 0, common).ok());
+
+  ObjectId good = *db_->CreateObject(s_.procedure, "Good");
+  // A Module cannot inherit the Procedure connector: the whole AddVariant
+  // must roll back.
+  ObjectId bad = *db_->CreateObject(s_.module, "Bad");
+  EXPECT_FALSE(family.AddVariant("V", {good, bad}).ok());
+  EXPECT_EQ(family.num_variants(), 0u);
+  EXPECT_TRUE(pm_->PatternsOf(good).empty());  // rolled back
+}
+
+TEST_F(VariantsTest, RemoveVariantDropsInheritance) {
+  VariantFamily family("F", pm_.get());
+  ObjectId common = *db_->CreateObject(s_.module, "Core");
+  ASSERT_TRUE(family.AddCommonObject(common).ok());
+  ASSERT_TRUE(
+      family.CreateConnector("PO", s_.procedure, s_.belongs, 0, common).ok());
+  ObjectId m = *db_->CreateObject(s_.procedure, "M");
+  ASSERT_TRUE(family.AddVariant("V", {m}).ok());
+  ASSERT_TRUE(family.RemoveVariant("V").ok());
+  EXPECT_TRUE(pm_->PatternsOf(m).empty());
+  EXPECT_TRUE(family.MembersOf("V").status().IsNotFound());
+  EXPECT_TRUE(family.RemoveVariant("V").IsNotFound());
+}
+
+TEST_F(VariantsTest, DuplicateVariantNameRejected) {
+  VariantFamily family("F", pm_.get());
+  ObjectId m = *db_->CreateObject(s_.procedure, "M");
+  ASSERT_TRUE(family.AddVariant("V", {m}).ok());
+  EXPECT_TRUE(family.AddVariant("V", {m}).IsAlreadyExists());
+  EXPECT_EQ(family.VariantNames().size(), 1u);
+}
+
+TEST_F(VariantsTest, UpdatingCommonPartPropagatesToAllVariants) {
+  // The point of the construction: common-part changes are variant-wide.
+  VariantFamily family("F", pm_.get());
+  ObjectId common = *db_->CreateObject(s_.module, "Core");
+  ASSERT_TRUE(family.AddCommonObject(common).ok());
+  ObjectId connector =
+      *family.CreateConnector("PO", s_.procedure, s_.belongs, 0, common);
+  ObjectId deadline = *db_->CreateSubObject(connector, "Deadline");
+  ASSERT_TRUE(
+      db_->SetValue(deadline,
+                    Value::OfDate(*schema::Date::Parse("1986-06-30")))
+          .ok());
+  ObjectId va = *db_->CreateObject(s_.procedure, "VarA");
+  ObjectId vb = *db_->CreateObject(s_.procedure, "VarB");
+  ASSERT_TRUE(family.AddVariant("A", {va}).ok());
+  ASSERT_TRUE(family.AddVariant("B", {vb}).ok());
+
+  ASSERT_TRUE(
+      db_->SetValue(deadline,
+                    Value::OfDate(*schema::Date::Parse("1987-01-01")))
+          .ok());
+  EXPECT_EQ(pm_->EffectiveValue(va, "Deadline")->as_date().ToString(),
+            "1987-01-01");
+  EXPECT_EQ(pm_->EffectiveValue(vb, "Deadline")->as_date().ToString(),
+            "1987-01-01");
+}
+
+}  // namespace
+}  // namespace seed::pattern

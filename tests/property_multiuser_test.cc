@@ -1,0 +1,154 @@
+// Property tests for the multiuser layer: random interleavings of
+// checkout / edit / checkin / abandon across several clients must keep the
+// master permanently consistent, locks coherent, and all applied changes
+// durable.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "multiuser/client.h"
+#include "pattern/pattern_manager.h"
+#include "multiuser/server.h"
+#include "spades/spec_schema.h"
+
+namespace seed::multiuser {
+namespace {
+
+using core::Value;
+using spades::BuildFig3Schema;
+
+class MultiuserPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiuserPropertyTest, RandomInterleavingsKeepMasterConsistent) {
+  auto fig3 = BuildFig3Schema();
+  ASSERT_TRUE(fig3.ok());
+  Server server(fig3->schema);
+
+  // Seed the master with actions.
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("Action_" + std::to_string(i));
+    ASSERT_TRUE(
+        server.master()->CreateObject(fig3->ids.action, names.back()).ok());
+  }
+  server.master()->ClearChangeTracking();
+
+  constexpr int kClients = 3;
+  std::vector<std::unique_ptr<ClientSession>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto session =
+        ClientSession::Open(&server, "client" + std::to_string(c));
+    ASSERT_TRUE(session.ok());
+    clients.push_back(std::move(*session));
+  }
+
+  Random rng(GetParam() * 2654435761u + 17);
+  std::uint64_t edits_applied = 0;
+  for (int step = 0; step < 300; ++step) {
+    ClientSession& client = *clients[rng.Uniform(kClients)];
+    switch (rng.Uniform(4)) {
+      case 0: {  // checkout a random object (may conflict: that's fine)
+        const std::string& name = rng.Pick(names);
+        Status s = client.CheckoutByName({name});
+        EXPECT_TRUE(s.ok() || s.IsLockConflict()) << s.ToString();
+        break;
+      }
+      case 1: {  // edit something checked out locally
+        auto roots = client.local()->AllIndependentObjects();
+        if (roots.empty()) break;
+        ObjectId obj = roots[rng.Uniform(roots.size())];
+        auto descs = client.local()->SubObjects(obj, "Description");
+        ObjectId d;
+        if (descs.empty()) {
+          auto created = client.local()->CreateSubObject(obj, "Description");
+          if (!created.ok()) break;
+          d = *created;
+        } else {
+          d = descs[0];
+        }
+        EXPECT_TRUE(client.local()
+                        ->SetValue(d, Value::String(rng.Identifier(12)))
+                        .ok());
+        break;
+      }
+      case 2: {  // checkin
+        if (client.local()->changed_objects().empty()) break;
+        Status s = client.Checkin();
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        if (s.ok()) ++edits_applied;
+        break;
+      }
+      default: {  // abandon
+        if (rng.Bernoulli(0.3)) {
+          EXPECT_TRUE(client.Abandon().ok());
+        }
+        break;
+      }
+    }
+    // Invariant: the master is consistent after every step.
+    if (step % 50 == 49) {
+      core::Report audit = server.master()->AuditConsistency();
+      ASSERT_TRUE(audit.clean()) << "step " << step << ":\n"
+                                 << audit.ToString();
+    }
+  }
+  EXPECT_GT(edits_applied, 0u);
+  EXPECT_TRUE(server.master()->AuditConsistency().clean());
+  EXPECT_EQ(server.checkins_applied(), edits_applied);
+
+  // Every lock is held by a live client.
+  for (const auto& client : clients) {
+    for (ObjectId root : server.LocksOf(client->id())) {
+      EXPECT_TRUE(server.master()->GetObject(root).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiuserPropertyTest,
+                         ::testing::Range(0, 6));
+
+class PatternPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternPropertyTest, OverlayAlwaysReflectsPatternState) {
+  // Invariant: for every inheritor, EffectiveValue equals the pattern's own
+  // current value whenever the inheritor has no own sub-object in the role.
+  auto fig3 = BuildFig3Schema();
+  core::Database db(fig3->schema);
+  seed::pattern::PatternManager pm(&db);
+  core::CreateOptions opts;
+  opts.pattern = true;
+
+  Random rng(GetParam() * 40503 + 11);
+  ObjectId pat = *db.CreateObject(fig3->ids.action, "Template", opts);
+  ObjectId pd = *db.CreateSubObject(pat, "Description");
+  ASSERT_TRUE(db.SetValue(pd, Value::String("v0")).ok());
+
+  std::vector<ObjectId> inheritors;
+  for (int i = 0; i < 20; ++i) {
+    ObjectId real =
+        *db.CreateObject(fig3->ids.action, "R" + std::to_string(i));
+    ASSERT_TRUE(pm.Inherit(real, pat).ok());
+    inheritors.push_back(real);
+  }
+
+  std::string current = "v0";
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      current = rng.Identifier(10);
+      ASSERT_TRUE(db.SetValue(pd, Value::String(current)).ok());
+    }
+    ObjectId probe = rng.Pick(inheritors);
+    auto v = pm.EffectiveValue(probe, "Description");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->as_string(), current);
+    // Write protection holds at every step.
+    EXPECT_TRUE(pm.SetValueInContext(probe, "Description",
+                                     Value::String("hijack"))
+                    .IsFailedPrecondition());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace seed::multiuser

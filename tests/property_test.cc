@@ -1,0 +1,304 @@
+// Property-based tests (parameterized over seeds): system-wide invariants
+// under randomized operation sequences.
+//
+//  * Permanent consistency: after any sequence of accepted updates, the
+//    full audit finds no violation (the paper's central guarantee).
+//  * Version-view equivalence: the view to version v equals the working
+//    state captured when v was created.
+//  * ACYCLIC invariant: random edge insertion never yields a cycle.
+//  * Persistence equivalence: save/load is the identity on live items.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/random.h"
+#include "core/persistence.h"
+#include "spades/spec_schema.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using spades::BuildFig3Schema;
+using spades::Fig3Ids;
+using version::VersionId;
+using version::VersionManager;
+
+/// Applies `steps` random operations; accepted ones must keep the database
+/// consistent, rejected ones must not change the live-item counts.
+class RandomOps {
+ public:
+  RandomOps(Database* db, const Fig3Ids& ids, std::uint64_t seed)
+      : db_(db), ids_(ids), rng_(seed) {}
+
+  void Step() {
+    switch (rng_.Uniform(10)) {
+      case 0:
+        CreateIndependent();
+        break;
+      case 1:
+        CreateSub();
+        break;
+      case 2:
+        SetSomeValue();
+        break;
+      case 3:
+        CreateFlow();
+        break;
+      case 4:
+        CreateContainment();
+        break;
+      case 5:
+        ReclassifySomething();
+        break;
+      case 6:
+        DeleteSomething();
+        break;
+      case 7:
+        RenameSomething();
+        break;
+      case 8:
+        ReclassifySomeFlow();
+        break;
+      default:
+        CreateIndependent();
+        break;
+    }
+  }
+
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  ObjectId PickLiveObject() {
+    auto all = db_->AllIndependentObjects();
+    if (all.empty()) return ObjectId();
+    return all[rng_.Uniform(all.size())];
+  }
+
+  void Track(const Status& s) {
+    if (s.ok()) ++accepted_;
+  }
+
+  void CreateIndependent() {
+    static const ClassId Fig3Ids::* kClasses[] = {
+        &Fig3Ids::thing,      &Fig3Ids::data,   &Fig3Ids::input_data,
+        &Fig3Ids::output_data, &Fig3Ids::action,
+    };
+    ClassId cls = ids_.*kClasses[rng_.Uniform(5)];
+    Track(db_->CreateObject(cls, "Obj_" + std::to_string(rng_.Uniform(60)))
+              .status());
+  }
+
+  void CreateSub() {
+    ObjectId parent = PickLiveObject();
+    if (!parent.valid()) return;
+    static const char* kRoles[] = {"Text", "Description", "Revised"};
+    Track(db_->CreateSubObject(parent, kRoles[rng_.Uniform(3)]).status());
+  }
+
+  void SetSomeValue() {
+    ObjectId parent = PickLiveObject();
+    if (!parent.valid()) return;
+    auto subs = db_->SubObjects(parent);
+    if (subs.empty()) return;
+    ObjectId target = subs[rng_.Uniform(subs.size())];
+    Value v = rng_.Bernoulli(0.5)
+                  ? Value::String(rng_.Identifier(8))
+                  : Value::OfDate(*schema::Date::Make(
+                        1980 + static_cast<int>(rng_.Uniform(20)), 6, 15));
+    Track(db_->SetValue(target, std::move(v)));
+  }
+
+  void CreateFlow() {
+    ObjectId a = PickLiveObject();
+    ObjectId b = PickLiveObject();
+    if (!a.valid() || !b.valid()) return;
+    static const AssociationId Fig3Ids::* kAssocs[] = {
+        &Fig3Ids::access, &Fig3Ids::read, &Fig3Ids::write};
+    Track(db_->CreateRelationship(ids_.*kAssocs[rng_.Uniform(3)], a, b)
+              .status());
+  }
+
+  void CreateContainment() {
+    ObjectId a = PickLiveObject();
+    ObjectId b = PickLiveObject();
+    if (!a.valid() || !b.valid()) return;
+    Track(db_->CreateRelationship(ids_.contained, a, b).status());
+  }
+
+  void ReclassifySomething() {
+    ObjectId obj = PickLiveObject();
+    if (!obj.valid()) return;
+    static const ClassId Fig3Ids::* kClasses[] = {
+        &Fig3Ids::thing,      &Fig3Ids::data,   &Fig3Ids::input_data,
+        &Fig3Ids::output_data, &Fig3Ids::action,
+    };
+    Track(db_->Reclassify(obj, ids_.*kClasses[rng_.Uniform(5)]));
+  }
+
+  void ReclassifySomeFlow() {
+    ObjectId obj = PickLiveObject();
+    if (!obj.valid()) return;
+    auto rels = db_->RelationshipsOf(obj);
+    if (rels.empty()) return;
+    static const AssociationId Fig3Ids::* kAssocs[] = {
+        &Fig3Ids::access, &Fig3Ids::read, &Fig3Ids::write};
+    Track(db_->ReclassifyRelationship(rels[rng_.Uniform(rels.size())],
+                                      ids_.*kAssocs[rng_.Uniform(3)]));
+  }
+
+  void DeleteSomething() {
+    if (!rng_.Bernoulli(0.3)) return;  // deletions are rarer
+    ObjectId obj = PickLiveObject();
+    if (!obj.valid()) return;
+    Track(db_->DeleteObject(obj));
+  }
+
+  void RenameSomething() {
+    ObjectId obj = PickLiveObject();
+    if (!obj.valid()) return;
+    Track(db_->Rename(obj, "Obj_" + std::to_string(rng_.Uniform(60))));
+  }
+
+  Database* db_;
+  const Fig3Ids& ids_;
+  Random rng_;
+  std::uint64_t accepted_ = 0;
+};
+
+class ConsistencyInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyInvariantTest, RandomOpsKeepDatabaseConsistent) {
+  auto fig3 = BuildFig3Schema();
+  ASSERT_TRUE(fig3.ok());
+  Database db(fig3->schema);
+  RandomOps ops(&db, fig3->ids, GetParam() * 7919 + 1);
+  for (int step = 0; step < 400; ++step) {
+    ops.Step();
+    if (step % 100 == 99) {
+      core::Report audit = db.AuditConsistency();
+      ASSERT_TRUE(audit.clean())
+          << "seed " << GetParam() << " step " << step << ":\n"
+          << audit.ToString();
+    }
+  }
+  EXPECT_GT(ops.accepted(), 50u);  // the stream is not degenerate
+  core::Report audit = db.AuditConsistency();
+  EXPECT_TRUE(audit.clean()) << audit.ToString();
+  // Completeness may report findings, but must never crash or veto.
+  (void)db.CheckCompleteness();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyInvariantTest,
+                         ::testing::Range(0, 8));
+
+class VersionEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+/// Snapshot of live state for comparison.
+std::map<std::string, std::string> Fingerprint(const Database& db) {
+  std::map<std::string, std::string> out;
+  db.ForEachObject([&](const core::ObjectItem& obj) {
+    out["O:" + db.FullName(obj.id)] =
+        std::to_string(obj.cls.raw()) + "|" + obj.value.ToString() + "|" +
+        (obj.is_pattern ? "P" : "N");
+  });
+  db.ForEachRelationship([&](const core::RelationshipItem& rel) {
+    out["R:" + std::to_string(rel.id.raw())] =
+        std::to_string(rel.assoc.raw()) + "|" +
+        std::to_string(rel.ends[0].raw()) + "|" +
+        std::to_string(rel.ends[1].raw());
+  });
+  return out;
+}
+
+TEST_P(VersionEquivalenceTest, ViewEqualsStateAtCreation) {
+  auto fig3 = BuildFig3Schema();
+  ASSERT_TRUE(fig3.ok());
+  Database db(fig3->schema);
+  VersionManager vm(&db);
+  RandomOps ops(&db, fig3->ids, GetParam() * 104729 + 13);
+
+  std::vector<std::pair<VersionId, std::map<std::string, std::string>>>
+      expected;
+  for (int round = 0; round < 5; ++round) {
+    for (int step = 0; step < 60; ++step) ops.Step();
+    auto v = vm.CreateVersion();
+    ASSERT_TRUE(v.ok());
+    expected.emplace_back(*v, Fingerprint(db));
+  }
+  for (const auto& [vid, fingerprint] : expected) {
+    auto view = vm.MaterializeView(vid);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(Fingerprint(**view), fingerprint)
+        << "version " << vid.ToString();
+    EXPECT_TRUE((*view)->AuditConsistency().clean());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+class AcyclicInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcyclicInvariantTest, ContainmentNeverCyclic) {
+  auto fig3 = BuildFig3Schema();
+  Database db(fig3->schema);
+  Random rng(GetParam() * 31 + 7);
+  std::vector<ObjectId> actions;
+  for (int i = 0; i < 30; ++i) {
+    actions.push_back(
+        *db.CreateObject(fig3->ids.action, "A" + std::to_string(i)));
+  }
+  size_t accepted = 0;
+  for (int step = 0; step < 300; ++step) {
+    ObjectId a = actions[rng.Uniform(actions.size())];
+    ObjectId b = actions[rng.Uniform(actions.size())];
+    auto rel = db.CreateRelationship(fig3->ids.contained, a, b);
+    if (rel.ok()) ++accepted;
+  }
+  EXPECT_GT(accepted, 10u);
+  core::Report audit = db.AuditConsistency();
+  EXPECT_TRUE(audit.Of(core::Rule::kAcyclic).empty()) << audit.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicInvariantTest,
+                         ::testing::Range(0, 6));
+
+class PersistenceEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PersistenceEquivalenceTest, SaveLoadIsIdentity) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "/prop." +
+                    std::to_string(::getpid()) + "." +
+                    std::to_string(counter++);
+  std::filesystem::create_directories(dir);
+
+  auto fig3 = BuildFig3Schema();
+  Database db(fig3->schema);
+  RandomOps ops(&db, fig3->ids, GetParam() * 65537 + 3);
+  for (int step = 0; step < 250; ++step) ops.Step();
+
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir).ok());
+    ASSERT_TRUE(core::Persistence::SaveFull(db, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+  storage::KvStore kv;
+  ASSERT_TRUE(kv.Open(dir).ok());
+  auto loaded = core::Persistence::Load(&kv);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Fingerprint(**loaded), Fingerprint(db));
+  EXPECT_TRUE((*loaded)->AuditConsistency().clean());
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace seed

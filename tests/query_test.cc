@@ -1,0 +1,227 @@
+// Query layer tests: predicates with undefined-matches-nothing semantics,
+// and the ER algebra (selection, projection, product, relationship join).
+
+#include <gtest/gtest.h>
+
+#include "query/algebra.h"
+#include "query/predicate.h"
+#include "spades/spec_schema.h"
+
+namespace seed::query {
+namespace {
+
+using core::Database;
+using core::Value;
+using spades::BuildFig3Schema;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    ids_ = fig3->ids;
+    db_ = std::make_unique<Database>(fig3->schema);
+    algebra_ = std::make_unique<Algebra>(db_.get());
+
+    // A small dataflow world:
+    //   Sensor reads ProcessData, writes Alarms.
+    //   Display reads Alarms.
+    //   Idle is an action with no flows.
+    //   Mystery is a vague Thing with no value anywhere.
+    process_data_ = *db_->CreateObject(ids_.input_data, "ProcessData");
+    alarms_ = *db_->CreateObject(ids_.output_data, "Alarms");
+    sensor_ = *db_->CreateObject(ids_.action, "Sensor");
+    display_ = *db_->CreateObject(ids_.action, "Display");
+    idle_ = *db_->CreateObject(ids_.action, "Idle");
+    mystery_ = *db_->CreateObject(ids_.thing, "Mystery");
+    (void)*db_->CreateRelationship(ids_.read, process_data_, sensor_);
+    (void)*db_->CreateRelationship(ids_.write, alarms_, sensor_);
+    // Alarms is also (vaguely) accessed by Display.
+    (void)*db_->CreateRelationship(ids_.access, alarms_, display_);
+
+    desc_ = *db_->CreateSubObject(sensor_, "Description");
+    ASSERT_TRUE(
+        db_->SetValue(desc_, Value::String("polls hardware sensors")).ok());
+    // Display has a Description sub-object with NO value: undefined.
+    undef_desc_ = *db_->CreateSubObject(display_, "Description");
+  }
+
+  spades::Fig3Ids ids_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Algebra> algebra_;
+  ObjectId process_data_, alarms_, sensor_, display_, idle_, mystery_;
+  ObjectId desc_, undef_desc_;
+};
+
+// --- Predicates ----------------------------------------------------------------
+
+TEST_F(QueryTest, UndefinedObjectMatchesNothing) {
+  // Paper: "an undefined object matches nothing".
+  EXPECT_FALSE(Predicate::HasValue().Eval(*db_, undef_desc_));
+  EXPECT_FALSE(
+      Predicate::ValueEquals(Value::String("x")).Eval(*db_, undef_desc_));
+  EXPECT_FALSE(Predicate::ValueContains("x").Eval(*db_, undef_desc_));
+  EXPECT_FALSE(Predicate::IntLess(100).Eval(*db_, undef_desc_));
+  // ...but its negation does match (Not is logical, not three-valued).
+  EXPECT_TRUE(Predicate::HasValue().Not().Eval(*db_, undef_desc_));
+}
+
+TEST_F(QueryTest, ValuePredicates) {
+  EXPECT_TRUE(Predicate::HasValue().Eval(*db_, desc_));
+  EXPECT_TRUE(Predicate::ValueEquals(Value::String("polls hardware sensors"))
+                  .Eval(*db_, desc_));
+  EXPECT_TRUE(Predicate::ValueContains("hardware").Eval(*db_, desc_));
+  EXPECT_FALSE(Predicate::ValueContains("nuclear").Eval(*db_, desc_));
+}
+
+TEST_F(QueryTest, NamePredicates) {
+  EXPECT_TRUE(Predicate::NameIs("Sensor").Eval(*db_, sensor_));
+  EXPECT_FALSE(Predicate::NameIs("Sensor").Eval(*db_, display_));
+  EXPECT_TRUE(Predicate::NameContains("ensor").Eval(*db_, sensor_));
+  // Dependent objects have no independent name.
+  EXPECT_FALSE(Predicate::NameIs("Description").Eval(*db_, desc_));
+}
+
+TEST_F(QueryTest, ClassPredicateFollowsGeneralization) {
+  EXPECT_TRUE(Predicate::OfClass(ids_.data).Eval(*db_, alarms_));
+  EXPECT_TRUE(Predicate::OfClass(ids_.thing).Eval(*db_, alarms_));
+  EXPECT_FALSE(Predicate::OfClass(ids_.data, false).Eval(*db_, alarms_));
+  EXPECT_FALSE(Predicate::OfClass(ids_.data).Eval(*db_, sensor_));
+}
+
+TEST_F(QueryTest, SubObjectPredicate) {
+  auto has_desc = Predicate::OnSubObject(
+      "Description", Predicate::ValueContains("hardware"));
+  EXPECT_TRUE(has_desc.Eval(*db_, sensor_));
+  // Display's description is undefined: matches nothing.
+  EXPECT_FALSE(has_desc.Eval(*db_, display_));
+  // Idle has no description at all.
+  EXPECT_FALSE(has_desc.Eval(*db_, idle_));
+}
+
+TEST_F(QueryTest, Combinators) {
+  auto p = Predicate::NameContains("s").And(Predicate::OfClass(ids_.action));
+  EXPECT_TRUE(p.Eval(*db_, display_));   // "Display" contains 's'
+  EXPECT_FALSE(p.Eval(*db_, alarms_));   // not an action
+  auto q = Predicate::NameIs("Idle").Or(Predicate::NameIs("Sensor"));
+  EXPECT_TRUE(q.Eval(*db_, idle_));
+  EXPECT_TRUE(q.Eval(*db_, sensor_));
+  EXPECT_FALSE(q.Eval(*db_, display_));
+}
+
+TEST_F(QueryTest, DeadObjectMatchesNothing) {
+  ObjectId doomed = *db_->CreateObject(ids_.action, "Doomed");
+  ASSERT_TRUE(db_->DeleteObject(doomed).ok());
+  EXPECT_FALSE(Predicate::True().And(Predicate::NameIs("Doomed"))
+                   .Eval(*db_, doomed));
+}
+
+// --- Algebra ----------------------------------------------------------------------
+
+TEST_F(QueryTest, ClassExtent) {
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  EXPECT_EQ(actions.size(), 3u);
+  auto things = algebra_->ClassExtent(ids_.thing, "t");
+  EXPECT_EQ(things.size(), 6u);  // everything specializes Thing
+  auto exact = algebra_->ClassExtent(ids_.thing, "t", false);
+  EXPECT_EQ(exact.size(), 1u);  // only Mystery sits at Thing itself
+}
+
+TEST_F(QueryTest, SelectFiltersTuples) {
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto named = algebra_->Select(actions, "a", Predicate::NameContains("or"));
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->size(), 1u);  // only "Sensor"
+}
+
+TEST_F(QueryTest, SelectUnknownAttributeFails) {
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  EXPECT_TRUE(algebra_->Select(actions, "bogus", Predicate::True())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, ProjectAndDedup) {
+  auto a = algebra_->ClassExtent(ids_.action, "x");
+  auto b = algebra_->ClassExtent(ids_.data, "y");
+  auto prod = algebra_->CartesianProduct(a, b);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod->size(), 6u);  // 3 actions x 2 data
+  auto projected = algebra_->Project(*prod, {"y"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->size(), 2u);  // dedup to the data column
+  EXPECT_TRUE(
+      algebra_->Project(*prod, {"z"}).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, CartesianProductRejectsOverlappingAttrs) {
+  auto a = algebra_->ClassExtent(ids_.action, "x");
+  auto b = algebra_->ClassExtent(ids_.data, "x");
+  EXPECT_TRUE(algebra_->CartesianProduct(a, b).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, RelationshipJoinUsesExistingRelationshipsOnly) {
+  // Paper: joins are "defined on existing relationships only", so items
+  // without relationships (however vague) simply never join.
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto joined =
+      algebra_->RelationshipJoin(data, "d", ids_.access, actions, "a");
+  ASSERT_TRUE(joined.ok());
+  // Flows: (ProcessData,Sensor), (Alarms,Sensor), (Alarms,Display).
+  EXPECT_EQ(joined->size(), 3u);
+
+  // Narrow to Read only.
+  auto reads = algebra_->RelationshipJoin(data, "d", ids_.read, actions, "a");
+  ASSERT_TRUE(reads.ok());
+  ASSERT_EQ(reads->size(), 1u);
+  EXPECT_EQ(reads->tuples[0][0], process_data_);
+  EXPECT_EQ(reads->tuples[0][1], sensor_);
+}
+
+TEST_F(QueryTest, JoinThenSelectPipeline) {
+  // "Which actions access a data item whose name contains 'Alarm'?"
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto joined =
+      *algebra_->RelationshipJoin(data, "d", ids_.access, actions, "a");
+  auto filtered =
+      *algebra_->Select(joined, "d", Predicate::NameContains("Alarm"));
+  auto result = *algebra_->Project(filtered, {"a"});
+  EXPECT_EQ(result.size(), 2u);  // Sensor and Display
+}
+
+TEST_F(QueryTest, JoinAttributeErrors) {
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  EXPECT_TRUE(algebra_->RelationshipJoin(data, "x", ids_.read, actions, "a")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(algebra_->RelationshipJoin(data, "d", ids_.read, actions, "x")
+                  .status()
+                  .IsInvalidArgument());
+  auto clash = algebra_->ClassExtent(ids_.action, "d");
+  EXPECT_TRUE(algebra_->RelationshipJoin(data, "d", ids_.read, clash, "d")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, UnionRequiresSameSchema) {
+  auto a = algebra_->ClassExtent(ids_.action, "x");
+  auto d = algebra_->ClassExtent(ids_.data, "x");
+  auto u = algebra_->Union(a, d);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 5u);
+  auto mismatch = algebra_->ClassExtent(ids_.data, "y");
+  EXPECT_TRUE(algebra_->Union(a, mismatch).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, PatternsExcludedFromExtents) {
+  core::CreateOptions opts;
+  opts.pattern = true;
+  (void)*db_->CreateObject(ids_.action, "Ghost", opts);
+  EXPECT_EQ(algebra_->ClassExtent(ids_.action, "a").size(), 3u);
+}
+
+}  // namespace
+}  // namespace seed::query

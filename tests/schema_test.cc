@@ -1,0 +1,419 @@
+// Schema layer tests: types, builder validation rules, structural and
+// generalization queries, path resolution, serialization, evolution.
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_builder.h"
+#include "schema/schema_io.h"
+#include "spades/spec_schema.h"
+
+namespace seed::schema {
+namespace {
+
+using spades::BuildFig2Schema;
+using spades::BuildFig3Schema;
+
+// --- Types -------------------------------------------------------------------
+
+TEST(CardinalityTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Cardinality(0, 16).ToString(), "0..16");
+  EXPECT_EQ(Cardinality::AtLeast(1).ToString(), "1..*");
+  EXPECT_EQ(Cardinality::Any().ToString(), "0..*");
+  EXPECT_EQ(Cardinality::One().ToString(), "1..1");
+  EXPECT_EQ(Cardinality::Optional().ToString(), "0..1");
+}
+
+TEST(CardinalityTest, Validity) {
+  EXPECT_TRUE(Cardinality(0, 16).IsValid());
+  EXPECT_TRUE(Cardinality::AtLeast(5).IsValid());
+  EXPECT_FALSE(Cardinality(3, 2).IsValid());
+}
+
+TEST(DateTest, MakeValidates) {
+  EXPECT_TRUE(Date::Make(1986, 2, 28).ok());
+  EXPECT_FALSE(Date::Make(1986, 2, 29).ok());  // not a leap year
+  EXPECT_TRUE(Date::Make(1984, 2, 29).ok());
+  EXPECT_FALSE(Date::Make(1986, 13, 1).ok());
+  EXPECT_FALSE(Date::Make(1986, 4, 31).ok());
+}
+
+TEST(DateTest, ParseAndPrint) {
+  auto d = Date::Parse("1986-02-05");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "1986-02-05");
+  EXPECT_FALSE(Date::Parse("1986/02/05").ok());
+  EXPECT_FALSE(Date::Parse("1986-2").ok());
+  EXPECT_FALSE(Date::Parse("abcd-ef-gh").ok());
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(*Date::Parse("1985-12-31"), *Date::Parse("1986-01-01"));
+}
+
+// --- Builder: happy path (the paper's schemas) ----------------------------------
+
+TEST(SchemaBuilderTest, Fig2SchemaBuilds) {
+  auto fig2 = BuildFig2Schema();
+  ASSERT_TRUE(fig2.ok()) << fig2.status().ToString();
+  const Schema& s = *fig2->schema;
+  EXPECT_EQ(s.name(), "Fig2MiniSpec");
+  EXPECT_EQ(s.version(), 1u);
+  EXPECT_EQ(s.num_classes(), 8u);
+  EXPECT_EQ(s.num_associations(), 3u);
+}
+
+TEST(SchemaBuilderTest, Fig3SchemaBuilds) {
+  auto fig3 = BuildFig3Schema();
+  ASSERT_TRUE(fig3.ok()) << fig3.status().ToString();
+  const Schema& s = *fig3->schema;
+  EXPECT_EQ(s.num_associations(), 4u);
+  auto thing = s.GetClass(fig3->ids.thing);
+  EXPECT_TRUE((*thing)->covering);
+}
+
+TEST(SchemaBuilderTest, FullNamesAreDotted) {
+  auto fig2 = BuildFig2Schema();
+  auto body = fig2->schema->GetClass(fig2->ids.body);
+  EXPECT_EQ((*body)->full_name, "Data.Text.Body");
+  auto keywords = fig2->schema->GetClass(fig2->ids.keywords);
+  EXPECT_EQ((*keywords)->full_name, "Data.Text.Body.Keywords");
+}
+
+TEST(SchemaBuilderTest, AssociationOwnedClassFullName) {
+  auto fig3 = BuildFig3Schema();
+  auto now = fig3->schema->GetClass(fig3->ids.number_of_writes);
+  EXPECT_EQ((*now)->full_name, "Write.NumberOfWrites");
+}
+
+// --- Builder: validation failures -------------------------------------------------
+
+TEST(SchemaBuilderTest, RejectsBadClassName) {
+  SchemaBuilder b("t");
+  b.AddIndependentClass("not valid");
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsDuplicateTopLevelNames) {
+  SchemaBuilder b("t");
+  b.AddIndependentClass("Data");
+  b.AddIndependentClass("Data");
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, ClassAndAssociationShareNamespace) {
+  SchemaBuilder b("t");
+  ClassId a = b.AddIndependentClass("Data");
+  ClassId c = b.AddIndependentClass("Action");
+  b.AddAssociation("Data", Role{"from", a, Cardinality::Any()},
+                   Role{"by", c, Cardinality::Any()});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsZeroMaxCardinality) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  b.AddDependentClass(data, "Text", Cardinality(0, 0));
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsInvalidCardinality) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  b.AddDependentClass(data, "Text", Cardinality(5, 2));
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsEnumWithoutValues) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  b.AddDependentClass(data, "Mode", Cardinality::Optional(),
+                      ValueType::kEnum);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsEnumValuesOnNonEnum) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  ClassId mode = b.AddDependentClass(data, "Mode", Cardinality::Optional(),
+                                     ValueType::kString);
+  b.SetEnumValues(mode, {"a", "b"});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsDuplicateEnumValues) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  ClassId mode = b.AddDependentClass(data, "Mode", Cardinality::Optional(),
+                                     ValueType::kEnum);
+  b.SetEnumValues(mode, {"abort", "abort"});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsSelfGeneralization) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  b.SetGeneralization(data, data);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsGeneralizationCycle) {
+  SchemaBuilder b("t");
+  ClassId a = b.AddIndependentClass("A");
+  ClassId c = b.AddIndependentClass("B");
+  b.SetGeneralization(a, c);
+  b.SetGeneralization(c, a);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsDependentClassGeneralization) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  ClassId text = b.AddDependentClass(data, "Text", Cardinality::Any());
+  ClassId other = b.AddIndependentClass("Other");
+  b.SetGeneralization(text, other);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsInheritedRoleCollision) {
+  SchemaBuilder b("t");
+  ClassId thing = b.AddIndependentClass("Thing");
+  b.AddDependentClass(thing, "Description", Cardinality::Optional(),
+                      ValueType::kString);
+  ClassId data = b.AddIndependentClass("Data");
+  b.SetGeneralization(data, thing);
+  // Data declares a role that already exists on its ancestor.
+  b.AddDependentClass(data, "Description", Cardinality::Optional(),
+                      ValueType::kString);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsSameRoleNames) {
+  SchemaBuilder b("t");
+  ClassId a = b.AddIndependentClass("A");
+  b.AddAssociation("R", Role{"x", a, Cardinality::Any()},
+                   Role{"x", a, Cardinality::Any()});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsDanglingRoleTarget) {
+  SchemaBuilder b("t");
+  ClassId a = b.AddIndependentClass("A");
+  b.AddAssociation("R", Role{"x", ClassId(99), Cardinality::Any()},
+                   Role{"y", a, Cardinality::Any()});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsIncompatibleSpecializedRoles) {
+  SchemaBuilder b("t");
+  ClassId data = b.AddIndependentClass("Data");
+  ClassId action = b.AddIndependentClass("Action");
+  ClassId unrelated = b.AddIndependentClass("Unrelated");
+  AssociationId access = b.AddAssociation(
+      "Access", Role{"of", data, Cardinality::Any()},
+      Role{"by", action, Cardinality::Any()});
+  AssociationId bad = b.AddAssociation(
+      "Bad", Role{"of", unrelated, Cardinality::Any()},
+      Role{"by", action, Cardinality::Any()});
+  b.SetGeneralization(bad, access);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsCoveringWithoutSpecializations) {
+  SchemaBuilder b("t");
+  ClassId thing = b.AddIndependentClass("Thing");
+  b.SetCovering(thing);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(SchemaBuilderTest, RejectsAssociationGeneralizationCycle) {
+  SchemaBuilder b("t");
+  ClassId a = b.AddIndependentClass("A");
+  AssociationId r1 = b.AddAssociation(
+      "R1", Role{"x", a, Cardinality::Any()},
+      Role{"y", a, Cardinality::Any()});
+  AssociationId r2 = b.AddAssociation(
+      "R2", Role{"x", a, Cardinality::Any()},
+      Role{"y", a, Cardinality::Any()});
+  b.SetGeneralization(r1, r2);
+  b.SetGeneralization(r2, r1);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+// --- Queries --------------------------------------------------------------------
+
+class Fig3QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    schema_ = fig3->schema;
+    ids_ = fig3->ids;
+  }
+
+  SchemaPtr schema_;
+  spades::Fig3Ids ids_;
+};
+
+TEST_F(Fig3QueryTest, FindByName) {
+  EXPECT_EQ(*schema_->FindIndependentClass("Data"), ids_.data);
+  EXPECT_EQ(*schema_->FindAssociation("Read"), ids_.read);
+  EXPECT_TRUE(schema_->FindIndependentClass("Nope").status().IsNotFound());
+  EXPECT_TRUE(schema_->FindAssociation("Nope").status().IsNotFound());
+}
+
+TEST_F(Fig3QueryTest, GeneralizationChains) {
+  auto chain = schema_->GeneralizationChain(ids_.output_data);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], ids_.output_data);
+  EXPECT_EQ(chain[1], ids_.data);
+  EXPECT_EQ(chain[2], ids_.thing);
+}
+
+TEST_F(Fig3QueryTest, IsSameOrSpecializationOf) {
+  EXPECT_TRUE(schema_->IsSameOrSpecializationOf(ids_.output_data, ids_.thing));
+  EXPECT_TRUE(schema_->IsSameOrSpecializationOf(ids_.data, ids_.data));
+  EXPECT_FALSE(schema_->IsSameOrSpecializationOf(ids_.thing, ids_.data));
+  EXPECT_FALSE(
+      schema_->IsSameOrSpecializationOf(ids_.action, ids_.data));
+  EXPECT_TRUE(schema_->IsSameOrSpecializationOf(ids_.write, ids_.access));
+  EXPECT_FALSE(schema_->IsSameOrSpecializationOf(ids_.access, ids_.write));
+}
+
+TEST_F(Fig3QueryTest, OnSameGeneralizationPath) {
+  EXPECT_TRUE(schema_->OnSameGeneralizationPath(ids_.thing, ids_.input_data));
+  EXPECT_TRUE(schema_->OnSameGeneralizationPath(ids_.input_data, ids_.thing));
+  EXPECT_FALSE(
+      schema_->OnSameGeneralizationPath(ids_.input_data, ids_.output_data));
+  EXPECT_FALSE(schema_->OnSameGeneralizationPath(ids_.read, ids_.write));
+}
+
+TEST_F(Fig3QueryTest, ClassAndAssociationFamilies) {
+  auto family = schema_->ClassFamily(ids_.data);
+  EXPECT_EQ(family.size(), 3u);  // Data, InputData, OutputData
+  auto thing_family = schema_->ClassFamily(ids_.thing);
+  EXPECT_EQ(thing_family.size(), 5u);
+  auto access_family = schema_->AssociationFamily(ids_.access);
+  EXPECT_EQ(access_family.size(), 3u);  // Access, Read, Write
+}
+
+TEST_F(Fig3QueryTest, EffectiveDependentClassesIncludeInherited) {
+  // Data inherits Revised and Description from Thing, plus its own Text.
+  auto deps = schema_->EffectiveDependentClassesOf(ids_.data);
+  EXPECT_EQ(deps.size(), 3u);
+  // Thing itself has only its two declared roles.
+  EXPECT_EQ(schema_->EffectiveDependentClassesOf(ids_.thing).size(), 2u);
+}
+
+TEST_F(Fig3QueryTest, ResolveSubObjectRoleThroughGeneralization) {
+  auto resolved = schema_->ResolveSubObjectRole(ids_.output_data, "Revised");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, ids_.revised);
+  EXPECT_TRUE(
+      schema_->ResolveSubObjectRole(ids_.thing, "Text").status().IsNotFound());
+}
+
+TEST_F(Fig3QueryTest, ResolveAssociationAttributeRole) {
+  auto resolved = schema_->ResolveSubObjectRole(ids_.write, "NumberOfWrites");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, ids_.number_of_writes);
+  EXPECT_TRUE(schema_->ResolveSubObjectRole(ids_.read, "NumberOfWrites")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(Fig3QueryTest, FindClassByPath) {
+  EXPECT_EQ(*schema_->FindClassByPath("Data.Text.Body"), ids_.body);
+  EXPECT_EQ(*schema_->FindClassByPath("InputData.Text"), ids_.text);
+  EXPECT_EQ(*schema_->FindClassByPath("Write.NumberOfWrites"),
+            ids_.number_of_writes);
+  EXPECT_TRUE(schema_->FindClassByPath("Data.Nope").status().IsNotFound());
+  EXPECT_TRUE(schema_->FindClassByPath("Nope.Text").status().IsNotFound());
+  EXPECT_TRUE(
+      schema_->FindClassByPath("Data.Text[0]").status().IsInvalidArgument());
+  EXPECT_TRUE(schema_->FindClassByPath("Write").status().IsInvalidArgument());
+}
+
+// --- Serialization ------------------------------------------------------------------
+
+TEST(SchemaIoTest, RoundTripPreservesEverything) {
+  auto fig3 = BuildFig3Schema();
+  ASSERT_TRUE(fig3.ok());
+  Encoder enc;
+  SchemaCodec::Encode(*fig3->schema, &enc);
+  Decoder dec(enc.bytes());
+  auto decoded = SchemaCodec::Decode(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  const Schema& a = *fig3->schema;
+  const Schema& b = **decoded;
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  EXPECT_EQ(a.num_associations(), b.num_associations());
+  for (ClassId id : a.AllClassIds()) {
+    const ObjectClass& ca = **a.GetClass(id);
+    const ObjectClass& cb = **b.GetClass(id);
+    EXPECT_EQ(ca.name, cb.name);
+    EXPECT_EQ(ca.full_name, cb.full_name);
+    EXPECT_EQ(ca.owner, cb.owner);
+    EXPECT_EQ(ca.cardinality, cb.cardinality);
+    EXPECT_EQ(ca.value_type, cb.value_type);
+    EXPECT_EQ(ca.enum_values, cb.enum_values);
+    EXPECT_EQ(ca.generalizes_into, cb.generalizes_into);
+    EXPECT_EQ(ca.covering, cb.covering);
+  }
+  for (AssociationId id : a.AllAssociationIds()) {
+    const Association& aa = **a.GetAssociation(id);
+    const Association& ab = **b.GetAssociation(id);
+    EXPECT_EQ(aa.name, ab.name);
+    EXPECT_EQ(aa.acyclic, ab.acyclic);
+    EXPECT_EQ(aa.covering, ab.covering);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(aa.roles[i].name, ab.roles[i].name);
+      EXPECT_EQ(aa.roles[i].target, ab.roles[i].target);
+      EXPECT_EQ(aa.roles[i].cardinality, ab.roles[i].cardinality);
+    }
+  }
+}
+
+TEST(SchemaIoTest, TruncatedStreamIsRejected) {
+  auto fig2 = BuildFig2Schema();
+  Encoder enc;
+  SchemaCodec::Encode(*fig2->schema, &enc);
+  Decoder dec(enc.bytes().data(), enc.size() / 2);
+  EXPECT_FALSE(SchemaCodec::Decode(&dec).ok());
+}
+
+TEST(SchemaIoTest, BadFormatVersionRejected) {
+  Encoder enc;
+  enc.PutU32(999);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(SchemaCodec::Decode(&dec).status().IsCorruption());
+}
+
+// --- Evolution -------------------------------------------------------------------------
+
+TEST(SchemaEvolveTest, EvolveKeepsIdsAndBumpsVersion) {
+  auto fig2 = BuildFig2Schema();
+  SchemaBuilder b = SchemaBuilder::Evolve(*fig2->schema);
+  ClassId module = b.AddIndependentClass("Module");
+  auto evolved = b.Build();
+  ASSERT_TRUE(evolved.ok()) << evolved.status().ToString();
+  EXPECT_EQ((*evolved)->version(), 2u);
+  EXPECT_EQ(*(*evolved)->FindIndependentClass("Data"), fig2->ids.data);
+  EXPECT_EQ(*(*evolved)->FindIndependentClass("Module"), module);
+  // The original is untouched.
+  EXPECT_TRUE(fig2->schema->FindIndependentClass("Module")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SchemaEvolveTest, EvolvedSchemaStillValidates) {
+  auto fig2 = BuildFig2Schema();
+  SchemaBuilder b = SchemaBuilder::Evolve(*fig2->schema);
+  b.AddIndependentClass("Data");  // clashes with existing class
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace seed::schema

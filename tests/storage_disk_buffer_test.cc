@@ -1,0 +1,256 @@
+// DiskManager and BufferPool tests: file lifecycle, page I/O, pinning, LRU
+// eviction, dirty write-back.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace seed::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid()) + "." +
+         std::to_string(
+             ::testing::UnitTest::GetInstance()->random_seed() + rand());
+}
+
+class DiskManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("disk");
+    ASSERT_TRUE(disk_.Open(path_).ok());
+  }
+  void TearDown() override {
+    (void)disk_.Close();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  DiskManager disk_;
+};
+
+TEST_F(DiskManagerTest, FreshFileHasHeaderPage) {
+  EXPECT_EQ(disk_.num_pages(), 1u);
+}
+
+TEST_F(DiskManagerTest, AllocateGrowsFile) {
+  auto p1 = disk_.AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->raw(), 1u);
+  auto p2 = disk_.AllocatePage();
+  EXPECT_EQ(p2->raw(), 2u);
+  EXPECT_EQ(disk_.num_pages(), 3u);
+}
+
+TEST_F(DiskManagerTest, WriteReadRoundTrip) {
+  auto pid = disk_.AllocatePage();
+  Page out;
+  out.WriteU64(100, 0xFEEDFACE);
+  ASSERT_TRUE(disk_.WritePage(*pid, out).ok());
+  Page in;
+  ASSERT_TRUE(disk_.ReadPage(*pid, &in).ok());
+  EXPECT_EQ(in.ReadU64(100), 0xFEEDFACEu);
+}
+
+TEST_F(DiskManagerTest, OutOfRangeAccessRejected) {
+  Page page;
+  EXPECT_TRUE(disk_.ReadPage(PageId(99), &page).IsInvalidArgument());
+  EXPECT_TRUE(disk_.WritePage(PageId(1), page).IsInvalidArgument());
+  // The header page (0) is directly addressable.
+  EXPECT_TRUE(disk_.ReadPage(PageId(0), &page).ok());
+}
+
+TEST_F(DiskManagerTest, ReopenPreservesPages) {
+  auto pid = disk_.AllocatePage();
+  Page out;
+  out.WriteU32(0, 1234);
+  ASSERT_TRUE(disk_.WritePage(*pid, out).ok());
+  ASSERT_TRUE(disk_.Close().ok());
+
+  DiskManager reopened;
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  EXPECT_EQ(reopened.num_pages(), 2u);
+  Page in;
+  ASSERT_TRUE(reopened.ReadPage(*pid, &in).ok());
+  EXPECT_EQ(in.ReadU32(0), 1234u);
+  (void)reopened.Close();
+}
+
+TEST_F(DiskManagerTest, BadMagicIsCorruption) {
+  std::string bogus = TempPath("bogus");
+  {
+    FILE* f = fopen(bogus.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    Page junk;
+    junk.WriteU64(0, 0x1111111111111111ull);
+    fwrite(junk.bytes(), 1, kPageSize, f);
+    fclose(f);
+  }
+  DiskManager dm;
+  EXPECT_TRUE(dm.Open(bogus).IsCorruption());
+  std::remove(bogus.c_str());
+}
+
+TEST_F(DiskManagerTest, DoubleOpenRejected) {
+  EXPECT_TRUE(disk_.Open(path_).IsFailedPrecondition());
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("pool");
+    ASSERT_TRUE(disk_.Open(path_).ok());
+  }
+  void TearDown() override {
+    (void)disk_.Close();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  DiskManager disk_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsPinnedAndZeroed) {
+  BufferPool pool(&disk_, 4);
+  auto guard = pool.New();
+  ASSERT_TRUE(guard.ok());
+  EXPECT_TRUE(guard->valid());
+  EXPECT_EQ(guard->page().ReadU64(0), 0u);
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  guard->Release();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST_F(BufferPoolTest, FetchHitsCache) {
+  BufferPool pool(&disk_, 4);
+  PageId pid;
+  {
+    auto guard = pool.New();
+    pid = guard->id();
+    guard->MutablePage().WriteU32(0, 77);
+  }
+  auto again = pool.Fetch(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->page().ReadU32(0), 77u);
+  EXPECT_GE(pool.hit_count(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesDirtyPages) {
+  BufferPool pool(&disk_, 2);
+  PageId first;
+  {
+    auto guard = pool.New();
+    first = guard->id();
+    guard->MutablePage().WriteU32(8, 555);
+  }
+  // Fill beyond capacity to force eviction of `first`.
+  for (int i = 0; i < 3; ++i) {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+  }
+  // Read through a fresh pool: the dirty page must have reached disk.
+  BufferPool pool2(&disk_, 2);
+  auto reread = pool2.Fetch(first);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->page().ReadU32(8), 555u);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(&disk_, 2);
+  auto g1 = pool.New();
+  auto g2 = pool.New();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = pool.New();
+  EXPECT_TRUE(g3.status().IsResourceExhausted());
+  g1->Release();
+  auto g4 = pool.New();
+  EXPECT_TRUE(g4.ok());
+}
+
+TEST_F(BufferPoolTest, GuardMoveTransfersPin) {
+  BufferPool pool(&disk_, 2);
+  auto g1 = pool.New();
+  PageGuard moved = std::move(*g1);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  moved.Release();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST_F(BufferPoolTest, RepinnedPageLeavesLruList) {
+  BufferPool pool(&disk_, 2);
+  PageId a, b;
+  {
+    auto ga = pool.New();
+    a = ga->id();
+  }
+  {
+    auto gb = pool.New();
+    b = gb->id();
+  }
+  // Re-pin `a` (the LRU victim candidate), then allocate: `b` must be the
+  // one evicted.
+  auto ga = pool.Fetch(a);
+  ASSERT_TRUE(ga.ok());
+  auto gc = pool.New();
+  ASSERT_TRUE(gc.ok());
+  // `a` is still resident: fetching it is a hit.
+  std::uint64_t hits_before = pool.hit_count();
+  ga->Release();
+  auto ga2 = pool.Fetch(a);
+  ASSERT_TRUE(ga2.ok());
+  EXPECT_EQ(pool.hit_count(), hits_before + 1);
+  (void)b;
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsWithoutEviction) {
+  BufferPool pool(&disk_, 4);
+  PageId pid;
+  {
+    auto guard = pool.New();
+    pid = guard->id();
+    guard->MutablePage().WriteU32(4, 999);
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page direct;
+  ASSERT_TRUE(disk_.ReadPage(pid, &direct).ok());
+  EXPECT_EQ(direct.ReadU32(4), 999u);
+}
+
+TEST_F(BufferPoolTest, CheckpointSyncs) {
+  BufferPool pool(&disk_, 4);
+  {
+    auto guard = pool.New();
+    guard->MutablePage().WriteU32(0, 1);
+  }
+  EXPECT_TRUE(pool.Checkpoint().ok());
+}
+
+TEST_F(BufferPoolTest, HitMissCountersTrack) {
+  BufferPool pool(&disk_, 2);
+  PageId pid;
+  {
+    auto g = pool.New();
+    pid = g->id();
+  }
+  std::uint64_t misses_before = pool.miss_count();
+  {
+    auto g = pool.Fetch(pid);  // hit
+  }
+  // Evict pid by filling the pool.
+  (void)pool.New();
+  (void)pool.New();
+  {
+    auto g = pool.Fetch(pid);  // miss after eviction
+  }
+  EXPECT_GT(pool.miss_count(), misses_before);
+}
+
+}  // namespace
+}  // namespace seed::storage

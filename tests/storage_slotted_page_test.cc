@@ -1,0 +1,197 @@
+// Slotted-page layout tests: insertion, deletion, replacement, slot reuse,
+// compaction, and free-space accounting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+
+namespace seed::storage {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) { sp_.Init(); }
+
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(sp_.slot_count(), 0u);
+  EXPECT_FALSE(sp_.next_page().valid());
+  EXPECT_TRUE(sp_.LiveSlots().empty());
+  EXPECT_EQ(sp_.LiveBytes(), 0u);
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  auto slot = sp_.Insert("hello");
+  ASSERT_TRUE(slot.ok());
+  auto rec = sp_.Get(*slot);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, "hello");
+  EXPECT_TRUE(sp_.IsLive(*slot));
+}
+
+TEST_F(SlottedPageTest, EmptyRecordIsLegal) {
+  auto slot = sp_.Insert("");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(sp_.IsLive(*slot));
+  EXPECT_EQ(sp_.Get(*slot)->size(), 0u);
+}
+
+TEST_F(SlottedPageTest, MultipleInsertsGetDistinctSlots) {
+  auto a = sp_.Insert("aaa");
+  auto b = sp_.Insert("bbb");
+  auto c = sp_.Insert("ccc");
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*b, *c);
+  EXPECT_EQ(*sp_.Get(*a), "aaa");
+  EXPECT_EQ(*sp_.Get(*b), "bbb");
+  EXPECT_EQ(*sp_.Get(*c), "ccc");
+  EXPECT_EQ(sp_.LiveSlots().size(), 3u);
+}
+
+TEST_F(SlottedPageTest, DeleteFreesSlot) {
+  auto a = sp_.Insert("aaa");
+  auto b = sp_.Insert("bbb");
+  ASSERT_TRUE(sp_.Delete(*a).ok());
+  EXPECT_FALSE(sp_.IsLive(*a));
+  EXPECT_TRUE(sp_.Get(*a).status().IsNotFound());
+  EXPECT_EQ(*sp_.Get(*b), "bbb");
+}
+
+TEST_F(SlottedPageTest, DeleteTwiceFails) {
+  auto a = sp_.Insert("aaa");
+  ASSERT_TRUE(sp_.Delete(*a).ok());
+  EXPECT_TRUE(sp_.Delete(*a).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeletedSlotIsReused) {
+  auto a = sp_.Insert("aaa");
+  (void)sp_.Insert("bbb");
+  ASSERT_TRUE(sp_.Delete(*a).ok());
+  auto c = sp_.Insert("ccc");
+  EXPECT_EQ(*c, *a);  // slot 0 reused
+}
+
+TEST_F(SlottedPageTest, TrailingSlotsShrinkDirectory) {
+  auto a = sp_.Insert("aaa");
+  auto b = sp_.Insert("bbb");
+  EXPECT_EQ(sp_.slot_count(), 2u);
+  ASSERT_TRUE(sp_.Delete(*b).ok());
+  EXPECT_EQ(sp_.slot_count(), 1u);
+  ASSERT_TRUE(sp_.Delete(*a).ok());
+  EXPECT_EQ(sp_.slot_count(), 0u);
+}
+
+TEST_F(SlottedPageTest, ReplaceInPlaceSmaller) {
+  auto a = sp_.Insert("a long record body");
+  ASSERT_TRUE(sp_.Replace(*a, "tiny").ok());
+  EXPECT_EQ(*sp_.Get(*a), "tiny");
+}
+
+TEST_F(SlottedPageTest, ReplaceGrow) {
+  auto a = sp_.Insert("tiny");
+  std::string big(500, 'x');
+  ASSERT_TRUE(sp_.Replace(*a, big).ok());
+  EXPECT_EQ(*sp_.Get(*a), big);
+}
+
+TEST_F(SlottedPageTest, ReplaceMissingSlotFails) {
+  EXPECT_TRUE(sp_.Replace(9, "x").IsNotFound());
+}
+
+TEST_F(SlottedPageTest, RecordTooLargeIsRejected) {
+  std::string huge(kPageSize, 'x');
+  EXPECT_TRUE(sp_.Insert(huge).status().IsResourceExhausted());
+}
+
+TEST_F(SlottedPageTest, FillsToCapacity) {
+  std::string rec(100, 'r');
+  size_t inserted = 0;
+  while (true) {
+    auto slot = sp_.Insert(rec);
+    if (!slot.ok()) break;
+    ++inserted;
+  }
+  // 8 KiB page, 100-byte records + 8-byte slots: ~75 records fit.
+  EXPECT_GT(inserted, 70u);
+  EXPECT_LT(inserted, 82u);
+  EXPECT_EQ(sp_.LiveBytes(), inserted * 100);
+}
+
+TEST_F(SlottedPageTest, CompactionRecoversFragmentedSpace) {
+  // Fill the page, delete every other record, then insert one record that
+  // only fits after compaction.
+  std::vector<std::uint32_t> slots;
+  std::string rec(200, 'r');
+  while (true) {
+    auto slot = sp_.Insert(rec);
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(sp_.Delete(slots[i]).ok());
+  }
+  // Contiguous space is at most ~200 bytes + leftovers, but total free is
+  // about half the page; 400 bytes requires compaction.
+  std::string big(400, 'b');
+  auto slot = sp_.Insert(big);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ(*sp_.Get(*slot), big);
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(*sp_.Get(slots[i]), rec);
+  }
+}
+
+TEST_F(SlottedPageTest, FreeSpaceForInsertAccountsSlotEntry) {
+  size_t before = sp_.FreeSpaceForInsert();
+  ASSERT_TRUE(sp_.Insert("12345678").ok());
+  size_t after = sp_.FreeSpaceForInsert();
+  // 8 payload bytes + 8 slot bytes.
+  EXPECT_EQ(before - after, 16u);
+}
+
+TEST_F(SlottedPageTest, NextPageLink) {
+  sp_.set_next_page(PageId(17));
+  EXPECT_EQ(sp_.next_page().raw(), 17u);
+}
+
+TEST_F(SlottedPageTest, RandomizedChurnKeepsRecordsIntact) {
+  Random rng(0xC0FFEE);
+  std::vector<std::pair<std::uint32_t, std::string>> live;
+  for (int step = 0; step < 2000; ++step) {
+    bool do_insert = live.empty() || rng.Bernoulli(0.6);
+    if (do_insert) {
+      std::string rec = rng.Identifier(1 + rng.Uniform(120));
+      auto slot = sp_.Insert(rec);
+      if (slot.ok()) {
+        live.emplace_back(*slot, rec);
+      } else {
+        ASSERT_TRUE(slot.status().IsResourceExhausted());
+        ASSERT_FALSE(live.empty());
+        size_t victim = rng.Uniform(live.size());
+        ASSERT_TRUE(sp_.Delete(live[victim].first).ok());
+        live.erase(live.begin() + victim);
+      }
+    } else {
+      size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(sp_.Delete(live[victim].first).ok());
+      live.erase(live.begin() + victim);
+    }
+  }
+  for (const auto& [slot, rec] : live) {
+    auto got = sp_.Get(slot);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, rec);
+  }
+}
+
+}  // namespace
+}  // namespace seed::storage

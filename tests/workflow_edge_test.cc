@@ -1,0 +1,170 @@
+// Edge-case coverage across layers: empty version deltas, checkout of
+// unknown names, the SPADES direct-tool paths, schema path queries rooted
+// at associations, and rename interactions with patterns.
+
+#include <gtest/gtest.h>
+
+#include "multiuser/client.h"
+#include "multiuser/server.h"
+#include "spades/spec_tool.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using spades::BuildFig3Schema;
+using version::VersionId;
+using version::VersionManager;
+
+TEST(VersionEdgeTest, EmptyDeltaVersionIsLegal) {
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  VersionManager vm(&db);
+  (void)*db.CreateObject(fig3.ids.action, "A");
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+  // Nothing changed: freezing an empty delta still creates a version (the
+  // paper's "saving the database state before and after a session" needs
+  // cheap no-op snapshots).
+  auto v2 = vm.CreateVersion();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE((*vm.GetRecord(*v2))->changes.empty());
+  auto view = vm.MaterializeView(*v2);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE((*view)->FindObjectByName("A").ok());
+}
+
+TEST(VersionEdgeTest, SelectUnknownVersionFails) {
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  VersionManager vm(&db);
+  EXPECT_TRUE(vm.SelectVersion(*VersionId::Parse("9.9")).IsNotFound());
+  EXPECT_TRUE(vm.MaterializeView(*VersionId::Parse("9.9"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(vm.ParentOf(*VersionId::Parse("9.9")).status().IsNotFound());
+}
+
+TEST(VersionEdgeTest, AutoNumberingFillsBranchSlots) {
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  VersionManager vm(&db);
+  (void)*db.CreateObject(fig3.ids.action, "A");
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
+  (void)*db.CreateObject(fig3.ids.action, "B");
+  ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.1")).ok());
+  // Branch twice from 1.0: successors 1.1 is taken, so children appear.
+  ASSERT_TRUE(vm.SelectVersion(*VersionId::Parse("1.0")).ok());
+  (void)*db.CreateObject(fig3.ids.action, "C");
+  auto b1 = vm.CreateVersion();
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->ToString(), "1.0.1");
+  ASSERT_TRUE(vm.SelectVersion(*VersionId::Parse("1.0")).ok());
+  (void)*db.CreateObject(fig3.ids.action, "D");
+  auto b2 = vm.CreateVersion();
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->ToString(), "1.0.2");
+}
+
+TEST(MultiuserEdgeTest, CheckoutUnknownNameFails) {
+  auto fig3 = *BuildFig3Schema();
+  multiuser::Server server(fig3.schema);
+  auto session =
+      std::move(multiuser::ClientSession::Open(&server, "alice")).value();
+  EXPECT_TRUE(session->CheckoutByName({"Nope"}).IsNotFound());
+  // No lock leaked by the failed checkout.
+  EXPECT_TRUE(server.LocksOf(session->id()).empty());
+}
+
+TEST(MultiuserEdgeTest, EmptyCheckinIsANoOp) {
+  auto fig3 = *BuildFig3Schema();
+  multiuser::Server server(fig3.schema);
+  auto session =
+      std::move(multiuser::ClientSession::Open(&server, "alice")).value();
+  EXPECT_TRUE(session->Checkin().ok());
+  EXPECT_EQ(server.checkins_applied(), 1u);  // applied, trivially
+}
+
+TEST(MultiuserEdgeTest, ServerSurvivesManySessionGenerations) {
+  auto fig3 = *BuildFig3Schema();
+  multiuser::Server server(fig3.schema);
+  (void)*server.master()->CreateObject(fig3.ids.action, "Shared");
+  server.master()->ClearChangeTracking();
+  // Many connect/edit/checkin/disconnect cycles must not collide ids.
+  for (int round = 0; round < 10; ++round) {
+    auto session = std::move(multiuser::ClientSession::Open(
+                                 &server, "w" + std::to_string(round)))
+                       .value();
+    ASSERT_TRUE(session->CheckoutByName({"Shared"}).ok());
+    ObjectId local = *session->local()->FindObjectByName("Shared");
+    auto descs = session->local()->SubObjects(local, "Description");
+    ObjectId d = descs.empty()
+                     ? *session->local()->CreateSubObject(local,
+                                                          "Description")
+                     : descs[0];
+    ASSERT_TRUE(session->local()
+                    ->SetValue(d, Value::String("round " +
+                                                std::to_string(round)))
+                    .ok());
+    ASSERT_TRUE(session->Checkin().ok()) << "round " << round;
+  }
+  EXPECT_TRUE(server.master()->AuditConsistency().clean());
+  auto d = server.master()->FindObjectByName("Shared.Description");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*server.master()->GetObject(*d))->value.as_string(), "round 9");
+}
+
+TEST(SpadesEdgeTest, DirectToolDuplicateNamesRejected) {
+  spades::DirectSpecTool tool;
+  ASSERT_TRUE(tool.AddAction("A").ok());
+  EXPECT_TRUE(tool.AddAction("A").IsAlreadyExists());
+  EXPECT_TRUE(tool.AddData("A").IsAlreadyExists());
+  EXPECT_TRUE(tool.AddThing("A").IsAlreadyExists());
+}
+
+TEST(SpadesEdgeTest, DirectToolUnknownTargetsFail) {
+  spades::DirectSpecTool tool;
+  ASSERT_TRUE(tool.AddAction("A").ok());
+  EXPECT_TRUE(tool.AddFlow("A", "Nope", spades::FlowKind::kRead).IsNotFound());
+  EXPECT_TRUE(tool.AddFlow("Nope", "A", spades::FlowKind::kRead).IsNotFound());
+  EXPECT_TRUE(tool.Contain("A", "Nope").IsNotFound());
+  EXPECT_TRUE(tool.RefineThingToData("Nope").IsNotFound());
+  EXPECT_TRUE(
+      tool.RefineFlow("A", "Nope", spades::FlowKind::kRead).IsNotFound());
+}
+
+TEST(SpadesEdgeTest, SeedToolRefineFlowRequiresUnknownKindTarget) {
+  auto tool = std::move(spades::SeedSpecTool::Create()).value();
+  ASSERT_TRUE(tool->AddData("D").ok());
+  ASSERT_TRUE(tool->AddAction("A").ok());
+  ASSERT_TRUE(tool->AddFlow("A", "D", spades::FlowKind::kUnknown).ok());
+  EXPECT_TRUE(tool->RefineFlow("A", "D", spades::FlowKind::kUnknown)
+                  .IsInvalidArgument());
+}
+
+TEST(PatternEdgeTest, RenamedPatternStaysInPatternNamespace) {
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  core::CreateOptions opts;
+  opts.pattern = true;
+  ObjectId p = *db.CreateObject(fig3.ids.action, "Old", opts);
+  ASSERT_TRUE(db.Rename(p, "New").ok());
+  EXPECT_TRUE(db.FindPatternByName("New").ok());
+  EXPECT_TRUE(db.FindPatternByName("Old").status().IsNotFound());
+  EXPECT_TRUE(db.FindObjectByName("New").status().IsNotFound());
+}
+
+TEST(PatternEdgeTest, DeletedPatternBreaksNothing) {
+  auto fig3 = *BuildFig3Schema();
+  Database db(fig3.schema);
+  core::CreateOptions opts;
+  opts.pattern = true;
+  ObjectId p = *db.CreateObject(fig3.ids.action, "P", opts);
+  ASSERT_TRUE(db.DeleteObject(p).ok());
+  EXPECT_TRUE(db.AllPatternRoots().empty());
+  EXPECT_TRUE(db.AuditConsistency().clean());
+}
+
+}  // namespace
+}  // namespace seed
