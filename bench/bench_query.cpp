@@ -1,11 +1,17 @@
 // Extension benchmark: the ER algebra (Parent & Spaccapietra-style),
 // measuring selection, relationship join and pipeline queries over a
-// generated specification.
+// generated specification — plus the attribute-index subsystem, comparing
+// planner-driven index probes against the full extent-scan path on
+// selective equality and range predicates.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "query/algebra.h"
+#include "query/planner.h"
 #include "query/predicate.h"
+#include "schema/schema_builder.h"
 #include "spades/spec_schema.h"
 
 namespace {
@@ -13,6 +19,7 @@ namespace {
 using seed::core::Database;
 using seed::ObjectId;
 using seed::query::Algebra;
+using seed::query::Planner;
 using seed::query::Predicate;
 
 seed::spades::Fig3Schema& Fig3() {
@@ -106,6 +113,110 @@ void BM_Query_CartesianProduct(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Query_CartesianProduct)->Arg(32)->Arg(100);
+
+// --- Index scan vs. full scan ------------------------------------------------
+
+struct ReadingWorld {
+  std::unique_ptr<Database> db;
+  seed::ClassId reading;
+};
+
+/// `n` int-valued readings (values 0..999, so equality selects ~n/1000);
+/// every 10th object stays vague (undefined) to keep the paper's
+/// incomplete-information semantics in play on both paths.
+ReadingWorld BuildReadings(int n, bool with_index) {
+  seed::schema::SchemaBuilder b("Telemetry");
+  seed::ClassId reading =
+      b.AddIndependentClass("Reading", seed::schema::ValueType::kInt);
+  ReadingWorld world{std::make_unique<Database>(*b.Build()), reading};
+  for (int i = 0; i < n; ++i) {
+    auto id = *world.db->CreateObject(reading, "R_" + std::to_string(i));
+    if (i % 10 != 9) {
+      (void)world.db->SetValue(id, seed::core::Value::Int(i % 1000));
+    }
+  }
+  if (with_index) (void)world.db->CreateAttributeIndex({reading, ""});
+  return world;
+}
+
+/// Both paths must return identical tuples; run once per benchmark setup.
+void CheckPathsAgree(Database* db, seed::ClassId reading,
+                     const Predicate& p) {
+  Planner planner(db);
+  Algebra algebra(db);
+  auto extent = algebra.ClassExtent(reading, "r");
+  auto scanned = *algebra.Select(extent, "r", p);
+  auto planned = *planner.SelectFromClass(reading, "r", p);
+  if (scanned.tuples != planned.tuples) {
+    fprintf(stderr, "index/scan result mismatch: %zu vs %zu tuples\n",
+            scanned.size(), planned.size());
+    abort();
+  }
+}
+
+void BM_Query_SelectEqualityScan(benchmark::State& state) {
+  auto world = BuildReadings(static_cast<int>(state.range(0)), false);
+  Planner planner(world.db.get());
+  auto pred = Predicate::ValueEquals(seed::core::Value::Int(137));
+  for (auto _ : state) {
+    auto r = planner.SelectFromClass(world.reading, "r", pred);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_SelectEqualityScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Query_SelectEqualityIndexed(benchmark::State& state) {
+  auto world = BuildReadings(static_cast<int>(state.range(0)), true);
+  CheckPathsAgree(world.db.get(), world.reading,
+                  Predicate::ValueEquals(seed::core::Value::Int(137)));
+  Planner planner(world.db.get());
+  auto pred = Predicate::ValueEquals(seed::core::Value::Int(137));
+  for (auto _ : state) {
+    auto r = planner.SelectFromClass(world.reading, "r", pred);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_SelectEqualityIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Query_SelectRangeScan(benchmark::State& state) {
+  auto world = BuildReadings(static_cast<int>(state.range(0)), false);
+  Planner planner(world.db.get());
+  auto pred = Predicate::IntGreater(990);  // ~1% of defined values
+  for (auto _ : state) {
+    auto r = planner.SelectFromClass(world.reading, "r", pred);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_SelectRangeScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Query_SelectRangeIndexed(benchmark::State& state) {
+  auto world = BuildReadings(static_cast<int>(state.range(0)), true);
+  CheckPathsAgree(world.db.get(), world.reading, Predicate::IntGreater(990));
+  Planner planner(world.db.get());
+  auto pred = Predicate::IntGreater(990);
+  for (auto _ : state) {
+    auto r = planner.SelectFromClass(world.reading, "r", pred);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_SelectRangeIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Query_IndexMaintenanceSetValue(benchmark::State& state) {
+  auto world = BuildReadings(static_cast<int>(state.range(0)), true);
+  auto ids = world.db->ObjectsOfClass(world.reading);
+  size_t i = 0;
+  for (auto _ : state) {
+    ObjectId id = ids[i++ % ids.size()];
+    (void)world.db->SetValue(
+        id, seed::core::Value::Int(static_cast<int>(i) % 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Query_IndexMaintenanceSetValue)->Arg(10000);
 
 }  // namespace
 

@@ -8,12 +8,13 @@
 //   seed> link Access Alarms Sensor
 //   seed> check
 //
-// Commands: help, find <Class> [exact] [where ...], schema, show [path],
-// create <Class> <Name>, sub <path> <role>, set <path> <value>,
-// link <Assoc> <path0> <path1>, refine <path> <Class>,
+// Commands: help, find <Class> [exact] [where ...], explain find ...,
+// schema, show [path], create <Class> <Name>, sub <path> <role>,
+// set <path> <value>, link <Assoc> <path0> <path1>, refine <path> <Class>,
 // refinerel <Assoc> <path0> <path1> <NewAssoc>, rels <path>,
 // delete <path>, rename <path> <new>, check [path], audit, version [id],
-// versions, select <id>, history <path>, save <dir>, load <dir>, stats,
+// versions, select <id>, history <path>, index <Class> [role],
+// unindex <Class> [role], indexes, save <dir>, load <dir>, stats,
 // dot [schema], quit.
 
 #include <cstdio>
@@ -154,26 +155,77 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "find <Class> [exact] [where ...] | "
-          "schema | show [path] | create <Class> <Name> | sub <path> <role>"
-          "\nset <path> <value> | link <Assoc> <p0> <p1> | refine <path> "
+          "find <Class> [exact] [where ...] | explain find ... | "
+          "schema | show [path]\ncreate <Class> <Name> | sub <path> <role>"
+          " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "
           "<Class>\nrefinerel <Assoc> <p0> <p1> <NewAssoc> | rels <path> | "
           "delete <path>\nrename <path> <new> | check [path] | audit | "
-          "version [id] | versions\nselect <id> | history <path> | save "
+          "version [id] | versions\nselect <id> | history <path> | "
+          "index <Class> [role] | unindex <Class> [role]\nindexes | save "
           "<dir> | load <dir> | stats | dot [schema] | quit\n");
       return true;
     }
-    if (cmd == "find") {
-      auto result = seed::query::RunQuery(*db_, line);
+    if (cmd == "find" || (cmd == "explain" && tokens.size() >= 2)) {
+      std::string plan;
+      std::string_view query = line;
+      if (cmd == "explain") {
+        size_t at = line.find("find");
+        if (at == std::string::npos) {
+          std::printf("usage: explain find <Class> ...\n");
+          return true;
+        }
+        query.remove_prefix(at);
+      }
+      auto result = seed::query::RunQuery(*db_, query, &plan);
       if (!result.ok()) {
         Print(result.status());
         return true;
       }
+      if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
       for (seed::ObjectId id : *result) {
         std::printf("%s\n", db_->FullName(id).c_str());
       }
       std::printf("(%zu match%s)\n", result->size(),
                   result->size() == 1 ? "" : "es");
+      return true;
+    }
+    if (cmd == "index" && (tokens.size() == 2 || tokens.size() == 3)) {
+      auto cls = db_->schema()->FindIndependentClass(tokens[1]);
+      if (!cls.ok()) {
+        Print(cls.status());
+        return true;
+      }
+      seed::index::IndexSpec spec;
+      spec.cls = *cls;
+      if (tokens.size() == 3) spec.role = tokens[2];
+      Print(db_->CreateAttributeIndex(std::move(spec)));
+      return true;
+    }
+    if (cmd == "unindex" && (tokens.size() == 2 || tokens.size() == 3)) {
+      auto cls = db_->schema()->FindIndependentClass(tokens[1]);
+      if (!cls.ok()) {
+        Print(cls.status());
+        return true;
+      }
+      Print(db_->DropAttributeIndex(
+          *cls, tokens.size() == 3 ? tokens[2] : std::string_view{}));
+      return true;
+    }
+    if (cmd == "indexes") {
+      for (const auto& idx : db_->attribute_indexes().indexes()) {
+        const auto& spec = idx->spec();
+        auto cls = db_->schema()->GetClass(spec.cls);
+        std::printf("%s%s%s%s: %zu object%s, %zu distinct key%s\n",
+                    cls.ok() ? (*cls)->name.c_str() : "?",
+                    spec.role.empty() ? "" : ".",
+                    spec.role.c_str(),
+                    spec.include_specializations ? "" : " (exact)",
+                    idx->num_objects(), idx->num_objects() == 1 ? "" : "s",
+                    idx->num_distinct_keys(),
+                    idx->num_distinct_keys() == 1 ? "" : "s");
+      }
+      std::printf("(%zu index%s)\n", db_->attribute_indexes().size(),
+                  db_->attribute_indexes().size() == 1 ? "" : "es");
       return true;
     }
     if (cmd == "schema") {

@@ -55,6 +55,9 @@ void Database::IndexObject(const ObjectItem& obj) {
   if (obj.is_independent()) {
     (obj.is_pattern ? pattern_name_index_ : name_index_)[obj.name] = obj.id;
   }
+  if (obj.parent_kind == ParentKind::kObject) {
+    children_by_key_[obj.parent_object][{obj.cls.raw(), obj.index}] = obj.id;
+  }
   by_class_[obj.cls].push_back(obj.id);
   ++live_objects_;
 }
@@ -65,8 +68,26 @@ void Database::UnindexObject(const ObjectItem& obj) {
     auto it = idx.find(obj.name);
     if (it != idx.end() && it->second == obj.id) idx.erase(it);
   }
+  if (obj.parent_kind == ParentKind::kObject) {
+    auto it = children_by_key_.find(obj.parent_object);
+    if (it != children_by_key_.end()) {
+      auto entry = it->second.find({obj.cls.raw(), obj.index});
+      if (entry != it->second.end() && entry->second == obj.id) {
+        it->second.erase(entry);
+      }
+      if (it->second.empty()) children_by_key_.erase(it);
+    }
+  }
   EraseFrom(by_class_[obj.cls], obj.id);
   --live_objects_;
+}
+
+ObjectId Database::FindChildByKey(ObjectId parent, ClassId dep_cls,
+                                  std::uint32_t index) const {
+  auto it = children_by_key_.find(parent);
+  if (it == children_by_key_.end()) return ObjectId();
+  auto entry = it->second.find({dep_cls.raw(), index});
+  return entry == it->second.end() ? ObjectId() : entry->second;
 }
 
 void Database::IndexRelationship(const RelationshipItem& rel) {
@@ -94,6 +115,7 @@ void Database::RebuildIndexes() {
   by_class_.clear();
   by_assoc_.clear();
   rels_by_object_.clear();
+  children_by_key_.clear();
   live_objects_ = 0;
   live_relationships_ = 0;
   for (const auto& [id, obj] : objects_) {
@@ -104,6 +126,7 @@ void Database::RebuildIndexes() {
     if (!rel.deleted) IndexRelationship(rel);
     relationship_ids_.ReserveThrough(id);
   }
+  attr_indexes_.RefreshAll(*schema_, objects_);
 }
 
 void Database::ClearContents() {
@@ -114,8 +137,10 @@ void Database::ClearContents() {
   by_class_.clear();
   by_assoc_.clear();
   rels_by_object_.clear();
+  children_by_key_.clear();
   changed_objects_.clear();
   changed_relationships_.clear();
+  attr_indexes_.ClearEntries();
   live_objects_ = 0;
   live_relationships_ = 0;
 }
@@ -132,6 +157,39 @@ void Database::RestoreRelationship(RelationshipItem item) {
   relationships_[id] = std::move(item);
   relationship_ids_.ReserveThrough(id);
   Touch(id);
+}
+
+// --- Secondary attribute indexes -----------------------------------------------
+
+Status Database::CreateAttributeIndex(index::IndexSpec spec) {
+  SEED_RETURN_IF_ERROR(attr_indexes_.CreateIndex(*schema_, spec));
+  attr_indexes_.BackfillIndex(*schema_, objects_, spec);
+  return Status::OK();
+}
+
+Status Database::DropAttributeIndex(ClassId cls, std::string_view role) {
+  return attr_indexes_.DropIndex(cls, role);
+}
+
+void Database::RefreshAttrIndexes(ObjectId id) {
+  if (attr_indexes_.empty()) return;
+  attr_indexes_.RefreshObject(*schema_, objects_, id);
+}
+
+void Database::RefreshAttrIndexesWithParent(ObjectId id) {
+  if (attr_indexes_.empty()) return;
+  attr_indexes_.RefreshObject(*schema_, objects_, id);
+  RefreshAttrIndexParentOf(id);
+}
+
+void Database::RefreshAttrIndexParentOf(ObjectId id) {
+  if (attr_indexes_.empty()) return;
+  auto it = objects_.find(id);
+  if (it != objects_.end() &&
+      it->second.parent_kind == ParentKind::kObject) {
+    attr_indexes_.RefreshObject(*schema_, objects_,
+                                it->second.parent_object);
+  }
 }
 
 // --- Object creation -----------------------------------------------------------
@@ -282,12 +340,14 @@ Status Database::SetValue(ObjectId obj_id, Value value) {
   Value old = obj->value;
   obj->value = std::move(value);
   Touch(obj_id);
+  RefreshAttrIndexesWithParent(obj_id);
 
   if (!obj->is_pattern) {
     UpdateEvent event{UpdateKind::kSetValue, this, obj_id, RelationshipId()};
     Status veto = RunProcedures(obj->cls, event);
     if (!veto.ok()) {
       obj->value = std::move(old);
+      RefreshAttrIndexesWithParent(obj_id);
       return veto;
     }
   }
@@ -302,12 +362,14 @@ Status Database::ClearValue(ObjectId obj_id) {
   Value old = obj->value;
   obj->value = Value();
   Touch(obj_id);
+  RefreshAttrIndexesWithParent(obj_id);
   if (!obj->is_pattern) {
     UpdateEvent event{UpdateKind::kClearValue, this, obj_id,
                       RelationshipId()};
     Status veto = RunProcedures(obj->cls, event);
     if (!veto.ok()) {
       obj->value = std::move(old);
+      RefreshAttrIndexesWithParent(obj_id);
       return veto;
     }
   }
@@ -403,6 +465,9 @@ Status Database::DeleteObject(ObjectId root_id) {
     obj.deleted = true;
     Touch(oid);
   }
+  // Every deleted object's parent is inside the closure except the root's.
+  for (ObjectId oid : objs) RefreshAttrIndexes(oid);
+  RefreshAttrIndexParentOf(root_id);
   bool was_pattern = objects_.at(root_id).is_pattern;
   if (!was_pattern) {
     UpdateEvent event{UpdateKind::kDeleteObject, this, root_id,
@@ -419,6 +484,8 @@ Status Database::DeleteObject(ObjectId root_id) {
         rel.deleted = false;
         IndexRelationship(rel);
       }
+      for (ObjectId oid : objs) RefreshAttrIndexes(oid);
+      RefreshAttrIndexParentOf(root_id);
       return veto;
     }
   }
@@ -447,6 +514,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
     obj.deleted = true;
     Touch(oid);
   }
+  for (ObjectId oid : objs) RefreshAttrIndexes(oid);
   UnindexRelationship(*rel);
   rel->deleted = true;
   Touch(rel_id);
@@ -463,6 +531,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
         obj.deleted = false;
         IndexObject(obj);
       }
+      for (ObjectId oid : objs) RefreshAttrIndexes(oid);
       return veto;
     }
   }
@@ -546,6 +615,10 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
   obj->cls = new_cls;
   by_class_[new_cls].push_back(obj_id);
   Touch(obj_id);
+  // Migrates attribute-index entries between class extents: the refresh
+  // clears the object from indexes that no longer cover its class and
+  // inserts it into those that now do.
+  RefreshAttrIndexes(obj_id);
 
   if (!obj->is_pattern) {
     UpdateEvent event{UpdateKind::kReclassifyObject, this, obj_id,
@@ -555,6 +628,7 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
       EraseFrom(by_class_[new_cls], obj_id);
       obj->cls = old_cls;
       by_class_[old_cls].push_back(obj_id);
+      RefreshAttrIndexes(obj_id);
       return veto;
     }
   }
@@ -777,6 +851,11 @@ Status Database::MigrateToSchema(schema::SchemaPtr new_schema) {
         report.violations.front().ToString() + " (and " +
         std::to_string(report.size() - 1) + " more)");
   }
+  // Drop indexes whose class/role no longer exists (a pruned spec could
+  // otherwise make every future Load() fail), then re-derive coverage —
+  // generalization families may have changed.
+  attr_indexes_.PruneInvalidSpecs(*schema_);
+  attr_indexes_.RefreshAll(*schema_, objects_);
   return Status::OK();
 }
 

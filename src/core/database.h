@@ -31,6 +31,7 @@
 #include "core/items.h"
 #include "core/value.h"
 #include "core/violation.h"
+#include "index/index_manager.h"
 #include "schema/schema.h"
 
 namespace seed::core {
@@ -183,6 +184,28 @@ class Database {
   size_t num_live_objects() const { return live_objects_; }
   size_t num_live_relationships() const { return live_relationships_; }
 
+  // --- Secondary attribute indexes ------------------------------------------
+
+  /// Creates a secondary index over the extent of `spec.cls` keyed by the
+  /// objects' own values (`spec.role` empty) or by the values of their
+  /// sub-objects in `spec.role`; backfills from current contents. The
+  /// index is maintained incrementally through every mutation path
+  /// (create, update, delete, reclassify, restore) and survives
+  /// save/load. Undefined values are never indexed.
+  Status CreateAttributeIndex(index::IndexSpec spec);
+
+  /// Drops every attribute index on (cls, role).
+  Status DropAttributeIndex(ClassId cls, std::string_view role = {});
+
+  /// Read access for the query planner and for stats.
+  const index::IndexManager& attribute_indexes() const {
+    return attr_indexes_;
+  }
+
+  /// Trusted mutable access (persistence restores the spec catalog, then
+  /// RebuildIndexes() re-derives the entries).
+  index::IndexManager& attribute_indexes_mutable() { return attr_indexes_; }
+
   // --- Checking -------------------------------------------------------------
 
   /// Full consistency audit over the whole database. Always clean after
@@ -306,6 +329,14 @@ class Database {
   void UnindexRelationship(const RelationshipItem& rel);
   void Touch(ObjectId id) { changed_objects_.insert(id); }
   void Touch(RelationshipId id) { changed_relationships_.insert(id); }
+  /// Re-derives the attribute-index entries of `id` (post-mutation hook;
+  /// idempotent). The WithParent variant also refreshes the owning object
+  /// when `id` is a dependent sub-object, since the parent's role-keyed
+  /// entries derive from its children's values; ParentOf refreshes only
+  /// that owner.
+  void RefreshAttrIndexes(ObjectId id);
+  void RefreshAttrIndexesWithParent(ObjectId id);
+  void RefreshAttrIndexParentOf(ObjectId id);
 
   ObjectItem* MutableObject(ObjectId id);
   RelationshipItem* MutableRelationship(RelationshipId id);
@@ -331,6 +362,32 @@ class Database {
   std::unordered_map<ClassId, std::vector<ObjectId>> by_class_;
   std::unordered_map<AssociationId, std::vector<RelationshipId>> by_assoc_;
   std::unordered_map<ObjectId, std::vector<RelationshipId>> rels_by_object_;
+
+  /// Live children of an object parent keyed by (class, index), so dotted
+  /// path resolution is O(1) per segment instead of O(children). Among
+  /// live children the pair is unique (NextChildIndex never hands out an
+  /// index a live sibling of the same class holds).
+  struct ChildKey {
+    std::uint64_t cls_raw;
+    std::uint32_t index;
+    bool operator==(const ChildKey&) const = default;
+  };
+  struct ChildKeyHash {
+    size_t operator()(const ChildKey& k) const {
+      return std::hash<std::uint64_t>{}(k.cls_raw * 0x9E3779B97F4A7C15ull ^
+                                        k.index);
+    }
+  };
+  std::unordered_map<ObjectId,
+                     std::unordered_map<ChildKey, ObjectId, ChildKeyHash>>
+      children_by_key_;
+  /// Finds the live child of `parent` with class `dep_cls` and `index`.
+  ObjectId FindChildByKey(ObjectId parent, ClassId dep_cls,
+                          std::uint32_t index) const;
+
+  /// User-defined secondary attribute indexes (maintained through every
+  /// mutation path; definitions persist, entries are derived data).
+  index::IndexManager attr_indexes_;
 
   std::unordered_map<ClassId, std::vector<AttachedProcedure>>
       class_procedures_;

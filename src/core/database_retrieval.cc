@@ -11,23 +11,6 @@
 
 namespace seed::core {
 
-namespace {
-
-/// Finds the live child of `children` in role `dep_cls` with `index`.
-ObjectId FindChild(const std::map<ObjectId, ObjectItem>& objects,
-                   const std::vector<ObjectId>& children, ClassId dep_cls,
-                   std::uint32_t index) {
-  for (ObjectId child_id : children) {
-    const ObjectItem& child = objects.at(child_id);
-    if (!child.deleted && child.cls == dep_cls && child.index == index) {
-      return child_id;
-    }
-  }
-  return ObjectId();
-}
-
-}  // namespace
-
 Result<ObjectId> Database::FindObjectByName(std::string_view path) const {
   SEED_ASSIGN_OR_RETURN(auto segments, strings::ParsePath(path));
   auto root_it = name_index_.find(segments[0].name);
@@ -41,7 +24,7 @@ Result<ObjectId> Database::FindObjectByName(std::string_view path) const {
                                                  segments[i].name);
     if (!dep_cls.ok()) return dep_cls.status();
     std::uint32_t index = segments[i].index.value_or(0);
-    ObjectId child = FindChild(objects_, parent.children, *dep_cls, index);
+    ObjectId child = FindChildByKey(cur, *dep_cls, index);
     if (!child.valid()) {
       return Status::NotFound("object '" + std::string(path) +
                               "': no sub-object '" +
@@ -65,7 +48,7 @@ Result<ObjectId> Database::FindPatternByName(std::string_view path) const {
                                                  segments[i].name);
     if (!dep_cls.ok()) return dep_cls.status();
     std::uint32_t index = segments[i].index.value_or(0);
-    ObjectId child = FindChild(objects_, parent.children, *dep_cls, index);
+    ObjectId child = FindChildByKey(cur, *dep_cls, index);
     if (!child.valid()) {
       return Status::NotFound("pattern '" + std::string(path) +
                               "': no sub-object '" +

@@ -1,8 +1,11 @@
 // Durable persistence of a Database through the storage substrate.
 //
 // Key layout in the KvStore (u64): the top byte is a namespace tag, the low
-// 56 bits are the item id. Tag 1 holds metadata (schema bytes at id 0),
-// tag 2 objects, tag 3 relationships.
+// 56 bits are the item id. Tag 1 holds metadata: schema bytes at id 0,
+// attribute-index definitions at id 2 (id 1 belongs to the version
+// layer's state). Tag 2 holds objects, tag 3 relationships. Index
+// *entries* are derived data: only the definitions are stored, and Load()
+// re-derives the entries while rebuilding the in-memory indexes.
 //
 // SaveChanges() writes only items touched since the last call (using the
 // Database's change tracking), mirroring the paper's "implemented in a
@@ -24,8 +27,9 @@ class Persistence {
   /// Writes schema + every item (full save), then checkpoints.
   static Status SaveFull(const Database& db, storage::KvStore* kv);
 
-  /// Writes only changed items, clears the database's change tracking.
-  /// Does not checkpoint (the WAL covers durability).
+  /// Writes the current schema, only the changed items, and the
+  /// attribute-index catalog when it changed; clears the database's
+  /// change tracking. Does not checkpoint (the WAL covers durability).
   static Status SaveChanges(Database* db, storage::KvStore* kv);
 
   /// Rebuilds a Database from the store. The schema is loaded from the

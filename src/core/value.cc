@@ -1,5 +1,7 @@
 #include "core/value.h"
 
+#include <cmath>
+
 #include "common/macros.h"
 
 namespace seed::core {
@@ -13,6 +15,64 @@ schema::ValueType Value::type() const {
   if (is_date()) return ValueType::kDate;
   if (is_enum()) return ValueType::kEnum;
   return ValueType::kNone;
+}
+
+namespace {
+
+template <typename T>
+int Cmp3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  size_t ti = repr_.index(), to = other.repr_.index();
+  if (ti != to) return ti < to ? -1 : 1;
+  if (!defined()) return 0;
+  if (is_string()) return as_string().compare(other.as_string());
+  if (is_int()) return Cmp3(as_int(), other.as_int());
+  if (is_real()) {
+    // Total order: every NaN compares equal to every NaN and after all
+    // numbers, so Compare stays a strict weak ordering (IEEE < is not).
+    double a = as_real(), b = other.as_real();
+    bool na = std::isnan(a), nb = std::isnan(b);
+    if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
+    return Cmp3(a, b);
+  }
+  if (is_bool()) return Cmp3(as_bool(), other.as_bool());
+  if (is_date()) {
+    const schema::Date &a = as_date(), &b = other.as_date();
+    if (int c = Cmp3(a.year, b.year)) return c;
+    if (int c = Cmp3(a.month, b.month)) return c;
+    return Cmp3(a.day, b.day);
+  }
+  return as_enum().compare(other.as_enum());
+}
+
+size_t Value::Hash::operator()(const Value& v) const {
+  size_t h = std::hash<size_t>{}(v.repr_.index());
+  size_t payload = 0;
+  if (v.is_string()) {
+    payload = std::hash<std::string>{}(v.as_string());
+  } else if (v.is_int()) {
+    payload = std::hash<std::int64_t>{}(v.as_int());
+  } else if (v.is_real()) {
+    // All NaN payloads hash alike, matching Compare's NaN == NaN.
+    double d = v.as_real();
+    payload = std::isnan(d) ? 0x7FF8000000000000ull : std::hash<double>{}(d);
+  } else if (v.is_bool()) {
+    payload = std::hash<bool>{}(v.as_bool());
+  } else if (v.is_date()) {
+    const schema::Date& d = v.as_date();
+    payload = (static_cast<size_t>(d.year) << 16) ^
+              (static_cast<size_t>(d.month) << 8) ^ d.day;
+  } else if (v.is_enum()) {
+    payload = std::hash<std::string>{}(v.as_enum());
+  }
+  return h ^ (payload + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
 }
 
 std::string Value::ToString() const {

@@ -63,6 +63,31 @@ class Value {
 
   bool operator==(const Value&) const = default;
 
+  /// Total order over all values: undefined first, then by type
+  /// (string < int < real < bool < date < enum), then by value within a
+  /// type. Gives the attribute-index subsystem a deterministic ordered-map
+  /// key; cross-type comparisons carry no semantic meaning.
+  int Compare(const Value& other) const;
+
+  struct Less {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+
+  /// Equality consistent with Compare (unlike operator==, which follows
+  /// IEEE semantics where NaN != NaN). Hash containers keyed by Value
+  /// must pair this with Hash.
+  struct CompareEqual {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) == 0;
+    }
+  };
+
+  struct Hash {
+    size_t operator()(const Value& v) const;
+  };
+
   /// Human-readable rendering ("<undefined>", "\"text\"", "42", ...).
   std::string ToString() const;
 

@@ -1,0 +1,95 @@
+#include "index/attribute_index.h"
+
+#include <algorithm>
+
+namespace seed::index {
+
+std::string IndexSpec::ToString() const {
+  std::string s = "class#" + std::to_string(cls.raw());
+  if (!role.empty()) s += "." + role;
+  if (!include_specializations) s += " (exact)";
+  return s;
+}
+
+void AttributeIndex::Insert(const core::Value& key, ObjectId id) {
+  auto it = hash_.find(key);
+  if (it == hash_.end()) {
+    it = hash_.emplace(key, ordered_.emplace(key, std::set<ObjectId>{}).first)
+             .first;
+  }
+  if (it->second->second.insert(id).second) ++num_entries_;
+}
+
+void AttributeIndex::Erase(const core::Value& key, ObjectId id) {
+  auto it = hash_.find(key);
+  if (it == hash_.end()) return;
+  if (it->second->second.erase(id) != 0) --num_entries_;
+  if (it->second->second.empty()) {
+    ordered_.erase(it->second);
+    hash_.erase(it);
+  }
+}
+
+void AttributeIndex::Set(ObjectId id, const std::vector<core::Value>& keys) {
+  std::vector<core::Value> desired = keys;
+  std::sort(desired.begin(), desired.end(), core::Value::Less{});
+  desired.erase(std::unique(desired.begin(), desired.end(),
+                            core::Value::CompareEqual{}),
+                desired.end());
+
+  auto cur_it = keys_of_.find(id);
+  if (cur_it != keys_of_.end()) {
+    for (const core::Value& key : cur_it->second) {
+      if (!std::binary_search(desired.begin(), desired.end(), key,
+                              core::Value::Less{})) {
+        Erase(key, id);
+      }
+    }
+  }
+  for (const core::Value& key : desired) Insert(key, id);
+
+  if (desired.empty()) {
+    if (cur_it != keys_of_.end()) keys_of_.erase(cur_it);
+  } else {
+    keys_of_[id] = std::move(desired);
+  }
+}
+
+std::vector<ObjectId> AttributeIndex::Lookup(const core::Value& key) const {
+  auto it = hash_.find(key);
+  if (it == hash_.end()) return {};
+  return {it->second->second.begin(), it->second->second.end()};
+}
+
+std::vector<ObjectId> AttributeIndex::Range(const core::Value& lo,
+                                            bool lo_inclusive,
+                                            const core::Value& hi,
+                                            bool hi_inclusive) const {
+  std::vector<ObjectId> out;
+  auto it = lo_inclusive ? ordered_.lower_bound(lo)
+                         : ordered_.upper_bound(lo);
+  for (; it != ordered_.end(); ++it) {
+    int c = it->first.Compare(hi);
+    if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void AttributeIndex::ForEach(
+    const std::function<void(const core::Value&, ObjectId)>& fn) const {
+  for (const auto& [key, ids] : ordered_) {
+    for (ObjectId id : ids) fn(key, id);
+  }
+}
+
+void AttributeIndex::Clear() {
+  ordered_.clear();
+  hash_.clear();
+  keys_of_.clear();
+  num_entries_ = 0;
+}
+
+}  // namespace seed::index

@@ -1,0 +1,104 @@
+// A secondary index over one attribute of one class extent.
+//
+// The paper's SEED prototype retrieves by name only; every value query in
+// this reproduction therefore scanned the full class extent. An
+// AttributeIndex maps attribute values to the live, non-pattern objects
+// carrying them, so the query planner can answer selective equality and
+// range predicates without touching the extent.
+//
+// The indexed attribute is either the object's own value (`role` empty in
+// the spec) or the value(s) of its sub-objects in a role ("Action indexed
+// by Description"). Undefined values are never indexed — the paper's rule
+// "an undefined object matches nothing" makes the index and the scan agree
+// without a residual undefined check; vague objects simply have no entry.
+//
+// Storage is dual, per access pattern: an ordered map (Value::Less) serves
+// range/comparison predicates, a hash map over the same postings serves
+// equality lookups in O(1). An inverted per-object key list makes
+// maintenance idempotent: Set(id, keys) diffs against what is currently
+// indexed, so callers may refresh an object after any mutation without
+// tracking deltas.
+
+#ifndef SEED_INDEX_ATTRIBUTE_INDEX_H_
+#define SEED_INDEX_ATTRIBUTE_INDEX_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/value.h"
+
+namespace seed::index {
+
+/// Identifies what an index covers: the extent of `cls` (its whole
+/// generalization family when `include_specializations`, mirroring the
+/// query layer's ClassExtent default), keyed by the object's own value
+/// (`role` empty) or by the values of its sub-objects in `role`.
+struct IndexSpec {
+  ClassId cls;
+  std::string role;
+  bool include_specializations = true;
+
+  bool operator==(const IndexSpec&) const = default;
+  /// "Action.Description" / "Thing (exact)" style display name.
+  std::string ToString() const;
+};
+
+class AttributeIndex {
+ public:
+  explicit AttributeIndex(IndexSpec spec) : spec_(std::move(spec)) {}
+
+  const IndexSpec& spec() const { return spec_; }
+
+  /// Declares the complete key set of `id` (deduplicated internally);
+  /// diffs against the currently indexed keys and applies the change.
+  /// An empty `keys` removes the object entirely. Idempotent.
+  void Set(ObjectId id, const std::vector<core::Value>& keys);
+
+  /// Objects whose indexed attribute equals `key`, ascending. O(1) probe.
+  std::vector<ObjectId> Lookup(const core::Value& key) const;
+
+  /// Objects with a key in [lo, hi] (bounds optional per flag), ascending,
+  /// deduplicated. Callers bound the scan within one value type; the
+  /// cross-type ordering of Value::Less keeps each type contiguous.
+  std::vector<ObjectId> Range(const core::Value& lo, bool lo_inclusive,
+                              const core::Value& hi,
+                              bool hi_inclusive) const;
+
+  /// Distinct (key, object) pairs in key order; for tests and stats.
+  void ForEach(
+      const std::function<void(const core::Value&, ObjectId)>& fn) const;
+
+  void Clear();
+
+  size_t num_objects() const { return keys_of_.size(); }
+  size_t num_entries() const { return num_entries_; }
+  size_t num_distinct_keys() const { return ordered_.size(); }
+
+ private:
+  using Postings = std::map<core::Value, std::set<ObjectId>,
+                            core::Value::Less>;
+
+  void Insert(const core::Value& key, ObjectId id);
+  void Erase(const core::Value& key, ObjectId id);
+
+  IndexSpec spec_;
+  Postings ordered_;
+  /// Equality probe: value -> node in `ordered_` (std::map iterators are
+  /// stable under unrelated insert/erase). Keyed by Compare-equality so
+  /// hash and ordered storage agree on which keys coincide.
+  std::unordered_map<core::Value, Postings::iterator, core::Value::Hash,
+                     core::Value::CompareEqual>
+      hash_;
+  /// Inverted list: exactly the keys currently indexed per object.
+  std::unordered_map<ObjectId, std::vector<core::Value>> keys_of_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace seed::index
+
+#endif  // SEED_INDEX_ATTRIBUTE_INDEX_H_

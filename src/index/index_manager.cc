@@ -1,0 +1,188 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace seed::index {
+
+Status IndexManager::ValidateSpec(const schema::Schema& schema,
+                                  const IndexSpec& spec) {
+  SEED_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                        schema.GetClass(spec.cls));
+  if (!spec.role.empty()) {
+    auto dep = schema.ResolveSubObjectRole(spec.cls, spec.role);
+    if (!dep.ok()) {
+      return Status::InvalidArgument("cannot index '" + cls->full_name + "." +
+                                     spec.role + "': " +
+                                     std::string(dep.status().message()));
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexManager::CreateIndex(const schema::Schema& schema,
+                                 IndexSpec spec) {
+  SEED_RETURN_IF_ERROR(ValidateSpec(schema, spec));
+  for (const auto& idx : indexes_) {
+    if (idx->spec() == spec) {
+      return Status::AlreadyExists("index on " + spec.ToString() +
+                                   " already exists");
+    }
+  }
+  indexes_.push_back(std::make_unique<AttributeIndex>(std::move(spec)));
+  specs_dirty_ = true;
+  return Status::OK();
+}
+
+void IndexManager::BackfillIndex(const schema::Schema& schema,
+                                 const ObjectMap& objects,
+                                 const IndexSpec& spec) {
+  for (const auto& idx : indexes_) {
+    if (idx->spec() != spec) continue;
+    for (const auto& [id, obj] : objects) {
+      if (obj.deleted || obj.is_pattern) continue;
+      idx->Set(id, DesiredKeys(schema, objects, spec, id));
+    }
+    return;
+  }
+}
+
+size_t IndexManager::PruneInvalidSpecs(const schema::Schema& schema) {
+  size_t before = indexes_.size();
+  indexes_.erase(
+      std::remove_if(indexes_.begin(), indexes_.end(),
+                     [&schema](const std::unique_ptr<AttributeIndex>& idx) {
+                       return !ValidateSpec(schema, idx->spec()).ok();
+                     }),
+      indexes_.end());
+  size_t dropped = before - indexes_.size();
+  if (dropped != 0) specs_dirty_ = true;
+  return dropped;
+}
+
+Status IndexManager::DropIndex(ClassId cls, std::string_view role) {
+  size_t before = indexes_.size();
+  indexes_.erase(
+      std::remove_if(indexes_.begin(), indexes_.end(),
+                     [&](const std::unique_ptr<AttributeIndex>& idx) {
+                       return idx->spec().cls == cls &&
+                              idx->spec().role == role;
+                     }),
+      indexes_.end());
+  if (indexes_.size() == before) {
+    return Status::NotFound("no index on class#" + std::to_string(cls.raw()) +
+                            (role.empty() ? "" : "." + std::string(role)));
+  }
+  specs_dirty_ = true;
+  return Status::OK();
+}
+
+const AttributeIndex* IndexManager::Find(const IndexSpec& spec) const {
+  for (const auto& idx : indexes_) {
+    if (idx->spec() == spec) return idx.get();
+  }
+  return nullptr;
+}
+
+const AttributeIndex* IndexManager::BestFor(const schema::Schema& schema,
+                                            ClassId cls,
+                                            bool include_specializations,
+                                            std::string_view role) const {
+  const AttributeIndex* broader = nullptr;
+  for (const auto& idx : indexes_) {
+    const IndexSpec& spec = idx->spec();
+    if (spec.role != role) continue;
+    if (spec.cls == cls && spec.include_specializations ==
+                               include_specializations) {
+      return idx.get();  // exact: covers the query extent precisely
+    }
+    // A usable broader index covers a superset of the query extent: either
+    // a family index rooted at `cls` or at an ancestor of it, or an exact
+    // index when the query itself is exact on the same class.
+    bool covers =
+        spec.include_specializations
+            ? schema.IsSameOrSpecializationOf(cls, spec.cls)
+            : (!include_specializations && spec.cls == cls);
+    if (covers && broader == nullptr) broader = idx.get();
+  }
+  return broader;
+}
+
+std::vector<core::Value> IndexManager::DesiredKeys(
+    const schema::Schema& schema, const ObjectMap& objects,
+    const IndexSpec& spec, ObjectId id) {
+  auto it = objects.find(id);
+  if (it == objects.end()) return {};
+  const core::ObjectItem& obj = it->second;
+  if (obj.deleted || obj.is_pattern) return {};
+  bool covered = spec.include_specializations
+                     ? schema.IsSameOrSpecializationOf(obj.cls, spec.cls)
+                     : obj.cls == spec.cls;
+  if (!covered) return {};
+
+  std::vector<core::Value> keys;
+  if (spec.role.empty()) {
+    if (obj.value.defined()) keys.push_back(obj.value);
+    return keys;
+  }
+  // Sub-object role: one key per live child whose class name is the role
+  // (matching Database::SubObjects / Predicate::OnSubObject semantics);
+  // children with undefined values stay out, per the paper.
+  for (ObjectId child_id : obj.children) {
+    auto child_it = objects.find(child_id);
+    if (child_it == objects.end()) continue;
+    const core::ObjectItem& child = child_it->second;
+    if (child.deleted || !child.value.defined()) continue;
+    auto child_cls = schema.GetClass(child.cls);
+    if (!child_cls.ok() || (*child_cls)->name != spec.role) continue;
+    keys.push_back(child.value);
+  }
+  return keys;
+}
+
+void IndexManager::RefreshObject(const schema::Schema& schema,
+                                 const ObjectMap& objects, ObjectId id) {
+  for (const auto& idx : indexes_) {
+    idx->Set(id, DesiredKeys(schema, objects, idx->spec(), id));
+  }
+}
+
+void IndexManager::RefreshAll(const schema::Schema& schema,
+                              const ObjectMap& objects) {
+  ClearEntries();
+  for (const auto& [id, obj] : objects) {
+    if (!obj.deleted && !obj.is_pattern) RefreshObject(schema, objects, id);
+  }
+}
+
+void IndexManager::ClearEntries() {
+  for (const auto& idx : indexes_) idx->Clear();
+}
+
+void IndexManager::EncodeSpecs(Encoder* enc) const {
+  enc->PutVarint(indexes_.size());
+  for (const auto& idx : indexes_) {
+    const IndexSpec& spec = idx->spec();
+    enc->PutVarint(spec.cls.raw());
+    enc->PutString(spec.role);
+    enc->PutBool(spec.include_specializations);
+  }
+}
+
+Result<std::vector<IndexSpec>> IndexManager::DecodeSpecs(Decoder* dec) {
+  SEED_ASSIGN_OR_RETURN(std::uint64_t count, dec->GetVarint());
+  std::vector<IndexSpec> specs;
+  specs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexSpec spec;
+    SEED_ASSIGN_OR_RETURN(std::uint64_t cls_raw, dec->GetVarint());
+    spec.cls = ClassId(cls_raw);
+    SEED_ASSIGN_OR_RETURN(spec.role, dec->GetString());
+    SEED_ASSIGN_OR_RETURN(spec.include_specializations, dec->GetBool());
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace seed::index

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "query/planner.h"
 #include "query/predicate.h"
 #include "schema/types.h"
 
@@ -82,8 +83,9 @@ Predicate LiteralEquals(const Token& token) {
 
 class Parser {
  public:
-  Parser(const core::Database& db, std::vector<Token> tokens)
-      : db_(db), tokens_(std::move(tokens)) {}
+  Parser(const core::Database& db, std::vector<Token> tokens,
+         std::string* plan_out)
+      : db_(db), tokens_(std::move(tokens)), plan_out_(plan_out) {}
 
   Result<std::vector<ObjectId>> Run() {
     SEED_RETURN_IF_ERROR(Expect("find"));
@@ -112,11 +114,12 @@ class Parser {
                                      tokens_[pos_].text + "'");
     }
 
-    std::vector<ObjectId> out;
-    for (ObjectId id : db_.ObjectsOfClass(*cls, !exact)) {
-      if (pred.Eval(db_, id)) out.push_back(id);
-    }
-    return out;
+    // The planner rewrites this into an attribute-index probe when one
+    // matches; otherwise it runs the same extent scan as before.
+    Planner planner(&db_);
+    Planner::Plan plan = planner.PlanSelect(*cls, pred, !exact);
+    if (plan_out_ != nullptr) *plan_out_ = plan.ToString();
+    return planner.SelectIds(*cls, pred, !exact, &plan);
   }
 
  private:
@@ -178,16 +181,18 @@ class Parser {
 
   const core::Database& db_;
   std::vector<Token> tokens_;
+  std::string* plan_out_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
 Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
-                                       std::string_view text) {
+                                       std::string_view text,
+                                       std::string* plan_out) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens)).Run();
+  return Parser(db, std::move(tokens), plan_out).Run();
 }
 
 }  // namespace seed::query

@@ -34,9 +34,14 @@
 namespace seed::query {
 
 /// Parses and runs `text` against `db`; returns matching object ids,
-/// ascending. Undefined values match nothing, per the paper.
+/// ascending. Undefined values match nothing, per the paper. Queries
+/// execute through the planner: selective conditions use a matching
+/// attribute index when one exists, and fall back to the extent scan.
+/// When `plan_out` is non-null, the chosen access path ("scan",
+/// "index-equals(...)") is reported there (EXPLAIN-style).
 Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
-                                       std::string_view text);
+                                       std::string_view text,
+                                       std::string* plan_out = nullptr);
 
 }  // namespace seed::query
 

@@ -1,0 +1,214 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace seed::query {
+
+namespace {
+
+using Kind = PredicateShape::Kind;
+
+/// A sargable conjunct: an attribute (own value when `role` empty) probed
+/// by equality keys or by an integer range.
+struct Sarg {
+  std::string role;
+  bool is_range = false;
+  std::vector<core::Value> keys;  // equality probes
+  core::Value lo, hi;             // range bounds
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+};
+
+/// Flattens nested And shapes into a conjunct list.
+void CollectConjuncts(const PredicateShape* shape,
+                      std::vector<const PredicateShape*>* out) {
+  if (shape == nullptr) return;
+  if (shape->kind == Kind::kAnd) {
+    for (const auto& child : shape->children) {
+      CollectConjuncts(child.get(), out);
+    }
+    return;
+  }
+  out->push_back(shape);
+}
+
+/// True iff `shape` is an OR tree whose every leaf is ValueEquals;
+/// collects the leaf keys.
+bool CollectEqualityLeaves(const PredicateShape* shape,
+                           std::vector<core::Value>* keys) {
+  if (shape == nullptr) return false;
+  if (shape->kind == Kind::kValueEquals) {
+    keys->push_back(shape->value);
+    return true;
+  }
+  if (shape->kind == Kind::kOr) {
+    for (const auto& child : shape->children) {
+      if (!CollectEqualityLeaves(child.get(), keys)) return false;
+    }
+    return !shape->children.empty();
+  }
+  return false;
+}
+
+/// Extracts the sargable form of one conjunct on the attribute `role`
+/// (empty = the object's own value), if any.
+bool ExtractSarg(const PredicateShape* shape, std::string role, Sarg* out) {
+  std::vector<core::Value> keys;
+  if (CollectEqualityLeaves(shape, &keys)) {
+    out->role = std::move(role);
+    out->is_range = false;
+    out->keys = std::move(keys);
+    return true;
+  }
+  if (shape->kind == Kind::kIntLess || shape->kind == Kind::kIntGreater) {
+    out->role = std::move(role);
+    out->is_range = true;
+    if (shape->kind == Kind::kIntLess) {
+      out->lo = core::Value::Int(std::numeric_limits<std::int64_t>::min());
+      out->lo_inclusive = true;
+      out->hi = core::Value::Int(shape->bound);
+      out->hi_inclusive = false;
+    } else {
+      out->lo = core::Value::Int(shape->bound);
+      out->lo_inclusive = false;
+      out->hi = core::Value::Int(std::numeric_limits<std::int64_t>::max());
+      out->hi_inclusive = true;
+    }
+    return true;
+  }
+  // OnSubObject(role, inner): sargable when we are at the top level (role
+  // still empty) and the inner predicate is sargable on its own value.
+  if (shape->kind == Kind::kOnSubObject && role.empty() &&
+      !shape->children.empty()) {
+    return ExtractSarg(shape->children[0].get(), shape->text, out);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Planner::Plan::ToString() const {
+  switch (kind) {
+    case Kind::kFullScan:
+      return "scan";
+    case Kind::kIndexEquals:
+      return "index-equals(" + index->spec().ToString() + "), " +
+             std::to_string(keys.size()) + " key" +
+             (keys.size() == 1 ? "" : "s");
+    case Kind::kIndexRange:
+      return "index-range(" + index->spec().ToString() + "), " +
+             (lo_inclusive ? "[" : "(") + lo.ToString() + ", " +
+             hi.ToString() + (hi_inclusive ? "]" : ")");
+  }
+  return "?";
+}
+
+Planner::Plan Planner::PlanSelect(ClassId cls, const Predicate& p,
+                                  bool include_specializations) const {
+  Plan plan;
+  const index::IndexManager& manager = db_->attribute_indexes();
+  if (manager.empty() || p.shape() == nullptr) return plan;
+
+  std::vector<const PredicateShape*> conjuncts;
+  CollectConjuncts(p.shape(), &conjuncts);
+
+  std::vector<Sarg> sargs;
+  for (const PredicateShape* conjunct : conjuncts) {
+    Sarg sarg;
+    if (ExtractSarg(conjunct, "", &sarg)) sargs.push_back(std::move(sarg));
+  }
+  // Equality probes beat range scans; otherwise first come, first served.
+  std::stable_sort(sargs.begin(), sargs.end(),
+                   [](const Sarg& a, const Sarg& b) {
+                     return !a.is_range && b.is_range;
+                   });
+  for (Sarg& sarg : sargs) {
+    const index::AttributeIndex* idx = manager.BestFor(
+        *db_->schema(), cls, include_specializations, sarg.role);
+    if (idx == nullptr) continue;
+    plan.index = idx;
+    if (sarg.is_range) {
+      plan.kind = Plan::Kind::kIndexRange;
+      plan.lo = std::move(sarg.lo);
+      plan.hi = std::move(sarg.hi);
+      plan.lo_inclusive = sarg.lo_inclusive;
+      plan.hi_inclusive = sarg.hi_inclusive;
+    } else {
+      plan.kind = Plan::Kind::kIndexEquals;
+      plan.keys = std::move(sarg.keys);
+    }
+    return plan;
+  }
+  return plan;
+}
+
+std::vector<ObjectId> Planner::ExecuteIndexPlan(
+    const Plan& plan, ClassId cls, const Predicate& p,
+    bool include_specializations) const {
+  std::vector<ObjectId> candidates;
+  if (plan.kind == Plan::Kind::kIndexEquals) {
+    for (const core::Value& key : plan.keys) {
+      std::vector<ObjectId> hits = plan.index->Lookup(key);
+      candidates.insert(candidates.end(), hits.begin(), hits.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  } else {
+    candidates = plan.index->Range(plan.lo, plan.lo_inclusive, plan.hi,
+                                   plan.hi_inclusive);
+  }
+
+  // Residual: extent membership (the chosen index may cover a broader
+  // family than the query) and the full original predicate. Index
+  // candidates are few; re-evaluating keeps both paths semantically
+  // identical by construction.
+  const schema::Schema& schema = *db_->schema();
+  std::vector<ObjectId> out;
+  for (ObjectId id : candidates) {
+    auto obj = db_->GetObject(id);
+    if (!obj.ok()) continue;
+    bool in_extent = include_specializations
+                         ? schema.IsSameOrSpecializationOf((*obj)->cls, cls)
+                         : (*obj)->cls == cls;
+    if (in_extent && p.Eval(*db_, id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ObjectId> Planner::SelectIds(ClassId cls, const Predicate& p,
+                                         bool include_specializations,
+                                         const Plan* precomputed) const {
+  Plan plan = precomputed != nullptr
+                  ? *precomputed
+                  : PlanSelect(cls, p, include_specializations);
+  if (plan.uses_index()) {
+    return ExecuteIndexPlan(plan, cls, p, include_specializations);
+  }
+  std::vector<ObjectId> out;
+  for (ObjectId id : db_->ObjectsOfClass(cls, include_specializations)) {
+    if (p.Eval(*db_, id)) out.push_back(id);
+  }
+  return out;
+}
+
+Result<QueryRelation> Planner::SelectFromClass(
+    ClassId cls, std::string attribute, const Predicate& p,
+    bool include_specializations) const {
+  Plan plan = PlanSelect(cls, p, include_specializations);
+  if (!plan.uses_index()) {
+    QueryRelation extent =
+        algebra_.ClassExtent(cls, attribute, include_specializations);
+    return algebra_.Select(extent, attribute, p);
+  }
+  QueryRelation out;
+  out.attributes = {std::move(attribute)};
+  for (ObjectId id :
+       ExecuteIndexPlan(plan, cls, p, include_specializations)) {
+    out.tuples.push_back({id});
+  }
+  return out;
+}
+
+}  // namespace seed::query

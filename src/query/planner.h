@@ -1,0 +1,81 @@
+// Planner: rewrites Select-over-ClassExtent queries into secondary-index
+// probes when the database has a matching attribute index.
+//
+// The planner inspects the predicate's shape tree for *sargable* conjuncts
+// — equality on the object's own value, integer range comparisons, an OR
+// of equalities, or any of these behind OnSubObject(role, ...) — and asks
+// the IndexManager for an index covering the queried extent on that
+// attribute. When one exists, the query runs as an index lookup/range scan
+// plus a residual filter; otherwise it falls back to the algebra's full
+// extent scan. The residual filter re-evaluates the complete original
+// predicate (and extent membership) on every candidate, so the rewrite is
+// an optimization only: results are identical to the scan path, including
+// the paper's vague-value semantics — undefined values are absent from
+// indexes and match nothing in scans.
+
+#ifndef SEED_QUERY_PLANNER_H_
+#define SEED_QUERY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "index/attribute_index.h"
+#include "query/algebra.h"
+#include "query/predicate.h"
+
+namespace seed::query {
+
+class Planner {
+ public:
+  /// The access path chosen for a Select(ClassExtent(cls), p) pair.
+  struct Plan {
+    enum class Kind { kFullScan, kIndexEquals, kIndexRange };
+
+    Kind kind = Kind::kFullScan;
+    const index::AttributeIndex* index = nullptr;  // set for index plans
+    /// Probe keys for kIndexEquals (one per OR-of-equalities branch).
+    std::vector<core::Value> keys;
+    /// Bounds for kIndexRange.
+    core::Value lo, hi;
+    bool lo_inclusive = true;
+    bool hi_inclusive = true;
+
+    bool uses_index() const { return kind != Kind::kFullScan; }
+    /// "scan" / "index-equals(Action.Description), 2 keys" — for tests,
+    /// EXPLAIN-style tooling and logs.
+    std::string ToString() const;
+  };
+
+  explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
+
+  /// Chooses the access path for Select(ClassExtent(cls, _), _, p).
+  Plan PlanSelect(ClassId cls, const Predicate& p,
+                  bool include_specializations = true) const;
+
+  /// Runs Select(ClassExtent(cls, attribute), attribute, p) through the
+  /// chosen plan. Result is identical to the scan path.
+  Result<QueryRelation> SelectFromClass(
+      ClassId cls, std::string attribute, const Predicate& p,
+      bool include_specializations = true) const;
+
+  /// Same, as a plain ascending id list (what the textual query layer
+  /// returns). Pass a precomputed `plan` (e.g. from an EXPLAIN display)
+  /// to avoid planning twice.
+  std::vector<ObjectId> SelectIds(ClassId cls, const Predicate& p,
+                                  bool include_specializations = true,
+                                  const Plan* plan = nullptr) const;
+
+ private:
+  std::vector<ObjectId> ExecuteIndexPlan(const Plan& plan, ClassId cls,
+                                         const Predicate& p,
+                                         bool include_specializations) const;
+
+  const core::Database* db_;
+  Algebra algebra_;
+};
+
+}  // namespace seed::query
+
+#endif  // SEED_QUERY_PLANNER_H_

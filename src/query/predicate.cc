@@ -13,61 +13,99 @@ const ObjectItem* Live(const Database& db, ObjectId id) {
   return obj.ok() ? *obj : nullptr;
 }
 
+PredicateShapePtr MakeShape(PredicateShape::Kind kind) {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = kind;
+  return shape;
+}
+
 }  // namespace
 
 Predicate Predicate::True() { return Predicate(); }
 
 Predicate Predicate::HasValue() {
-  return Predicate([](const Database& db, ObjectId id) {
-    const ObjectItem* obj = Live(db, id);
-    return obj != nullptr && obj->value.defined();
-  });
+  return Predicate(
+      [](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->value.defined();
+      },
+      MakeShape(PredicateShape::Kind::kHasValue));
 }
 
 Predicate Predicate::ValueEquals(core::Value v) {
-  return Predicate([v = std::move(v)](const Database& db, ObjectId id) {
-    const ObjectItem* obj = Live(db, id);
-    return obj != nullptr && obj->value.defined() && obj->value == v;
-  });
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kValueEquals;
+  shape->value = v;
+  return Predicate(
+      [v = std::move(v)](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->value.defined() && obj->value == v;
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::ValueContains(std::string needle) {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kValueContains;
+  shape->text = needle;
   return Predicate(
       [needle = std::move(needle)](const Database& db, ObjectId id) {
         const ObjectItem* obj = Live(db, id);
         return obj != nullptr && obj->value.is_string() &&
                obj->value.as_string().find(needle) != std::string::npos;
-      });
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::IntLess(std::int64_t v) {
-  return Predicate([v](const Database& db, ObjectId id) {
-    const ObjectItem* obj = Live(db, id);
-    return obj != nullptr && obj->value.is_int() && obj->value.as_int() < v;
-  });
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kIntLess;
+  shape->bound = v;
+  return Predicate(
+      [v](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->value.is_int() &&
+               obj->value.as_int() < v;
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::IntGreater(std::int64_t v) {
-  return Predicate([v](const Database& db, ObjectId id) {
-    const ObjectItem* obj = Live(db, id);
-    return obj != nullptr && obj->value.is_int() && obj->value.as_int() > v;
-  });
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kIntGreater;
+  shape->bound = v;
+  return Predicate(
+      [v](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->value.is_int() &&
+               obj->value.as_int() > v;
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::NameIs(std::string name) {
-  return Predicate([name = std::move(name)](const Database& db, ObjectId id) {
-    const ObjectItem* obj = Live(db, id);
-    return obj != nullptr && obj->is_independent() && obj->name == name;
-  });
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kNameIs;
+  shape->text = name;
+  return Predicate(
+      [name = std::move(name)](const Database& db, ObjectId id) {
+        const ObjectItem* obj = Live(db, id);
+        return obj != nullptr && obj->is_independent() && obj->name == name;
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::NameContains(std::string needle) {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kNameContains;
+  shape->text = needle;
   return Predicate(
       [needle = std::move(needle)](const Database& db, ObjectId id) {
         const ObjectItem* obj = Live(db, id);
         return obj != nullptr && obj->is_independent() &&
                obj->name.find(needle) != std::string::npos;
-      });
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::OfClass(ClassId cls, bool include_specializations) {
@@ -77,10 +115,15 @@ Predicate Predicate::OfClass(ClassId cls, bool include_specializations) {
         if (obj == nullptr) return false;
         if (!include_specializations) return obj->cls == cls;
         return db.schema()->IsSameOrSpecializationOf(obj->cls, cls);
-      });
+      },
+      MakeShape(PredicateShape::Kind::kOfClass));
 }
 
 Predicate Predicate::OnSubObject(std::string role, Predicate p) {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kOnSubObject;
+  shape->text = role;
+  shape->children.push_back(p.ShapeOrOpaque());
   return Predicate(
       [role = std::move(role), p = std::move(p)](const Database& db,
                                                  ObjectId id) {
@@ -88,27 +131,44 @@ Predicate Predicate::OnSubObject(std::string role, Predicate p) {
           if (p.Eval(db, sub)) return true;
         }
         return false;  // missing (undefined) sub-object matches nothing
-      });
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::And(Predicate other) const {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kAnd;
+  shape->children = {ShapeOrOpaque(), other.ShapeOrOpaque()};
   return Predicate(
       [a = *this, b = std::move(other)](const Database& db, ObjectId id) {
         return a.Eval(db, id) && b.Eval(db, id);
-      });
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::Or(Predicate other) const {
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kOr;
+  shape->children = {ShapeOrOpaque(), other.ShapeOrOpaque()};
   return Predicate(
       [a = *this, b = std::move(other)](const Database& db, ObjectId id) {
         return a.Eval(db, id) || b.Eval(db, id);
-      });
+      },
+      std::move(shape));
 }
 
 Predicate Predicate::Not() const {
-  return Predicate([a = *this](const Database& db, ObjectId id) {
-    return !a.Eval(db, id);
-  });
+  auto shape = std::make_shared<PredicateShape>();
+  shape->kind = PredicateShape::Kind::kNot;
+  shape->children = {ShapeOrOpaque()};
+  return Predicate(
+      [a = *this](const Database& db, ObjectId id) { return !a.Eval(db, id); },
+      std::move(shape));
+}
+
+PredicateShapePtr Predicate::ShapeOrOpaque() const {
+  if (shape_ != nullptr) return shape_;
+  return MakeShape(PredicateShape::Kind::kOpaque);
 }
 
 }  // namespace seed::query

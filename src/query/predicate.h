@@ -2,6 +2,15 @@
 // "When the database is searched for data that meet certain selection
 // criteria, an undefined object matches nothing." Every value-inspecting
 // predicate therefore evaluates to false on objects without a value.
+//
+// Predicates built from the static atoms and combinators carry a *shape*
+// tree describing their structure; the query planner inspects shapes to
+// rewrite extent scans into attribute-index lookups. A predicate built
+// from a raw function is opaque (kOpaque): alone it forces a scan, but
+// combinators keep it as an opaque node in the tree, so a conjunction
+// with a sargable atom still plans an index probe. The shape is advisory
+// for planning, never for semantics: the planner re-evaluates the full
+// predicate on every index candidate.
 
 #ifndef SEED_QUERY_PREDICATE_H_
 #define SEED_QUERY_PREDICATE_H_
@@ -9,21 +18,59 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 
 namespace seed::query {
 
+struct PredicateShape;
+using PredicateShapePtr = std::shared_ptr<const PredicateShape>;
+
+/// Structural description of a predicate, for the planner.
+struct PredicateShape {
+  enum class Kind {
+    kOpaque,  // user function; nothing is known
+    kTrue,
+    kHasValue,
+    kValueEquals,    // value: the compared constant
+    kValueContains,  // text: the needle
+    kIntLess,        // bound
+    kIntGreater,     // bound
+    kNameIs,         // text
+    kNameContains,   // text
+    kOfClass,
+    kOnSubObject,  // text: role; children[0]: inner predicate
+    kAnd,          // children
+    kOr,           // children
+    kNot,          // children[0]
+  };
+
+  Kind kind = Kind::kOpaque;
+  core::Value value;
+  std::int64_t bound = 0;
+  std::string text;
+  std::vector<PredicateShapePtr> children;
+};
+
 class Predicate {
  public:
   using Fn = std::function<bool(const core::Database&, ObjectId)>;
 
-  Predicate() : fn_([](const core::Database&, ObjectId) { return true; }) {}
+  Predicate() : fn_([](const core::Database&, ObjectId) { return true; }) {
+    auto shape = std::make_shared<PredicateShape>();
+    shape->kind = PredicateShape::Kind::kTrue;
+    shape_ = std::move(shape);
+  }
+  /// Opaque predicate from a raw function (planner falls back to scans).
   explicit Predicate(Fn fn) : fn_(std::move(fn)) {}
 
   bool Eval(const core::Database& db, ObjectId obj) const {
     return fn_(db, obj);
   }
+
+  /// The shape tree, or nullptr for opaque predicates.
+  const PredicateShape* shape() const { return shape_.get(); }
 
   // --- Atoms -----------------------------------------------------------------
 
@@ -54,7 +101,17 @@ class Predicate {
   Predicate Not() const;
 
  private:
+  Predicate(Fn fn, PredicateShapePtr shape)
+      : fn_(std::move(fn)), shape_(std::move(shape)) {}
+
+  /// This predicate's shape, or a kOpaque node when none exists, so
+  /// combinators keep the tree: And(sargable, opaque) still plans an
+  /// index probe on the sargable conjunct (the residual re-eval covers
+  /// the opaque part).
+  PredicateShapePtr ShapeOrOpaque() const;
+
   Fn fn_;
+  PredicateShapePtr shape_;
 };
 
 }  // namespace seed::query

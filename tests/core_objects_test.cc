@@ -293,5 +293,63 @@ TEST(ValueTest, DecodeRejectsBadTag) {
   EXPECT_TRUE(Value::Decode(&dec).status().IsCorruption());
 }
 
+TEST(ValueTest, CompareOrdersWithinAndAcrossTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(2).Compare(Value::Int(-5)), 0);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value().Compare(Value::Int(0)), 0);  // undefined sorts first
+  EXPECT_LT(Value::OfDate(*schema::Date::Parse("1986-02-05"))
+                .Compare(Value::OfDate(*schema::Date::Parse("1986-03-01"))),
+            0);
+  // Cross-type comparisons are deterministic and antisymmetric.
+  int c = Value::String("z").Compare(Value::Int(0));
+  EXPECT_NE(c, 0);
+  EXPECT_EQ(Value::Int(0).Compare(Value::String("z")), -c);
+  // Hash agrees with equality on typed values.
+  Value::Hash h;
+  EXPECT_EQ(h(Value::Int(7)), h(Value::Int(7)));
+  EXPECT_NE(h(Value::Enum("x")), h(Value::String("x")));
+}
+
+// Regression test for the (class, index)-keyed child lookup: dotted-path
+// resolution used to probe every child linearly; deep paths with many
+// siblings must resolve correctly (and deletions must not leave stale
+// entries behind).
+TEST_F(Fig2DatabaseTest, DeepSubObjectPathsResolveAfterMutations) {
+  ObjectId doc = *db_->CreateObject(ids_.data, "Doc");
+  std::vector<ObjectId> texts, keyword_holders;
+  for (int t = 0; t < 16; ++t) {
+    ObjectId text = *db_->CreateSubObject(doc, "Text");
+    texts.push_back(text);
+    ObjectId body = *db_->CreateSubObject(text, "Body");
+    for (int k = 0; k < 8; ++k) {
+      keyword_holders.push_back(*db_->CreateSubObject(body, "Keywords"));
+    }
+  }
+  // Every deep path resolves to the right object.
+  for (int t = 0; t < 16; ++t) {
+    for (int k = 0; k < 8; ++k) {
+      std::string path = "Doc.Text[" + std::to_string(t) + "].Body.Keywords[" +
+                         std::to_string(k) + "]";
+      auto found = db_->FindObjectByName(path);
+      ASSERT_TRUE(found.ok()) << path;
+      EXPECT_EQ(*found, keyword_holders[t * 8 + k]) << path;
+    }
+  }
+  // Deleting one subtree removes exactly its paths.
+  ASSERT_TRUE(db_->DeleteObject(texts[5]).ok());
+  EXPECT_TRUE(
+      db_->FindObjectByName("Doc.Text[5].Body.Keywords[0]").status()
+          .IsNotFound());
+  auto still = db_->FindObjectByName("Doc.Text[6].Body.Keywords[7]");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(*still, keyword_holders[6 * 8 + 7]);
+  // A new Text gets a fresh index past the deleted one and resolves too.
+  ObjectId fresh = *db_->CreateSubObject(doc, "Text");
+  auto fresh_found = db_->FindObjectByName("Doc.Text[16]");
+  ASSERT_TRUE(fresh_found.ok());
+  EXPECT_EQ(*fresh_found, fresh);
+}
+
 }  // namespace
 }  // namespace seed::core
