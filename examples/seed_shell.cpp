@@ -8,14 +8,15 @@
 //   seed> link Access Alarms Sensor
 //   seed> check
 //
-// Commands: help, find <Class> [exact] [where ...], explain find ...,
-// schema, show [path], create <Class> <Name>, sub <path> <role>,
-// set <path> <value>, link <Assoc> <path0> <path1>, refine <path> <Class>,
-// refinerel <Assoc> <path0> <path1> <NewAssoc>, rels <path>,
-// delete <path>, rename <path> <new>, check [path], audit, version [id],
-// versions, select <id>, history <path>, index <Class> [role],
-// unindex <Class> [role], indexes, save <dir>, load <dir>, stats,
-// dot [schema], quit.
+// Commands: help, find <Class> [exact] [where ...], find rel <Assoc>
+// [exact] [where ...], explain find ... (prints the chosen plan with
+// estimated vs. actual rows), schema, show [path], create <Class> <Name>,
+// sub <path> <role>, set <path> <value>, link <Assoc> <path0> <path1>,
+// refine <path> <Class>, refinerel <Assoc> <path0> <path1> <NewAssoc>,
+// rels <path>, delete <path>, rename <path> <new>, check [path], audit,
+// version [id], versions, select <id>, history <path>,
+// index <Class> [role] / index rel <Assoc> <role>, unindex likewise,
+// indexes, save <dir>, load <dir>, stats, dot [schema], quit.
 
 #include <cstdio>
 #include <iostream>
@@ -155,14 +156,15 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "find <Class> [exact] [where ...] | explain find ... | "
-          "schema | show [path]\ncreate <Class> <Name> | sub <path> <role>"
+          "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
+          "[where ...]\nexplain find ... | schema | show [path]\ncreate "
+          "<Class> <Name> | sub <path> <role>"
           " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "
           "<Class>\nrefinerel <Assoc> <p0> <p1> <NewAssoc> | rels <path> | "
           "delete <path>\nrename <path> <new> | check [path] | audit | "
           "version [id] | versions\nselect <id> | history <path> | "
-          "index <Class> [role] | unindex <Class> [role]\nindexes | save "
-          "<dir> | load <dir> | stats | dot [schema] | quit\n");
+          "index [rel] <Class|Assoc> [role] | unindex likewise\nindexes | "
+          "save <dir> | load <dir> | stats | dot [schema] | quit\n");
       return true;
     }
     if (cmd == "find" || (cmd == "explain" && tokens.size() >= 2)) {
@@ -176,17 +178,48 @@ class Shell {
         }
         query.remove_prefix(at);
       }
-      auto result = seed::query::RunQuery(*db_, query, &plan);
-      if (!result.ok()) {
-        Print(result.status());
+      size_t rel_at = cmd == "explain" ? 2 : 1;
+      bool rel_query = rel_at < tokens.size() && tokens[rel_at] == "rel";
+      size_t matches = 0;
+      if (rel_query) {
+        auto result = seed::query::RunRelationshipQuery(*db_, query, &plan);
+        if (!result.ok()) {
+          Print(result.status());
+          return true;
+        }
+        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        for (seed::RelationshipId id : *result) {
+          std::printf("%s\n",
+                      Printer::RenderRelationship(*db_, id).c_str());
+        }
+        matches = result->size();
+      } else {
+        auto result = seed::query::RunQuery(*db_, query, &plan);
+        if (!result.ok()) {
+          Print(result.status());
+          return true;
+        }
+        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        for (seed::ObjectId id : *result) {
+          std::printf("%s\n", db_->FullName(id).c_str());
+        }
+        matches = result->size();
+      }
+      std::printf("(%zu match%s)\n", matches, matches == 1 ? "" : "es");
+      return true;
+    }
+    if (cmd == "index" && tokens.size() >= 2 && tokens[1] == "rel") {
+      if (tokens.size() != 4) {
+        std::printf("usage: index rel <Assoc> <role>\n");
         return true;
       }
-      if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
-      for (seed::ObjectId id : *result) {
-        std::printf("%s\n", db_->FullName(id).c_str());
+      auto assoc = db_->schema()->FindAssociation(tokens[2]);
+      if (!assoc.ok()) {
+        Print(assoc.status());
+        return true;
       }
-      std::printf("(%zu match%s)\n", result->size(),
-                  result->size() == 1 ? "" : "es");
+      Print(db_->CreateAttributeIndex(
+          seed::index::IndexSpec::ForAssociation(*assoc, tokens[3])));
       return true;
     }
     if (cmd == "index" && (tokens.size() == 2 || tokens.size() == 3)) {
@@ -199,6 +232,20 @@ class Shell {
       spec.cls = *cls;
       if (tokens.size() == 3) spec.role = tokens[2];
       Print(db_->CreateAttributeIndex(std::move(spec)));
+      return true;
+    }
+    if (cmd == "unindex" && tokens.size() >= 2 && tokens[1] == "rel") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        std::printf("usage: unindex rel <Assoc> [role]\n");
+        return true;
+      }
+      auto assoc = db_->schema()->FindAssociation(tokens[2]);
+      if (!assoc.ok()) {
+        Print(assoc.status());
+        return true;
+      }
+      Print(db_->DropAttributeIndex(
+          *assoc, tokens.size() == 4 ? tokens[3] : std::string_view{}));
       return true;
     }
     if (cmd == "unindex" && (tokens.size() == 2 || tokens.size() == 3)) {
@@ -214,13 +261,21 @@ class Shell {
     if (cmd == "indexes") {
       for (const auto& idx : db_->attribute_indexes().indexes()) {
         const auto& spec = idx->spec();
-        auto cls = db_->schema()->GetClass(spec.cls);
-        std::printf("%s%s%s%s: %zu object%s, %zu distinct key%s\n",
-                    cls.ok() ? (*cls)->name.c_str() : "?",
+        std::string extent;
+        if (spec.on_relationships()) {
+          auto assoc = db_->schema()->GetAssociation(spec.assoc);
+          extent = std::string("rel ") +
+                   (assoc.ok() ? (*assoc)->name.c_str() : "?");
+        } else {
+          auto cls = db_->schema()->GetClass(spec.cls);
+          extent = cls.ok() ? (*cls)->name : "?";
+        }
+        std::printf("%s%s%s%s: %zu entr%s, %zu distinct key%s\n",
+                    extent.c_str(),
                     spec.role.empty() ? "" : ".",
                     spec.role.c_str(),
                     spec.include_specializations ? "" : " (exact)",
-                    idx->num_objects(), idx->num_objects() == 1 ? "" : "s",
+                    idx->num_entries(), idx->num_entries() == 1 ? "y" : "ies",
                     idx->num_distinct_keys(),
                     idx->num_distinct_keys() == 1 ? "" : "s");
       }
@@ -234,6 +289,22 @@ class Shell {
     }
     if (cmd == "stats") {
       std::printf("%s", seed::core::CollectStats(*db_).ToString().c_str());
+      // Planner statistics: what the cost model reads — incrementally
+      // maintained extent counters and per-index cardinalities.
+      const auto& manager = db_->attribute_indexes();
+      if (!manager.empty()) {
+        std::printf("planner statistics:\n");
+        for (const auto& idx : manager.indexes()) {
+          double avg = idx->num_distinct_keys() == 0
+                           ? 0.0
+                           : static_cast<double>(idx->num_entries()) /
+                                 static_cast<double>(idx->num_distinct_keys());
+          std::printf("  %s: %zu entries, %zu distinct keys, "
+                      "%.1f rows/key\n",
+                      idx->spec().ToString().c_str(), idx->num_entries(),
+                      idx->num_distinct_keys(), avg);
+        }
+      }
       return true;
     }
     if (cmd == "dot") {

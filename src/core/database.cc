@@ -59,6 +59,7 @@ void Database::IndexObject(const ObjectItem& obj) {
     children_by_key_[obj.parent_object][{obj.cls.raw(), obj.index}] = obj.id;
   }
   by_class_[obj.cls].push_back(obj.id);
+  if (!obj.is_pattern) extent_counters_.AddObject(obj.cls);
   ++live_objects_;
 }
 
@@ -79,6 +80,7 @@ void Database::UnindexObject(const ObjectItem& obj) {
     }
   }
   EraseFrom(by_class_[obj.cls], obj.id);
+  if (!obj.is_pattern) extent_counters_.RemoveObject(obj.cls);
   --live_objects_;
 }
 
@@ -97,6 +99,7 @@ void Database::IndexRelationship(const RelationshipItem& rel) {
   if (rel.ends[1] != rel.ends[0]) {
     rels_by_object_[rel.ends[1]].push_back(rel.id);
   }
+  if (!rel.is_pattern) extent_counters_.AddRelationship(rel.assoc);
   ++live_relationships_;
 }
 
@@ -106,6 +109,7 @@ void Database::UnindexRelationship(const RelationshipItem& rel) {
   if (rel.ends[1] != rel.ends[0]) {
     EraseFrom(rels_by_object_[rel.ends[1]], rel.id);
   }
+  if (!rel.is_pattern) extent_counters_.RemoveRelationship(rel.assoc);
   --live_relationships_;
 }
 
@@ -116,6 +120,7 @@ void Database::RebuildIndexes() {
   by_assoc_.clear();
   rels_by_object_.clear();
   children_by_key_.clear();
+  extent_counters_.Clear();
   live_objects_ = 0;
   live_relationships_ = 0;
   for (const auto& [id, obj] : objects_) {
@@ -126,7 +131,7 @@ void Database::RebuildIndexes() {
     if (!rel.deleted) IndexRelationship(rel);
     relationship_ids_.ReserveThrough(id);
   }
-  attr_indexes_.RefreshAll(*schema_, objects_);
+  attr_indexes_.RefreshAll(*schema_, objects_, relationships_);
 }
 
 void Database::ClearContents() {
@@ -141,6 +146,7 @@ void Database::ClearContents() {
   changed_objects_.clear();
   changed_relationships_.clear();
   attr_indexes_.ClearEntries();
+  extent_counters_.Clear();
   live_objects_ = 0;
   live_relationships_ = 0;
 }
@@ -163,12 +169,17 @@ void Database::RestoreRelationship(RelationshipItem item) {
 
 Status Database::CreateAttributeIndex(index::IndexSpec spec) {
   SEED_RETURN_IF_ERROR(attr_indexes_.CreateIndex(*schema_, spec));
-  attr_indexes_.BackfillIndex(*schema_, objects_, spec);
+  attr_indexes_.BackfillIndex(*schema_, objects_, relationships_, spec);
   return Status::OK();
 }
 
 Status Database::DropAttributeIndex(ClassId cls, std::string_view role) {
   return attr_indexes_.DropIndex(cls, role);
+}
+
+Status Database::DropAttributeIndex(AssociationId assoc,
+                                    std::string_view role) {
+  return attr_indexes_.DropIndex(assoc, role);
 }
 
 void Database::RefreshAttrIndexes(ObjectId id) {
@@ -185,11 +196,20 @@ void Database::RefreshAttrIndexesWithParent(ObjectId id) {
 void Database::RefreshAttrIndexParentOf(ObjectId id) {
   if (attr_indexes_.empty()) return;
   auto it = objects_.find(id);
-  if (it != objects_.end() &&
-      it->second.parent_kind == ParentKind::kObject) {
+  if (it == objects_.end()) return;
+  if (it->second.parent_kind == ParentKind::kObject) {
     attr_indexes_.RefreshObject(*schema_, objects_,
                                 it->second.parent_object);
+  } else if (it->second.parent_kind == ParentKind::kRelationship) {
+    // Relationship attribute: the owning relationship's index entries
+    // derive from this sub-object's value.
+    RefreshRelAttrIndexes(it->second.parent_relationship);
   }
+}
+
+void Database::RefreshRelAttrIndexes(RelationshipId id) {
+  if (!attr_indexes_.has_relationship_indexes()) return;
+  attr_indexes_.RefreshRelationship(*schema_, objects_, relationships_, id);
 }
 
 // --- Object creation -----------------------------------------------------------
@@ -467,6 +487,7 @@ Status Database::DeleteObject(ObjectId root_id) {
   }
   // Every deleted object's parent is inside the closure except the root's.
   for (ObjectId oid : objs) RefreshAttrIndexes(oid);
+  for (RelationshipId rid : rels) RefreshRelAttrIndexes(rid);
   RefreshAttrIndexParentOf(root_id);
   bool was_pattern = objects_.at(root_id).is_pattern;
   if (!was_pattern) {
@@ -485,6 +506,7 @@ Status Database::DeleteObject(ObjectId root_id) {
         IndexRelationship(rel);
       }
       for (ObjectId oid : objs) RefreshAttrIndexes(oid);
+      for (RelationshipId rid : rels) RefreshRelAttrIndexes(rid);
       RefreshAttrIndexParentOf(root_id);
       return veto;
     }
@@ -518,6 +540,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
   UnindexRelationship(*rel);
   rel->deleted = true;
   Touch(rel_id);
+  RefreshRelAttrIndexes(rel_id);
 
   if (!rel->is_pattern) {
     UpdateEvent event{UpdateKind::kDeleteRelationship, this, ObjectId(),
@@ -532,6 +555,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
         IndexObject(obj);
       }
       for (ObjectId oid : objs) RefreshAttrIndexes(oid);
+      RefreshRelAttrIndexes(rel_id);
       return veto;
     }
   }
@@ -614,6 +638,10 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
   EraseFrom(by_class_[old_cls], obj_id);
   obj->cls = new_cls;
   by_class_[new_cls].push_back(obj_id);
+  if (!obj->is_pattern) {
+    extent_counters_.RemoveObject(old_cls);
+    extent_counters_.AddObject(new_cls);
+  }
   Touch(obj_id);
   // Migrates attribute-index entries between class extents: the refresh
   // clears the object from indexes that no longer cover its class and
@@ -628,6 +656,8 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
       EraseFrom(by_class_[new_cls], obj_id);
       obj->cls = old_cls;
       by_class_[old_cls].push_back(obj_id);
+      extent_counters_.RemoveObject(new_cls);
+      extent_counters_.AddObject(old_cls);
       RefreshAttrIndexes(obj_id);
       return veto;
     }
@@ -796,7 +826,13 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
   EraseFrom(by_assoc_[old_assoc], rel_id);
   rel->assoc = new_assoc_id;
   by_assoc_[new_assoc_id].push_back(rel_id);
+  if (!rel->is_pattern) {
+    extent_counters_.RemoveRelationship(old_assoc);
+    extent_counters_.AddRelationship(new_assoc_id);
+  }
   Touch(rel_id);
+  // Migrates relationship-index entries between association extents.
+  RefreshRelAttrIndexes(rel_id);
 
   if (!rel->is_pattern) {
     UpdateEvent event{UpdateKind::kReclassifyRelationship, this, ObjectId(),
@@ -806,6 +842,9 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
       EraseFrom(by_assoc_[new_assoc_id], rel_id);
       rel->assoc = old_assoc;
       by_assoc_[old_assoc].push_back(rel_id);
+      extent_counters_.RemoveRelationship(new_assoc_id);
+      extent_counters_.AddRelationship(old_assoc);
+      RefreshRelAttrIndexes(rel_id);
       return veto;
     }
   }
@@ -855,7 +894,7 @@ Status Database::MigrateToSchema(schema::SchemaPtr new_schema) {
   // otherwise make every future Load() fail), then re-derive coverage —
   // generalization families may have changed.
   attr_indexes_.PruneInvalidSpecs(*schema_);
-  attr_indexes_.RefreshAll(*schema_, objects_);
+  attr_indexes_.RefreshAll(*schema_, objects_, relationships_);
   return Status::OK();
 }
 

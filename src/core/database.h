@@ -28,6 +28,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "core/extent_counters.h"
 #include "core/items.h"
 #include "core/value.h"
 #include "core/violation.h"
@@ -188,19 +189,32 @@ class Database {
 
   /// Creates a secondary index over the extent of `spec.cls` keyed by the
   /// objects' own values (`spec.role` empty) or by the values of their
-  /// sub-objects in `spec.role`; backfills from current contents. The
-  /// index is maintained incrementally through every mutation path
-  /// (create, update, delete, reclassify, restore) and survives
-  /// save/load. Undefined values are never indexed.
+  /// sub-objects in `spec.role` — or, when `spec.assoc` is set, over the
+  /// relationships of the association keyed by their attribute sub-objects
+  /// in `spec.role` (paper Fig. 3: `Write.NumberOfWrites`). Backfills from
+  /// current contents. The index is maintained incrementally through every
+  /// mutation path (create, update, delete, reclassify, restore) and
+  /// survives save/load. Undefined values are never indexed.
   Status CreateAttributeIndex(index::IndexSpec spec);
 
-  /// Drops every attribute index on (cls, role).
+  /// Drops every attribute index on exactly (cls, role); an empty `role`
+  /// names the own-value index (it is a key, not a wildcard — role-keyed
+  /// indexes on the class survive).
   Status DropAttributeIndex(ClassId cls, std::string_view role = {});
+  /// Drops every relationship-extent index on (assoc, role). Unlike the
+  /// class overload, an empty `role` is a wildcard dropping all of the
+  /// association's indexes — relationship indexes always carry a role, so
+  /// an own-value reading would never match anything.
+  Status DropAttributeIndex(AssociationId assoc, std::string_view role = {});
 
   /// Read access for the query planner and for stats.
   const index::IndexManager& attribute_indexes() const {
     return attr_indexes_;
   }
+
+  /// Incrementally maintained live-population counts per class extent and
+  /// association extent — the planner's cost-model input.
+  const ExtentCounters& extent_counters() const { return extent_counters_; }
 
   /// Trusted mutable access (persistence restores the spec catalog, then
   /// RebuildIndexes() re-derives the entries).
@@ -330,13 +344,16 @@ class Database {
   void Touch(ObjectId id) { changed_objects_.insert(id); }
   void Touch(RelationshipId id) { changed_relationships_.insert(id); }
   /// Re-derives the attribute-index entries of `id` (post-mutation hook;
-  /// idempotent). The WithParent variant also refreshes the owning object
+  /// idempotent). The WithParent variant also refreshes the owning parent
   /// when `id` is a dependent sub-object, since the parent's role-keyed
   /// entries derive from its children's values; ParentOf refreshes only
-  /// that owner.
+  /// that owner — the owning object, or the owning *relationship* when the
+  /// sub-object is a relationship attribute. RefreshRelAttrIndexes is the
+  /// relationship-extent hook (create/delete/reclassify/rollback paths).
   void RefreshAttrIndexes(ObjectId id);
   void RefreshAttrIndexesWithParent(ObjectId id);
   void RefreshAttrIndexParentOf(ObjectId id);
+  void RefreshRelAttrIndexes(RelationshipId id);
 
   ObjectItem* MutableObject(ObjectId id);
   RelationshipItem* MutableRelationship(RelationshipId id);
@@ -388,6 +405,11 @@ class Database {
   /// User-defined secondary attribute indexes (maintained through every
   /// mutation path; definitions persist, entries are derived data).
   index::IndexManager attr_indexes_;
+
+  /// Live-population statistics per exact class / association, maintained
+  /// from the same Index/Unindex hooks as the maps above; rebuilt whenever
+  /// they are (RebuildIndexes).
+  ExtentCounters extent_counters_;
 
   std::unordered_map<ClassId, std::vector<AttachedProcedure>>
       class_procedures_;

@@ -1,0 +1,52 @@
+#include "core/extent_counters.h"
+
+namespace seed::core {
+
+void ExtentCounters::RemoveObject(ClassId cls) {
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return;
+  if (--it->second == 0) classes_.erase(it);
+}
+
+void ExtentCounters::RemoveRelationship(AssociationId assoc) {
+  auto it = assocs_.find(assoc);
+  if (it == assocs_.end()) return;
+  if (--it->second == 0) assocs_.erase(it);
+}
+
+void ExtentCounters::Clear() {
+  classes_.clear();
+  assocs_.clear();
+}
+
+size_t ExtentCounters::CountClass(ClassId cls) const {
+  auto it = classes_.find(cls);
+  return it == classes_.end() ? 0 : it->second;
+}
+
+size_t ExtentCounters::CountAssociation(AssociationId assoc) const {
+  auto it = assocs_.find(assoc);
+  return it == assocs_.end() ? 0 : it->second;
+}
+
+size_t ExtentCounters::CountClassExtent(const schema::Schema& schema,
+                                        ClassId cls,
+                                        bool include_specializations) const {
+  if (!include_specializations) return CountClass(cls);
+  size_t total = 0;
+  for (ClassId c : schema.ClassFamily(cls)) total += CountClass(c);
+  return total;
+}
+
+size_t ExtentCounters::CountAssociationExtent(
+    const schema::Schema& schema, AssociationId assoc,
+    bool include_specializations) const {
+  if (!include_specializations) return CountAssociation(assoc);
+  size_t total = 0;
+  for (AssociationId a : schema.AssociationFamily(assoc)) {
+    total += CountAssociation(a);
+  }
+  return total;
+}
+
+}  // namespace seed::core

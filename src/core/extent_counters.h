@@ -1,0 +1,57 @@
+// ExtentCounters: incrementally maintained live-population counts per
+// exact class and per exact association — the base statistics the query
+// planner's cost model reads to size extents without scanning them.
+//
+// The Database updates the counters from the same index-maintenance hook
+// points that keep its name/class/association maps current (IndexObject /
+// UnindexObject and the relationship twins), so the counts are exact at
+// all times: after create, delete cascade, reclassify, veto rollback,
+// version restore and persistence load (the bulk paths go through
+// Database::RebuildIndexes, which re-derives the counters the same way it
+// re-derives the maps). Pattern items are excluded — they are invisible
+// to the query layer's extents.
+//
+// Family (generalization-closed) counts are summed on demand over the
+// schema's class/association family, which is small; the per-extent
+// counters themselves are O(1) to maintain.
+
+#ifndef SEED_CORE_EXTENT_COUNTERS_H_
+#define SEED_CORE_EXTENT_COUNTERS_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "schema/schema.h"
+
+namespace seed::core {
+
+class ExtentCounters {
+ public:
+  void AddObject(ClassId cls) { ++classes_[cls]; }
+  void RemoveObject(ClassId cls);
+  void AddRelationship(AssociationId assoc) { ++assocs_[assoc]; }
+  void RemoveRelationship(AssociationId assoc);
+  void Clear();
+
+  /// Live non-pattern objects of exactly `cls`.
+  size_t CountClass(ClassId cls) const;
+  /// Live non-pattern relationships of exactly `assoc`.
+  size_t CountAssociation(AssociationId assoc) const;
+
+  /// Extent size as the query layer sees it: the class and, when
+  /// `include_specializations`, its whole generalization family.
+  size_t CountClassExtent(const schema::Schema& schema, ClassId cls,
+                          bool include_specializations) const;
+  size_t CountAssociationExtent(const schema::Schema& schema,
+                                AssociationId assoc,
+                                bool include_specializations) const;
+
+ private:
+  std::unordered_map<ClassId, size_t> classes_;
+  std::unordered_map<AssociationId, size_t> assocs_;
+};
+
+}  // namespace seed::core
+
+#endif  // SEED_CORE_EXTENT_COUNTERS_H_

@@ -4,23 +4,45 @@
 
 namespace seed::index {
 
+namespace {
+
+template <typename Id>
+std::vector<Id> Typed(const std::set<std::uint64_t>& raw) {
+  std::vector<Id> out;
+  out.reserve(raw.size());
+  for (std::uint64_t id : raw) out.push_back(Id(id));
+  return out;
+}
+
+template <typename Id>
+std::vector<Id> Typed(const std::vector<std::uint64_t>& raw) {
+  std::vector<Id> out;
+  out.reserve(raw.size());
+  for (std::uint64_t id : raw) out.push_back(Id(id));
+  return out;
+}
+
+}  // namespace
+
 std::string IndexSpec::ToString() const {
-  std::string s = "class#" + std::to_string(cls.raw());
+  std::string s = on_relationships()
+                      ? "assoc#" + std::to_string(assoc.raw())
+                      : "class#" + std::to_string(cls.raw());
   if (!role.empty()) s += "." + role;
   if (!include_specializations) s += " (exact)";
   return s;
 }
 
-void AttributeIndex::Insert(const core::Value& key, ObjectId id) {
+void AttributeIndex::Insert(const core::Value& key, EntryId id) {
   auto it = hash_.find(key);
   if (it == hash_.end()) {
-    it = hash_.emplace(key, ordered_.emplace(key, std::set<ObjectId>{}).first)
+    it = hash_.emplace(key, ordered_.emplace(key, std::set<EntryId>{}).first)
              .first;
   }
   if (it->second->second.insert(id).second) ++num_entries_;
 }
 
-void AttributeIndex::Erase(const core::Value& key, ObjectId id) {
+void AttributeIndex::Erase(const core::Value& key, EntryId id) {
   auto it = hash_.find(key);
   if (it == hash_.end()) return;
   if (it->second->second.erase(id) != 0) --num_entries_;
@@ -30,7 +52,8 @@ void AttributeIndex::Erase(const core::Value& key, ObjectId id) {
   }
 }
 
-void AttributeIndex::Set(ObjectId id, const std::vector<core::Value>& keys) {
+void AttributeIndex::SetEntry(EntryId id,
+                              const std::vector<core::Value>& keys) {
   std::vector<core::Value> desired = keys;
   std::sort(desired.begin(), desired.end(), core::Value::Less{});
   desired.erase(std::unique(desired.begin(), desired.end(),
@@ -58,14 +81,25 @@ void AttributeIndex::Set(ObjectId id, const std::vector<core::Value>& keys) {
 std::vector<ObjectId> AttributeIndex::Lookup(const core::Value& key) const {
   auto it = hash_.find(key);
   if (it == hash_.end()) return {};
-  return {it->second->second.begin(), it->second->second.end()};
+  return Typed<ObjectId>(it->second->second);
 }
 
-std::vector<ObjectId> AttributeIndex::Range(const core::Value& lo,
-                                            bool lo_inclusive,
-                                            const core::Value& hi,
-                                            bool hi_inclusive) const {
-  std::vector<ObjectId> out;
+std::vector<RelationshipId> AttributeIndex::LookupRels(
+    const core::Value& key) const {
+  auto it = hash_.find(key);
+  if (it == hash_.end()) return {};
+  return Typed<RelationshipId>(it->second->second);
+}
+
+size_t AttributeIndex::CountEquals(const core::Value& key) const {
+  auto it = hash_.find(key);
+  return it == hash_.end() ? 0 : it->second->second.size();
+}
+
+std::vector<AttributeIndex::EntryId> AttributeIndex::RangeRaw(
+    const core::Value& lo, bool lo_inclusive, const core::Value& hi,
+    bool hi_inclusive) const {
+  std::vector<EntryId> out;
   auto it = lo_inclusive ? ordered_.lower_bound(lo)
                          : ordered_.upper_bound(lo);
   for (; it != ordered_.end(); ++it) {
@@ -78,10 +112,60 @@ std::vector<ObjectId> AttributeIndex::Range(const core::Value& lo,
   return out;
 }
 
+std::vector<ObjectId> AttributeIndex::Range(const core::Value& lo,
+                                            bool lo_inclusive,
+                                            const core::Value& hi,
+                                            bool hi_inclusive) const {
+  return Typed<ObjectId>(RangeRaw(lo, lo_inclusive, hi, hi_inclusive));
+}
+
+std::vector<RelationshipId> AttributeIndex::RangeRels(
+    const core::Value& lo, bool lo_inclusive, const core::Value& hi,
+    bool hi_inclusive) const {
+  return Typed<RelationshipId>(RangeRaw(lo, lo_inclusive, hi, hi_inclusive));
+}
+
+double AttributeIndex::EstimateRange(const core::Value& lo, bool lo_inclusive,
+                                     const core::Value& hi, bool hi_inclusive,
+                                     size_t probe_limit) const {
+  if (probe_limit == 0) return static_cast<double>(num_entries_);
+  size_t counted = 0;
+  size_t keys_seen = 0;
+  auto it = lo_inclusive ? ordered_.lower_bound(lo)
+                         : ordered_.upper_bound(lo);
+  for (; it != ordered_.end(); ++it) {
+    int c = it->first.Compare(hi);
+    if (c > 0 || (c == 0 && !hi_inclusive)) return counted;
+    if (keys_seen == probe_limit) {
+      // Pro-rate by the keys not yet visited anywhere in the index: an
+      // upper bound on what remains inside the range, erring toward
+      // "wide range, poor index" — the safe direction.
+      size_t remaining = num_distinct_keys() - keys_seen;
+      double per_key = static_cast<double>(counted) /
+                       static_cast<double>(keys_seen);
+      double est = static_cast<double>(counted) +
+                   per_key * static_cast<double>(remaining);
+      return est > static_cast<double>(num_entries_)
+                 ? static_cast<double>(num_entries_)
+                 : est;
+    }
+    counted += it->second.size();
+    ++keys_seen;
+  }
+  return counted;
+}
+
 void AttributeIndex::ForEach(
     const std::function<void(const core::Value&, ObjectId)>& fn) const {
   for (const auto& [key, ids] : ordered_) {
-    for (ObjectId id : ids) fn(key, id);
+    for (EntryId id : ids) fn(key, ObjectId(id));
+  }
+}
+
+void AttributeIndex::ForEachRel(
+    const std::function<void(const core::Value&, RelationshipId)>& fn) const {
+  for (const auto& [key, ids] : ordered_) {
+    for (EntryId id : ids) fn(key, RelationshipId(id));
   }
 }
 

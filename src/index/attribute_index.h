@@ -1,23 +1,34 @@
-// A secondary index over one attribute of one class extent.
+// A secondary index over one attribute of one extent.
 //
 // The paper's SEED prototype retrieves by name only; every value query in
 // this reproduction therefore scanned the full class extent. An
-// AttributeIndex maps attribute values to the live, non-pattern objects
+// AttributeIndex maps attribute values to the live, non-pattern items
 // carrying them, so the query planner can answer selective equality and
 // range predicates without touching the extent.
 //
-// The indexed attribute is either the object's own value (`role` empty in
-// the spec) or the value(s) of its sub-objects in a role ("Action indexed
-// by Description"). Undefined values are never indexed — the paper's rule
-// "an undefined object matches nothing" makes the index and the scan agree
-// without a residual undefined check; vague objects simply have no entry.
+// An index covers one of two extent kinds:
+//  * an *object* extent — the indexed attribute is either the object's own
+//    value (`role` empty in the spec) or the value(s) of its sub-objects
+//    in a role ("Action indexed by Description"); entries are ObjectIds;
+//  * a *relationship* extent — the spec names an association and a
+//    relationship-attribute role (paper Fig. 3: `Write.NumberOfWrites`);
+//    entries are RelationshipIds, keyed by the values of the attribute
+//    sub-objects hanging off each relationship.
+// Internally both are stored as raw 64-bit entry ids; the typed accessors
+// (`Lookup`/`Range` vs `LookupRels`/`RangeRels`) are thin wrappers, and an
+// index only ever holds ids of one kind, per its spec.
+//
+// Undefined values are never indexed — the paper's rule "an undefined
+// object matches nothing" makes the index and the scan agree without a
+// residual undefined check; vague items simply have no entry.
 //
 // Storage is dual, per access pattern: an ordered map (Value::Less) serves
 // range/comparison predicates, a hash map over the same postings serves
-// equality lookups in O(1). An inverted per-object key list makes
+// equality lookups in O(1). An inverted per-entry key list makes
 // maintenance idempotent: Set(id, keys) diffs against what is currently
-// indexed, so callers may refresh an object after any mutation without
-// tracking deltas.
+// indexed, so callers may refresh an item after any mutation without
+// tracking deltas. The entry count and distinct-key count fall out of this
+// maintenance for free, which is what the planner's cost model reads.
 
 #ifndef SEED_INDEX_ATTRIBUTE_INDEX_H_
 #define SEED_INDEX_ATTRIBUTE_INDEX_H_
@@ -34,14 +45,30 @@
 
 namespace seed::index {
 
-/// Identifies what an index covers: the extent of `cls` (its whole
-/// generalization family when `include_specializations`, mirroring the
-/// query layer's ClassExtent default), keyed by the object's own value
-/// (`role` empty) or by the values of its sub-objects in `role`.
+/// Identifies what an index covers. For object indexes: the extent of
+/// `cls` (its whole generalization family when `include_specializations`,
+/// mirroring the query layer's ClassExtent default), keyed by the object's
+/// own value (`role` empty) or by the values of its sub-objects in `role`.
+/// For relationship indexes (`assoc` valid): the relationships of the
+/// association family, keyed by the values of their attribute sub-objects
+/// in `role` (which must be non-empty — relationships carry no own value).
 struct IndexSpec {
   ClassId cls;
   std::string role;
   bool include_specializations = true;
+  AssociationId assoc;
+
+  /// Relationship-extent spec ("Write.NumberOfWrites").
+  static IndexSpec ForAssociation(AssociationId assoc, std::string role,
+                                  bool include_specializations = true) {
+    IndexSpec spec;
+    spec.assoc = assoc;
+    spec.role = std::move(role);
+    spec.include_specializations = include_specializations;
+    return spec;
+  }
+
+  bool on_relationships() const { return assoc.valid(); }
 
   bool operator==(const IndexSpec&) const = default;
   /// "Action.Description" / "Thing (exact)" style display name.
@@ -56,22 +83,51 @@ class AttributeIndex {
 
   /// Declares the complete key set of `id` (deduplicated internally);
   /// diffs against the currently indexed keys and applies the change.
-  /// An empty `keys` removes the object entirely. Idempotent.
-  void Set(ObjectId id, const std::vector<core::Value>& keys);
+  /// An empty `keys` removes the entry entirely. Idempotent.
+  void Set(ObjectId id, const std::vector<core::Value>& keys) {
+    SetEntry(id.raw(), keys);
+  }
+  void Set(RelationshipId id, const std::vector<core::Value>& keys) {
+    SetEntry(id.raw(), keys);
+  }
 
   /// Objects whose indexed attribute equals `key`, ascending. O(1) probe.
   std::vector<ObjectId> Lookup(const core::Value& key) const;
+  /// Relationship-extent equivalent.
+  std::vector<RelationshipId> LookupRels(const core::Value& key) const;
 
-  /// Objects with a key in [lo, hi] (bounds optional per flag), ascending,
+  /// Entries with a key in [lo, hi] (bounds optional per flag), ascending,
   /// deduplicated. Callers bound the scan within one value type; the
   /// cross-type ordering of Value::Less keeps each type contiguous.
   std::vector<ObjectId> Range(const core::Value& lo, bool lo_inclusive,
                               const core::Value& hi,
                               bool hi_inclusive) const;
+  std::vector<RelationshipId> RangeRels(const core::Value& lo,
+                                        bool lo_inclusive,
+                                        const core::Value& hi,
+                                        bool hi_inclusive) const;
+
+  /// Exact number of entries equal to `key` — an O(1) hash probe; the
+  /// planner's equality-cardinality estimate (it is not an estimate at
+  /// all, one of the perks of counting postings directly).
+  size_t CountEquals(const core::Value& key) const;
+
+  /// Estimated number of entries with a key in the range. Walks the
+  /// ordered postings counting exactly until `probe_limit` distinct keys
+  /// have been visited; beyond the cap it assumes the counted prefix is
+  /// representative and pro-rates by the remaining distinct keys (the
+  /// ordered map cannot say how many keys remain in O(1), so the bound
+  /// used is all remaining keys of the index — an overestimate that keeps
+  /// wide ranges expensive, which is the safe direction for planning).
+  double EstimateRange(const core::Value& lo, bool lo_inclusive,
+                       const core::Value& hi, bool hi_inclusive,
+                       size_t probe_limit = 64) const;
 
   /// Distinct (key, object) pairs in key order; for tests and stats.
   void ForEach(
       const std::function<void(const core::Value&, ObjectId)>& fn) const;
+  void ForEachRel(const std::function<void(const core::Value&,
+                                           RelationshipId)>& fn) const;
 
   void Clear();
 
@@ -80,11 +136,16 @@ class AttributeIndex {
   size_t num_distinct_keys() const { return ordered_.size(); }
 
  private:
-  using Postings = std::map<core::Value, std::set<ObjectId>,
+  using EntryId = std::uint64_t;
+  using Postings = std::map<core::Value, std::set<EntryId>,
                             core::Value::Less>;
 
-  void Insert(const core::Value& key, ObjectId id);
-  void Erase(const core::Value& key, ObjectId id);
+  void SetEntry(EntryId id, const std::vector<core::Value>& keys);
+  void Insert(const core::Value& key, EntryId id);
+  void Erase(const core::Value& key, EntryId id);
+  std::vector<EntryId> RangeRaw(const core::Value& lo, bool lo_inclusive,
+                                const core::Value& hi,
+                                bool hi_inclusive) const;
 
   IndexSpec spec_;
   Postings ordered_;
@@ -94,8 +155,8 @@ class AttributeIndex {
   std::unordered_map<core::Value, Postings::iterator, core::Value::Hash,
                      core::Value::CompareEqual>
       hash_;
-  /// Inverted list: exactly the keys currently indexed per object.
-  std::unordered_map<ObjectId, std::vector<core::Value>> keys_of_;
+  /// Inverted list: exactly the keys currently indexed per entry.
+  std::unordered_map<EntryId, std::vector<core::Value>> keys_of_;
   size_t num_entries_ = 0;
 };
 

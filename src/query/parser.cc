@@ -1,6 +1,7 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <charconv>
 
 #include "common/macros.h"
 #include "common/strings.h"
@@ -47,14 +48,15 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
   return tokens;
 }
 
-bool LooksLikeInt(const std::string& s) {
-  if (s.empty()) return false;
-  size_t start = (s[0] == '-') ? 1 : 0;
-  if (start == s.size()) return false;
-  for (size_t i = start; i < s.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+/// Parses `s` as an int64, rejecting non-digits and out-of-range
+/// magnitudes (std::stoll would throw on the latter).
+Result<std::int64_t> ParseInt(const std::string& s) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("'" + s + "' is not a valid integer");
   }
-  return true;
+  return value;
 }
 
 /// Builds an equality predicate for a literal token: quoted strings match
@@ -65,9 +67,8 @@ Predicate LiteralEquals(const Token& token) {
   }
   Predicate p = Predicate::ValueEquals(core::Value::String(token.text))
                     .Or(Predicate::ValueEquals(core::Value::Enum(token.text)));
-  if (LooksLikeInt(token.text)) {
-    p = p.Or(Predicate::ValueEquals(
-        core::Value::Int(std::stoll(token.text))));
+  if (auto as_int = ParseInt(token.text); as_int.ok()) {
+    p = p.Or(Predicate::ValueEquals(core::Value::Int(*as_int)));
   }
   if (auto date = schema::Date::Parse(token.text); date.ok()) {
     p = p.Or(Predicate::ValueEquals(core::Value::OfDate(*date)));
@@ -81,14 +82,26 @@ Predicate LiteralEquals(const Token& token) {
   return p;
 }
 
+/// Appends the post-execution actual row count to an EXPLAIN string.
+void ReportPlan(std::string* plan_out, const Planner::Plan& plan,
+                size_t actual_rows) {
+  if (plan_out == nullptr) return;
+  *plan_out = plan.ToString() + "; actual " + std::to_string(actual_rows);
+}
+
 class Parser {
  public:
   Parser(const core::Database& db, std::vector<Token> tokens,
          std::string* plan_out)
       : db_(db), tokens_(std::move(tokens)), plan_out_(plan_out) {}
 
-  Result<std::vector<ObjectId>> Run() {
+  Result<std::vector<ObjectId>> RunObjects() {
     SEED_RETURN_IF_ERROR(Expect("find"));
+    if (PeekIs("rel")) {
+      return Status::InvalidArgument(
+          "'find rel' queries return relationships; run them through "
+          "RunRelationshipQuery");
+    }
     SEED_ASSIGN_OR_RETURN(Token cls_token, Next("class name"));
     auto cls = db_.schema()->FindIndependentClass(cls_token.text);
     if (!cls.ok()) return cls.status();
@@ -114,12 +127,53 @@ class Parser {
                                      tokens_[pos_].text + "'");
     }
 
-    // The planner rewrites this into an attribute-index probe when one
-    // matches; otherwise it runs the same extent scan as before.
+    // The cost-based planner rewrites this into an attribute-index probe
+    // (or a multi-index intersection) when estimated cheaper; otherwise it
+    // runs the same extent scan as before.
     Planner planner(&db_);
     Planner::Plan plan = planner.PlanSelect(*cls, pred, !exact);
-    if (plan_out_ != nullptr) *plan_out_ = plan.ToString();
-    return planner.SelectIds(*cls, pred, !exact, &plan);
+    auto ids = planner.SelectIds(*cls, pred, !exact, &plan);
+    ReportPlan(plan_out_, plan, ids.size());
+    return ids;
+  }
+
+  Result<std::vector<RelationshipId>> RunRelationships() {
+    SEED_RETURN_IF_ERROR(Expect("find"));
+    SEED_RETURN_IF_ERROR(Expect("rel"));
+    SEED_ASSIGN_OR_RETURN(Token assoc_token, Next("association name"));
+    auto assoc = db_.schema()->FindAssociation(assoc_token.text);
+    if (!assoc.ok()) return assoc.status();
+
+    bool exact = false;
+    if (PeekIs("exact")) {
+      ++pos_;
+      exact = true;
+    }
+
+    std::vector<Planner::RelCondition> conditions;
+    if (pos_ < tokens_.size()) {
+      SEED_RETURN_IF_ERROR(Expect("where"));
+      SEED_ASSIGN_OR_RETURN(Planner::RelCondition cond, ParseRelCondition());
+      conditions.push_back(std::move(cond));
+      while (PeekIs("and")) {
+        ++pos_;
+        SEED_ASSIGN_OR_RETURN(Planner::RelCondition next,
+                              ParseRelCondition());
+        conditions.push_back(std::move(next));
+      }
+    }
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     tokens_[pos_].text + "'");
+    }
+
+    Planner planner(&db_);
+    Planner::Plan plan =
+        planner.PlanSelectRelationships(*assoc, conditions, !exact);
+    auto ids = planner.SelectRelationshipIds(*assoc, conditions, !exact,
+                                             &plan);
+    ReportPlan(plan_out_, plan, ids.size());
+    return ids;
   }
 
  private:
@@ -147,6 +201,24 @@ class Parser {
     return tokens_[pos_++];
   }
 
+  /// Value comparison for the '>' / '<' operators (integer only).
+  Result<Predicate> ParseComparison(const std::string& op) {
+    SEED_ASSIGN_OR_RETURN(Token operand, Next("integer bound"));
+    if (operand.quoted) {
+      return Status::InvalidArgument("'" + op +
+                                     "' wants an integer bound, got '" +
+                                     operand.text + "'");
+    }
+    auto bound = ParseInt(operand.text);
+    if (!bound.ok()) {
+      return Status::InvalidArgument("'" + op +
+                                     "' wants an integer bound, got '" +
+                                     operand.text + "'");
+    }
+    return op == ">" ? Predicate::IntGreater(*bound)
+                     : Predicate::IntLess(*bound);
+  }
+
   Result<Predicate> ParseCondition() {
     SEED_ASSIGN_OR_RETURN(Token subject, Next("condition subject"));
     if (subject.quoted) {
@@ -156,27 +228,63 @@ class Parser {
       SEED_ASSIGN_OR_RETURN(Token role, Next("role name"));
       return Predicate::OnSubObject(role.text, Predicate::True());
     }
-    SEED_ASSIGN_OR_RETURN(Token op, Next("'is' or 'contains'"));
-    if (op.text != "is" && op.text != "contains") {
-      return Status::InvalidArgument("expected 'is' or 'contains', got '" +
-                                     op.text + "'");
+    SEED_ASSIGN_OR_RETURN(Token op, Next("'is', 'contains', '>' or '<'"));
+    if (op.text != "is" && op.text != "contains" && op.text != ">" &&
+        op.text != "<") {
+      return Status::InvalidArgument(
+          "expected 'is', 'contains', '>' or '<', got '" + op.text + "'");
     }
-    SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
 
     if (subject.text == "name") {
-      return op.text == "is" ? Predicate::NameIs(operand.text)
-                             : Predicate::NameContains(operand.text);
+      SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
+      if (op.text == "is") return Predicate::NameIs(operand.text);
+      if (op.text == "contains") return Predicate::NameContains(operand.text);
+      return Status::InvalidArgument("'" + op.text +
+                                     "' does not apply to names");
     }
     if (subject.text == "value") {
-      return op.text == "is"
-                 ? LiteralEquals(operand)
-                 : Predicate::ValueContains(operand.text);
+      if (op.text == ">" || op.text == "<") return ParseComparison(op.text);
+      SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
+      return op.text == "is" ? LiteralEquals(operand)
+                             : Predicate::ValueContains(operand.text);
     }
     // Otherwise the subject is a sub-object role.
+    Predicate inner = Predicate::True();
+    if (op.text == ">" || op.text == "<") {
+      SEED_ASSIGN_OR_RETURN(inner, ParseComparison(op.text));
+    } else {
+      SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
+      inner = op.text == "is" ? LiteralEquals(operand)
+                              : Predicate::ValueContains(operand.text);
+    }
+    return Predicate::OnSubObject(subject.text, inner);
+  }
+
+  /// One conjunct of a relationship query: a condition on the attribute
+  /// sub-objects in a role ('has ROLE', 'ROLE is ...', 'ROLE > ...').
+  Result<Planner::RelCondition> ParseRelCondition() {
+    SEED_ASSIGN_OR_RETURN(Token subject, Next("condition subject"));
+    if (subject.quoted) {
+      return Status::InvalidArgument("condition must start with a role name");
+    }
+    if (subject.text == "has") {
+      SEED_ASSIGN_OR_RETURN(Token role, Next("role name"));
+      return Planner::RelCondition{role.text, Predicate::True()};
+    }
+    SEED_ASSIGN_OR_RETURN(Token op, Next("'is', 'contains', '>' or '<'"));
+    if (op.text == ">" || op.text == "<") {
+      SEED_ASSIGN_OR_RETURN(Predicate inner, ParseComparison(op.text));
+      return Planner::RelCondition{subject.text, std::move(inner)};
+    }
+    if (op.text != "is" && op.text != "contains") {
+      return Status::InvalidArgument(
+          "expected 'is', 'contains', '>' or '<', got '" + op.text + "'");
+    }
+    SEED_ASSIGN_OR_RETURN(Token operand, Next("operand"));
     Predicate inner = op.text == "is"
                           ? LiteralEquals(operand)
                           : Predicate::ValueContains(operand.text);
-    return Predicate::OnSubObject(subject.text, inner);
+    return Planner::RelCondition{subject.text, std::move(inner)};
   }
 
   const core::Database& db_;
@@ -192,7 +300,14 @@ Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
                                        std::string* plan_out) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens), plan_out).Run();
+  return Parser(db, std::move(tokens), plan_out).RunObjects();
+}
+
+Result<std::vector<RelationshipId>> RunRelationshipQuery(
+    const core::Database& db, std::string_view text, std::string* plan_out) {
+  SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  if (tokens.empty()) return Status::InvalidArgument("empty query");
+  return Parser(db, std::move(tokens), plan_out).RunRelationships();
 }
 
 }  // namespace seed::query

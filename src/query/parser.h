@@ -6,21 +6,38 @@
 // Grammar (case-sensitive keywords, strings in double quotes):
 //
 //   query  := 'find' CLASS ['exact'] [ 'where' cond ('and' cond)* ]
+//   relq   := 'find' 'rel' ASSOC ['exact']
+//             [ 'where' relcond ('and' relcond)* ]
 //   cond   := 'name' 'is' IDENT
 //           | 'name' 'contains' STRING-or-IDENT
 //           | 'value' 'is' literal
 //           | 'value' 'contains' STRING-or-IDENT
+//           | 'value' ('>' | '<') INT
 //           | 'has' ROLE
 //           | ROLE 'is' literal
 //           | ROLE 'contains' STRING-or-IDENT
+//           | ROLE ('>' | '<') INT
+//   relcond:= 'has' ROLE
+//           | ROLE 'is' literal
+//           | ROLE 'contains' STRING-or-IDENT
+//           | ROLE ('>' | '<') INT
 //   literal := INT | DATE(YYYY-MM-DD) | true | false | STRING | IDENT
 //
-// 'exact' restricts the extent to the class itself (no specializations).
-// Examples:
+// 'exact' restricts the extent to the class/association itself (no
+// specializations). '>' / '<' compare integer values and must be
+// whitespace-separated. 'rel' is a reserved word after 'find': a class
+// literally named "rel" cannot be queried textually. Examples:
 //   find Data where name contains "Alarm"
 //   find Action where Description contains "sensor" and has Revised
-//   find Thing exact
-//   find OutputData where Revised is 1986-02-05
+//   find Reading where value > 990
+//   find rel Write where NumberOfWrites > 3
+//
+// Queries execute through the cost-based planner: sargable conditions use
+// a matching attribute index (single probe or multi-index intersection)
+// when that is estimated cheaper than the extent scan. `find rel` filters
+// the relationships of an association by their attribute sub-objects
+// (paper Fig. 3: `Write.NumberOfWrites`), served by relationship-side
+// indexes the same way.
 
 #ifndef SEED_QUERY_PARSER_H_
 #define SEED_QUERY_PARSER_H_
@@ -34,14 +51,20 @@
 namespace seed::query {
 
 /// Parses and runs `text` against `db`; returns matching object ids,
-/// ascending. Undefined values match nothing, per the paper. Queries
-/// execute through the planner: selective conditions use a matching
-/// attribute index when one exists, and fall back to the extent scan.
-/// When `plan_out` is non-null, the chosen access path ("scan",
-/// "index-equals(...)") is reported there (EXPLAIN-style).
+/// ascending. Undefined values match nothing, per the paper. When
+/// `plan_out` is non-null it receives the chosen access path with its
+/// estimated rows, followed by the actual row count (EXPLAIN-style:
+/// "index-equals(...), est ~3 of 100 rows; actual 2"). Relationship
+/// queries ('find rel ...') must go through RunRelationshipQuery.
 Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
                                        std::string_view text,
                                        std::string* plan_out = nullptr);
+
+/// Parses and runs a 'find rel <Assoc> ...' query; returns matching
+/// relationship ids, ascending.
+Result<std::vector<RelationshipId>> RunRelationshipQuery(
+    const core::Database& db, std::string_view text,
+    std::string* plan_out = nullptr);
 
 }  // namespace seed::query
 

@@ -1,7 +1,10 @@
 #include "query/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "query/stats.h"
 
 namespace seed::query {
 
@@ -81,84 +84,244 @@ bool ExtractSarg(const PredicateShape* shape, std::string role, Sarg* out) {
   // still empty) and the inner predicate is sargable on its own value.
   if (shape->kind == Kind::kOnSubObject && role.empty() &&
       !shape->children.empty()) {
-    return ExtractSarg(shape->children[0].get(), shape->text, out);
+    Sarg inner;
+    if (!ExtractSarg(shape->children[0].get(), "", &inner)) return false;
+    if (!inner.role.empty()) return false;  // no nested roles
+    inner.role = shape->text;
+    *out = std::move(inner);
+    return true;
   }
   return false;
 }
 
+/// Tie-break rank at equal cost: equality, then range, then intersection,
+/// then the scan.
+int KindRank(Planner::Plan::Kind kind) {
+  switch (kind) {
+    case Planner::Plan::Kind::kIndexEquals: return 0;
+    case Planner::Plan::Kind::kIndexRange: return 1;
+    case Planner::Plan::Kind::kIndexIntersect: return 2;
+    case Planner::Plan::Kind::kFullScan: return 3;
+  }
+  return 4;
+}
+
+bool Cheaper(double cost_a, Planner::Plan::Kind kind_a, double cost_b,
+             Planner::Plan::Kind kind_b) {
+  if (cost_a != cost_b) return cost_a < cost_b;
+  return KindRank(kind_a) < KindRank(kind_b);
+}
+
+std::string Rounded(double rows) {
+  return std::to_string(static_cast<long long>(std::llround(rows)));
+}
+
+/// Sorted ascending raw candidate ids of one leg.
+template <typename Id>
+std::vector<Id> FetchLeg(const Planner::Plan::Leg& leg) {
+  std::vector<Id> out;
+  if (leg.is_range) {
+    if constexpr (std::is_same_v<Id, ObjectId>) {
+      out = leg.index->Range(leg.lo, leg.lo_inclusive, leg.hi,
+                             leg.hi_inclusive);
+    } else {
+      out = leg.index->RangeRels(leg.lo, leg.lo_inclusive, leg.hi,
+                                 leg.hi_inclusive);
+    }
+    return out;  // Range output is sorted and deduplicated
+  }
+  for (const core::Value& key : leg.keys) {
+    std::vector<Id> hits;
+    if constexpr (std::is_same_v<Id, ObjectId>) {
+      hits = leg.index->Lookup(key);
+    } else {
+      hits = leg.index->LookupRels(key);
+    }
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Candidate ids of the whole plan (sorted): the single leg's postings, or
+/// the intersection of every leg's.
+template <typename Id>
+std::vector<Id> FetchCandidates(const Planner::Plan& plan) {
+  std::vector<Id> candidates = FetchLeg<Id>(plan.legs[0]);
+  for (size_t i = 1; i < plan.legs.size() && !candidates.empty(); ++i) {
+    std::vector<Id> next = FetchLeg<Id>(plan.legs[i]);
+    std::vector<Id> merged;
+    merged.reserve(std::min(candidates.size(), next.size()));
+    std::set_intersection(candidates.begin(), candidates.end(), next.begin(),
+                          next.end(), std::back_inserter(merged));
+    candidates = std::move(merged);
+  }
+  return candidates;
+}
+
 }  // namespace
 
+/// A sargable conjunct bound to a covering index, with its cardinality
+/// estimate — the unit the cost comparison works on.
+struct Planner::Candidate {
+  Plan::Leg leg;
+  size_t probes = 1;
+  Plan::Kind kind = Plan::Kind::kIndexEquals;
+
+  /// Binds `sarg` to `idx`: builds the leg and estimates its rows. The
+  /// one place leg construction and cardinality estimation live, shared
+  /// by object-extent and relationship-extent planning.
+  static Candidate FromSarg(const index::AttributeIndex* idx, Sarg sarg);
+};
+
+Planner::Candidate Planner::Candidate::FromSarg(
+    const index::AttributeIndex* idx, Sarg sarg) {
+  Candidate c;
+  c.leg.index = idx;
+  c.leg.is_range = sarg.is_range;
+  if (sarg.is_range) {
+    c.kind = Plan::Kind::kIndexRange;
+    c.leg.lo = std::move(sarg.lo);
+    c.leg.hi = std::move(sarg.hi);
+    c.leg.lo_inclusive = sarg.lo_inclusive;
+    c.leg.hi_inclusive = sarg.hi_inclusive;
+    c.leg.est_rows = EstimateRangeRows(*idx, c.leg.lo, c.leg.lo_inclusive,
+                                       c.leg.hi, c.leg.hi_inclusive);
+    c.probes = 1;
+  } else {
+    c.kind = Plan::Kind::kIndexEquals;
+    c.leg.keys = std::move(sarg.keys);
+    c.leg.est_rows = EstimateEqualityRows(*idx, c.leg.keys);
+    c.probes = c.leg.keys.size();
+  }
+  return c;
+}
+
 std::string Planner::Plan::ToString() const {
+  auto leg_str = [](const Leg& leg) {
+    if (leg.is_range) {
+      return "index-range(" + leg.index->spec().ToString() + "), " +
+             (leg.lo_inclusive ? "[" : "(") + leg.lo.ToString() + ", " +
+             leg.hi.ToString() + (leg.hi_inclusive ? "]" : ")");
+    }
+    return "index-equals(" + leg.index->spec().ToString() + "), " +
+           std::to_string(leg.keys.size()) + " key" +
+           (leg.keys.size() == 1 ? "" : "s");
+  };
+  std::string tail = ", est ~" + Rounded(est_rows) + " of " +
+                     Rounded(extent_rows) + " rows";
   switch (kind) {
     case Kind::kFullScan:
-      return "scan";
+      return "scan, est ~" + Rounded(extent_rows) + " rows";
     case Kind::kIndexEquals:
-      return "index-equals(" + index->spec().ToString() + "), " +
-             std::to_string(keys.size()) + " key" +
-             (keys.size() == 1 ? "" : "s");
     case Kind::kIndexRange:
-      return "index-range(" + index->spec().ToString() + "), " +
-             (lo_inclusive ? "[" : "(") + lo.ToString() + ", " +
-             hi.ToString() + (hi_inclusive ? "]" : ")");
+      return leg_str(legs[0]) + tail;
+    case Kind::kIndexIntersect: {
+      std::string s = "index-intersect(";
+      for (size_t i = 0; i < legs.size(); ++i) {
+        if (i != 0) s += " & ";
+        s += leg_str(legs[i]) + " ~" + Rounded(legs[i].est_rows);
+      }
+      return s + ")" + tail;
+    }
   }
   return "?";
 }
 
+Planner::Plan Planner::ChooseCheapest(std::vector<Candidate> candidates,
+                                      double extent_rows) {
+  Plan best;
+  best.kind = Plan::Kind::kFullScan;
+  best.est_rows = extent_rows;
+  best.extent_rows = extent_rows;
+  best.est_cost = CostModel::ScanCost(extent_rows);
+
+  // Single-index plans: one per sargable conjunct.
+  for (const Candidate& c : candidates) {
+    double cost = CostModel::SingleIndexCost(c.probes, c.leg.est_rows);
+    if (Cheaper(cost, c.kind, best.est_cost, best.kind)) {
+      best.kind = c.kind;
+      best.legs = {c.leg};
+      best.est_rows = c.leg.est_rows;
+      best.est_cost = cost;
+    }
+  }
+
+  // Multi-index intersection: grow greedily from the most selective leg,
+  // keeping each additional leg only if reading its postings costs less
+  // than the residual evaluations it prunes.
+  if (candidates.size() >= 2) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.leg.est_rows < b.leg.est_rows;
+                     });
+    std::vector<Candidate> chosen = {candidates[0]};
+    double legs_cost =
+        CostModel::IntersectLegCost(candidates[0].probes,
+                                    candidates[0].leg.est_rows);
+    double inter_rows = candidates[0].leg.est_rows;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      double new_legs_cost =
+          legs_cost + CostModel::IntersectLegCost(c.probes, c.leg.est_rows);
+      double new_inter_rows =
+          CostModel::IntersectRows(inter_rows, c.leg.est_rows, extent_rows);
+      if (new_legs_cost + CostModel::ResidualCost(new_inter_rows) <
+          legs_cost + CostModel::ResidualCost(inter_rows)) {
+        chosen.push_back(c);
+        legs_cost = new_legs_cost;
+        inter_rows = new_inter_rows;
+      }
+    }
+    if (chosen.size() >= 2) {
+      double cost = legs_cost + CostModel::ResidualCost(inter_rows);
+      if (Cheaper(cost, Plan::Kind::kIndexIntersect, best.est_cost,
+                  best.kind)) {
+        best.kind = Plan::Kind::kIndexIntersect;
+        best.legs.clear();
+        for (Candidate& c : chosen) best.legs.push_back(std::move(c.leg));
+        best.est_rows = inter_rows;
+        best.est_cost = cost;
+      }
+    }
+  }
+  return best;
+}
+
 Planner::Plan Planner::PlanSelect(ClassId cls, const Predicate& p,
                                   bool include_specializations) const {
-  Plan plan;
   const index::IndexManager& manager = db_->attribute_indexes();
-  if (manager.empty() || p.shape() == nullptr) return plan;
+  double extent_rows =
+      static_cast<double>(db_->extent_counters().CountClassExtent(
+          *db_->schema(), cls, include_specializations));
+  if (manager.empty() || p.shape() == nullptr) {
+    Plan plan;
+    plan.est_rows = extent_rows;
+    plan.extent_rows = extent_rows;
+    plan.est_cost = CostModel::ScanCost(extent_rows);
+    return plan;
+  }
 
   std::vector<const PredicateShape*> conjuncts;
   CollectConjuncts(p.shape(), &conjuncts);
 
-  std::vector<Sarg> sargs;
+  std::vector<Candidate> candidates;
   for (const PredicateShape* conjunct : conjuncts) {
     Sarg sarg;
-    if (ExtractSarg(conjunct, "", &sarg)) sargs.push_back(std::move(sarg));
-  }
-  // Equality probes beat range scans; otherwise first come, first served.
-  std::stable_sort(sargs.begin(), sargs.end(),
-                   [](const Sarg& a, const Sarg& b) {
-                     return !a.is_range && b.is_range;
-                   });
-  for (Sarg& sarg : sargs) {
+    if (!ExtractSarg(conjunct, "", &sarg)) continue;
     const index::AttributeIndex* idx = manager.BestFor(
         *db_->schema(), cls, include_specializations, sarg.role);
     if (idx == nullptr) continue;
-    plan.index = idx;
-    if (sarg.is_range) {
-      plan.kind = Plan::Kind::kIndexRange;
-      plan.lo = std::move(sarg.lo);
-      plan.hi = std::move(sarg.hi);
-      plan.lo_inclusive = sarg.lo_inclusive;
-      plan.hi_inclusive = sarg.hi_inclusive;
-    } else {
-      plan.kind = Plan::Kind::kIndexEquals;
-      plan.keys = std::move(sarg.keys);
-    }
-    return plan;
+    candidates.push_back(Candidate::FromSarg(idx, std::move(sarg)));
   }
-  return plan;
+  return ChooseCheapest(std::move(candidates), extent_rows);
 }
 
 std::vector<ObjectId> Planner::ExecuteIndexPlan(
     const Plan& plan, ClassId cls, const Predicate& p,
     bool include_specializations) const {
-  std::vector<ObjectId> candidates;
-  if (plan.kind == Plan::Kind::kIndexEquals) {
-    for (const core::Value& key : plan.keys) {
-      std::vector<ObjectId> hits = plan.index->Lookup(key);
-      candidates.insert(candidates.end(), hits.begin(), hits.end());
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-  } else {
-    candidates = plan.index->Range(plan.lo, plan.lo_inclusive, plan.hi,
-                                   plan.hi_inclusive);
-  }
+  std::vector<ObjectId> candidates = FetchCandidates<ObjectId>(plan);
 
   // Residual: extent membership (the chosen index may cover a broader
   // family than the query) and the full original predicate. Index
@@ -207,6 +370,86 @@ Result<QueryRelation> Planner::SelectFromClass(
   for (ObjectId id :
        ExecuteIndexPlan(plan, cls, p, include_specializations)) {
     out.tuples.push_back({id});
+  }
+  return out;
+}
+
+// --- Relationship extents ----------------------------------------------------
+
+Planner::Plan Planner::PlanSelectRelationships(
+    AssociationId assoc, const std::vector<RelCondition>& conditions,
+    bool include_specializations) const {
+  const index::IndexManager& manager = db_->attribute_indexes();
+  double extent_rows =
+      static_cast<double>(db_->extent_counters().CountAssociationExtent(
+          *db_->schema(), assoc, include_specializations));
+  std::vector<Candidate> candidates;
+  for (const RelCondition& cond : conditions) {
+    if (cond.inner.shape() == nullptr) continue;
+    Sarg sarg;
+    // The inner predicate applies to the attribute sub-object's own value;
+    // nested roles make no sense here.
+    if (!ExtractSarg(cond.inner.shape(), "", &sarg) || !sarg.role.empty()) {
+      continue;
+    }
+    const index::AttributeIndex* idx = manager.BestForRelationships(
+        *db_->schema(), assoc, include_specializations, cond.role);
+    if (idx == nullptr) continue;
+    candidates.push_back(Candidate::FromSarg(idx, std::move(sarg)));
+  }
+  return ChooseCheapest(std::move(candidates), extent_rows);
+}
+
+bool Planner::EvalRelConditions(
+    RelationshipId rel, const std::vector<RelCondition>& conditions) const {
+  for (const RelCondition& cond : conditions) {
+    bool matched = false;
+    for (ObjectId sub : db_->SubObjects(rel, cond.role)) {
+      if (cond.inner.Eval(*db_, sub)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;  // missing attribute matches nothing
+  }
+  return true;
+}
+
+std::vector<RelationshipId> Planner::ExecuteRelIndexPlan(
+    const Plan& plan, AssociationId assoc,
+    const std::vector<RelCondition>& conditions,
+    bool include_specializations) const {
+  std::vector<RelationshipId> candidates =
+      FetchCandidates<RelationshipId>(plan);
+  const schema::Schema& schema = *db_->schema();
+  std::vector<RelationshipId> out;
+  for (RelationshipId id : candidates) {
+    auto rel = db_->GetRelationship(id);
+    if (!rel.ok() || (*rel)->is_pattern) continue;
+    bool in_extent =
+        include_specializations
+            ? schema.IsSameOrSpecializationOf((*rel)->assoc, assoc)
+            : (*rel)->assoc == assoc;
+    if (in_extent && EvalRelConditions(id, conditions)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RelationshipId> Planner::SelectRelationshipIds(
+    AssociationId assoc, const std::vector<RelCondition>& conditions,
+    bool include_specializations, const Plan* precomputed) const {
+  Plan plan = precomputed != nullptr
+                  ? *precomputed
+                  : PlanSelectRelationships(assoc, conditions,
+                                            include_specializations);
+  if (plan.uses_index()) {
+    return ExecuteRelIndexPlan(plan, assoc, conditions,
+                               include_specializations);
+  }
+  std::vector<RelationshipId> out;
+  for (RelationshipId id :
+       db_->RelationshipsOfAssociation(assoc, include_specializations)) {
+    if (EvalRelConditions(id, conditions)) out.push_back(id);
   }
   return out;
 }

@@ -1,17 +1,28 @@
-// Planner: rewrites Select-over-ClassExtent queries into secondary-index
-// probes when the database has a matching attribute index.
+// Planner: cost-based rewriting of Select-over-extent queries into
+// secondary-index access paths.
 //
-// The planner inspects the predicate's shape tree for *sargable* conjuncts
-// — equality on the object's own value, integer range comparisons, an OR
-// of equalities, or any of these behind OnSubObject(role, ...) — and asks
-// the IndexManager for an index covering the queried extent on that
-// attribute. When one exists, the query runs as an index lookup/range scan
-// plus a residual filter; otherwise it falls back to the algebra's full
-// extent scan. The residual filter re-evaluates the complete original
-// predicate (and extent membership) on every candidate, so the rewrite is
-// an optimization only: results are identical to the scan path, including
-// the paper's vague-value semantics — undefined values are absent from
-// indexes and match nothing in scans.
+// For Select(ClassExtent(cls), p) the planner enumerates *all* sargable
+// conjuncts of the predicate's shape tree — equality on the object's own
+// value, integer range comparisons, an OR of equalities, or any of these
+// behind OnSubObject(role, ...) — resolves each against the IndexManager,
+// and costs every candidate access path with the statistics of
+// query/stats.h: the full extent scan, a single index probe per sargable
+// conjunct, and the multi-index intersection of two or more posting lists
+// for AND-of-sargables. The cheapest plan wins (deterministic tie-breaks:
+// equality, then range, then intersection, then scan). Estimated rows and
+// the extent size travel in the Plan for EXPLAIN-style output.
+//
+// Relationship extents plan the same way: SelectRelationships filters the
+// relationships of an association family by conjuncts over their attribute
+// sub-objects (paper Fig. 3: `Write.NumberOfWrites > 3`), served by
+// relationship-side indexes when they exist and by a RelationshipsOf-style
+// extent scan otherwise.
+//
+// Every index plan runs a residual filter (full predicate re-eval + extent
+// check) over its candidates, so the rewrite is an optimization only:
+// results are identical to the scan path, including the paper's
+// vague-value semantics — undefined values are absent from indexes and
+// match nothing in scans.
 
 #ifndef SEED_QUERY_PLANNER_H_
 #define SEED_QUERY_PLANNER_H_
@@ -29,23 +40,46 @@ namespace seed::query {
 
 class Planner {
  public:
-  /// The access path chosen for a Select(ClassExtent(cls), p) pair.
+  /// The access path chosen for a selection over one extent.
   struct Plan {
-    enum class Kind { kFullScan, kIndexEquals, kIndexRange };
+    enum class Kind { kFullScan, kIndexEquals, kIndexRange, kIndexIntersect };
+
+    /// One index access. Single-index plans have exactly one leg;
+    /// intersection plans have two or more, cheapest first.
+    struct Leg {
+      const index::AttributeIndex* index = nullptr;
+      bool is_range = false;
+      /// Probe keys when !is_range (one per OR-of-equalities branch).
+      std::vector<core::Value> keys;
+      /// Bounds when is_range.
+      core::Value lo, hi;
+      bool lo_inclusive = true;
+      bool hi_inclusive = true;
+      /// Estimated postings this leg yields.
+      double est_rows = 0.0;
+    };
 
     Kind kind = Kind::kFullScan;
-    const index::AttributeIndex* index = nullptr;  // set for index plans
-    /// Probe keys for kIndexEquals (one per OR-of-equalities branch).
-    std::vector<core::Value> keys;
-    /// Bounds for kIndexRange.
-    core::Value lo, hi;
-    bool lo_inclusive = true;
-    bool hi_inclusive = true;
+    std::vector<Leg> legs;
+    /// Estimated candidate rows fed to the residual filter (= extent size
+    /// for a full scan).
+    double est_rows = 0.0;
+    /// Modeled cost in row-visit units (see query/stats.h).
+    double est_cost = 0.0;
+    /// Live size of the queried extent at planning time.
+    double extent_rows = 0.0;
 
     bool uses_index() const { return kind != Kind::kFullScan; }
-    /// "scan" / "index-equals(Action.Description), 2 keys" — for tests,
-    /// EXPLAIN-style tooling and logs.
+    /// "scan" / "index-equals(...), 2 keys, est ~3 of 100 rows" — for
+    /// tests, EXPLAIN output and logs.
     std::string ToString() const;
+  };
+
+  /// One conjunct of a relationship-extent selection: the relationship
+  /// matches when some attribute sub-object in `role` satisfies `inner`.
+  struct RelCondition {
+    std::string role;
+    Predicate inner;
   };
 
   explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
@@ -67,10 +101,39 @@ class Planner {
                                   bool include_specializations = true,
                                   const Plan* plan = nullptr) const;
 
+  /// Chooses the access path for filtering the relationships of `assoc`
+  /// (family included unless disabled) by `conditions` (conjunctive).
+  Plan PlanSelectRelationships(AssociationId assoc,
+                               const std::vector<RelCondition>& conditions,
+                               bool include_specializations = true) const;
+
+  /// Relationships of the association extent satisfying every condition,
+  /// ascending. Identical to iterating RelationshipsOfAssociation and
+  /// evaluating the conditions per relationship.
+  std::vector<RelationshipId> SelectRelationshipIds(
+      AssociationId assoc, const std::vector<RelCondition>& conditions,
+      bool include_specializations = true, const Plan* plan = nullptr) const;
+
+  /// True iff the live relationship satisfies every condition (the
+  /// relationship residual; exposed as the scan-path ground truth).
+  bool EvalRelConditions(RelationshipId rel,
+                         const std::vector<RelCondition>& conditions) const;
+
  private:
+  struct Candidate;  // sargable conjunct bound to an index (planner.cc)
+
+  /// Costs scan / single-leg / intersection over `candidates` and returns
+  /// the cheapest plan for an extent of `extent_rows`.
+  static Plan ChooseCheapest(std::vector<Candidate> candidates,
+                             double extent_rows);
+
   std::vector<ObjectId> ExecuteIndexPlan(const Plan& plan, ClassId cls,
                                          const Predicate& p,
                                          bool include_specializations) const;
+  std::vector<RelationshipId> ExecuteRelIndexPlan(
+      const Plan& plan, AssociationId assoc,
+      const std::vector<RelCondition>& conditions,
+      bool include_specializations) const;
 
   const core::Database* db_;
   Algebra algebra_;

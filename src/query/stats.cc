@@ -1,0 +1,18 @@
+#include "query/stats.h"
+
+namespace seed::query {
+
+double EstimateEqualityRows(const index::AttributeIndex& index,
+                            const std::vector<core::Value>& keys) {
+  size_t rows = 0;
+  for (const core::Value& key : keys) rows += index.CountEquals(key);
+  return static_cast<double>(rows);
+}
+
+double EstimateRangeRows(const index::AttributeIndex& index,
+                         const core::Value& lo, bool lo_inclusive,
+                         const core::Value& hi, bool hi_inclusive) {
+  return index.EstimateRange(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+}  // namespace seed::query

@@ -1,0 +1,96 @@
+// Planner statistics and cost model.
+//
+// The planner costs every candidate access path for a selection and picks
+// the cheapest. Its inputs are maintained incrementally, never scanned:
+//
+//  * extent sizes come from core::ExtentCounters (per-class/association
+//    live counts updated by the same Index/Unindex hooks that keep the
+//    database's retrieval maps current);
+//  * per-index cardinality and distinct-key counts fall out of the
+//    AttributeIndex's idempotent Set() maintenance (num_entries,
+//    num_distinct_keys), so equality estimates are exact posting counts
+//    and range estimates probe the ordered map with a bounded walk.
+//
+// Costs are in abstract row-visit units. The constants encode only the
+// *relative* expense of the three kinds of work a plan performs:
+//
+//    kProbeCost     one index descend/hash probe           (cheap, fixed)
+//    kPostingCost   producing one candidate id from postings
+//    kResidualCost  fetching an item and re-evaluating the full
+//                   predicate on it (what scans pay per extent row and
+//                   index plans pay per candidate)
+//
+//    scan:        extent * kResidualCost
+//    single leg:  probes * kProbeCost + rows * (kPostingCost + kResidualCost)
+//    intersect:   sum over legs of probes * kProbeCost + rows * kPostingCost
+//                 + intersected_rows * kResidualCost
+//
+// Intersection output is estimated under predicate independence:
+// |A ∩ B| ≈ extent * (rows_A / extent) * (rows_B / extent). The model
+// therefore chooses intersection exactly when every participating leg is
+// selective enough that reading its postings costs less than the residual
+// evaluations it saves — the classic break-even.
+//
+// Ties are broken deterministically: at equal cost an equality probe wins
+// over a range scan, which wins over an intersection, which wins over the
+// full scan. With empty statistics (fresh database, zero-sized extent)
+// the scan costs 0 while any probe still pays kProbeCost, so the planner
+// deterministically falls back to the (trivially free) scan — pinned by
+// PlannerCostTest.EmptyStatsFallBackToScanDeterministically.
+
+#ifndef SEED_QUERY_STATS_H_
+#define SEED_QUERY_STATS_H_
+
+#include <cstddef>
+
+#include "index/attribute_index.h"
+
+namespace seed::query {
+
+struct CostModel {
+  static constexpr double kProbeCost = 2.0;
+  static constexpr double kPostingCost = 0.25;
+  static constexpr double kResidualCost = 1.0;
+
+  static double ScanCost(double extent_rows) {
+    return extent_rows * kResidualCost;
+  }
+
+  /// One index access feeding the residual filter directly.
+  static double SingleIndexCost(size_t probes, double est_rows) {
+    return static_cast<double>(probes) * kProbeCost +
+           est_rows * (kPostingCost + kResidualCost);
+  }
+
+  /// Reading one leg of an intersection (no residual yet).
+  static double IntersectLegCost(size_t probes, double est_rows) {
+    return static_cast<double>(probes) * kProbeCost +
+           est_rows * kPostingCost;
+  }
+
+  /// The residual filter over the intersected candidate set.
+  static double ResidualCost(double est_rows) {
+    return est_rows * kResidualCost;
+  }
+
+  /// Independence-assumption estimate of an intersection's output size.
+  static double IntersectRows(double rows_a, double rows_b,
+                              double extent_rows) {
+    if (extent_rows <= 0.0) return 0.0;
+    return rows_a * (rows_b / extent_rows);
+  }
+};
+
+/// Exact number of postings matching any of `keys` (hash probes).
+double EstimateEqualityRows(const index::AttributeIndex& index,
+                            const std::vector<core::Value>& keys);
+
+/// Bounded-walk estimate of postings inside the range (see
+/// AttributeIndex::EstimateRange for the extrapolation rule).
+double EstimateRangeRows(const index::AttributeIndex& index,
+                         const core::Value& lo, bool lo_inclusive,
+                         const core::Value& hi, bool hi_inclusive);
+
+}  // namespace seed::query
+
+#endif  // SEED_QUERY_STATS_H_

@@ -152,7 +152,8 @@ TEST_F(AttrIndexTest, PlannerUsesEqualityIndexWithIdenticalResults) {
                          .Or(Predicate::ValueEquals(Value::Int(5)));
   plan = planner.PlanSelect(plant_.sensor, either);
   EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexEquals);
-  EXPECT_EQ(plan.keys.size(), 2u);
+  ASSERT_EQ(plan.legs.size(), 1u);
+  EXPECT_EQ(plan.legs[0].keys.size(), 2u);
   EXPECT_EQ(planner.SelectIds(plant_.sensor, either),
             ScanIds(plant_.sensor, either));
 
@@ -223,6 +224,9 @@ TEST_F(AttrIndexTest, MaintenanceThroughUpdateAndDelete) {
 
 TEST_F(AttrIndexTest, RoleIndexTracksSubObjectValues) {
   ObjectId s = MakeSensor("S", 1);
+  // Filler population: with a cost-based planner, index probes only win
+  // once the extent is large enough to out-cost the probe overhead.
+  for (int i = 0; i < 20; ++i) MakeSensor("Pad" + std::to_string(i), 50 + i);
   ASSERT_TRUE(db_->CreateAttributeIndex({plant_.sensor, "Label"}).ok());
   const index::AttributeIndex* idx =
       db_->attribute_indexes().Find({plant_.sensor, "Label"});
@@ -293,6 +297,10 @@ TEST_F(AttrIndexTest, FamilyIndexServesSpecializedExtentQueries) {
   ASSERT_TRUE(db_->CreateAttributeIndex({plant_.sensor, ""}).ok());
   MakeSensor("Plain", 5);
   ObjectId c = MakeSensor("Calib", 5, plant_.calibrated);
+  // Filler population so the probe out-costs the (family) extent scan.
+  for (int i = 0; i < 20; ++i) {
+    MakeSensor("Pad" + std::to_string(i), 50 + i, plant_.calibrated);
+  }
 
   Planner planner(db_.get());
   Predicate eq = Predicate::ValueEquals(Value::Int(5));
@@ -392,6 +400,28 @@ TEST_F(AttrIndexTest, SaveChangesPersistsEvolvedSchemaWithSpecs) {
   EXPECT_EQ(idx->Lookup(Value::Int(11)).size(), 1u);
   ASSERT_TRUE(kv2.Close().ok());
   fs::remove_all(dir);
+}
+
+TEST_F(AttrIndexTest, DecodesUntaggedV1SpecCatalogs) {
+  // Catalogs written before relationship-side indexes carry no format
+  // marker and no per-spec extent tag: (count, then cls/role/bool per
+  // spec). Loading such a store must still work.
+  Encoder enc;
+  enc.PutVarint(2);
+  enc.PutVarint(plant_.sensor.raw());
+  enc.PutString("");
+  enc.PutBool(true);
+  enc.PutVarint(plant_.sensor.raw());
+  enc.PutString("Label");
+  enc.PutBool(false);
+
+  Decoder dec(enc.bytes());
+  auto specs = index::IndexManager::DecodeSpecs(&dec);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0], (IndexSpec{plant_.sensor, ""}));
+  EXPECT_EQ((*specs)[1], (IndexSpec{plant_.sensor, "Label", false}));
+  EXPECT_FALSE((*specs)[0].on_relationships());
 }
 
 TEST_F(AttrIndexTest, VersionRestoreRebuildsEntries) {

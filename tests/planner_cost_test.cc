@@ -1,0 +1,420 @@
+// Cost-based planner unit tests: plan-kind selection and tie-breaks
+// (equality beats range beats scan at equal estimates; intersection is
+// chosen only when every participating conjunct is selective; empty
+// statistics fall back deterministically), the regression for "first
+// matching index wins even when a later equality index is strictly more
+// selective", relationship-extent planning through relationship-side
+// indexes, and the incremental extent counters the cost model reads.
+//
+// The tie-break tests construct worlds whose modeled costs come out
+// exactly equal under the constants in query/stats.h; if those constants
+// change, re-derive the populations from the formulas documented there.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+#include "core/persistence.h"
+#include "index/index_manager.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "query/stats.h"
+#include "schema/schema_builder.h"
+#include "storage/kv_store.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using index::IndexSpec;
+using query::Planner;
+using query::Predicate;
+
+/// Sensor (INT) with Label (STRING 0..4) and Zone (INT 0..1) sub-objects,
+/// CalibratedSensor specializing Sensor, and a Feeds association
+/// Sensor -> Hub carrying a Weight (INT 0..1) relationship attribute.
+struct CostWorld {
+  schema::SchemaPtr schema;
+  ClassId sensor, calibrated, label, zone, hub;
+  AssociationId feeds;
+  ClassId weight;
+};
+
+CostWorld BuildCostWorld() {
+  schema::SchemaBuilder b("CostWorld");
+  CostWorld w;
+  w.sensor = b.AddIndependentClass("Sensor", schema::ValueType::kInt);
+  w.calibrated =
+      b.AddIndependentClass("CalibratedSensor", schema::ValueType::kInt);
+  b.SetGeneralization(w.calibrated, w.sensor);
+  w.label = b.AddDependentClass(w.sensor, "Label", schema::Cardinality(0, 4),
+                                schema::ValueType::kString);
+  w.zone = b.AddDependentClass(w.sensor, "Zone", schema::Cardinality(0, 1),
+                               schema::ValueType::kInt);
+  w.hub = b.AddIndependentClass("Hub", schema::ValueType::kNone);
+  w.feeds = b.AddAssociation(
+      "Feeds", schema::Role{"src", w.sensor, schema::Cardinality::Any()},
+      schema::Role{"dst", w.hub, schema::Cardinality::Any()});
+  w.weight = b.AddDependentClass(w.feeds, "Weight",
+                                 schema::Cardinality(0, 1),
+                                 schema::ValueType::kInt);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  w.schema = *schema;
+  return w;
+}
+
+class PlannerCostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = BuildCostWorld();
+    db_ = std::make_unique<Database>(world_.schema);
+  }
+
+  ObjectId MakeSensor(int i, std::int64_t value) {
+    auto id = db_->CreateObject(world_.sensor, "S" + std::to_string(i));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(db_->SetValue(*id, Value::Int(value)).ok());
+    return *id;
+  }
+
+  void GiveZone(ObjectId sensor, std::int64_t value) {
+    auto z = db_->CreateSubObject(sensor, "Zone");
+    ASSERT_TRUE(z.ok());
+    ASSERT_TRUE(db_->SetValue(*z, Value::Int(value)).ok());
+  }
+
+  void GiveLabel(ObjectId sensor, const std::string& text) {
+    auto l = db_->CreateSubObject(sensor, "Label");
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(db_->SetValue(*l, Value::String(text)).ok());
+  }
+
+  std::vector<ObjectId> ScanIds(ClassId cls, const Predicate& p,
+                                bool include_specializations = true) {
+    std::vector<ObjectId> out;
+    for (ObjectId id : db_->ObjectsOfClass(cls, include_specializations)) {
+      if (p.Eval(*db_, id)) out.push_back(id);
+    }
+    return out;
+  }
+
+  CostWorld world_;
+  std::unique_ptr<Database> db_;
+};
+
+// --- Tie-breaks --------------------------------------------------------------
+
+TEST_F(PlannerCostTest, EqualityBeatsRangeAtEqualEstimates) {
+  // Both sargable conjuncts estimate 0 rows: the equality probe and the
+  // range scan cost exactly one probe each, the intersection costs two.
+  // The deterministic tie-break must pick the equality.
+  for (int i = 0; i < 100; ++i) {
+    ObjectId s = MakeSensor(i, i);  // no sensor carries value 7777
+    GiveZone(s, i);                 // no zone exceeds 900
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, "Zone"}).ok());
+
+  Planner planner(db_.get());
+  Predicate p = Predicate::ValueEquals(Value::Int(7777))
+                    .And(Predicate::OnSubObject(
+                        "Zone", Predicate::IntGreater(900)));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexEquals);
+  ASSERT_EQ(plan.legs.size(), 1u);
+  EXPECT_TRUE(plan.legs[0].index->spec().role.empty());
+  EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
+}
+
+TEST_F(PlannerCostTest, RangeBeatsScanAtEqualCost) {
+  // 12 sensors, 8 of them in the range: range cost = probe(2) + 8 * 1.25
+  // = 12 = scan cost. The tie-break prefers the range plan.
+  for (int i = 0; i < 12; ++i) {
+    ObjectId s = MakeSensor(i, i);
+    GiveZone(s, i < 8 ? 1000 + i : i);
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, "Zone"}).ok());
+
+  Planner planner(db_.get());
+  Predicate p = Predicate::OnSubObject("Zone", Predicate::IntGreater(900));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexRange);
+  EXPECT_DOUBLE_EQ(plan.est_cost, 12.0);
+  EXPECT_DOUBLE_EQ(plan.est_rows, 8.0);
+  EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
+}
+
+TEST_F(PlannerCostTest, EmptyStatsFallBackToScanDeterministically) {
+  // Fresh database: every estimate is zero and the scan (cost 0 over an
+  // empty extent) wins. Planning must not divide by zero or crash, and
+  // execution must return the empty result.
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  Planner planner(db_.get());
+  Predicate p = Predicate::ValueEquals(Value::Int(1));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kFullScan);
+  EXPECT_DOUBLE_EQ(plan.extent_rows, 0.0);
+  EXPECT_TRUE(planner.SelectIds(world_.sensor, p).empty());
+}
+
+// --- Intersection selection ---------------------------------------------------
+
+TEST_F(PlannerCostTest, IntersectionChosenWhenBothConjunctsSelective) {
+  // 1000 sensors; equality selects ~10, the zone range selects ~10.
+  // Reading both posting lists (~20 * 0.25) plus the ~0.1-row residual is
+  // far cheaper than residual-evaluating 10 candidates (10 * 1.25).
+  for (int i = 0; i < 1000; ++i) {
+    ObjectId s = MakeSensor(i, i % 100);
+    GiveZone(s, i);
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, "Zone"}).ok());
+
+  Planner planner(db_.get());
+  Predicate p = Predicate::ValueEquals(Value::Int(7))
+                    .And(Predicate::OnSubObject(
+                        "Zone", Predicate::IntGreater(989)));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexIntersect);
+  ASSERT_EQ(plan.legs.size(), 2u);
+  EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
+  // The EXPLAIN string carries both legs and the estimate.
+  EXPECT_NE(plan.ToString().find("index-intersect"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("est ~"), std::string::npos);
+}
+
+TEST_F(PlannerCostTest, IntersectionRejectedWhenOneConjunctUnselective) {
+  // Equality still selects ~10 but the range now covers ~90% of the
+  // extent: paying its posting list would cost more than the residual
+  // evaluations it prunes, so the single equality probe must win.
+  for (int i = 0; i < 1000; ++i) {
+    ObjectId s = MakeSensor(i, i % 100);
+    GiveZone(s, i % 100);
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, "Zone"}).ok());
+
+  Planner planner(db_.get());
+  Predicate p = Predicate::ValueEquals(Value::Int(7))
+                    .And(Predicate::OnSubObject(
+                        "Zone", Predicate::IntGreater(9)));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexEquals);
+  ASSERT_EQ(plan.legs.size(), 1u);
+  EXPECT_TRUE(plan.legs[0].index->spec().role.empty());
+  EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
+}
+
+// --- Regression: most selective index wins ------------------------------------
+
+TEST_F(PlannerCostTest, MoreSelectiveLaterEqualityIndexWins) {
+  // The pre-cost planner took the *first* sargable conjunct with any
+  // matching index: here the own-value equality (500 of 1000 rows). The
+  // cost model must instead pick the Label index, whose equality selects
+  // 2 rows — and must not intersect, since the unselective posting list
+  // costs more than it prunes.
+  for (int i = 0; i < 1000; ++i) {
+    ObjectId s = MakeSensor(i, i < 500 ? 7 : i);
+    if (i == 13 || i == 977) GiveLabel(s, "rare");
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, "Label"}).ok());
+
+  Planner planner(db_.get());
+  Predicate p = Predicate::ValueEquals(Value::Int(7))
+                    .And(Predicate::OnSubObject(
+                        "Label", Predicate::ValueEquals(
+                                     Value::String("rare"))));
+  auto plan = planner.PlanSelect(world_.sensor, p);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexEquals);
+  ASSERT_EQ(plan.legs.size(), 1u);
+  EXPECT_EQ(plan.legs[0].index->spec().role, "Label");
+  EXPECT_DOUBLE_EQ(plan.legs[0].est_rows, 2.0);
+  EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
+}
+
+// --- Relationship-extent planning ---------------------------------------------
+
+TEST_F(PlannerCostTest, RelationshipAttributePredicatePlansThroughIndex) {
+  ObjectId hub = *db_->CreateObject(world_.hub, "Hub");
+  std::vector<RelationshipId> rels;
+  for (int i = 0; i < 200; ++i) {
+    ObjectId s = MakeSensor(i, i);
+    auto rel = db_->CreateRelationship(world_.feeds, s, hub);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    auto w = db_->CreateSubObject(*rel, "Weight");
+    ASSERT_TRUE(w.ok());
+    if (i % 10 != 9) {  // every 10th weight stays vague
+      ASSERT_TRUE(db_->SetValue(*w, Value::Int(i % 20)).ok());
+    }
+    rels.push_back(*rel);
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex(
+                    IndexSpec::ForAssociation(world_.feeds, "Weight"))
+                  .ok());
+
+  Planner planner(db_.get());
+  std::vector<Planner::RelCondition> conds;
+  conds.push_back({"Weight", Predicate::ValueEquals(Value::Int(7))});
+
+  auto plan = planner.PlanSelectRelationships(world_.feeds, conds);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kIndexEquals);
+  ASSERT_EQ(plan.legs.size(), 1u);
+  EXPECT_TRUE(plan.legs[0].index->spec().on_relationships());
+
+  // Identity with the RelationshipsOf-style scan.
+  std::vector<RelationshipId> scanned;
+  for (RelationshipId id : db_->RelationshipsOfAssociation(world_.feeds)) {
+    if (planner.EvalRelConditions(id, conds)) scanned.push_back(id);
+  }
+  EXPECT_EQ(planner.SelectRelationshipIds(world_.feeds, conds), scanned);
+  EXPECT_FALSE(scanned.empty());
+
+  // Range conditions plan and agree too.
+  std::vector<Planner::RelCondition> range_conds;
+  range_conds.push_back({"Weight", Predicate::IntGreater(16)});
+  auto range_plan =
+      planner.PlanSelectRelationships(world_.feeds, range_conds);
+  EXPECT_EQ(range_plan.kind, Planner::Plan::Kind::kIndexRange);
+  std::vector<RelationshipId> range_scanned;
+  for (RelationshipId id : db_->RelationshipsOfAssociation(world_.feeds)) {
+    if (planner.EvalRelConditions(id, range_conds)) {
+      range_scanned.push_back(id);
+    }
+  }
+  EXPECT_EQ(planner.SelectRelationshipIds(world_.feeds, range_conds),
+            range_scanned);
+
+  // Maintenance: deleting a matching relationship removes it from the
+  // index; updating a weight moves it between keys.
+  RelationshipId victim = scanned.front();
+  ASSERT_TRUE(db_->DeleteRelationship(victim).ok());
+  auto after = planner.SelectRelationshipIds(world_.feeds, conds);
+  EXPECT_EQ(after.size(), scanned.size() - 1);
+  for (RelationshipId id : after) EXPECT_NE(id, victim);
+
+  // The textual layer reaches the same path.
+  std::string plan_str;
+  auto text = query::RunRelationshipQuery(
+      *db_, "find rel Feeds where Weight is 7", &plan_str);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text, after);
+  EXPECT_NE(plan_str.find("index-equals"), std::string::npos);
+  EXPECT_NE(plan_str.find("est ~"), std::string::npos);
+  EXPECT_NE(plan_str.find("actual"), std::string::npos);
+}
+
+TEST_F(PlannerCostTest, RelationshipQueriesWithoutIndexScan) {
+  ObjectId hub = *db_->CreateObject(world_.hub, "Hub");
+  for (int i = 0; i < 20; ++i) {
+    ObjectId s = MakeSensor(i, i);
+    auto rel = db_->CreateRelationship(world_.feeds, s, hub);
+    ASSERT_TRUE(rel.ok());
+    auto w = db_->CreateSubObject(*rel, "Weight");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(db_->SetValue(*w, Value::Int(i)).ok());
+  }
+  Planner planner(db_.get());
+  std::vector<Planner::RelCondition> conds;
+  conds.push_back({"Weight", Predicate::IntLess(5)});
+  auto plan = planner.PlanSelectRelationships(world_.feeds, conds);
+  EXPECT_EQ(plan.kind, Planner::Plan::Kind::kFullScan);
+  EXPECT_EQ(planner.SelectRelationshipIds(world_.feeds, conds).size(), 5u);
+}
+
+TEST_F(PlannerCostTest, RelationshipIndexDefinitionsSurviveSaveAndLoad) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "seed_planner_cost_persist";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ObjectId hub = *db_->CreateObject(world_.hub, "Hub");
+  for (int i = 0; i < 10; ++i) {
+    ObjectId s = MakeSensor(i, i);
+    auto rel = db_->CreateRelationship(world_.feeds, s, hub);
+    ASSERT_TRUE(rel.ok());
+    auto w = db_->CreateSubObject(*rel, "Weight");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(db_->SetValue(*w, Value::Int(i)).ok());
+  }
+  ASSERT_TRUE(db_->CreateAttributeIndex({world_.sensor, ""}).ok());
+  ASSERT_TRUE(db_->CreateAttributeIndex(
+                    IndexSpec::ForAssociation(world_.feeds, "Weight"))
+                  .ok());
+  {
+    storage::KvStore kv;
+    ASSERT_TRUE(kv.Open(dir.string()).ok());
+    ASSERT_TRUE(core::Persistence::SaveFull(*db_, &kv).ok());
+    ASSERT_TRUE(kv.Close().ok());
+  }
+  storage::KvStore kv;
+  ASSERT_TRUE(kv.Open(dir.string()).ok());
+  auto loaded = core::Persistence::Load(&kv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& manager = (*loaded)->attribute_indexes();
+  EXPECT_EQ(manager.size(), 2u);
+  const index::AttributeIndex* rel_idx =
+      manager.Find(IndexSpec::ForAssociation(world_.feeds, "Weight"));
+  ASSERT_NE(rel_idx, nullptr);
+  // Entries were re-derived from the restored relationships.
+  EXPECT_EQ(rel_idx->num_entries(), 10u);
+  EXPECT_EQ(rel_idx->LookupRels(Value::Int(3)).size(), 1u);
+  // Extent counters were rebuilt on load too.
+  EXPECT_EQ((*loaded)->extent_counters().CountAssociationExtent(
+                *(*loaded)->schema(), world_.feeds, true),
+            10u);
+  ASSERT_TRUE(kv.Close().ok());
+  fs::remove_all(dir);
+}
+
+// --- Extent counters ----------------------------------------------------------
+
+TEST_F(PlannerCostTest, ExtentCountersTrackEveryMutationPath) {
+  const auto& counters = db_->extent_counters();
+  const schema::Schema& schema = *db_->schema();
+
+  ObjectId s0 = MakeSensor(0, 1);
+  ObjectId s1 = MakeSensor(1, 2);
+  auto c = db_->CreateObject(world_.calibrated, "C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(counters.CountClass(world_.sensor), 2u);
+  EXPECT_EQ(counters.CountClassExtent(schema, world_.sensor, true), 3u);
+
+  // Reclassify moves the count between exact extents.
+  ASSERT_TRUE(db_->Reclassify(s1, world_.calibrated).ok());
+  EXPECT_EQ(counters.CountClass(world_.sensor), 1u);
+  EXPECT_EQ(counters.CountClass(world_.calibrated), 2u);
+  EXPECT_EQ(counters.CountClassExtent(schema, world_.sensor, true), 3u);
+
+  // Deletion (with sub-objects) removes object and child counts.
+  GiveZone(s0, 5);
+  EXPECT_EQ(counters.CountClass(world_.zone), 1u);
+  ASSERT_TRUE(db_->DeleteObject(s0).ok());
+  EXPECT_EQ(counters.CountClass(world_.sensor), 0u);
+  EXPECT_EQ(counters.CountClass(world_.zone), 0u);
+
+  // Relationships count per association and follow deletion cascades.
+  ObjectId hub = *db_->CreateObject(world_.hub, "Hub");
+  auto rel = db_->CreateRelationship(world_.feeds, s1, hub);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(counters.CountAssociationExtent(schema, world_.feeds, true), 1u);
+  ASSERT_TRUE(db_->DeleteObject(hub).ok());
+  EXPECT_EQ(counters.CountAssociationExtent(schema, world_.feeds, true), 0u);
+
+  // Patterns never count: they are invisible to extents.
+  core::CreateOptions opts;
+  opts.pattern = true;
+  ASSERT_TRUE(db_->CreateObject(world_.sensor, "Ghost", opts).ok());
+  EXPECT_EQ(counters.CountClass(world_.sensor), 0u);
+
+  // Counters always agree with the materialized extents.
+  EXPECT_EQ(counters.CountClassExtent(schema, world_.sensor, true),
+            db_->ObjectsOfClass(world_.sensor, true).size());
+}
+
+}  // namespace
+}  // namespace seed

@@ -1,0 +1,440 @@
+// Differential property test for the cost-based planner: against
+// randomized schemas, data, index sets and mutation histories (including
+// vague values, sub-object predicates, relationship attributes,
+// reclassification both ways and version restores), every generated query
+// must return exactly what the brute-force extent scan returns — the
+// planner is an optimization, never a semantics change.
+//
+// The driver runs several seeds; each seed builds its own random schema
+// (varying specialization depth, sub-object cardinality and index set),
+// then interleaves mutations with planner-vs-scan queries. Well over 500
+// queries execute across the run (asserted at the end), covering object
+// queries (equality, ranges, OR-of-equalities, conjunctions with opaque
+// residuals, negations, sub-object predicates, exact and family extents)
+// and relationship-attribute queries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "index/index_manager.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "schema/schema_builder.h"
+#include "version/version_manager.h"
+
+namespace seed {
+namespace {
+
+using core::Database;
+using core::Value;
+using index::IndexSpec;
+using query::Planner;
+using query::Predicate;
+
+/// One randomized world: Base (INT) with `num_specs` specializations
+/// hanging off it in a chain, a Label sub-object (STRING), a Zone
+/// sub-object (INT), a Target class and a Link association
+/// Base -> Target with a Weight (INT) relationship attribute, plus a
+/// FastLink specialization of Link.
+struct RandomWorld {
+  schema::SchemaPtr schema;
+  ClassId base;
+  std::vector<ClassId> specs;  // generalization chain under base
+  ClassId label, zone, target;
+  AssociationId link, fast_link;
+  ClassId weight;
+
+  /// All classes an object of the family may have.
+  std::vector<ClassId> family() const {
+    std::vector<ClassId> out{base};
+    out.insert(out.end(), specs.begin(), specs.end());
+    return out;
+  }
+};
+
+RandomWorld BuildRandomWorld(Random& rng) {
+  schema::SchemaBuilder b("DiffWorld");
+  RandomWorld w;
+  w.base = b.AddIndependentClass("Base", schema::ValueType::kInt);
+  size_t num_specs = 1 + rng.Uniform(3);
+  ClassId parent = w.base;
+  for (size_t i = 0; i < num_specs; ++i) {
+    ClassId spec = b.AddIndependentClass("Spec" + std::to_string(i),
+                                         schema::ValueType::kInt);
+    b.SetGeneralization(spec, parent);
+    w.specs.push_back(spec);
+    parent = spec;
+  }
+  w.label = b.AddDependentClass(
+      w.base, "Label",
+      schema::Cardinality(0, 1 + static_cast<std::uint32_t>(rng.Uniform(4))),
+      schema::ValueType::kString);
+  w.zone = b.AddDependentClass(w.base, "Zone", schema::Cardinality(0, 1),
+                               schema::ValueType::kInt);
+  w.target = b.AddIndependentClass("Target", schema::ValueType::kNone);
+  w.link = b.AddAssociation(
+      "Link", schema::Role{"src", w.base, schema::Cardinality::Any()},
+      schema::Role{"dst", w.target, schema::Cardinality::Any()});
+  w.weight = b.AddDependentClass(
+      w.link, "Weight",
+      schema::Cardinality(0, 1 + static_cast<std::uint32_t>(rng.Uniform(2))),
+      schema::ValueType::kInt);
+  w.fast_link = b.AddAssociation(
+      "FastLink", schema::Role{"src", w.base, schema::Cardinality::Any()},
+      schema::Role{"dst", w.target, schema::Cardinality::Any()});
+  b.SetGeneralization(w.fast_link, w.link);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  w.schema = *schema;
+  return w;
+}
+
+/// Creates a random subset of object and relationship indexes.
+void CreateRandomIndexes(Database* db, const RandomWorld& w, Random& rng) {
+  if (rng.Bernoulli(0.8)) {
+    (void)db->CreateAttributeIndex({w.base, "", rng.Bernoulli(0.8)});
+  }
+  if (rng.Bernoulli(0.6)) {
+    (void)db->CreateAttributeIndex({w.base, "Label"});
+  }
+  if (rng.Bernoulli(0.6)) {
+    (void)db->CreateAttributeIndex({w.base, "Zone"});
+  }
+  if (!w.specs.empty() && rng.Bernoulli(0.5)) {
+    (void)db->CreateAttributeIndex(
+        {rng.Pick(w.specs), "", rng.Bernoulli(0.5)});
+  }
+  if (rng.Bernoulli(0.7)) {
+    (void)db->CreateAttributeIndex(
+        IndexSpec::ForAssociation(w.link, "Weight"));
+  }
+  if (rng.Bernoulli(0.3)) {
+    (void)db->CreateAttributeIndex(
+        IndexSpec::ForAssociation(w.fast_link, "Weight", false));
+  }
+}
+
+Predicate RandomAtom(const RandomWorld& w, Random& rng) {
+  switch (rng.Uniform(8)) {
+    case 0:
+      return Predicate::ValueEquals(Value::Int(rng.UniformRange(0, 9)));
+    case 1:
+      return Predicate::IntGreater(rng.UniformRange(0, 9));
+    case 2:
+      return Predicate::IntLess(rng.UniformRange(0, 9));
+    case 3:
+      return Predicate::ValueEquals(Value::Int(rng.UniformRange(0, 4)))
+          .Or(Predicate::ValueEquals(Value::Int(rng.UniformRange(5, 9))));
+    case 4:
+      return Predicate::OnSubObject(
+          "Label", Predicate::ValueEquals(Value::String(
+                       "L" + std::to_string(rng.UniformRange(0, 4)))));
+    case 5:
+      return Predicate::OnSubObject(
+          "Zone", rng.Bernoulli(0.5)
+                      ? Predicate::IntGreater(rng.UniformRange(0, 9))
+                      : Predicate::ValueEquals(
+                            Value::Int(rng.UniformRange(0, 9))));
+    case 6:
+      return Predicate::HasValue();
+    default:
+      return Predicate::NameContains(std::to_string(rng.Uniform(10)));
+  }
+}
+
+Predicate RandomPredicate(const RandomWorld& w, Random& rng) {
+  Predicate p = RandomAtom(w, rng);
+  switch (rng.Uniform(5)) {
+    case 0:
+      return p.And(RandomAtom(w, rng));
+    case 1:
+      return p.And(RandomAtom(w, rng)).And(RandomAtom(w, rng));
+    case 2:
+      return p.Or(RandomAtom(w, rng));
+    case 3:
+      return p.Not();
+    default:
+      return p;
+  }
+}
+
+std::vector<Planner::RelCondition> RandomRelConditions(Random& rng) {
+  std::vector<Planner::RelCondition> conds;
+  size_t n = 1 + rng.Uniform(2);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        conds.push_back({"Weight", Predicate::ValueEquals(
+                                       Value::Int(rng.UniformRange(0, 9)))});
+        break;
+      case 1:
+        conds.push_back({"Weight",
+                         Predicate::IntGreater(rng.UniformRange(0, 9))});
+        break;
+      case 2:
+        conds.push_back({"Weight",
+                         Predicate::IntLess(rng.UniformRange(0, 9))});
+        break;
+      default:
+        conds.push_back({"Weight", Predicate::True()});  // 'has Weight'
+        break;
+    }
+  }
+  return conds;
+}
+
+TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
+  size_t queries_run = 0;
+  size_t index_plans = 0;
+  size_t intersect_plans = 0;
+  size_t rel_index_plans = 0;
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Random rng(seed * 7919);
+    RandomWorld w = BuildRandomWorld(rng);
+    auto db = std::make_unique<Database>(w.schema);
+    version::VersionManager vm(db.get());
+    CreateRandomIndexes(db.get(), w, rng);
+
+    std::vector<ObjectId> objects;
+    std::vector<RelationshipId> rels;
+    std::vector<version::VersionId> versions;
+    std::vector<ClassId> family = w.family();
+    int created = 0;
+
+    ObjectId target0 = *db->CreateObject(w.target, "T0");
+    ObjectId target1 = *db->CreateObject(w.target, "T1");
+
+    // Pre-populate so extents are large enough that index plans (and
+    // intersections) actually win the cost comparison — otherwise every
+    // query would trivially plan as a scan and the differential would
+    // only exercise one path.
+    for (int i = 0; i < 120; ++i) {
+      auto id = db->CreateObject(rng.Pick(family),
+                                 "Seed" + std::to_string(created++));
+      ASSERT_TRUE(id.ok());
+      objects.push_back(*id);
+      if (rng.Bernoulli(0.85)) {
+        (void)db->SetValue(*id, Value::Int(rng.UniformRange(0, 9)));
+      }
+      if (rng.Bernoulli(0.5)) {
+        auto sub = db->CreateSubObject(*id, "Label");
+        if (sub.ok()) {
+          (void)db->SetValue(*sub, Value::String("L" + std::to_string(
+                                       rng.UniformRange(0, 4))));
+        }
+      }
+      if (rng.Bernoulli(0.5)) {
+        auto sub = db->CreateSubObject(*id, "Zone");
+        if (sub.ok() && rng.Bernoulli(0.9)) {
+          (void)db->SetValue(*sub, Value::Int(rng.UniformRange(0, 9)));
+        }
+      }
+      if (rng.Bernoulli(0.6)) {
+        auto rel = db->CreateRelationship(
+            rng.Bernoulli(0.7) ? w.link : w.fast_link, *id,
+            rng.Bernoulli(0.5) ? target0 : target1);
+        if (rel.ok()) {
+          rels.push_back(*rel);
+          auto weight = db->CreateSubObject(*rel, "Weight");
+          if (weight.ok() && rng.Bernoulli(0.85)) {
+            (void)db->SetValue(*weight,
+                               Value::Int(rng.UniformRange(0, 9)));
+          }
+        }
+      }
+    }
+
+    auto run_object_query = [&] {
+      ClassId cls = rng.Bernoulli(0.7) ? w.base : rng.Pick(family);
+      bool include_spec = rng.Bernoulli(0.8);
+      Predicate p = RandomPredicate(w, rng);
+      Planner planner(db.get());
+      Planner::Plan plan = planner.PlanSelect(cls, p, include_spec);
+      if (plan.uses_index()) ++index_plans;
+      if (plan.kind == Planner::Plan::Kind::kIndexIntersect) {
+        ++intersect_plans;
+      }
+      std::vector<ObjectId> scanned;
+      for (ObjectId id : db->ObjectsOfClass(cls, include_spec)) {
+        if (p.Eval(*db, id)) scanned.push_back(id);
+      }
+      ASSERT_EQ(planner.SelectIds(cls, p, include_spec, &plan), scanned)
+          << "object query diverged at seed " << seed << " (plan: "
+          << plan.ToString() << ")";
+      ++queries_run;
+    };
+
+    auto run_rel_query = [&] {
+      AssociationId assoc = rng.Bernoulli(0.7) ? w.link : w.fast_link;
+      bool include_spec = rng.Bernoulli(0.8);
+      auto conds = RandomRelConditions(rng);
+      Planner planner(db.get());
+      Planner::Plan plan =
+          planner.PlanSelectRelationships(assoc, conds, include_spec);
+      if (plan.uses_index()) ++rel_index_plans;
+      std::vector<RelationshipId> scanned;
+      for (RelationshipId id :
+           db->RelationshipsOfAssociation(assoc, include_spec)) {
+        if (planner.EvalRelConditions(id, conds)) scanned.push_back(id);
+      }
+      ASSERT_EQ(
+          planner.SelectRelationshipIds(assoc, conds, include_spec, &plan),
+          scanned)
+          << "relationship query diverged at seed " << seed << " (plan: "
+          << plan.ToString() << ")";
+      ++queries_run;
+    };
+
+    for (int step = 0; step < 150; ++step) {
+      switch (rng.Uniform(10)) {
+        case 0: {  // create an object somewhere in the family
+          auto id = db->CreateObject(rng.Pick(family),
+                                     "Obj" + std::to_string(created++));
+          ASSERT_TRUE(id.ok());
+          if (rng.Bernoulli(0.8)) {  // some objects stay vague
+            (void)db->SetValue(*id, Value::Int(rng.UniformRange(0, 9)));
+          }
+          objects.push_back(*id);
+          break;
+        }
+        case 1: {  // set / clear own value
+          if (objects.empty()) break;
+          ObjectId id = rng.Pick(objects);
+          if (rng.Bernoulli(0.25)) {
+            (void)db->ClearValue(id);
+          } else {
+            (void)db->SetValue(id, Value::Int(rng.UniformRange(0, 9)));
+          }
+          break;
+        }
+        case 2: {  // add or update a Label / Zone sub-object
+          if (objects.empty()) break;
+          ObjectId parent = rng.Pick(objects);
+          const char* role = rng.Bernoulli(0.5) ? "Label" : "Zone";
+          auto subs = db->SubObjects(parent, role);
+          ObjectId sub;
+          if (subs.empty() || rng.Bernoulli(0.4)) {
+            auto created_sub = db->CreateSubObject(parent, role);
+            if (!created_sub.ok()) break;
+            sub = *created_sub;
+          } else {
+            sub = rng.Pick(subs);
+          }
+          if (rng.Bernoulli(0.85)) {
+            (void)db->SetValue(
+                sub, role == std::string("Label")
+                         ? Value::String(
+                               "L" + std::to_string(rng.UniformRange(0, 4)))
+                         : Value::Int(rng.UniformRange(0, 9)));
+          } else {
+            (void)db->ClearValue(sub);
+          }
+          break;
+        }
+        case 3: {  // delete an object (or one of its sub-objects)
+          if (objects.empty()) break;
+          ObjectId victim = rng.Pick(objects);
+          if (rng.Bernoulli(0.4)) {
+            auto subs = db->SubObjects(victim);
+            if (!subs.empty()) victim = rng.Pick(subs);
+          }
+          (void)db->DeleteObject(victim);
+          break;
+        }
+        case 4: {  // reclassify along the chain (down or up)
+          if (objects.empty()) break;
+          ObjectId id = rng.Pick(objects);
+          auto obj = db->GetObject(id);
+          if (!obj.ok()) break;
+          (void)db->Reclassify(id, rng.Pick(family));
+          break;
+        }
+        case 5: {  // create a relationship, sometimes with a Weight
+          if (objects.empty()) break;
+          ObjectId src = rng.Pick(objects);
+          auto rel = db->CreateRelationship(
+              rng.Bernoulli(0.7) ? w.link : w.fast_link, src,
+              rng.Bernoulli(0.5) ? target0 : target1);
+          if (!rel.ok()) break;
+          rels.push_back(*rel);
+          if (rng.Bernoulli(0.8)) {
+            auto weight = db->CreateSubObject(*rel, "Weight");
+            if (weight.ok() && rng.Bernoulli(0.85)) {
+              (void)db->SetValue(*weight,
+                                 Value::Int(rng.UniformRange(0, 9)));
+            }
+          }
+          break;
+        }
+        case 6: {  // mutate or clear a relationship attribute
+          if (rels.empty()) break;
+          RelationshipId rel = rng.Pick(rels);
+          auto subs = db->SubObjects(rel, "Weight");
+          if (subs.empty()) {
+            auto weight = db->CreateSubObject(rel, "Weight");
+            if (weight.ok()) {
+              (void)db->SetValue(*weight,
+                                 Value::Int(rng.UniformRange(0, 9)));
+            }
+            break;
+          }
+          ObjectId sub = rng.Pick(subs);
+          if (rng.Bernoulli(0.2)) {
+            (void)db->ClearValue(sub);
+          } else if (rng.Bernoulli(0.2)) {
+            (void)db->DeleteObject(sub);
+          } else {
+            (void)db->SetValue(sub, Value::Int(rng.UniformRange(0, 9)));
+          }
+          break;
+        }
+        case 7: {  // delete or reclassify a relationship
+          if (rels.empty()) break;
+          RelationshipId rel = rng.Pick(rels);
+          auto item = db->GetRelationship(rel);
+          if (!item.ok()) break;
+          if (rng.Bernoulli(0.5)) {
+            (void)db->DeleteRelationship(rel);
+          } else {
+            (void)db->ReclassifyRelationship(
+                rel, (*item)->assoc == w.link ? w.fast_link : w.link);
+          }
+          break;
+        }
+        case 8: {  // freeze a version
+          auto v = vm.CreateVersion();
+          if (v.ok()) versions.push_back(*v);
+          break;
+        }
+        case 9: {  // restore a historical version, then query immediately
+          if (versions.empty()) break;
+          ASSERT_TRUE(vm.SelectVersion(rng.Pick(versions)).ok());
+          run_object_query();
+          run_rel_query();
+          break;
+        }
+      }
+      // Every step ends with at least one differential check.
+      run_object_query();
+      if (rng.Bernoulli(0.5)) run_rel_query();
+    }
+  }
+  // The acceptance bar: at least 500 random queries with planner/scan
+  // identity. (5 seeds x 150 steps x >=1 query.)
+  EXPECT_GE(queries_run, 500u);
+  // The differential is only meaningful if both access paths actually
+  // ran: require a healthy share of index plans, including intersections
+  // and relationship-side probes.
+  EXPECT_GE(index_plans, 50u);
+  EXPECT_GE(intersect_plans, 5u);
+  EXPECT_GE(rel_index_plans, 20u);
+}
+
+}  // namespace
+}  // namespace seed
