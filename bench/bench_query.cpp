@@ -389,6 +389,180 @@ void BM_Query_RelAttributeIndexed(benchmark::State& state) {
 }
 BENCHMARK(BM_Query_RelAttributeIndexed)->Arg(1000)->Arg(10000);
 
+// --- Join strategies: planner-driven vs. always-materialize ------------------
+
+using seed::query::QueryRelation;
+
+struct JoinBenchWorld {
+  std::unique_ptr<Database> db;
+  seed::ClassId src_cls, dst_cls;
+  seed::AssociationId flows;
+  QueryRelation all_src, all_dst, small_src, small_dst;
+};
+
+/// `n` relationships with uniform per-src `degree` (0 = sqrt(n) layout)
+/// over the matching Src/Dst extents, plus 10-tuple driver relations on
+/// each side — the shape where a selective Select feeds a join against a
+/// big association.
+JoinBenchWorld BuildJoinBench(int n, int degree = 0) {
+  seed::schema::SchemaBuilder b("JoinBench");
+  seed::ClassId src_cls =
+      b.AddIndependentClass("Src", seed::schema::ValueType::kNone);
+  seed::ClassId dst_cls =
+      b.AddIndependentClass("Dst", seed::schema::ValueType::kNone);
+  seed::AssociationId flows = b.AddAssociation(
+      "Flows",
+      seed::schema::Role{"src", src_cls, seed::schema::Cardinality::Any()},
+      seed::schema::Role{"dst", dst_cls, seed::schema::Cardinality::Any()});
+  JoinBenchWorld world{std::make_unique<Database>(*b.Build()), src_cls,
+                       dst_cls, flows, {}, {}, {}, {}};
+  int stripe = degree > 0 ? std::max(1, n / degree)
+                          : std::max(1, static_cast<int>(std::sqrt(n)));
+  degree = std::max(1, n / stripe);
+  std::vector<ObjectId> srcs, dsts;
+  for (int i = 0; i < stripe; ++i) {
+    srcs.push_back(*world.db->CreateObject(src_cls, "S" + std::to_string(i)));
+    dsts.push_back(*world.db->CreateObject(dst_cls, "D" + std::to_string(i)));
+  }
+  for (int i = 0; i < stripe; ++i) {
+    for (int j = 0; j < degree; ++j) {
+      (void)*world.db->CreateRelationship(flows, srcs[i],
+                                          dsts[(i + j) % stripe]);
+    }
+  }
+  world.all_src.attributes = {"s"};
+  for (ObjectId id : srcs) world.all_src.tuples.push_back({id});
+  world.all_dst.attributes = {"d"};
+  for (ObjectId id : dsts) world.all_dst.tuples.push_back({id});
+  world.small_src.attributes = {"s"};
+  world.small_dst.attributes = {"d"};
+  for (int i = 0; i < 10 && i < stripe; ++i) {
+    world.small_src.tuples.push_back({srcs[i]});
+    world.small_dst.tuples.push_back({dsts[i]});
+  }
+  return world;
+}
+
+seed::query::Algebra::JoinOptions MaterializeOptions(int left_role) {
+  // The pre-planner join: hash join, right build side, whatever the
+  // input sizes — always materializes the association adjacency.
+  seed::query::Algebra::JoinOptions options;
+  options.method = seed::query::Algebra::JoinOptions::Method::kHash;
+  options.build_side = seed::query::Algebra::JoinOptions::Side::kRight;
+  options.left_role = left_role;
+  return options;
+}
+
+/// Selective driver, old path: materialize all `n` relationships to join
+/// 10 tuples.
+void BM_Query_JoinSmallDriverMaterialize(benchmark::State& state) {
+  auto world = BuildJoinBench(static_cast<int>(state.range(0)), 10);
+  Algebra algebra(world.db.get());
+  for (auto _ : state) {
+    auto r = algebra.RelationshipJoin(world.small_src, "s", world.flows,
+                                      world.all_dst, "d",
+                                      MaterializeOptions(0));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_JoinSmallDriverMaterialize)->Arg(10000)->Arg(100000);
+
+/// Selective driver, planned: PlanJoin picks the index-nested-loop from
+/// the 10-tuple side and never touches the association extent.
+void BM_Query_JoinSmallDriverPlanned(benchmark::State& state) {
+  auto world = BuildJoinBench(static_cast<int>(state.range(0)), 10);
+  Planner planner(world.db.get());
+  Algebra algebra(world.db.get());
+  auto plan = planner.PlanJoin(world.flows, world.small_src.size(),
+                               world.all_dst.size());
+  if (plan.strategy !=
+      Planner::JoinPlan::Strategy::kIndexNestedLoopLeft) {
+    abort();
+  }
+  // Identity with the materializing path, once per setup.
+  {
+    auto planned = *planner.Join(world.small_src, "s", world.flows,
+                                 world.all_dst, "d");
+    auto materialized = *algebra.RelationshipJoin(
+        world.small_src, "s", world.flows, world.all_dst, "d",
+        MaterializeOptions(0));
+    if (planned.tuples != materialized.tuples) abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.Join(world.small_src, "s", world.flows, world.all_dst,
+                          "d");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_JoinSmallDriverPlanned)->Arg(10000)->Arg(100000);
+
+/// The reverse direction (left side bound to role 1): small Dst driver
+/// against the same association, old path vs. planned.
+void BM_Query_JoinReverseMaterialize(benchmark::State& state) {
+  auto world = BuildJoinBench(static_cast<int>(state.range(0)), 10);
+  Algebra algebra(world.db.get());
+  for (auto _ : state) {
+    auto r = algebra.RelationshipJoin(world.small_dst, "d", world.flows,
+                                      world.all_src, "s",
+                                      MaterializeOptions(1));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_JoinReverseMaterialize)->Arg(10000)->Arg(100000);
+
+void BM_Query_JoinReversePlanned(benchmark::State& state) {
+  auto world = BuildJoinBench(static_cast<int>(state.range(0)), 10);
+  Planner planner(world.db.get());
+  Algebra algebra(world.db.get());
+  auto plan = planner.PlanJoin(world.flows, world.small_dst.size(),
+                               world.all_src.size(), 1);
+  if (plan.strategy !=
+      Planner::JoinPlan::Strategy::kIndexNestedLoopLeft) {
+    abort();
+  }
+  {
+    auto planned = *planner.Join(world.small_dst, "d", world.flows,
+                                 world.all_src, "s", 1);
+    auto materialized = *algebra.RelationshipJoin(
+        world.small_dst, "d", world.flows, world.all_src, "s",
+        MaterializeOptions(1));
+    if (planned.tuples != materialized.tuples) abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.Join(world.small_dst, "d", world.flows, world.all_src,
+                          "s", 1);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_JoinReversePlanned)->Arg(10000)->Arg(100000);
+
+/// Extent-scale inputs over a sparse (degree-2) association: the planner
+/// keeps the hash join — one adjacency pass beats per-tuple probing —
+/// guarding against INL being chosen blindly.
+void BM_Query_JoinLargeInputsPlanned(benchmark::State& state) {
+  auto world = BuildJoinBench(static_cast<int>(state.range(0)), 2);
+  Planner planner(world.db.get());
+  Planner::JoinPlan plan;
+  auto r0 = planner.Join(world.all_src, "s", world.flows, world.all_dst,
+                         "d", 0, &plan);
+  if (!r0.ok() ||
+      (plan.strategy != Planner::JoinPlan::Strategy::kHashBuildRight &&
+       plan.strategy != Planner::JoinPlan::Strategy::kHashBuildLeft)) {
+    abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.Join(world.all_src, "s", world.flows, world.all_dst,
+                          "d");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_JoinLargeInputsPlanned)->Arg(10000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

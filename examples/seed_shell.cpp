@@ -9,8 +9,11 @@
 //   seed> check
 //
 // Commands: help, find <Class> [exact] [where ...], find rel <Assoc>
-// [exact] [where ...], explain find ... (prints the chosen plan with
-// estimated vs. actual rows), schema, show [path], create <Class> <Name>,
+// [exact] [where ...], find <Class> <b1> join [reverse] via <Assoc> to
+// <Class> <b2> [where <b> ...] (relationship joins; conditions name the
+// side they constrain by its binder), explain find ... (prints the chosen
+// plan — access path or join strategy — with estimated vs. actual rows),
+// schema, show [path], create <Class> <Name>,
 // sub <path> <role>, set <path> <value>, link <Assoc> <path0> <path1>,
 // refine <path> <Class>, refinerel <Assoc> <path0> <path1> <NewAssoc>,
 // rels <path>, delete <path>, rename <path> <new>, check [path], audit,
@@ -157,7 +160,9 @@ class Shell {
     if (cmd == "help") {
       std::printf(
           "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
-          "[where ...]\nexplain find ... | schema | show [path]\ncreate "
+          "[where ...]\nfind <Class> <b1> join [reverse] via <Assoc> to "
+          "<Class> <b2> [where <b> ...]\n"
+          "explain find ... | schema | show [path]\ncreate "
           "<Class> <Name> | sub <path> <role>"
           " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "
           "<Class>\nrefinerel <Assoc> <p0> <p1> <NewAssoc> | rels <path> | "
@@ -180,8 +185,24 @@ class Shell {
       }
       size_t rel_at = cmd == "explain" ? 2 : 1;
       bool rel_query = rel_at < tokens.size() && tokens[rel_at] == "rel";
+      bool join_query =
+          (rel_at + 2 < tokens.size() && tokens[rel_at + 2] == "join") ||
+          (rel_at + 3 < tokens.size() && tokens[rel_at + 2] == "exact" &&
+           tokens[rel_at + 3] == "join");
       size_t matches = 0;
-      if (rel_query) {
+      if (join_query) {
+        auto result = seed::query::RunJoinQuery(*db_, query, &plan);
+        if (!result.ok()) {
+          Print(result.status());
+          return true;
+        }
+        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        for (const auto& [left, right] : *result) {
+          std::printf("%s -- %s\n", db_->FullName(left).c_str(),
+                      db_->FullName(right).c_str());
+        }
+        matches = result->size();
+      } else if (rel_query) {
         auto result = seed::query::RunRelationshipQuery(*db_, query, &plan);
         if (!result.ok()) {
           Print(result.status());

@@ -123,12 +123,17 @@ Status Database::CheckParticipationMaxima(AssociationId assoc, ObjectId end0,
 
 bool Database::DuplicateExists(AssociationId assoc, ObjectId end0,
                                ObjectId end1, RelationshipId ignore) const {
-  auto it = by_assoc_.find(assoc);
-  if (it == by_assoc_.end()) return false;
+  // Scan end0's own relationship list, not the association extent: an
+  // object's degree stays small while an association can hold the whole
+  // database (creating n relationships used to cost O(n^2) through this
+  // check).
+  auto it = rels_by_object_.find(end0);
+  if (it == rels_by_object_.end()) return false;
   for (RelationshipId rid : it->second) {
     if (rid == ignore) continue;
     const RelationshipItem& rel = relationships_.at(rid);
-    if (!rel.is_pattern && rel.ends[0] == end0 && rel.ends[1] == end1) {
+    if (!rel.is_pattern && rel.assoc == assoc && rel.ends[0] == end0 &&
+        rel.ends[1] == end1) {
       return true;
     }
   }

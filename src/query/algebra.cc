@@ -1,8 +1,8 @@
 #include "query/algebra.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
+#include <iterator>
+#include <unordered_map>
 
 namespace seed::query {
 
@@ -55,6 +55,12 @@ Result<QueryRelation> Algebra::Project(
       return Status::InvalidArgument("no attribute '" + name +
                                      "' in relation");
     }
+    for (int seen : indexes) {
+      if (seen == idx) {
+        return Status::InvalidArgument("duplicate attribute '" + name +
+                                       "' in projection");
+      }
+    }
     indexes.push_back(idx);
   }
   QueryRelation out;
@@ -91,11 +97,38 @@ Result<QueryRelation> Algebra::CartesianProduct(const QueryRelation& a,
   return out;
 }
 
+namespace {
+
+/// Tuples hashed by their join attribute.
+using TupleIndex =
+    std::unordered_map<ObjectId, std::vector<const std::vector<ObjectId>*>>;
+
+TupleIndex HashTuples(const QueryRelation& rel, int attr) {
+  TupleIndex index;
+  index.reserve(rel.size());
+  for (const auto& tuple : rel.tuples) index[tuple[attr]].push_back(&tuple);
+  return index;
+}
+
+}  // namespace
+
 Result<QueryRelation> Algebra::RelationshipJoin(const QueryRelation& a,
                                                 std::string_view attr_a,
                                                 AssociationId assoc,
                                                 const QueryRelation& b,
                                                 std::string_view attr_b) const {
+  // Without planner statistics the one safe local decision is the hash
+  // build side: index the smaller input, stream the larger.
+  JoinOptions options;
+  options.build_side = a.size() < b.size() ? JoinOptions::Side::kLeft
+                                           : JoinOptions::Side::kRight;
+  return RelationshipJoin(a, attr_a, assoc, b, attr_b, options);
+}
+
+Result<QueryRelation> Algebra::RelationshipJoin(
+    const QueryRelation& a, std::string_view attr_a, AssociationId assoc,
+    const QueryRelation& b, std::string_view attr_b,
+    const JoinOptions& options) const {
   int ia = a.AttrIndex(attr_a);
   if (ia < 0) {
     return Status::InvalidArgument("no attribute '" + std::string(attr_a) +
@@ -106,39 +139,99 @@ Result<QueryRelation> Algebra::RelationshipJoin(const QueryRelation& a,
     return Status::InvalidArgument("no attribute '" + std::string(attr_b) +
                                    "' in right relation");
   }
+  if (options.left_role != 0 && options.left_role != 1) {
+    return Status::InvalidArgument("join role must be 0 or 1");
+  }
   for (const std::string& attr : b.attributes) {
     if (a.AttrIndex(attr) >= 0) {
       return Status::InvalidArgument("attribute '" + attr +
                                      "' appears on both sides");
     }
   }
-  // Existing relationships of the family: role0 end -> role1 ends.
-  std::unordered_map<ObjectId, std::vector<ObjectId>> right_of;
-  for (RelationshipId rid : db_->RelationshipsOfAssociation(assoc, true)) {
-    auto rel = db_->GetRelationship(rid);
-    if (!rel.ok()) continue;
-    right_of[(*rel)->ends[0]].push_back((*rel)->ends[1]);
-  }
-
-  // Hash the right side by the join attribute.
-  std::unordered_map<ObjectId, std::vector<const std::vector<ObjectId>*>>
-      right_index;
-  for (const auto& tb : b.tuples) right_index[tb[ib]].push_back(&tb);
-
   QueryRelation out;
   out.attributes = a.attributes;
   out.attributes.insert(out.attributes.end(), b.attributes.begin(),
                         b.attributes.end());
-  for (const auto& ta : a.tuples) {
-    auto partners = right_of.find(ta[ia]);
-    if (partners == right_of.end()) continue;
-    for (ObjectId partner : partners->second) {
-      auto matches = right_index.find(partner);
-      if (matches == right_index.end()) continue;
-      for (const auto* tb : matches->second) {
-        std::vector<ObjectId> tuple = ta;
-        tuple.insert(tuple.end(), tb->begin(), tb->end());
-        out.tuples.push_back(std::move(tuple));
+
+  // An empty input joins with nothing; never touch the association.
+  if (a.empty() || b.empty()) return out;
+
+  const int left_role = options.left_role;
+  const int right_role = 1 - left_role;
+  auto emit = [&](const std::vector<ObjectId>& ta,
+                  const std::vector<ObjectId>& tb) {
+    std::vector<ObjectId> tuple = ta;
+    tuple.insert(tuple.end(), tb.begin(), tb.end());
+    out.tuples.push_back(std::move(tuple));
+  };
+
+  if (options.method == JoinOptions::Method::kIndexNestedLoop) {
+    // Drive from one side, probe the per-object relationship map; the
+    // association extent is never materialized.
+    if (options.build_side == JoinOptions::Side::kLeft) {
+      TupleIndex right_index = HashTuples(b, ib);
+      for (const auto& ta : a.tuples) {
+        for (RelationshipId rid :
+             db_->RelationshipsOf(ta[ia], assoc, left_role)) {
+          auto rel = db_->GetRelationship(rid);
+          if (!rel.ok()) continue;
+          auto matches = right_index.find((*rel)->ends[right_role]);
+          if (matches == right_index.end()) continue;
+          for (const auto* tb : matches->second) emit(ta, *tb);
+        }
+      }
+    } else {
+      TupleIndex left_index = HashTuples(a, ia);
+      for (const auto& tb : b.tuples) {
+        for (RelationshipId rid :
+             db_->RelationshipsOf(tb[ib], assoc, right_role)) {
+          auto rel = db_->GetRelationship(rid);
+          if (!rel.ok()) continue;
+          auto matches = left_index.find((*rel)->ends[left_role]);
+          if (matches == left_index.end()) continue;
+          for (const auto* ta : matches->second) emit(*ta, tb);
+        }
+      }
+    }
+    Dedup(&out);
+    return out;
+  }
+
+  // Hash join: one pass over the association family builds the adjacency
+  // keyed by the streamed side's end; the other side is hash-indexed.
+  const bool build_left = options.build_side == JoinOptions::Side::kLeft;
+  std::unordered_map<ObjectId, std::vector<ObjectId>> partners_of;
+  for (RelationshipId rid : db_->RelationshipsOfAssociation(assoc, true)) {
+    auto rel = db_->GetRelationship(rid);
+    if (!rel.ok()) continue;
+    if (build_left) {
+      partners_of[(*rel)->ends[right_role]].push_back(
+          (*rel)->ends[left_role]);
+    } else {
+      partners_of[(*rel)->ends[left_role]].push_back(
+          (*rel)->ends[right_role]);
+    }
+  }
+  if (build_left) {
+    TupleIndex left_index = HashTuples(a, ia);
+    for (const auto& tb : b.tuples) {
+      auto partners = partners_of.find(tb[ib]);
+      if (partners == partners_of.end()) continue;
+      for (ObjectId partner : partners->second) {
+        auto matches = left_index.find(partner);
+        if (matches == left_index.end()) continue;
+        for (const auto* ta : matches->second) emit(*ta, tb);
+      }
+    }
+  } else {
+    TupleIndex right_index = HashTuples(b, ib);
+    for (const auto& ta : a.tuples) {
+      auto partners = partners_of.find(ta[ia]);
+      if (partners == partners_of.end()) continue;
+      for (ObjectId partner : partners->second) {
+        auto matches = right_index.find(partner);
+        if (matches == right_index.end()) continue;
+        for (const auto* tb : matches->second) emit(ta, *tb);
       }
     }
   }
@@ -160,19 +253,48 @@ Result<QueryRelation> Algebra::Union(const QueryRelation& a,
   return out;
 }
 
+namespace {
+
+using Tuples = std::vector<std::vector<ObjectId>>;
+
+/// Strictly increasing == sorted with no duplicates — what every
+/// operator emits. Hand-built relations may violate it; normalize those
+/// into `storage` so the linear merges below stay correct.
+const Tuples& NormalizedTuples(const Tuples& tuples, Tuples* storage) {
+  bool strictly_increasing = true;
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    if (!(tuples[i - 1] < tuples[i])) {
+      strictly_increasing = false;
+      break;
+    }
+  }
+  if (strictly_increasing) return tuples;
+  *storage = tuples;
+  std::sort(storage->begin(), storage->end());
+  storage->erase(std::unique(storage->begin(), storage->end()),
+                 storage->end());
+  return *storage;
+}
+
+}  // namespace
+
 Result<QueryRelation> Algebra::Difference(const QueryRelation& a,
                                           const QueryRelation& b) const {
   if (a.attributes != b.attributes) {
     return Status::InvalidArgument(
         "difference requires identical attribute lists");
   }
-  std::set<std::vector<ObjectId>> exclude(b.tuples.begin(), b.tuples.end());
+  // Operator outputs are sorted and deduplicated by construction, so a
+  // linear merge replaces the old per-tuple set probes (O(n log n)
+  // vector compares); the O(n) normalization check only ever copies for
+  // hand-built inputs.
+  Tuples a_storage, b_storage;
+  const Tuples& a_tuples = NormalizedTuples(a.tuples, &a_storage);
+  const Tuples& b_tuples = NormalizedTuples(b.tuples, &b_storage);
   QueryRelation out;
   out.attributes = a.attributes;
-  for (const auto& tuple : a.tuples) {
-    if (exclude.count(tuple) == 0) out.tuples.push_back(tuple);
-  }
-  Dedup(&out);
+  std::set_difference(a_tuples.begin(), a_tuples.end(), b_tuples.begin(),
+                      b_tuples.end(), std::back_inserter(out.tuples));
   return out;
 }
 
@@ -182,13 +304,13 @@ Result<QueryRelation> Algebra::Intersect(const QueryRelation& a,
     return Status::InvalidArgument(
         "intersection requires identical attribute lists");
   }
-  std::set<std::vector<ObjectId>> keep(b.tuples.begin(), b.tuples.end());
+  Tuples a_storage, b_storage;
+  const Tuples& a_tuples = NormalizedTuples(a.tuples, &a_storage);
+  const Tuples& b_tuples = NormalizedTuples(b.tuples, &b_storage);
   QueryRelation out;
   out.attributes = a.attributes;
-  for (const auto& tuple : a.tuples) {
-    if (keep.count(tuple) != 0) out.tuples.push_back(tuple);
-  }
-  Dedup(&out);
+  std::set_intersection(a_tuples.begin(), a_tuples.end(), b_tuples.begin(),
+                        b_tuples.end(), std::back_inserter(out.tuples));
   return out;
 }
 

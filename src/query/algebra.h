@@ -19,8 +19,10 @@
 
 namespace seed::query {
 
-/// A relation: named columns of object ids, set semantics (duplicates are
-/// removed by every operator).
+/// A relation: named columns of object ids, set semantics — every
+/// operator emits tuples sorted ascending with duplicates removed, and
+/// the set operators below rely on that to run linear merges (hand-built
+/// relations violating it are normalized on the way in).
 struct QueryRelation {
   std::vector<std::string> attributes;
   std::vector<std::vector<ObjectId>> tuples;
@@ -47,7 +49,10 @@ class Algebra {
                                std::string_view attribute,
                                const Predicate& p) const;
 
-  /// Keeps the listed attributes (deduplicates).
+  /// Keeps the listed attributes (deduplicates). Duplicate names in
+  /// `keep` are rejected: the second copy of a column would be
+  /// unreachable through AttrIndex and would poison later Union /
+  /// Difference arity checks.
   Result<QueryRelation> Project(const QueryRelation& in,
                                 const std::vector<std::string>& keep) const;
 
@@ -55,25 +60,60 @@ class Algebra {
   Result<QueryRelation> CartesianProduct(const QueryRelation& a,
                                          const QueryRelation& b) const;
 
+  /// Physical execution choice for RelationshipJoin, normally made by
+  /// Planner::PlanJoin from the extent statistics. Every variant computes
+  /// the same relation; only the work differs.
+  struct JoinOptions {
+    enum class Method {
+      /// Materialize the association's adjacency once, hash one input,
+      /// stream the other.
+      kHash,
+      /// Drive from one input and probe db->RelationshipsOf(id) per
+      /// tuple — never touches the full association extent. Wins when
+      /// the driving side is small and the association is large.
+      kIndexNestedLoop,
+    };
+    enum class Side { kLeft, kRight };
+
+    Method method = Method::kHash;
+    /// kHash: the side whose tuples are hash-indexed (the other streams).
+    /// kIndexNestedLoop: the side that drives the per-tuple probes.
+    Side build_side = Side::kRight;
+    /// Role the left relation's join attribute binds: 0 (the historical
+    /// direction) or 1 (reverse — left objects sit at the role-1 end).
+    int left_role = 0;
+  };
+
   /// Joins `a` and `b` on relationships of `assoc` (family included):
-  /// keeps (ta, tb) iff a relationship connects ta[attr_a] in role 0 with
-  /// tb[attr_b] in role 1. Undefined items participate in no
-  /// relationships, so they simply never join.
+  /// keeps (ta, tb) iff a relationship connects ta[attr_a] in role
+  /// `left_role` with tb[attr_b] in the opposite role. Undefined items
+  /// participate in no relationships, so they simply never join.
+  /// The default overload joins in the role0->role1 direction and picks
+  /// the hash build side from the input sizes; pass explicit options
+  /// (e.g. from Planner::PlanJoin) to control strategy and direction.
   Result<QueryRelation> RelationshipJoin(const QueryRelation& a,
                                          std::string_view attr_a,
                                          AssociationId assoc,
                                          const QueryRelation& b,
                                          std::string_view attr_b) const;
+  Result<QueryRelation> RelationshipJoin(const QueryRelation& a,
+                                         std::string_view attr_a,
+                                         AssociationId assoc,
+                                         const QueryRelation& b,
+                                         std::string_view attr_b,
+                                         const JoinOptions& options) const;
 
   /// Set union (same attribute lists required).
   Result<QueryRelation> Union(const QueryRelation& a,
                               const QueryRelation& b) const;
 
-  /// Set difference a \ b (same attribute lists required).
+  /// Set difference a \ b (same attribute lists required). Linear merge
+  /// over the operators' sorted+deduplicated tuple order.
   Result<QueryRelation> Difference(const QueryRelation& a,
                                    const QueryRelation& b) const;
 
-  /// Set intersection (same attribute lists required).
+  /// Set intersection (same attribute lists required). Linear merge, as
+  /// Difference.
   Result<QueryRelation> Intersect(const QueryRelation& a,
                                   const QueryRelation& b) const;
 

@@ -102,6 +102,11 @@ class Parser {
           "'find rel' queries return relationships; run them through "
           "RunRelationshipQuery");
     }
+    if (LooksLikeJoin()) {
+      return Status::InvalidArgument(
+          "join queries return object pairs; run them through "
+          "RunJoinQuery");
+    }
     SEED_ASSIGN_OR_RETURN(Token cls_token, Next("class name"));
     auto cls = db_.schema()->FindIndependentClass(cls_token.text);
     if (!cls.ok()) return cls.status();
@@ -176,10 +181,176 @@ class Parser {
     return ids;
   }
 
+  Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoin() {
+    SEED_RETURN_IF_ERROR(Expect("find"));
+    SEED_ASSIGN_OR_RETURN(JoinSide left, ParseJoinSideHead());
+    SEED_RETURN_IF_ERROR(Expect("join"));
+    bool reverse = false;
+    if (PeekIs("reverse")) {
+      ++pos_;
+      reverse = true;
+    }
+    SEED_RETURN_IF_ERROR(Expect("via"));
+    SEED_ASSIGN_OR_RETURN(Token assoc_token, Next("association name"));
+    auto assoc = db_.schema()->FindAssociation(assoc_token.text);
+    if (!assoc.ok()) return assoc.status();
+    SEED_RETURN_IF_ERROR(Expect("to"));
+    SEED_ASSIGN_OR_RETURN(JoinSide right, ParseJoinSideHead());
+    if (left.binder == right.binder) {
+      return Status::InvalidArgument("join binders must differ, got '" +
+                                     left.binder + "' twice");
+    }
+
+    if (pos_ < tokens_.size()) {
+      SEED_RETURN_IF_ERROR(Expect("where"));
+      SEED_RETURN_IF_ERROR(ParseJoinCondition(&left, &right));
+      while (PeekIs("and")) {
+        ++pos_;
+        SEED_RETURN_IF_ERROR(ParseJoinCondition(&left, &right));
+      }
+    }
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     tokens_[pos_].text + "'");
+    }
+
+    SEED_ASSIGN_OR_RETURN(int left_role,
+                          InferJoinDirection(*assoc, left.cls, right.cls,
+                                             reverse));
+
+    // Both inputs plan through the cost-based selection planner; the join
+    // strategy is then chosen from the result sizes and the association
+    // population.
+    Planner planner(&db_);
+    Planner::Plan left_plan =
+        planner.PlanSelect(left.cls, left.pred, !left.exact);
+    QueryRelation a;
+    a.attributes = {left.binder};
+    for (ObjectId id :
+         planner.SelectIds(left.cls, left.pred, !left.exact, &left_plan)) {
+      a.tuples.push_back({id});
+    }
+    Planner::Plan right_plan =
+        planner.PlanSelect(right.cls, right.pred, !right.exact);
+    QueryRelation b;
+    b.attributes = {right.binder};
+    for (ObjectId id : planner.SelectIds(right.cls, right.pred,
+                                         !right.exact, &right_plan)) {
+      b.tuples.push_back({id});
+    }
+
+    Planner::JoinPlan join_plan;
+    SEED_ASSIGN_OR_RETURN(
+        QueryRelation joined,
+        planner.Join(a, left.binder, *assoc, b, right.binder, left_role,
+                     &join_plan));
+    std::vector<std::pair<ObjectId, ObjectId>> out;
+    out.reserve(joined.size());
+    for (const auto& tuple : joined.tuples) {
+      out.emplace_back(tuple[0], tuple[1]);
+    }
+    if (plan_out_ != nullptr) {
+      *plan_out_ = left.binder + ": " + left_plan.ToString() + "; " +
+                   right.binder + ": " + right_plan.ToString() + "; " +
+                   join_plan.ToString() + "; actual " +
+                   std::to_string(out.size());
+    }
+    return out;
+  }
+
  private:
+  /// One side of a join query: its class extent, binder name, and the
+  /// accumulated 'where' conjuncts.
+  struct JoinSide {
+    ClassId cls;
+    std::string binder;
+    bool exact = false;
+    Predicate pred = Predicate::True();
+    bool has_pred = false;
+  };
+
   bool PeekIs(std::string_view word) const {
     return pos_ < tokens_.size() && !tokens_[pos_].quoted &&
            tokens_[pos_].text == word;
+  }
+
+  /// True when the tokens after 'find' look like '<Class> <binder>
+  /// [exact] join' — the join grammar — rather than a plain object query.
+  bool LooksLikeJoin() const {
+    auto is = [&](size_t at, std::string_view word) {
+      return at < tokens_.size() && !tokens_[at].quoted &&
+             tokens_[at].text == word;
+    };
+    return is(pos_ + 2, "join") ||
+           (is(pos_ + 2, "exact") && is(pos_ + 3, "join"));
+  }
+
+  /// Parses '<Class> <binder> [exact]' — the head of one join side.
+  Result<JoinSide> ParseJoinSideHead() {
+    SEED_ASSIGN_OR_RETURN(Token cls_token, Next("class name"));
+    JoinSide side;
+    auto cls = db_.schema()->FindIndependentClass(cls_token.text);
+    if (!cls.ok()) return cls.status();
+    side.cls = *cls;
+    SEED_ASSIGN_OR_RETURN(Token binder, Next("binder name"));
+    if (binder.quoted) {
+      return Status::InvalidArgument("binder must be a bare name");
+    }
+    side.binder = binder.text;
+    if (PeekIs("exact")) {
+      ++pos_;
+      side.exact = true;
+    }
+    return side;
+  }
+
+  /// Parses '<binder> cond' and conjoins it onto the named side.
+  Status ParseJoinCondition(JoinSide* left, JoinSide* right) {
+    SEED_ASSIGN_OR_RETURN(Token binder, Next("binder name"));
+    JoinSide* side = nullptr;
+    if (!binder.quoted && binder.text == left->binder) side = left;
+    if (!binder.quoted && binder.text == right->binder) side = right;
+    if (side == nullptr) {
+      return Status::InvalidArgument(
+          "join conditions must start with a binder ('" + left->binder +
+          "' or '" + right->binder + "'), got '" + binder.text + "'");
+    }
+    SEED_ASSIGN_OR_RETURN(Predicate cond, ParseCondition());
+    side->pred = side->has_pred ? side->pred.And(cond) : cond;
+    side->has_pred = true;
+    return Status::OK();
+  }
+
+  /// Which role the left class binds: inferred from the role classes
+  /// (a side fits a role when its extent can overlap the role target's),
+  /// forced — but still validated — to 1 by 'reverse'. Self-associations
+  /// fit both ways and default to the forward direction.
+  Result<int> InferJoinDirection(AssociationId assoc, ClassId left,
+                                 ClassId right, bool reverse) const {
+    const schema::Schema& schema = *db_.schema();
+    auto item = schema.GetAssociation(assoc);
+    if (!item.ok()) return item.status();
+    auto fits = [&](ClassId cls, const schema::Role& role) {
+      return schema.IsSameOrSpecializationOf(cls, role.target) ||
+             schema.IsSameOrSpecializationOf(role.target, cls);
+    };
+    bool backward =
+        fits(left, (*item)->roles[1]) && fits(right, (*item)->roles[0]);
+    if (reverse) {
+      if (!backward) {
+        return Status::InvalidArgument(
+            "'reverse' join classes do not fit the swapped roles of "
+            "association '" + (*item)->name + "'");
+      }
+      return 1;
+    }
+    if (fits(left, (*item)->roles[0]) && fits(right, (*item)->roles[1])) {
+      return 0;
+    }
+    if (backward) return 1;
+    return Status::InvalidArgument(
+        "join classes fit neither direction of association '" +
+        (*item)->name + "'");
   }
 
   Status Expect(std::string_view word) {
@@ -308,6 +479,13 @@ Result<std::vector<RelationshipId>> RunRelationshipQuery(
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
   return Parser(db, std::move(tokens), plan_out).RunRelationships();
+}
+
+Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
+    const core::Database& db, std::string_view text, std::string* plan_out) {
+  SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  if (tokens.empty()) return Status::InvalidArgument("empty query");
+  return Parser(db, std::move(tokens), plan_out).RunJoin();
 }
 
 }  // namespace seed::query

@@ -8,6 +8,9 @@
 //   query  := 'find' CLASS ['exact'] [ 'where' cond ('and' cond)* ]
 //   relq   := 'find' 'rel' ASSOC ['exact']
 //             [ 'where' relcond ('and' relcond)* ]
+//   joinq  := 'find' CLASS BINDER ['exact'] 'join' ['reverse'] 'via' ASSOC
+//             'to' CLASS BINDER ['exact']
+//             [ 'where' BINDER cond ('and' BINDER cond)* ]
 //   cond   := 'name' 'is' IDENT
 //           | 'name' 'contains' STRING-or-IDENT
 //           | 'value' 'is' literal
@@ -31,6 +34,19 @@
 //   find Action where Description contains "sensor" and has Revised
 //   find Reading where value > 990
 //   find rel Write where NumberOfWrites > 3
+//   find Data d join via Access to Action a where d name contains "Alarm"
+//
+// Join queries bind each side to a name (BINDER) and return the joined
+// (left, right) pairs: objects of the left class connected by an existing
+// relationship of the association (family included) to objects of the
+// right class. The join direction — which role the left class binds — is
+// inferred from the role classes; 'reverse' forces the left side onto
+// role 1 (needed for self-associations, where both roles accept the same
+// class). 'where' conditions name the side they constrain with its
+// binder. Each side's selection plans through the cost-based planner,
+// and the join itself runs the strategy Planner::PlanJoin picks from the
+// input sizes and the association population (hash join with a chosen
+// build side, or an index-nested-loop driven from the smaller side).
 //
 // Queries execute through the cost-based planner: sargable conditions use
 // a matching attribute index (single probe or multi-index intersection)
@@ -43,6 +59,7 @@
 #define SEED_QUERY_PARSER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -63,6 +80,14 @@ Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
 /// Parses and runs a 'find rel <Assoc> ...' query; returns matching
 /// relationship ids, ascending.
 Result<std::vector<RelationshipId>> RunRelationshipQuery(
+    const core::Database& db, std::string_view text,
+    std::string* plan_out = nullptr);
+
+/// Parses and runs a 'find <Class> <b1> join via <Assoc> to <Class> <b2>
+/// ...' query; returns the joined (left, right) object pairs, ascending.
+/// `plan_out` receives both sides' selection plans and the chosen join
+/// strategy with estimated vs. actual rows.
+Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
     const core::Database& db, std::string_view text,
     std::string* plan_out = nullptr);
 

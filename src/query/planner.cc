@@ -374,6 +374,121 @@ Result<QueryRelation> Planner::SelectFromClass(
   return out;
 }
 
+// --- Relationship joins ------------------------------------------------------
+
+Algebra::JoinOptions Planner::JoinPlan::options() const {
+  Algebra::JoinOptions opts;
+  opts.left_role = left_role;
+  switch (strategy) {
+    case Strategy::kHashBuildLeft:
+      opts.method = Algebra::JoinOptions::Method::kHash;
+      opts.build_side = Algebra::JoinOptions::Side::kLeft;
+      break;
+    case Strategy::kHashBuildRight:
+      opts.method = Algebra::JoinOptions::Method::kHash;
+      opts.build_side = Algebra::JoinOptions::Side::kRight;
+      break;
+    case Strategy::kIndexNestedLoopLeft:
+      opts.method = Algebra::JoinOptions::Method::kIndexNestedLoop;
+      opts.build_side = Algebra::JoinOptions::Side::kLeft;
+      break;
+    case Strategy::kIndexNestedLoopRight:
+      opts.method = Algebra::JoinOptions::Method::kIndexNestedLoop;
+      opts.build_side = Algebra::JoinOptions::Side::kRight;
+      break;
+  }
+  return opts;
+}
+
+std::string Planner::JoinPlan::ToString() const {
+  std::string s;
+  switch (strategy) {
+    case Strategy::kHashBuildLeft: s = "join-hash(build=left)"; break;
+    case Strategy::kHashBuildRight: s = "join-hash(build=right)"; break;
+    case Strategy::kIndexNestedLoopLeft:
+      s = "join-index-nested-loop(drive=left)";
+      break;
+    case Strategy::kIndexNestedLoopRight:
+      s = "join-index-nested-loop(drive=right)";
+      break;
+  }
+  s += left_role == 0 ? ", forward" : ", reverse";
+  s += ", " + Rounded(left_rows) + " x " + Rounded(right_rows) +
+       " inputs, est ~" + Rounded(est_rows) + " rows (assoc ~" +
+       Rounded(assoc_rows) + ")";
+  return s;
+}
+
+Planner::JoinPlan Planner::PlanJoin(AssociationId assoc, size_t left_rows,
+                                    size_t right_rows, int left_role) const {
+  const schema::Schema& schema = *db_->schema();
+  JoinPlan plan;
+  plan.left_role = left_role == 1 ? 1 : 0;
+  plan.left_rows = static_cast<double>(left_rows);
+  plan.right_rows = static_cast<double>(right_rows);
+  plan.assoc_rows = static_cast<double>(
+      db_->extent_counters().CountAssociationExtent(schema, assoc, true));
+
+  // Extents of the role classes, for the uniform-degree estimates. A join
+  // always spans the association family, so the family extents apply.
+  double left_extent = 0.0, right_extent = 0.0;
+  if (auto item = schema.GetAssociation(assoc); item.ok()) {
+    left_extent = static_cast<double>(db_->extent_counters().CountClassExtent(
+        schema, (*item)->roles[plan.left_role].target, true));
+    right_extent = static_cast<double>(db_->extent_counters().CountClassExtent(
+        schema, (*item)->roles[1 - plan.left_role].target, true));
+  }
+  plan.est_rows = CostModel::JoinRows(plan.assoc_rows, plan.left_rows,
+                                      left_extent, plan.right_rows,
+                                      right_extent);
+
+  struct Option {
+    JoinPlan::Strategy strategy;
+    double cost;
+  };
+  const Option options[] = {
+      {JoinPlan::Strategy::kHashBuildRight,
+       CostModel::HashJoinCost(plan.assoc_rows, plan.right_rows,
+                               plan.left_rows, plan.est_rows)},
+      {JoinPlan::Strategy::kHashBuildLeft,
+       CostModel::HashJoinCost(plan.assoc_rows, plan.left_rows,
+                               plan.right_rows, plan.est_rows)},
+      {JoinPlan::Strategy::kIndexNestedLoopLeft,
+       CostModel::IndexNestedLoopJoinCost(
+           plan.left_rows, CostModel::JoinDegree(plan.assoc_rows, left_extent),
+           plan.right_rows, plan.est_rows)},
+      {JoinPlan::Strategy::kIndexNestedLoopRight,
+       CostModel::IndexNestedLoopJoinCost(
+           plan.right_rows,
+           CostModel::JoinDegree(plan.assoc_rows, right_extent),
+           plan.left_rows, plan.est_rows)},
+  };
+  plan.strategy = options[0].strategy;
+  plan.est_cost = options[0].cost;
+  for (const Option& option : options) {
+    if (option.cost < plan.est_cost) {
+      plan.strategy = option.strategy;
+      plan.est_cost = option.cost;
+    }
+  }
+  return plan;
+}
+
+Result<QueryRelation> Planner::Join(const QueryRelation& a,
+                                    std::string_view attr_a,
+                                    AssociationId assoc,
+                                    const QueryRelation& b,
+                                    std::string_view attr_b, int left_role,
+                                    JoinPlan* plan_out) const {
+  if (left_role != 0 && left_role != 1) {
+    return Status::InvalidArgument("join role must be 0 or 1");
+  }
+  JoinPlan plan = PlanJoin(assoc, a.size(), b.size(), left_role);
+  if (plan_out != nullptr) *plan_out = plan;
+  return algebra_.RelationshipJoin(a, attr_a, assoc, b, attr_b,
+                                   plan.options());
+}
+
 // --- Relationship extents ----------------------------------------------------
 
 Planner::Plan Planner::PlanSelectRelationships(

@@ -82,6 +82,36 @@ class Planner {
     Predicate inner;
   };
 
+  /// The physical strategy chosen for a relationship join (see
+  /// Algebra::JoinOptions): which side the hash join builds from, or
+  /// which side drives the index-nested-loop, plus the join direction.
+  struct JoinPlan {
+    enum class Strategy {
+      kHashBuildLeft,
+      kHashBuildRight,
+      kIndexNestedLoopLeft,   // left input drives the per-tuple probes
+      kIndexNestedLoopRight,
+    };
+
+    Strategy strategy = Strategy::kHashBuildRight;
+    /// Role the left relation binds (0, or 1 for reverse-direction joins).
+    int left_role = 0;
+    /// Input sizes the plan was made for.
+    double left_rows = 0.0;
+    double right_rows = 0.0;
+    /// Live population of the association family at planning time.
+    double assoc_rows = 0.0;
+    /// Estimated output rows and modeled cost (row-visit units).
+    double est_rows = 0.0;
+    double est_cost = 0.0;
+
+    /// The Algebra execution options this plan denotes.
+    Algebra::JoinOptions options() const;
+    /// "join-hash(build=right), forward, est ~12 rows (assoc ~40)" — for
+    /// tests, EXPLAIN output and logs.
+    std::string ToString() const;
+  };
+
   explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
 
   /// Chooses the access path for Select(ClassExtent(cls, _), _, p).
@@ -118,6 +148,25 @@ class Planner {
   /// relationship residual; exposed as the scan-path ground truth).
   bool EvalRelConditions(RelationshipId rel,
                          const std::vector<RelCondition>& conditions) const;
+
+  /// Chooses the physical strategy for joining a `left_rows`-tuple
+  /// relation (bound at role `left_role` of `assoc`) with a
+  /// `right_rows`-tuple relation at the opposite role, using the
+  /// association population and the role classes' extents. Deterministic
+  /// tie-breaks: hash-build-right, hash-build-left, inl-left, inl-right.
+  /// `left_role` is read as 1 or forward-otherwise; Join() rejects roles
+  /// outside {0, 1} before planning.
+  JoinPlan PlanJoin(AssociationId assoc, size_t left_rows, size_t right_rows,
+                    int left_role = 0) const;
+
+  /// Plans and runs RelationshipJoin(a, attr_a, assoc, b, attr_b) with
+  /// the chosen strategy; `plan_out` (optional) receives the plan for
+  /// EXPLAIN-style display. Results are identical to every other
+  /// strategy's.
+  Result<QueryRelation> Join(const QueryRelation& a, std::string_view attr_a,
+                             AssociationId assoc, const QueryRelation& b,
+                             std::string_view attr_b, int left_role = 0,
+                             JoinPlan* plan_out = nullptr) const;
 
  private:
   struct Candidate;  // sargable conjunct bound to an index (planner.cc)

@@ -79,6 +79,68 @@ struct CostModel {
     if (extent_rows <= 0.0) return 0.0;
     return rows_a * (rows_b / extent_rows);
   }
+
+  // --- Relationship joins ----------------------------------------------------
+  //
+  // Two physical strategies, costed from the association population
+  // (ExtentCounters) and the input relation sizes:
+  //
+  //    hash:  assoc * (kPostingCost + kResidualCost)   materialize adjacency
+  //           + build * kHashBuildCost                 hash-index one side
+  //           + probe * kHashTupleCost                 stream the other
+  //           + out * kPostingCost                     emit matches
+  //    inl:   driver * kProbeCost                      RelationshipsOf probes
+  //           + driver * degree * kResidualCost        fetch incident rels
+  //           + build * kHashBuildCost                 hash the other side
+  //           + out * kPostingCost
+  //
+  // `degree` is the uniformity estimate assoc / role_extent for the
+  // driving role's class extent. The index-nested-loop therefore wins
+  // exactly when the driving side is small relative to the association —
+  // a selective Select feeding a join against a huge extent — and the
+  // hash join wins when both inputs are of the association's own scale.
+
+  /// Probing the tuple hash with one streamed tuple.
+  static constexpr double kHashTupleCost = 0.25;
+  /// Inserting one tuple into the build-side hash — dearer than a probe,
+  /// which is what makes the smaller input the preferred build side.
+  static constexpr double kHashBuildCost = 0.5;
+
+  /// Uniform-degree estimate: edges incident to one driving object.
+  static double JoinDegree(double assoc_rows, double role_extent_rows) {
+    if (role_extent_rows <= 0.0) return assoc_rows;
+    return assoc_rows / role_extent_rows;
+  }
+
+  /// Estimate of the join's output size: each of the association's edges
+  /// survives iff both of its ends landed in the respective input. The
+  /// coverage fractions are clamped — an input broader than the role
+  /// class extent (e.g. a generalization's extent) cannot make an edge
+  /// match more than once.
+  static double JoinRows(double assoc_rows, double left_rows,
+                         double left_extent_rows, double right_rows,
+                         double right_extent_rows) {
+    auto coverage = [](double rows, double extent) {
+      if (extent <= 0.0) return 1.0;
+      double frac = rows / extent;
+      return frac < 1.0 ? frac : 1.0;
+    };
+    return assoc_rows * coverage(left_rows, left_extent_rows) *
+           coverage(right_rows, right_extent_rows);
+  }
+
+  static double HashJoinCost(double assoc_rows, double build_rows,
+                             double probe_rows, double out_rows) {
+    return assoc_rows * (kPostingCost + kResidualCost) +
+           build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
+           out_rows * kPostingCost;
+  }
+
+  static double IndexNestedLoopJoinCost(double driver_rows, double degree,
+                                        double build_rows, double out_rows) {
+    return driver_rows * kProbeCost + driver_rows * degree * kResidualCost +
+           build_rows * kHashBuildCost + out_rows * kPostingCost;
+  }
 };
 
 /// Exact number of postings matching any of `keys` (hash probes).

@@ -12,9 +12,18 @@
 // queries (equality, ranges, OR-of-equalities, conjunctions with opaque
 // residuals, negations, sub-object predicates, exact and family extents)
 // and relationship-attribute queries.
+//
+// Relationship joins are differentialed the same way: the planner-chosen
+// strategy AND all four explicit physical variants (hash with either
+// build side, index-nested-loop from either side) must equal a naive
+// nested-loop reference over RelationshipsOfAssociation, across forward
+// and reverse role bindings, joins fed by selections, selections over
+// join outputs, empty sides, and post-reclassify/post-restore states —
+// with coverage floors per chosen strategy kind.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -193,6 +202,11 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   size_t index_plans = 0;
   size_t intersect_plans = 0;
   size_t rel_index_plans = 0;
+  size_t join_queries = 0;
+  size_t join_hash_chosen = 0;
+  size_t join_inl_chosen = 0;
+  size_t join_reverse = 0;
+  size_t join_empty_side = 0;
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     Random rng(seed * 7919);
@@ -207,8 +221,13 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
     std::vector<ClassId> family = w.family();
     int created = 0;
 
-    ObjectId target0 = *db->CreateObject(w.target, "T0");
-    ObjectId target1 = *db->CreateObject(w.target, "T1");
+    // Enough targets that the dst-side input sizes vary: small relative
+    // to the association (index-nested-loop territory) up to extent scale
+    // (hash-join territory).
+    std::vector<ObjectId> targets;
+    for (int i = 0; i < 24; ++i) {
+      targets.push_back(*db->CreateObject(w.target, "T" + std::to_string(i)));
+    }
 
     // Pre-populate so extents are large enough that index plans (and
     // intersections) actually win the cost comparison — otherwise every
@@ -238,7 +257,7 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
       if (rng.Bernoulli(0.6)) {
         auto rel = db->CreateRelationship(
             rng.Bernoulli(0.7) ? w.link : w.fast_link, *id,
-            rng.Bernoulli(0.5) ? target0 : target1);
+            rng.Pick(targets));
         if (rel.ok()) {
           rels.push_back(*rel);
           auto weight = db->CreateSubObject(*rel, "Weight");
@@ -288,6 +307,115 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
           scanned)
           << "relationship query diverged at seed " << seed << " (plan: "
           << plan.ToString() << ")";
+      ++queries_run;
+    };
+
+    // Naive nested-loop join reference, structurally independent of the
+    // hash / index-nested-loop execution paths: walk every relationship
+    // of the family and every tuple pair.
+    auto naive_join = [&](const query::QueryRelation& a,
+                          const query::QueryRelation& b, AssociationId assoc,
+                          int left_role) {
+      std::vector<std::vector<ObjectId>> out;
+      for (RelationshipId rid : db->RelationshipsOfAssociation(assoc, true)) {
+        auto rel = db->GetRelationship(rid);
+        if (!rel.ok()) continue;
+        for (const auto& ta : a.tuples) {
+          if (ta[0] != (*rel)->ends[left_role]) continue;
+          for (const auto& tb : b.tuples) {
+            if (tb[0] != (*rel)->ends[1 - left_role]) continue;
+            out.push_back({ta[0], tb[0]});
+          }
+        }
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    };
+
+    auto run_join_query = [&] {
+      AssociationId assoc = rng.Bernoulli(0.7) ? w.link : w.fast_link;
+      bool reverse = rng.Bernoulli(0.35);
+      // A selection feeds the src-bound side (join below a selection); a
+      // random slice of the Target extent feeds the dst side. Either may
+      // come up empty.
+      Planner planner(db.get());
+      query::QueryRelation src_rel;
+      src_rel.attributes = {"s"};
+      if (!rng.Bernoulli(0.08)) {
+        ClassId cls = rng.Bernoulli(0.7) ? w.base : rng.Pick(family);
+        Predicate p = rng.Bernoulli(0.6) ? RandomPredicate(w, rng)
+                                         : Predicate::True();
+        for (ObjectId id : planner.SelectIds(cls, p)) {
+          src_rel.tuples.push_back({id});
+        }
+      }
+      query::QueryRelation dst_rel;
+      dst_rel.attributes = {"t"};
+      if (!rng.Bernoulli(0.08)) {
+        double keep = rng.Bernoulli(0.5) ? 1.0 : 0.25;
+        for (ObjectId id : db->ObjectsOfClass(w.target)) {
+          if (rng.Bernoulli(keep)) dst_rel.tuples.push_back({id});
+        }
+      }
+      const query::QueryRelation& a = reverse ? dst_rel : src_rel;
+      const query::QueryRelation& b = reverse ? src_rel : dst_rel;
+      int left_role = reverse ? 1 : 0;
+      if (reverse) ++join_reverse;
+      if (a.empty() || b.empty()) ++join_empty_side;
+
+      auto expected = naive_join(a, b, assoc, left_role);
+
+      // The planner-chosen strategy...
+      Planner::JoinPlan plan;
+      auto planned = planner.Join(a, a.attributes[0], assoc, b,
+                                  b.attributes[0], left_role, &plan);
+      ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+      ASSERT_EQ(planned->tuples, expected)
+          << "join diverged at seed " << seed << " (plan: "
+          << plan.ToString() << ")";
+      using Strategy = Planner::JoinPlan::Strategy;
+      if (plan.strategy == Strategy::kHashBuildLeft ||
+          plan.strategy == Strategy::kHashBuildRight) {
+        ++join_hash_chosen;
+      } else {
+        ++join_inl_chosen;
+      }
+
+      // ...and every explicit physical variant agree with the reference.
+      query::Algebra algebra(db.get());
+      for (auto method : {query::Algebra::JoinOptions::Method::kHash,
+                          query::Algebra::JoinOptions::Method::
+                              kIndexNestedLoop}) {
+        for (auto side : {query::Algebra::JoinOptions::Side::kLeft,
+                          query::Algebra::JoinOptions::Side::kRight}) {
+          query::Algebra::JoinOptions options;
+          options.method = method;
+          options.build_side = side;
+          options.left_role = left_role;
+          auto direct = algebra.RelationshipJoin(a, a.attributes[0], assoc,
+                                                 b, b.attributes[0], options);
+          ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+          ASSERT_EQ(direct->tuples, expected)
+              << "strategy diverged at seed " << seed;
+        }
+      }
+
+      // Selection above the join: filtering the joined relation on the
+      // src column must match filtering the reference the same way.
+      if (rng.Bernoulli(0.3)) {
+        Predicate p = RandomAtom(w, rng);
+        int col = reverse ? 1 : 0;  // the "s" column's position
+        auto selected = algebra.Select(*planned, "s", p);
+        ASSERT_TRUE(selected.ok());
+        std::vector<std::vector<ObjectId>> filtered;
+        for (const auto& t : expected) {
+          if (p.Eval(*db, t[col])) filtered.push_back(t);
+        }
+        ASSERT_EQ(selected->tuples, filtered)
+            << "select-over-join diverged at seed " << seed;
+      }
+      ++join_queries;
       ++queries_run;
     };
 
@@ -360,7 +488,7 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
           ObjectId src = rng.Pick(objects);
           auto rel = db->CreateRelationship(
               rng.Bernoulli(0.7) ? w.link : w.fast_link, src,
-              rng.Bernoulli(0.5) ? target0 : target1);
+              rng.Pick(targets));
           if (!rel.ok()) break;
           rels.push_back(*rel);
           if (rng.Bernoulli(0.8)) {
@@ -417,12 +545,14 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
           ASSERT_TRUE(vm.SelectVersion(rng.Pick(versions)).ok());
           run_object_query();
           run_rel_query();
+          run_join_query();
           break;
         }
       }
       // Every step ends with at least one differential check.
       run_object_query();
       if (rng.Bernoulli(0.5)) run_rel_query();
+      if (rng.Bernoulli(0.4)) run_join_query();
     }
   }
   // The acceptance bar: at least 500 random queries with planner/scan
@@ -434,6 +564,15 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   EXPECT_GE(index_plans, 50u);
   EXPECT_GE(intersect_plans, 5u);
   EXPECT_GE(rel_index_plans, 20u);
+  // Join coverage floors: every differential join also ran all four
+  // explicit physical variants against the nested-loop reference, and
+  // the planner's own choices must exercise both strategy kinds, the
+  // reverse direction and empty inputs.
+  EXPECT_GE(join_queries, 100u);
+  EXPECT_GE(join_hash_chosen, 10u);
+  EXPECT_GE(join_inl_chosen, 10u);
+  EXPECT_GE(join_reverse, 25u);
+  EXPECT_GE(join_empty_side, 10u);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// Join planning tests: Planner::PlanJoin must pick the physical strategy
+// the cost model predicts from the association population (ExtentCounters)
+// and the input relation sizes — index-nested-loop driven from a selective
+// side against a big association, hash join with the smaller input as the
+// build side otherwise — with deterministic tie-breaks, and the planned
+// execution must equal every other strategy's result.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "query/planner.h"
+#include "query/stats.h"
+#include "schema/schema_builder.h"
+
+namespace seed::query {
+namespace {
+
+using core::Database;
+using JoinPlan = Planner::JoinPlan;
+using Strategy = Planner::JoinPlan::Strategy;
+
+/// A bipartite world: `num_src` Src objects, `num_dst` Dst objects, and
+/// `num_rels` Flows relationships laid out so every src has the same
+/// degree (num_rels / num_src) and no (src, dst) pair repeats.
+struct JoinWorld {
+  std::unique_ptr<Database> db;
+  ClassId src_cls, dst_cls;
+  AssociationId flows;
+  std::vector<ObjectId> srcs, dsts;
+};
+
+JoinWorld BuildJoinWorld(int num_src, int num_dst, int num_rels) {
+  schema::SchemaBuilder b("JoinWorld");
+  ClassId src_cls = b.AddIndependentClass("Src", schema::ValueType::kNone);
+  ClassId dst_cls = b.AddIndependentClass("Dst", schema::ValueType::kNone);
+  AssociationId flows = b.AddAssociation(
+      "Flows", schema::Role{"src", src_cls, schema::Cardinality::Any()},
+      schema::Role{"dst", dst_cls, schema::Cardinality::Any()});
+  JoinWorld w{std::make_unique<Database>(*b.Build()), src_cls, dst_cls,
+              flows};
+  for (int i = 0; i < num_src; ++i) {
+    w.srcs.push_back(*w.db->CreateObject(src_cls, "S" + std::to_string(i)));
+  }
+  for (int i = 0; i < num_dst; ++i) {
+    w.dsts.push_back(*w.db->CreateObject(dst_cls, "D" + std::to_string(i)));
+  }
+  int degree = num_src == 0 ? 0 : num_rels / num_src;
+  for (int i = 0; i < num_src; ++i) {
+    for (int j = 0; j < degree; ++j) {
+      (void)*w.db->CreateRelationship(flows, w.srcs[i],
+                                      w.dsts[(i + j * 13) % num_dst]);
+    }
+  }
+  return w;
+}
+
+/// First `n` tuples of the extent as a unary relation named `attr`.
+QueryRelation Take(const std::vector<ObjectId>& ids, size_t n,
+                   std::string attr) {
+  QueryRelation out;
+  out.attributes = {std::move(attr)};
+  for (size_t i = 0; i < n && i < ids.size(); ++i) out.tuples.push_back({ids[i]});
+  return out;
+}
+
+TEST(PlannerJoinTest, SelectiveDriverPlansIndexNestedLoop) {
+  // 10 driving tuples against a 2000-relationship association: probing
+  // RelationshipsOf per driver beats materializing the adjacency.
+  JoinWorld w = BuildJoinWorld(100, 100, 2000);
+  Planner planner(w.db.get());
+  JoinPlan plan = planner.PlanJoin(w.flows, 10, 100);
+  EXPECT_EQ(plan.strategy, Strategy::kIndexNestedLoopLeft)
+      << plan.ToString();
+  EXPECT_EQ(plan.left_role, 0);
+  EXPECT_DOUBLE_EQ(plan.assoc_rows, 2000.0);
+
+  // Mirrored: the small side on the right drives from the right.
+  JoinPlan mirrored = planner.PlanJoin(w.flows, 100, 10);
+  EXPECT_EQ(mirrored.strategy, Strategy::kIndexNestedLoopRight)
+      << mirrored.ToString();
+}
+
+TEST(PlannerJoinTest, LowDegreeFullExtentsPlanHashJoin) {
+  // Degree 1 and both inputs at extent scale: one adjacency pass is
+  // cheaper than per-tuple probing.
+  JoinWorld w = BuildJoinWorld(1000, 1000, 1000);
+  Planner planner(w.db.get());
+  JoinPlan plan = planner.PlanJoin(w.flows, 1000, 1000);
+  EXPECT_EQ(plan.strategy, Strategy::kHashBuildRight) << plan.ToString();
+
+  // With a clearly smaller left input (and per-tuple probing priced out
+  // by the higher degree), the build side flips to the left.
+  JoinWorld dense = BuildJoinWorld(1000, 1000, 4000);
+  Planner dense_planner(dense.db.get());
+  JoinPlan build_left = dense_planner.PlanJoin(dense.flows, 900, 1000);
+  EXPECT_EQ(build_left.strategy, Strategy::kHashBuildLeft)
+      << build_left.ToString();
+}
+
+TEST(PlannerJoinTest, CostsMatchTheModel) {
+  JoinWorld w = BuildJoinWorld(100, 50, 600);
+  Planner planner(w.db.get());
+  JoinPlan plan = planner.PlanJoin(w.flows, 20, 50);
+  // est_rows: 600 edges, left covers 20/100 of the src extent, right
+  // 50/50 of the dst extent.
+  EXPECT_DOUBLE_EQ(plan.est_rows,
+                   CostModel::JoinRows(600, 20, 100, 50, 50));
+  double inl_left = CostModel::IndexNestedLoopJoinCost(
+      20, CostModel::JoinDegree(600, 100), 50, plan.est_rows);
+  EXPECT_EQ(plan.strategy, Strategy::kIndexNestedLoopLeft);
+  EXPECT_DOUBLE_EQ(plan.est_cost, inl_left);
+}
+
+TEST(PlannerJoinTest, ReverseRolesSwapTheExtents) {
+  // 40 srcs, 400 dsts: in reverse direction the left side binds role 1
+  // (the Dst end), so the degree estimate uses the Dst extent.
+  JoinWorld w = BuildJoinWorld(40, 400, 800);
+  Planner planner(w.db.get());
+  JoinPlan forward = planner.PlanJoin(w.flows, 10, 10, 0);
+  JoinPlan reverse = planner.PlanJoin(w.flows, 10, 10, 1);
+  EXPECT_EQ(forward.left_role, 0);
+  EXPECT_EQ(reverse.left_role, 1);
+  // Probing from the Dst-bound side is cheap (degree 800/400 = 2, vs. 20
+  // from the Src side). Forward, Dst is the right input; in reverse it is
+  // the left — the chosen drive side mirrors with the role binding.
+  EXPECT_EQ(forward.strategy, Strategy::kIndexNestedLoopRight)
+      << forward.ToString();
+  EXPECT_EQ(reverse.strategy, Strategy::kIndexNestedLoopLeft)
+      << reverse.ToString();
+  EXPECT_DOUBLE_EQ(forward.est_rows, reverse.est_rows);
+  EXPECT_DOUBLE_EQ(
+      reverse.est_cost,
+      CostModel::IndexNestedLoopJoinCost(10, 2.0, 10, reverse.est_rows));
+  EXPECT_DOUBLE_EQ(forward.est_cost, reverse.est_cost);
+}
+
+TEST(PlannerJoinTest, EmptyStatsTieBreakDeterministically) {
+  JoinWorld w = BuildJoinWorld(0, 0, 0);
+  Planner planner(w.db.get());
+  JoinPlan plan = planner.PlanJoin(w.flows, 0, 0);
+  // Everything costs zero on an empty world; the tie-break pins the
+  // historical hash-build-right.
+  EXPECT_EQ(plan.strategy, Strategy::kHashBuildRight);
+  EXPECT_DOUBLE_EQ(plan.est_cost, 0.0);
+  EXPECT_DOUBLE_EQ(plan.est_rows, 0.0);
+}
+
+TEST(PlannerJoinTest, PlannedJoinExecutesIdenticallyToEveryStrategy) {
+  JoinWorld w = BuildJoinWorld(60, 30, 240);
+  Planner planner(w.db.get());
+  Algebra algebra(w.db.get());
+  QueryRelation a = Take(w.srcs, 7, "s");
+  QueryRelation b = Take(w.dsts, 30, "d");
+  JoinPlan plan;
+  auto planned = planner.Join(a, "s", w.flows, b, "d", 0, &plan);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(plan.strategy, Strategy::kIndexNestedLoopLeft);
+  EXPECT_FALSE(planned->empty());
+  for (auto method : {Algebra::JoinOptions::Method::kHash,
+                      Algebra::JoinOptions::Method::kIndexNestedLoop}) {
+    for (auto side : {Algebra::JoinOptions::Side::kLeft,
+                      Algebra::JoinOptions::Side::kRight}) {
+      Algebra::JoinOptions options;
+      options.method = method;
+      options.build_side = side;
+      auto direct = algebra.RelationshipJoin(a, "s", w.flows, b, "d",
+                                             options);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_EQ(direct->tuples, planned->tuples);
+    }
+  }
+}
+
+TEST(PlannerJoinTest, JoinRejectsInvalidRoles) {
+  JoinWorld w = BuildJoinWorld(10, 10, 10);
+  Planner planner(w.db.get());
+  QueryRelation a = Take(w.srcs, 5, "s");
+  QueryRelation b = Take(w.dsts, 5, "d");
+  EXPECT_TRUE(planner.Join(a, "s", w.flows, b, "d", 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(planner.Join(a, "s", w.flows, b, "d", -1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerJoinTest, ToStringReportsStrategyDirectionAndEstimates) {
+  JoinWorld w = BuildJoinWorld(100, 100, 2000);
+  Planner planner(w.db.get());
+  std::string s = planner.PlanJoin(w.flows, 10, 100).ToString();
+  EXPECT_NE(s.find("join-index-nested-loop(drive=left)"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("forward"), std::string::npos) << s;
+  EXPECT_NE(s.find("assoc ~2000"), std::string::npos) << s;
+  std::string r = planner.PlanJoin(w.flows, 10, 100, 1).ToString();
+  EXPECT_NE(r.find("reverse"), std::string::npos) << r;
+}
+
+}  // namespace
+}  // namespace seed::query

@@ -212,6 +212,136 @@ TEST_F(QueryParserTest, ExplainReportsEstimatedVersusActualRows) {
   EXPECT_NE(plan.find("; actual 15"), std::string::npos);
 }
 
+TEST_F(QueryParserTest, JoinQueries) {
+  ASSERT_TRUE(db_->CreateRelationship(ids_.read, process_, sensor_).ok());
+  ASSERT_TRUE(db_->CreateRelationship(ids_.write, alarms_, sensor_).ok());
+
+  // Forward: Data binds role 0 ('of'), Action role 1 ('by'); the family
+  // of Access covers both Read and Write relationships.
+  auto pairs = RunJoinQuery(*db_, "find Data d join via Access to Action a");
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ((*pairs)[0], std::make_pair(alarms_, sensor_));
+  EXPECT_EQ((*pairs)[1], std::make_pair(process_, sensor_));
+
+  // The direction is inferred: Action cannot fill 'of', so the left side
+  // binds role 1 and the pairs come back (action, data).
+  auto reversed =
+      RunJoinQuery(*db_, "find Action a join via Access to Data d");
+  ASSERT_TRUE(reversed.ok()) << reversed.status().ToString();
+  ASSERT_EQ(reversed->size(), 2u);
+  EXPECT_EQ((*reversed)[0], std::make_pair(sensor_, alarms_));
+  EXPECT_EQ((*reversed)[1], std::make_pair(sensor_, process_));
+
+  // Conditions attach to the side their binder names.
+  auto filtered = RunJoinQuery(
+      *db_, "find Data d join via Access to Action a "
+            "where d name contains Alarm");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  ASSERT_EQ(filtered->size(), 1u);
+  EXPECT_EQ((*filtered)[0], std::make_pair(alarms_, sensor_));
+
+  auto both = RunJoinQuery(
+      *db_, "find Data d join via Access to Action a "
+            "where d name contains Alarm and a Description contains "
+            "hardware");
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both->size(), 1u);
+  auto none = RunJoinQuery(
+      *db_, "find Data d join via Access to Action a "
+            "where a Description contains nuclear");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  // Narrower association: only the Read flow.
+  auto reads = RunJoinQuery(*db_, "find Data d join via Read to Action a");
+  ASSERT_TRUE(reads.ok());
+  ASSERT_EQ(reads->size(), 1u);
+  EXPECT_EQ((*reads)[0], std::make_pair(process_, sensor_));
+
+  // 'exact' on either side restricts that side's extent: at Data exact
+  // (no InputData/OutputData specializations) nothing joins.
+  auto exact = RunJoinQuery(
+      *db_, "find Data d exact join via Access to Action a exact");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_TRUE(exact->empty());
+  // ...and the object entry point still routes the 'exact' form away.
+  EXPECT_TRUE(
+      RunQuery(*db_, "find Data d exact join via Access to Action a")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(QueryParserTest, JoinOnSelfAssociationUsesReverse) {
+  ObjectId parent = *db_->CreateObject(ids_.action, "Parent");
+  ASSERT_TRUE(
+      db_->CreateRelationship(ids_.contained, sensor_, parent).ok());
+
+  // Contained relates Action to Action; the ambiguous direction defaults
+  // to forward (left = role 0, the contained end).
+  auto forward =
+      RunJoinQuery(*db_, "find Action c join via Contained to Action p");
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  ASSERT_EQ(forward->size(), 1u);
+  EXPECT_EQ((*forward)[0], std::make_pair(sensor_, parent));
+
+  // 'reverse' forces the left side onto role 1 (the container end).
+  auto reverse = RunJoinQuery(
+      *db_, "find Action p join reverse via Contained to Action c");
+  ASSERT_TRUE(reverse.ok()) << reverse.status().ToString();
+  ASSERT_EQ(reverse->size(), 1u);
+  EXPECT_EQ((*reverse)[0], std::make_pair(parent, sensor_));
+}
+
+TEST_F(QueryParserTest, JoinExplainReportsStrategyAndRows) {
+  ASSERT_TRUE(db_->CreateRelationship(ids_.write, alarms_, sensor_).ok());
+  std::string plan;
+  auto pairs = RunJoinQuery(
+      *db_, "find Data d join via Access to Action a", &plan);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_NE(plan.find("d: "), std::string::npos) << plan;
+  EXPECT_NE(plan.find("a: "), std::string::npos) << plan;
+  EXPECT_NE(plan.find("join-"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("forward"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("est ~"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("actual 1"), std::string::npos) << plan;
+}
+
+TEST_F(QueryParserTest, JoinSyntaxAndRoutingErrors) {
+  // Join queries are rejected by the object entry point, and vice versa.
+  EXPECT_TRUE(RunQuery(*db_, "find Data d join via Access to Action a")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunJoinQuery(*db_, "find Data").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      RunJoinQuery(*db_, "find Data d join via Access to Action d")
+          .status()
+          .IsInvalidArgument());  // binders must differ
+  EXPECT_TRUE(
+      RunJoinQuery(*db_, "find Data d join via NoSuchAssoc to Action a")
+          .status()
+          .IsNotFound());
+  EXPECT_TRUE(RunJoinQuery(*db_, "find Data d join via Access to Action a "
+                                 "where z name contains x")
+                  .status()
+                  .IsInvalidArgument());  // unknown binder
+  EXPECT_TRUE(RunJoinQuery(*db_, "find Data d join via Access to Action a "
+                                 "nonsense")
+                  .status()
+                  .IsInvalidArgument());
+  // Neither class fits the association at all.
+  EXPECT_TRUE(
+      RunJoinQuery(*db_, "find Action a join via Contained to Data d")
+          .status()
+          .IsInvalidArgument());
+  // 'reverse' is validated too: Data cannot sit at the role-1 end of
+  // Access, so forcing it is an error, not a silently empty result.
+  EXPECT_TRUE(
+      RunJoinQuery(*db_, "find Data d join reverse via Access to Action a")
+          .status()
+          .IsInvalidArgument());
+}
+
 TEST_F(QueryParserTest, IntAndBoolLiterals) {
   // Give the Write relationship an attribute and query objects indirectly:
   // int literals are matched typed.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "query/algebra.h"
 #include "query/predicate.h"
 #include "spades/spec_schema.h"
@@ -154,6 +156,19 @@ TEST_F(QueryTest, ProjectAndDedup) {
       algebra_->Project(*prod, {"z"}).status().IsInvalidArgument());
 }
 
+TEST_F(QueryTest, ProjectRejectsDuplicateAttributes) {
+  // {"x","x"} would produce two identical columns, the second unreachable
+  // via AttrIndex and poisoning later Union/Difference arity checks.
+  auto a = algebra_->ClassExtent(ids_.action, "x");
+  EXPECT_TRUE(algebra_->Project(a, {"x", "x"}).status().IsInvalidArgument());
+  auto b = algebra_->ClassExtent(ids_.data, "y");
+  auto prod = *algebra_->CartesianProduct(a, b);
+  EXPECT_TRUE(
+      algebra_->Project(prod, {"x", "y", "x"}).status().IsInvalidArgument());
+  // Non-duplicate projections still work, in any order.
+  EXPECT_TRUE(algebra_->Project(prod, {"y", "x"}).ok());
+}
+
 TEST_F(QueryTest, CartesianProductRejectsOverlappingAttrs) {
   auto a = algebra_->ClassExtent(ids_.action, "x");
   auto b = algebra_->ClassExtent(ids_.data, "x");
@@ -177,6 +192,129 @@ TEST_F(QueryTest, RelationshipJoinUsesExistingRelationshipsOnly) {
   ASSERT_EQ(reads->size(), 1u);
   EXPECT_EQ(reads->tuples[0][0], process_data_);
   EXPECT_EQ(reads->tuples[0][1], sensor_);
+}
+
+TEST_F(QueryTest, JoinStrategiesAllComputeTheSameRelation) {
+  // Every physical variant — hash with either build side, index-nested-
+  // loop driven from either side — is the same logical join.
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto expected =
+      *algebra_->RelationshipJoin(data, "d", ids_.access, actions, "a");
+  EXPECT_EQ(expected.size(), 3u);
+  for (auto method : {Algebra::JoinOptions::Method::kHash,
+                      Algebra::JoinOptions::Method::kIndexNestedLoop}) {
+    for (auto side : {Algebra::JoinOptions::Side::kLeft,
+                      Algebra::JoinOptions::Side::kRight}) {
+      Algebra::JoinOptions options;
+      options.method = method;
+      options.build_side = side;
+      auto joined = algebra_->RelationshipJoin(data, "d", ids_.access,
+                                               actions, "a", options);
+      ASSERT_TRUE(joined.ok());
+      EXPECT_EQ(joined->tuples, expected.tuples);
+      EXPECT_EQ(joined->attributes, expected.attributes);
+    }
+  }
+}
+
+TEST_F(QueryTest, ReverseJoinBindsLeftToRoleOne) {
+  // Actions sit at role 1 of Access; binding the left relation there
+  // expresses the action->data direction, previously inexpressible.
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  Algebra::JoinOptions reverse;
+  reverse.left_role = 1;
+  auto joined = algebra_->RelationshipJoin(actions, "a", ids_.access, data,
+                                           "d", reverse);
+  ASSERT_TRUE(joined.ok());
+  // The same three flows, with the columns swapped.
+  auto forward =
+      *algebra_->RelationshipJoin(data, "d", ids_.access, actions, "a");
+  ASSERT_EQ(joined->size(), forward.size());
+  std::vector<std::vector<ObjectId>> swapped;
+  for (const auto& t : forward.tuples) swapped.push_back({t[1], t[0]});
+  std::sort(swapped.begin(), swapped.end());
+  EXPECT_EQ(joined->tuples, swapped);
+  // Every physical variant agrees in reverse too.
+  for (auto method : {Algebra::JoinOptions::Method::kHash,
+                      Algebra::JoinOptions::Method::kIndexNestedLoop}) {
+    for (auto side : {Algebra::JoinOptions::Side::kLeft,
+                      Algebra::JoinOptions::Side::kRight}) {
+      Algebra::JoinOptions options = reverse;
+      options.method = method;
+      options.build_side = side;
+      auto again = algebra_->RelationshipJoin(actions, "a", ids_.access,
+                                              data, "d", options);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->tuples, joined->tuples);
+    }
+  }
+  Algebra::JoinOptions bogus;
+  bogus.left_role = 2;
+  EXPECT_TRUE(algebra_->RelationshipJoin(actions, "a", ids_.access, data,
+                                         "d", bogus)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, JoinWithEmptySideShortCircuits) {
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  QueryRelation empty_actions;
+  empty_actions.attributes = {"a"};
+  auto joined =
+      algebra_->RelationshipJoin(data, "d", ids_.access, empty_actions, "a");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+  EXPECT_EQ(joined->attributes, (std::vector<std::string>{"d", "a"}));
+  QueryRelation empty_data;
+  empty_data.attributes = {"d"};
+  auto joined2 =
+      algebra_->RelationshipJoin(empty_data, "d", ids_.access, actions, "a");
+  ASSERT_TRUE(joined2.ok());
+  EXPECT_TRUE(joined2->empty());
+  // Attribute validation still runs before the short-circuit.
+  EXPECT_TRUE(algebra_->RelationshipJoin(empty_data, "x", ids_.access,
+                                         actions, "a")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, DifferenceAndIntersect) {
+  auto things = algebra_->ClassExtent(ids_.thing, "x");
+  auto actions = algebra_->ClassExtent(ids_.action, "x");
+  auto diff = algebra_->Difference(things, actions);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 3u);  // ProcessData, Alarms, Mystery
+  auto inter = algebra_->Intersect(things, actions);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->tuples, actions.tuples);
+  // a \ b and a ∩ b partition a.
+  auto back = algebra_->Union(*diff, *inter);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tuples, things.tuples);
+  auto mismatch = algebra_->ClassExtent(ids_.action, "y");
+  EXPECT_TRUE(
+      algebra_->Difference(things, mismatch).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      algebra_->Intersect(things, mismatch).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, DifferenceAndIntersectNormalizeHandBuiltRelations) {
+  // Operator outputs are sorted+deduped; hand-built relations need not
+  // be, and the linear merges must still compute set semantics.
+  auto actions = algebra_->ClassExtent(ids_.action, "x");
+  QueryRelation messy;
+  messy.attributes = {"x"};
+  messy.tuples = {{display_}, {sensor_}, {display_}};  // unsorted + dup
+  auto diff = algebra_->Difference(actions, messy);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 1u);
+  EXPECT_EQ(diff->tuples[0][0], idle_);
+  auto inter = algebra_->Intersect(messy, actions);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->size(), 2u);  // {display, sensor}, deduplicated
 }
 
 TEST_F(QueryTest, JoinThenSelectPipeline) {
