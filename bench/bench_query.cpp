@@ -563,6 +563,122 @@ void BM_Query_JoinLargeInputsPlanned(benchmark::State& state) {
 }
 BENCHMARK(BM_Query_JoinLargeInputsPlanned)->Arg(10000);
 
+// --- Join pipelines: cost-chosen hop ordering vs. textual order --------------
+
+struct PipelineWorld {
+  std::unique_ptr<Database> db;
+  seed::AssociationId big, tiny;
+  std::vector<QueryRelation> inputs;                // a, b, c extents
+  std::vector<Planner::PipelineHop> hops;           // A-Big-B, B-Tiny-C
+};
+
+/// A skewed 3-class / 2-association chain A -Big- B -Tiny- C: `n` Big
+/// edges spread over the full A/B extents, 10 Tiny edges into a 5-object
+/// C extent. The selective hop is written LAST, so the textual order
+/// materializes all `n` Big edges before Tiny prunes them; the cost
+/// ordering runs Tiny first and drives Big from the tiny intermediate.
+PipelineWorld BuildPipeline(int n) {
+  seed::schema::SchemaBuilder b("PipelineBench");
+  seed::ClassId a_cls =
+      b.AddIndependentClass("A", seed::schema::ValueType::kNone);
+  seed::ClassId b_cls =
+      b.AddIndependentClass("B", seed::schema::ValueType::kNone);
+  seed::ClassId c_cls =
+      b.AddIndependentClass("C", seed::schema::ValueType::kNone);
+  seed::AssociationId big = b.AddAssociation(
+      "Big", seed::schema::Role{"a", a_cls, seed::schema::Cardinality::Any()},
+      seed::schema::Role{"b", b_cls, seed::schema::Cardinality::Any()});
+  seed::AssociationId tiny = b.AddAssociation(
+      "Tiny", seed::schema::Role{"b", b_cls, seed::schema::Cardinality::Any()},
+      seed::schema::Role{"c", c_cls, seed::schema::Cardinality::Any()});
+  PipelineWorld world{std::make_unique<Database>(*b.Build()), big, tiny,
+                      {}, {}};
+  int stripe = std::max(100, n / 10);
+  std::vector<ObjectId> as, bs, cs;
+  for (int i = 0; i < stripe; ++i) {
+    as.push_back(*world.db->CreateObject(a_cls, "A" + std::to_string(i)));
+    bs.push_back(*world.db->CreateObject(b_cls, "B" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    cs.push_back(*world.db->CreateObject(c_cls, "C" + std::to_string(i)));
+  }
+  int degree = std::max(1, n / stripe);
+  for (int i = 0; i < stripe; ++i) {
+    for (int j = 0; j < degree; ++j) {
+      (void)*world.db->CreateRelationship(big, as[i],
+                                          bs[(i + j * 7) % stripe]);
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    (void)*world.db->CreateRelationship(tiny, bs[i], cs[i % 5]);
+  }
+  auto extent = [](const std::vector<ObjectId>& ids, const char* attr) {
+    QueryRelation rel;
+    rel.attributes = {attr};
+    for (ObjectId id : ids) rel.tuples.push_back({id});
+    return rel;
+  };
+  world.inputs = {extent(as, "a"), extent(bs, "b"), extent(cs, "c")};
+  world.hops = {{big, 0, a_cls, b_cls}, {tiny, 0, b_cls, c_cls}};
+  return world;
+}
+
+/// The chain's ground truth, nested loops over both association extents.
+std::vector<std::vector<ObjectId>> NaivePipeline(const PipelineWorld& w) {
+  std::vector<std::vector<ObjectId>> out;
+  for (seed::RelationshipId r1 :
+       w.db->RelationshipsOfAssociation(w.big)) {
+    auto big_rel = *w.db->GetRelationship(r1);
+    for (seed::RelationshipId r2 :
+         w.db->RelationshipsOfAssociation(w.tiny)) {
+      auto tiny_rel = *w.db->GetRelationship(r2);
+      if (big_rel->ends[1] != tiny_rel->ends[0]) continue;
+      out.push_back({big_rel->ends[0], big_rel->ends[1],
+                     tiny_rel->ends[1]});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Textual hop order: Big first, Tiny prunes the n-tuple intermediate.
+void BM_Query_PipelineTextualOrder(benchmark::State& state) {
+  auto world = BuildPipeline(static_cast<int>(state.range(0)));
+  Planner planner(world.db.get());
+  {
+    auto r = planner.JoinPipelineInOrder(world.inputs, world.hops, {0, 1});
+    if (!r.ok() || r->tuples != NaivePipeline(world)) abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.JoinPipelineInOrder(world.inputs, world.hops, {0, 1});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_PipelineTextualOrder)->Arg(10000)->Arg(100000);
+
+/// Cost-chosen order: PlanJoinPipeline must run the selective Tiny hop
+/// first even though it is written last.
+void BM_Query_PipelineCostOrder(benchmark::State& state) {
+  auto world = BuildPipeline(static_cast<int>(state.range(0)));
+  Planner planner(world.db.get());
+  {
+    std::vector<size_t> sizes;
+    for (const auto& in : world.inputs) sizes.push_back(in.size());
+    auto plan = planner.PlanJoinPipeline(world.hops, sizes);
+    if (plan.steps.size() != 2 || plan.steps[0].hop != 1) abort();
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    if (!r.ok() || r->tuples != NaivePipeline(world)) abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_PipelineCostOrder)->Arg(10000)->Arg(100000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -10,9 +10,10 @@
 //
 // Commands: help, find <Class> [exact] [where ...], find rel <Assoc>
 // [exact] [where ...], find <Class> <b1> join [reverse] via <Assoc> to
-// <Class> <b2> [where <b> ...] (relationship joins; conditions name the
-// side they constrain by its binder), explain find ... (prints the chosen
-// plan — access path or join strategy — with estimated vs. actual rows),
+// <Class> <b2> [join ... up to 3 hops] [where <b> ...] (relationship
+// joins and join chains; conditions name the side they constrain by its
+// binder), explain find ... (prints the chosen plan — access path, join
+// strategy or pipeline hop ordering — with estimated vs. actual rows),
 // schema, show [path], create <Class> <Name>,
 // sub <path> <role>, set <path> <value>, link <Assoc> <path0> <path1>,
 // refine <path> <Class>, refinerel <Assoc> <path0> <path1> <NewAssoc>,
@@ -161,7 +162,7 @@ class Shell {
       std::printf(
           "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
           "[where ...]\nfind <Class> <b1> join [reverse] via <Assoc> to "
-          "<Class> <b2> [where <b> ...]\n"
+          "<Class> <b2> (... up to 3 hops) [where <b> ...]\n"
           "explain find ... | schema | show [path]\ncreate "
           "<Class> <Name> | sub <path> <role>"
           " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "
@@ -191,17 +192,21 @@ class Shell {
            tokens[rel_at + 3] == "join");
       size_t matches = 0;
       if (join_query) {
-        auto result = seed::query::RunJoinQuery(*db_, query, &plan);
+        auto result = seed::query::RunJoinChainQuery(*db_, query, &plan);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
         if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
-        for (const auto& [left, right] : *result) {
-          std::printf("%s -- %s\n", db_->FullName(left).c_str(),
-                      db_->FullName(right).c_str());
+        for (const auto& tuple : result->tuples) {
+          std::string row;
+          for (seed::ObjectId id : tuple) {
+            if (!row.empty()) row += " -- ";
+            row += db_->FullName(id);
+          }
+          std::printf("%s\n", row.c_str());
         }
-        matches = result->size();
+        matches = result->tuples.size();
       } else if (rel_query) {
         auto result = seed::query::RunRelationshipQuery(*db_, query, &plan);
         if (!result.ok()) {

@@ -92,6 +92,37 @@ ObjectId Database::FindChildByKey(ObjectId parent, ClassId dep_cls,
   return entry == it->second.end() ? ObjectId() : entry->second;
 }
 
+ClassId Database::EndClass(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? ClassId() : it->second.cls;
+}
+
+void Database::MoveParticipantCounts(ObjectId obj, ClassId from_cls,
+                                     ClassId to_cls) {
+  auto it = rels_by_object_.find(obj);
+  if (it == rels_by_object_.end()) return;
+  for (RelationshipId rid : it->second) {
+    const RelationshipItem& rel = relationships_.at(rid);
+    if (rel.is_pattern) continue;
+    for (int role = 0; role < 2; ++role) {
+      if (rel.ends[role] != obj) continue;
+      extent_counters_.RemoveParticipant(rel.assoc, role, from_cls);
+      extent_counters_.AddParticipant(rel.assoc, role, to_cls);
+    }
+  }
+}
+
+void Database::MoveParticipantCounts(const RelationshipItem& rel,
+                                     AssociationId from_assoc,
+                                     AssociationId to_assoc) {
+  if (rel.is_pattern) return;
+  for (int role = 0; role < 2; ++role) {
+    ClassId cls = EndClass(rel.ends[role]);
+    extent_counters_.RemoveParticipant(from_assoc, role, cls);
+    extent_counters_.AddParticipant(to_assoc, role, cls);
+  }
+}
+
 void Database::IndexRelationship(const RelationshipItem& rel) {
   if (rel.deleted) return;
   by_assoc_[rel.assoc].push_back(rel.id);
@@ -99,7 +130,13 @@ void Database::IndexRelationship(const RelationshipItem& rel) {
   if (rel.ends[1] != rel.ends[0]) {
     rels_by_object_[rel.ends[1]].push_back(rel.id);
   }
-  if (!rel.is_pattern) extent_counters_.AddRelationship(rel.assoc);
+  if (!rel.is_pattern) {
+    extent_counters_.AddRelationship(rel.assoc);
+    for (int role = 0; role < 2; ++role) {
+      extent_counters_.AddParticipant(rel.assoc, role,
+                                      EndClass(rel.ends[role]));
+    }
+  }
   ++live_relationships_;
 }
 
@@ -109,7 +146,13 @@ void Database::UnindexRelationship(const RelationshipItem& rel) {
   if (rel.ends[1] != rel.ends[0]) {
     EraseFrom(rels_by_object_[rel.ends[1]], rel.id);
   }
-  if (!rel.is_pattern) extent_counters_.RemoveRelationship(rel.assoc);
+  if (!rel.is_pattern) {
+    extent_counters_.RemoveRelationship(rel.assoc);
+    for (int role = 0; role < 2; ++role) {
+      extent_counters_.RemoveParticipant(rel.assoc, role,
+                                         EndClass(rel.ends[role]));
+    }
+  }
   --live_relationships_;
 }
 
@@ -641,6 +684,7 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
   if (!obj->is_pattern) {
     extent_counters_.RemoveObject(old_cls);
     extent_counters_.AddObject(new_cls);
+    MoveParticipantCounts(obj_id, old_cls, new_cls);
   }
   Touch(obj_id);
   // Migrates attribute-index entries between class extents: the refresh
@@ -658,6 +702,7 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
       by_class_[old_cls].push_back(obj_id);
       extent_counters_.RemoveObject(new_cls);
       extent_counters_.AddObject(old_cls);
+      MoveParticipantCounts(obj_id, new_cls, old_cls);
       RefreshAttrIndexes(obj_id);
       return veto;
     }
@@ -829,6 +874,7 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
   if (!rel->is_pattern) {
     extent_counters_.RemoveRelationship(old_assoc);
     extent_counters_.AddRelationship(new_assoc_id);
+    MoveParticipantCounts(*rel, old_assoc, new_assoc_id);
   }
   Touch(rel_id);
   // Migrates relationship-index entries between association extents.
@@ -844,6 +890,7 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
       by_assoc_[old_assoc].push_back(rel_id);
       extent_counters_.RemoveRelationship(new_assoc_id);
       extent_counters_.AddRelationship(old_assoc);
+      MoveParticipantCounts(*rel, new_assoc_id, old_assoc);
       RefreshRelAttrIndexes(rel_id);
       return veto;
     }

@@ -341,6 +341,18 @@ class Database {
   void UnindexObject(const ObjectItem& obj);
   void IndexRelationship(const RelationshipItem& rel);
   void UnindexRelationship(const RelationshipItem& rel);
+  /// Class of a relationship end, tombstoned or not (degree statistics
+  /// must see the class an end had when the relationship was indexed).
+  ClassId EndClass(ObjectId id) const;
+  /// Moves the degree statistics of every live non-pattern relationship
+  /// end filled by `obj` from `from_cls` to `to_cls` (object reclassify
+  /// and its veto rollback).
+  void MoveParticipantCounts(ObjectId obj, ClassId from_cls, ClassId to_cls);
+  /// Moves both ends' degree statistics of `rel` from `from_assoc` to
+  /// `to_assoc` (relationship reclassify and its veto rollback).
+  void MoveParticipantCounts(const RelationshipItem& rel,
+                             AssociationId from_assoc,
+                             AssociationId to_assoc);
   void Touch(ObjectId id) { changed_objects_.insert(id); }
   void Touch(RelationshipId id) { changed_relationships_.insert(id); }
   /// Re-derives the attribute-index entries of `id` (post-mutation hook;

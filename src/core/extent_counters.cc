@@ -1,5 +1,7 @@
 #include "core/extent_counters.h"
 
+#include <vector>
+
 namespace seed::core {
 
 void ExtentCounters::RemoveObject(ClassId cls) {
@@ -14,9 +16,28 @@ void ExtentCounters::RemoveRelationship(AssociationId assoc) {
   if (--it->second == 0) assocs_.erase(it);
 }
 
+void ExtentCounters::AddParticipant(AssociationId assoc, int role,
+                                    ClassId cls) {
+  ++participants_[assoc][role & 1][cls];
+}
+
+void ExtentCounters::RemoveParticipant(AssociationId assoc, int role,
+                                       ClassId cls) {
+  auto it = participants_.find(assoc);
+  if (it == participants_.end()) return;
+  auto& per_class = it->second[role & 1];
+  auto entry = per_class.find(cls);
+  if (entry == per_class.end()) return;
+  if (--entry->second == 0) per_class.erase(entry);
+  if (it->second[0].empty() && it->second[1].empty()) {
+    participants_.erase(it);
+  }
+}
+
 void ExtentCounters::Clear() {
   classes_.clear();
   assocs_.clear();
+  participants_.clear();
 }
 
 size_t ExtentCounters::CountClass(ClassId cls) const {
@@ -45,6 +66,34 @@ size_t ExtentCounters::CountAssociationExtent(
   size_t total = 0;
   for (AssociationId a : schema.AssociationFamily(assoc)) {
     total += CountAssociation(a);
+  }
+  return total;
+}
+
+size_t ExtentCounters::CountParticipants(AssociationId assoc, int role,
+                                         ClassId cls) const {
+  auto it = participants_.find(assoc);
+  if (it == participants_.end()) return 0;
+  const auto& per_class = it->second[role & 1];
+  auto entry = per_class.find(cls);
+  return entry == per_class.end() ? 0 : entry->second;
+}
+
+size_t ExtentCounters::CountParticipantsExtent(
+    const schema::Schema& schema, AssociationId assoc, int role, ClassId cls,
+    bool include_specializations) const {
+  std::vector<ClassId> classes =
+      include_specializations ? schema.ClassFamily(cls)
+                              : std::vector<ClassId>{cls};
+  size_t total = 0;
+  for (AssociationId a : schema.AssociationFamily(assoc)) {
+    auto it = participants_.find(a);
+    if (it == participants_.end()) continue;
+    const auto& per_class = it->second[role & 1];
+    for (ClassId c : classes) {
+      auto entry = per_class.find(c);
+      if (entry != per_class.end()) total += entry->second;
+    }
   }
   return total;
 }

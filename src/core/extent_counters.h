@@ -11,6 +11,16 @@
 // re-derives the maps). Pattern items are excluded — they are invisible
 // to the query layer's extents.
 //
+// Degree statistics ride on the same hooks: per (association, role,
+// class), the number of live non-pattern relationship ends filled by an
+// object of exactly that class. They replace the planner's uniform
+// assoc/extent degree guess — for a skewed graph the participation count
+// of the *queried* class family says how many edges a join hop can
+// actually touch. Relationship create/delete maintain both ends;
+// reclassifying an object migrates its ends' counts between classes, and
+// reclassifying a relationship migrates them between associations
+// (Database::MoveParticipantCounts, run forward and on veto rollback).
+//
 // Family (generalization-closed) counts are summed on demand over the
 // schema's class/association family, which is small; the per-extent
 // counters themselves are O(1) to maintain.
@@ -18,6 +28,7 @@
 #ifndef SEED_CORE_EXTENT_COUNTERS_H_
 #define SEED_CORE_EXTENT_COUNTERS_H_
 
+#include <array>
 #include <cstddef>
 #include <unordered_map>
 
@@ -32,12 +43,21 @@ class ExtentCounters {
   void RemoveObject(ClassId cls);
   void AddRelationship(AssociationId assoc) { ++assocs_[assoc]; }
   void RemoveRelationship(AssociationId assoc);
+
+  /// One relationship end: a live non-pattern relationship of exactly
+  /// `assoc` whose role-`role` end is an object of exactly `cls`.
+  void AddParticipant(AssociationId assoc, int role, ClassId cls);
+  void RemoveParticipant(AssociationId assoc, int role, ClassId cls);
+
   void Clear();
 
   /// Live non-pattern objects of exactly `cls`.
   size_t CountClass(ClassId cls) const;
   /// Live non-pattern relationships of exactly `assoc`.
   size_t CountAssociation(AssociationId assoc) const;
+  /// Relationship ends of exactly `assoc` at `role` filled by exactly
+  /// `cls` objects.
+  size_t CountParticipants(AssociationId assoc, int role, ClassId cls) const;
 
   /// Extent size as the query layer sees it: the class and, when
   /// `include_specializations`, its whole generalization family.
@@ -47,9 +67,22 @@ class ExtentCounters {
                                 AssociationId assoc,
                                 bool include_specializations) const;
 
+  /// Participation as the join planner sees it: relationship ends over
+  /// the association's whole family at `role` filled by objects of the
+  /// `cls` family (or exactly `cls` when `include_specializations` is
+  /// off). This is the numerator of the tracked-degree estimate.
+  size_t CountParticipantsExtent(const schema::Schema& schema,
+                                 AssociationId assoc, int role, ClassId cls,
+                                 bool include_specializations = true) const;
+
  private:
   std::unordered_map<ClassId, size_t> classes_;
   std::unordered_map<AssociationId, size_t> assocs_;
+  /// participants_[assoc][role][cls] — roles of an association are
+  /// exactly two, classes per role are few.
+  std::unordered_map<AssociationId,
+                     std::array<std::unordered_map<ClassId, size_t>, 2>>
+      participants_;
 };
 
 }  // namespace seed::core

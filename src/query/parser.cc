@@ -181,79 +181,125 @@ class Parser {
     return ids;
   }
 
-  Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoin() {
+  /// `pairs_only` rejects multi-hop chains right after parsing, before
+  /// any selection or join executes (the pairs entry point's shape).
+  Result<JoinChainResult> RunJoinChain(bool pairs_only = false) {
     SEED_RETURN_IF_ERROR(Expect("find"));
-    SEED_ASSIGN_OR_RETURN(JoinSide left, ParseJoinSideHead());
-    SEED_RETURN_IF_ERROR(Expect("join"));
-    bool reverse = false;
-    if (PeekIs("reverse")) {
+    SEED_ASSIGN_OR_RETURN(JoinSide head, ParseJoinSideHead());
+    std::vector<JoinSide> sides;
+    sides.push_back(std::move(head));
+    struct Hop {
+      bool reverse = false;
+      AssociationId assoc;
+    };
+    std::vector<Hop> hops;
+    while (PeekIs("join")) {
       ++pos_;
-      reverse = true;
+      if (hops.size() == 3) {
+        return Status::InvalidArgument("join chains support at most 3 hops");
+      }
+      Hop hop;
+      if (PeekIs("reverse")) {
+        ++pos_;
+        hop.reverse = true;
+      }
+      SEED_RETURN_IF_ERROR(Expect("via"));
+      SEED_ASSIGN_OR_RETURN(Token assoc_token, Next("association name"));
+      auto assoc = db_.schema()->FindAssociation(assoc_token.text);
+      if (!assoc.ok()) return assoc.status();
+      hop.assoc = *assoc;
+      SEED_RETURN_IF_ERROR(Expect("to"));
+      SEED_ASSIGN_OR_RETURN(JoinSide side, ParseJoinSideHead());
+      for (const JoinSide& prev : sides) {
+        if (prev.binder == side.binder) {
+          return Status::InvalidArgument("join binders must differ, got '" +
+                                         side.binder + "' twice");
+        }
+      }
+      hops.push_back(hop);
+      sides.push_back(std::move(side));
     }
-    SEED_RETURN_IF_ERROR(Expect("via"));
-    SEED_ASSIGN_OR_RETURN(Token assoc_token, Next("association name"));
-    auto assoc = db_.schema()->FindAssociation(assoc_token.text);
-    if (!assoc.ok()) return assoc.status();
-    SEED_RETURN_IF_ERROR(Expect("to"));
-    SEED_ASSIGN_OR_RETURN(JoinSide right, ParseJoinSideHead());
-    if (left.binder == right.binder) {
-      return Status::InvalidArgument("join binders must differ, got '" +
-                                     left.binder + "' twice");
+    if (hops.empty()) {
+      return Status::InvalidArgument(
+          "expected 'join' after binder '" + sides[0].binder + "'");
     }
 
     if (pos_ < tokens_.size()) {
       SEED_RETURN_IF_ERROR(Expect("where"));
-      SEED_RETURN_IF_ERROR(ParseJoinCondition(&left, &right));
+      SEED_RETURN_IF_ERROR(ParseJoinCondition(&sides));
       while (PeekIs("and")) {
         ++pos_;
-        SEED_RETURN_IF_ERROR(ParseJoinCondition(&left, &right));
+        SEED_RETURN_IF_ERROR(ParseJoinCondition(&sides));
       }
     }
     if (pos_ != tokens_.size()) {
       return Status::InvalidArgument("trailing input after query: '" +
                                      tokens_[pos_].text + "'");
     }
+    if (pairs_only && hops.size() > 1) {
+      return Status::InvalidArgument(
+          "multi-hop join chains return binder tuples; run them through "
+          "RunJoinChainQuery");
+    }
 
-    SEED_ASSIGN_OR_RETURN(int left_role,
-                          InferJoinDirection(*assoc, left.cls, right.cls,
-                                             reverse));
+    // Each hop's direction comes from its adjacent binder classes.
+    std::vector<Planner::PipelineHop> pipeline_hops;
+    for (size_t i = 0; i < hops.size(); ++i) {
+      SEED_ASSIGN_OR_RETURN(
+          int left_role,
+          InferJoinDirection(hops[i].assoc, sides[i].cls, sides[i + 1].cls,
+                             hops[i].reverse));
+      pipeline_hops.push_back({hops[i].assoc, left_role, sides[i].cls,
+                               sides[i + 1].cls});
+    }
 
-    // Both inputs plan through the cost-based selection planner; the join
-    // strategy is then chosen from the result sizes and the association
-    // population.
+    // Every binder's selection plans through the cost-based planner; the
+    // join strategy (and, for chains, the hop ordering) is then chosen
+    // from the result sizes, the association populations and the tracked
+    // degree statistics.
     Planner planner(&db_);
-    Planner::Plan left_plan =
-        planner.PlanSelect(left.cls, left.pred, !left.exact);
-    QueryRelation a;
-    a.attributes = {left.binder};
-    for (ObjectId id :
-         planner.SelectIds(left.cls, left.pred, !left.exact, &left_plan)) {
-      a.tuples.push_back({id});
-    }
-    Planner::Plan right_plan =
-        planner.PlanSelect(right.cls, right.pred, !right.exact);
-    QueryRelation b;
-    b.attributes = {right.binder};
-    for (ObjectId id : planner.SelectIds(right.cls, right.pred,
-                                         !right.exact, &right_plan)) {
-      b.tuples.push_back({id});
+    std::vector<Planner::Plan> side_plans;
+    std::vector<QueryRelation> inputs;
+    for (const JoinSide& side : sides) {
+      Planner::Plan plan =
+          planner.PlanSelect(side.cls, side.pred, !side.exact);
+      QueryRelation rel;
+      rel.attributes = {side.binder};
+      for (ObjectId id :
+           planner.SelectIds(side.cls, side.pred, !side.exact, &plan)) {
+        rel.tuples.push_back({id});
+      }
+      side_plans.push_back(std::move(plan));
+      inputs.push_back(std::move(rel));
     }
 
-    Planner::JoinPlan join_plan;
-    SEED_ASSIGN_OR_RETURN(
-        QueryRelation joined,
-        planner.Join(a, left.binder, *assoc, b, right.binder, left_role,
-                     &join_plan));
-    std::vector<std::pair<ObjectId, ObjectId>> out;
-    out.reserve(joined.size());
-    for (const auto& tuple : joined.tuples) {
-      out.emplace_back(tuple[0], tuple[1]);
+    JoinChainResult out;
+    for (const JoinSide& side : sides) out.binders.push_back(side.binder);
+    std::string join_str;
+    if (hops.size() == 1) {
+      Planner::JoinPlan join_plan;
+      SEED_ASSIGN_OR_RETURN(
+          QueryRelation joined,
+          planner.Join(inputs[0], sides[0].binder, pipeline_hops[0].assoc,
+                       inputs[1], sides[1].binder, pipeline_hops[0].left_role,
+                       &join_plan, sides[0].cls, sides[1].cls));
+      out.tuples = std::move(joined.tuples);
+      join_str = join_plan.ToString();
+    } else {
+      Planner::PipelinePlan pipeline_plan;
+      SEED_ASSIGN_OR_RETURN(
+          QueryRelation joined,
+          planner.JoinPipeline(inputs, pipeline_hops, &pipeline_plan));
+      out.tuples = std::move(joined.tuples);
+      join_str = pipeline_plan.ToString();
     }
     if (plan_out_ != nullptr) {
-      *plan_out_ = left.binder + ": " + left_plan.ToString() + "; " +
-                   right.binder + ": " + right_plan.ToString() + "; " +
-                   join_plan.ToString() + "; actual " +
-                   std::to_string(out.size());
+      std::string s;
+      for (size_t i = 0; i < sides.size(); ++i) {
+        s += sides[i].binder + ": " + side_plans[i].ToString() + "; ";
+      }
+      *plan_out_ = s + join_str + "; actual " +
+                   std::to_string(out.tuples.size());
     }
     return out;
   }
@@ -305,15 +351,23 @@ class Parser {
   }
 
   /// Parses '<binder> cond' and conjoins it onto the named side.
-  Status ParseJoinCondition(JoinSide* left, JoinSide* right) {
+  Status ParseJoinCondition(std::vector<JoinSide>* sides) {
     SEED_ASSIGN_OR_RETURN(Token binder, Next("binder name"));
     JoinSide* side = nullptr;
-    if (!binder.quoted && binder.text == left->binder) side = left;
-    if (!binder.quoted && binder.text == right->binder) side = right;
+    if (!binder.quoted) {
+      for (JoinSide& candidate : *sides) {
+        if (candidate.binder == binder.text) side = &candidate;
+      }
+    }
     if (side == nullptr) {
+      std::string known;
+      for (size_t i = 0; i < sides->size(); ++i) {
+        known += (i == 0 ? "'" : (i + 1 == sides->size() ? "' or '" : "', '"));
+        known += (*sides)[i].binder;
+      }
       return Status::InvalidArgument(
-          "join conditions must start with a binder ('" + left->binder +
-          "' or '" + right->binder + "'), got '" + binder.text + "'");
+          "join conditions must start with a binder (" + known + "'), got '" +
+          binder.text + "'");
     }
     SEED_ASSIGN_OR_RETURN(Predicate cond, ParseCondition());
     side->pred = side->has_pred ? side->pred.And(cond) : cond;
@@ -485,7 +539,26 @@ Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
     const core::Database& db, std::string_view text, std::string* plan_out) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens), plan_out).RunJoin();
+  // Multi-hop chains are rejected right after parsing, before anything
+  // executes: their result has no pairs shape.
+  SEED_ASSIGN_OR_RETURN(
+      JoinChainResult chain,
+      Parser(db, std::move(tokens), plan_out)
+          .RunJoinChain(/*pairs_only=*/true));
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  out.reserve(chain.tuples.size());
+  for (const auto& tuple : chain.tuples) {
+    out.emplace_back(tuple[0], tuple[1]);
+  }
+  return out;
+}
+
+Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
+                                          std::string_view text,
+                                          std::string* plan_out) {
+  SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  if (tokens.empty()) return Status::InvalidArgument("empty query");
+  return Parser(db, std::move(tokens), plan_out).RunJoinChain();
 }
 
 }  // namespace seed::query

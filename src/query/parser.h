@@ -8,9 +8,9 @@
 //   query  := 'find' CLASS ['exact'] [ 'where' cond ('and' cond)* ]
 //   relq   := 'find' 'rel' ASSOC ['exact']
 //             [ 'where' relcond ('and' relcond)* ]
-//   joinq  := 'find' CLASS BINDER ['exact'] 'join' ['reverse'] 'via' ASSOC
-//             'to' CLASS BINDER ['exact']
+//   joinq  := 'find' CLASS BINDER ['exact'] hop hop? hop?
 //             [ 'where' BINDER cond ('and' BINDER cond)* ]
+//   hop    := 'join' ['reverse'] 'via' ASSOC 'to' CLASS BINDER ['exact']
 //   cond   := 'name' 'is' IDENT
 //           | 'name' 'contains' STRING-or-IDENT
 //           | 'value' 'is' literal
@@ -37,16 +37,22 @@
 //   find Data d join via Access to Action a where d name contains "Alarm"
 //
 // Join queries bind each side to a name (BINDER) and return the joined
-// (left, right) pairs: objects of the left class connected by an existing
-// relationship of the association (family included) to objects of the
-// right class. The join direction — which role the left class binds — is
-// inferred from the role classes; 'reverse' forces the left side onto
-// role 1 (needed for self-associations, where both roles accept the same
-// class). 'where' conditions name the side they constrain with its
-// binder. Each side's selection plans through the cost-based planner,
-// and the join itself runs the strategy Planner::PlanJoin picks from the
-// input sizes and the association population (hash join with a chosen
-// build side, or an index-nested-loop driven from the smaller side).
+// binder tuples: objects of adjacent binder classes connected by existing
+// relationships of each hop's association (family included). Up to three
+// hops chain, e.g.
+//   find Data d join via Access to Action a join via Contained to Action c
+// Binder names must be pairwise distinct. Each hop's direction — which
+// role its left binder binds — is inferred from the role classes;
+// 'reverse' forces that hop's left binder onto role 1 (needed for
+// self-associations, where both roles accept the same class). 'where'
+// conditions name the binder they constrain. Every binder's selection
+// plans through the cost-based planner; a single join then runs the
+// strategy Planner::PlanJoin picks, and a multi-hop chain executes the
+// left-deep hop ordering Planner::PlanJoinPipeline chooses from the
+// tracked degree statistics — a selective hop written last still runs
+// first. 'explain find ... join ...' prints every binder's selection
+// plan plus the join strategy (single hop) or the chosen ordering with
+// per-hop strategy and estimated vs. actual rows (chains).
 //
 // Queries execute through the cost-based planner: sargable conditions use
 // a matching attribute index (single probe or multi-index intersection)
@@ -83,13 +89,28 @@ Result<std::vector<RelationshipId>> RunRelationshipQuery(
     const core::Database& db, std::string_view text,
     std::string* plan_out = nullptr);
 
-/// Parses and runs a 'find <Class> <b1> join via <Assoc> to <Class> <b2>
-/// ...' query; returns the joined (left, right) object pairs, ascending.
-/// `plan_out` receives both sides' selection plans and the chosen join
-/// strategy with estimated vs. actual rows.
+/// Parses and runs a single-hop 'find <Class> <b1> join via <Assoc> to
+/// <Class> <b2> ...' query; returns the joined (left, right) object
+/// pairs, ascending. `plan_out` receives both sides' selection plans and
+/// the chosen join strategy with estimated vs. actual rows. Multi-hop
+/// chains are rejected here — run them through RunJoinChainQuery.
 Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
     const core::Database& db, std::string_view text,
     std::string* plan_out = nullptr);
+
+/// Result of a join-chain query: the binder names in textual order and
+/// the joined binder tuples (ascending, deduplicated).
+struct JoinChainResult {
+  std::vector<std::string> binders;
+  std::vector<std::vector<ObjectId>> tuples;
+};
+
+/// Parses and runs a join query with any number of hops (1 to 3);
+/// `plan_out` receives every binder's selection plan plus the executed
+/// join/pipeline plan with estimated vs. actual rows.
+Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
+                                          std::string_view text,
+                                          std::string* plan_out = nullptr);
 
 }  // namespace seed::query
 

@@ -420,27 +420,50 @@ std::string Planner::JoinPlan::ToString() const {
 }
 
 Planner::JoinPlan Planner::PlanJoin(AssociationId assoc, size_t left_rows,
-                                    size_t right_rows, int left_role) const {
+                                    size_t right_rows, int left_role,
+                                    ClassId left_cls, ClassId right_cls) const {
+  return PlanJoinEst(assoc, static_cast<double>(left_rows),
+                     static_cast<double>(right_rows), left_role, left_cls,
+                     right_cls);
+}
+
+Planner::JoinPlan Planner::PlanJoinEst(AssociationId assoc, double left_rows,
+                                       double right_rows, int left_role,
+                                       ClassId left_cls,
+                                       ClassId right_cls) const {
   const schema::Schema& schema = *db_->schema();
+  const core::ExtentCounters& counters = db_->extent_counters();
   JoinPlan plan;
   plan.left_role = left_role == 1 ? 1 : 0;
-  plan.left_rows = static_cast<double>(left_rows);
-  plan.right_rows = static_cast<double>(right_rows);
+  plan.left_rows = left_rows;
+  plan.right_rows = right_rows;
   plan.assoc_rows = static_cast<double>(
-      db_->extent_counters().CountAssociationExtent(schema, assoc, true));
+      counters.CountAssociationExtent(schema, assoc, true));
 
-  // Extents of the role classes, for the uniform-degree estimates. A join
-  // always spans the association family, so the family extents apply.
-  double left_extent = 0.0, right_extent = 0.0;
+  // The classes the inputs were drawn from locate the extents and the
+  // tracked participation counts for the degree estimates; they default
+  // to the role targets, whose participation is the whole association
+  // family (every end conforms to its role) — the old uniform estimate.
+  // A join always spans the association family, so family counts apply.
   if (auto item = schema.GetAssociation(assoc); item.ok()) {
-    left_extent = static_cast<double>(db_->extent_counters().CountClassExtent(
-        schema, (*item)->roles[plan.left_role].target, true));
-    right_extent = static_cast<double>(db_->extent_counters().CountClassExtent(
-        schema, (*item)->roles[1 - plan.left_role].target, true));
+    if (!left_cls.valid()) left_cls = (*item)->roles[plan.left_role].target;
+    if (!right_cls.valid()) {
+      right_cls = (*item)->roles[1 - plan.left_role].target;
+    }
   }
-  plan.est_rows = CostModel::JoinRows(plan.assoc_rows, plan.left_rows,
-                                      left_extent, plan.right_rows,
-                                      right_extent);
+  double left_extent = static_cast<double>(
+      counters.CountClassExtent(schema, left_cls, true));
+  double right_extent = static_cast<double>(
+      counters.CountClassExtent(schema, right_cls, true));
+  double left_part = static_cast<double>(counters.CountParticipantsExtent(
+      schema, assoc, plan.left_role, left_cls));
+  double right_part = static_cast<double>(counters.CountParticipantsExtent(
+      schema, assoc, 1 - plan.left_role, right_cls));
+  // An edge can only match when both of its ends land in the input
+  // classes — for a skewed graph this is far below the association size.
+  double matchable = std::min(left_part, right_part);
+  plan.est_rows = CostModel::JoinRows(matchable, plan.left_rows, left_extent,
+                                      plan.right_rows, right_extent);
 
   struct Option {
     JoinPlan::Strategy strategy;
@@ -455,12 +478,11 @@ Planner::JoinPlan Planner::PlanJoin(AssociationId assoc, size_t left_rows,
                                plan.right_rows, plan.est_rows)},
       {JoinPlan::Strategy::kIndexNestedLoopLeft,
        CostModel::IndexNestedLoopJoinCost(
-           plan.left_rows, CostModel::JoinDegree(plan.assoc_rows, left_extent),
+           plan.left_rows, CostModel::JoinDegree(left_part, left_extent),
            plan.right_rows, plan.est_rows)},
       {JoinPlan::Strategy::kIndexNestedLoopRight,
        CostModel::IndexNestedLoopJoinCost(
-           plan.right_rows,
-           CostModel::JoinDegree(plan.assoc_rows, right_extent),
+           plan.right_rows, CostModel::JoinDegree(right_part, right_extent),
            plan.left_rows, plan.est_rows)},
   };
   plan.strategy = options[0].strategy;
@@ -479,14 +501,235 @@ Result<QueryRelation> Planner::Join(const QueryRelation& a,
                                     AssociationId assoc,
                                     const QueryRelation& b,
                                     std::string_view attr_b, int left_role,
-                                    JoinPlan* plan_out) const {
+                                    JoinPlan* plan_out, ClassId left_cls,
+                                    ClassId right_cls) const {
   if (left_role != 0 && left_role != 1) {
     return Status::InvalidArgument("join role must be 0 or 1");
   }
-  JoinPlan plan = PlanJoin(assoc, a.size(), b.size(), left_role);
+  JoinPlan plan =
+      PlanJoin(assoc, a.size(), b.size(), left_role, left_cls, right_cls);
   if (plan_out != nullptr) *plan_out = plan;
   return algebra_.RelationshipJoin(a, attr_a, assoc, b, attr_b,
                                    plan.options());
+}
+
+// --- Join pipelines ----------------------------------------------------------
+
+std::string Planner::PipelinePlan::ToString() const {
+  std::string s = "pipeline(order:";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    s += (i == 0 ? " hop" : " then hop") + std::to_string(steps[i].hop + 1);
+  }
+  s += "):";
+  for (const Step& step : steps) {
+    s += " hop" + std::to_string(step.hop + 1) + ": " + step.join.ToString();
+    if (step.actual_rows >= 0) {
+      s += ", actual " + std::to_string(step.actual_rows);
+    }
+    s += ";";
+  }
+  return s + " est ~" + Rounded(est_rows) + " rows";
+}
+
+std::vector<std::vector<int>> Planner::LeftDeepOrders(size_t num_hops) {
+  std::vector<std::vector<int>> orders;
+  if (num_hops == 0) return orders;
+  const int n = static_cast<int>(num_hops);
+  // Grow a contiguous hop segment [lo, hi] from every starting hop,
+  // preferring the rightward extension so the textual order (start at
+  // hop 0, always extend right) is enumerated first.
+  std::vector<int> current;
+  auto extend = [&](auto&& self, int lo, int hi) -> void {
+    if (static_cast<int>(current.size()) == n) {
+      orders.push_back(current);
+      return;
+    }
+    if (hi + 1 < n) {
+      current.push_back(hi + 1);
+      self(self, lo, hi + 1);
+      current.pop_back();
+    }
+    if (lo > 0) {
+      current.push_back(lo - 1);
+      self(self, lo - 1, hi);
+      current.pop_back();
+    }
+  };
+  for (int start = 0; start < n; ++start) {
+    current = {start};
+    extend(extend, start, start);
+  }
+  return orders;
+}
+
+Result<Planner::PipelinePlan> Planner::PlanPipelineOrder(
+    const std::vector<PipelineHop>& hops,
+    const std::vector<double>& input_rows,
+    const std::vector<int>& order) const {
+  if (hops.empty()) {
+    return Status::InvalidArgument("join pipeline needs at least one hop");
+  }
+  if (input_rows.size() != hops.size() + 1) {
+    return Status::InvalidArgument(
+        "join pipeline wants one input per binder (hops + 1)");
+  }
+  if (order.size() != hops.size()) {
+    return Status::InvalidArgument(
+        "hop order must name every hop exactly once");
+  }
+  PipelinePlan plan;
+  // The joined binder segment [lo, hi]; empty before the first step.
+  int lo = 0, hi = -1;
+  double cur_rows = 0.0;
+  for (int h : order) {
+    if (h < 0 || h >= static_cast<int>(hops.size())) {
+      return Status::InvalidArgument("hop index out of range");
+    }
+    const PipelineHop& hop = hops[h];
+    PipelinePlan::Step step;
+    step.hop = h;
+    if (hi < lo) {
+      // First step: two base binder relations.
+      step.first = true;
+      step.join = PlanJoinEst(hop.assoc, input_rows[h], input_rows[h + 1],
+                              hop.left_role, hop.left_cls, hop.right_cls);
+      lo = h;
+      hi = h + 1;
+    } else if (h == hi) {
+      // Extend right: the intermediate's binder-`h` column joins the base
+      // input of binder h+1.
+      step.join = PlanJoinEst(hop.assoc, cur_rows, input_rows[h + 1],
+                              hop.left_role, hop.left_cls, hop.right_cls);
+      hi = h + 1;
+    } else if (h + 1 == lo) {
+      // Extend left: the intermediate joins from binder h+1's side, so the
+      // roles (and classes) swap relative to the textual hop.
+      step.extends_left = true;
+      step.join = PlanJoinEst(hop.assoc, cur_rows, input_rows[h],
+                              1 - hop.left_role, hop.right_cls, hop.left_cls);
+      lo = h;
+    } else {
+      return Status::InvalidArgument(
+          "hop order is not left-deep (a prefix is not contiguous)");
+    }
+    cur_rows = step.join.est_rows;
+    plan.est_cost += step.join.est_cost;
+    plan.steps.push_back(std::move(step));
+  }
+  plan.est_rows = cur_rows;
+  return plan;
+}
+
+Planner::PipelinePlan Planner::PlanJoinPipeline(
+    const std::vector<PipelineHop>& hops,
+    const std::vector<size_t>& input_rows) const {
+  std::vector<double> rows(input_rows.begin(), input_rows.end());
+  PipelinePlan best;
+  bool have_best = false;
+  for (const std::vector<int>& order : LeftDeepOrders(hops.size())) {
+    auto plan = PlanPipelineOrder(hops, rows, order);
+    if (!plan.ok()) continue;
+    // Strictly cheaper wins; ties keep the earliest enumerated order
+    // (the textual one comes first).
+    if (!have_best || plan->est_cost < best.est_cost) {
+      best = std::move(*plan);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+Status Planner::ValidatePipelineInputs(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops) {
+  if (hops.empty()) {
+    return Status::InvalidArgument("join pipeline needs at least one hop");
+  }
+  if (inputs.size() != hops.size() + 1) {
+    return Status::InvalidArgument(
+        "join pipeline wants one input relation per binder (hops + 1)");
+  }
+  for (const QueryRelation& in : inputs) {
+    if (in.arity() != 1) {
+      return Status::InvalidArgument(
+          "join pipeline inputs must be unary binder relations");
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryRelation> Planner::JoinPipelineInOrder(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, const std::vector<int>& order,
+    PipelinePlan* plan_out) const {
+  Status valid = ValidatePipelineInputs(inputs, hops);
+  if (!valid.ok()) return valid;
+  std::vector<double> sizes;
+  sizes.reserve(inputs.size());
+  for (const QueryRelation& in : inputs) {
+    sizes.push_back(static_cast<double>(in.size()));
+  }
+  auto planned = PlanPipelineOrder(hops, sizes, order);
+  if (!planned.ok()) return planned.status();
+  return ExecutePipeline(inputs, hops, std::move(*planned), plan_out);
+}
+
+Result<QueryRelation> Planner::ExecutePipeline(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, PipelinePlan plan,
+    PipelinePlan* plan_out) const {
+  // Execute exactly the planned steps in the orientation the simulation
+  // recorded. An empty intermediate short-circuits inside
+  // RelationshipJoin before the association is touched.
+  QueryRelation current;
+  for (PipelinePlan::Step& step : plan.steps) {
+    const PipelineHop& hop = hops[step.hop];
+    Result<QueryRelation> joined = Status::Internal("unplanned step");
+    if (step.first) {
+      joined = algebra_.RelationshipJoin(
+          inputs[step.hop], inputs[step.hop].attributes[0], hop.assoc,
+          inputs[step.hop + 1], inputs[step.hop + 1].attributes[0],
+          step.join.options());
+    } else if (step.extends_left) {
+      joined = algebra_.RelationshipJoin(
+          current, inputs[step.hop + 1].attributes[0], hop.assoc,
+          inputs[step.hop], inputs[step.hop].attributes[0],
+          step.join.options());
+    } else {
+      joined = algebra_.RelationshipJoin(
+          current, inputs[step.hop].attributes[0], hop.assoc,
+          inputs[step.hop + 1], inputs[step.hop + 1].attributes[0],
+          step.join.options());
+    }
+    if (!joined.ok()) return joined.status();
+    current = std::move(*joined);
+    step.actual_rows = static_cast<long long>(current.size());
+  }
+
+  // Back to the textual binder-column order (execution accumulated the
+  // columns in join order; a complete order joins every binder).
+  std::vector<std::string> binders;
+  for (const QueryRelation& in : inputs) {
+    binders.push_back(in.attributes[0]);
+  }
+  auto out = algebra_.Project(current, binders);
+  if (!out.ok()) return out.status();
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return out;
+}
+
+Result<QueryRelation> Planner::JoinPipeline(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, PipelinePlan* plan_out) const {
+  Status valid = ValidatePipelineInputs(inputs, hops);
+  if (!valid.ok()) return valid;
+  std::vector<size_t> sizes;
+  sizes.reserve(inputs.size());
+  for (const QueryRelation& in : inputs) sizes.push_back(in.size());
+  // Shape is valid here, so the chosen plan always has steps; execute it
+  // directly instead of re-planning the winning order.
+  return ExecutePipeline(inputs, hops, PlanJoinPipeline(hops, sizes),
+                         plan_out);
 }
 
 // --- Relationship extents ----------------------------------------------------

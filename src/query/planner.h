@@ -18,6 +18,17 @@
 // relationship-side indexes when they exist and by a RelationshipsOf-style
 // extent scan otherwise.
 //
+// Relationship joins and join *pipelines* are planner-driven the same
+// way: PlanJoin picks the physical strategy of one hop (hash join with
+// either build side, or an index-nested-loop driven from either side)
+// from the association population and the tracked per-(association, role,
+// class) participation counts — the degree statistics ExtentCounters
+// maintains incrementally — and PlanJoinPipeline enumerates every
+// left-deep ordering of a 2-3 hop chain, costing each hop with the same
+// model, so a selective hop written last in the query still executes
+// first. JoinPipeline threads the intermediate binder tuples through the
+// chosen ordering with an empty-intermediate short-circuit per hop.
+//
 // Every index plan runs a residual filter (full predicate re-eval + extent
 // check) over its candidates, so the rewrite is an optimization only:
 // results are identical to the scan path, including the paper's
@@ -112,6 +123,44 @@ class Planner {
     std::string ToString() const;
   };
 
+  /// One hop of a join chain: binder i connects to binder i+1 through
+  /// `assoc`, with binder i bound at role `left_role`. The binder classes
+  /// feed the tracked degree statistics (invalid ids fall back to the
+  /// association's role target classes).
+  struct PipelineHop {
+    AssociationId assoc;
+    int left_role = 0;
+    ClassId left_cls, right_cls;
+  };
+
+  /// The cost-chosen execution of a 2-3 hop join chain: a left-deep
+  /// ordering of the hops with one physical JoinPlan per executed hop.
+  struct PipelinePlan {
+    struct Step {
+      /// Index into the textual hop list.
+      int hop = 0;
+      /// Orientation, recorded at plan time so execution replays exactly
+      /// what was costed: the first executed step joins the hop's two
+      /// base binder inputs; each later step joins the running
+      /// intermediate with base binder `hop` (when it extends the
+      /// segment leftward) or `hop + 1` (rightward).
+      bool first = false;
+      bool extends_left = false;
+      /// Physical plan, oriented the way the step executes (the left
+      /// input is the running intermediate except on the first step).
+      JoinPlan join;
+      /// Rows the step actually produced; -1 until executed.
+      long long actual_rows = -1;
+    };
+
+    std::vector<Step> steps;  // execution order
+    double est_rows = 0.0;    // final output estimate
+    double est_cost = 0.0;    // sum of the steps' modeled costs
+    /// "pipeline(order: hop2 then hop1): hop2: join-...; hop1: ..." —
+    /// for tests, EXPLAIN output and logs.
+    std::string ToString() const;
+  };
+
   explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
 
   /// Chooses the access path for Select(ClassExtent(cls, _), _, p).
@@ -152,24 +201,90 @@ class Planner {
   /// Chooses the physical strategy for joining a `left_rows`-tuple
   /// relation (bound at role `left_role` of `assoc`) with a
   /// `right_rows`-tuple relation at the opposite role, using the
-  /// association population and the role classes' extents. Deterministic
-  /// tie-breaks: hash-build-right, hash-build-left, inl-left, inl-right.
-  /// `left_role` is read as 1 or forward-otherwise; Join() rejects roles
-  /// outside {0, 1} before planning.
+  /// association population, the tracked per-(association, role, class)
+  /// participation counts and the input classes' extents. `left_cls` /
+  /// `right_cls` name the classes the inputs were drawn from; invalid ids
+  /// fall back to the association's role targets (for which the
+  /// participation count degenerates to the uniform assoc/extent
+  /// estimate). Deterministic tie-breaks: hash-build-right,
+  /// hash-build-left, inl-left, inl-right. `left_role` is read as 1 or
+  /// forward-otherwise; Join() rejects roles outside {0, 1} before
+  /// planning.
   JoinPlan PlanJoin(AssociationId assoc, size_t left_rows, size_t right_rows,
-                    int left_role = 0) const;
+                    int left_role = 0, ClassId left_cls = ClassId(),
+                    ClassId right_cls = ClassId()) const;
 
   /// Plans and runs RelationshipJoin(a, attr_a, assoc, b, attr_b) with
   /// the chosen strategy; `plan_out` (optional) receives the plan for
-  /// EXPLAIN-style display. Results are identical to every other
-  /// strategy's.
+  /// EXPLAIN-style display, `left_cls` / `right_cls` (optional) the input
+  /// classes for the degree statistics, as in PlanJoin. Results are
+  /// identical to every other strategy's.
   Result<QueryRelation> Join(const QueryRelation& a, std::string_view attr_a,
                              AssociationId assoc, const QueryRelation& b,
                              std::string_view attr_b, int left_role = 0,
-                             JoinPlan* plan_out = nullptr) const;
+                             JoinPlan* plan_out = nullptr,
+                             ClassId left_cls = ClassId(),
+                             ClassId right_cls = ClassId()) const;
+
+  /// Every left-deep ordering of an `num_hops`-hop chain: permutations
+  /// whose every prefix is a contiguous hop range (anything else would
+  /// need a cartesian product between disconnected segments). Textual
+  /// order comes first; 2 orders for 2 hops, 4 for 3.
+  static std::vector<std::vector<int>> LeftDeepOrders(size_t num_hops);
+
+  /// Chooses the cheapest left-deep ordering for the chain: every
+  /// ordering from LeftDeepOrders is simulated hop by hop — each hop
+  /// planned by PlanJoin from the running intermediate estimate, the
+  /// base input sizes and the degree statistics — and the cheapest total
+  /// wins (ties keep the earliest enumerated, i.e. textual, order).
+  /// `input_rows` holds the hops.size()+1 binder input sizes. Reads only
+  /// tracked counters; never scans an extent. On invalid shapes (no
+  /// hops, mis-sized `input_rows`) the returned plan has no steps —
+  /// JoinPipeline surfaces that as InvalidArgument; direct callers must
+  /// check `steps` before indexing into it.
+  PipelinePlan PlanJoinPipeline(const std::vector<PipelineHop>& hops,
+                                const std::vector<size_t>& input_rows) const;
+
+  /// Plans and runs the chain over the unary binder `inputs` (one per
+  /// binder, attribute names distinct); returns the joined binder tuples
+  /// in textual binder-column order, ascending. `plan_out` receives the
+  /// executed plan with per-step actual rows. An empty intermediate
+  /// short-circuits every remaining hop.
+  Result<QueryRelation> JoinPipeline(const std::vector<QueryRelation>& inputs,
+                                     const std::vector<PipelineHop>& hops,
+                                     PipelinePlan* plan_out = nullptr) const;
+
+  /// Same, but executes an explicit hop `order` (for tests and benches
+  /// comparing orderings); the result equals every other order's.
+  Result<QueryRelation> JoinPipelineInOrder(
+      const std::vector<QueryRelation>& inputs,
+      const std::vector<PipelineHop>& hops, const std::vector<int>& order,
+      PipelinePlan* plan_out = nullptr) const;
 
  private:
   struct Candidate;  // sargable conjunct bound to an index (planner.cc)
+
+  /// PlanJoin with fractional input sizes (intermediate estimates).
+  JoinPlan PlanJoinEst(AssociationId assoc, double left_rows,
+                       double right_rows, int left_role, ClassId left_cls,
+                       ClassId right_cls) const;
+
+  /// Simulates (and costs) the chain under one explicit hop order.
+  Result<PipelinePlan> PlanPipelineOrder(const std::vector<PipelineHop>& hops,
+                                         const std::vector<double>& input_rows,
+                                         const std::vector<int>& order) const;
+
+  /// Shape checks shared by the pipeline entry points.
+  static Status ValidatePipelineInputs(
+      const std::vector<QueryRelation>& inputs,
+      const std::vector<PipelineHop>& hops);
+
+  /// Runs an already-planned pipeline (no re-planning), filling per-step
+  /// actual rows and projecting back to textual binder-column order.
+  Result<QueryRelation> ExecutePipeline(
+      const std::vector<QueryRelation>& inputs,
+      const std::vector<PipelineHop>& hops, PipelinePlan plan,
+      PipelinePlan* plan_out) const;
 
   /// Costs scan / single-leg / intersection over `candidates` and returns
   /// the cheapest plan for an extent of `extent_rows`.

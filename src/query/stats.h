@@ -94,11 +94,16 @@ struct CostModel {
   //           + build * kHashBuildCost                 hash the other side
   //           + out * kPostingCost
   //
-  // `degree` is the uniformity estimate assoc / role_extent for the
-  // driving role's class extent. The index-nested-loop therefore wins
-  // exactly when the driving side is small relative to the association —
-  // a selective Select feeding a join against a huge extent — and the
-  // hash join wins when both inputs are of the association's own scale.
+  // `degree` is participation / extent of the driving side's class
+  // family, where participation is the tracked per-(association, role,
+  // class) count ExtentCounters maintains — exact, never scanned. For
+  // inputs drawn from a role's target class this degenerates to the
+  // uniform assoc / role_extent estimate; for a sparse specialization it
+  // is far smaller, which is what lets the planner order a skewed join
+  // chain correctly. The index-nested-loop wins exactly when the driving
+  // side is small relative to its participation — a selective Select
+  // feeding a join against a huge extent — and the hash join wins when
+  // both inputs are of the association's own scale.
 
   /// Probing the tuple hash with one streamed tuple.
   static constexpr double kHashTupleCost = 0.25;
@@ -106,17 +111,24 @@ struct CostModel {
   /// which is what makes the smaller input the preferred build side.
   static constexpr double kHashBuildCost = 0.5;
 
-  /// Uniform-degree estimate: edges incident to one driving object.
-  static double JoinDegree(double assoc_rows, double role_extent_rows) {
-    if (role_extent_rows <= 0.0) return assoc_rows;
-    return assoc_rows / role_extent_rows;
+  /// Per-object degree estimate: edges incident to one driving object.
+  /// `participation_rows` is the number of edge ends the driving class
+  /// family fills (the tracked participation count; callers without
+  /// class statistics pass the association population, recovering the
+  /// uniform estimate).
+  static double JoinDegree(double participation_rows,
+                           double role_extent_rows) {
+    if (role_extent_rows <= 0.0) return participation_rows;
+    return participation_rows / role_extent_rows;
   }
 
-  /// Estimate of the join's output size: each of the association's edges
-  /// survives iff both of its ends landed in the respective input. The
-  /// coverage fractions are clamped — an input broader than the role
-  /// class extent (e.g. a generalization's extent) cannot make an edge
-  /// match more than once.
+  /// Estimate of the join's output size: each matchable edge survives
+  /// iff both of its ends landed in the respective input. `assoc_rows`
+  /// is the matchable-edge count — min of the two sides' participation
+  /// counts when class statistics exist, the association population
+  /// otherwise. The coverage fractions are clamped — an input broader
+  /// than the class extent (e.g. a generalization's extent) cannot make
+  /// an edge match more than once.
   static double JoinRows(double assoc_rows, double left_rows,
                          double left_extent_rows, double right_rows,
                          double right_extent_rows) {

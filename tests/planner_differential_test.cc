@@ -20,11 +20,20 @@
 // and reverse role bindings, joins fed by selections, selections over
 // join outputs, empty sides, and post-reclassify/post-restore states —
 // with coverage floors per chosen strategy kind.
+//
+// Join *chains* extend the contract to multi-join plans: for randomized
+// 2-3 hop chains (forward and reverse hops, empty intermediates, vague
+// values, post-reclassify/post-restore states), the pipeline the planner
+// chooses from the tracked degree statistics AND every left-deep hop
+// ordering must equal a naive fold of the nested-loop reference, with
+// coverage floors asserting the planner actually exercises at least two
+// distinct orderings and both physical hop strategies.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -207,6 +216,12 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   size_t join_inl_chosen = 0;
   size_t join_reverse = 0;
   size_t join_empty_side = 0;
+  size_t chain_queries = 0;
+  size_t chain_hash_steps = 0;
+  size_t chain_inl_steps = 0;
+  size_t chain_reverse_hops = 0;
+  size_t chain_empty_intermediate = 0;
+  std::set<std::string> chain_orders_chosen;
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     Random rng(seed * 7919);
@@ -419,6 +434,112 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
       ++queries_run;
     };
 
+    // Naive reference for a 2-3 hop chain: fold the nested-loop join
+    // over the hops in textual order, column i holding binder i.
+    auto naive_chain = [&](const std::vector<query::QueryRelation>& inputs,
+                           const std::vector<Planner::PipelineHop>& hops) {
+      std::vector<std::vector<ObjectId>> tuples;
+      for (const auto& t : inputs[0].tuples) tuples.push_back(t);
+      for (size_t i = 0; i < hops.size(); ++i) {
+        std::vector<std::vector<ObjectId>> next;
+        for (RelationshipId rid :
+             db->RelationshipsOfAssociation(hops[i].assoc, true)) {
+          auto rel = db->GetRelationship(rid);
+          if (!rel.ok()) continue;
+          ObjectId from = (*rel)->ends[hops[i].left_role];
+          ObjectId to = (*rel)->ends[1 - hops[i].left_role];
+          for (const auto& t : tuples) {
+            if (t[i] != from) continue;
+            for (const auto& tb : inputs[i + 1].tuples) {
+              if (tb[0] != to) continue;
+              std::vector<ObjectId> grown = t;
+              grown.push_back(to);
+              next.push_back(std::move(grown));
+            }
+          }
+        }
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        tuples = std::move(next);
+      }
+      return tuples;
+    };
+
+    auto run_chain_query = [&] {
+      size_t num_hops = 2 + rng.Uniform(2);
+      // Binders alternate between the Base family (even positions) and
+      // Target (odd positions), so every chain mixes forward hops
+      // (left_role 0) with reverse ones (left_role 1).
+      Planner planner(db.get());
+      std::vector<ClassId> binder_cls;
+      for (size_t i = 0; i <= num_hops; ++i) {
+        binder_cls.push_back(i % 2 == 0 ? (rng.Bernoulli(0.7)
+                                               ? w.base
+                                               : rng.Pick(family))
+                                        : w.target);
+      }
+      std::vector<Planner::PipelineHop> hops;
+      for (size_t i = 0; i < num_hops; ++i) {
+        hops.push_back({rng.Bernoulli(0.7) ? w.link : w.fast_link,
+                        i % 2 == 0 ? 0 : 1, binder_cls[i],
+                        binder_cls[i + 1]});
+        if (hops.back().left_role == 1) ++chain_reverse_hops;
+      }
+      std::vector<query::QueryRelation> inputs;
+      for (size_t i = 0; i <= num_hops; ++i) {
+        query::QueryRelation rel;
+        rel.attributes = {"b" + std::to_string(i)};
+        if (!rng.Bernoulli(0.08)) {
+          if (i % 2 == 0) {
+            Predicate p = rng.Bernoulli(0.5) ? RandomPredicate(w, rng)
+                                             : Predicate::True();
+            for (ObjectId id : planner.SelectIds(binder_cls[i], p)) {
+              rel.tuples.push_back({id});
+            }
+          } else {
+            double keep = rng.Bernoulli(0.5) ? 1.0 : 0.3;
+            for (ObjectId id : db->ObjectsOfClass(w.target)) {
+              if (rng.Bernoulli(keep)) rel.tuples.push_back({id});
+            }
+          }
+        }
+        inputs.push_back(std::move(rel));
+      }
+
+      auto expected = naive_chain(inputs, hops);
+
+      // The planner-chosen ordering...
+      Planner::PipelinePlan plan;
+      auto planned = planner.JoinPipeline(inputs, hops, &plan);
+      ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+      ASSERT_EQ(planned->tuples, expected)
+          << "chain diverged at seed " << seed << " (plan: "
+          << plan.ToString() << ")";
+      std::string order_sig;
+      for (const auto& step : plan.steps) {
+        order_sig += std::to_string(step.hop);
+        using Strategy = Planner::JoinPlan::Strategy;
+        if (step.join.strategy == Strategy::kHashBuildLeft ||
+            step.join.strategy == Strategy::kHashBuildRight) {
+          ++chain_hash_steps;
+        } else {
+          ++chain_inl_steps;
+        }
+        if (step.actual_rows == 0) ++chain_empty_intermediate;
+      }
+      chain_orders_chosen.insert(std::to_string(num_hops) + ":" + order_sig);
+
+      // ...and every left-deep ordering agree with the naive fold.
+      for (const auto& order : Planner::LeftDeepOrders(hops.size())) {
+        auto direct = planner.JoinPipelineInOrder(inputs, hops, order);
+        ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+        ASSERT_EQ(direct->tuples, expected)
+            << "ordering diverged at seed " << seed;
+      }
+      ++chain_queries;
+      ++queries_run;
+    };
+
     for (int step = 0; step < 150; ++step) {
       switch (rng.Uniform(10)) {
         case 0: {  // create an object somewhere in the family
@@ -546,6 +667,7 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
           run_object_query();
           run_rel_query();
           run_join_query();
+          run_chain_query();
           break;
         }
       }
@@ -553,6 +675,7 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
       run_object_query();
       if (rng.Bernoulli(0.5)) run_rel_query();
       if (rng.Bernoulli(0.4)) run_join_query();
+      if (rng.Bernoulli(0.25)) run_chain_query();
     }
   }
   // The acceptance bar: at least 500 random queries with planner/scan
@@ -573,6 +696,16 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   EXPECT_GE(join_inl_chosen, 10u);
   EXPECT_GE(join_reverse, 25u);
   EXPECT_GE(join_empty_side, 10u);
+  // Chain coverage floors: every differential chain also ran every
+  // left-deep ordering against the naive fold; the planner's own picks
+  // must span at least two distinct orderings and both physical hop
+  // strategies, and some intermediates must have come up empty.
+  EXPECT_GE(chain_queries, 60u);
+  EXPECT_GE(chain_orders_chosen.size(), 2u);
+  EXPECT_GE(chain_hash_steps, 10u);
+  EXPECT_GE(chain_inl_steps, 10u);
+  EXPECT_GE(chain_reverse_hops, 60u);
+  EXPECT_GE(chain_empty_intermediate, 10u);
 }
 
 }  // namespace

@@ -188,6 +188,146 @@ TEST(PlannerJoinTest, JoinRejectsInvalidRoles) {
                   .IsInvalidArgument());
 }
 
+TEST(PlannerJoinTest, TrackedDegreeStatisticsSeeClassSkew) {
+  // Src has a Hot specialization with few edges: 100 plain Srcs carry
+  // degree 10 (1000 edges), 10 Hot Srcs carry degree 1 (10 edges). The
+  // uniform assoc/extent guess cannot tell the two apart; the tracked
+  // per-(assoc, role, class) participation counts can.
+  schema::SchemaBuilder b("SkewWorld");
+  ClassId src_cls = b.AddIndependentClass("Src", schema::ValueType::kNone);
+  ClassId hot_cls = b.AddIndependentClass("Hot", schema::ValueType::kNone);
+  b.SetGeneralization(hot_cls, src_cls);
+  ClassId dst_cls = b.AddIndependentClass("Dst", schema::ValueType::kNone);
+  AssociationId flows = b.AddAssociation(
+      "Flows", schema::Role{"src", src_cls, schema::Cardinality::Any()},
+      schema::Role{"dst", dst_cls, schema::Cardinality::Any()});
+  auto db = std::make_unique<Database>(*b.Build());
+  std::vector<ObjectId> dsts;
+  for (int i = 0; i < 100; ++i) {
+    dsts.push_back(*db->CreateObject(dst_cls, "D" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ObjectId src = *db->CreateObject(src_cls, "S" + std::to_string(i));
+    for (int j = 0; j < 10; ++j) {
+      (void)*db->CreateRelationship(flows, src, dsts[(i + j * 7) % 100]);
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    ObjectId hot = *db->CreateObject(hot_cls, "H" + std::to_string(i));
+    (void)*db->CreateRelationship(flows, hot, dsts[i]);
+  }
+
+  // The counters saw every create: 1000 Src ends, 10 Hot ends at role 0.
+  EXPECT_EQ(db->extent_counters().CountParticipants(flows, 0, src_cls),
+            1000u);
+  EXPECT_EQ(db->extent_counters().CountParticipants(flows, 0, hot_cls), 10u);
+
+  Planner planner(db.get());
+  // Driving 10 tuples drawn from the Hot extent: the tracked degree is
+  // 10/10 = 1, so the estimate sees at most the 10 Hot edges.
+  JoinPlan hot = planner.PlanJoin(flows, 10, 100, 0, hot_cls, dst_cls);
+  EXPECT_DOUBLE_EQ(hot.est_rows, 10.0) << hot.ToString();
+  // The same 10 tuples assumed to come from anywhere in the Src family
+  // read the family degree (1010/110) and a far larger matchable set.
+  JoinPlan uniform = planner.PlanJoin(flows, 10, 100, 0);
+  EXPECT_DOUBLE_EQ(uniform.est_rows, 1010.0 * (10.0 / 110.0))
+      << uniform.ToString();
+  EXPECT_LT(hot.est_cost, uniform.est_cost);
+}
+
+TEST(PlannerJoinTest, LeftDeepOrdersEnumerateContiguousPrefixes) {
+  using Orders = std::vector<std::vector<int>>;
+  EXPECT_EQ(Planner::LeftDeepOrders(1), (Orders{{0}}));
+  EXPECT_EQ(Planner::LeftDeepOrders(2), (Orders{{0, 1}, {1, 0}}));
+  // Textual order first, then the starts further right; every prefix is
+  // a contiguous hop range.
+  EXPECT_EQ(Planner::LeftDeepOrders(3),
+            (Orders{{0, 1, 2}, {1, 2, 0}, {1, 0, 2}, {2, 1, 0}}));
+}
+
+TEST(PlannerJoinTest, PipelineRunsTheSelectiveHopFirst) {
+  // A -Big- B -Tiny- C with 2000 Big edges and 4 Tiny ones: the cheap
+  // ordering runs Tiny (written last) first, and every ordering computes
+  // the same relation.
+  schema::SchemaBuilder b("ChainWorld");
+  ClassId a_cls = b.AddIndependentClass("A", schema::ValueType::kNone);
+  ClassId b_cls = b.AddIndependentClass("B", schema::ValueType::kNone);
+  ClassId c_cls = b.AddIndependentClass("C", schema::ValueType::kNone);
+  AssociationId big = b.AddAssociation(
+      "Big", schema::Role{"a", a_cls, schema::Cardinality::Any()},
+      schema::Role{"b", b_cls, schema::Cardinality::Any()});
+  AssociationId tiny = b.AddAssociation(
+      "Tiny", schema::Role{"b", b_cls, schema::Cardinality::Any()},
+      schema::Role{"c", c_cls, schema::Cardinality::Any()});
+  auto db = std::make_unique<Database>(*b.Build());
+  std::vector<ObjectId> as, bs, cs;
+  for (int i = 0; i < 100; ++i) {
+    as.push_back(*db->CreateObject(a_cls, "A" + std::to_string(i)));
+    bs.push_back(*db->CreateObject(b_cls, "B" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    cs.push_back(*db->CreateObject(c_cls, "C" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      (void)*db->CreateRelationship(big, as[i], bs[(i + j * 7) % 100]);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)*db->CreateRelationship(tiny, bs[i], cs[i]);
+  }
+
+  auto extent = [](const std::vector<ObjectId>& ids, const char* attr) {
+    QueryRelation rel;
+    rel.attributes = {attr};
+    for (ObjectId id : ids) rel.tuples.push_back({id});
+    return rel;
+  };
+  std::vector<QueryRelation> inputs{extent(as, "a"), extent(bs, "b"),
+                                    extent(cs, "c")};
+  std::vector<Planner::PipelineHop> hops{{big, 0, a_cls, b_cls},
+                                         {tiny, 0, b_cls, c_cls}};
+  Planner planner(db.get());
+  Planner::PipelinePlan plan =
+      planner.PlanJoinPipeline(hops, {as.size(), bs.size(), cs.size()});
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].hop, 1) << plan.ToString();
+  EXPECT_EQ(plan.steps[1].hop, 0) << plan.ToString();
+
+  Planner::PipelinePlan executed;
+  auto chosen = planner.JoinPipeline(inputs, hops, &executed);
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+  EXPECT_EQ(chosen->attributes,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_FALSE(chosen->empty());
+  // Per-step actuals are filled in after execution.
+  for (const auto& step : executed.steps) EXPECT_GE(step.actual_rows, 0);
+  // Every left-deep ordering computes the same relation.
+  for (const auto& order : Planner::LeftDeepOrders(hops.size())) {
+    auto direct = planner.JoinPipelineInOrder(inputs, hops, order);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    EXPECT_EQ(direct->tuples, chosen->tuples);
+  }
+
+  // Bad shapes are rejected: a non-left-deep order, a wrong input count
+  // and a non-unary input.
+  EXPECT_TRUE(planner.JoinPipelineInOrder(inputs, hops, {1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(planner.JoinPipelineInOrder(inputs, hops, {0, 0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      planner.JoinPipeline({inputs[0], inputs[1]}, hops)
+          .status()
+          .IsInvalidArgument());
+  std::vector<QueryRelation> wide = inputs;
+  wide[1].attributes = {"b", "x"};
+  for (auto& tuple : wide[1].tuples) tuple.push_back(tuple[0]);
+  EXPECT_TRUE(
+      planner.JoinPipeline(wide, hops).status().IsInvalidArgument());
+}
+
 TEST(PlannerJoinTest, ToStringReportsStrategyDirectionAndEstimates) {
   JoinWorld w = BuildJoinWorld(100, 100, 2000);
   Planner planner(w.db.get());

@@ -342,6 +342,143 @@ TEST_F(QueryParserTest, JoinSyntaxAndRoutingErrors) {
           .IsInvalidArgument());
 }
 
+TEST_F(QueryParserTest, JoinChainQueries) {
+  ObjectId parent = *db_->CreateObject(ids_.action, "Parent");
+  ASSERT_TRUE(db_->CreateRelationship(ids_.read, process_, sensor_).ok());
+  ASSERT_TRUE(db_->CreateRelationship(ids_.write, alarms_, sensor_).ok());
+  ASSERT_TRUE(
+      db_->CreateRelationship(ids_.contained, sensor_, parent).ok());
+
+  auto chain = RunJoinChainQuery(
+      *db_, "find Data d join via Access to Action a "
+            "join via Contained to Action c");
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(chain->binders, (std::vector<std::string>{"d", "a", "c"}));
+  ASSERT_EQ(chain->tuples.size(), 2u);
+  EXPECT_EQ(chain->tuples[0],
+            (std::vector<ObjectId>{alarms_, sensor_, parent}));
+  EXPECT_EQ(chain->tuples[1],
+            (std::vector<ObjectId>{process_, sensor_, parent}));
+
+  // Conditions may constrain any binder, including the middle one.
+  auto filtered = RunJoinChainQuery(
+      *db_, "find Data d join via Access to Action a "
+            "join via Contained to Action c "
+            "where d name contains Alarm and a name is Sensor");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  ASSERT_EQ(filtered->tuples.size(), 1u);
+  EXPECT_EQ(filtered->tuples[0],
+            (std::vector<ObjectId>{alarms_, sensor_, parent}));
+
+  // A reverse middle hop walks Contained the other way: containers of
+  // the actions that access Data.
+  auto reversed = RunJoinChainQuery(
+      *db_, "find Action p join reverse via Contained to Action a "
+            "join reverse via Access to Data d");
+  ASSERT_TRUE(reversed.ok()) << reversed.status().ToString();
+  ASSERT_EQ(reversed->tuples.size(), 2u);
+  EXPECT_EQ(reversed->tuples[0],
+            (std::vector<ObjectId>{parent, sensor_, alarms_}));
+  EXPECT_EQ(reversed->tuples[1],
+            (std::vector<ObjectId>{parent, sensor_, process_}));
+
+  // A single-hop chain equals the pairs entry point.
+  auto single = RunJoinChainQuery(
+      *db_, "find Data d join via Access to Action a");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->binders, (std::vector<std::string>{"d", "a"}));
+  EXPECT_EQ(single->tuples.size(),
+            RunJoinQuery(*db_, "find Data d join via Access to Action a")
+                ->size());
+}
+
+TEST_F(QueryParserTest, JoinChainErrors) {
+  auto status_of = [&](const std::string& q) {
+    return RunJoinChainQuery(*db_, q).status();
+  };
+
+  // A condition naming an unknown binder lists every known binder.
+  Status s = status_of(
+      "find Data d join via Access to Action a "
+      "join via Contained to Action c where x name is Sensor");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("'d', 'a' or 'c'"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("got 'x'"), std::string::npos) << s.ToString();
+
+  // Duplicate binder names anywhere in the chain.
+  s = status_of(
+      "find Data d join via Access to Action a "
+      "join via Contained to Action a");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("join binders must differ, got 'a' twice"),
+            std::string::npos)
+      << s.ToString();
+
+  // 'reverse' on a hop whose classes cannot fill the swapped roles (a
+  // non-self-association) is an error, not a silently empty result.
+  s = status_of(
+      "find Data d join reverse via Access to Action a "
+      "join via Contained to Action c");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(
+      s.message().find(
+          "'reverse' join classes do not fit the swapped roles"),
+      std::string::npos)
+      << s.ToString();
+
+  // Dangling hops: the parser reports what it expected, where.
+  s = status_of("find Data d join via");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("expected association name at end of query"),
+            std::string::npos)
+      << s.ToString();
+  s = status_of("find Data d join via Access");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("expected 'to' at end of query"),
+            std::string::npos)
+      << s.ToString();
+  s = status_of("find Data d join via Access to Action");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("expected binder name at end of query"),
+            std::string::npos)
+      << s.ToString();
+  s = status_of("find Data d");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("expected 'join' after binder 'd'"),
+            std::string::npos)
+      << s.ToString();
+
+  // An unknown association in a later hop still reports NotFound.
+  EXPECT_TRUE(status_of("find Data d join via Access to Action a "
+                        "join via NoSuchAssoc to Action c")
+                  .IsNotFound());
+
+  // Chains stop at 3 hops.
+  s = status_of(
+      "find Data d join via Access to Action a "
+      "join reverse via Access to Data e "
+      "join via Access to Action f "
+      "join via Contained to Action g");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("join chains support at most 3 hops"),
+            std::string::npos)
+      << s.ToString();
+
+  // The pairs entry point refuses multi-hop chains before anything
+  // executes...
+  Status pairs = RunJoinQuery(*db_, "find Data d join via Access to Action a "
+                                    "join via Contained to Action c")
+                     .status();
+  EXPECT_TRUE(pairs.IsInvalidArgument()) << pairs.ToString();
+  EXPECT_NE(pairs.message().find("RunJoinChainQuery"), std::string::npos)
+      << pairs.ToString();
+  // ...but a bare 'join' used as a value operand is not a hop.
+  EXPECT_TRUE(RunJoinQuery(*db_, "find Data d join via Access to Action a "
+                                 "where d name is join")
+                  .ok());
+}
+
 TEST_F(QueryParserTest, IntAndBoolLiterals) {
   // Give the Write relationship an attribute and query objects indirectly:
   // int literals are matched typed.

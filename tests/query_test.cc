@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "query/algebra.h"
+#include "query/parser.h"
 #include "query/predicate.h"
 #include "spades/spec_schema.h"
 
@@ -359,6 +360,52 @@ TEST_F(QueryTest, PatternsExcludedFromExtents) {
   opts.pattern = true;
   (void)*db_->CreateObject(ids_.action, "Ghost", opts);
   EXPECT_EQ(algebra_->ClassExtent(ids_.action, "a").size(), 3u);
+}
+
+// --- EXPLAIN goldens ---------------------------------------------------------
+//
+// The full EXPLAIN strings are pinned so any plan change — strategy,
+// ordering, estimate or format — shows up as a readable diff. The
+// fixture world: 2 Data objects, 3 Actions, Access family of 3
+// relationships (Read + Write + Access).
+
+TEST_F(QueryTest, JoinExplainGolden) {
+  std::string plan;
+  auto pairs = RunJoinQuery(
+      *db_, "find Data d join via Access to Action a", &plan);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(pairs->size(), 3u);
+  EXPECT_EQ(plan,
+            "d: scan, est ~2 rows; a: scan, est ~3 rows; "
+            "join-hash(build=left), forward, 2 x 3 inputs, est ~3 rows "
+            "(assoc ~3); actual 3");
+}
+
+TEST_F(QueryTest, JoinChainExplainGolden) {
+  // One Contained edge makes the last hop maximally selective; the
+  // pipeline must run it first even though it is written last, and the
+  // EXPLAIN pins the ordering, each hop's strategy and est vs. actual.
+  ASSERT_TRUE(
+      db_->CreateRelationship(ids_.contained, sensor_, display_).ok());
+  std::string plan;
+  auto chain = RunJoinChainQuery(
+      *db_, "find Data d join via Access to Action a "
+            "join via Contained to Action c",
+      &plan);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->tuples.size(), 2u);
+  EXPECT_EQ(chain->tuples[0],
+            (std::vector<ObjectId>{process_data_, sensor_, display_}));
+  EXPECT_EQ(chain->tuples[1],
+            (std::vector<ObjectId>{alarms_, sensor_, display_}));
+  EXPECT_EQ(plan,
+            "d: scan, est ~2 rows; a: scan, est ~3 rows; c: scan, est ~3 "
+            "rows; pipeline(order: hop2 then hop1): "
+            "hop2: join-hash(build=right), forward, 3 x 3 inputs, est ~1 "
+            "rows (assoc ~1), actual 1; "
+            "hop1: join-index-nested-loop(drive=left), reverse, 1 x 2 "
+            "inputs, est ~1 rows (assoc ~3), actual 2; "
+            "est ~1 rows; actual 2");
 }
 
 }  // namespace
