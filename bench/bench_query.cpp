@@ -19,6 +19,8 @@
 #include "schema/schema_builder.h"
 #include "spades/spec_schema.h"
 
+#include "skewed_chain.h"
+
 namespace {
 
 using seed::core::Database;
@@ -667,7 +669,9 @@ void BM_Query_PipelineCostOrder(benchmark::State& state) {
     std::vector<size_t> sizes;
     for (const auto& in : world.inputs) sizes.push_back(in.size());
     auto plan = planner.PlanJoinPipeline(world.hops, sizes);
-    if (plan.steps.size() != 2 || plan.steps[0].hop != 1) abort();
+    if (plan.root == nullptr || plan.HopOrder() != std::vector<int>({1, 0})) {
+      abort();
+    }
     auto r = planner.JoinPipeline(world.inputs, world.hops);
     if (!r.ok() || r->tuples != NaivePipeline(world)) abort();
   }
@@ -678,6 +682,93 @@ void BM_Query_PipelineCostOrder(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Query_PipelineCostOrder)->Arg(10000)->Arg(100000);
+
+// --- Long chains: DP plan vs. textual order vs. exhaustive left-deep ---------
+//
+// The 5-hop skewed chain (beyond the old 3-hop cap) from
+// bench/skewed_chain.h — the same world the CI plan-quality smoke gate
+// checks. The textual order drags dense intermediates through the whole
+// chain; the exhaustive left-deep search (the PR-4 approach, here over
+// 16 orders) reduces one side before each dense crossing; the DP can
+// additionally reduce BOTH sides of a dense hop via a bushy segment x
+// segment join.
+
+using seed::bench::BuildSkewedChain;
+
+/// Textual hop order: dense intermediates survive until the tiny hops
+/// finally prune them.
+void BM_Query_LongChainTextualOrder(benchmark::State& state) {
+  auto world = BuildSkewedChain(static_cast<int>(state.range(0)));
+  Planner planner(world.db.get());
+  std::vector<int> textual{0, 1, 2, 3, 4};
+  Planner::PhysicalPlan plan;
+  auto reference =
+      planner.JoinPipelineInOrder(world.inputs, world.hops, textual, &plan);
+  if (!reference.ok()) abort();
+  for (auto _ : state) {
+    auto r = planner.JoinPipelineInOrder(world.inputs, world.hops, textual);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_visited"] =
+      static_cast<double>(plan.RowsVisited());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_LongChainTextualOrder)->Arg(10000)->Arg(100000);
+
+/// PR-4 style exhaustive-on-prefix: enumerate every left-deep ordering
+/// (16 for 5 hops), keep the cheapest by modeled cost, execute that.
+void BM_Query_LongChainExhaustiveLeftDeep(benchmark::State& state) {
+  auto world = BuildSkewedChain(static_cast<int>(state.range(0)));
+  Planner planner(world.db.get());
+  auto reference = planner.JoinPipelineInOrder(world.inputs, world.hops,
+                                               {0, 1, 2, 3, 4});
+  if (!reference.ok()) abort();
+  std::vector<int> best_order;
+  double best_cost = 0.0;
+  Planner::PhysicalPlan best_plan;
+  for (const auto& order : Planner::LeftDeepOrders(world.hops.size())) {
+    Planner::PhysicalPlan plan;
+    auto r = planner.JoinPipelineInOrder(world.inputs, world.hops, order,
+                                         &plan);
+    if (!r.ok() || r->tuples != reference->tuples) abort();
+    if (best_order.empty() || plan.est_cost < best_cost) {
+      best_order = order;
+      best_cost = plan.est_cost;
+      best_plan = std::move(plan);
+    }
+  }
+  for (auto _ : state) {
+    auto r = planner.JoinPipelineInOrder(world.inputs, world.hops,
+                                         best_order);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_visited"] =
+      static_cast<double>(best_plan.RowsVisited());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_LongChainExhaustiveLeftDeep)->Arg(10000)->Arg(100000);
+
+/// The DP plan (possibly bushy), identity-checked against the textual
+/// fold.
+void BM_Query_LongChainDP(benchmark::State& state) {
+  auto world = BuildSkewedChain(static_cast<int>(state.range(0)));
+  Planner planner(world.db.get());
+  auto reference = planner.JoinPipelineInOrder(world.inputs, world.hops,
+                                               {0, 1, 2, 3, 4});
+  Planner::PhysicalPlan plan;
+  auto r0 = planner.JoinPipeline(world.inputs, world.hops, &plan);
+  if (!reference.ok() || !r0.ok() || r0->tuples != reference->tuples) {
+    abort();
+  }
+  for (auto _ : state) {
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_visited"] = static_cast<double>(plan.RowsVisited());
+  state.counters["bushy"] = plan.HasBushyJoin() ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query_LongChainDP)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

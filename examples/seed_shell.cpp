@@ -10,10 +10,10 @@
 //
 // Commands: help, find <Class> [exact] [where ...], find rel <Assoc>
 // [exact] [where ...], find <Class> <b1> join [reverse] via <Assoc> to
-// <Class> <b2> [join ... up to 3 hops] [where <b> ...] (relationship
+// <Class> <b2> [join ... up to 6 hops] [where <b> ...] (relationship
 // joins and join chains; conditions name the side they constrain by its
-// binder), explain find ... (prints the chosen plan — access path, join
-// strategy or pipeline hop ordering — with estimated vs. actual rows),
+// binder), explain find ... (prints the chosen plan — access path, or
+// the DP-chosen join plan tree — with estimated vs. actual rows),
 // schema, show [path], create <Class> <Name>,
 // sub <path> <role>, set <path> <value>, link <Assoc> <path0> <path1>,
 // refine <path> <Class>, refinerel <Assoc> <path0> <path1> <NewAssoc>,
@@ -162,7 +162,7 @@ class Shell {
       std::printf(
           "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
           "[where ...]\nfind <Class> <b1> join [reverse] via <Assoc> to "
-          "<Class> <b2> (... up to 3 hops) [where <b> ...]\n"
+          "<Class> <b2> (... up to 6 hops) [where <b> ...]\n"
           "explain find ... | schema | show [path]\ncreate "
           "<Class> <Name> | sub <path> <role>"
           " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "

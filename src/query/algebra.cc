@@ -239,6 +239,60 @@ Result<QueryRelation> Algebra::RelationshipJoin(
   return out;
 }
 
+Result<QueryRelation> Algebra::TupleJoin(const QueryRelation& a,
+                                         const QueryRelation& b,
+                                         std::string_view shared) const {
+  int ia = a.AttrIndex(shared);
+  int ib = b.AttrIndex(shared);
+  if (ia < 0 || ib < 0) {
+    return Status::InvalidArgument("shared attribute '" + std::string(shared) +
+                                   "' must appear on both sides");
+  }
+  for (size_t j = 0; j < b.attributes.size(); ++j) {
+    if (static_cast<int>(j) == ib) continue;
+    if (a.AttrIndex(b.attributes[j]) >= 0) {
+      return Status::InvalidArgument("attribute '" + b.attributes[j] +
+                                     "' appears on both sides");
+    }
+  }
+  QueryRelation out;
+  out.attributes = a.attributes;
+  for (size_t j = 0; j < b.attributes.size(); ++j) {
+    if (static_cast<int>(j) != ib) out.attributes.push_back(b.attributes[j]);
+  }
+  if (a.empty() || b.empty()) return out;
+
+  // Hash the smaller side by its shared column, stream the other.
+  const bool build_left = a.size() <= b.size();
+  const QueryRelation& build = build_left ? a : b;
+  const QueryRelation& probe = build_left ? b : a;
+  const int build_attr = build_left ? ia : ib;
+  const int probe_attr = build_left ? ib : ia;
+  TupleIndex built = HashTuples(build, build_attr);
+  auto emit = [&](const std::vector<ObjectId>& ta,
+                  const std::vector<ObjectId>& tb) {
+    std::vector<ObjectId> tuple = ta;
+    tuple.reserve(out.attributes.size());
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (static_cast<int>(j) != ib) tuple.push_back(tb[j]);
+    }
+    out.tuples.push_back(std::move(tuple));
+  };
+  for (const auto& tp : probe.tuples) {
+    auto matches = built.find(tp[probe_attr]);
+    if (matches == built.end()) continue;
+    for (const auto* tb : matches->second) {
+      if (build_left) {
+        emit(*tb, tp);
+      } else {
+        emit(tp, *tb);
+      }
+    }
+  }
+  Dedup(&out);
+  return out;
+}
+
 Result<QueryRelation> Algebra::Union(const QueryRelation& a,
                                      const QueryRelation& b) const {
   if (a.attributes != b.attributes) {

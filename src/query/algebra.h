@@ -103,6 +103,18 @@ class Algebra {
                                          std::string_view attr_b,
                                          const JoinOptions& options) const;
 
+  /// Joins two relations on their one shared attribute `shared` (a
+  /// natural join on that column): keeps (ta, tb) iff ta[shared] ==
+  /// tb[shared], emitting a's columns followed by b's minus the shared
+  /// duplicate. The bushy connector for join-chain plans: two
+  /// independently computed chain segments that overlap in one binder
+  /// merge on that binder's column — pure tuple matching, no
+  /// relationship traversal and never a cartesian product. All other
+  /// attributes must be disjoint. The smaller input is hash-indexed.
+  Result<QueryRelation> TupleJoin(const QueryRelation& a,
+                                  const QueryRelation& b,
+                                  std::string_view shared) const;
+
   /// Set union (same attribute lists required).
   Result<QueryRelation> Union(const QueryRelation& a,
                               const QueryRelation& b) const;

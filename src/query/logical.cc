@@ -1,0 +1,78 @@
+#include "query/logical.h"
+
+namespace seed::query {
+
+LogicalSelect LogicalSelect::Objects(ClassId cls, std::string binder,
+                                     Predicate pred,
+                                     bool include_specializations) {
+  LogicalSelect out;
+  out.extent = Extent::kObjects;
+  out.cls = cls;
+  out.binder = std::move(binder);
+  out.pred = std::move(pred);
+  out.include_specializations = include_specializations;
+  return out;
+}
+
+LogicalSelect LogicalSelect::Relationships(
+    AssociationId assoc, std::string binder,
+    std::vector<RelCondition> conditions, bool include_specializations) {
+  LogicalSelect out;
+  out.extent = Extent::kRelationships;
+  out.assoc = assoc;
+  out.binder = std::move(binder);
+  out.rel_conditions = std::move(conditions);
+  out.include_specializations = include_specializations;
+  return out;
+}
+
+Status LogicalChain::Validate() const {
+  if (binders.empty()) {
+    return Status::InvalidArgument("logical chain needs at least one binder");
+  }
+  if (binders.size() != hops.size() + 1) {
+    return Status::InvalidArgument(
+        "logical chain wants one binder per hop end (hops + 1)");
+  }
+  if (hops.size() > kMaxHops) {
+    return Status::InvalidArgument("join chains support at most " +
+                                   std::to_string(kMaxHops) + " hops");
+  }
+  for (size_t i = 0; i < binders.size(); ++i) {
+    const LogicalSelect& b = binders[i];
+    if (b.binder.empty()) {
+      return Status::InvalidArgument("logical binder names must be non-empty");
+    }
+    for (size_t j = i + 1; j < binders.size(); ++j) {
+      if (binders[j].binder == b.binder) {
+        return Status::InvalidArgument("join binders must differ, got '" +
+                                       b.binder + "' twice");
+      }
+    }
+    if (b.extent == LogicalSelect::Extent::kRelationships &&
+        binders.size() > 1) {
+      return Status::InvalidArgument(
+          "relationship extents cannot participate in join chains");
+    }
+    if (b.extent == LogicalSelect::Extent::kObjects && !b.cls.valid()) {
+      return Status::InvalidArgument("logical object binder '" + b.binder +
+                                     "' names no class");
+    }
+    if (b.extent == LogicalSelect::Extent::kRelationships &&
+        !b.assoc.valid()) {
+      return Status::InvalidArgument("logical relationship binder '" +
+                                     b.binder + "' names no association");
+    }
+  }
+  for (const LogicalJoinHop& hop : hops) {
+    if (hop.left_role != 0 && hop.left_role != 1) {
+      return Status::InvalidArgument("join role must be 0 or 1");
+    }
+    if (!hop.assoc.valid()) {
+      return Status::InvalidArgument("logical hop names no association");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace seed::query

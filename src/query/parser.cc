@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "query/logical.h"
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "schema/types.h"
@@ -83,7 +84,7 @@ Predicate LiteralEquals(const Token& token) {
 }
 
 /// Appends the post-execution actual row count to an EXPLAIN string.
-void ReportPlan(std::string* plan_out, const Planner::Plan& plan,
+void ReportPlan(std::string* plan_out, const Planner::PhysicalPlan& plan,
                 size_t actual_rows) {
   if (plan_out == nullptr) return;
   *plan_out = plan.ToString() + "; actual " + std::to_string(actual_rows);
@@ -132,14 +133,19 @@ class Parser {
                                      tokens_[pos_].text + "'");
     }
 
-    // The cost-based planner rewrites this into an attribute-index probe
-    // (or a multi-index intersection) when estimated cheaper; otherwise it
-    // runs the same extent scan as before.
+    // Lower into the logical IR and execute through the unified planner
+    // path; the cost-based optimizer rewrites the selection into an
+    // attribute-index probe (or a multi-index intersection) when
+    // estimated cheaper, otherwise it runs the same extent scan.
+    LogicalChain chain;
+    chain.binders.push_back(
+        LogicalSelect::Objects(*cls, "x", std::move(pred), !exact));
     Planner planner(&db_);
-    Planner::Plan plan = planner.PlanSelect(*cls, pred, !exact);
-    auto ids = planner.SelectIds(*cls, pred, !exact, &plan);
-    ReportPlan(plan_out_, plan, ids.size());
-    return ids;
+    Planner::PhysicalPlan plan;
+    SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
+                          planner.Run(chain, &plan));
+    ReportPlan(plan_out_, plan, result.ids.size());
+    return std::move(result.ids);
   }
 
   Result<std::vector<RelationshipId>> RunRelationships() {
@@ -172,13 +178,17 @@ class Parser {
                                      tokens_[pos_].text + "'");
     }
 
+    // The relationship-extent shape of the logical IR: one binder over
+    // the association, no hops.
+    LogicalChain chain;
+    chain.binders.push_back(LogicalSelect::Relationships(
+        *assoc, "r", std::move(conditions), !exact));
     Planner planner(&db_);
-    Planner::Plan plan =
-        planner.PlanSelectRelationships(*assoc, conditions, !exact);
-    auto ids = planner.SelectRelationshipIds(*assoc, conditions, !exact,
-                                             &plan);
-    ReportPlan(plan_out_, plan, ids.size());
-    return ids;
+    Planner::PhysicalPlan plan;
+    SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
+                          planner.Run(chain, &plan));
+    ReportPlan(plan_out_, plan, result.relationships.size());
+    return std::move(result.relationships);
   }
 
   /// `pairs_only` rejects multi-hop chains right after parsing, before
@@ -195,8 +205,10 @@ class Parser {
     std::vector<Hop> hops;
     while (PeekIs("join")) {
       ++pos_;
-      if (hops.size() == 3) {
-        return Status::InvalidArgument("join chains support at most 3 hops");
+      if (hops.size() == LogicalChain::kMaxHops) {
+        return Status::InvalidArgument(
+            "join chains support at most " +
+            std::to_string(LogicalChain::kMaxHops) + " hops");
       }
       Hop hop;
       if (PeekIs("reverse")) {
@@ -209,13 +221,9 @@ class Parser {
       if (!assoc.ok()) return assoc.status();
       hop.assoc = *assoc;
       SEED_RETURN_IF_ERROR(Expect("to"));
+      // Duplicate binder names are caught by LogicalChain::Validate when
+      // the lowered chain reaches the planner.
       SEED_ASSIGN_OR_RETURN(JoinSide side, ParseJoinSideHead());
-      for (const JoinSide& prev : sides) {
-        if (prev.binder == side.binder) {
-          return Status::InvalidArgument("join binders must differ, got '" +
-                                         side.binder + "' twice");
-        }
-      }
       hops.push_back(hop);
       sides.push_back(std::move(side));
     }
@@ -242,65 +250,35 @@ class Parser {
           "RunJoinChainQuery");
     }
 
-    // Each hop's direction comes from its adjacent binder classes.
-    std::vector<Planner::PipelineHop> pipeline_hops;
+    // Lower into the logical IR: each hop's direction comes from its
+    // adjacent binder classes.
+    LogicalChain chain;
     for (size_t i = 0; i < hops.size(); ++i) {
       SEED_ASSIGN_OR_RETURN(
           int left_role,
           InferJoinDirection(hops[i].assoc, sides[i].cls, sides[i + 1].cls,
                              hops[i].reverse));
-      pipeline_hops.push_back({hops[i].assoc, left_role, sides[i].cls,
-                               sides[i + 1].cls});
+      chain.hops.push_back({hops[i].assoc, left_role});
+    }
+    for (JoinSide& side : sides) {
+      chain.binders.push_back(LogicalSelect::Objects(
+          side.cls, side.binder, std::move(side.pred), !side.exact));
     }
 
-    // Every binder's selection plans through the cost-based planner; the
-    // join strategy (and, for chains, the hop ordering) is then chosen
-    // from the result sizes, the association populations and the tracked
-    // degree statistics.
+    // The one optimizer entry point: every binder's selection plans
+    // through the cost-based access paths, then the hop-bitset DP picks
+    // the join tree — left-deep or bushy — from the estimates, the
+    // association populations and the tracked degree statistics.
     Planner planner(&db_);
-    std::vector<Planner::Plan> side_plans;
-    std::vector<QueryRelation> inputs;
-    for (const JoinSide& side : sides) {
-      Planner::Plan plan =
-          planner.PlanSelect(side.cls, side.pred, !side.exact);
-      QueryRelation rel;
-      rel.attributes = {side.binder};
-      for (ObjectId id :
-           planner.SelectIds(side.cls, side.pred, !side.exact, &plan)) {
-        rel.tuples.push_back({id});
-      }
-      side_plans.push_back(std::move(plan));
-      inputs.push_back(std::move(rel));
-    }
-
+    Planner::PhysicalPlan plan;
+    SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
+                          planner.Run(chain, &plan));
     JoinChainResult out;
-    for (const JoinSide& side : sides) out.binders.push_back(side.binder);
-    std::string join_str;
-    if (hops.size() == 1) {
-      Planner::JoinPlan join_plan;
-      SEED_ASSIGN_OR_RETURN(
-          QueryRelation joined,
-          planner.Join(inputs[0], sides[0].binder, pipeline_hops[0].assoc,
-                       inputs[1], sides[1].binder, pipeline_hops[0].left_role,
-                       &join_plan, sides[0].cls, sides[1].cls));
-      out.tuples = std::move(joined.tuples);
-      join_str = join_plan.ToString();
-    } else {
-      Planner::PipelinePlan pipeline_plan;
-      SEED_ASSIGN_OR_RETURN(
-          QueryRelation joined,
-          planner.JoinPipeline(inputs, pipeline_hops, &pipeline_plan));
-      out.tuples = std::move(joined.tuples);
-      join_str = pipeline_plan.ToString();
+    for (const LogicalSelect& b : chain.binders) {
+      out.binders.push_back(b.binder);
     }
-    if (plan_out_ != nullptr) {
-      std::string s;
-      for (size_t i = 0; i < sides.size(); ++i) {
-        s += sides[i].binder + ": " + side_plans[i].ToString() + "; ";
-      }
-      *plan_out_ = s + join_str + "; actual " +
-                   std::to_string(out.tuples.size());
-    }
+    out.tuples = std::move(result.tuples.tuples);
+    ReportPlan(plan_out_, plan, out.tuples.size());
     return out;
   }
 

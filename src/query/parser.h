@@ -8,7 +8,7 @@
 //   query  := 'find' CLASS ['exact'] [ 'where' cond ('and' cond)* ]
 //   relq   := 'find' 'rel' ASSOC ['exact']
 //             [ 'where' relcond ('and' relcond)* ]
-//   joinq  := 'find' CLASS BINDER ['exact'] hop hop? hop?
+//   joinq  := 'find' CLASS BINDER ['exact'] hop+        (up to 6 hops)
 //             [ 'where' BINDER cond ('and' BINDER cond)* ]
 //   hop    := 'join' ['reverse'] 'via' ASSOC 'to' CLASS BINDER ['exact']
 //   cond   := 'name' 'is' IDENT
@@ -38,25 +38,25 @@
 //
 // Join queries bind each side to a name (BINDER) and return the joined
 // binder tuples: objects of adjacent binder classes connected by existing
-// relationships of each hop's association (family included). Up to three
-// hops chain, e.g.
+// relationships of each hop's association (family included). Up to
+// LogicalChain::kMaxHops (6) hops chain, e.g.
 //   find Data d join via Access to Action a join via Contained to Action c
 // Binder names must be pairwise distinct. Each hop's direction — which
 // role its left binder binds — is inferred from the role classes;
 // 'reverse' forces that hop's left binder onto role 1 (needed for
 // self-associations, where both roles accept the same class). 'where'
-// conditions name the binder they constrain. Every binder's selection
-// plans through the cost-based planner; a single join then runs the
-// strategy Planner::PlanJoin picks, and a multi-hop chain executes the
-// left-deep hop ordering Planner::PlanJoinPipeline chooses from the
-// tracked degree statistics — a selective hop written last still runs
-// first. 'explain find ... join ...' prints every binder's selection
-// plan plus the join strategy (single hop) or the chosen ordering with
-// per-hop strategy and estimated vs. actual rows (chains).
+// conditions name the binder they constrain.
 //
-// Queries execute through the cost-based planner: sargable conditions use
-// a matching attribute index (single probe or multi-index intersection)
-// when that is estimated cheaper than the extent scan. `find rel` filters
+// Every query form lowers into the logical IR (query/logical.h) and
+// executes through the one optimizer entry point, Planner::Optimize: each
+// binder's selection plans through the cost-based access paths (sargable
+// conditions use a matching attribute index — single probe or multi-index
+// intersection — when estimated cheaper than the extent scan), and join
+// chains run the plan *tree* the hop-bitset DP chooses from the tracked
+// degree statistics: left-deep or bushy (segment x segment), with a
+// selective hop written last still running first. 'explain find ...'
+// prints every binder's selection plan plus the nested plan tree with
+// per-join strategy and estimated vs. actual rows. `find rel` filters
 // the relationships of an association by their attribute sub-objects
 // (paper Fig. 3: `Write.NumberOfWrites`), served by relationship-side
 // indexes the same way.
@@ -105,9 +105,9 @@ struct JoinChainResult {
   std::vector<std::vector<ObjectId>> tuples;
 };
 
-/// Parses and runs a join query with any number of hops (1 to 3);
-/// `plan_out` receives every binder's selection plan plus the executed
-/// join/pipeline plan with estimated vs. actual rows.
+/// Parses and runs a join query with any number of hops (1 to
+/// LogicalChain::kMaxHops); `plan_out` receives every binder's selection
+/// plan plus the executed plan tree with estimated vs. actual rows.
 Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
                                           std::string_view text,
                                           std::string* plan_out = nullptr);

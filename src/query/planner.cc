@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
 
+#include "common/macros.h"
 #include "query/stats.h"
 
 namespace seed::query {
@@ -513,23 +516,255 @@ Result<QueryRelation> Planner::Join(const QueryRelation& a,
                                    plan.options());
 }
 
-// --- Join pipelines ----------------------------------------------------------
+// --- Plan trees --------------------------------------------------------------
 
-std::string Planner::PipelinePlan::ToString() const {
-  std::string s = "pipeline(order:";
-  for (size_t i = 0; i < steps.size(); ++i) {
-    s += (i == 0 ? " hop" : " then hop") + std::to_string(steps[i].hop + 1);
+std::string Planner::PhysicalPlan::Node::ToString(
+    const std::vector<std::string>& binders) const {
+  auto name = [&](int b) {
+    return b >= 0 && b < static_cast<int>(binders.size())
+               ? binders[b]
+               : "b" + std::to_string(b);
+  };
+  std::string actual =
+      actual_rows >= 0 ? ", actual " + std::to_string(actual_rows) : "";
+  switch (kind) {
+    case Kind::kInput:
+      return name(binder);
+    case Kind::kHopJoin:
+      return "(hop" + std::to_string(hop + 1) + ": " +
+             left->ToString(binders) + " * " + right->ToString(binders) +
+             " | " + join.ToString() + actual + ")";
+    case Kind::kTupleJoin:
+      return "(merge@" + name(shared_binder) + ": " +
+             left->ToString(binders) + " * " + right->ToString(binders) +
+             " | est ~" + Rounded(est_rows) + " rows" + actual + ")";
   }
-  s += "):";
-  for (const Step& step : steps) {
-    s += " hop" + std::to_string(step.hop + 1) + ": " + step.join.ToString();
-    if (step.actual_rows >= 0) {
-      s += ", actual " + std::to_string(step.actual_rows);
-    }
-    s += ";";
-  }
-  return s + " est ~" + Rounded(est_rows) + " rows";
+  return "?";
 }
+
+bool Planner::PhysicalPlan::HasBushyJoin() const {
+  auto walk = [](auto&& self, const Node* node) -> bool {
+    if (node == nullptr) return false;
+    if (node->is_bushy()) return true;
+    return self(self, node->left.get()) || self(self, node->right.get());
+  };
+  return walk(walk, root.get());
+}
+
+long long Planner::PhysicalPlan::RowsVisited() const {
+  long long total = 0;
+  auto walk = [&total](auto&& self, const Node* node) -> void {
+    if (node == nullptr) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+    if (node->actual_rows > 0) total += node->actual_rows;
+  };
+  walk(walk, root.get());
+  return total;
+}
+
+std::vector<int> Planner::PhysicalPlan::HopOrder() const {
+  std::vector<int> order;
+  auto walk = [&order](auto&& self, const Node* node) -> void {
+    if (node == nullptr) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+    if (node->kind == Node::Kind::kHopJoin) order.push_back(node->hop);
+  };
+  walk(walk, root.get());
+  return order;
+}
+
+std::string Planner::PhysicalPlan::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < selects.size(); ++i) {
+    if (!s.empty()) s += "; ";
+    // Plain object / relationship selections keep the bare access-path
+    // string; chains prefix each binder's name.
+    if (selects.size() > 1 && i < binders.size()) s += binders[i] + ": ";
+    s += selects[i].ToString();
+  }
+  if (root != nullptr && root->kind != Node::Kind::kInput) {
+    if (!s.empty()) s += "; ";
+    s += root->ToString(binders);
+  }
+  return s;
+}
+
+std::unique_ptr<Planner::Node> Planner::MakeLeaf(int binder, double rows) {
+  auto node = std::make_unique<Node>();
+  node->kind = Node::Kind::kInput;
+  node->lo = node->hi = binder;
+  node->binder = binder;
+  node->est_rows = rows;
+  node->est_cost = 0.0;
+  return node;
+}
+
+std::unique_ptr<Planner::Node> Planner::MakeHopJoin(
+    const std::vector<PipelineHop>& hops, int hop,
+    std::unique_ptr<Node> left, std::unique_ptr<Node> right) const {
+  const PipelineHop& h = hops[hop];
+  auto node = std::make_unique<Node>();
+  node->kind = Node::Kind::kHopJoin;
+  node->lo = left->lo;
+  node->hi = right->hi;
+  node->hop = hop;
+  // The lower binder segment is always the join's left input, binding
+  // the hop's left role — execution replays exactly this orientation.
+  node->join = PlanJoinEst(h.assoc, left->est_rows, right->est_rows,
+                           h.left_role, h.left_cls, h.right_cls);
+  node->est_rows = node->join.est_rows;
+  node->est_cost = left->est_cost + right->est_cost + node->join.est_cost;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::unique_ptr<Planner::Node> Planner::MakeTupleJoin(
+    int m, double shared_rows, std::unique_ptr<Node> left,
+    std::unique_ptr<Node> right) const {
+  auto node = std::make_unique<Node>();
+  node->kind = Node::Kind::kTupleJoin;
+  node->lo = left->lo;
+  node->hi = right->hi;
+  node->shared_binder = m;
+  node->est_rows =
+      CostModel::TupleJoinRows(left->est_rows, right->est_rows, shared_rows);
+  node->est_cost = left->est_cost + right->est_cost +
+                   CostModel::TupleJoinCost(
+                       std::min(left->est_rows, right->est_rows),
+                       std::max(left->est_rows, right->est_rows),
+                       node->est_rows);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::unique_ptr<Planner::Node> Planner::LeftDeepTree(
+    const std::vector<PipelineHop>& hops,
+    const std::vector<double>& input_rows, int lo, int hi) const {
+  if (lo == hi) return MakeLeaf(lo, input_rows[lo]);
+  return MakeHopJoin(hops, hi - 1, LeftDeepTree(hops, input_rows, lo, hi - 1),
+                     MakeLeaf(hi, input_rows[hi]));
+}
+
+// --- The DP optimizer --------------------------------------------------------
+
+/// The best way to compute one connected subchain: its estimated rows and
+/// cost plus the winning decision (hop-join split or tuple-join split),
+/// from which the plan tree is reconstructed after the table is full.
+struct Planner::DpEntry {
+  double rows = 0.0;
+  double cost = 0.0;
+  enum class How { kHop, kTuple } how = How::kHop;
+  int split = -1;
+};
+
+std::unique_ptr<Planner::Node> Planner::OptimizeJoinTree(
+    const std::vector<PipelineHop>& hops,
+    const std::vector<double>& input_rows) const {
+  // 63 hops bounds the bitset key (and is far beyond any real chain);
+  // ValidatePipelineInputs enforces the same ceiling on the executing
+  // entry points.
+  const int n = static_cast<int>(hops.size());
+  if (n == 0 || n > 63 || input_rows.size() != hops.size() + 1) {
+    return nullptr;
+  }
+
+  // Selinger-style DP over the chain's connected subchains, keyed by hop
+  // bitset. For a chain the connected hop subsets are exactly the
+  // contiguous ranges, so the binder segment [lo, hi] maps to the bits
+  // of hops lo..hi-1; enumerating by segment width visits every subset
+  // after all of its sub-subsets.
+  std::unordered_map<std::uint64_t, DpEntry> best;
+  auto bits = [](int lo, int hi) -> std::uint64_t {
+    return ((std::uint64_t{1} << (hi - lo)) - 1) << lo;
+  };
+  auto seg_rows = [&](int lo, int hi) {
+    return lo == hi ? input_rows[lo] : best.at(bits(lo, hi)).rows;
+  };
+  auto seg_cost = [&](int lo, int hi) {
+    return lo == hi ? 0.0 : best.at(bits(lo, hi)).cost;
+  };
+
+  for (int len = 1; len <= n; ++len) {
+    for (int lo = 0; lo + len <= n; ++lo) {
+      const int hi = lo + len;  // binder segment [lo, hi]
+      DpEntry entry;
+      bool have = false;
+      // Hop joins: adjacent segments [lo, m] and [m+1, hi] through hop
+      // m. The split at hi-1 is enumerated first so that with all costs
+      // tied the table reconstructs the textual left-deep tree; it also
+      // provides the segment's canonical cardinality (below).
+      for (int m = hi - 1; m >= lo; --m) {
+        const PipelineHop& hop = hops[m];
+        JoinPlan jp =
+            PlanJoinEst(hop.assoc, seg_rows(lo, m), seg_rows(m + 1, hi),
+                        hop.left_role, hop.left_cls, hop.right_cls);
+        double cost = seg_cost(lo, m) + seg_cost(m + 1, hi) + jp.est_cost;
+        if (!have) {
+          // One plan-independent cardinality per subchain, Selinger
+          // style: the segment computes the same relation whichever
+          // plan wins, so its recorded row estimate comes from the
+          // canonical (textual) split alone. Decisions below only
+          // change the cost — a candidate's optimistic output estimate
+          // cannot leak into how enclosing segments are costed.
+          entry.rows = jp.est_rows;
+        }
+        if (!have || cost < entry.cost) {
+          entry.cost = cost;
+          entry.how = DpEntry::How::kHop;
+          entry.split = m;
+          have = true;
+        }
+      }
+      // Bushy tuple joins: overlapping segments [lo, m] and [m, hi]
+      // merged on the shared binder m — each side executes its own hops
+      // independently, so neither drags the other's intermediate.
+      for (int m = hi - 1; m > lo; --m) {
+        double l_rows = seg_rows(lo, m);
+        double r_rows = seg_rows(m, hi);
+        double rows = CostModel::TupleJoinRows(l_rows, r_rows, input_rows[m]);
+        double cost = seg_cost(lo, m) + seg_cost(m, hi) +
+                      CostModel::TupleJoinCost(std::min(l_rows, r_rows),
+                                               std::max(l_rows, r_rows), rows);
+        if (cost < entry.cost) {
+          entry.cost = cost;
+          entry.how = DpEntry::How::kTuple;
+          entry.split = m;
+        }
+      }
+      best[bits(lo, hi)] = entry;
+    }
+  }
+
+  // Reconstruct the winning tree from the decisions. Every node is
+  // pinned to the table's canonical cardinality and winning cost after
+  // construction: children therefore feed MakeHopJoin the exact row
+  // estimates the DP costed candidates with, so the physical strategy
+  // each hop node picks is the one the DP priced, and the tree's
+  // est_rows/est_cost equal the table's — not a per-decomposition
+  // recomputation that could silently diverge.
+  auto build = [&](auto&& self, int lo, int hi) -> std::unique_ptr<Node> {
+    if (lo == hi) return MakeLeaf(lo, input_rows[lo]);
+    const DpEntry& e = best.at(bits(lo, hi));
+    std::unique_ptr<Node> node;
+    if (e.how == DpEntry::How::kHop) {
+      node = MakeHopJoin(hops, e.split, self(self, lo, e.split),
+                         self(self, e.split + 1, hi));
+    } else {
+      node = MakeTupleJoin(e.split, input_rows[e.split],
+                           self(self, lo, e.split), self(self, e.split, hi));
+    }
+    node->est_rows = e.rows;
+    node->est_cost = e.cost;
+    return node;
+  };
+  return build(build, 0, n);
+}
+
+// --- Explicit shapes (tests and benches) -------------------------------------
 
 std::vector<std::vector<int>> Planner::LeftDeepOrders(size_t num_hops) {
   std::vector<std::vector<int>> orders;
@@ -562,7 +797,7 @@ std::vector<std::vector<int>> Planner::LeftDeepOrders(size_t num_hops) {
   return orders;
 }
 
-Result<Planner::PipelinePlan> Planner::PlanPipelineOrder(
+Result<std::unique_ptr<Planner::Node>> Planner::TreeForOrder(
     const std::vector<PipelineHop>& hops,
     const std::vector<double>& input_rows,
     const std::vector<int>& order) const {
@@ -577,73 +812,44 @@ Result<Planner::PipelinePlan> Planner::PlanPipelineOrder(
     return Status::InvalidArgument(
         "hop order must name every hop exactly once");
   }
-  PipelinePlan plan;
   // The joined binder segment [lo, hi]; empty before the first step.
+  std::unique_ptr<Node> cur;
   int lo = 0, hi = -1;
-  double cur_rows = 0.0;
   for (int h : order) {
     if (h < 0 || h >= static_cast<int>(hops.size())) {
       return Status::InvalidArgument("hop index out of range");
     }
-    const PipelineHop& hop = hops[h];
-    PipelinePlan::Step step;
-    step.hop = h;
     if (hi < lo) {
-      // First step: two base binder relations.
-      step.first = true;
-      step.join = PlanJoinEst(hop.assoc, input_rows[h], input_rows[h + 1],
-                              hop.left_role, hop.left_cls, hop.right_cls);
+      cur = MakeHopJoin(hops, h, MakeLeaf(h, input_rows[h]),
+                        MakeLeaf(h + 1, input_rows[h + 1]));
       lo = h;
       hi = h + 1;
     } else if (h == hi) {
-      // Extend right: the intermediate's binder-`h` column joins the base
-      // input of binder h+1.
-      step.join = PlanJoinEst(hop.assoc, cur_rows, input_rows[h + 1],
-                              hop.left_role, hop.left_cls, hop.right_cls);
+      cur = MakeHopJoin(hops, h, std::move(cur),
+                        MakeLeaf(h + 1, input_rows[h + 1]));
       hi = h + 1;
     } else if (h + 1 == lo) {
-      // Extend left: the intermediate joins from binder h+1's side, so the
-      // roles (and classes) swap relative to the textual hop.
-      step.extends_left = true;
-      step.join = PlanJoinEst(hop.assoc, cur_rows, input_rows[h],
-                              1 - hop.left_role, hop.right_cls, hop.left_cls);
+      cur = MakeHopJoin(hops, h, MakeLeaf(h, input_rows[h]), std::move(cur));
       lo = h;
     } else {
       return Status::InvalidArgument(
           "hop order is not left-deep (a prefix is not contiguous)");
     }
-    cur_rows = step.join.est_rows;
-    plan.est_cost += step.join.est_cost;
-    plan.steps.push_back(std::move(step));
   }
-  plan.est_rows = cur_rows;
-  return plan;
+  return cur;
 }
 
-Planner::PipelinePlan Planner::PlanJoinPipeline(
-    const std::vector<PipelineHop>& hops,
-    const std::vector<size_t>& input_rows) const {
-  std::vector<double> rows(input_rows.begin(), input_rows.end());
-  PipelinePlan best;
-  bool have_best = false;
-  for (const std::vector<int>& order : LeftDeepOrders(hops.size())) {
-    auto plan = PlanPipelineOrder(hops, rows, order);
-    if (!plan.ok()) continue;
-    // Strictly cheaper wins; ties keep the earliest enumerated order
-    // (the textual one comes first).
-    if (!have_best || plan->est_cost < best.est_cost) {
-      best = std::move(*plan);
-      have_best = true;
-    }
-  }
-  return best;
-}
+// --- Pipeline execution ------------------------------------------------------
 
 Status Planner::ValidatePipelineInputs(
     const std::vector<QueryRelation>& inputs,
     const std::vector<PipelineHop>& hops) {
   if (hops.empty()) {
     return Status::InvalidArgument("join pipeline needs at least one hop");
+  }
+  if (hops.size() > 63) {
+    return Status::InvalidArgument(
+        "join pipelines support at most 63 hops (the DP bitset width)");
   }
   if (inputs.size() != hops.size() + 1) {
     return Status::InvalidArgument(
@@ -658,10 +864,110 @@ Status Planner::ValidatePipelineInputs(
   return Status::OK();
 }
 
+Result<QueryRelation> Planner::ExecuteNode(
+    Node* node, const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops) const {
+  // Executes a child into `storage` — except input leaves, which read
+  // the materialized binder relation in place (no copy).
+  auto child = [&](Node* n, QueryRelation* storage)
+      -> Result<const QueryRelation*> {
+    if (n->kind == Node::Kind::kInput) {
+      n->actual_rows = static_cast<long long>(inputs[n->binder].size());
+      return &inputs[n->binder];
+    }
+    SEED_ASSIGN_OR_RETURN(*storage, ExecuteNode(n, inputs, hops));
+    return storage;
+  };
+  switch (node->kind) {
+    case Node::Kind::kInput: {
+      node->actual_rows = static_cast<long long>(inputs[node->binder].size());
+      return inputs[node->binder];
+    }
+    case Node::Kind::kHopJoin: {
+      QueryRelation left_storage, right_storage;
+      SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
+                            child(node->left.get(), &left_storage));
+      SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
+                            child(node->right.get(), &right_storage));
+      // The left input ends at binder `hop`, the right starts at binder
+      // `hop` + 1; empty inputs short-circuit inside RelationshipJoin.
+      auto joined = algebra_.RelationshipJoin(
+          *left, inputs[node->hop].attributes[0], hops[node->hop].assoc,
+          *right, inputs[node->hop + 1].attributes[0], node->join.options());
+      if (!joined.ok()) return joined.status();
+      node->actual_rows = static_cast<long long>(joined->size());
+      return joined;
+    }
+    case Node::Kind::kTupleJoin: {
+      QueryRelation left_storage, right_storage;
+      SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
+                            child(node->left.get(), &left_storage));
+      SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
+                            child(node->right.get(), &right_storage));
+      auto merged = algebra_.TupleJoin(
+          *left, *right, inputs[node->shared_binder].attributes[0]);
+      if (!merged.ok()) return merged.status();
+      node->actual_rows = static_cast<long long>(merged->size());
+      return merged;
+    }
+  }
+  return Status::Internal("unplanned node");
+}
+
+Result<QueryRelation> Planner::ExecuteTree(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, PhysicalPlan plan,
+    PhysicalPlan* plan_out) const {
+  if (plan.root == nullptr) {
+    return Status::Internal("join pipeline plan has no tree");
+  }
+  SEED_ASSIGN_OR_RETURN(QueryRelation joined,
+                        ExecuteNode(plan.root.get(), inputs, hops));
+
+  // Back to the textual binder-column order (execution accumulated the
+  // columns in tree order; a complete tree joins every binder).
+  std::vector<std::string> binders;
+  for (const QueryRelation& in : inputs) {
+    binders.push_back(in.attributes[0]);
+  }
+  auto out = algebra_.Project(joined, binders);
+  if (!out.ok()) return out.status();
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return out;
+}
+
+Planner::PhysicalPlan Planner::PlanJoinPipeline(
+    const std::vector<PipelineHop>& hops,
+    const std::vector<size_t>& input_rows) const {
+  PhysicalPlan plan;
+  std::vector<double> rows(input_rows.begin(), input_rows.end());
+  plan.root = OptimizeJoinTree(hops, rows);
+  if (plan.root != nullptr) {
+    plan.est_rows = plan.root->est_rows;
+    plan.est_cost = plan.root->est_cost;
+  }
+  return plan;
+}
+
+Result<QueryRelation> Planner::JoinPipeline(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, PhysicalPlan* plan_out) const {
+  Status valid = ValidatePipelineInputs(inputs, hops);
+  if (!valid.ok()) return valid;
+  std::vector<size_t> sizes;
+  sizes.reserve(inputs.size());
+  for (const QueryRelation& in : inputs) sizes.push_back(in.size());
+  PhysicalPlan plan = PlanJoinPipeline(hops, sizes);
+  for (const QueryRelation& in : inputs) {
+    plan.binders.push_back(in.attributes[0]);
+  }
+  return ExecuteTree(inputs, hops, std::move(plan), plan_out);
+}
+
 Result<QueryRelation> Planner::JoinPipelineInOrder(
     const std::vector<QueryRelation>& inputs,
     const std::vector<PipelineHop>& hops, const std::vector<int>& order,
-    PipelinePlan* plan_out) const {
+    PhysicalPlan* plan_out) const {
   Status valid = ValidatePipelineInputs(inputs, hops);
   if (!valid.ok()) return valid;
   std::vector<double> sizes;
@@ -669,67 +975,156 @@ Result<QueryRelation> Planner::JoinPipelineInOrder(
   for (const QueryRelation& in : inputs) {
     sizes.push_back(static_cast<double>(in.size()));
   }
-  auto planned = PlanPipelineOrder(hops, sizes, order);
-  if (!planned.ok()) return planned.status();
-  return ExecutePipeline(inputs, hops, std::move(*planned), plan_out);
-}
-
-Result<QueryRelation> Planner::ExecutePipeline(
-    const std::vector<QueryRelation>& inputs,
-    const std::vector<PipelineHop>& hops, PipelinePlan plan,
-    PipelinePlan* plan_out) const {
-  // Execute exactly the planned steps in the orientation the simulation
-  // recorded. An empty intermediate short-circuits inside
-  // RelationshipJoin before the association is touched.
-  QueryRelation current;
-  for (PipelinePlan::Step& step : plan.steps) {
-    const PipelineHop& hop = hops[step.hop];
-    Result<QueryRelation> joined = Status::Internal("unplanned step");
-    if (step.first) {
-      joined = algebra_.RelationshipJoin(
-          inputs[step.hop], inputs[step.hop].attributes[0], hop.assoc,
-          inputs[step.hop + 1], inputs[step.hop + 1].attributes[0],
-          step.join.options());
-    } else if (step.extends_left) {
-      joined = algebra_.RelationshipJoin(
-          current, inputs[step.hop + 1].attributes[0], hop.assoc,
-          inputs[step.hop], inputs[step.hop].attributes[0],
-          step.join.options());
-    } else {
-      joined = algebra_.RelationshipJoin(
-          current, inputs[step.hop].attributes[0], hop.assoc,
-          inputs[step.hop + 1], inputs[step.hop + 1].attributes[0],
-          step.join.options());
-    }
-    if (!joined.ok()) return joined.status();
-    current = std::move(*joined);
-    step.actual_rows = static_cast<long long>(current.size());
-  }
-
-  // Back to the textual binder-column order (execution accumulated the
-  // columns in join order; a complete order joins every binder).
-  std::vector<std::string> binders;
+  SEED_ASSIGN_OR_RETURN(std::unique_ptr<Node> root,
+                        TreeForOrder(hops, sizes, order));
+  PhysicalPlan plan;
+  plan.est_rows = root->est_rows;
+  plan.est_cost = root->est_cost;
+  plan.root = std::move(root);
   for (const QueryRelation& in : inputs) {
-    binders.push_back(in.attributes[0]);
+    plan.binders.push_back(in.attributes[0]);
   }
-  auto out = algebra_.Project(current, binders);
-  if (!out.ok()) return out.status();
-  if (plan_out != nullptr) *plan_out = std::move(plan);
-  return out;
+  return ExecuteTree(inputs, hops, std::move(plan), plan_out);
 }
 
-Result<QueryRelation> Planner::JoinPipeline(
+Result<QueryRelation> Planner::JoinPipelineSplit(
     const std::vector<QueryRelation>& inputs,
-    const std::vector<PipelineHop>& hops, PipelinePlan* plan_out) const {
+    const std::vector<PipelineHop>& hops, int m, bool tuple_join,
+    PhysicalPlan* plan_out) const {
   Status valid = ValidatePipelineInputs(inputs, hops);
   if (!valid.ok()) return valid;
-  std::vector<size_t> sizes;
+  const int n = static_cast<int>(hops.size());
+  std::vector<double> sizes;
   sizes.reserve(inputs.size());
-  for (const QueryRelation& in : inputs) sizes.push_back(in.size());
-  // Shape is valid here, so the chosen plan always has steps; execute it
-  // directly instead of re-planning the winning order.
-  return ExecutePipeline(inputs, hops, PlanJoinPipeline(hops, sizes),
-                         plan_out);
+  for (const QueryRelation& in : inputs) {
+    sizes.push_back(static_cast<double>(in.size()));
+  }
+  PhysicalPlan plan;
+  if (tuple_join) {
+    if (m <= 0 || m >= n) {
+      return Status::InvalidArgument(
+          "tuple-join split must leave at least one hop on each side");
+    }
+    plan.root = MakeTupleJoin(m, sizes[m], LeftDeepTree(hops, sizes, 0, m),
+                              LeftDeepTree(hops, sizes, m, n));
+  } else {
+    if (m < 0 || m >= n) {
+      return Status::InvalidArgument("hop split out of range");
+    }
+    plan.root = MakeHopJoin(hops, m, LeftDeepTree(hops, sizes, 0, m),
+                            LeftDeepTree(hops, sizes, m + 1, n));
+  }
+  plan.est_rows = plan.root->est_rows;
+  plan.est_cost = plan.root->est_cost;
+  for (const QueryRelation& in : inputs) {
+    plan.binders.push_back(in.attributes[0]);
+  }
+  return ExecuteTree(inputs, hops, std::move(plan), plan_out);
+}
+
+// --- The unified entry point -------------------------------------------------
+
+std::vector<Planner::PipelineHop> Planner::LowerHops(
+    const LogicalChain& chain) {
+  std::vector<PipelineHop> hops;
+  hops.reserve(chain.hops.size());
+  for (size_t i = 0; i < chain.hops.size(); ++i) {
+    hops.push_back({chain.hops[i].assoc, chain.hops[i].left_role,
+                    chain.binders[i].cls, chain.binders[i + 1].cls});
+  }
+  return hops;
+}
+
+Result<Planner::PhysicalPlan> Planner::Optimize(
+    const LogicalChain& chain) const {
+  SEED_RETURN_IF_ERROR(chain.Validate());
+  PhysicalPlan plan;
+  for (const LogicalSelect& b : chain.binders) {
+    plan.binders.push_back(b.binder);
+  }
+  if (chain.relationship_form()) {
+    const LogicalSelect& b = chain.binders[0];
+    plan.relationship_form = true;
+    plan.selects.push_back(PlanSelectRelationships(
+        b.assoc, b.rel_conditions, b.include_specializations));
+    plan.est_rows = plan.selects[0].est_rows;
+    plan.est_cost = plan.selects[0].est_cost;
+    return plan;
+  }
+  std::vector<double> input_rows;
+  for (const LogicalSelect& b : chain.binders) {
+    plan.selects.push_back(
+        PlanSelect(b.cls, b.pred, b.include_specializations));
+    plan.est_cost += plan.selects.back().est_cost;
+    input_rows.push_back(plan.selects.back().est_rows);
+  }
+  if (chain.hops.empty()) {
+    plan.root = MakeLeaf(0, input_rows[0]);
+    plan.est_rows = input_rows[0];
+    return plan;
+  }
+  plan.root = OptimizeJoinTree(LowerHops(chain), input_rows);
+  plan.est_rows = plan.root->est_rows;
+  plan.est_cost += plan.root->est_cost;
+  return plan;
+}
+
+Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
+                                          PhysicalPlan* plan_out) const {
+  SEED_ASSIGN_OR_RETURN(PhysicalPlan plan, Optimize(chain));
+  ChainResult out;
+  if (chain.relationship_form()) {
+    const LogicalSelect& b = chain.binders[0];
+    out.relationships = SelectRelationshipIds(
+        b.assoc, b.rel_conditions, b.include_specializations,
+        &plan.selects[0]);
+    if (plan_out != nullptr) *plan_out = std::move(plan);
+    return out;
+  }
+
+  if (chain.hops.empty()) {
+    // The single-binder shape returns the selection verbatim: the access
+    // paths already emit ascending ids, so there is no tuple boxing and
+    // no projection round-trip.
+    const LogicalSelect& b = chain.binders[0];
+    out.ids = SelectIds(b.cls, b.pred, b.include_specializations,
+                        &plan.selects[0]);
+    plan.root->actual_rows = static_cast<long long>(out.ids.size());
+    if (plan_out != nullptr) *plan_out = std::move(plan);
+    return out;
+  }
+
+  // Materialize every binder through its planned access path.
+  std::vector<QueryRelation> inputs;
+  for (size_t i = 0; i < chain.binders.size(); ++i) {
+    const LogicalSelect& b = chain.binders[i];
+    QueryRelation rel;
+    rel.attributes = {b.binder};
+    for (ObjectId id : SelectIds(b.cls, b.pred, b.include_specializations,
+                                 &plan.selects[i])) {
+      rel.tuples.push_back({id});
+    }
+    inputs.push_back(std::move(rel));
+  }
+
+  // Re-run the DP with the *actual* binder sizes, which are now known
+  // for free: a scan plan's pre-execution estimate is the whole extent
+  // regardless of predicate selectivity, and a join strategy chosen for
+  // a 100k-row estimate is badly wrong for the 3 rows a selective
+  // residual actually kept.
+  std::vector<double> sizes;
+  sizes.reserve(inputs.size());
+  for (const QueryRelation& in : inputs) {
+    sizes.push_back(static_cast<double>(in.size()));
+  }
+  plan.root = OptimizeJoinTree(LowerHops(chain), sizes);
+  plan.est_rows = plan.root->est_rows;
+  plan.est_cost = plan.root->est_cost;
+  for (const Plan& select : plan.selects) plan.est_cost += select.est_cost;
+  SEED_ASSIGN_OR_RETURN(
+      out.tuples,
+      ExecuteTree(inputs, LowerHops(chain), std::move(plan), plan_out));
+  return out;
 }
 
 // --- Relationship extents ----------------------------------------------------

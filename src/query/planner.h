@@ -1,5 +1,6 @@
-// Planner: cost-based rewriting of Select-over-extent queries into
-// secondary-index access paths.
+// Planner: cost-based optimization of logical chains — the single IR all
+// textual query forms lower into (query/logical.h) — plus the selection
+// access-path machinery underneath it.
 //
 // For Select(ClassExtent(cls), p) the planner enumerates *all* sargable
 // conjuncts of the predicate's shape tree — equality on the object's own
@@ -18,16 +19,28 @@
 // relationship-side indexes when they exist and by a RelationshipsOf-style
 // extent scan otherwise.
 //
-// Relationship joins and join *pipelines* are planner-driven the same
-// way: PlanJoin picks the physical strategy of one hop (hash join with
-// either build side, or an index-nested-loop driven from either side)
-// from the association population and the tracked per-(association, role,
-// class) participation counts — the degree statistics ExtentCounters
-// maintains incrementally — and PlanJoinPipeline enumerates every
-// left-deep ordering of a 2-3 hop chain, costing each hop with the same
-// model, so a selective hop written last in the query still executes
-// first. JoinPipeline threads the intermediate binder tuples through the
-// chosen ordering with an empty-intermediate short-circuit per hop.
+// Join chains are optimized by Optimize(LogicalChain) -> PhysicalPlan: a
+// Selinger-style dynamic program over the chain's connected subchains
+// (DP table keyed by hop bitset) that produces a *plan tree*, not just a
+// left-deep ordering. Two composition rules populate the table:
+//
+//   * a hop join — two adjacent segments [lo, m] and [m+1, hi] joined
+//     through hop m's association via Algebra::RelationshipJoin, with
+//     the physical strategy (hash either build side / index-nested-loop
+//     either drive side) chosen by PlanJoin from the association
+//     population and the tracked per-(association, role, class)
+//     participation counts;
+//   * a tuple join — two *overlapping* segments [lo, m] and [m, hi]
+//     merged on their shared binder-m column via Algebra::TupleJoin, the
+//     bushy (segment x segment) connector that needs no cartesian
+//     product because the segments always share exactly one binder.
+//
+// The DP is polynomial in the chain length, which is what lifted the
+// grammar's hop cap from 3 (exhaustive left-deep enumeration) to
+// LogicalChain::kMaxHops. Ties keep the textual left-deep composition.
+// LeftDeepOrders / JoinPipelineInOrder / JoinPipelineSplit execute
+// explicit left-deep orderings and explicit bushy splits for the
+// differential tests and benches; every shape computes the same relation.
 //
 // Every index plan runs a residual filter (full predicate re-eval + extent
 // check) over its candidates, so the rewrite is an optimization only:
@@ -38,6 +51,7 @@
 #ifndef SEED_QUERY_PLANNER_H_
 #define SEED_QUERY_PLANNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +59,7 @@
 #include "core/database.h"
 #include "index/attribute_index.h"
 #include "query/algebra.h"
+#include "query/logical.h"
 #include "query/predicate.h"
 
 namespace seed::query {
@@ -86,12 +101,8 @@ class Planner {
     std::string ToString() const;
   };
 
-  /// One conjunct of a relationship-extent selection: the relationship
-  /// matches when some attribute sub-object in `role` satisfies `inner`.
-  struct RelCondition {
-    std::string role;
-    Predicate inner;
-  };
+  /// One conjunct of a relationship-extent selection (query/logical.h).
+  using RelCondition = query::RelCondition;
 
   /// The physical strategy chosen for a relationship join (see
   /// Algebra::JoinOptions): which side the hash join builds from, or
@@ -133,35 +144,109 @@ class Planner {
     ClassId left_cls, right_cls;
   };
 
-  /// The cost-chosen execution of a 2-3 hop join chain: a left-deep
-  /// ordering of the hops with one physical JoinPlan per executed hop.
-  struct PipelinePlan {
-    struct Step {
-      /// Index into the textual hop list.
-      int hop = 0;
-      /// Orientation, recorded at plan time so execution replays exactly
-      /// what was costed: the first executed step joins the hop's two
-      /// base binder inputs; each later step joins the running
-      /// intermediate with base binder `hop` (when it extends the
-      /// segment leftward) or `hop + 1` (rightward).
-      bool first = false;
-      bool extends_left = false;
-      /// Physical plan, oriented the way the step executes (the left
-      /// input is the running intermediate except on the first step).
+  /// The optimizer's output: one access-path Plan per binder plus the
+  /// join plan tree the DP chose. For no-hop chains the tree is a single
+  /// input leaf; for relationship chains selects[0] is the whole plan.
+  struct PhysicalPlan {
+    /// One node of the join plan tree, covering the contiguous binder
+    /// segment [lo, hi].
+    struct Node {
+      enum class Kind {
+        kInput,      // one binder's selection result
+        kHopJoin,    // RelationshipJoin of [lo, m] and [m+1, hi] via hop m
+        kTupleJoin,  // TupleJoin of [lo, m] and [m, hi] on binder m
+      };
+
+      Kind kind = Kind::kInput;
+      int lo = 0, hi = 0;
+      /// kInput: the binder index this leaf reads.
+      int binder = -1;
+      /// kHopJoin: the executed hop and its physical strategy (the lower
+      /// segment is always the join's left input).
+      int hop = -1;
       JoinPlan join;
-      /// Rows the step actually produced; -1 until executed.
+      /// kTupleJoin: the shared binder the segments merge on.
+      int shared_binder = -1;
+      double est_rows = 0.0;
+      double est_cost = 0.0;
+      /// Rows the node actually produced; -1 until executed.
       long long actual_rows = -1;
+      std::unique_ptr<Node> left, right;
+
+      /// A join whose inputs are both joined segments (rather than at
+      /// least one base binder input) — the bushy shape left-deep
+      /// enumeration could not express. Every tuple join qualifies by
+      /// construction.
+      bool is_bushy() const {
+        return kind == Kind::kTupleJoin ||
+               (kind == Kind::kHopJoin && left && right &&
+                left->kind != Kind::kInput && right->kind != Kind::kInput);
+      }
+      /// "(hop1: d * a | join-hash(...), actual 3)" — nested plan-tree
+      /// rendering; `binders` names the chain's binder columns.
+      std::string ToString(const std::vector<std::string>& binders) const;
     };
 
-    std::vector<Step> steps;  // execution order
-    double est_rows = 0.0;    // final output estimate
-    double est_cost = 0.0;    // sum of the steps' modeled costs
-    /// "pipeline(order: hop2 then hop1): hop2: join-...; hop1: ..." —
-    /// for tests, EXPLAIN output and logs.
+    /// Access path per binder, in textual order.
+    std::vector<Plan> selects;
+    /// Binder names, in textual order.
+    std::vector<std::string> binders;
+    /// The join tree (kInput leaf for single-binder chains); null only
+    /// for relationship-form plans, where selects[0] is everything.
+    std::unique_ptr<Node> root;
+    bool relationship_form = false;
+    /// Final output estimate and total modeled cost (selects + joins).
+    double est_rows = 0.0;
+    double est_cost = 0.0;
+
+    /// True when any node in the tree is a bushy join.
+    bool HasBushyJoin() const;
+    /// The hops in execution (post-)order — the analogue of the old
+    /// left-deep step list, for tests and coverage counters.
+    std::vector<int> HopOrder() const;
+    /// Total rows the executed tree actually produced across its nodes
+    /// — the "rows visited" number the benches and the CI plan-quality
+    /// gate compare across plans. Zero before execution.
+    long long RowsVisited() const;
+    /// Full EXPLAIN body: every binder's access path, then the plan
+    /// tree — "d: scan, est ~2 rows; a: ...; (hop1: d * a | ...)".
     std::string ToString() const;
   };
 
+  /// Result of running a logical chain, ascending in every shape: flat
+  /// object ids for the single-binder object form, relationship ids for
+  /// the relationship form, joined binder tuples (textual binder-column
+  /// order) for chains with hops.
+  struct ChainResult {
+    std::vector<ObjectId> ids;
+    std::vector<RelationshipId> relationships;
+    QueryRelation tuples;
+  };
+
   explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
+
+  // --- The unified entry point -----------------------------------------------
+
+  /// Optimizes a logical chain: plans every binder's access path, then
+  /// runs the hop-bitset DP over the chain's connected subchains to pick
+  /// the cheapest join tree (hop joins and bushy tuple joins), costing
+  /// each candidate from the binder estimates, the association
+  /// populations and the tracked participation statistics. Nothing is
+  /// executed and no extent is scanned — the pre-execution view of the
+  /// plan (a scan binder's estimate is its whole extent).
+  Result<PhysicalPlan> Optimize(const LogicalChain& chain) const;
+
+  /// Optimizes and executes `chain`; `plan_out` (optional) receives the
+  /// executed plan with per-node actual rows. After materializing the
+  /// binder selections the join tree is re-planned from their *actual*
+  /// sizes (known for free at that point), so a selective residual a
+  /// scan estimate could not see still gets the right join strategies.
+  /// Results are identical to the brute-force reference for every chain
+  /// shape and plan.
+  Result<ChainResult> Run(const LogicalChain& chain,
+                          PhysicalPlan* plan_out = nullptr) const;
+
+  // --- Selections ------------------------------------------------------------
 
   /// Chooses the access path for Select(ClassExtent(cls, _), _, p).
   Plan PlanSelect(ClassId cls, const Predicate& p,
@@ -198,6 +283,8 @@ class Planner {
   bool EvalRelConditions(RelationshipId rel,
                          const std::vector<RelCondition>& conditions) const;
 
+  // --- Single joins ----------------------------------------------------------
+
   /// Chooses the physical strategy for joining a `left_rows`-tuple
   /// relation (bound at role `left_role` of `assoc`) with a
   /// `right_rows`-tuple relation at the opposite role, using the
@@ -226,65 +313,118 @@ class Planner {
                              ClassId left_cls = ClassId(),
                              ClassId right_cls = ClassId()) const;
 
+  // --- Join pipelines --------------------------------------------------------
+
   /// Every left-deep ordering of an `num_hops`-hop chain: permutations
   /// whose every prefix is a contiguous hop range (anything else would
   /// need a cartesian product between disconnected segments). Textual
-  /// order comes first; 2 orders for 2 hops, 4 for 3.
+  /// order comes first; 2 orders for 2 hops, 4 for 3, 2^(n-1) for n.
+  /// Kept as the explicit-shape generator for differential tests and
+  /// benches; the optimizer itself searches the larger DP space.
   static std::vector<std::vector<int>> LeftDeepOrders(size_t num_hops);
 
-  /// Chooses the cheapest left-deep ordering for the chain: every
-  /// ordering from LeftDeepOrders is simulated hop by hop — each hop
-  /// planned by PlanJoin from the running intermediate estimate, the
-  /// base input sizes and the degree statistics — and the cheapest total
-  /// wins (ties keep the earliest enumerated, i.e. textual, order).
+  /// Runs the hop-bitset DP over the bare chain (no binder predicates):
   /// `input_rows` holds the hops.size()+1 binder input sizes. Reads only
   /// tracked counters; never scans an extent. On invalid shapes (no
-  /// hops, mis-sized `input_rows`) the returned plan has no steps —
+  /// hops, mis-sized `input_rows`) the returned plan has no tree —
   /// JoinPipeline surfaces that as InvalidArgument; direct callers must
-  /// check `steps` before indexing into it.
-  PipelinePlan PlanJoinPipeline(const std::vector<PipelineHop>& hops,
+  /// check `root` before dereferencing.
+  PhysicalPlan PlanJoinPipeline(const std::vector<PipelineHop>& hops,
                                 const std::vector<size_t>& input_rows) const;
 
-  /// Plans and runs the chain over the unary binder `inputs` (one per
-  /// binder, attribute names distinct); returns the joined binder tuples
-  /// in textual binder-column order, ascending. `plan_out` receives the
-  /// executed plan with per-step actual rows. An empty intermediate
-  /// short-circuits every remaining hop.
+  /// Plans (via the DP) and runs the chain over the unary binder
+  /// `inputs` (one per binder, attribute names distinct); returns the
+  /// joined binder tuples in textual binder-column order, ascending.
+  /// `plan_out` receives the executed plan with per-node actual rows. An
+  /// empty intermediate short-circuits inside the physical operators.
   Result<QueryRelation> JoinPipeline(const std::vector<QueryRelation>& inputs,
                                      const std::vector<PipelineHop>& hops,
-                                     PipelinePlan* plan_out = nullptr) const;
+                                     PhysicalPlan* plan_out = nullptr) const;
 
-  /// Same, but executes an explicit hop `order` (for tests and benches
-  /// comparing orderings); the result equals every other order's.
+  /// Same, but executes an explicit left-deep hop `order` (for tests and
+  /// benches comparing orderings); the result equals every other
+  /// shape's.
   Result<QueryRelation> JoinPipelineInOrder(
       const std::vector<QueryRelation>& inputs,
       const std::vector<PipelineHop>& hops, const std::vector<int>& order,
-      PipelinePlan* plan_out = nullptr) const;
+      PhysicalPlan* plan_out = nullptr) const;
+
+  /// Same, but executes an explicit bushy split (for tests and benches):
+  /// the left segment covers binders [0, m] and the right segment
+  /// [m, n] merged on binder m's column when `tuple_join` (else
+  /// [m+1, n] joined through hop m), each segment itself left-deep in
+  /// textual order. Requires 0 < m < hops.size() for a tuple join and
+  /// 0 <= m < hops.size() otherwise.
+  Result<QueryRelation> JoinPipelineSplit(
+      const std::vector<QueryRelation>& inputs,
+      const std::vector<PipelineHop>& hops, int m, bool tuple_join,
+      PhysicalPlan* plan_out = nullptr) const;
 
  private:
   struct Candidate;  // sargable conjunct bound to an index (planner.cc)
+  struct DpEntry;    // best (rows, cost, decision) per hop bitset
+
+  using Node = PhysicalPlan::Node;
 
   /// PlanJoin with fractional input sizes (intermediate estimates).
   JoinPlan PlanJoinEst(AssociationId assoc, double left_rows,
                        double right_rows, int left_role, ClassId left_cls,
                        ClassId right_cls) const;
 
-  /// Simulates (and costs) the chain under one explicit hop order.
-  Result<PipelinePlan> PlanPipelineOrder(const std::vector<PipelineHop>& hops,
-                                         const std::vector<double>& input_rows,
-                                         const std::vector<int>& order) const;
+  /// The DP core: cheapest join tree over binder segment [0, n] given
+  /// the base input estimates. Returns null when `hops` is empty and
+  /// input_rows has a single binder (the leaf is built by the caller) —
+  /// otherwise always a tree covering every hop exactly once.
+  std::unique_ptr<Node> OptimizeJoinTree(
+      const std::vector<PipelineHop>& hops,
+      const std::vector<double>& input_rows) const;
+
+  /// A leaf node reading binder `i`.
+  static std::unique_ptr<Node> MakeLeaf(int binder, double rows);
+
+  /// The textual left-deep tree over binder segment [lo, hi].
+  std::unique_ptr<Node> LeftDeepTree(const std::vector<PipelineHop>& hops,
+                                     const std::vector<double>& input_rows,
+                                     int lo, int hi) const;
+
+  /// A hop-join node joining `left` (ending at binder `hop`) with
+  /// `right` (starting at binder `hop` + 1) through hop `hop`.
+  std::unique_ptr<Node> MakeHopJoin(const std::vector<PipelineHop>& hops,
+                                    int hop, std::unique_ptr<Node> left,
+                                    std::unique_ptr<Node> right) const;
+
+  /// A tuple-join node merging `left` and `right` on shared binder `m`.
+  std::unique_ptr<Node> MakeTupleJoin(int m, double shared_rows,
+                                      std::unique_ptr<Node> left,
+                                      std::unique_ptr<Node> right) const;
+
+  /// Builds a left-deep tree for an explicit hop order (old pipeline
+  /// semantics); InvalidArgument when the order is not left-deep.
+  Result<std::unique_ptr<Node>> TreeForOrder(
+      const std::vector<PipelineHop>& hops,
+      const std::vector<double>& input_rows,
+      const std::vector<int>& order) const;
 
   /// Shape checks shared by the pipeline entry points.
   static Status ValidatePipelineInputs(
       const std::vector<QueryRelation>& inputs,
       const std::vector<PipelineHop>& hops);
 
-  /// Runs an already-planned pipeline (no re-planning), filling per-step
-  /// actual rows and projecting back to textual binder-column order.
-  Result<QueryRelation> ExecutePipeline(
-      const std::vector<QueryRelation>& inputs,
-      const std::vector<PipelineHop>& hops, PipelinePlan plan,
-      PipelinePlan* plan_out) const;
+  /// Executes `node` over the materialized binder inputs, recording
+  /// per-node actual rows.
+  Result<QueryRelation> ExecuteNode(Node* node,
+                                    const std::vector<QueryRelation>& inputs,
+                                    const std::vector<PipelineHop>& hops) const;
+
+  /// Executes an already-built tree and projects the result back to
+  /// textual binder-column order.
+  Result<QueryRelation> ExecuteTree(const std::vector<QueryRelation>& inputs,
+                                    const std::vector<PipelineHop>& hops,
+                                    PhysicalPlan plan,
+                                    PhysicalPlan* plan_out) const;
+
+  /// Lowers the chain's hops into PipelineHops (binder classes attached).
+  static std::vector<PipelineHop> LowerHops(const LogicalChain& chain);
 
   /// Costs scan / single-leg / intersection over `candidates` and returns
   /// the cheapest plan for an extent of `extent_rows`.

@@ -153,6 +153,34 @@ struct CostModel {
     return driver_rows * kProbeCost + driver_rows * degree * kResidualCost +
            build_rows * kHashBuildCost + out_rows * kPostingCost;
   }
+
+  // --- Bushy tuple joins -----------------------------------------------------
+  //
+  // Algebra::TupleJoin merges two already-joined segments of a chain on
+  // their shared binder column — a plain hash join over tuple sets, no
+  // relationship traversal (every hop was already executed inside one of
+  // the segments). It is the connector that admits bushy (segment x
+  // segment) plans without ever forming a cartesian product.
+
+  /// Output estimate for merging two segments that share a binder drawn
+  /// from a `shared_extent_rows`-row input: each (left, right) pair
+  /// survives iff both picked the same shared value — 1/extent under
+  /// uniformity, capped at the cartesian bound.
+  static double TupleJoinRows(double left_rows, double right_rows,
+                              double shared_extent_rows) {
+    double cartesian = left_rows * right_rows;
+    if (shared_extent_rows <= 1.0) return cartesian;
+    double est = cartesian / shared_extent_rows;
+    return est < cartesian ? est : cartesian;
+  }
+
+  /// Hash the build side by the shared column, stream the probe side,
+  /// emit the merged tuples.
+  static double TupleJoinCost(double build_rows, double probe_rows,
+                              double out_rows) {
+    return build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
+           out_rows * kPostingCost;
+  }
 };
 
 /// Exact number of postings matching any of `keys` (hash probes).

@@ -22,12 +22,17 @@
 // with coverage floors per chosen strategy kind.
 //
 // Join *chains* extend the contract to multi-join plans: for randomized
-// 2-3 hop chains (forward and reverse hops, empty intermediates, vague
-// values, post-reclassify/post-restore states), the pipeline the planner
-// chooses from the tracked degree statistics AND every left-deep hop
-// ordering must equal a naive fold of the nested-loop reference, with
-// coverage floors asserting the planner actually exercises at least two
-// distinct orderings and both physical hop strategies.
+// 2-5 hop chains (beyond the old 3-hop cap; forward and reverse hops,
+// empty intermediates, vague values, post-reclassify/post-restore
+// states), the plan tree the DP optimizer chooses from the tracked
+// degree statistics AND a sampled set of explicit shapes — left-deep
+// orderings plus bushy splits (hop joins of two multi-hop segments and
+// tuple-join merges on the shared binder) — must equal a naive fold of
+// the nested-loop reference. Coverage floors assert the planner
+// exercises at least two distinct hop orders, both physical hop
+// strategies, chains longer than 3 hops, dozens of explicit bushy
+// shapes, and at least one DP-chosen bushy plan (guaranteed by a
+// crafted small-HUGE-small chain, with random worlds adding on top).
 
 #include <gtest/gtest.h>
 
@@ -206,6 +211,87 @@ std::vector<Planner::RelCondition> RandomRelConditions(Random& rng) {
   return conds;
 }
 
+/// A crafted small-HUGE-small 3-hop chain: tiny end associations around
+/// a dense middle one. Reducing BOTH sides before crossing the middle
+/// beats every left-deep order, so the DP must choose a bushy tree (a
+/// hop join of two multi-hop segments), and its result still has to
+/// equal the naive nested-loop fold. Returns 1 iff a bushy plan was
+/// chosen (also asserted), feeding the coverage floor.
+size_t RunCraftedBushyChainDifferential() {
+  schema::SchemaBuilder b("BushyWorld");
+  ClassId a_cls = b.AddIndependentClass("A", schema::ValueType::kNone);
+  ClassId b_cls = b.AddIndependentClass("B", schema::ValueType::kNone);
+  ClassId c_cls = b.AddIndependentClass("C", schema::ValueType::kNone);
+  ClassId d_cls = b.AddIndependentClass("D", schema::ValueType::kNone);
+  AssociationId left_tiny = b.AddAssociation(
+      "LeftTiny", schema::Role{"a", a_cls, schema::Cardinality::Any()},
+      schema::Role{"b", b_cls, schema::Cardinality::Any()});
+  AssociationId middle = b.AddAssociation(
+      "Middle", schema::Role{"b", b_cls, schema::Cardinality::Any()},
+      schema::Role{"c", c_cls, schema::Cardinality::Any()});
+  AssociationId right_tiny = b.AddAssociation(
+      "RightTiny", schema::Role{"c", c_cls, schema::Cardinality::Any()},
+      schema::Role{"d", d_cls, schema::Cardinality::Any()});
+  auto db = std::make_unique<Database>(*b.Build());
+  std::vector<ObjectId> as, bs, cs, ds;
+  for (int i = 0; i < 100; ++i) {
+    as.push_back(*db->CreateObject(a_cls, "A" + std::to_string(i)));
+    bs.push_back(*db->CreateObject(b_cls, "B" + std::to_string(i)));
+    cs.push_back(*db->CreateObject(c_cls, "C" + std::to_string(i)));
+    ds.push_back(*db->CreateObject(d_cls, "D" + std::to_string(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    (void)*db->CreateRelationship(left_tiny, as[i], bs[i]);
+    (void)*db->CreateRelationship(right_tiny, cs[i], ds[i]);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 40; ++j) {
+      (void)*db->CreateRelationship(middle, bs[i], cs[(i + j * 13) % 100]);
+    }
+  }
+  auto extent = [](const std::vector<ObjectId>& ids, const char* attr) {
+    query::QueryRelation rel;
+    rel.attributes = {attr};
+    for (ObjectId id : ids) rel.tuples.push_back({id});
+    return rel;
+  };
+  std::vector<query::QueryRelation> inputs{extent(as, "a"), extent(bs, "b"),
+                                           extent(cs, "c"), extent(ds, "d")};
+  std::vector<Planner::PipelineHop> hops{{left_tiny, 0, a_cls, b_cls},
+                                         {middle, 0, b_cls, c_cls},
+                                         {right_tiny, 0, c_cls, d_cls}};
+
+  // Naive fold of the nested-loop reference, textual order.
+  std::vector<std::vector<ObjectId>> expected;
+  for (const auto& t : inputs[0].tuples) expected.push_back(t);
+  for (size_t i = 0; i < hops.size(); ++i) {
+    std::vector<std::vector<ObjectId>> next;
+    for (RelationshipId rid :
+         db->RelationshipsOfAssociation(hops[i].assoc, true)) {
+      auto rel = *db->GetRelationship(rid);
+      for (const auto& t : expected) {
+        if (t[i] != rel->ends[0]) continue;
+        std::vector<ObjectId> grown = t;
+        grown.push_back(rel->ends[1]);
+        next.push_back(std::move(grown));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    expected = std::move(next);
+  }
+
+  Planner planner(db.get());
+  Planner::PhysicalPlan plan;
+  auto planned = planner.JoinPipeline(inputs, hops, &plan);
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  if (!planned.ok()) return 0;
+  EXPECT_EQ(planned->tuples, expected)
+      << "crafted bushy chain diverged (plan: " << plan.ToString() << ")";
+  EXPECT_TRUE(plan.HasBushyJoin()) << plan.ToString();
+  return plan.HasBushyJoin() ? 1u : 0u;
+}
+
 TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   size_t queries_run = 0;
   size_t index_plans = 0;
@@ -221,6 +307,9 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   size_t chain_inl_steps = 0;
   size_t chain_reverse_hops = 0;
   size_t chain_empty_intermediate = 0;
+  size_t chain_long = 0;           // chains beyond the old 3-hop cap
+  size_t chain_bushy_chosen = 0;   // DP picked a bushy tree on its own
+  size_t chain_bushy_shapes_run = 0;  // explicit bushy splits differentialed
   std::set<std::string> chain_orders_chosen;
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
@@ -466,7 +555,7 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
     };
 
     auto run_chain_query = [&] {
-      size_t num_hops = 2 + rng.Uniform(2);
+      size_t num_hops = 2 + rng.Uniform(4);  // 2-5 hops, beyond the old cap
       // Binders alternate between the Base family (even positions) and
       // Target (odd positions), so every chain mixes forward hops
       // (left_role 0) with reverse ones (left_role 1).
@@ -508,33 +597,80 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
 
       auto expected = naive_chain(inputs, hops);
 
-      // The planner-chosen ordering...
-      Planner::PipelinePlan plan;
+      // The planner-chosen plan tree (the DP may pick any left-deep or
+      // bushy shape)...
+      Planner::PhysicalPlan plan;
       auto planned = planner.JoinPipeline(inputs, hops, &plan);
       ASSERT_TRUE(planned.ok()) << planned.status().ToString();
       ASSERT_EQ(planned->tuples, expected)
           << "chain diverged at seed " << seed << " (plan: "
           << plan.ToString() << ")";
       std::string order_sig;
-      for (const auto& step : plan.steps) {
-        order_sig += std::to_string(step.hop);
-        using Strategy = Planner::JoinPlan::Strategy;
-        if (step.join.strategy == Strategy::kHashBuildLeft ||
-            step.join.strategy == Strategy::kHashBuildRight) {
-          ++chain_hash_steps;
-        } else {
-          ++chain_inl_steps;
-        }
-        if (step.actual_rows == 0) ++chain_empty_intermediate;
-      }
+      for (int hop : plan.HopOrder()) order_sig += std::to_string(hop);
       chain_orders_chosen.insert(std::to_string(num_hops) + ":" + order_sig);
+      if (plan.HasBushyJoin()) ++chain_bushy_chosen;
+      if (num_hops > 3) ++chain_long;
+      auto count_steps = [&](auto&& self,
+                             const Planner::PhysicalPlan::Node* node)
+          -> void {
+        if (node == nullptr) return;
+        self(self, node->left.get());
+        self(self, node->right.get());
+        if (node->kind == Planner::PhysicalPlan::Node::Kind::kHopJoin) {
+          using Strategy = Planner::JoinPlan::Strategy;
+          if (node->join.strategy == Strategy::kHashBuildLeft ||
+              node->join.strategy == Strategy::kHashBuildRight) {
+            ++chain_hash_steps;
+          } else {
+            ++chain_inl_steps;
+          }
+        }
+        if (node->kind != Planner::PhysicalPlan::Node::Kind::kInput &&
+            node->actual_rows == 0) {
+          ++chain_empty_intermediate;
+        }
+      };
+      count_steps(count_steps, plan.root.get());
 
-      // ...and every left-deep ordering agree with the naive fold.
-      for (const auto& order : Planner::LeftDeepOrders(hops.size())) {
+      // ...a sample of explicit left-deep orderings (all of them for
+      // short chains, the textual / fully-reversed / two mixed ones for
+      // long chains)...
+      auto orders = Planner::LeftDeepOrders(hops.size());
+      if (num_hops > 3) {
+        decltype(orders) sampled{orders.front(), orders.back(),
+                                 orders[orders.size() / 3],
+                                 orders[(2 * orders.size()) / 3]};
+        orders = std::move(sampled);
+      }
+      for (const auto& order : orders) {
         auto direct = planner.JoinPipelineInOrder(inputs, hops, order);
         ASSERT_TRUE(direct.ok()) << direct.status().ToString();
         ASSERT_EQ(direct->tuples, expected)
             << "ordering diverged at seed " << seed;
+      }
+
+      // ...and explicit bushy shapes: both the relationship split (hop
+      // join of two multi-hop segments) and the tuple-join merge on the
+      // shared middle binder must equal the naive fold.
+      int mid = static_cast<int>(num_hops) / 2;
+      for (bool tuple : {false, true}) {
+        if (tuple && (mid <= 0 || mid >= static_cast<int>(num_hops))) {
+          continue;
+        }
+        Planner::PhysicalPlan bushy;
+        auto split =
+            planner.JoinPipelineSplit(inputs, hops, mid, tuple, &bushy);
+        ASSERT_TRUE(split.ok()) << split.status().ToString();
+        ASSERT_EQ(split->tuples, expected)
+            << "bushy split diverged at seed " << seed << " (plan: "
+            << bushy.ToString() << ")";
+        // Tuple splits are bushy by construction; a hop split is bushy
+        // when both sides carry at least one hop.
+        if (tuple ||
+            (mid >= 1 && mid + 1 < static_cast<int>(num_hops))) {
+          ASSERT_TRUE(bushy.HasBushyJoin()) << bushy.ToString();
+          ++chain_bushy_shapes_run;
+        }
       }
       ++chain_queries;
       ++queries_run;
@@ -696,16 +832,26 @@ TEST(PlannerDifferentialTest, PlannerMatchesBruteForceScan) {
   EXPECT_GE(join_inl_chosen, 10u);
   EXPECT_GE(join_reverse, 25u);
   EXPECT_GE(join_empty_side, 10u);
-  // Chain coverage floors: every differential chain also ran every
-  // left-deep ordering against the naive fold; the planner's own picks
-  // must span at least two distinct orderings and both physical hop
-  // strategies, and some intermediates must have come up empty.
+  // Chain coverage floors: every differential chain also ran a sampled
+  // set of explicit left-deep orderings AND explicit bushy splits (hop
+  // and tuple-join) against the naive fold; the planner's own picks must
+  // span at least two distinct orderings and both physical hop
+  // strategies, some chains must exceed the old 3-hop cap, and some
+  // intermediates must have come up empty.
   EXPECT_GE(chain_queries, 60u);
   EXPECT_GE(chain_orders_chosen.size(), 2u);
   EXPECT_GE(chain_hash_steps, 10u);
   EXPECT_GE(chain_inl_steps, 10u);
   EXPECT_GE(chain_reverse_hops, 60u);
   EXPECT_GE(chain_empty_intermediate, 10u);
+  EXPECT_GE(chain_long, 10u);
+  EXPECT_GE(chain_bushy_shapes_run, 60u);
+  // The DP must select at least one bushy plan that matches the naive
+  // reference. Random worlds may or may not skew hard enough, so a
+  // crafted small-HUGE-small chain (below) guarantees the floor; random
+  // picks add on top.
+  chain_bushy_chosen += RunCraftedBushyChainDifferential();
+  EXPECT_GE(chain_bushy_chosen, 1u);
 }
 
 }  // namespace

@@ -288,20 +288,22 @@ TEST(PlannerJoinTest, PipelineRunsTheSelectiveHopFirst) {
   std::vector<Planner::PipelineHop> hops{{big, 0, a_cls, b_cls},
                                          {tiny, 0, b_cls, c_cls}};
   Planner planner(db.get());
-  Planner::PipelinePlan plan =
+  Planner::PhysicalPlan plan =
       planner.PlanJoinPipeline(hops, {as.size(), bs.size(), cs.size()});
-  ASSERT_EQ(plan.steps.size(), 2u);
-  EXPECT_EQ(plan.steps[0].hop, 1) << plan.ToString();
-  EXPECT_EQ(plan.steps[1].hop, 0) << plan.ToString();
+  ASSERT_NE(plan.root, nullptr);
+  EXPECT_EQ(plan.HopOrder(), (std::vector<int>{1, 0})) << plan.ToString();
 
-  Planner::PipelinePlan executed;
+  Planner::PhysicalPlan executed;
   auto chosen = planner.JoinPipeline(inputs, hops, &executed);
   ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
   EXPECT_EQ(chosen->attributes,
             (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_FALSE(chosen->empty());
-  // Per-step actuals are filled in after execution.
-  for (const auto& step : executed.steps) EXPECT_GE(step.actual_rows, 0);
+  // Per-node actuals are filled in after execution.
+  ASSERT_NE(executed.root, nullptr);
+  EXPECT_GE(executed.root->actual_rows, 0);
+  EXPECT_GE(executed.root->left->actual_rows, 0);
+  EXPECT_GE(executed.root->right->actual_rows, 0);
   // Every left-deep ordering computes the same relation.
   for (const auto& order : Planner::LeftDeepOrders(hops.size())) {
     auto direct = planner.JoinPipelineInOrder(inputs, hops, order);

@@ -454,14 +454,42 @@ TEST_F(QueryParserTest, JoinChainErrors) {
                         "join via NoSuchAssoc to Action c")
                   .IsNotFound());
 
-  // Chains stop at 3 hops.
+  // The old 3-hop cap is lifted: chains up to 6 hops parse and execute
+  // through the DP optimizer...
+  auto five = RunJoinChainQuery(
+      *db_, "find Data d join via Access to Action a "
+            "join reverse via Access to Data e "
+            "join via Access to Action f "
+            "join via Contained to Action g "
+            "join reverse via Contained to Action h");
+  EXPECT_TRUE(five.ok()) << five.status().ToString();
+  EXPECT_EQ(five->binders,
+            (std::vector<std::string>{"d", "a", "e", "f", "g", "h"}));
+
+  // ...and stop at 6: a seventh hop is rejected up front.
   s = status_of(
       "find Data d join via Access to Action a "
       "join reverse via Access to Data e "
       "join via Access to Action f "
-      "join via Contained to Action g");
+      "join via Contained to Action g "
+      "join reverse via Contained to Action h "
+      "join reverse via Access to Data i "
+      "join via Access to Action j");
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
-  EXPECT_NE(s.message().find("join chains support at most 3 hops"),
+  EXPECT_NE(s.message().find("join chains support at most 6 hops"),
+            std::string::npos)
+      << s.ToString();
+
+  // Duplicate binders are rejected anywhere across a long chain, not
+  // just between adjacent hops.
+  s = status_of(
+      "find Data d join via Access to Action a "
+      "join reverse via Access to Data e "
+      "join via Access to Action f "
+      "join via Contained to Action g "
+      "join reverse via Contained to Action d");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("join binders must differ, got 'd' twice"),
             std::string::npos)
       << s.ToString();
 

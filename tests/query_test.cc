@@ -8,6 +8,7 @@
 #include "query/algebra.h"
 #include "query/parser.h"
 #include "query/predicate.h"
+#include "schema/schema_builder.h"
 #include "spades/spec_schema.h"
 
 namespace seed::query {
@@ -318,6 +319,40 @@ TEST_F(QueryTest, DifferenceAndIntersectNormalizeHandBuiltRelations) {
   EXPECT_EQ(inter->size(), 2u);  // {display, sensor}, deduplicated
 }
 
+TEST_F(QueryTest, TupleJoinMergesOnTheSharedColumn) {
+  // Two independently computed segments overlapping in the "a" column —
+  // (d, a) Access flows and (a, c) Containments — merge into (d, a, c):
+  // exactly what joining the flows onward through Contained computes.
+  ASSERT_TRUE(
+      db_->CreateRelationship(ids_.contained, sensor_, display_).ok());
+  auto data = algebra_->ClassExtent(ids_.data, "d");
+  auto actions = algebra_->ClassExtent(ids_.action, "a");
+  auto containers = algebra_->ClassExtent(ids_.action, "c");
+  auto flows =
+      *algebra_->RelationshipJoin(data, "d", ids_.access, actions, "a");
+  auto contains = *algebra_->RelationshipJoin(actions, "a", ids_.contained,
+                                              containers, "c");
+  auto merged = algebra_->TupleJoin(flows, contains, "a");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->attributes, (std::vector<std::string>{"d", "a", "c"}));
+  auto reference = *algebra_->RelationshipJoin(flows, "a", ids_.contained,
+                                               containers, "c");
+  EXPECT_EQ(merged->tuples, reference.tuples);
+
+  // The shared attribute must exist on both sides; all other attributes
+  // must be disjoint; an empty side short-circuits but keeps the schema.
+  EXPECT_TRUE(
+      algebra_->TupleJoin(data, contains, "a").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      algebra_->TupleJoin(flows, flows, "a").status().IsInvalidArgument());
+  QueryRelation empty_contains;
+  empty_contains.attributes = {"a", "c"};
+  auto empty = algebra_->TupleJoin(flows, empty_contains, "a");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(empty->attributes, (std::vector<std::string>{"d", "a", "c"}));
+}
+
 TEST_F(QueryTest, JoinThenSelectPipeline) {
   // "Which actions access a data item whose name contains 'Alarm'?"
   auto data = algebra_->ClassExtent(ids_.data, "d");
@@ -377,14 +412,15 @@ TEST_F(QueryTest, JoinExplainGolden) {
   EXPECT_EQ(pairs->size(), 3u);
   EXPECT_EQ(plan,
             "d: scan, est ~2 rows; a: scan, est ~3 rows; "
-            "join-hash(build=left), forward, 2 x 3 inputs, est ~3 rows "
-            "(assoc ~3); actual 3");
+            "(hop1: d * a | join-hash(build=left), forward, 2 x 3 inputs, "
+            "est ~3 rows (assoc ~3), actual 3); actual 3");
 }
 
 TEST_F(QueryTest, JoinChainExplainGolden) {
-  // One Contained edge makes the last hop maximally selective; the
-  // pipeline must run it first even though it is written last, and the
-  // EXPLAIN pins the ordering, each hop's strategy and est vs. actual.
+  // One Contained edge makes the last hop maximally selective; the plan
+  // tree must run it first even though it is written last (hop2 nested
+  // inside hop1's right input), and the EXPLAIN pins the tree shape,
+  // each join's strategy and est vs. actual.
   ASSERT_TRUE(
       db_->CreateRelationship(ids_.contained, sensor_, display_).ok());
   std::string plan;
@@ -400,12 +436,99 @@ TEST_F(QueryTest, JoinChainExplainGolden) {
             (std::vector<ObjectId>{alarms_, sensor_, display_}));
   EXPECT_EQ(plan,
             "d: scan, est ~2 rows; a: scan, est ~3 rows; c: scan, est ~3 "
-            "rows; pipeline(order: hop2 then hop1): "
-            "hop2: join-hash(build=right), forward, 3 x 3 inputs, est ~1 "
-            "rows (assoc ~1), actual 1; "
-            "hop1: join-index-nested-loop(drive=left), reverse, 1 x 2 "
-            "inputs, est ~1 rows (assoc ~3), actual 2; "
-            "est ~1 rows; actual 2");
+            "rows; (hop1: d * (hop2: a * c | join-hash(build=right), "
+            "forward, 3 x 3 inputs, est ~1 rows (assoc ~1), actual 1) | "
+            "join-index-nested-loop(drive=right), forward, 2 x 1 inputs, "
+            "est ~1 rows (assoc ~3), actual 2); actual 2");
+}
+
+TEST_F(QueryTest, LeftDeepChainExplainGolden) {
+  // The selective Contained hop is written FIRST, so the cheapest tree
+  // is the textual left-deep one: every later hop extends the running
+  // segment rightward. Pins that the DP still produces (and prints)
+  // plain left-deep shapes when they win.
+  ObjectId parent = *db_->CreateObject(ids_.action, "Parent");
+  ASSERT_TRUE(db_->CreateRelationship(ids_.contained, sensor_, parent).ok());
+  ASSERT_TRUE(db_->CreateRelationship(ids_.read, process_data_, parent).ok());
+  std::string plan;
+  auto chain = RunJoinChainQuery(
+      *db_, "find Action c join via Contained to Action p "
+            "join reverse via Access to Data d "
+            "join via Access to Action a",
+      &plan);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(plan,
+            "c: scan, est ~4 rows; p: scan, est ~4 rows; d: scan, est ~2 "
+            "rows; a: scan, est ~4 rows; (hop3: (hop2: (hop1: c * p | "
+            "join-hash(build=right), forward, 4 x 4 inputs, est ~1 rows "
+            "(assoc ~1), actual 1) * d | join-index-nested-loop"
+            "(drive=left), reverse, 1 x 2 inputs, est ~1 rows (assoc ~4), "
+            "actual 1) * a | join-index-nested-loop(drive=left), forward, "
+            "1 x 4 inputs, est ~2 rows (assoc ~4), actual 2); actual 2");
+}
+
+/// A crafted small-HUGE-small 4-hop chain, queried through the textual
+/// layer: tiny associations at both ends around a dense middle one. The
+/// cheapest plan reduces BOTH sides before crossing the middle — a bushy
+/// segment x segment hop join the left-deep enumeration could not
+/// express — and the EXPLAIN golden pins the nested tree rendering.
+TEST(QueryBushyExplainTest, BushyChainExplainGolden) {
+  schema::SchemaBuilder b("BushyGolden");
+  ClassId v = b.AddIndependentClass("V", schema::ValueType::kNone);
+  ClassId w = b.AddIndependentClass("W", schema::ValueType::kNone);
+  ClassId x = b.AddIndependentClass("X", schema::ValueType::kNone);
+  ClassId y = b.AddIndependentClass("Y", schema::ValueType::kNone);
+  ClassId z = b.AddIndependentClass("Z", schema::ValueType::kNone);
+  AssociationId t0 = b.AddAssociation(
+      "T0", schema::Role{"v", v, schema::Cardinality::Any()},
+      schema::Role{"w", w, schema::Cardinality::Any()});
+  AssociationId m1 = b.AddAssociation(
+      "M1", schema::Role{"w", w, schema::Cardinality::Any()},
+      schema::Role{"x", x, schema::Cardinality::Any()});
+  AssociationId t2 = b.AddAssociation(
+      "T2", schema::Role{"x", x, schema::Cardinality::Any()},
+      schema::Role{"y", y, schema::Cardinality::Any()});
+  AssociationId t3 = b.AddAssociation(
+      "T3", schema::Role{"y", y, schema::Cardinality::Any()},
+      schema::Role{"z", z, schema::Cardinality::Any()});
+  Database db(*b.Build());
+  std::vector<ObjectId> vs, ws, xs, ys, zs;
+  for (int i = 0; i < 100; ++i) {
+    vs.push_back(*db.CreateObject(v, "V" + std::to_string(i)));
+    ws.push_back(*db.CreateObject(w, "W" + std::to_string(i)));
+    xs.push_back(*db.CreateObject(x, "X" + std::to_string(i)));
+    ys.push_back(*db.CreateObject(y, "Y" + std::to_string(i)));
+    zs.push_back(*db.CreateObject(z, "Z" + std::to_string(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.CreateRelationship(t0, vs[i], ws[i]).ok());
+    ASSERT_TRUE(db.CreateRelationship(t2, xs[i], ys[i]).ok());
+    ASSERT_TRUE(db.CreateRelationship(t3, ys[i], zs[i]).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 40; ++j) {
+      ASSERT_TRUE(
+          db.CreateRelationship(m1, ws[i], xs[(i + j * 13) % 100]).ok());
+    }
+  }
+  std::string plan;
+  auto chain = RunJoinChainQuery(
+      db, "find V v join via T0 to W w join via M1 to X x "
+          "join via T2 to Y y join via T3 to Z z",
+      &plan);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(chain->binders,
+            (std::vector<std::string>{"v", "w", "x", "y", "z"}));
+  EXPECT_EQ(plan,
+            "v: scan, est ~100 rows; w: scan, est ~100 rows; x: scan, est "
+            "~100 rows; y: scan, est ~100 rows; z: scan, est ~100 rows; "
+            "(hop2: (hop1: v * w | join-hash(build=right), forward, 100 x "
+            "100 inputs, est ~8 rows (assoc ~8), actual 8) * (hop4: (hop3: "
+            "x * y | join-hash(build=right), forward, 100 x 100 inputs, "
+            "est ~8 rows (assoc ~8), actual 8) * z | join-hash(build=left), "
+            "forward, 8 x 100 inputs, est ~1 rows (assoc ~8), actual 8) | "
+            "join-index-nested-loop(drive=right), forward, 8 x 1 inputs, "
+            "est ~2 rows (assoc ~4000), actual 30); actual 30");
 }
 
 }  // namespace
