@@ -11,8 +11,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "query/algebra.h"
 #include "query/planner.h"
 #include "query/predicate.h"
@@ -772,4 +778,33 @@ BENCHMARK(BM_Query_LongChainDP)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): --metrics-out=<file> dumps the
+// engine metrics registry after the run, so a bench invocation leaves the
+// same JSON trail the trajectory driver does.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << seed::obs::MetricsRegistry::Global().ToJson() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,471 @@
+// The tracked perf trajectory driver (no google-benchmark dependency —
+// built unconditionally, CI runs it on every push). Replays a fixed mix
+// of engine scenarios seeded from the spades workload and the skewed
+// 5-hop join chain, and emits one BENCH_*.json with per-scenario
+// latency, throughput, and rows visited. The rows-visited figures come
+// from the metrics registry ("query.rows.visited.total"), the same
+// source EXPLAIN ANALYZE and the shell report — so the committed
+// baseline gates the planner, not the harness.
+//
+//   bench_trajectory [--scale=N] [--out=FILE] [--metrics-out=FILE]
+//                    [--check=BASELINE.json] [--overhead-check]
+//
+//   --scale=N         workload size knob (default 1000)
+//   --out=FILE        write the trajectory JSON to FILE (default stdout)
+//   --metrics-out=FILE  also dump the full metrics registry JSON
+//   --check=BASELINE  run at the baseline's scale and exit 1 when any
+//                     scenario visits more than 2x the baseline's rows
+//   --overhead-check  measure the join chain with metrics on vs. off and
+//                     exit 1 when the enabled path is more than 5% slower
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "multiuser/client.h"
+#include "multiuser/server.h"
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "spades/spec_schema.h"
+#include "spades/spec_tool.h"
+#include "spades/workload.h"
+#include "version/version_manager.h"
+
+#include "skewed_chain.h"
+
+namespace {
+
+using seed::core::Database;
+using seed::core::Value;
+using seed::ObjectId;
+using seed::query::Planner;
+using seed::version::VersionId;
+using seed::version::VersionManager;
+
+constexpr int kSchemaVersion = 1;
+constexpr int kPr = 6;
+
+[[noreturn]] void Die(const std::string& what, const seed::Status& s) {
+  std::fprintf(stderr, "bench_trajectory: %s: %s\n", what.c_str(),
+               s.ToString().c_str());
+  std::exit(1);
+}
+
+void Check(const seed::Status& s, const char* what) {
+  if (!s.ok()) Die(what, s);
+}
+
+std::uint64_t RowsVisitedCounter() {
+  const seed::obs::Counter* c =
+      seed::obs::MetricsRegistry::Global().FindCounter(
+          "query.rows.visited.total");
+  return c == nullptr ? 0 : c->value();
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t elapsed_ns = 0;
+  std::uint64_t rows_visited = 0;
+};
+
+/// Times `fn` (which returns its op count) and attributes the registry's
+/// rows-visited delta to the scenario.
+template <typename Fn>
+ScenarioResult RunScenario(const std::string& name, Fn&& fn) {
+  ScenarioResult result;
+  result.name = name;
+  std::uint64_t rows_before = RowsVisitedCounter();
+  std::uint64_t start = seed::obs::NowNanos();
+  result.ops = fn();
+  result.elapsed_ns = seed::obs::NowNanos() - start;
+  result.rows_visited = RowsVisitedCounter() - rows_before;
+  std::fprintf(stderr, "  %-28s %8" PRIu64 " ops  %10.3f ms  %12" PRIu64
+                       " rows visited\n",
+               result.name.c_str(), result.ops,
+               static_cast<double>(result.elapsed_ns) / 1e6,
+               result.rows_visited);
+  return result;
+}
+
+// --- Scenarios -------------------------------------------------------------
+
+/// The spades specification session: vague entry, refinement, dataflows,
+/// nesting, interleaved retrieval.
+std::uint64_t BulkLoad(int scale) {
+  auto tool = seed::spades::SeedSpecTool::Create();
+  if (!tool.ok()) Die("SeedSpecTool::Create", tool.status());
+  seed::spades::SessionParams params;
+  params.num_actions = static_cast<std::size_t>(scale) / 10;
+  params.num_data = static_cast<std::size_t>(scale) / 10;
+  params.num_queries = static_cast<std::size_t>(scale) / 10;
+  auto stats = seed::spades::RunSession(tool->get(), params);
+  if (!stats.ok()) Die("RunSession", stats.status());
+  return stats->mutations + stats->queries;
+}
+
+/// Alternating SetValue and textual queries over a Fig. 3 population.
+std::uint64_t MutateQueryMix(int scale) {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  if (!fig3.ok()) Die("BuildFig3Schema", fig3.status());
+  Database db(fig3->schema);
+  int n = std::max(10, scale / 10);
+  std::vector<ObjectId> descs;
+  for (int i = 0; i < n; ++i) {
+    auto obj = db.CreateObject(fig3->ids.data, "Data_" + std::to_string(i));
+    if (!obj.ok()) Die("CreateObject", obj.status());
+    auto desc = db.CreateSubObject(*obj, "Description");
+    if (!desc.ok()) Die("CreateSubObject", desc.status());
+    Check(db.SetValue(*desc, Value::String("item " + std::to_string(i))),
+          "SetValue");
+    descs.push_back(*desc);
+  }
+  std::uint64_t ops = 0;
+  for (int i = 0; i < scale; ++i) {
+    if (i % 2 == 0) {
+      Check(db.SetValue(descs[static_cast<std::size_t>(i / 2) % descs.size()],
+                        Value::String("rev " + std::to_string(i))),
+            "SetValue");
+    } else {
+      auto r = seed::query::RunQuery(
+          db, "find Data where name contains \"Data_1\"");
+      if (!r.ok()) Die("RunQuery", r.status());
+    }
+    ++ops;
+  }
+  return ops;
+}
+
+/// Objects oscillating along the generalization path Thing <-> Data.
+std::uint64_t ReclassifyStorm(int scale) {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  if (!fig3.ok()) Die("BuildFig3Schema", fig3.status());
+  Database db(fig3->schema);
+  int n = std::max(4, scale / 4);
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < n; ++i) {
+    auto obj = db.CreateObject(fig3->ids.thing, "T_" + std::to_string(i));
+    if (!obj.ok()) Die("CreateObject", obj.status());
+    objs.push_back(*obj);
+  }
+  std::uint64_t ops = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (ObjectId obj : objs) {
+      Check(db.Reclassify(obj, fig3->ids.data), "Reclassify to Data");
+      ++ops;
+      Check(db.Reclassify(obj, fig3->ids.thing), "Reclassify to Thing");
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+/// A version chain built from batched mutations, then repeated restores.
+std::uint64_t VersionRestore(int scale) {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  if (!fig3.ok()) Die("BuildFig3Schema", fig3.status());
+  Database db(fig3->schema);
+  VersionManager vm(&db);
+  const int kVersions = 8;
+  int per_version = std::max(1, scale / (10 * kVersions));
+  std::uint64_t ops = 0;
+  std::vector<VersionId> versions;
+  for (int v = 0; v < kVersions; ++v) {
+    for (int i = 0; i < per_version; ++i) {
+      auto obj = db.CreateObject(
+          fig3->ids.action,
+          "A_" + std::to_string(v) + "_" + std::to_string(i));
+      if (!obj.ok()) Die("CreateObject", obj.status());
+      ++ops;
+    }
+    auto id = vm.CreateVersion();
+    if (!id.ok()) Die("CreateVersion", id.status());
+    versions.push_back(*id);
+    ++ops;
+  }
+  int restores = std::max(4, std::min(scale / 10, 64));
+  for (int r = 0; r < restores; ++r) {
+    Check(vm.SelectVersion(
+              versions[static_cast<std::size_t>(r) % versions.size()]),
+          "SelectVersion");
+    ++ops;
+  }
+  return ops;
+}
+
+/// Full checkout/edit/check-in cycles against a central server.
+std::uint64_t MultiuserCheckoutCheckin(int scale) {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  if (!fig3.ok()) Die("BuildFig3Schema", fig3.status());
+  seed::multiuser::Server server(fig3->schema);
+  int n = std::max(4, scale / 20);
+  for (int i = 0; i < n; ++i) {
+    auto a = server.master()->CreateObject(fig3->ids.action,
+                                           "Action_" + std::to_string(i));
+    if (!a.ok()) Die("CreateObject", a.status());
+    auto d = server.master()->CreateSubObject(*a, "Description");
+    if (!d.ok()) Die("CreateSubObject", d.status());
+    Check(server.master()->SetValue(
+              *d, Value::String("step " + std::to_string(i))),
+          "SetValue");
+  }
+  server.master()->ClearChangeTracking();
+  int rounds = std::max(1, scale / 10);
+  for (int r = 0; r < rounds; ++r) {
+    auto session = seed::multiuser::ClientSession::Open(&server, "bench");
+    if (!session.ok()) Die("ClientSession::Open", session.status());
+    std::string target = "Action_" + std::to_string(r % n);
+    Check((*session)->CheckoutByName({target}), "CheckoutByName");
+    auto local = (*session)->local()->FindObjectByName(target);
+    if (!local.ok()) Die("FindObjectByName", local.status());
+    ObjectId d = (*session)->local()->SubObjects(*local, "Description")[0];
+    Check((*session)->local()->SetValue(
+              d, Value::String("edited " + std::to_string(r))),
+          "SetValue");
+    Check((*session)->Checkin(), "Checkin");
+  }
+  return static_cast<std::uint64_t>(rounds);
+}
+
+/// The DP-planned skewed 5-hop chain shared with bench_query and the
+/// plan-quality smoke gate.
+std::uint64_t JoinChain5Hop(int scale) {
+  auto world = seed::bench::BuildSkewedChain(scale * 5);
+  Planner planner(world.db.get());
+  const int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    if (!r.ok()) Die("JoinPipeline", r.status());
+  }
+  return kReps;
+}
+
+// --- Baseline comparison ---------------------------------------------------
+
+/// Pulls an integer field "key": N out of a JSON blob we wrote ourselves
+/// (flat, known shape — no general parser needed).
+bool ExtractUint(const std::string& json, const std::string& key,
+                 std::size_t from, std::uint64_t* out) {
+  std::size_t at = json.find("\"" + key + "\":", from);
+  if (at == std::string::npos) return false;
+  at = json.find(':', at);
+  *out = std::strtoull(json.c_str() + at + 1, nullptr, 10);
+  return true;
+}
+
+struct Baseline {
+  std::uint64_t scale = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> rows;  // name -> rows
+};
+
+bool LoadBaseline(const std::string& path, Baseline* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string json = buf.str();
+  if (!ExtractUint(json, "scale", 0, &out->scale)) return false;
+  std::size_t at = 0;
+  while ((at = json.find("\"name\":", at)) != std::string::npos) {
+    std::size_t q0 = json.find('"', at + 7);
+    std::size_t q1 = json.find('"', q0 + 1);
+    if (q0 == std::string::npos || q1 == std::string::npos) break;
+    std::string name = json.substr(q0 + 1, q1 - q0 - 1);
+    std::uint64_t rows = 0;
+    if (!ExtractUint(json, "rows_visited", q1, &rows)) break;
+    out->rows.emplace_back(name, rows);
+    at = q1;
+  }
+  return !out->rows.empty();
+}
+
+// --- Output ----------------------------------------------------------------
+
+void WriteTrajectory(FILE* out, int scale,
+                     const std::vector<ScenarioResult>& results) {
+  std::fprintf(out, "{\n  \"schema_version\": %d,\n  \"pr\": %d,\n"
+                    "  \"scale\": %d,\n  \"scenarios\": [\n",
+               kSchemaVersion, kPr, scale);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    double ms = static_cast<double>(r.elapsed_ns) / 1e6;
+    double throughput =
+        r.elapsed_ns == 0 ? 0.0
+                          : static_cast<double>(r.ops) /
+                                (static_cast<double>(r.elapsed_ns) / 1e9);
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ops\": %" PRIu64
+                 ", \"elapsed_ms\": %.3f, \"throughput_ops_per_s\": %.0f, "
+                 "\"rows_visited\": %" PRIu64 "}%s\n",
+                 r.name.c_str(), r.ops, ms, throughput, r.rows_visited,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+/// Times the join chain with metrics enabled vs. disabled (min of
+/// `kReps`, one warm-up discarded) and fails past 5% slowdown.
+int OverheadCheck(int scale) {
+  auto world = seed::bench::BuildSkewedChain(scale * 5);
+  Planner planner(world.db.get());
+  auto run_once = [&](bool on) -> std::uint64_t {
+    seed::obs::SetMetricsEnabled(on);
+    std::uint64_t t0 = seed::obs::NowNanos();
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    std::uint64_t dt = seed::obs::NowNanos() - t0;
+    if (!r.ok()) Die("JoinPipeline", r.status());
+    return dt;
+  };
+  // Warm-up both variants, then interleave enabled/disabled pairs so
+  // clock drift, allocator warmth, and scheduler noise land on both
+  // sides equally; min-of-N per side filters the remaining outliers.
+  (void)run_once(true);
+  (void)run_once(false);
+  std::uint64_t enabled = UINT64_MAX;
+  std::uint64_t disabled = UINT64_MAX;
+  const int kReps = 9;
+  for (int rep = 0; rep < kReps; ++rep) {
+    enabled = std::min(enabled, run_once(true));
+    disabled = std::min(disabled, run_once(false));
+  }
+  seed::obs::SetMetricsEnabled(true);
+  double overhead =
+      disabled == 0 ? 0.0
+                    : static_cast<double>(enabled) /
+                              static_cast<double>(disabled) -
+                          1.0;
+  std::printf("metrics overhead: enabled %.3fms, disabled %.3fms "
+              "(%+.1f%%)\n",
+              static_cast<double>(enabled) / 1e6,
+              static_cast<double>(disabled) / 1e6, overhead * 100.0);
+  if (overhead > 0.05) {
+    std::fprintf(stderr, "FAIL: metrics overhead %.1f%% exceeds the 5%% "
+                         "budget\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  std::printf("OK: metrics overhead within the 5%% budget\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scale = 1000;
+  std::string out_path;
+  std::string metrics_out;
+  std::string check_path;
+  bool overhead_check = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--scale=")) {
+      scale = std::atoi(v);
+    } else if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--metrics-out=")) {
+      metrics_out = v;
+    } else if (const char* v = value("--check=")) {
+      check_path = v;
+    } else if (arg == "--overhead-check") {
+      overhead_check = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_trajectory [--scale=N] [--out=FILE] "
+                   "[--metrics-out=FILE] [--check=BASELINE.json] "
+                   "[--overhead-check]\n");
+      return 1;
+    }
+  }
+  if (scale < 100) scale = 100;
+
+  Baseline baseline;
+  if (!check_path.empty()) {
+    if (!LoadBaseline(check_path, &baseline)) {
+      std::fprintf(stderr, "bench_trajectory: cannot read baseline %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    // Rows visited only compare like-for-like at the same workload size.
+    scale = static_cast<int>(baseline.scale);
+    std::fprintf(stderr, "checking against %s (scale %d)\n",
+                 check_path.c_str(), scale);
+  }
+
+  std::fprintf(stderr, "trajectory at scale %d:\n", scale);
+  std::vector<ScenarioResult> results;
+  results.push_back(
+      RunScenario("bulk_load", [&] { return BulkLoad(scale); }));
+  results.push_back(
+      RunScenario("mutate_query_mix", [&] { return MutateQueryMix(scale); }));
+  results.push_back(
+      RunScenario("reclassify_storm", [&] { return ReclassifyStorm(scale); }));
+  results.push_back(
+      RunScenario("version_restore", [&] { return VersionRestore(scale); }));
+  results.push_back(RunScenario("multiuser_checkout_checkin", [&] {
+    return MultiuserCheckoutCheckin(scale);
+  }));
+  results.push_back(
+      RunScenario("join_chain_5hop", [&] { return JoinChain5Hop(scale); }));
+
+  FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_trajectory: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  WriteTrajectory(out, scale, results);
+  if (out != stdout) std::fclose(out);
+
+  if (!metrics_out.empty()) {
+    std::ofstream m(metrics_out);
+    if (!m) {
+      std::fprintf(stderr, "bench_trajectory: cannot write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    m << seed::obs::MetricsRegistry::Global().ToJson() << "\n";
+  }
+
+  int exit_code = 0;
+  if (!check_path.empty()) {
+    for (const auto& [name, base_rows] : baseline.rows) {
+      if (base_rows == 0) continue;
+      for (const ScenarioResult& r : results) {
+        if (r.name != name) continue;
+        double ratio = static_cast<double>(r.rows_visited) /
+                       static_cast<double>(base_rows);
+        std::printf("%s: %" PRIu64 " rows visited vs. baseline %" PRIu64
+                    " (%.2fx)\n",
+                    name.c_str(), r.rows_visited, base_rows, ratio);
+        if (ratio > 2.0) {
+          std::fprintf(stderr, "FAIL: %s visits %.2fx the baseline's rows "
+                               "(gate: 2x)\n",
+                       name.c_str(), ratio);
+          exit_code = 1;
+        }
+      }
+    }
+    if (exit_code == 0) {
+      std::printf("OK: every scenario within 2x of the baseline's rows "
+                  "visited\n");
+    }
+  }
+  if (overhead_check && exit_code == 0) exit_code = OverheadCheck(scale);
+  return exit_code;
+}

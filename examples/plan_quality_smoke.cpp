@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/planner.h"
 
 #include "../bench/skewed_chain.h"
@@ -21,6 +22,15 @@ namespace {
 using seed::bench::BuildSkewedChain;
 using seed::query::Planner;
 
+/// The registry's rows-visited counter — the same figure the trajectory
+/// driver and EXPLAIN ANALYZE report (0 before the first query runs).
+std::uint64_t RowsVisitedCounter() {
+  const seed::obs::Counter* c =
+      seed::obs::MetricsRegistry::Global().FindCounter(
+          "query.rows.visited.total");
+  return c == nullptr ? 0 : c->value();
+}
+
 }  // namespace
 
 int main() {
@@ -28,13 +38,27 @@ int main() {
   Planner planner(world.db.get());
 
   Planner::PhysicalPlan dp_plan;
+  std::uint64_t rows_before = RowsVisitedCounter();
   auto dp = planner.JoinPipeline(world.inputs, world.hops, &dp_plan);
   if (!dp.ok()) {
     std::fprintf(stderr, "DP pipeline failed: %s\n",
                  dp.status().ToString().c_str());
     return 1;
   }
-  long long dp_rows = dp_plan.RowsVisited();
+  // Rows visited comes from the metrics registry (the engine's one
+  // source of truth), cross-checked against the plan tree's own
+  // accounting so the two can never drift apart unnoticed.
+  long long dp_rows =
+      static_cast<long long>(RowsVisitedCounter() - rows_before);
+  if (!seed::obs::MetricsEnabled()) {
+    dp_rows = dp_plan.RowsVisited();  // SEED_METRICS=off: plan tree only
+  } else if (dp_rows != dp_plan.RowsVisited()) {
+    std::fprintf(stderr,
+                 "accounting drift: registry counted %lld rows visited, "
+                 "the plan tree reports %lld\n",
+                 dp_rows, static_cast<long long>(dp_plan.RowsVisited()));
+    return 1;
+  }
 
   long long best_rows = -1;
   std::string best_order;

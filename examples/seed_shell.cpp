@@ -14,6 +14,8 @@
 // joins and join chains; conditions name the side they constrain by its
 // binder), explain find ... (prints the chosen plan — access path, or
 // the DP-chosen join plan tree — with estimated vs. actual rows),
+// explain analyze find ... (the plan with per-node wall-clock and
+// per-phase timings), metrics (engine metrics registry as JSON),
 // schema, show [path], create <Class> <Name>,
 // sub <path> <role>, set <path> <value>, link <Assoc> <path0> <path1>,
 // refine <path> <Class>, refinerel <Assoc> <path0> <path1> <NewAssoc>,
@@ -32,6 +34,7 @@
 #include "core/persistence.h"
 #include "core/printer.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "spades/spec_schema.h"
 #include "version/version_io.h"
@@ -163,41 +166,51 @@ class Shell {
           "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
           "[where ...]\nfind <Class> <b1> join [reverse] via <Assoc> to "
           "<Class> <b2> (... up to 6 hops) [where <b> ...]\n"
-          "explain find ... | schema | show [path]\ncreate "
+          "explain [analyze] find ... | schema | show [path]\ncreate "
           "<Class> <Name> | sub <path> <role>"
           " | set <path> <value>\nlink <Assoc> <p0> <p1> | refine <path> "
           "<Class>\nrefinerel <Assoc> <p0> <p1> <NewAssoc> | rels <path> | "
           "delete <path>\nrename <path> <new> | check [path] | audit | "
           "version [id] | versions\nselect <id> | history <path> | "
           "index [rel] <Class|Assoc> [role] | unindex likewise\nindexes | "
-          "save <dir> | load <dir> | stats | dot [schema] | quit\n");
+          "save <dir> | load <dir> | stats | metrics | dot [schema] | "
+          "quit\n");
       return true;
     }
     if (cmd == "find" || (cmd == "explain" && tokens.size() >= 2)) {
+      bool analyze = cmd == "explain" && tokens[1] == "analyze";
       std::string plan;
+      seed::query::QueryTrace trace;
+      seed::query::QueryTrace* trace_ptr = analyze ? &trace : nullptr;
       std::string_view query = line;
       if (cmd == "explain") {
         size_t at = line.find("find");
         if (at == std::string::npos) {
-          std::printf("usage: explain find <Class> ...\n");
+          std::printf("usage: explain [analyze] find <Class> ...\n");
           return true;
         }
         query.remove_prefix(at);
       }
-      size_t rel_at = cmd == "explain" ? 2 : 1;
+      size_t rel_at = cmd == "explain" ? (analyze ? 3 : 2) : 1;
       bool rel_query = rel_at < tokens.size() && tokens[rel_at] == "rel";
       bool join_query =
           (rel_at + 2 < tokens.size() && tokens[rel_at + 2] == "join") ||
           (rel_at + 3 < tokens.size() && tokens[rel_at + 2] == "exact" &&
            tokens[rel_at + 3] == "join");
+      auto print_plan = [&] {
+        if (cmd != "explain") return;
+        std::printf("plan: %s\n",
+                    analyze ? trace.Render().c_str() : plan.c_str());
+      };
       size_t matches = 0;
       if (join_query) {
-        auto result = seed::query::RunJoinChainQuery(*db_, query, &plan);
+        auto result =
+            seed::query::RunJoinChainQuery(*db_, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
-        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        print_plan();
         for (const auto& tuple : result->tuples) {
           std::string row;
           for (seed::ObjectId id : tuple) {
@@ -208,24 +221,25 @@ class Shell {
         }
         matches = result->tuples.size();
       } else if (rel_query) {
-        auto result = seed::query::RunRelationshipQuery(*db_, query, &plan);
+        auto result =
+            seed::query::RunRelationshipQuery(*db_, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
-        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        print_plan();
         for (seed::RelationshipId id : *result) {
           std::printf("%s\n",
                       Printer::RenderRelationship(*db_, id).c_str());
         }
         matches = result->size();
       } else {
-        auto result = seed::query::RunQuery(*db_, query, &plan);
+        auto result = seed::query::RunQuery(*db_, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
-        if (cmd == "explain") std::printf("plan: %s\n", plan.c_str());
+        print_plan();
         for (seed::ObjectId id : *result) {
           std::printf("%s\n", db_->FullName(id).c_str());
         }
@@ -331,6 +345,15 @@ class Shell {
                       idx->num_distinct_keys(), avg);
         }
       }
+      // Engine metrics: top counters and query-phase latency summaries
+      // from the process-wide registry ('metrics' dumps the full JSON).
+      std::string summary = seed::obs::MetricsRegistry::Global().Summary();
+      if (!summary.empty()) std::printf("%s", summary.c_str());
+      return true;
+    }
+    if (cmd == "metrics") {
+      std::printf("%s\n",
+                  seed::obs::MetricsRegistry::Global().ToJson().c_str());
       return true;
     }
     if (cmd == "dot") {

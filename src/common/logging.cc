@@ -2,11 +2,28 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace seed {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Resolves the initial level from SEED_LOG_LEVEL (debug|info|warn|error,
+/// case-sensitive lowercase). Unset or unrecognized values keep the default
+/// of kWarn so tests stay silent.
+int InitialLevel() {
+  const char* env = std::getenv("SEED_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,6 +38,7 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -36,7 +54,15 @@ void LogMessage(LogLevel level, const std::string& msg) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000);
+  std::fprintf(stderr, "%s [%s] %s\n", stamp, LevelName(level), msg.c_str());
 }
 
 }  // namespace seed

@@ -11,11 +11,13 @@ namespace seed {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// level comes from the SEED_LOG_LEVEL environment variable
+/// (debug|info|warn|error) and defaults to warn, keeping tests silent.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one line to stderr as "[LEVEL] message".
+/// Emits one line to stderr as "<UTC timestamp> [LEVEL] message".
 void LogMessage(LogLevel level, const std::string& msg);
 
 namespace internal {

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace seed::core {
 
@@ -13,6 +14,44 @@ namespace {
 template <typename T>
 void EraseFrom(std::vector<T>& v, const T& value) {
   v.erase(std::remove(v.begin(), v.end(), value), v.end());
+}
+
+// Mutation counters fire on the success path only — after attached
+// procedures had their chance to veto — so the registry reflects durable
+// changes, not attempts.
+void CountObjectCreated() {
+  static obs::Counter* created = obs::MetricsRegistry::Global().GetCounter(
+      "core.objects.created.total");
+  created->Increment();
+}
+
+void CountRelationshipCreated() {
+  static obs::Counter* created = obs::MetricsRegistry::Global().GetCounter(
+      "core.relationships.created.total");
+  created->Increment();
+}
+
+void CountMutation() {
+  static obs::Counter* mutations =
+      obs::MetricsRegistry::Global().GetCounter("core.mutations.total");
+  mutations->Increment();
+}
+
+/// One delete operation whose closure tombstoned `cascade_items` items
+/// (objects plus relationships, including the root itself).
+void CountDelete(std::size_t cascade_items) {
+  static obs::Counter* deletes =
+      obs::MetricsRegistry::Global().GetCounter("core.deletes.total");
+  static obs::Counter* cascade = obs::MetricsRegistry::Global().GetCounter(
+      "core.cascade.items.total");
+  deletes->Increment();
+  cascade->Increment(cascade_items);
+}
+
+void CountReclassify() {
+  static obs::Counter* reclassifies =
+      obs::MetricsRegistry::Global().GetCounter("core.reclassifies.total");
+  reclassifies->Increment();
 }
 
 }  // namespace
@@ -291,6 +330,7 @@ Result<ObjectId> Database::CreateObject(ClassId cls, std::string name,
       return veto;
     }
   }
+  CountObjectCreated();
   return id;
 }
 
@@ -369,6 +409,7 @@ Result<ObjectId> Database::CreateSubObjectImpl(ParentKind kind,
       return veto;
     }
   }
+  CountObjectCreated();
   return id;
 }
 
@@ -414,6 +455,7 @@ Status Database::SetValue(ObjectId obj_id, Value value) {
       return veto;
     }
   }
+  CountMutation();
   return Status::OK();
 }
 
@@ -436,6 +478,7 @@ Status Database::ClearValue(ObjectId obj_id) {
       return veto;
     }
   }
+  CountMutation();
   return Status::OK();
 }
 
@@ -473,6 +516,7 @@ Status Database::Rename(ObjectId obj_id, std::string new_name) {
       return veto;
     }
   }
+  CountMutation();
   return Status::OK();
 }
 
@@ -554,6 +598,7 @@ Status Database::DeleteObject(ObjectId root_id) {
       return veto;
     }
   }
+  CountDelete(objs.size() + rels.size());
   return Status::OK();
 }
 
@@ -602,6 +647,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
       return veto;
     }
   }
+  CountDelete(1 + objs.size());
   return Status::OK();
 }
 
@@ -707,6 +753,7 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
       return veto;
     }
   }
+  CountReclassify();
   return Status::OK();
 }
 
@@ -775,6 +822,7 @@ Result<RelationshipId> Database::CreateRelationship(
       return veto;
     }
   }
+  CountRelationshipCreated();
   return id;
 }
 
@@ -895,6 +943,7 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
       return veto;
     }
   }
+  CountReclassify();
   return Status::OK();
 }
 

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace seed::index {
 
 namespace {
+
+/// One equality probe against any attribute index.
+void CountProbe() {
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().GetCounter("index.probes.total");
+  probes->Increment();
+}
+
+/// One ordered range scan against any attribute index.
+void CountRangeScan() {
+  static obs::Counter* scans =
+      obs::MetricsRegistry::Global().GetCounter("index.range_scans.total");
+  scans->Increment();
+}
 
 template <typename Id>
 std::vector<Id> Typed(const std::set<std::uint64_t>& raw) {
@@ -79,6 +95,7 @@ void AttributeIndex::SetEntry(EntryId id,
 }
 
 std::vector<ObjectId> AttributeIndex::Lookup(const core::Value& key) const {
+  CountProbe();
   auto it = hash_.find(key);
   if (it == hash_.end()) return {};
   return Typed<ObjectId>(it->second->second);
@@ -86,6 +103,7 @@ std::vector<ObjectId> AttributeIndex::Lookup(const core::Value& key) const {
 
 std::vector<RelationshipId> AttributeIndex::LookupRels(
     const core::Value& key) const {
+  CountProbe();
   auto it = hash_.find(key);
   if (it == hash_.end()) return {};
   return Typed<RelationshipId>(it->second->second);
@@ -99,6 +117,7 @@ size_t AttributeIndex::CountEquals(const core::Value& key) const {
 std::vector<AttributeIndex::EntryId> AttributeIndex::RangeRaw(
     const core::Value& lo, bool lo_inclusive, const core::Value& hi,
     bool hi_inclusive) const {
+  CountRangeScan();
   std::vector<EntryId> out;
   auto it = lo_inclusive ? ordered_.lower_bound(lo)
                          : ordered_.upper_bound(lo);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace seed::index {
 
@@ -247,8 +248,21 @@ std::vector<core::Value> IndexManager::DesiredRelationshipKeys(
   return CollectRoleKeys(schema, objects, rel.children, spec.role);
 }
 
+namespace {
+
+/// One incremental entry refresh (object or relationship) across the
+/// registered indexes.
+void CountRefresh() {
+  static obs::Counter* refreshes =
+      obs::MetricsRegistry::Global().GetCounter("index.refreshes.total");
+  refreshes->Increment();
+}
+
+}  // namespace
+
 void IndexManager::RefreshObject(const schema::Schema& schema,
                                  const ObjectMap& objects, ObjectId id) {
+  CountRefresh();
   for (const auto& idx : indexes_) {
     if (idx->spec().on_relationships()) continue;
     idx->Set(id, DesiredKeys(schema, objects, idx->spec(), id));
@@ -259,6 +273,7 @@ void IndexManager::RefreshRelationship(const schema::Schema& schema,
                                        const ObjectMap& objects,
                                        const RelationshipMap& relationships,
                                        RelationshipId id) {
+  CountRefresh();
   for (const auto& idx : indexes_) {
     if (!idx->spec().on_relationships()) continue;
     idx->Set(id, DesiredRelationshipKeys(schema, objects, relationships,

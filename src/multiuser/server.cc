@@ -3,12 +3,25 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace seed::multiuser {
 
 namespace {
 /// Ids 2^40 apart can never collide between clients.
 constexpr std::uint64_t kStripeSize = 1ull << 40;
+
+obs::Gauge* SessionsGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "multiuser.sessions.connected");
+  return gauge;
+}
+
+void CountCheckinRejected() {
+  static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
+      "multiuser.checkins.rejected.total");
+  rejected->Increment();
+}
 }  // namespace
 
 Server::Server(schema::SchemaPtr schema) : schema_(std::move(schema)) {
@@ -23,6 +36,7 @@ Result<ClientId> Server::Connect(std::string client_name) {
   info.stripe_base = next_stripe_ * kStripeSize;
   ++next_stripe_;
   clients_[id] = std::move(info);
+  SessionsGauge()->Add(1);
   return id;
 }
 
@@ -40,6 +54,7 @@ Status Server::Disconnect(ClientId client) {
     }
   }
   clients_.erase(it);
+  SessionsGauge()->Add(-1);
   return Status::OK();
 }
 
@@ -96,6 +111,9 @@ std::vector<ObjectId> Server::LocksOf(ClientId client) const {
 
 Result<CheckoutBundle> Server::Checkout(ClientId client,
                                         const std::vector<ObjectId>& roots) {
+  static obs::Counter* checkouts = obs::MetricsRegistry::Global().GetCounter(
+      "multiuser.checkouts.total");
+  checkouts->Increment();
   if (clients_.find(client) == clients_.end()) {
     return Status::NotFound("client " + std::to_string(client.raw()));
   }
@@ -111,6 +129,10 @@ Result<CheckoutBundle> Server::Checkout(ClientId client,
     auto lock = locks_.find(root);
     if (lock != locks_.end() && lock->second != client) {
       ++lock_conflicts_;
+      static obs::Counter* conflicts =
+          obs::MetricsRegistry::Global().GetCounter(
+              "multiuser.lock_conflicts.total");
+      conflicts->Increment();
       return Status::LockConflict(
           "object '" + master_->FullName(root) + "' is write-locked by "
           "client " + std::to_string(lock->second.raw()));
@@ -191,12 +213,14 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     if (existing != objects.end()) {
       if (!holds_lock(RootOf(obj.id))) {
         ++checkins_rejected_;
+        CountCheckinRejected();
         return Status::LockConflict(
             "modified object '" + master_->FullName(obj.id) +
             "' is not covered by a write lock of this client");
       }
     } else if (obj.id.raw() < stripe_lo || obj.id.raw() >= stripe_hi) {
       ++checkins_rejected_;
+      CountCheckinRejected();
       return Status::FailedPrecondition(
           "new object id " + std::to_string(obj.id.raw()) +
           " lies outside the client's id stripe");
@@ -207,6 +231,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     if (existing == rels.end() &&
         (rel.id.raw() < stripe_lo || rel.id.raw() >= stripe_hi)) {
       ++checkins_rejected_;
+      CountCheckinRejected();
       return Status::FailedPrecondition(
           "new relationship id " + std::to_string(rel.id.raw()) +
           " lies outside the client's id stripe");
@@ -216,6 +241,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     for (ObjectId end : rel.ends) {
       if (objects.find(end) != objects.end() && !holds_lock(RootOf(end))) {
         ++checkins_rejected_;
+        CountCheckinRejected();
         return Status::LockConflict(
             "relationship participant '" + master_->FullName(end) +
             "' is not covered by a write lock of this client");
@@ -274,6 +300,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     }
     master_->RebuildIndexes();
     ++checkins_rejected_;
+    CountCheckinRejected();
     return Status::ConsistencyViolation(
         "check-in rejected: " + audit.violations.front().ToString() +
         (audit.size() > 1
@@ -290,6 +317,9 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     }
   }
   ++checkins_applied_;
+  static obs::Counter* applied = obs::MetricsRegistry::Global().GetCounter(
+      "multiuser.checkins.applied.total");
+  applied->Increment();
   return Status::OK();
 }
 

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace seed::obs {
+
+namespace {
+
+bool InitialEnabled() {
+  const char* env = std::getenv("SEED_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string FormatNanos(std::uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value == 0) return 0;
+  std::size_t idx = static_cast<std::size_t>(std::bit_width(value));
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  if (!MetricsEnabled()) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::ApproxQuantile(double q) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank of the q-th value, 1-based; walk the buckets until reached.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+std::string Histogram::Summary() const {
+  std::uint64_t n = count();
+  if (n == 0) return "count=0";
+  std::string s = "count=" + std::to_string(n) + " sum=" + FormatNanos(sum());
+  s += " p50~" + FormatNanos(ApproxQuantile(0.5));
+  s += " p90~" + FormatNanos(ApproxQuantile(0.9));
+  s += " p99~" + FormatNanos(ApproxQuantile(0.99));
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(counter->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(gauge->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(hist->count()) +
+           ", \"sum\": " + std::to_string(hist->sum()) +
+           ", \"p50\": " + std::to_string(hist->ApproxQuantile(0.5)) +
+           ", \"p90\": " + std::to_string(hist->ApproxQuantile(0.9)) +
+           ", \"p99\": " + std::to_string(hist->ApproxQuantile(0.99)) +
+           ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      std::uint64_t n = hist->bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(Histogram::BucketLowerBound(i)) + ", " +
+             std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::Summary(std::size_t top_counters) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, std::string_view>> top;
+  for (const auto& [name, counter] : counters_) {
+    std::uint64_t v = counter->value();
+    if (v != 0) top.emplace_back(v, name);
+  }
+  std::stable_sort(top.begin(), top.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (top.size() > top_counters) top.resize(top_counters);
+
+  std::string s;
+  if (!top.empty()) {
+    s += "  counters (top " + std::to_string(top.size()) + "):\n";
+    for (const auto& [v, name] : top) {
+      s += "    " + std::string(name) + " = " + std::to_string(v) + "\n";
+    }
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge->value() == 0) continue;
+    s += "  gauge " + name + " = " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (hist->count() == 0) continue;
+    s += "  " + name + ": " + hist->Summary() + "\n";
+  }
+  if (s.empty()) s = "  (no metrics recorded)\n";
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace seed::obs

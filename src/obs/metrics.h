@@ -1,0 +1,193 @@
+// Engine-wide metrics: monotonic counters, gauges, and fixed log-bucket
+// histograms behind one process-global registry.
+//
+// Design constraints, in order:
+//  * near-zero overhead on hot paths — every instrument is a plain
+//    relaxed atomic, instrumentation sites cache the instrument pointer
+//    in a function-local static, and a process-global enabled flag
+//    (SEED_METRICS=off / MetricsRegistry::SetEnabled) turns every Record
+//    into a single predictable-branch load;
+//  * thread-safety without locks on the data path — the future worker
+//    pool and the multiuser server increment the same counters the
+//    single-threaded engine does today, unchanged (registration takes a
+//    mutex; reads and writes never do);
+//  * stable pointers — instruments are never deleted once registered, so
+//    cached pointers stay valid for the process lifetime, and Reset()
+//    zeroes values in place rather than discarding objects.
+//
+// Naming convention (docs/metrics.md): `<subsystem>.<noun>.<verb>` with
+// the unit suffixed when the value is not a plain count — e.g.
+// `index.probes.total`, `storage.wal.appended.bytes`,
+// `query.phase.execute.ns`. ToJson() emits every instrument under a
+// stable schema so BENCH_*.json trajectories and CI gates can diff runs.
+
+#ifndef SEED_OBS_METRICS_H_
+#define SEED_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace seed::obs {
+
+/// True unless metrics were disabled (SEED_METRICS=off/0/false in the
+/// environment at first use, or SetMetricsEnabled(false)). Checked by
+/// every instrument write.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic wall-clock nanoseconds (std::chrono::steady_clock).
+std::uint64_t NowNanos();
+
+/// "1.234ms" / "850ns" / "2.10s" — human display of a nanosecond span.
+std::string FormatNanos(std::uint64_t ns);
+
+/// A monotonically increasing event count. Wraps around at 2^64 like any
+/// unsigned counter; consumers diff snapshots, so wraparound is benign.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time level (sessions connected, locks held). Signed so
+/// Add(-1) on release cannot underflow the display.
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t d) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log2-bucket histogram: bucket 0 holds the value 0, bucket i
+/// (i >= 1) holds [2^(i-1), 2^i). 40 buckets cover every nanosecond
+/// latency up to ~9 minutes exactly; larger values clamp into the last
+/// bucket. Recording is two relaxed fetch_adds — no allocation, no lock —
+/// so the future worker pool can record concurrently without coordination.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 40;
+
+  /// Bucket index of `value`: 0 for 0, otherwise floor(log2(value)) + 1,
+  /// clamped to the last bucket.
+  static std::size_t BucketIndex(std::uint64_t value);
+  /// Smallest value landing in bucket `i` (0, 1, 2, 4, 8, ...).
+  static std::uint64_t BucketLowerBound(std::size_t i);
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Approximate value at quantile `q` in [0, 1]: the lower bound of the
+  /// bucket holding the q-th recorded value (0 when empty). Exact for
+  /// distributions that land on bucket bounds; otherwise within 2x.
+  std::uint64_t ApproxQuantile(double q) const;
+
+  /// "count=12 sum=1.2ms p50~64us p99~1.0ms" — for the shell's stats.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Records the lifetime of a scope into a histogram (nanoseconds).
+/// A null histogram makes the timer inert.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? NowNanos() : 0) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(NowNanos() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_;
+};
+
+/// The process-global instrument registry. Get* registers on first use
+/// and returns the same stable pointer ever after; instrumentation sites
+/// cache it in a function-local static:
+///
+///   static obs::Counter* probes =
+///       obs::MetricsRegistry::Global().GetCounter("index.probes.total");
+///   probes->Increment();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// The instrument if it was ever registered, else nullptr (for tests
+  /// and exporters that must not create metrics as a side effect).
+  const Counter* FindCounter(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Stable-schema JSON of every instrument:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count": n, "sum": s, "p50": v, "p90": v,
+  ///                          "p99": v, "buckets": [[lower, count], ...]},
+  ///                   ...}}
+  /// Names are sorted; histogram buckets list only non-empty buckets.
+  std::string ToJson() const;
+
+  /// Human summary for the interactive shell: the `top_counters` largest
+  /// counters, every non-zero gauge, and every non-empty histogram.
+  std::string Summary(std::size_t top_counters = 10) const;
+
+  /// Zeroes every value in place; registered pointers stay valid.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps; instrument data is atomic
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace seed::obs
+
+#endif  // SEED_OBS_METRICS_H_

@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+namespace seed::obs {
+
+namespace {
+
+Histogram* PhaseHistogram(QueryPhase phase) {
+  static Histogram* hists[kNumQueryPhases] = {
+      MetricsRegistry::Global().GetHistogram("query.phase.parse.ns"),
+      MetricsRegistry::Global().GetHistogram("query.phase.lower.ns"),
+      MetricsRegistry::Global().GetHistogram("query.phase.optimize.ns"),
+      MetricsRegistry::Global().GetHistogram("query.phase.execute.ns"),
+  };
+  return hists[static_cast<int>(phase)];
+}
+
+}  // namespace
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kParse:
+      return "parse";
+    case QueryPhase::kLower:
+      return "lower";
+    case QueryPhase::kOptimize:
+      return "optimize";
+    case QueryPhase::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+void ExecContext::AddPhase(QueryPhase phase, std::uint64_t ns) {
+  phase_ns[static_cast<int>(phase)] += ns;
+}
+
+std::string ExecContext::PhaseSummary(bool mask_times) const {
+  std::string s;
+  for (int i = 0; i < kNumQueryPhases; ++i) {
+    if (!s.empty()) s += ", ";
+    s += QueryPhaseName(static_cast<QueryPhase>(i));
+    s += " ";
+    s += mask_times ? "<t>" : FormatNanos(phase_ns[i]);
+  }
+  return s;
+}
+
+void RecordPhase(ExecContext* ctx, QueryPhase phase, std::uint64_t ns) {
+  if (ctx != nullptr) ctx->AddPhase(phase, ns);
+  PhaseHistogram(phase)->Record(ns);
+}
+
+PhaseTimer::PhaseTimer(ExecContext* ctx, QueryPhase phase)
+    : ctx_(ctx), phase_(phase), start_(NowNanos()) {}
+
+PhaseTimer::~PhaseTimer() {
+  RecordPhase(ctx_, phase_, NowNanos() - start_);
+}
+
+}  // namespace seed::obs

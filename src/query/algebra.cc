@@ -4,6 +4,8 @@
 #include <iterator>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace seed::query {
 
 int QueryRelation::AttrIndex(std::string_view name) const {
@@ -166,6 +168,9 @@ Result<QueryRelation> Algebra::RelationshipJoin(
   };
 
   if (options.method == JoinOptions::Method::kIndexNestedLoop) {
+    static obs::Counter* inl_joins =
+        obs::MetricsRegistry::Global().GetCounter("algebra.join.inl.total");
+    inl_joins->Increment();
     // Drive from one side, probe the per-object relationship map; the
     // association extent is never materialized.
     if (options.build_side == JoinOptions::Side::kLeft) {
@@ -199,6 +204,9 @@ Result<QueryRelation> Algebra::RelationshipJoin(
 
   // Hash join: one pass over the association family builds the adjacency
   // keyed by the streamed side's end; the other side is hash-indexed.
+  static obs::Counter* hash_joins =
+      obs::MetricsRegistry::Global().GetCounter("algebra.join.hash.total");
+  hash_joins->Increment();
   const bool build_left = options.build_side == JoinOptions::Side::kLeft;
   std::unordered_map<ObjectId, std::vector<ObjectId>> partners_of;
   for (RelationshipId rid : db_->RelationshipsOfAssociation(assoc, true)) {
@@ -261,6 +269,10 @@ Result<QueryRelation> Algebra::TupleJoin(const QueryRelation& a,
     if (static_cast<int>(j) != ib) out.attributes.push_back(b.attributes[j]);
   }
   if (a.empty() || b.empty()) return out;
+
+  static obs::Counter* tuple_joins =
+      obs::MetricsRegistry::Global().GetCounter("algebra.join.tuple.total");
+  tuple_joins->Increment();
 
   // Hash the smaller side by its shared column, stream the other.
   const bool build_left = a.size() <= b.size();

@@ -93,10 +93,15 @@ void ReportPlan(std::string* plan_out, const Planner::PhysicalPlan& plan,
 class Parser {
  public:
   Parser(const core::Database& db, std::vector<Token> tokens,
-         std::string* plan_out)
-      : db_(db), tokens_(std::move(tokens)), plan_out_(plan_out) {}
+         std::string* plan_out, QueryTrace* trace)
+      : db_(db),
+        tokens_(std::move(tokens)),
+        plan_out_(plan_out),
+        trace_(trace),
+        ctx_(trace != nullptr ? &trace->ctx : nullptr) {}
 
   Result<std::vector<ObjectId>> RunObjects() {
+    const std::uint64_t parse_start = obs::NowNanos();
     SEED_RETURN_IF_ERROR(Expect("find"));
     if (PeekIs("rel")) {
       return Status::InvalidArgument(
@@ -132,23 +137,30 @@ class Parser {
       return Status::InvalidArgument("trailing input after query: '" +
                                      tokens_[pos_].text + "'");
     }
+    obs::RecordPhase(ctx_, obs::QueryPhase::kParse,
+                     obs::NowNanos() - parse_start);
 
     // Lower into the logical IR and execute through the unified planner
     // path; the cost-based optimizer rewrites the selection into an
     // attribute-index probe (or a multi-index intersection) when
     // estimated cheaper, otherwise it runs the same extent scan.
+    const std::uint64_t lower_start = obs::NowNanos();
     LogicalChain chain;
     chain.binders.push_back(
         LogicalSelect::Objects(*cls, "x", std::move(pred), !exact));
+    obs::RecordPhase(ctx_, obs::QueryPhase::kLower,
+                     obs::NowNanos() - lower_start);
     Planner planner(&db_);
     Planner::PhysicalPlan plan;
     SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
-                          planner.Run(chain, &plan));
+                          planner.Run(chain, &plan, ctx_));
     ReportPlan(plan_out_, plan, result.ids.size());
+    if (trace_ != nullptr) trace_->plan = std::move(plan);
     return std::move(result.ids);
   }
 
   Result<std::vector<RelationshipId>> RunRelationships() {
+    const std::uint64_t parse_start = obs::NowNanos();
     SEED_RETURN_IF_ERROR(Expect("find"));
     SEED_RETURN_IF_ERROR(Expect("rel"));
     SEED_ASSIGN_OR_RETURN(Token assoc_token, Next("association name"));
@@ -177,23 +189,30 @@ class Parser {
       return Status::InvalidArgument("trailing input after query: '" +
                                      tokens_[pos_].text + "'");
     }
+    obs::RecordPhase(ctx_, obs::QueryPhase::kParse,
+                     obs::NowNanos() - parse_start);
 
     // The relationship-extent shape of the logical IR: one binder over
     // the association, no hops.
+    const std::uint64_t lower_start = obs::NowNanos();
     LogicalChain chain;
     chain.binders.push_back(LogicalSelect::Relationships(
         *assoc, "r", std::move(conditions), !exact));
+    obs::RecordPhase(ctx_, obs::QueryPhase::kLower,
+                     obs::NowNanos() - lower_start);
     Planner planner(&db_);
     Planner::PhysicalPlan plan;
     SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
-                          planner.Run(chain, &plan));
+                          planner.Run(chain, &plan, ctx_));
     ReportPlan(plan_out_, plan, result.relationships.size());
+    if (trace_ != nullptr) trace_->plan = std::move(plan);
     return std::move(result.relationships);
   }
 
   /// `pairs_only` rejects multi-hop chains right after parsing, before
   /// any selection or join executes (the pairs entry point's shape).
   Result<JoinChainResult> RunJoinChain(bool pairs_only = false) {
+    const std::uint64_t parse_start = obs::NowNanos();
     SEED_RETURN_IF_ERROR(Expect("find"));
     SEED_ASSIGN_OR_RETURN(JoinSide head, ParseJoinSideHead());
     std::vector<JoinSide> sides;
@@ -249,9 +268,12 @@ class Parser {
           "multi-hop join chains return binder tuples; run them through "
           "RunJoinChainQuery");
     }
+    obs::RecordPhase(ctx_, obs::QueryPhase::kParse,
+                     obs::NowNanos() - parse_start);
 
     // Lower into the logical IR: each hop's direction comes from its
     // adjacent binder classes.
+    const std::uint64_t lower_start = obs::NowNanos();
     LogicalChain chain;
     for (size_t i = 0; i < hops.size(); ++i) {
       SEED_ASSIGN_OR_RETURN(
@@ -264,6 +286,8 @@ class Parser {
       chain.binders.push_back(LogicalSelect::Objects(
           side.cls, side.binder, std::move(side.pred), !side.exact));
     }
+    obs::RecordPhase(ctx_, obs::QueryPhase::kLower,
+                     obs::NowNanos() - lower_start);
 
     // The one optimizer entry point: every binder's selection plans
     // through the cost-based access paths, then the hop-bitset DP picks
@@ -272,13 +296,14 @@ class Parser {
     Planner planner(&db_);
     Planner::PhysicalPlan plan;
     SEED_ASSIGN_OR_RETURN(Planner::ChainResult result,
-                          planner.Run(chain, &plan));
+                          planner.Run(chain, &plan, ctx_));
     JoinChainResult out;
     for (const LogicalSelect& b : chain.binders) {
       out.binders.push_back(b.binder);
     }
     out.tuples = std::move(result.tuples.tuples);
     ReportPlan(plan_out_, plan, out.tuples.size());
+    if (trace_ != nullptr) trace_->plan = std::move(plan);
     return out;
   }
 
@@ -493,35 +518,45 @@ class Parser {
   const core::Database& db_;
   std::vector<Token> tokens_;
   std::string* plan_out_;
+  QueryTrace* trace_;
+  obs::ExecContext* ctx_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
+std::string QueryTrace::Render(bool mask_times) const {
+  return plan.ToAnalyzeString(mask_times) + "; phases: " +
+         ctx.PhaseSummary(mask_times);
+}
+
 Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
                                        std::string_view text,
-                                       std::string* plan_out) {
+                                       std::string* plan_out,
+                                       QueryTrace* trace) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens), plan_out).RunObjects();
+  return Parser(db, std::move(tokens), plan_out, trace).RunObjects();
 }
 
 Result<std::vector<RelationshipId>> RunRelationshipQuery(
-    const core::Database& db, std::string_view text, std::string* plan_out) {
+    const core::Database& db, std::string_view text, std::string* plan_out,
+    QueryTrace* trace) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens), plan_out).RunRelationships();
+  return Parser(db, std::move(tokens), plan_out, trace).RunRelationships();
 }
 
 Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
-    const core::Database& db, std::string_view text, std::string* plan_out) {
+    const core::Database& db, std::string_view text, std::string* plan_out,
+    QueryTrace* trace) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
   // Multi-hop chains are rejected right after parsing, before anything
   // executes: their result has no pairs shape.
   SEED_ASSIGN_OR_RETURN(
       JoinChainResult chain,
-      Parser(db, std::move(tokens), plan_out)
+      Parser(db, std::move(tokens), plan_out, trace)
           .RunJoinChain(/*pairs_only=*/true));
   std::vector<std::pair<ObjectId, ObjectId>> out;
   out.reserve(chain.tuples.size());
@@ -533,10 +568,11 @@ Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
 
 Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
                                           std::string_view text,
-                                          std::string* plan_out) {
+                                          std::string* plan_out,
+                                          QueryTrace* trace) {
   SEED_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
   if (tokens.empty()) return Status::InvalidArgument("empty query");
-  return Parser(db, std::move(tokens), plan_out).RunJoinChain();
+  return Parser(db, std::move(tokens), plan_out, trace).RunJoinChain();
 }
 
 }  // namespace seed::query

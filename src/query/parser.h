@@ -70,24 +70,43 @@
 
 #include "common/result.h"
 #include "core/database.h"
+#include "obs/trace.h"
+#include "query/planner.h"
 
 namespace seed::query {
+
+/// The EXPLAIN ANALYZE sink: when passed to an entry point it receives
+/// the executed physical plan (per-node actual rows and inclusive
+/// wall-clock) plus the per-phase timings of this one query. Move-only,
+/// like the plan tree it carries.
+struct QueryTrace {
+  Planner::PhysicalPlan plan;
+  obs::ExecContext ctx;
+
+  /// The EXPLAIN ANALYZE body: the analyzed plan, then "; phases: parse
+  /// <t>, lower <t>, optimize <t>, execute <t>". `mask_times` replaces
+  /// every duration with "<t>" so golden tests pin structure and rows.
+  std::string Render(bool mask_times = false) const;
+};
 
 /// Parses and runs `text` against `db`; returns matching object ids,
 /// ascending. Undefined values match nothing, per the paper. When
 /// `plan_out` is non-null it receives the chosen access path with its
 /// estimated rows, followed by the actual row count (EXPLAIN-style:
-/// "index-equals(...), est ~3 of 100 rows; actual 2"). Relationship
+/// "index-equals(...), est ~3 of 100 rows; actual 2"). When `trace` is
+/// non-null the query runs with per-node and per-phase timing and the
+/// trace receives the analyzed plan (EXPLAIN ANALYZE). Relationship
 /// queries ('find rel ...') must go through RunRelationshipQuery.
 Result<std::vector<ObjectId>> RunQuery(const core::Database& db,
                                        std::string_view text,
-                                       std::string* plan_out = nullptr);
+                                       std::string* plan_out = nullptr,
+                                       QueryTrace* trace = nullptr);
 
 /// Parses and runs a 'find rel <Assoc> ...' query; returns matching
 /// relationship ids, ascending.
 Result<std::vector<RelationshipId>> RunRelationshipQuery(
     const core::Database& db, std::string_view text,
-    std::string* plan_out = nullptr);
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
 
 /// Parses and runs a single-hop 'find <Class> <b1> join via <Assoc> to
 /// <Class> <b2> ...' query; returns the joined (left, right) object
@@ -96,7 +115,7 @@ Result<std::vector<RelationshipId>> RunRelationshipQuery(
 /// chains are rejected here — run them through RunJoinChainQuery.
 Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
     const core::Database& db, std::string_view text,
-    std::string* plan_out = nullptr);
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
 
 /// Result of a join-chain query: the binder names in textual order and
 /// the joined binder tuples (ascending, deduplicated).
@@ -110,7 +129,8 @@ struct JoinChainResult {
 /// plan plus the executed plan tree with estimated vs. actual rows.
 Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
                                           std::string_view text,
-                                          std::string* plan_out = nullptr);
+                                          std::string* plan_out = nullptr,
+                                          QueryTrace* trace = nullptr);
 
 }  // namespace seed::query
 

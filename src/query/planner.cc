@@ -232,6 +232,17 @@ std::string Planner::Plan::ToString() const {
   return "?";
 }
 
+std::string Planner::Plan::ToAnalyzeString(bool mask_times) const {
+  std::string s = ToString();
+  if (actual_rows >= 0) s += ", actual " + std::to_string(actual_rows);
+  if (elapsed_ns >= 0) {
+    s += ", t=";
+    s += mask_times ? "<t>"
+                    : obs::FormatNanos(static_cast<std::uint64_t>(elapsed_ns));
+  }
+  return s;
+}
+
 Planner::Plan Planner::ChooseCheapest(std::vector<Candidate> candidates,
                                       double extent_rows) {
   Plan best;
@@ -343,12 +354,26 @@ std::vector<ObjectId> Planner::ExecuteIndexPlan(
   return out;
 }
 
+namespace {
+
+/// Tallies which access-path kind each executed selection used.
+void CountPlanKind(bool uses_index) {
+  static obs::Counter* index_plans =
+      obs::MetricsRegistry::Global().GetCounter("query.plans.index.total");
+  static obs::Counter* scan_plans =
+      obs::MetricsRegistry::Global().GetCounter("query.plans.scan.total");
+  (uses_index ? index_plans : scan_plans)->Increment();
+}
+
+}  // namespace
+
 std::vector<ObjectId> Planner::SelectIds(ClassId cls, const Predicate& p,
                                          bool include_specializations,
                                          const Plan* precomputed) const {
   Plan plan = precomputed != nullptr
                   ? *precomputed
                   : PlanSelect(cls, p, include_specializations);
+  CountPlanKind(plan.uses_index());
   if (plan.uses_index()) {
     return ExecuteIndexPlan(plan, cls, p, include_specializations);
   }
@@ -542,6 +567,49 @@ std::string Planner::PhysicalPlan::Node::ToString(
   return "?";
 }
 
+std::string Planner::PhysicalPlan::Node::ToAnalyzeString(
+    const std::vector<std::string>& binders, bool mask_times) const {
+  auto name = [&](int b) {
+    return b >= 0 && b < static_cast<int>(binders.size())
+               ? binders[b]
+               : "b" + std::to_string(b);
+  };
+  // ", actual 4, in 3+5, t=1.2ms" — output rows, input rows (left+right),
+  // inclusive wall-clock.
+  std::string notes;
+  if (actual_rows >= 0) notes += ", actual " + std::to_string(actual_rows);
+  if (left != nullptr && right != nullptr && left->actual_rows >= 0 &&
+      right->actual_rows >= 0) {
+    notes += ", in " + std::to_string(left->actual_rows) + "+" +
+             std::to_string(right->actual_rows);
+  }
+  if (elapsed_ns >= 0) {
+    notes += ", t=";
+    notes += mask_times
+                 ? "<t>"
+                 : obs::FormatNanos(static_cast<std::uint64_t>(elapsed_ns));
+  }
+  switch (kind) {
+    case Kind::kInput: {
+      // Leaves print their materialized size inline: "d[3]".
+      std::string s = name(binder);
+      if (actual_rows >= 0) s += "[" + std::to_string(actual_rows) + "]";
+      return s;
+    }
+    case Kind::kHopJoin:
+      return "(hop" + std::to_string(hop + 1) + ": " +
+             left->ToAnalyzeString(binders, mask_times) + " * " +
+             right->ToAnalyzeString(binders, mask_times) + " | " +
+             join.ToString() + notes + ")";
+    case Kind::kTupleJoin:
+      return "(merge@" + name(shared_binder) + ": " +
+             left->ToAnalyzeString(binders, mask_times) + " * " +
+             right->ToAnalyzeString(binders, mask_times) + " | est ~" +
+             Rounded(est_rows) + " rows" + notes + ")";
+  }
+  return "?";
+}
+
 bool Planner::PhysicalPlan::HasBushyJoin() const {
   auto walk = [](auto&& self, const Node* node) -> bool {
     if (node == nullptr) return false;
@@ -587,6 +655,20 @@ std::string Planner::PhysicalPlan::ToString() const {
   if (root != nullptr && root->kind != Node::Kind::kInput) {
     if (!s.empty()) s += "; ";
     s += root->ToString(binders);
+  }
+  return s;
+}
+
+std::string Planner::PhysicalPlan::ToAnalyzeString(bool mask_times) const {
+  std::string s;
+  for (size_t i = 0; i < selects.size(); ++i) {
+    if (!s.empty()) s += "; ";
+    if (selects.size() > 1 && i < binders.size()) s += binders[i] + ": ";
+    s += selects[i].ToAnalyzeString(mask_times);
+  }
+  if (root != nullptr && root->kind != Node::Kind::kInput) {
+    if (!s.empty()) s += "; ";
+    s += root->ToAnalyzeString(binders, mask_times);
   }
   return s;
 }
@@ -866,63 +948,84 @@ Status Planner::ValidatePipelineInputs(
 
 Result<QueryRelation> Planner::ExecuteNode(
     Node* node, const std::vector<QueryRelation>& inputs,
-    const std::vector<PipelineHop>& hops) const {
+    const std::vector<PipelineHop>& hops, obs::ExecContext* ctx) const {
+  // Two steady_clock reads per *node* (never per row) when an
+  // EXPLAIN ANALYZE context asked for operator timing; children are
+  // timed inside the parent's window, so a node's clock is inclusive.
+  const bool timed = ctx != nullptr && ctx->time_nodes;
+  const std::uint64_t start = timed ? obs::NowNanos() : 0;
   // Executes a child into `storage` — except input leaves, which read
   // the materialized binder relation in place (no copy).
   auto child = [&](Node* n, QueryRelation* storage)
       -> Result<const QueryRelation*> {
     if (n->kind == Node::Kind::kInput) {
       n->actual_rows = static_cast<long long>(inputs[n->binder].size());
+      if (timed) n->elapsed_ns = 0;  // read in place — no work to time
       return &inputs[n->binder];
     }
-    SEED_ASSIGN_OR_RETURN(*storage, ExecuteNode(n, inputs, hops));
+    SEED_ASSIGN_OR_RETURN(*storage, ExecuteNode(n, inputs, hops, ctx));
     return storage;
   };
-  switch (node->kind) {
-    case Node::Kind::kInput: {
-      node->actual_rows = static_cast<long long>(inputs[node->binder].size());
-      return inputs[node->binder];
+  auto run = [&]() -> Result<QueryRelation> {
+    switch (node->kind) {
+      case Node::Kind::kInput: {
+        node->actual_rows =
+            static_cast<long long>(inputs[node->binder].size());
+        return inputs[node->binder];
+      }
+      case Node::Kind::kHopJoin: {
+        QueryRelation left_storage, right_storage;
+        SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
+                              child(node->left.get(), &left_storage));
+        SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
+                              child(node->right.get(), &right_storage));
+        // The left input ends at binder `hop`, the right starts at binder
+        // `hop` + 1; empty inputs short-circuit inside RelationshipJoin.
+        auto joined = algebra_.RelationshipJoin(
+            *left, inputs[node->hop].attributes[0], hops[node->hop].assoc,
+            *right, inputs[node->hop + 1].attributes[0],
+            node->join.options());
+        if (!joined.ok()) return joined.status();
+        node->actual_rows = static_cast<long long>(joined->size());
+        return joined;
+      }
+      case Node::Kind::kTupleJoin: {
+        QueryRelation left_storage, right_storage;
+        SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
+                              child(node->left.get(), &left_storage));
+        SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
+                              child(node->right.get(), &right_storage));
+        auto merged = algebra_.TupleJoin(
+            *left, *right, inputs[node->shared_binder].attributes[0]);
+        if (!merged.ok()) return merged.status();
+        node->actual_rows = static_cast<long long>(merged->size());
+        return merged;
+      }
     }
-    case Node::Kind::kHopJoin: {
-      QueryRelation left_storage, right_storage;
-      SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
-                            child(node->left.get(), &left_storage));
-      SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
-                            child(node->right.get(), &right_storage));
-      // The left input ends at binder `hop`, the right starts at binder
-      // `hop` + 1; empty inputs short-circuit inside RelationshipJoin.
-      auto joined = algebra_.RelationshipJoin(
-          *left, inputs[node->hop].attributes[0], hops[node->hop].assoc,
-          *right, inputs[node->hop + 1].attributes[0], node->join.options());
-      if (!joined.ok()) return joined.status();
-      node->actual_rows = static_cast<long long>(joined->size());
-      return joined;
-    }
-    case Node::Kind::kTupleJoin: {
-      QueryRelation left_storage, right_storage;
-      SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
-                            child(node->left.get(), &left_storage));
-      SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
-                            child(node->right.get(), &right_storage));
-      auto merged = algebra_.TupleJoin(
-          *left, *right, inputs[node->shared_binder].attributes[0]);
-      if (!merged.ok()) return merged.status();
-      node->actual_rows = static_cast<long long>(merged->size());
-      return merged;
-    }
+    return Status::Internal("unplanned node");
+  };
+  Result<QueryRelation> result = run();
+  if (timed) {
+    node->elapsed_ns = static_cast<long long>(obs::NowNanos() - start);
   }
-  return Status::Internal("unplanned node");
+  return result;
 }
 
 Result<QueryRelation> Planner::ExecuteTree(
     const std::vector<QueryRelation>& inputs,
     const std::vector<PipelineHop>& hops, PhysicalPlan plan,
-    PhysicalPlan* plan_out) const {
+    PhysicalPlan* plan_out, obs::ExecContext* ctx) const {
   if (plan.root == nullptr) {
     return Status::Internal("join pipeline plan has no tree");
   }
   SEED_ASSIGN_OR_RETURN(QueryRelation joined,
-                        ExecuteNode(plan.root.get(), inputs, hops));
+                        ExecuteNode(plan.root.get(), inputs, hops, ctx));
+
+  // The registry's rows-visited counter is the single source of truth the
+  // benches and the CI plan-quality gate read; it matches RowsVisited().
+  static obs::Counter* rows_visited =
+      obs::MetricsRegistry::Global().GetCounter("query.rows.visited.total");
+  rows_visited->Increment(static_cast<std::uint64_t>(plan.RowsVisited()));
 
   // Back to the textual binder-column order (execution accumulated the
   // columns in tree order; a complete tree joins every binder).
@@ -951,7 +1054,8 @@ Planner::PhysicalPlan Planner::PlanJoinPipeline(
 
 Result<QueryRelation> Planner::JoinPipeline(
     const std::vector<QueryRelation>& inputs,
-    const std::vector<PipelineHop>& hops, PhysicalPlan* plan_out) const {
+    const std::vector<PipelineHop>& hops, PhysicalPlan* plan_out,
+    obs::ExecContext* ctx) const {
   Status valid = ValidatePipelineInputs(inputs, hops);
   if (!valid.ok()) return valid;
   std::vector<size_t> sizes;
@@ -961,7 +1065,7 @@ Result<QueryRelation> Planner::JoinPipeline(
   for (const QueryRelation& in : inputs) {
     plan.binders.push_back(in.attributes[0]);
   }
-  return ExecuteTree(inputs, hops, std::move(plan), plan_out);
+  return ExecuteTree(inputs, hops, std::move(plan), plan_out, ctx);
 }
 
 Result<QueryRelation> Planner::JoinPipelineInOrder(
@@ -1070,14 +1174,36 @@ Result<Planner::PhysicalPlan> Planner::Optimize(
 }
 
 Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
-                                          PhysicalPlan* plan_out) const {
-  SEED_ASSIGN_OR_RETURN(PhysicalPlan plan, Optimize(chain));
+                                          PhysicalPlan* plan_out,
+                                          obs::ExecContext* ctx) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("query.queries.total");
+  static obs::Counter* rows_visited =
+      obs::MetricsRegistry::Global().GetCounter("query.rows.visited.total");
+  queries->Increment();
+  const bool timed = ctx != nullptr && ctx->time_nodes;
+
+  PhysicalPlan plan;
+  {
+    obs::PhaseTimer timer(ctx, obs::QueryPhase::kOptimize);
+    SEED_ASSIGN_OR_RETURN(plan, Optimize(chain));
+  }
+  obs::PhaseTimer exec_timer(ctx, obs::QueryPhase::kExecute);
+
   ChainResult out;
   if (chain.relationship_form()) {
     const LogicalSelect& b = chain.binders[0];
+    const std::uint64_t start = timed ? obs::NowNanos() : 0;
     out.relationships = SelectRelationshipIds(
         b.assoc, b.rel_conditions, b.include_specializations,
         &plan.selects[0]);
+    plan.selects[0].actual_rows =
+        static_cast<long long>(out.relationships.size());
+    if (timed) {
+      plan.selects[0].elapsed_ns =
+          static_cast<long long>(obs::NowNanos() - start);
+    }
+    rows_visited->Increment(out.relationships.size());
     if (plan_out != nullptr) *plan_out = std::move(plan);
     return out;
   }
@@ -1087,9 +1213,17 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
     // paths already emit ascending ids, so there is no tuple boxing and
     // no projection round-trip.
     const LogicalSelect& b = chain.binders[0];
+    const std::uint64_t start = timed ? obs::NowNanos() : 0;
     out.ids = SelectIds(b.cls, b.pred, b.include_specializations,
                         &plan.selects[0]);
+    plan.selects[0].actual_rows = static_cast<long long>(out.ids.size());
     plan.root->actual_rows = static_cast<long long>(out.ids.size());
+    if (timed) {
+      long long elapsed = static_cast<long long>(obs::NowNanos() - start);
+      plan.selects[0].elapsed_ns = elapsed;
+      plan.root->elapsed_ns = elapsed;
+    }
+    rows_visited->Increment(out.ids.size());
     if (plan_out != nullptr) *plan_out = std::move(plan);
     return out;
   }
@@ -1100,9 +1234,15 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
     const LogicalSelect& b = chain.binders[i];
     QueryRelation rel;
     rel.attributes = {b.binder};
+    const std::uint64_t start = timed ? obs::NowNanos() : 0;
     for (ObjectId id : SelectIds(b.cls, b.pred, b.include_specializations,
                                  &plan.selects[i])) {
       rel.tuples.push_back({id});
+    }
+    plan.selects[i].actual_rows = static_cast<long long>(rel.size());
+    if (timed) {
+      plan.selects[i].elapsed_ns =
+          static_cast<long long>(obs::NowNanos() - start);
     }
     inputs.push_back(std::move(rel));
   }
@@ -1123,7 +1263,7 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
   for (const Plan& select : plan.selects) plan.est_cost += select.est_cost;
   SEED_ASSIGN_OR_RETURN(
       out.tuples,
-      ExecuteTree(inputs, LowerHops(chain), std::move(plan), plan_out));
+      ExecuteTree(inputs, LowerHops(chain), std::move(plan), plan_out, ctx));
   return out;
 }
 
@@ -1195,6 +1335,7 @@ std::vector<RelationshipId> Planner::SelectRelationshipIds(
                   ? *precomputed
                   : PlanSelectRelationships(assoc, conditions,
                                             include_specializations);
+  CountPlanKind(plan.uses_index());
   if (plan.uses_index()) {
     return ExecuteRelIndexPlan(plan, assoc, conditions,
                                include_specializations);

@@ -58,6 +58,7 @@
 #include "common/result.h"
 #include "core/database.h"
 #include "index/attribute_index.h"
+#include "obs/trace.h"
 #include "query/algebra.h"
 #include "query/logical.h"
 #include "query/predicate.h"
@@ -95,10 +96,21 @@ class Planner {
     /// Live size of the queried extent at planning time.
     double extent_rows = 0.0;
 
+    /// Rows the executed access path actually produced (post-residual);
+    /// -1 until executed.
+    long long actual_rows = -1;
+    /// Wall-clock the selection took, when an ExecContext asked for node
+    /// timing; -1 otherwise.
+    long long elapsed_ns = -1;
+
     bool uses_index() const { return kind != Kind::kFullScan; }
     /// "scan" / "index-equals(...), 2 keys, est ~3 of 100 rows" — for
     /// tests, EXPLAIN output and logs.
     std::string ToString() const;
+    /// ToString() plus actual rows and wall-clock — the EXPLAIN ANALYZE
+    /// form. `mask_times` prints "<t>" instead of the duration so golden
+    /// tests can pin structure and rows.
+    std::string ToAnalyzeString(bool mask_times) const;
   };
 
   /// One conjunct of a relationship-extent selection (query/logical.h).
@@ -171,6 +183,9 @@ class Planner {
       double est_cost = 0.0;
       /// Rows the node actually produced; -1 until executed.
       long long actual_rows = -1;
+      /// Inclusive wall-clock of executing this node (children included),
+      /// when an ExecContext asked for node timing; -1 otherwise.
+      long long elapsed_ns = -1;
       std::unique_ptr<Node> left, right;
 
       /// A join whose inputs are both joined segments (rather than at
@@ -185,6 +200,10 @@ class Planner {
       /// "(hop1: d * a | join-hash(...), actual 3)" — nested plan-tree
       /// rendering; `binders` names the chain's binder columns.
       std::string ToString(const std::vector<std::string>& binders) const;
+      /// EXPLAIN ANALYZE rendering: ToString plus per-node rows in
+      /// (children's actual rows) and inclusive wall-clock.
+      std::string ToAnalyzeString(const std::vector<std::string>& binders,
+                                  bool mask_times) const;
     };
 
     /// Access path per binder, in textual order.
@@ -211,6 +230,11 @@ class Planner {
     /// Full EXPLAIN body: every binder's access path, then the plan
     /// tree — "d: scan, est ~2 rows; a: ...; (hop1: d * a | ...)".
     std::string ToString() const;
+    /// Full EXPLAIN ANALYZE body: every binder's access path with actual
+    /// rows and wall-clock, then the plan tree with per-node rows in/out
+    /// and inclusive wall-clock. `mask_times` prints "<t>" for every
+    /// duration (golden tests pin structure + rows, not the clock).
+    std::string ToAnalyzeString(bool mask_times = false) const;
   };
 
   /// Result of running a logical chain, ascending in every shape: flat
@@ -242,9 +266,11 @@ class Planner {
   /// sizes (known for free at that point), so a selective residual a
   /// scan estimate could not see still gets the right join strategies.
   /// Results are identical to the brute-force reference for every chain
-  /// shape and plan.
+  /// shape and plan. `ctx` (optional) collects per-phase wall-clock and
+  /// turns on per-node operator timing for EXPLAIN ANALYZE.
   Result<ChainResult> Run(const LogicalChain& chain,
-                          PhysicalPlan* plan_out = nullptr) const;
+                          PhysicalPlan* plan_out = nullptr,
+                          obs::ExecContext* ctx = nullptr) const;
 
   // --- Selections ------------------------------------------------------------
 
@@ -337,9 +363,11 @@ class Planner {
   /// joined binder tuples in textual binder-column order, ascending.
   /// `plan_out` receives the executed plan with per-node actual rows. An
   /// empty intermediate short-circuits inside the physical operators.
+  /// `ctx` (optional) turns on per-node operator timing.
   Result<QueryRelation> JoinPipeline(const std::vector<QueryRelation>& inputs,
                                      const std::vector<PipelineHop>& hops,
-                                     PhysicalPlan* plan_out = nullptr) const;
+                                     PhysicalPlan* plan_out = nullptr,
+                                     obs::ExecContext* ctx = nullptr) const;
 
   /// Same, but executes an explicit left-deep hop `order` (for tests and
   /// benches comparing orderings); the result equals every other
@@ -411,17 +439,20 @@ class Planner {
       const std::vector<PipelineHop>& hops);
 
   /// Executes `node` over the materialized binder inputs, recording
-  /// per-node actual rows.
+  /// per-node actual rows (and inclusive wall-clock when `ctx` asks for
+  /// node timing).
   Result<QueryRelation> ExecuteNode(Node* node,
                                     const std::vector<QueryRelation>& inputs,
-                                    const std::vector<PipelineHop>& hops) const;
+                                    const std::vector<PipelineHop>& hops,
+                                    obs::ExecContext* ctx) const;
 
   /// Executes an already-built tree and projects the result back to
   /// textual binder-column order.
   Result<QueryRelation> ExecuteTree(const std::vector<QueryRelation>& inputs,
                                     const std::vector<PipelineHop>& hops,
                                     PhysicalPlan plan,
-                                    PhysicalPlan* plan_out) const;
+                                    PhysicalPlan* plan_out,
+                                    obs::ExecContext* ctx = nullptr) const;
 
   /// Lowers the chain's hops into PipelineHops (binder classes attached).
   static std::vector<PipelineHop> LowerHops(const LogicalChain& chain);

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 #include <cassert>
 
@@ -98,9 +99,18 @@ Result<size_t> BufferPool::GetFreeFrame() {
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
+  // The pool's own hit/miss members stay the per-instance view; the
+  // registry counters aggregate across every pool in the process.
+  static obs::Counter* pool_hits =
+      obs::MetricsRegistry::Global().GetCounter(
+          "storage.bufferpool.hits.total");
+  static obs::Counter* pool_misses =
+      obs::MetricsRegistry::Global().GetCounter(
+          "storage.bufferpool.misses.total");
   auto it = table_.find(id);
   if (it != table_.end()) {
     ++hits_;
+    pool_hits->Increment();
     Frame& f = *frames_[it->second];
     if (f.pin_count == 0 && f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -110,6 +120,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, id, &f.page, &f.dirty);
   }
   ++misses_;
+  pool_misses->Increment();
   SEED_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   Frame& f = *frames_[idx];
   Status s = disk_->ReadPage(id, &f.page);

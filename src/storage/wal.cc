@@ -9,6 +9,7 @@
 
 #include "common/coding.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace seed::storage {
 
@@ -58,6 +59,12 @@ Status Wal::Append(const WalRecord& rec) {
   if (n != static_cast<ssize_t>(bytes.size())) {
     return Status::IoError(Errno("append WAL " + path_));
   }
+  static obs::Counter* appends =
+      obs::MetricsRegistry::Global().GetCounter("storage.wal.appends.total");
+  static obs::Counter* appended_bytes =
+      obs::MetricsRegistry::Global().GetCounter("storage.wal.appended.bytes");
+  appends->Increment();
+  appended_bytes->Increment(bytes.size());
   if (sync_on_append_) return Sync();
   return Status::OK();
 }
@@ -81,6 +88,9 @@ Status Wal::Truncate() {
 Status Wal::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
   if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync WAL " + path_));
+  static obs::Counter* syncs =
+      obs::MetricsRegistry::Global().GetCounter("storage.wal.syncs.total");
+  syncs->Increment();
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "core/item_codec.h"
+#include "obs/metrics.h"
 #include "schema/schema_io.h"
 
 namespace seed::version {
@@ -81,6 +82,9 @@ Status VersionManager::FreezeAs(const VersionId& id) {
   records_[id] = std::move(rec);
   db_->ClearChangeTracking();
   basis_ = id;
+  static obs::Counter* created = obs::MetricsRegistry::Global().GetCounter(
+      "version.versions.created.total");
+  created->Increment();
   return Status::OK();
 }
 
@@ -227,6 +231,9 @@ Status VersionManager::SelectVersion(const VersionId& id) {
   db_->relationship_ids().ReserveThrough(RelationshipId(next_rel - 1));
   db_->ClearChangeTracking();
   basis_ = id;
+  static obs::Counter* restores = obs::MetricsRegistry::Global().GetCounter(
+      "version.restores.total");
+  restores->Increment();
   return Status::OK();
 }
 

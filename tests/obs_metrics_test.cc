@@ -1,0 +1,165 @@
+// Tests for the engine metrics registry (src/obs/metrics.h): histogram
+// bucket boundaries, counter wraparound, concurrent increments, stable
+// instrument pointers, the enabled toggle, and the JSON export schema.
+//
+// All tests share the one process-global registry, so every test uses
+// names under its own "test.<case>." prefix and restores the enabled
+// flag it may have flipped.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace seed::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  // Bucket i (i >= 1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Every bucket's lower bound lands in its own bucket, and one less
+  // lands in the previous bucket.
+  for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    std::uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lo - 1), i - 1) << "bucket " << i;
+  }
+  // Values past the last bucket's range clamp into the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, RecordAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  for (int i = 0; i < 90; ++i) h.Record(64);
+  for (int i = 0; i < 10; ++i) h.Record(4096);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u * 64 + 10u * 4096);
+  // The quantile reports the lower bound of the holding bucket.
+  EXPECT_EQ(h.ApproxQuantile(0.5), 64u);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 4096u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(64)), 0u);
+}
+
+TEST(CounterTest, WrapsAroundAtUint64Max) {
+  Counter c;
+  c.Increment(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<std::uint64_t>::max());
+  // Monotonic counters wrap like any unsigned value; consumers diff
+  // snapshots, so the wraparound must be silent, not saturating.
+  c.Increment(2);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(128);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(128)),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndResetInPlace) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.registry.stable.total");
+  Counter* b = reg.GetCounter("test.registry.stable.total");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_EQ(b->value(), 7u);
+  // Reset zeroes in place; the registered pointer stays valid.
+  reg.Reset();
+  EXPECT_EQ(a->value(), 0u);
+  a->Increment();
+  EXPECT_EQ(reg.FindCounter("test.registry.stable.total")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotRegister) {
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.FindCounter("test.registry.never.created"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("test.registry.never.created"), nullptr);
+  // Get registers; Find then sees it.
+  reg.GetCounter("test.registry.find.total")->Increment();
+  ASSERT_NE(reg.FindCounter("test.registry.find.total"), nullptr);
+  EXPECT_EQ(reg.FindCounter("test.registry.find.total")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, EnabledToggleDropsWrites) {
+  ASSERT_TRUE(MetricsEnabled());
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.registry.toggle.total");
+  Gauge* g = reg.GetGauge("test.registry.toggle.level");
+  Histogram* h = reg.GetHistogram("test.registry.toggle.ns");
+  c->Increment();
+  SetMetricsEnabled(false);
+  c->Increment(100);
+  g->Add(5);
+  h->Record(42);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(c->value(), 1u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(MetricsRegistryTest, ToJsonStableSchema) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.events.total")->Increment(3);
+  reg.GetGauge("test.json.sessions.connected")->Set(2);
+  reg.GetHistogram("test.json.latency.ns")->Record(100);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.events.total\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test.json.sessions.connected\": 2"),
+            std::string::npos)
+      << json;
+  // Histogram entries carry count/sum/quantiles and non-empty buckets.
+  EXPECT_NE(json.find("\"test.json.latency.ns\": {\"count\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsTest, FormatNanos) {
+  EXPECT_EQ(FormatNanos(850), "850ns");
+  EXPECT_EQ(FormatNanos(1234000), "1.23ms");
+  EXPECT_EQ(FormatNanos(2100000000), "2.10s");
+}
+
+}  // namespace
+}  // namespace seed::obs
