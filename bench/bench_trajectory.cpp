@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "exec/exec_policy.h"
 #include "multiuser/client.h"
 #include "multiuser/server.h"
 #include "obs/metrics.h"
@@ -52,7 +53,7 @@ using seed::version::VersionId;
 using seed::version::VersionManager;
 
 constexpr int kSchemaVersion = 1;
-constexpr int kPr = 6;
+constexpr int kPr = 7;
 
 [[noreturn]] void Die(const std::string& what, const seed::Status& s) {
   std::fprintf(stderr, "bench_trajectory: %s: %s\n", what.c_str(),
@@ -76,6 +77,9 @@ struct ScenarioResult {
   std::uint64_t ops = 0;
   std::uint64_t elapsed_ns = 0;
   std::uint64_t rows_visited = 0;
+  /// Extra `"key": value` pairs appended to the scenario's JSON object
+  /// (informational only — the rows-visited gate never reads them).
+  std::string extra_json;
 };
 
 /// Times `fn` (which returns its op count) and attributes the registry's
@@ -249,6 +253,56 @@ std::uint64_t JoinChain5Hop(int scale) {
   return kReps;
 }
 
+/// The skewed chain at 100x scale (~100k relationships at the default
+/// scale) executed at 1 and at 8 execution threads. Rows visited MUST
+/// be identical — parallelism partitions the work, it never changes the
+/// plan or the operators' semantics — and that sum is what the baseline
+/// gate tracks. The wall-clock speedup is recorded in the JSON (and on
+/// stderr) but deliberately not gated: CI machines differ in core
+/// count, and a single-core runner legitimately reports ~1x.
+std::uint64_t ParallelJoinSkewed(int scale, std::string* extra_json) {
+  auto world = seed::bench::BuildSkewedChain(scale * 100);
+  auto run_at = [&](int threads, std::uint64_t* rows_out) -> std::uint64_t {
+    Planner planner(world.db.get());
+    seed::exec::ExecPolicy policy = planner.exec_policy();
+    policy.threads = threads;
+    planner.set_exec_policy(policy);
+    std::uint64_t rows_before = RowsVisitedCounter();
+    std::uint64_t t0 = seed::obs::NowNanos();
+    auto r = planner.JoinPipeline(world.inputs, world.hops);
+    std::uint64_t dt = seed::obs::NowNanos() - t0;
+    if (!r.ok()) Die("JoinPipeline", r.status());
+    if (rows_out != nullptr) *rows_out = RowsVisitedCounter() - rows_before;
+    return dt;
+  };
+  (void)run_at(1, nullptr);  // warm-up (allocator, adjacency, page cache)
+  std::uint64_t rows_serial = 0, rows_parallel = 0;
+  std::uint64_t ns_serial = run_at(1, &rows_serial);
+  std::uint64_t ns_parallel = run_at(8, &rows_parallel);
+  if (rows_serial != rows_parallel) {
+    std::fprintf(stderr,
+                 "bench_trajectory: parallel_join_skewed visited %" PRIu64
+                 " rows at 8 threads vs %" PRIu64 " at 1 — parallel "
+                 "execution changed the work\n",
+                 rows_parallel, rows_serial);
+    std::exit(1);
+  }
+  double speedup = ns_parallel == 0
+                       ? 0.0
+                       : static_cast<double>(ns_serial) /
+                             static_cast<double>(ns_parallel);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"speedup_8t_vs_1t\": %.2f, \"serial_ms\": %.3f, "
+                "\"parallel_ms\": %.3f",
+                speedup, static_cast<double>(ns_serial) / 1e6,
+                static_cast<double>(ns_parallel) / 1e6);
+  *extra_json = buf;
+  std::fprintf(stderr, "  %-28s 8-thread speedup %.2fx\n",
+               "parallel_join_skewed", speedup);
+  return 2;
+}
+
 // --- Baseline comparison ---------------------------------------------------
 
 /// Pulls an integer field "key": N out of a JSON blob we wrote ourselves
@@ -305,8 +359,9 @@ void WriteTrajectory(FILE* out, int scale,
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"ops\": %" PRIu64
                  ", \"elapsed_ms\": %.3f, \"throughput_ops_per_s\": %.0f, "
-                 "\"rows_visited\": %" PRIu64 "}%s\n",
+                 "\"rows_visited\": %" PRIu64 "%s%s}%s\n",
                  r.name.c_str(), r.ops, ms, throughput, r.rows_visited,
+                 r.extra_json.empty() ? "" : ", ", r.extra_json.c_str(),
                  i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -419,6 +474,11 @@ int main(int argc, char** argv) {
   }));
   results.push_back(
       RunScenario("join_chain_5hop", [&] { return JoinChain5Hop(scale); }));
+  std::string parallel_extra;
+  results.push_back(RunScenario("parallel_join_skewed", [&] {
+    return ParallelJoinSkewed(scale, &parallel_extra);
+  }));
+  results.back().extra_json = parallel_extra;
 
   FILE* out = stdout;
   if (!out_path.empty()) {

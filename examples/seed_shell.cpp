@@ -25,6 +25,7 @@
 // indexes, save <dir>, load <dir>, stats, dot [schema], quit.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -34,6 +35,7 @@
 #include "core/persistence.h"
 #include "core/printer.h"
 #include "core/stats.h"
+#include "exec/exec_policy.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "spades/spec_schema.h"
@@ -173,8 +175,8 @@ class Shell {
           "delete <path>\nrename <path> <new> | check [path] | audit | "
           "version [id] | versions\nselect <id> | history <path> | "
           "index [rel] <Class|Assoc> [role] | unindex likewise\nindexes | "
-          "save <dir> | load <dir> | stats | metrics | dot [schema] | "
-          "quit\n");
+          "save <dir> | load <dir> | stats | metrics | threads [n] | "
+          "dot [schema] | quit\n");
       return true;
     }
     if (cmd == "find" || (cmd == "explain" && tokens.size() >= 2)) {
@@ -354,6 +356,22 @@ class Shell {
     if (cmd == "metrics") {
       std::printf("%s\n",
                   seed::obs::MetricsRegistry::Global().ToJson().c_str());
+      return true;
+    }
+    if (cmd == "threads") {
+      // Execution parallelism knob: `threads` shows the current default
+      // (SEED_EXEC_THREADS or hardware concurrency), `threads <n>` sets
+      // it for queries planned from here on; 1 restores the exact
+      // sequential engine.
+      if (tokens.size() >= 2) {
+        int n = std::atoi(tokens[1].c_str());
+        if (n < 1) {
+          std::printf("usage: threads [n>=1]\n");
+          return true;
+        }
+        seed::exec::SetDefaultThreads(n);
+      }
+      std::printf("execution threads: %d\n", seed::exec::DefaultThreads());
       return true;
     }
     if (cmd == "dot") {

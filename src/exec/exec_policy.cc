@@ -1,0 +1,56 @@
+#include "exec/exec_policy.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace seed::exec {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int Clamp(long v) {
+  if (v < 1) return 1;
+  if (v > kMaxThreads) return kMaxThreads;
+  return static_cast<int>(v);
+}
+
+int ResolveFromEnvironment() {
+  if (const char* env = std::getenv("SEED_EXEC_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return Clamp(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : Clamp(static_cast<long>(hw));
+}
+
+/// 0 = not yet resolved.
+std::atomic<int> g_default_threads{0};
+
+}  // namespace
+
+int DefaultThreads() {
+  int v = g_default_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    int resolved = ResolveFromEnvironment();
+    // First resolver wins; a concurrent SetDefaultThreads wins over us.
+    g_default_threads.compare_exchange_strong(v, resolved,
+                                              std::memory_order_relaxed);
+    v = g_default_threads.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetDefaultThreads(int threads) {
+  g_default_threads.store(Clamp(threads), std::memory_order_relaxed);
+}
+
+ExecPolicy ExecPolicy::Default() {
+  ExecPolicy policy;
+  policy.threads = DefaultThreads();
+  return policy;
+}
+
+}  // namespace seed::exec

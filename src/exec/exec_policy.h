@@ -1,0 +1,60 @@
+// The execution policy: how much parallelism a query execution may use,
+// and the thresholds deciding when an operator's input is big enough to
+// be worth splitting into morsels.
+//
+// One process-wide default thread count is resolved once from
+// SEED_EXEC_THREADS (falling back to std::thread::hardware_concurrency)
+// and can be changed at runtime (the shell's `threads` command). Every
+// Planner/Algebra instance snapshots ExecPolicy::Default() at
+// construction, so a query sees one consistent policy for its lifetime.
+//
+// The contract the thresholds protect: `threads == 1` is byte-for-byte
+// the pre-parallel engine — no pool, no task, no partitioned operator —
+// and inputs below `min_parallel_rows` take that same sequential path
+// even at threads = 8, so small queries never pay coordination costs.
+
+#ifndef SEED_EXEC_EXEC_POLICY_H_
+#define SEED_EXEC_EXEC_POLICY_H_
+
+#include <cstddef>
+
+namespace seed::exec {
+
+/// The process-wide default worker count: SEED_EXEC_THREADS when set to
+/// a positive integer, else hardware concurrency, clamped to [1, 256].
+/// Resolved once on first call; SetDefaultThreads overrides it after.
+int DefaultThreads();
+
+/// Overrides the default (the shell's `threads <n>` knob); clamped to
+/// [1, 256]. Takes effect for policies snapshotted after the call.
+void SetDefaultThreads(int threads);
+
+struct ExecPolicy {
+  /// Lanes an execution may use, the calling thread included. 1 disables
+  /// every parallel path exactly.
+  int threads = 1;
+  /// Inputs below this many rows always run the sequential code path,
+  /// whatever `threads` says.
+  std::size_t min_parallel_rows = 4096;
+  /// Rows per morsel when an operator's input is partitioned. Workers
+  /// claim morsels dynamically, so a slow morsel never stalls the rest.
+  std::size_t morsel_rows = 1024;
+  /// A plan subtree is executed as a concurrent task only when both
+  /// subtrees' modeled cost (row-visit units, see query/stats.h) reaches
+  /// this floor — the DP's own estimates decide what is worth a task.
+  double min_parallel_cost = 16384.0;
+
+  /// The policy with the process-wide default thread count.
+  static ExecPolicy Default();
+
+  bool parallel() const { return threads > 1; }
+
+  /// True when an operator over `rows` input rows should partition.
+  bool ShouldPartition(std::size_t rows) const {
+    return threads > 1 && rows >= min_parallel_rows;
+  }
+};
+
+}  // namespace seed::exec
+
+#endif  // SEED_EXEC_EXEC_POLICY_H_

@@ -1,0 +1,119 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+
+namespace seed::exec {
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int WorkerPool::workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void WorkerPool::Submit(TaskGroup* group, std::function<void()> fn) {
+  group->pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back({group, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::FinishTask(TaskGroup* group) {
+  // Release so the Await-er's acquire load observes everything the task
+  // wrote. After the decrement `group` may already be destroyed (the
+  // Await-er saw 0 and returned) — only pool members are touched below.
+  if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+}
+
+void WorkerPool::RunOneQueued(std::unique_lock<std::mutex>& lk) {
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lk.unlock();
+  task.fn();
+  FinishTask(task.group);
+  lk.lock();
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    RunOneQueued(lk);
+  }
+}
+
+void WorkerPool::Await(TaskGroup* group) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (group->pending_.load(std::memory_order_acquire) == 0) return;
+    if (!queue_.empty()) {
+      // Help: run queued work (any group's) instead of sleeping — this
+      // is what makes nested Submit/Await deadlock-free.
+      RunOneQueued(lk);
+      continue;
+    }
+    cv_.wait(lk, [&, this] {
+      return group->pending_.load(std::memory_order_acquire) == 0 ||
+             !queue_.empty();
+    });
+  }
+}
+
+void WorkerPool::ParallelFor(
+    int lanes, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (lanes < 2 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  // Helpers beyond the morsel count would never claim one.
+  const std::size_t morsels = (n + grain - 1) / grain;
+  const int helpers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(lanes - 1), morsels - 1));
+  EnsureWorkers(helpers);
+
+  std::atomic<std::size_t> cursor{0};
+  auto drain = [&cursor, &fn, n, grain] {
+    for (;;) {
+      std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      fn(begin, std::min(begin + grain, n));
+    }
+  };
+  TaskGroup group;
+  for (int i = 0; i < helpers; ++i) Submit(&group, drain);
+  drain();
+  Await(&group);
+}
+
+}  // namespace seed::exec

@@ -1,0 +1,106 @@
+// A fixed worker pool for morsel-driven query execution.
+//
+// Design (a la HyPer's morsel-driven parallelism): operators split large
+// inputs into morsels — contiguous spans of rows — that workers claim
+// from a shared cursor, so load balances dynamically without any
+// per-morsel queueing; independent plan subtrees run as coarse tasks on
+// the same pool. The submitting thread is always lane 0: Await() *helps*
+// (it executes queued tasks while it waits), so nested parallelism —
+// a subtree task whose joins themselves partition into morsels — can
+// never deadlock the pool, whatever its size.
+//
+// Threading contract:
+//  * tasks must not block on anything but this pool (they may Submit and
+//    Await recursively);
+//  * everything a task wrote is visible to the thread that Await()ed its
+//    group (release/acquire on the group's pending count);
+//  * the pool is grow-only: EnsureWorkers never shrinks, and worker
+//    threads live until process exit. Parallelism *degree* is bounded by
+//    the submitter (ExecPolicy::threads limits the lanes each operator
+//    uses), not by the pool size.
+
+#ifndef SEED_EXEC_WORKER_POOL_H_
+#define SEED_EXEC_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seed::exec {
+
+class WorkerPool;
+
+/// Tracks a set of submitted tasks so the submitter can Await them.
+/// Stack-allocate one per fan-out; must outlive the Await call.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class WorkerPool;
+  std::atomic<int> pending_{0};
+};
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-global pool every query execution shares.
+  static WorkerPool& Global();
+
+  /// Grows the pool to at least `n` worker threads (never shrinks).
+  void EnsureWorkers(int n);
+  int workers() const;
+
+  /// Enqueues `fn` under `group`. The task may run on any worker or on a
+  /// thread helping inside Await.
+  void Submit(TaskGroup* group, std::function<void()> fn);
+
+  /// Blocks until every task submitted under `group` has finished,
+  /// executing queued tasks (of any group) while it waits.
+  void Await(TaskGroup* group);
+
+  /// Runs fn(begin, end) over [0, n) split into morsels of `grain` rows,
+  /// using up to `lanes` threads (the caller included). Workers claim
+  /// morsels from a shared cursor — dynamic scheduling, so skewed morsel
+  /// costs balance out. Returns when every morsel is done. With lanes < 2
+  /// or n <= grain this is exactly fn(0, n) on the calling thread.
+  ///
+  /// Morsel boundaries are deterministic (begin is always a multiple of
+  /// `grain`), so callers needing ordered output can write each morsel's
+  /// result into slot begin/grain and concatenate.
+  void ParallelFor(int lanes, std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+  /// Pops and runs one queued task; `lk` must hold mu_ and is released
+  /// while the task runs, then reacquired.
+  void RunOneQueued(std::unique_lock<std::mutex>& lk);
+  void FinishTask(TaskGroup* group);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace seed::exec
+
+#endif  // SEED_EXEC_WORKER_POOL_H_

@@ -147,31 +147,47 @@ std::vector<RelationshipId> AttributeIndex::RangeRels(
 double AttributeIndex::EstimateRange(const core::Value& lo, bool lo_inclusive,
                                      const core::Value& hi, bool hi_inclusive,
                                      size_t probe_limit) const {
-  if (probe_limit == 0) return static_cast<double>(num_entries_);
-  size_t counted = 0;
-  size_t keys_seen = 0;
+  {
+    // A backwards or degenerate range holds nothing, whatever the index
+    // holds (and guards the iterator walk below: `end_it` must not
+    // precede `it`).
+    int c = lo.Compare(hi);
+    if (c > 0 || (c == 0 && !(lo_inclusive && hi_inclusive))) return 0.0;
+  }
   auto it = lo_inclusive ? ordered_.lower_bound(lo)
                          : ordered_.upper_bound(lo);
-  for (; it != ordered_.end(); ++it) {
-    int c = it->first.Compare(hi);
-    if (c > 0 || (c == 0 && !hi_inclusive)) return counted;
-    if (keys_seen == probe_limit) {
-      // Pro-rate by the keys not yet visited anywhere in the index: an
-      // upper bound on what remains inside the range, erring toward
-      // "wide range, poor index" — the safe direction.
-      size_t remaining = num_distinct_keys() - keys_seen;
-      double per_key = static_cast<double>(counted) /
-                       static_cast<double>(keys_seen);
-      double est = static_cast<double>(counted) +
-                   per_key * static_cast<double>(remaining);
-      return est > static_cast<double>(num_entries_)
-                 ? static_cast<double>(num_entries_)
-                 : est;
-    }
+  const auto end_it = hi_inclusive ? ordered_.upper_bound(hi)
+                                   : ordered_.lower_bound(hi);
+  if (probe_limit == 0) {
+    // No probing budget: the only free fact is empty vs non-empty.
+    return it == end_it ? 0.0 : static_cast<double>(num_entries_);
+  }
+  size_t counted = 0;
+  size_t keys_seen = 0;
+  for (; it != end_it && keys_seen < probe_limit; ++it) {
     counted += it->second.size();
     ++keys_seen;
   }
-  return counted;
+  if (it == end_it) return static_cast<double>(counted);
+  // Budget exhausted with keys still inside the range. Walk up to
+  // probe_limit more of them (counting keys, not postings) so any range
+  // spanning at most 2 x probe_limit keys still pro-rates over its
+  // *actual* key population; only past that do we fall back to "all
+  // keys the index could still hold inside [lo, hi]". Either way keys
+  // outside the range never inflate the estimate.
+  size_t keys_ahead = 0;
+  auto probe = it;
+  for (; probe != end_it && keys_ahead < probe_limit; ++probe) ++keys_ahead;
+  const size_t remaining = probe == end_it
+                               ? keys_ahead
+                               : num_distinct_keys() - keys_seen;
+  const double per_key =
+      static_cast<double>(counted) / static_cast<double>(keys_seen);
+  const double est = static_cast<double>(counted) +
+                     per_key * static_cast<double>(remaining);
+  return est > static_cast<double>(num_entries_)
+             ? static_cast<double>(num_entries_)
+             : est;
 }
 
 void AttributeIndex::ForEach(

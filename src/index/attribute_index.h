@@ -114,11 +114,16 @@ class AttributeIndex {
 
   /// Estimated number of entries with a key in the range. Walks the
   /// ordered postings counting exactly until `probe_limit` distinct keys
-  /// have been visited; beyond the cap it assumes the counted prefix is
-  /// representative and pro-rates by the remaining distinct keys (the
-  /// ordered map cannot say how many keys remain in O(1), so the bound
-  /// used is all remaining keys of the index — an overestimate that keeps
-  /// wide ranges expensive, which is the safe direction for planning).
+  /// have been visited; past the cap it walks up to `probe_limit` more
+  /// keys toward the range's end — so any range spanning at most
+  /// 2 x probe_limit keys is counted exactly — and only then pro-rates
+  /// the counted density over the keys that could still lie inside
+  /// [lo, hi] (bounded by the remaining keys of the index, clamped to
+  /// the total entry count). Keys below lo or beyond hi never inflate
+  /// the estimate: a wide-but-empty range over a populated index
+  /// estimates 0, not ~num_entries. probe_limit == 0 skips the walk
+  /// entirely and answers num_entries for non-empty ranges, 0 for
+  /// provably empty ones.
   double EstimateRange(const core::Value& lo, bool lo_inclusive,
                        const core::Value& hi, bool hi_inclusive,
                        size_t probe_limit = 64) const;

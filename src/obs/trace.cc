@@ -31,7 +31,7 @@ const char* QueryPhaseName(QueryPhase phase) {
 }
 
 void ExecContext::AddPhase(QueryPhase phase, std::uint64_t ns) {
-  phase_ns[static_cast<int>(phase)] += ns;
+  phase_ns[static_cast<int>(phase)].fetch_add(ns, std::memory_order_relaxed);
 }
 
 std::string ExecContext::PhaseSummary(bool mask_times) const {
@@ -40,7 +40,9 @@ std::string ExecContext::PhaseSummary(bool mask_times) const {
     if (!s.empty()) s += ", ";
     s += QueryPhaseName(static_cast<QueryPhase>(i));
     s += " ";
-    s += mask_times ? "<t>" : FormatNanos(phase_ns[i]);
+    s += mask_times
+             ? "<t>"
+             : FormatNanos(phase_ns[i].load(std::memory_order_relaxed));
   }
   return s;
 }

@@ -12,6 +12,7 @@
 #ifndef SEED_OBS_TRACE_H_
 #define SEED_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -32,12 +33,31 @@ const char* QueryPhaseName(QueryPhase phase);
 
 /// The per-query trace sink. Created by an EXPLAIN ANALYZE entry point
 /// (or any caller wanting phase timings) and threaded through the stack.
+///
+/// Threading: phase totals are atomic, so concurrent plan-subtree tasks
+/// may AddPhase into one shared context without tearing — relaxed adds
+/// commute, so the totals stay exact. Per-node stamps in the plan tree
+/// are not in here: each node is written only by the one task executing
+/// its subtree, published at the worker pool's Await barrier. Copying a
+/// context (it travels inside QueryTrace) snapshots the totals and is
+/// only done after execution has quiesced.
 struct ExecContext {
   /// When true, plan execution also stamps per-node wall-clock into the
   /// PhysicalPlan tree (Planner::ExecuteNode).
   bool time_nodes = true;
 
-  std::uint64_t phase_ns[kNumQueryPhases] = {0, 0, 0, 0};
+  std::atomic<std::uint64_t> phase_ns[kNumQueryPhases] = {};
+
+  ExecContext() = default;
+  ExecContext(const ExecContext& other) { *this = other; }
+  ExecContext& operator=(const ExecContext& other) {
+    time_nodes = other.time_nodes;
+    for (int i = 0; i < kNumQueryPhases; ++i) {
+      phase_ns[i].store(other.phase_ns[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   void AddPhase(QueryPhase phase, std::uint64_t ns);
 

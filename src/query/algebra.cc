@@ -1,9 +1,12 @@
 #include "query/algebra.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <iterator>
 #include <unordered_map>
+#include <utility>
 
+#include "exec/worker_pool.h"
 #include "obs/metrics.h"
 
 namespace seed::query {
@@ -15,8 +18,89 @@ int QueryRelation::AttrIndex(std::string_view name) const {
   return -1;
 }
 
-void Algebra::Dedup(QueryRelation* rel) {
-  std::sort(rel->tuples.begin(), rel->tuples.end());
+namespace {
+
+using Tuples = std::vector<std::vector<ObjectId>>;
+
+/// Runs `emit_range(begin, end, sink)` over [0, n): sequentially into
+/// `out` when the policy keeps this input sequential, otherwise as
+/// morsels on the shared worker pool with one sink per morsel,
+/// concatenated in morsel order afterwards — so the emission order is
+/// exactly what the sequential pass would have produced, whatever the
+/// scheduling. `emit_range` must only read shared state and write its
+/// own sink.
+template <typename EmitRange>
+void PartitionedEmit(const exec::ExecPolicy& policy, std::size_t n,
+                     Tuples* out, const EmitRange& emit_range) {
+  if (!policy.ShouldPartition(n)) {
+    emit_range(std::size_t{0}, n, out);
+    return;
+  }
+  const std::size_t grain = policy.morsel_rows;
+  std::vector<Tuples> slots((n + grain - 1) / grain);
+  exec::WorkerPool::Global().ParallelFor(
+      policy.threads, n, grain, [&](std::size_t begin, std::size_t end) {
+        emit_range(begin, end, &slots[begin / grain]);
+      });
+  std::size_t total = out->size();
+  for (const Tuples& slot : slots) total += slot.size();
+  out->reserve(total);
+  for (Tuples& slot : slots) {
+    for (auto& tuple : slot) out->push_back(std::move(tuple));
+  }
+}
+
+/// Sorts tuples, with up to policy.threads lanes when the input clears
+/// the partition threshold: equal-width chunks sorted as pool tasks,
+/// then merged level by level (merges within a level are disjoint and
+/// run concurrently). Duplicate tuples compare equal *and* are
+/// identical, so the result array is bit-identical to a single
+/// std::sort regardless of chunking.
+void SortTuples(const exec::ExecPolicy& policy, Tuples* tuples) {
+  const std::size_t n = tuples->size();
+  const std::size_t chunks =
+      policy.ShouldPartition(n)
+          ? std::min(static_cast<std::size_t>(policy.threads),
+                     std::max<std::size_t>(1, n / policy.morsel_rows))
+          : 1;
+  if (chunks < 2) {
+    std::sort(tuples->begin(), tuples->end());
+    return;
+  }
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  exec::WorkerPool& pool = exec::WorkerPool::Global();
+  pool.EnsureWorkers(policy.threads - 1);
+  {
+    exec::TaskGroup group;
+    for (std::size_t c = 1; c < chunks; ++c) {
+      pool.Submit(&group, [tuples, &bounds, c] {
+        std::sort(tuples->begin() + bounds[c],
+                  tuples->begin() + bounds[c + 1]);
+      });
+    }
+    std::sort(tuples->begin(), tuples->begin() + bounds[1]);
+    pool.Await(&group);
+  }
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+    exec::TaskGroup group;
+    for (std::size_t c = 0; c + width < chunks; c += 2 * width) {
+      const std::size_t lo = bounds[c];
+      const std::size_t mid = bounds[c + width];
+      const std::size_t hi = bounds[std::min(c + 2 * width, chunks)];
+      pool.Submit(&group, [tuples, lo, mid, hi] {
+        std::inplace_merge(tuples->begin() + lo, tuples->begin() + mid,
+                           tuples->begin() + hi);
+      });
+    }
+    pool.Await(&group);
+  }
+}
+
+}  // namespace
+
+void Algebra::Dedup(QueryRelation* rel) const {
+  SortTuples(policy_, &rel->tuples);
   rel->tuples.erase(std::unique(rel->tuples.begin(), rel->tuples.end()),
                     rel->tuples.end());
 }
@@ -160,11 +244,11 @@ Result<QueryRelation> Algebra::RelationshipJoin(
 
   const int left_role = options.left_role;
   const int right_role = 1 - left_role;
-  auto emit = [&](const std::vector<ObjectId>& ta,
-                  const std::vector<ObjectId>& tb) {
+  auto concat = [](const std::vector<ObjectId>& ta,
+                   const std::vector<ObjectId>& tb) {
     std::vector<ObjectId> tuple = ta;
     tuple.insert(tuple.end(), tb.begin(), tb.end());
-    out.tuples.push_back(std::move(tuple));
+    return tuple;
   };
 
   if (options.method == JoinOptions::Method::kIndexNestedLoop) {
@@ -172,31 +256,47 @@ Result<QueryRelation> Algebra::RelationshipJoin(
         obs::MetricsRegistry::Global().GetCounter("algebra.join.inl.total");
     inl_joins->Increment();
     // Drive from one side, probe the per-object relationship map; the
-    // association extent is never materialized.
+    // association extent is never materialized. The driving side is
+    // morsel-partitioned (probes only read the database and the built
+    // tuple index).
     if (options.build_side == JoinOptions::Side::kLeft) {
       TupleIndex right_index = HashTuples(b, ib);
-      for (const auto& ta : a.tuples) {
-        for (RelationshipId rid :
-             db_->RelationshipsOf(ta[ia], assoc, left_role)) {
-          auto rel = db_->GetRelationship(rid);
-          if (!rel.ok()) continue;
-          auto matches = right_index.find((*rel)->ends[right_role]);
-          if (matches == right_index.end()) continue;
-          for (const auto* tb : matches->second) emit(ta, *tb);
-        }
-      }
+      PartitionedEmit(
+          policy_, a.size(), &out.tuples,
+          [&](std::size_t begin, std::size_t end, Tuples* sink) {
+            for (std::size_t t = begin; t < end; ++t) {
+              const auto& ta = a.tuples[t];
+              for (RelationshipId rid :
+                   db_->RelationshipsOf(ta[ia], assoc, left_role)) {
+                auto rel = db_->GetRelationship(rid);
+                if (!rel.ok()) continue;
+                auto matches = right_index.find((*rel)->ends[right_role]);
+                if (matches == right_index.end()) continue;
+                for (const auto* tb : matches->second) {
+                  sink->push_back(concat(ta, *tb));
+                }
+              }
+            }
+          });
     } else {
       TupleIndex left_index = HashTuples(a, ia);
-      for (const auto& tb : b.tuples) {
-        for (RelationshipId rid :
-             db_->RelationshipsOf(tb[ib], assoc, right_role)) {
-          auto rel = db_->GetRelationship(rid);
-          if (!rel.ok()) continue;
-          auto matches = left_index.find((*rel)->ends[left_role]);
-          if (matches == left_index.end()) continue;
-          for (const auto* ta : matches->second) emit(*ta, tb);
-        }
-      }
+      PartitionedEmit(
+          policy_, b.size(), &out.tuples,
+          [&](std::size_t begin, std::size_t end, Tuples* sink) {
+            for (std::size_t t = begin; t < end; ++t) {
+              const auto& tb = b.tuples[t];
+              for (RelationshipId rid :
+                   db_->RelationshipsOf(tb[ib], assoc, right_role)) {
+                auto rel = db_->GetRelationship(rid);
+                if (!rel.ok()) continue;
+                auto matches = left_index.find((*rel)->ends[left_role]);
+                if (matches == left_index.end()) continue;
+                for (const auto* ta : matches->second) {
+                  sink->push_back(concat(*ta, tb));
+                }
+              }
+            }
+          });
     }
     Dedup(&out);
     return out;
@@ -208,40 +308,83 @@ Result<QueryRelation> Algebra::RelationshipJoin(
       obs::MetricsRegistry::Global().GetCounter("algebra.join.hash.total");
   hash_joins->Increment();
   const bool build_left = options.build_side == JoinOptions::Side::kLeft;
-  std::unordered_map<ObjectId, std::vector<ObjectId>> partners_of;
-  for (RelationshipId rid : db_->RelationshipsOfAssociation(assoc, true)) {
-    auto rel = db_->GetRelationship(rid);
-    if (!rel.ok()) continue;
-    if (build_left) {
-      partners_of[(*rel)->ends[right_role]].push_back(
-          (*rel)->ends[left_role]);
-    } else {
-      partners_of[(*rel)->ends[left_role]].push_back(
-          (*rel)->ends[right_role]);
+  const int key_role = build_left ? right_role : left_role;
+  const int val_role = 1 - key_role;
+  using Adjacency = std::unordered_map<ObjectId, std::vector<ObjectId>>;
+  Adjacency partners_of;
+  const std::vector<RelationshipId> rels =
+      db_->RelationshipsOfAssociation(assoc, true);
+  auto build_range = [&](std::size_t begin, std::size_t end,
+                         Adjacency* table) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto rel = db_->GetRelationship(rels[i]);
+      if (!rel.ok()) continue;
+      (*table)[(*rel)->ends[key_role]].push_back((*rel)->ends[val_role]);
     }
-  }
-  if (build_left) {
-    TupleIndex left_index = HashTuples(a, ia);
-    for (const auto& tb : b.tuples) {
-      auto partners = partners_of.find(tb[ib]);
-      if (partners == partners_of.end()) continue;
-      for (ObjectId partner : partners->second) {
-        auto matches = left_index.find(partner);
-        if (matches == left_index.end()) continue;
-        for (const auto* ta : matches->second) emit(*ta, tb);
+  };
+  if (policy_.ShouldPartition(rels.size())) {
+    // Partitioned build: one partial table per lane-sized chunk, merged
+    // in chunk order — each key's partner list comes out in adjacency
+    // order, exactly as the serial single-pass build produces it.
+    const std::size_t grain =
+        (rels.size() + static_cast<std::size_t>(policy_.threads) - 1) /
+        static_cast<std::size_t>(policy_.threads);
+    std::vector<Adjacency> parts((rels.size() + grain - 1) / grain);
+    exec::WorkerPool::Global().ParallelFor(
+        policy_.threads, rels.size(), grain,
+        [&](std::size_t begin, std::size_t end) {
+          build_range(begin, end, &parts[begin / grain]);
+        });
+    std::size_t keys = 0;
+    for (const Adjacency& part : parts) keys += part.size();
+    partners_of.reserve(keys);
+    for (Adjacency& part : parts) {
+      for (auto& [key, vals] : part) {
+        auto& dst = partners_of[key];
+        if (dst.empty()) {
+          dst = std::move(vals);
+        } else {
+          dst.insert(dst.end(), vals.begin(), vals.end());
+        }
       }
     }
   } else {
+    build_range(0, rels.size(), &partners_of);
+  }
+  if (build_left) {
+    TupleIndex left_index = HashTuples(a, ia);
+    PartitionedEmit(policy_, b.size(), &out.tuples,
+                    [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                      for (std::size_t t = begin; t < end; ++t) {
+                        const auto& tb = b.tuples[t];
+                        auto partners = partners_of.find(tb[ib]);
+                        if (partners == partners_of.end()) continue;
+                        for (ObjectId partner : partners->second) {
+                          auto matches = left_index.find(partner);
+                          if (matches == left_index.end()) continue;
+                          for (const auto* ta : matches->second) {
+                            sink->push_back(concat(*ta, tb));
+                          }
+                        }
+                      }
+                    });
+  } else {
     TupleIndex right_index = HashTuples(b, ib);
-    for (const auto& ta : a.tuples) {
-      auto partners = partners_of.find(ta[ia]);
-      if (partners == partners_of.end()) continue;
-      for (ObjectId partner : partners->second) {
-        auto matches = right_index.find(partner);
-        if (matches == right_index.end()) continue;
-        for (const auto* tb : matches->second) emit(ta, *tb);
-      }
-    }
+    PartitionedEmit(policy_, a.size(), &out.tuples,
+                    [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                      for (std::size_t t = begin; t < end; ++t) {
+                        const auto& ta = a.tuples[t];
+                        auto partners = partners_of.find(ta[ia]);
+                        if (partners == partners_of.end()) continue;
+                        for (ObjectId partner : partners->second) {
+                          auto matches = right_index.find(partner);
+                          if (matches == right_index.end()) continue;
+                          for (const auto* tb : matches->second) {
+                            sink->push_back(concat(ta, *tb));
+                          }
+                        }
+                      }
+                    });
   }
   Dedup(&out);
   return out;
@@ -281,26 +424,28 @@ Result<QueryRelation> Algebra::TupleJoin(const QueryRelation& a,
   const int build_attr = build_left ? ia : ib;
   const int probe_attr = build_left ? ib : ia;
   TupleIndex built = HashTuples(build, build_attr);
-  auto emit = [&](const std::vector<ObjectId>& ta,
-                  const std::vector<ObjectId>& tb) {
+  auto concat = [&](const std::vector<ObjectId>& ta,
+                    const std::vector<ObjectId>& tb) {
     std::vector<ObjectId> tuple = ta;
     tuple.reserve(out.attributes.size());
     for (size_t j = 0; j < tb.size(); ++j) {
       if (static_cast<int>(j) != ib) tuple.push_back(tb[j]);
     }
-    out.tuples.push_back(std::move(tuple));
+    return tuple;
   };
-  for (const auto& tp : probe.tuples) {
-    auto matches = built.find(tp[probe_attr]);
-    if (matches == built.end()) continue;
-    for (const auto* tb : matches->second) {
-      if (build_left) {
-        emit(*tb, tp);
-      } else {
-        emit(tp, *tb);
-      }
-    }
-  }
+  // The probe side is morsel-partitioned; `built` is read-only here.
+  PartitionedEmit(policy_, probe.size(), &out.tuples,
+                  [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                    for (std::size_t t = begin; t < end; ++t) {
+                      const auto& tp = probe.tuples[t];
+                      auto matches = built.find(tp[probe_attr]);
+                      if (matches == built.end()) continue;
+                      for (const auto* tb : matches->second) {
+                        sink->push_back(build_left ? concat(*tb, tp)
+                                                   : concat(tp, *tb));
+                      }
+                    }
+                  });
   Dedup(&out);
   return out;
 }
@@ -320,8 +465,6 @@ Result<QueryRelation> Algebra::Union(const QueryRelation& a,
 }
 
 namespace {
-
-using Tuples = std::vector<std::vector<ObjectId>>;
 
 /// Strictly increasing == sorted with no duplicates — what every
 /// operator emits. Hand-built relations may violate it; normalize those

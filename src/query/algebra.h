@@ -6,6 +6,16 @@
 //
 // The SEED prototype itself only shipped retrieval-by-name; this module is
 // the natural extension the paper's RELATED WORK section points at.
+//
+// Execution is morsel-driven (docs/execution.md): every operator's heavy
+// loop is written over a contiguous span of its input, and when the
+// instance's ExecPolicy allows parallelism and the input clears the
+// partition threshold, those spans become morsels claimed by the shared
+// worker pool — per-morsel outputs are concatenated in morsel order (and
+// joins Dedup anyway), so results are identical to the sequential path
+// at every thread count. At threads == 1 the sequential code runs
+// unchanged. All Database access on these paths is read-only; callers
+// must not mutate the database while a query executes.
 
 #ifndef SEED_QUERY_ALGEBRA_H_
 #define SEED_QUERY_ALGEBRA_H_
@@ -15,6 +25,7 @@
 
 #include "common/result.h"
 #include "core/database.h"
+#include "exec/exec_policy.h"
 #include "query/predicate.h"
 
 namespace seed::query {
@@ -37,7 +48,14 @@ struct QueryRelation {
 
 class Algebra {
  public:
-  explicit Algebra(const core::Database* db) : db_(db) {}
+  explicit Algebra(const core::Database* db)
+      : db_(db), policy_(exec::ExecPolicy::Default()) {}
+
+  /// Replaces the execution policy snapshotted at construction (the
+  /// Planner forwards its own policy so a query sees one consistent
+  /// setting across planning and execution).
+  void set_exec_policy(const exec::ExecPolicy& policy) { policy_ = policy; }
+  const exec::ExecPolicy& exec_policy() const { return policy_; }
 
   /// Unary relation of all live objects of `cls` (specializations
   /// included unless disabled).
@@ -130,9 +148,10 @@ class Algebra {
                                   const QueryRelation& b) const;
 
  private:
-  static void Dedup(QueryRelation* rel);
+  void Dedup(QueryRelation* rel) const;
 
   const core::Database* db_;
+  exec::ExecPolicy policy_;
 };
 
 }  // namespace seed::query

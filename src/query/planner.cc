@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
+#include "exec/worker_pool.h"
 #include "query/stats.h"
 
 namespace seed::query {
@@ -332,6 +335,45 @@ Planner::Plan Planner::PlanSelect(ClassId cls, const Predicate& p,
   return ChooseCheapest(std::move(candidates), extent_rows);
 }
 
+namespace {
+
+/// Filters `ids` by `keep`, preserving order: sequential below the
+/// policy's partition threshold, otherwise morsels on the worker pool
+/// with one output slot per morsel, concatenated in morsel order — the
+/// result is exactly the sequential filter's. `keep` must be a pure
+/// read of the (externally unmutated) database.
+template <typename Id, typename Keep>
+std::vector<Id> FilterIdsPartitioned(const exec::ExecPolicy& policy,
+                                     const std::vector<Id>& ids,
+                                     const Keep& keep) {
+  std::vector<Id> out;
+  if (!policy.ShouldPartition(ids.size())) {
+    for (const Id& id : ids) {
+      if (keep(id)) out.push_back(id);
+    }
+    return out;
+  }
+  const std::size_t grain = policy.morsel_rows;
+  std::vector<std::vector<Id>> slots((ids.size() + grain - 1) / grain);
+  exec::WorkerPool::Global().ParallelFor(
+      policy.threads, ids.size(), grain,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Id>& slot = slots[begin / grain];
+        for (std::size_t i = begin; i < end; ++i) {
+          if (keep(ids[i])) slot.push_back(ids[i]);
+        }
+      });
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  out.reserve(total);
+  for (const auto& slot : slots) {
+    out.insert(out.end(), slot.begin(), slot.end());
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<ObjectId> Planner::ExecuteIndexPlan(
     const Plan& plan, ClassId cls, const Predicate& p,
     bool include_specializations) const {
@@ -340,18 +382,17 @@ std::vector<ObjectId> Planner::ExecuteIndexPlan(
   // Residual: extent membership (the chosen index may cover a broader
   // family than the query) and the full original predicate. Index
   // candidates are few; re-evaluating keeps both paths semantically
-  // identical by construction.
+  // identical by construction. Candidate lists big enough to partition
+  // run as morsels (predicate evaluation only reads the database).
   const schema::Schema& schema = *db_->schema();
-  std::vector<ObjectId> out;
-  for (ObjectId id : candidates) {
+  return FilterIdsPartitioned(policy_, candidates, [&](ObjectId id) {
     auto obj = db_->GetObject(id);
-    if (!obj.ok()) continue;
+    if (!obj.ok()) return false;
     bool in_extent = include_specializations
                          ? schema.IsSameOrSpecializationOf((*obj)->cls, cls)
                          : (*obj)->cls == cls;
-    if (in_extent && p.Eval(*db_, id)) out.push_back(id);
-  }
-  return out;
+    return in_extent && p.Eval(*db_, id);
+  });
 }
 
 namespace {
@@ -377,11 +418,10 @@ std::vector<ObjectId> Planner::SelectIds(ClassId cls, const Predicate& p,
   if (plan.uses_index()) {
     return ExecuteIndexPlan(plan, cls, p, include_specializations);
   }
-  std::vector<ObjectId> out;
-  for (ObjectId id : db_->ObjectsOfClass(cls, include_specializations)) {
-    if (p.Eval(*db_, id)) out.push_back(id);
-  }
-  return out;
+  // Full scan: the extent is morsel-partitioned when large enough.
+  return FilterIdsPartitioned(
+      policy_, db_->ObjectsOfClass(cls, include_specializations),
+      [&](ObjectId id) { return p.Eval(*db_, id); });
 }
 
 Result<QueryRelation> Planner::SelectFromClass(
@@ -946,12 +986,23 @@ Status Planner::ValidatePipelineInputs(
   return Status::OK();
 }
 
+bool Planner::ShouldForkChildren(const Node& node) const {
+  return policy_.parallel() && node.left != nullptr && node.right != nullptr &&
+         node.left->kind != Node::Kind::kInput &&
+         node.right->kind != Node::Kind::kInput &&
+         std::min(node.left->est_cost, node.right->est_cost) >=
+             policy_.min_parallel_cost;
+}
+
 Result<QueryRelation> Planner::ExecuteNode(
     Node* node, const std::vector<QueryRelation>& inputs,
     const std::vector<PipelineHop>& hops, obs::ExecContext* ctx) const {
   // Two steady_clock reads per *node* (never per row) when an
   // EXPLAIN ANALYZE context asked for operator timing; children are
   // timed inside the parent's window, so a node's clock is inclusive.
+  // Under a forked sibling the windows of the two subtrees overlap, but
+  // each node's stamps are written only by the one task executing that
+  // subtree and are published to the parent at the Await barrier.
   const bool timed = ctx != nullptr && ctx->time_nodes;
   const std::uint64_t start = timed ? obs::NowNanos() : 0;
   // Executes a child into `storage` — except input leaves, which read
@@ -966,6 +1017,37 @@ Result<QueryRelation> Planner::ExecuteNode(
     SEED_ASSIGN_OR_RETURN(*storage, ExecuteNode(n, inputs, hops, ctx));
     return storage;
   };
+  using Sides = std::pair<const QueryRelation*, const QueryRelation*>;
+  // Resolves both children. When the policy allows it and the DP's own
+  // cost estimates say both joined subtrees are substantial, the left
+  // subtree executes as a concurrent task on the worker pool while this
+  // thread runs the right — the bushy-plan concurrency the optimizer's
+  // tree shape makes available.
+  auto children = [&](QueryRelation* left_storage,
+                      QueryRelation* right_storage) -> Result<Sides> {
+    if (ShouldForkChildren(*node)) {
+      std::optional<Result<QueryRelation>> left_result;
+      exec::WorkerPool& pool = exec::WorkerPool::Global();
+      pool.EnsureWorkers(policy_.threads - 1);
+      exec::TaskGroup group;
+      pool.Submit(&group, [&] {
+        left_result.emplace(ExecuteNode(node->left.get(), inputs, hops, ctx));
+      });
+      Result<QueryRelation> right_result =
+          ExecuteNode(node->right.get(), inputs, hops, ctx);
+      pool.Await(&group);
+      if (!left_result->ok()) return left_result->status();
+      if (!right_result.ok()) return right_result.status();
+      *left_storage = std::move(**left_result);
+      *right_storage = std::move(right_result).value();
+      return Sides(left_storage, right_storage);
+    }
+    SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
+                          child(node->left.get(), left_storage));
+    SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
+                          child(node->right.get(), right_storage));
+    return Sides(left, right);
+  };
   auto run = [&]() -> Result<QueryRelation> {
     switch (node->kind) {
       case Node::Kind::kInput: {
@@ -975,28 +1057,25 @@ Result<QueryRelation> Planner::ExecuteNode(
       }
       case Node::Kind::kHopJoin: {
         QueryRelation left_storage, right_storage;
-        SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
-                              child(node->left.get(), &left_storage));
-        SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
-                              child(node->right.get(), &right_storage));
+        SEED_ASSIGN_OR_RETURN(Sides sides,
+                              children(&left_storage, &right_storage));
         // The left input ends at binder `hop`, the right starts at binder
         // `hop` + 1; empty inputs short-circuit inside RelationshipJoin.
         auto joined = algebra_.RelationshipJoin(
-            *left, inputs[node->hop].attributes[0], hops[node->hop].assoc,
-            *right, inputs[node->hop + 1].attributes[0],
-            node->join.options());
+            *sides.first, inputs[node->hop].attributes[0],
+            hops[node->hop].assoc, *sides.second,
+            inputs[node->hop + 1].attributes[0], node->join.options());
         if (!joined.ok()) return joined.status();
         node->actual_rows = static_cast<long long>(joined->size());
         return joined;
       }
       case Node::Kind::kTupleJoin: {
         QueryRelation left_storage, right_storage;
-        SEED_ASSIGN_OR_RETURN(const QueryRelation* left,
-                              child(node->left.get(), &left_storage));
-        SEED_ASSIGN_OR_RETURN(const QueryRelation* right,
-                              child(node->right.get(), &right_storage));
+        SEED_ASSIGN_OR_RETURN(Sides sides,
+                              children(&left_storage, &right_storage));
         auto merged = algebra_.TupleJoin(
-            *left, *right, inputs[node->shared_binder].attributes[0]);
+            *sides.first, *sides.second,
+            inputs[node->shared_binder].attributes[0]);
         if (!merged.ok()) return merged.status();
         node->actual_rows = static_cast<long long>(merged->size());
         return merged;
@@ -1315,17 +1394,15 @@ std::vector<RelationshipId> Planner::ExecuteRelIndexPlan(
   std::vector<RelationshipId> candidates =
       FetchCandidates<RelationshipId>(plan);
   const schema::Schema& schema = *db_->schema();
-  std::vector<RelationshipId> out;
-  for (RelationshipId id : candidates) {
+  return FilterIdsPartitioned(policy_, candidates, [&](RelationshipId id) {
     auto rel = db_->GetRelationship(id);
-    if (!rel.ok() || (*rel)->is_pattern) continue;
+    if (!rel.ok() || (*rel)->is_pattern) return false;
     bool in_extent =
         include_specializations
             ? schema.IsSameOrSpecializationOf((*rel)->assoc, assoc)
             : (*rel)->assoc == assoc;
-    if (in_extent && EvalRelConditions(id, conditions)) out.push_back(id);
-  }
-  return out;
+    return in_extent && EvalRelConditions(id, conditions);
+  });
 }
 
 std::vector<RelationshipId> Planner::SelectRelationshipIds(
@@ -1340,12 +1417,10 @@ std::vector<RelationshipId> Planner::SelectRelationshipIds(
     return ExecuteRelIndexPlan(plan, assoc, conditions,
                                include_specializations);
   }
-  std::vector<RelationshipId> out;
-  for (RelationshipId id :
-       db_->RelationshipsOfAssociation(assoc, include_specializations)) {
-    if (EvalRelConditions(id, conditions)) out.push_back(id);
-  }
-  return out;
+  return FilterIdsPartitioned(
+      policy_,
+      db_->RelationshipsOfAssociation(assoc, include_specializations),
+      [&](RelationshipId id) { return EvalRelConditions(id, conditions); });
 }
 
 }  // namespace seed::query

@@ -247,7 +247,17 @@ class Planner {
     QueryRelation tuples;
   };
 
+  /// Snapshots exec::ExecPolicy::Default() at construction (one policy
+  /// per query: parser-layer entry points build a Planner per statement).
   explicit Planner(const core::Database* db) : db_(db), algebra_(db) {}
+
+  /// Replaces the snapshotted execution policy, forwarded to the
+  /// embedded Algebra so operators and plan-tree scheduling agree.
+  void set_exec_policy(const exec::ExecPolicy& policy) {
+    policy_ = policy;
+    algebra_.set_exec_policy(policy);
+  }
+  const exec::ExecPolicy& exec_policy() const { return policy_; }
 
   // --- The unified entry point -----------------------------------------------
 
@@ -470,8 +480,14 @@ class Planner {
       const std::vector<RelCondition>& conditions,
       bool include_specializations) const;
 
+  /// True when `node`'s children should execute as concurrent plan-tree
+  /// tasks: both are joined segments (leaf inputs are materialized and
+  /// cost nothing to "execute") and both clear the policy's cost floor.
+  bool ShouldForkChildren(const Node& node) const;
+
   const core::Database* db_;
   Algebra algebra_;
+  exec::ExecPolicy policy_ = exec::ExecPolicy::Default();
 };
 
 }  // namespace seed::query

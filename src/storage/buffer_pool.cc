@@ -86,6 +86,11 @@ Result<size_t> BufferPool::GetFreeFrame() {
     return Status::ResourceExhausted(
         "buffer pool exhausted: all frames pinned");
   }
+  static obs::Counter* pool_evictions =
+      obs::MetricsRegistry::Global().GetCounter(
+          "storage.bufferpool.evictions.total");
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  pool_evictions->Increment();
   size_t idx = lru_.front();
   lru_.pop_front();
   Frame& victim = *frames_[idx];
@@ -109,7 +114,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
           "storage.bufferpool.misses.total");
   auto it = table_.find(id);
   if (it != table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     pool_hits->Increment();
     Frame& f = *frames_[it->second];
     if (f.pin_count == 0 && f.in_lru) {
@@ -119,7 +124,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     ++f.pin_count;
     return PageGuard(this, id, &f.page, &f.dirty);
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   pool_misses->Increment();
   SEED_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   Frame& f = *frames_[idx];

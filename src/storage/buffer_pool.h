@@ -1,10 +1,16 @@
 // Buffer pool: caches pages in fixed frames with pin counting and LRU
-// eviction of unpinned frames. Single-threaded by design (the paper's SEED
-// is a single-user system; the multiuser layer serializes at the server).
+// eviction of unpinned frames. Structural state (frames, LRU, pin counts)
+// is single-threaded by design (the paper's SEED is a single-user system;
+// the multiuser layer serializes at the server), but the hit/miss/eviction
+// tallies are atomic: observability readers (shell `stats`, benches) may
+// sample them from another thread without tearing, and they stay exact if
+// a future layer shards read traffic. pinned_frames() remains coherent —
+// it walks the frames under the same external serialization as Fetch.
 
 #ifndef SEED_STORAGE_BUFFER_POOL_H_
 #define SEED_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -74,8 +80,16 @@ class BufferPool {
   Status Checkpoint();
 
   size_t capacity() const { return capacity_; }
-  std::uint64_t hit_count() const { return hits_; }
-  std::uint64_t miss_count() const { return misses_; }
+  std::uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Unpinned-frame evictions (LRU victims written back if dirty).
+  std::uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   size_t pinned_frames() const;
 
  private:
@@ -101,8 +115,9 @@ class BufferPool {
   std::unordered_map<PageId, size_t> table_;  // page id -> frame index
   std::list<size_t> lru_;                     // unpinned frames, LRU at front
   std::vector<size_t> free_frames_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace seed::storage
