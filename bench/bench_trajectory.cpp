@@ -428,12 +428,12 @@ int main(int argc, char** argv) {
     };
     if (const char* v = value("--scale=")) {
       scale = std::atoi(v);
-    } else if (const char* v = value("--out=")) {
-      out_path = v;
-    } else if (const char* v = value("--metrics-out=")) {
-      metrics_out = v;
-    } else if (const char* v = value("--check=")) {
-      check_path = v;
+    } else if (const char* out_v = value("--out=")) {
+      out_path = out_v;
+    } else if (const char* metrics_v = value("--metrics-out=")) {
+      metrics_out = metrics_v;
+    } else if (const char* check_v = value("--check=")) {
+      check_path = check_v;
     } else if (arg == "--overhead-check") {
       overhead_check = true;
     } else {

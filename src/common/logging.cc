@@ -58,7 +58,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
   std::timespec_get(&ts, TIME_UTC);
   std::tm tm{};
   gmtime_r(&ts.tv_sec, &tm);
-  char stamp[32];
+  char stamp[64];
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
                 tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000);

@@ -1,0 +1,140 @@
+// Clang thread-safety annotations and an annotated mutex wrapper.
+//
+// The engine's threading contracts (docs/execution.md, "Threading
+// contract by layer") were prose until this header: now every
+// mutex-protected structure names its lock with SEED_GUARDED_BY and every
+// function that expects a lock held names it with SEED_REQUIRES, so a
+// clang build with -Wthread-safety -Werror (the `static-analysis` CI job)
+// rejects code that touches guarded state without the guard.
+//
+// Under compilers without the capability attributes (gcc, msvc) every
+// macro expands to nothing, so the annotations are free outside the
+// analysis build.
+//
+// Conventions (docs/static_analysis.md):
+//  * use `common::Mutex` + `common::MutexLock`, never a bare std::mutex —
+//    the standard mutex carries no attributes, so clang cannot track it;
+//  * annotate the *member*, not the accessor: `Foo foo_ SEED_GUARDED_BY(mu_)`;
+//  * private helpers called under the lock take SEED_REQUIRES(mu_);
+//  * a deliberately unchecked escape (lock-free atomics mixed into a
+//    guarded structure, adopting a lock across an API boundary) uses
+//    SEED_NO_THREAD_SAFETY_ANALYSIS with a comment saying why.
+
+#ifndef SEED_COMMON_THREAD_ANNOTATIONS_H_
+#define SEED_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SEED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SEED_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define SEED_CAPABILITY(x) SEED_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires in its constructor and releases in
+/// its destructor.
+#define SEED_SCOPED_CAPABILITY SEED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the named mutex held.
+#define SEED_GUARDED_BY(x) SEED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named mutex.
+#define SEED_PT_GUARDED_BY(x) SEED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the mutex(es) held (and keeps them).
+#define SEED_REQUIRES(...) \
+  SEED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SEED_REQUIRES_SHARED(...) \
+  SEED_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires/releases the mutex(es) itself.
+#define SEED_ACQUIRE(...) \
+  SEED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SEED_RELEASE(...) \
+  SEED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SEED_TRY_ACQUIRE(...) \
+  SEED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the mutex(es) held (deadlock
+/// guard for functions that lock internally).
+#define SEED_EXCLUDES(...) SEED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define SEED_RETURN_CAPABILITY(x) SEED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define SEED_ASSERT_CAPABILITY(x) \
+  SEED_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch; always pair with a comment explaining why the analysis
+/// cannot see the invariant.
+#define SEED_NO_THREAD_SAFETY_ANALYSIS \
+  SEED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace seed::common {
+
+/// std::mutex with capability attributes so clang can track it.
+class SEED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SEED_ACQUIRE() { mu_.lock(); }
+  void Unlock() SEED_RELEASE() { mu_.unlock(); }
+  bool TryLock() SEED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a common::Mutex (the std::lock_guard equivalent).
+class SEED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SEED_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SEED_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on a *held* common::Mutex. Wait adopts
+/// the caller's lock for the duration of the wait and returns with it
+/// re-held, so from the analysis' point of view the mutex never moves.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SEED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) SEED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();  // ownership stays with the caller
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace seed::common
+
+#endif  // SEED_COMMON_THREAD_ANNOTATIONS_H_

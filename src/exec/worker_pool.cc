@@ -10,33 +10,37 @@ WorkerPool& WorkerPool::Global() {
 }
 
 WorkerPool::~WorkerPool() {
+  // Swap the threads out under the lock so the join below touches no
+  // guarded state; workers observe stop_ and drain on their own.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  cv_.NotifyAll();
+  for (std::thread& worker : workers) worker.join();
 }
 
 void WorkerPool::EnsureWorkers(int n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   while (static_cast<int>(workers_.size()) < n) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 int WorkerPool::workers() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   return static_cast<int>(workers_.size());
 }
 
 void WorkerPool::Submit(TaskGroup* group, std::function<void()> fn) {
   group->pending_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     queue_.push_back({group, std::move(fn)});
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void WorkerPool::FinishTask(TaskGroup* group) {
@@ -44,46 +48,45 @@ void WorkerPool::FinishTask(TaskGroup* group) {
   // wrote. After the decrement `group` may already be destroyed (the
   // Await-er saw 0 and returned) — only pool members are touched below.
   if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lk(mu_);
-    cv_.notify_all();
+    common::MutexLock lk(mu_);
+    cv_.NotifyAll();
   }
 }
 
-void WorkerPool::RunOneQueued(std::unique_lock<std::mutex>& lk) {
+void WorkerPool::RunOneQueued() {
   Task task = std::move(queue_.front());
   queue_.pop_front();
-  lk.unlock();
+  mu_.Unlock();
   task.fn();
   FinishTask(task.group);
-  lk.lock();
+  mu_.Lock();
 }
 
 void WorkerPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   for (;;) {
-    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
     if (queue_.empty()) {
       if (stop_) return;
       continue;
     }
-    RunOneQueued(lk);
+    RunOneQueued();
   }
 }
 
 void WorkerPool::Await(TaskGroup* group) {
-  std::unique_lock<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   for (;;) {
     if (group->pending_.load(std::memory_order_acquire) == 0) return;
     if (!queue_.empty()) {
       // Help: run queued work (any group's) instead of sleeping — this
       // is what makes nested Submit/Await deadlock-free.
-      RunOneQueued(lk);
+      RunOneQueued();
       continue;
     }
-    cv_.wait(lk, [&, this] {
-      return group->pending_.load(std::memory_order_acquire) == 0 ||
-             !queue_.empty();
-    });
+    // Woken by Submit (new work to help with) or by the last FinishTask
+    // of some group; the loop re-checks both conditions either way.
+    cv_.Wait(mu_);
   }
 }
 

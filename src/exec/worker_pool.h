@@ -23,13 +23,13 @@
 #define SEED_EXEC_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace seed::exec {
 
@@ -59,16 +59,16 @@ class WorkerPool {
   static WorkerPool& Global();
 
   /// Grows the pool to at least `n` worker threads (never shrinks).
-  void EnsureWorkers(int n);
-  int workers() const;
+  void EnsureWorkers(int n) SEED_EXCLUDES(mu_);
+  int workers() const SEED_EXCLUDES(mu_);
 
   /// Enqueues `fn` under `group`. The task may run on any worker or on a
   /// thread helping inside Await.
-  void Submit(TaskGroup* group, std::function<void()> fn);
+  void Submit(TaskGroup* group, std::function<void()> fn) SEED_EXCLUDES(mu_);
 
   /// Blocks until every task submitted under `group` has finished,
   /// executing queued tasks (of any group) while it waits.
-  void Await(TaskGroup* group);
+  void Await(TaskGroup* group) SEED_EXCLUDES(mu_);
 
   /// Runs fn(begin, end) over [0, n) split into morsels of `grain` rows,
   /// using up to `lanes` threads (the caller included). Workers claim
@@ -88,17 +88,17 @@ class WorkerPool {
     std::function<void()> fn;
   };
 
-  void WorkerLoop();
-  /// Pops and runs one queued task; `lk` must hold mu_ and is released
-  /// while the task runs, then reacquired.
-  void RunOneQueued(std::unique_lock<std::mutex>& lk);
-  void FinishTask(TaskGroup* group);
+  void WorkerLoop() SEED_EXCLUDES(mu_);
+  /// Pops and runs one queued task; enters and leaves with mu_ held, but
+  /// releases it while the task runs.
+  void RunOneQueued() SEED_REQUIRES(mu_);
+  void FinishTask(TaskGroup* group) SEED_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<Task> queue_ SEED_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ SEED_GUARDED_BY(mu_);
+  bool stop_ SEED_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace seed::exec

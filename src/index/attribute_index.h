@@ -53,10 +53,10 @@ namespace seed::index {
 /// association family, keyed by the values of their attribute sub-objects
 /// in `role` (which must be non-empty — relationships carry no own value).
 struct IndexSpec {
-  ClassId cls;
+  ClassId cls{};
   std::string role;
   bool include_specializations = true;
-  AssociationId assoc;
+  AssociationId assoc{};
 
   /// Relationship-extent spec ("Write.NumberOfWrites").
   static IndexSpec ForAssociation(AssociationId assoc, std::string role,

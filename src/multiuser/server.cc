@@ -30,6 +30,7 @@ Server::Server(schema::SchemaPtr schema) : schema_(std::move(schema)) {
 }
 
 Result<ClientId> Server::Connect(std::string client_name) {
+  common::MutexLock lock(mu_);
   ClientId id = client_ids_.Next();
   ClientInfo info;
   info.name = std::move(client_name);
@@ -41,6 +42,7 @@ Result<ClientId> Server::Connect(std::string client_name) {
 }
 
 Status Server::Disconnect(ClientId client) {
+  common::MutexLock lock(mu_);
   auto it = clients_.find(client);
   if (it == clients_.end()) {
     return Status::NotFound("client " + std::to_string(client.raw()));
@@ -59,6 +61,7 @@ Status Server::Disconnect(ClientId client) {
 }
 
 Result<std::uint64_t> Server::IdStripeBase(ClientId client) const {
+  common::MutexLock lock(mu_);
   auto it = clients_.find(client);
   if (it == clients_.end()) {
     return Status::NotFound("client " + std::to_string(client.raw()));
@@ -88,11 +91,18 @@ ObjectId Server::RootOf(ObjectId id) const {
   return cur;
 }
 
+bool Server::HoldsLock(ClientId client, ObjectId root) const {
+  auto it = locks_.find(root);
+  return it != locks_.end() && it->second == client;
+}
+
 bool Server::IsLocked(ObjectId root) const {
+  common::MutexLock lock(mu_);
   return locks_.find(root) != locks_.end();
 }
 
 Result<ClientId> Server::LockOwner(ObjectId root) const {
+  common::MutexLock lock(mu_);
   auto it = locks_.find(root);
   if (it == locks_.end()) {
     return Status::NotFound("no lock on object " + std::to_string(root.raw()));
@@ -101,6 +111,7 @@ Result<ClientId> Server::LockOwner(ObjectId root) const {
 }
 
 std::vector<ObjectId> Server::LocksOf(ClientId client) const {
+  common::MutexLock lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [root, owner] : locks_) {
     if (owner == client) out.push_back(root);
@@ -111,6 +122,7 @@ std::vector<ObjectId> Server::LocksOf(ClientId client) const {
 
 Result<CheckoutBundle> Server::Checkout(ClientId client,
                                         const std::vector<ObjectId>& roots) {
+  common::MutexLock lock(mu_);
   static obs::Counter* checkouts = obs::MetricsRegistry::Global().GetCounter(
       "multiuser.checkouts.total");
   checkouts->Increment();
@@ -126,16 +138,16 @@ Result<CheckoutBundle> Server::Checkout(ClientId client,
           "checkout granularity is the independent object; '" +
           master_->FullName(root) + "' is dependent");
     }
-    auto lock = locks_.find(root);
-    if (lock != locks_.end() && lock->second != client) {
-      ++lock_conflicts_;
+    auto lock_it = locks_.find(root);
+    if (lock_it != locks_.end() && lock_it->second != client) {
+      lock_conflicts_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* conflicts =
           obs::MetricsRegistry::Global().GetCounter(
               "multiuser.lock_conflicts.total");
       conflicts->Increment();
       return Status::LockConflict(
           "object '" + master_->FullName(root) + "' is write-locked by "
-          "client " + std::to_string(lock->second.raw()));
+          "client " + std::to_string(lock_it->second.raw()));
     }
   }
   // Acquire locks and collect subtree copies.
@@ -181,6 +193,7 @@ Result<CheckoutBundle> Server::Checkout(ClientId client,
 
 Status Server::ReleaseLocks(ClientId client,
                             const std::vector<ObjectId>& roots) {
+  common::MutexLock lock(mu_);
   for (ObjectId root : roots) {
     auto it = locks_.find(root);
     if (it == locks_.end() || it->second != client) {
@@ -194,6 +207,7 @@ Status Server::ReleaseLocks(ClientId client,
 }
 
 Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
+  common::MutexLock lock(mu_);
   auto client_it = clients_.find(client);
   if (client_it == clients_.end()) {
     return Status::NotFound("client " + std::to_string(client.raw()));
@@ -204,22 +218,18 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
   // --- Validate lock coverage -------------------------------------------------
   const auto& objects = master_->objects_raw();
   const auto& rels = master_->relationships_raw();
-  auto holds_lock = [this, client](ObjectId root) {
-    auto it = locks_.find(root);
-    return it != locks_.end() && it->second == client;
-  };
   for (const core::ObjectItem& obj : bundle.objects) {
     auto existing = objects.find(obj.id);
     if (existing != objects.end()) {
-      if (!holds_lock(RootOf(obj.id))) {
-        ++checkins_rejected_;
+      if (!HoldsLock(client, RootOf(obj.id))) {
+        checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
         CountCheckinRejected();
         return Status::LockConflict(
             "modified object '" + master_->FullName(obj.id) +
             "' is not covered by a write lock of this client");
       }
     } else if (obj.id.raw() < stripe_lo || obj.id.raw() >= stripe_hi) {
-      ++checkins_rejected_;
+      checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
       CountCheckinRejected();
       return Status::FailedPrecondition(
           "new object id " + std::to_string(obj.id.raw()) +
@@ -230,7 +240,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     auto existing = rels.find(rel.id);
     if (existing == rels.end() &&
         (rel.id.raw() < stripe_lo || rel.id.raw() >= stripe_hi)) {
-      ++checkins_rejected_;
+      checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
       CountCheckinRejected();
       return Status::FailedPrecondition(
           "new relationship id " + std::to_string(rel.id.raw()) +
@@ -239,8 +249,8 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
     // Every pre-existing participant must be covered by a lock: creating
     // or changing a relationship updates both ends' participation.
     for (ObjectId end : rel.ends) {
-      if (objects.find(end) != objects.end() && !holds_lock(RootOf(end))) {
-        ++checkins_rejected_;
+      if (objects.find(end) != objects.end() && !HoldsLock(client, RootOf(end))) {
+        checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
         CountCheckinRejected();
         return Status::LockConflict(
             "relationship participant '" + master_->FullName(end) +
@@ -299,7 +309,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
       }
     }
     master_->RebuildIndexes();
-    ++checkins_rejected_;
+    checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
     CountCheckinRejected();
     return Status::ConsistencyViolation(
         "check-in rejected: " + audit.violations.front().ToString() +
@@ -316,7 +326,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
       ++it;
     }
   }
-  ++checkins_applied_;
+  checkins_applied_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* applied = obs::MetricsRegistry::Global().GetCounter(
       "multiuser.checkins.applied.total");
   applied->Increment();

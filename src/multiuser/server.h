@@ -21,12 +21,15 @@
 #ifndef SEED_MULTIUSER_SERVER_H_
 #define SEED_MULTIUSER_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/database.h"
 #include "version/version_manager.h"
 
@@ -44,6 +47,14 @@ struct CheckinBundle {
   std::vector<core::RelationshipItem> relationships;
 };
 
+/// Session, lock, and check-in state is internally synchronized: Connect,
+/// Checkout, Checkin and the lock queries may be called from concurrent
+/// client threads — every master mutation (Checkin's transaction) runs
+/// under the same mutex, so the single-threaded core::Database underneath
+/// is externally serialized by the server exactly as docs/execution.md
+/// promises. Direct access through master()/global_versions() bypasses
+/// that serialization and is for single-threaded setup and inspection
+/// only.
 class Server {
  public:
   /// The server owns the master database and its global version manager.
@@ -55,12 +66,16 @@ class Server {
 
   // --- Sessions ----------------------------------------------------------------
 
-  Result<ClientId> Connect(std::string client_name);
-  Status Disconnect(ClientId client);
-  size_t num_clients() const { return clients_.size(); }
+  Result<ClientId> Connect(std::string client_name) SEED_EXCLUDES(mu_);
+  Status Disconnect(ClientId client) SEED_EXCLUDES(mu_);
+  size_t num_clients() const SEED_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return clients_.size();
+  }
 
   /// Disjoint id stripe for new items created by this client.
-  Result<std::uint64_t> IdStripeBase(ClientId client) const;
+  Result<std::uint64_t> IdStripeBase(ClientId client) const
+      SEED_EXCLUDES(mu_);
 
   // --- Locks and checkout ----------------------------------------------------------
 
@@ -68,15 +83,17 @@ class Server {
   /// copies of their items plus the relationships among them. Fails with
   /// kLockConflict if any root is locked by another client.
   Result<CheckoutBundle> Checkout(ClientId client,
-                                  const std::vector<ObjectId>& roots);
+                                  const std::vector<ObjectId>& roots)
+      SEED_EXCLUDES(mu_);
 
   /// True if the independent object `root` is write-locked.
-  bool IsLocked(ObjectId root) const;
-  Result<ClientId> LockOwner(ObjectId root) const;
-  std::vector<ObjectId> LocksOf(ClientId client) const;
+  bool IsLocked(ObjectId root) const SEED_EXCLUDES(mu_);
+  Result<ClientId> LockOwner(ObjectId root) const SEED_EXCLUDES(mu_);
+  std::vector<ObjectId> LocksOf(ClientId client) const SEED_EXCLUDES(mu_);
 
   /// Releases locks without checking in (abandon local changes).
-  Status ReleaseLocks(ClientId client, const std::vector<ObjectId>& roots);
+  Status ReleaseLocks(ClientId client, const std::vector<ObjectId>& roots)
+      SEED_EXCLUDES(mu_);
 
   // --- Check-in ------------------------------------------------------------------
 
@@ -85,11 +102,18 @@ class Server {
   /// locked by the client; the master is audited afterwards and rolled
   /// back wholesale on any consistency violation. On success the client's
   /// locks on the affected roots are released.
-  Status Checkin(ClientId client, const CheckinBundle& bundle);
+  Status Checkin(ClientId client, const CheckinBundle& bundle)
+      SEED_EXCLUDES(mu_);
 
-  std::uint64_t checkins_applied() const { return checkins_applied_; }
-  std::uint64_t checkins_rejected() const { return checkins_rejected_; }
-  std::uint64_t lock_conflicts() const { return lock_conflicts_; }
+  std::uint64_t checkins_applied() const {
+    return checkins_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkins_rejected() const {
+    return checkins_rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lock_conflicts() const {
+    return lock_conflicts_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ClientInfo {
@@ -101,20 +125,30 @@ class Server {
   /// attributes, the root of the relationship's role-0 end).
   ObjectId RootOf(ObjectId id) const;
 
+  /// True iff `client` holds the write lock on `root`.
+  bool HoldsLock(ClientId client, ObjectId root) const SEED_REQUIRES(mu_);
+
   core::ObjectItem CopyObject(ObjectId id) const;
 
   schema::SchemaPtr schema_;
+  // Set once in the constructor and never reset. The pointees are
+  // single-threaded; Checkin mutates the master only under mu_, which is
+  // the "serializes at the server" contract.
   std::unique_ptr<core::Database> master_;
   std::unique_ptr<version::VersionManager> versions_;
 
-  std::unordered_map<ClientId, ClientInfo> clients_;
-  std::unordered_map<ObjectId, ClientId> locks_;  // root -> owner
-  IdGenerator<ClientId> client_ids_;
-  std::uint64_t next_stripe_ = 1;
+  mutable common::Mutex mu_;
+  std::unordered_map<ClientId, ClientInfo> clients_ SEED_GUARDED_BY(mu_);
+  // root -> owner
+  std::unordered_map<ObjectId, ClientId> locks_ SEED_GUARDED_BY(mu_);
+  IdGenerator<ClientId> client_ids_ SEED_GUARDED_BY(mu_);
+  std::uint64_t next_stripe_ SEED_GUARDED_BY(mu_) = 1;
 
-  std::uint64_t checkins_applied_ = 0;
-  std::uint64_t checkins_rejected_ = 0;
-  std::uint64_t lock_conflicts_ = 0;
+  // Outcome tallies are atomics so accessors stay lock-free for
+  // observability samplers; they are only incremented under mu_.
+  std::atomic<std::uint64_t> checkins_applied_{0};
+  std::atomic<std::uint64_t> checkins_rejected_{0};
+  std::atomic<std::uint64_t> lock_conflicts_{0};
 };
 
 }  // namespace seed::multiuser

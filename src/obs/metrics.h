@@ -29,9 +29,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace seed::obs {
 
@@ -154,14 +155,15 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) SEED_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) SEED_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) SEED_EXCLUDES(mu_);
 
   /// The instrument if it was ever registered, else nullptr (for tests
   /// and exporters that must not create metrics as a side effect).
-  const Counter* FindCounter(std::string_view name) const;
-  const Histogram* FindHistogram(std::string_view name) const;
+  const Counter* FindCounter(std::string_view name) const SEED_EXCLUDES(mu_);
+  const Histogram* FindHistogram(std::string_view name) const
+      SEED_EXCLUDES(mu_);
 
   /// Stable-schema JSON of every instrument:
   ///   {"counters": {name: value, ...},
@@ -170,22 +172,28 @@ class MetricsRegistry {
   ///                          "p99": v, "buckets": [[lower, count], ...]},
   ///                   ...}}
   /// Names are sorted; histogram buckets list only non-empty buckets.
-  std::string ToJson() const;
+  std::string ToJson() const SEED_EXCLUDES(mu_);
 
   /// Human summary for the interactive shell: the `top_counters` largest
   /// counters, every non-zero gauge, and every non-empty histogram.
-  std::string Summary(std::size_t top_counters = 10) const;
+  std::string Summary(std::size_t top_counters = 10) const SEED_EXCLUDES(mu_);
 
   /// Zeroes every value in place; registered pointers stay valid.
-  void Reset();
+  void Reset() SEED_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;  // guards the maps; instrument data is atomic
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards the registration maps; instrument data stays lock-free atomics
+  // (returned pointers outlive the lock by design — instruments are never
+  // deleted).
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SEED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SEED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SEED_GUARDED_BY(mu_);
 };
 
 }  // namespace seed::obs

@@ -39,7 +39,8 @@ void PartitionedEmit(const exec::ExecPolicy& policy, std::size_t n,
   const std::size_t grain = policy.morsel_rows;
   std::vector<Tuples> slots((n + grain - 1) / grain);
   exec::WorkerPool::Global().ParallelFor(
-      policy.threads, n, grain, [&](std::size_t begin, std::size_t end) {
+      policy.threads, n, grain,
+      [&emit_range, &slots, grain](std::size_t begin, std::size_t end) {
         emit_range(begin, end, &slots[begin / grain]);
       });
   std::size_t total = out->size();
@@ -263,7 +264,8 @@ Result<QueryRelation> Algebra::RelationshipJoin(
       TupleIndex right_index = HashTuples(b, ib);
       PartitionedEmit(
           policy_, a.size(), &out.tuples,
-          [&](std::size_t begin, std::size_t end, Tuples* sink) {
+          [this, &a, &right_index, &concat, ia, assoc, left_role, right_role](
+              std::size_t begin, std::size_t end, Tuples* sink) {
             for (std::size_t t = begin; t < end; ++t) {
               const auto& ta = a.tuples[t];
               for (RelationshipId rid :
@@ -282,7 +284,8 @@ Result<QueryRelation> Algebra::RelationshipJoin(
       TupleIndex left_index = HashTuples(a, ia);
       PartitionedEmit(
           policy_, b.size(), &out.tuples,
-          [&](std::size_t begin, std::size_t end, Tuples* sink) {
+          [this, &b, &left_index, &concat, ib, assoc, left_role, right_role](
+              std::size_t begin, std::size_t end, Tuples* sink) {
             for (std::size_t t = begin; t < end; ++t) {
               const auto& tb = b.tuples[t];
               for (RelationshipId rid :
@@ -332,7 +335,7 @@ Result<QueryRelation> Algebra::RelationshipJoin(
     std::vector<Adjacency> parts((rels.size() + grain - 1) / grain);
     exec::WorkerPool::Global().ParallelFor(
         policy_.threads, rels.size(), grain,
-        [&](std::size_t begin, std::size_t end) {
+        [&build_range, &parts, grain](std::size_t begin, std::size_t end) {
           build_range(begin, end, &parts[begin / grain]);
         });
     std::size_t keys = 0;
@@ -354,7 +357,8 @@ Result<QueryRelation> Algebra::RelationshipJoin(
   if (build_left) {
     TupleIndex left_index = HashTuples(a, ia);
     PartitionedEmit(policy_, b.size(), &out.tuples,
-                    [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                    [&b, &partners_of, &left_index, &concat, ib](
+                        std::size_t begin, std::size_t end, Tuples* sink) {
                       for (std::size_t t = begin; t < end; ++t) {
                         const auto& tb = b.tuples[t];
                         auto partners = partners_of.find(tb[ib]);
@@ -371,7 +375,8 @@ Result<QueryRelation> Algebra::RelationshipJoin(
   } else {
     TupleIndex right_index = HashTuples(b, ib);
     PartitionedEmit(policy_, a.size(), &out.tuples,
-                    [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                    [&a, &partners_of, &right_index, &concat, ia](
+                        std::size_t begin, std::size_t end, Tuples* sink) {
                       for (std::size_t t = begin; t < end; ++t) {
                         const auto& ta = a.tuples[t];
                         auto partners = partners_of.find(ta[ia]);
@@ -435,7 +440,8 @@ Result<QueryRelation> Algebra::TupleJoin(const QueryRelation& a,
   };
   // The probe side is morsel-partitioned; `built` is read-only here.
   PartitionedEmit(policy_, probe.size(), &out.tuples,
-                  [&](std::size_t begin, std::size_t end, Tuples* sink) {
+                  [&probe, &built, &concat, probe_attr, build_left](
+                      std::size_t begin, std::size_t end, Tuples* sink) {
                     for (std::size_t t = begin; t < end; ++t) {
                       const auto& tp = probe.tuples[t];
                       auto matches = built.find(tp[probe_attr]);

@@ -357,7 +357,7 @@ std::vector<Id> FilterIdsPartitioned(const exec::ExecPolicy& policy,
   std::vector<std::vector<Id>> slots((ids.size() + grain - 1) / grain);
   exec::WorkerPool::Global().ParallelFor(
       policy.threads, ids.size(), grain,
-      [&](std::size_t begin, std::size_t end) {
+      [&slots, &ids, &keep, grain](std::size_t begin, std::size_t end) {
         std::vector<Id>& slot = slots[begin / grain];
         for (std::size_t i = begin; i < end; ++i) {
           if (keep(ids[i])) slot.push_back(ids[i]);
@@ -1090,6 +1090,17 @@ Result<QueryRelation> Planner::ExecuteNode(
   return result;
 }
 
+namespace {
+// Single registration site: the registry's rows-visited counter is the
+// source of truth the benches and the CI plan-quality gate read; it
+// matches PhysicalPlan::RowsVisited().
+obs::Counter& RowsVisitedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("query.rows.visited.total");
+  return *counter;
+}
+}  // namespace
+
 Result<QueryRelation> Planner::ExecuteTree(
     const std::vector<QueryRelation>& inputs,
     const std::vector<PipelineHop>& hops, PhysicalPlan plan,
@@ -1100,11 +1111,8 @@ Result<QueryRelation> Planner::ExecuteTree(
   SEED_ASSIGN_OR_RETURN(QueryRelation joined,
                         ExecuteNode(plan.root.get(), inputs, hops, ctx));
 
-  // The registry's rows-visited counter is the single source of truth the
-  // benches and the CI plan-quality gate read; it matches RowsVisited().
-  static obs::Counter* rows_visited =
-      obs::MetricsRegistry::Global().GetCounter("query.rows.visited.total");
-  rows_visited->Increment(static_cast<std::uint64_t>(plan.RowsVisited()));
+  RowsVisitedCounter().Increment(
+      static_cast<std::uint64_t>(plan.RowsVisited()));
 
   // Back to the textual binder-column order (execution accumulated the
   // columns in tree order; a complete tree joins every binder).
@@ -1257,8 +1265,6 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
                                           obs::ExecContext* ctx) const {
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("query.queries.total");
-  static obs::Counter* rows_visited =
-      obs::MetricsRegistry::Global().GetCounter("query.rows.visited.total");
   queries->Increment();
   const bool timed = ctx != nullptr && ctx->time_nodes;
 
@@ -1282,7 +1288,7 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
       plan.selects[0].elapsed_ns =
           static_cast<long long>(obs::NowNanos() - start);
     }
-    rows_visited->Increment(out.relationships.size());
+    RowsVisitedCounter().Increment(out.relationships.size());
     if (plan_out != nullptr) *plan_out = std::move(plan);
     return out;
   }
@@ -1302,7 +1308,7 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
       plan.selects[0].elapsed_ns = elapsed;
       plan.root->elapsed_ns = elapsed;
     }
-    rows_visited->Increment(out.ids.size());
+    RowsVisitedCounter().Increment(out.ids.size());
     if (plan_out != nullptr) *plan_out = std::move(plan);
     return out;
   }

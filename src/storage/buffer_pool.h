@@ -6,6 +6,12 @@
 // sample them from another thread without tearing, and they stay exact if
 // a future layer shards read traffic. pinned_frames() remains coherent —
 // it walks the frames under the same external serialization as Fetch.
+//
+// The "externally serialized" contract is enforced statically at the
+// owner: KvStore guards its pool_ member with SEED_GUARDED_BY(mu_)
+// (common/thread_annotations.h), so a clang -Wthread-safety build rejects
+// any KvStore path that reaches structural pool state without the store's
+// mutex. Standalone pools (tests, benches) stay single-threaded.
 
 #ifndef SEED_STORAGE_BUFFER_POOL_H_
 #define SEED_STORAGE_BUFFER_POOL_H_

@@ -28,11 +28,17 @@ Status DecodeEntry(std::string_view record, std::uint64_t* key,
 }  // namespace
 
 KvStore::~KvStore() {
-  if (is_open()) Close();  // best effort; errors are lost in a destructor
+  common::MutexLock lock(mu_);
+  if (disk_ != nullptr) {
+    (void)CloseLocked();  // errors are lost in a destructor
+  }
 }
 
 Status KvStore::Open(const std::string& dir, const KvStoreOptions& options) {
-  if (is_open()) return Status::FailedPrecondition("KvStore already open");
+  common::MutexLock lock(mu_);
+  if (disk_ != nullptr) {
+    return Status::FailedPrecondition("KvStore already open");
+  }
   Status s = OpenImpl(dir, options);
   if (!s.ok()) {
     // Leave no half-initialized state behind: a failed Open must look like
@@ -59,12 +65,15 @@ Status KvStore::OpenImpl(const std::string& dir,
   PageId heap_root(header.ReadU64(kSuperblockHeapRootOffset));
   if (heap_root.valid()) {
     SEED_RETURN_IF_ERROR(heap_->Open(heap_root));
-    SEED_RETURN_IF_ERROR(heap_->Scan([this](RecordId rid,
-                                            std::string_view record) {
-      std::uint64_t key = 0;
-      std::string value;
-      if (DecodeEntry(record, &key, &value).ok()) index_[key] = rid;
-    }));
+    SEED_RETURN_IF_ERROR(
+        heap_->Scan([this](RecordId rid, std::string_view record)
+                        SEED_REQUIRES(mu_) {
+                          std::uint64_t key = 0;
+                          std::string value;
+                          if (DecodeEntry(record, &key, &value).ok()) {
+                            index_[key] = rid;
+                          }
+                        }));
   } else {
     SEED_ASSIGN_OR_RETURN(heap_root, heap_->Create());
     header.WriteU64(kSuperblockHeapRootOffset, heap_root.raw());
@@ -76,18 +85,24 @@ Status KvStore::OpenImpl(const std::string& dir,
   SEED_RETURN_IF_ERROR(
       wal_->Open(dir + "/seed.wal", options.sync_on_append));
   // Redo: replay the tail of the log onto the checkpointed heap state.
-  SEED_RETURN_IF_ERROR(wal_->Replay([this](const WalRecord& rec) {
-    if (rec.op == WalOp::kPut) return ApplyPut(rec.key, rec.value);
-    Status s = ApplyDelete(rec.key);
-    if (s.IsNotFound()) return Status::OK();  // idempotent replay
-    return s;
-  }));
+  SEED_RETURN_IF_ERROR(
+      wal_->Replay([this](const WalRecord& rec) SEED_REQUIRES(mu_) {
+        if (rec.op == WalOp::kPut) return ApplyPut(rec.key, rec.value);
+        Status s = ApplyDelete(rec.key);
+        if (s.IsNotFound()) return Status::OK();  // idempotent replay
+        return s;
+      }));
   return Status::OK();
 }
 
 Status KvStore::Close() {
-  if (!is_open()) return Status::OK();
-  Status s = Checkpoint();
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::OK();
+  return CloseLocked();
+}
+
+Status KvStore::CloseLocked() {
+  Status s = CheckpointLocked();
   if (wal_) {
     Status ws = wal_->Close();
     if (s.ok()) s = ws;
@@ -128,13 +143,15 @@ Status KvStore::ApplyDelete(std::uint64_t key) {
 }
 
 Status KvStore::Put(std::uint64_t key, std::string_view value) {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
   SEED_RETURN_IF_ERROR(wal_->AppendPut(key, value));
   return ApplyPut(key, value);
 }
 
 Status KvStore::Delete(std::uint64_t key) {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
   if (index_.find(key) == index_.end()) {
     return Status::NotFound("key " + std::to_string(key));
   }
@@ -143,7 +160,8 @@ Status KvStore::Delete(std::uint64_t key) {
 }
 
 Result<std::string> KvStore::Get(std::uint64_t key) const {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
   auto it = index_.find(key);
   if (it == index_.end()) {
     return Status::NotFound("key " + std::to_string(key));
@@ -161,12 +179,14 @@ Result<std::string> KvStore::Get(std::uint64_t key) const {
 }
 
 bool KvStore::Contains(std::uint64_t key) const {
+  common::MutexLock lock(mu_);
   return index_.find(key) != index_.end();
 }
 
 Status KvStore::Scan(
     const std::function<void(std::uint64_t, std::string_view)>& fn) const {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
   return heap_->Scan([&fn](RecordId, std::string_view record) {
     std::uint64_t key = 0;
     std::string value;
@@ -175,13 +195,19 @@ Status KvStore::Scan(
 }
 
 Status KvStore::Checkpoint() {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
+  return CheckpointLocked();
+}
+
+Status KvStore::CheckpointLocked() {
   SEED_RETURN_IF_ERROR(pool_->Checkpoint());
   return wal_->Truncate();
 }
 
 Result<std::uint64_t> KvStore::WalBytes() const {
-  if (!is_open()) return Status::FailedPrecondition("KvStore not open");
+  common::MutexLock lock(mu_);
+  if (disk_ == nullptr) return Status::FailedPrecondition("KvStore not open");
   return wal_->SizeBytes();
 }
 

@@ -6,6 +6,15 @@
 // returns (immediately durable when opened with sync_on_append=true).
 // Checkpoint() flushes all pages, fsyncs the data file and truncates the
 // WAL; recovery = last checkpoint state + idempotent WAL replay.
+//
+// Threading contract (docs/static_analysis.md): the store is internally
+// synchronized — every public method serializes on one mutex, so
+// concurrent callers (the future multiuser storage path) are safe. The
+// underlying BufferPool / HeapFile / Wal stay single-threaded by design;
+// their "externally serialized" contract is encoded by guarding the
+// owning members with mu_, which a clang -Wthread-safety build enforces.
+// Callbacks passed to Scan run under the lock and must not reenter the
+// store.
 
 #ifndef SEED_STORAGE_KV_STORE_H_
 #define SEED_STORAGE_KV_STORE_H_
@@ -18,6 +27,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/heap_file.h"
@@ -42,40 +52,64 @@ class KvStore {
 
   /// Opens (creating if absent) a store in directory `dir`, which must
   /// exist. Files used: `<dir>/seed.db` and `<dir>/seed.wal`.
-  Status Open(const std::string& dir, const KvStoreOptions& options = {});
-  Status Close();
+  Status Open(const std::string& dir, const KvStoreOptions& options = {})
+      SEED_EXCLUDES(mu_);
+  Status Close() SEED_EXCLUDES(mu_);
 
-  bool is_open() const { return disk_ != nullptr; }
+  bool is_open() const SEED_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return disk_ != nullptr;
+  }
 
-  Status Put(std::uint64_t key, std::string_view value);
-  Result<std::string> Get(std::uint64_t key) const;
-  bool Contains(std::uint64_t key) const;
-  Status Delete(std::uint64_t key);
+  Status Put(std::uint64_t key, std::string_view value) SEED_EXCLUDES(mu_);
+  Result<std::string> Get(std::uint64_t key) const SEED_EXCLUDES(mu_);
+  bool Contains(std::uint64_t key) const SEED_EXCLUDES(mu_);
+  Status Delete(std::uint64_t key) SEED_EXCLUDES(mu_);
 
-  /// Iterates all live entries (unspecified order).
-  Status Scan(
-      const std::function<void(std::uint64_t, std::string_view)>& fn) const;
+  /// Iterates all live entries (unspecified order). `fn` runs under the
+  /// store's lock: keep it cheap and never call back into this store.
+  Status Scan(const std::function<void(std::uint64_t, std::string_view)>& fn)
+      const SEED_EXCLUDES(mu_);
 
-  std::uint64_t size() const { return index_.size(); }
+  std::uint64_t size() const SEED_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return index_.size();
+  }
 
   /// Flush + fsync + truncate WAL.
-  Status Checkpoint();
+  Status Checkpoint() SEED_EXCLUDES(mu_);
 
   /// Bytes currently queued in the WAL (0 right after a checkpoint).
-  Result<std::uint64_t> WalBytes() const;
+  Result<std::uint64_t> WalBytes() const SEED_EXCLUDES(mu_);
 
-  const BufferPool* buffer_pool() const { return pool_.get(); }
+  /// For observability only: the pool's hit/miss/eviction counters are
+  /// atomics and may be sampled without the store's lock; its structural
+  /// state must not be touched through this pointer.
+  const BufferPool* buffer_pool() const SEED_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return pool_.get();
+  }
 
  private:
-  Status OpenImpl(const std::string& dir, const KvStoreOptions& options);
-  Status ApplyPut(std::uint64_t key, std::string_view value);
-  Status ApplyDelete(std::uint64_t key);
+  Status OpenImpl(const std::string& dir, const KvStoreOptions& options)
+      SEED_REQUIRES(mu_);
+  Status CloseLocked() SEED_REQUIRES(mu_);
+  Status CheckpointLocked() SEED_REQUIRES(mu_);
+  Status ApplyPut(std::uint64_t key, std::string_view value)
+      SEED_REQUIRES(mu_);
+  Status ApplyDelete(std::uint64_t key) SEED_REQUIRES(mu_);
 
-  std::unique_ptr<DiskManager> disk_;
-  std::unique_ptr<BufferPool> pool_;
-  std::unique_ptr<HeapFile> heap_;
-  std::unique_ptr<Wal> wal_;
-  std::unordered_map<std::uint64_t, RecordId> index_;
+  /// Serializes all structural state below. BufferPool/HeapFile/Wal are
+  /// themselves single-threaded ("externally serialized"); this mutex IS
+  /// that external serialization.
+  mutable common::Mutex mu_;
+  std::unique_ptr<DiskManager> disk_ SEED_GUARDED_BY(mu_);
+  std::unique_ptr<BufferPool> pool_ SEED_GUARDED_BY(mu_)
+      SEED_PT_GUARDED_BY(mu_);
+  std::unique_ptr<HeapFile> heap_ SEED_GUARDED_BY(mu_)
+      SEED_PT_GUARDED_BY(mu_);
+  std::unique_ptr<Wal> wal_ SEED_GUARDED_BY(mu_) SEED_PT_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, RecordId> index_ SEED_GUARDED_BY(mu_);
 };
 
 }  // namespace seed::storage

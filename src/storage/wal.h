@@ -13,6 +13,11 @@
 //   [string value]          (Put only)
 // A truncated or checksum-failing tail terminates replay (torn final write
 // from a crash); everything before it is applied.
+//
+// Threading: the Wal is single-threaded ("externally serialized"); its
+// owner serializes access — KvStore encodes this statically by guarding
+// its wal_ member with SEED_GUARDED_BY(mu_), checked by the clang
+// -Wthread-safety build. The append counters it feeds are atomics.
 
 #ifndef SEED_STORAGE_WAL_H_
 #define SEED_STORAGE_WAL_H_

@@ -159,7 +159,7 @@ TEST_F(AttrIndexTest, PlannerUsesEqualityIndexWithIdenticalResults) {
 
   // Opaque and non-sargable predicates fall back to the scan.
   Predicate opaque{Predicate::Fn(
-      [](const Database& db, ObjectId id) { return id.raw() % 2 == 0; })};
+      [](const Database& /*db*/, ObjectId id) { return id.raw() % 2 == 0; })};
   EXPECT_EQ(planner.PlanSelect(plant_.sensor, opaque).kind,
             Planner::Plan::Kind::kFullScan);
   EXPECT_EQ(planner.SelectIds(plant_.sensor, opaque),

@@ -1,0 +1,229 @@
+// Concurrency regression tests for the internally synchronized
+// subsystems (PR: static concurrency-contract enforcement). Each test
+// pins a contract the thread-safety annotations promise: KvStore and
+// multiuser::Server serialize internally, and MetricsRegistry hands
+// every racing registrant the same instrument. Run these under TSan
+// (the `parallel` label) to turn latent races into hard failures.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "multiuser/server.h"
+#include "obs/metrics.h"
+#include "spades/spec_schema.h"
+#include "storage/kv_store.h"
+
+namespace seed {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 200;
+
+class KvStoreConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = ::testing::TempDir() + "/kvrace." + std::to_string(::getpid()) +
+           "." + std::to_string(counter++);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// Writers on disjoint key stripes racing readers and a checkpointer.
+// Before KvStore grew its internal mutex this tore the shared index map
+// and the buffer pool's structural state.
+TEST_F(KvStoreConcurrencyTest, ConcurrentPutGetCheckpoint) {
+  storage::KvStore kv;
+  ASSERT_TRUE(kv.Open(dir_).ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_hits{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, t] {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(t) * kOpsPerThread;
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        ASSERT_TRUE(kv.Put(base + i, "v" + std::to_string(base + i)).ok());
+        if (i % 3 == 2) {
+          ASSERT_TRUE(kv.Delete(base + i).ok());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&kv, &stop, &read_hits] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::uint64_t k = 0; k < kThreads * kOpsPerThread; k += 7) {
+        auto v = kv.Get(k);
+        if (v.ok()) {
+          ASSERT_EQ(*v, "v" + std::to_string(k));
+          read_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  threads.emplace_back([&kv, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(kv.Checkpoint().ok());
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[kThreads].join();
+  threads[kThreads + 1].join();
+
+  // Every stripe: two of each three keys survive.
+  std::uint64_t expect = 0;
+  for (std::uint64_t k = 0; k < kThreads * kOpsPerThread; ++k) {
+    const bool deleted = (k % kOpsPerThread) % 3 == 2;
+    if (!deleted) ++expect;
+    EXPECT_EQ(kv.Contains(k), !deleted) << "key " << k;
+  }
+  EXPECT_EQ(kv.size(), expect);
+  ASSERT_TRUE(kv.Close().ok());
+
+  // The store must still recover cleanly after the concurrent run.
+  storage::KvStore again;
+  ASSERT_TRUE(again.Open(dir_).ok());
+  EXPECT_EQ(again.size(), expect);
+}
+
+class ServerConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fig3 = spades::BuildFig3Schema();
+    ASSERT_TRUE(fig3.ok());
+    server_ = std::make_unique<multiuser::Server>(fig3->schema);
+    for (int i = 0; i < kThreads; ++i) {
+      roots_.push_back(*server_->master()->CreateObject(
+          fig3->ids.output_data, "Root" + std::to_string(i)));
+    }
+    server_->master()->ClearChangeTracking();
+  }
+
+  std::unique_ptr<multiuser::Server> server_;
+  std::vector<ObjectId> roots_;
+};
+
+// Racing Connect/Disconnect must hand out unique client ids and
+// disjoint id stripes (the stripe allocator is guarded state).
+TEST_F(ServerConcurrencyTest, ConcurrentSessions) {
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> stripes(kThreads * 8);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &stripes, t] {
+      for (int i = 0; i < 8; ++i) {
+        auto id = server_->Connect("c" + std::to_string(t));
+        ASSERT_TRUE(id.ok());
+        stripes[t * 8 + i] = *server_->IdStripeBase(*id);
+        if (i % 2 == 1) {
+          ASSERT_TRUE(server_->Disconnect(*id).ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::sort(stripes.begin(), stripes.end());
+  EXPECT_EQ(std::adjacent_find(stripes.begin(), stripes.end()),
+            stripes.end())
+      << "two clients were handed the same id stripe";
+  EXPECT_EQ(server_->num_clients(), kThreads * 8u / 2u);
+}
+
+// All threads fight over the same root: exactly one checkout wins per
+// round, every loser sees kLockConflict, and the conflict tally matches.
+TEST_F(ServerConcurrencyTest, CheckoutSingleWinner) {
+  std::vector<ClientId> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(*server_->Connect("c" + std::to_string(t)));
+  }
+  std::atomic<int> wins{0};
+  std::atomic<int> conflicts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &clients, &wins, &conflicts, t] {
+      auto bundle = server_->Checkout(clients[t], {roots_[0]});
+      if (bundle.ok()) {
+        wins.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ASSERT_TRUE(bundle.status().IsLockConflict());
+        conflicts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_EQ(conflicts.load(), kThreads - 1);
+  EXPECT_EQ(server_->lock_conflicts(),
+            static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_TRUE(server_->IsLocked(roots_[0]));
+}
+
+// Disjoint-root checkin transactions racing each other: the server
+// serializes master mutations, so every rename lands and every lock is
+// released.
+TEST_F(ServerConcurrencyTest, ConcurrentDisjointCheckins) {
+  std::vector<ClientId> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(*server_->Connect("c" + std::to_string(t)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &clients, t] {
+      auto bundle = server_->Checkout(clients[t], {roots_[t]});
+      ASSERT_TRUE(bundle.ok());
+      ASSERT_EQ(bundle->objects.size(), 1u);
+      multiuser::CheckinBundle changes;
+      core::ObjectItem item = bundle->objects[0];
+      item.name = "Renamed" + std::to_string(t);
+      changes.objects.push_back(item);
+      ASSERT_TRUE(server_->Checkin(clients[t], changes).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(server_->checkins_applied(),
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(server_->checkins_rejected(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_FALSE(server_->IsLocked(roots_[t]));
+    EXPECT_EQ(server_->master()->objects_raw().at(roots_[t]).name,
+              "Renamed" + std::to_string(t));
+  }
+}
+
+// Racing registrants of one metric name must all receive the same
+// counter; no increment may be lost once the pointer is out. (The
+// registry is process-global, so the name carries a test-only prefix
+// like the rest of obs_metrics_test.)
+TEST(MetricsConcurrencyTest, RegistrationRace) {
+  std::vector<std::thread> threads;
+  std::vector<obs::Counter*> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+          "test.concurrency.registration.race.total");
+      seen[t] = c;
+      for (int i = 0; i < kOpsPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0])
+        << "registration race returned distinct counters";
+  }
+  EXPECT_EQ(seen[0]->value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace seed

@@ -142,7 +142,7 @@ void CreateRandomIndexes(Database* db, const RandomWorld& w, Random& rng) {
   }
 }
 
-Predicate RandomAtom(const RandomWorld& w, Random& rng) {
+Predicate RandomAtom(const RandomWorld& /*w*/, Random& rng) {
   switch (rng.Uniform(8)) {
     case 0:
       return Predicate::ValueEquals(Value::Int(rng.UniformRange(0, 9)));

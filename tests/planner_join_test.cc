@@ -30,7 +30,8 @@ struct JoinWorld {
   std::unique_ptr<Database> db;
   ClassId src_cls, dst_cls;
   AssociationId flows;
-  std::vector<ObjectId> srcs, dsts;
+  std::vector<ObjectId> srcs{};
+  std::vector<ObjectId> dsts{};
 };
 
 JoinWorld BuildJoinWorld(int num_src, int num_dst, int num_rels) {

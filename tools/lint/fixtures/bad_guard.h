@@ -1,0 +1,11 @@
+// Fixture: include guard that does not spell the header's path.
+// lint-expect: include-guard
+
+#ifndef FIXTURES_WRONG_NAME_H
+#define FIXTURES_WRONG_NAME_H
+
+namespace seed::fixtures {
+inline int Nothing() { return 0; }
+}  // namespace seed::fixtures
+
+#endif  // FIXTURES_WRONG_NAME_H

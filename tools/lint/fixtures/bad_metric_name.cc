@@ -1,0 +1,15 @@
+// Fixture: metric name that matches neither the subsystem list nor the
+// counter-suffix rule from docs/metrics.md.
+// lint-expect: metric-name
+
+#include "obs/metrics.h"
+
+namespace seed::fixtures {
+
+void Touch() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("frobnicator.count");
+  c->Increment();
+}
+
+}  // namespace seed::fixtures

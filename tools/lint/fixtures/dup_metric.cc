@@ -1,0 +1,22 @@
+// Fixture: the same (well-formed) metric name registered from two call
+// sites. Function-local-static caching means the second site silently
+// reuses the first registration, so the linter demands a single helper.
+// lint-expect: metric-once
+
+#include "obs/metrics.h"
+
+namespace seed::fixtures {
+
+void First() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("query.fixture.total");
+  c->Increment();
+}
+
+void Second() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("query.fixture.total");
+  c->Increment();
+}
+
+}  // namespace seed::fixtures

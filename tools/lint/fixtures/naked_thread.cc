@@ -1,0 +1,14 @@
+// Fixture: raw std::thread outside src/exec/. Everything else must
+// schedule through exec::WorkerPool.
+// lint-expect: naked-thread
+
+#include <thread>
+
+namespace seed::fixtures {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace seed::fixtures

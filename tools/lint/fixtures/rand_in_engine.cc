@@ -1,0 +1,15 @@
+// Fixture: libc rand()/time() inside the engine tree. Engine randomness
+// must come from common/random.h so runs stay reproducible.
+// lint-expect: determinism
+
+#include <cstdlib>
+#include <ctime>
+
+namespace seed::fixtures {
+
+int Jitter() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 7;
+}
+
+}  // namespace seed::fixtures

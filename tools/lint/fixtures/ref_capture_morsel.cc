@@ -1,0 +1,32 @@
+// Fixture: morsel lambdas that violate the capture contract — one with
+// a default [&] capture, one capturing a member (trailing underscore)
+// by reference across the thread boundary.
+// lint-expect: morsel-capture
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/worker_pool.h"
+
+namespace seed::fixtures {
+
+class Scanner {
+ public:
+  void ScanAll(std::size_t n) {
+    std::vector<int> out(n);
+    exec::WorkerPool::Global().ParallelFor(
+        4, n, 64, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) out[i] = 1;
+        });
+    exec::WorkerPool::Global().ParallelFor(
+        4, n, 64, [&rows_seen_ = rows_seen_](std::size_t begin,
+                                             std::size_t end) {
+          rows_seen_ += end - begin;
+        });
+  }
+
+ private:
+  std::size_t rows_seen_ = 0;
+};
+
+}  // namespace seed::fixtures
