@@ -23,12 +23,35 @@
 // version [id], versions, select <id>, history <path>,
 // index <Class> [role] / index rel <Assoc> <role>, unindex likewise,
 // indexes, save <dir>, load <dir>, stats, dot [schema], quit.
+//
+// Script transport (the multiuser server's test vehicle):
+//
+//   seed_shell --script a.seed [b.seed ...]
+//       runs the scripts in order through one standalone shell, then
+//       exits (same as piping them to stdin, but named on the command
+//       line). Lines starting with '#' are comments.
+//
+//   seed_shell --serve [--setup setup.seed] c1.seed c2.seed ...
+//       starts an in-process multiuser::Server, runs the optional setup
+//       script single-threaded against the master, publishes the first
+//       snapshot, then replays each client script in its OWN THREAD
+//       through its own ClientSession. Client scripts get the session
+//       command set on top of the regular one: checkout <Name>...,
+//       checkin, abandon, refresh, locks, view, workspace. Retrieval
+//       (find / explain) runs against the session's pinned snapshot;
+//       mutation commands edit the local workspace until `checkin` ships
+//       them. Per-client output is buffered and printed after all
+//       clients join, followed by a server summary line.
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/export.h"
@@ -36,9 +59,12 @@
 #include "core/printer.h"
 #include "core/stats.h"
 #include "exec/exec_policy.h"
+#include "multiuser/client.h"
+#include "multiuser/server.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "spades/spec_schema.h"
+#include "version/snapshot.h"
 #include "version/version_io.h"
 #include "version/version_manager.h"
 
@@ -47,6 +73,8 @@ namespace {
 using seed::core::Database;
 using seed::core::Printer;
 using seed::core::Value;
+using seed::multiuser::ClientSession;
+using seed::multiuser::Server;
 using seed::ObjectId;
 using seed::Result;
 using seed::Status;
@@ -55,21 +83,51 @@ using seed::version::VersionManager;
 
 class Shell {
  public:
+  /// Standalone: owns its database and version manager.
   Shell() {
     auto fig3 = seed::spades::BuildFig3Schema();
-    db_ = std::make_unique<Database>(fig3->schema);
-    vm_ = std::make_unique<VersionManager>(db_.get());
+    owned_db_ = std::make_unique<Database>(fig3->schema);
+    owned_vm_ = std::make_unique<VersionManager>(owned_db_.get());
+    db_ = owned_db_.get();
+    vm_ = owned_vm_.get();
   }
+
+  /// Master mode: drives a borrowed database/version manager (the
+  /// server's master, for single-threaded setup scripts).
+  Shell(Database* db, VersionManager* vm) : db_(db), vm_(vm) {}
+
+  /// Client mode: drives a ClientSession. Mutations edit the local
+  /// workspace; find/explain read the session snapshot; the session
+  /// command set (checkout/checkin/...) is enabled. Output goes to
+  /// `sink` so concurrent clients don't interleave on stdout.
+  Shell(ClientSession* session, std::string* sink)
+      : db_(session->local()),
+        vm_(session->local_versions()),
+        session_(session),
+        sink_(sink) {}
 
   int Run() {
     std::string line;
     bool tty = isatty(fileno(stdin));
     while (true) {
-      if (tty) std::printf("seed> ");
+      if (tty) Printf("seed> ");
       if (!std::getline(std::cin, line)) break;
       if (!Dispatch(line)) break;
     }
     return 0;
+  }
+
+  /// Runs every line of `path`; stops early on `quit`.
+  Status RunFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return Status::NotFound("cannot open script '" + path + "'");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return Status::OK();
   }
 
  private:
@@ -101,8 +159,42 @@ class Shell {
     return tokens;
   }
 
+  /// stdout, or the client-mode buffer so threads don't interleave.
+  void Printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, fmt);
+    if (sink_ == nullptr) {
+      std::vprintf(fmt, args);
+    } else {
+      va_list measure;
+      va_copy(measure, args);
+      int n = std::vsnprintf(nullptr, 0, fmt, measure);
+      va_end(measure);
+      if (n > 0) {
+        size_t old = sink_->size();
+        sink_->resize(old + static_cast<size_t>(n) + 1);
+        std::vsnprintf(sink_->data() + old, static_cast<size_t>(n) + 1, fmt,
+                       args);
+        sink_->resize(old + static_cast<size_t>(n));
+      }
+    }
+    va_end(args);
+  }
+
   void Print(const Status& s) {
-    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+    Printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+  }
+
+  /// The database retrieval reads: in client mode the session's pinned
+  /// snapshot (shared ownership keeps it alive across the query); in the
+  /// other modes the working database, wrapped unowned.
+  Result<std::shared_ptr<const Database>> QueryDb() {
+    if (session_ == nullptr) {
+      return std::shared_ptr<const Database>(std::shared_ptr<void>(), db_);
+    }
+    auto snap = session_->View();
+    if (!snap.ok()) return snap.status();
+    return seed::version::PinDatabase(std::move(*snap));
   }
 
   Result<ObjectId> Find(const std::string& path) {
@@ -157,14 +249,80 @@ class Shell {
     return Status::Internal("unknown value type");
   }
 
+  /// Session commands (client mode only). True if `cmd` was handled.
+  bool DispatchSession(const std::string& cmd,
+                       const std::vector<std::string>& tokens) {
+    if (cmd == "checkout") {
+      if (tokens.size() < 2) {
+        Printf("usage: checkout <Name> [Name ...]\n");
+        return true;
+      }
+      std::vector<std::string> names(tokens.begin() + 1, tokens.end());
+      Print(session_->CheckoutByName(names));
+      return true;
+    }
+    if (cmd == "checkin") {
+      std::uint64_t seq = 0;
+      Status s = session_->Checkin(&seq);
+      if (s.ok()) {
+        Printf("committed as #%llu\n",
+               static_cast<unsigned long long>(seq));
+      } else {
+        Print(s);
+      }
+      return true;
+    }
+    if (cmd == "abandon") {
+      Print(session_->Abandon());
+      return true;
+    }
+    if (cmd == "refresh") {
+      Print(session_->Refresh());
+      return true;
+    }
+    if (cmd == "locks") {
+      auto held = session_->server()->LocksOf(session_->id());
+      for (ObjectId root : held) {
+        Printf("locked #%llu\n",
+               static_cast<unsigned long long>(root.raw()));
+      }
+      Printf("(%zu lock%s)\n", held.size(), held.size() == 1 ? "" : "s");
+      return true;
+    }
+    if (cmd == "view") {
+      auto snap = session_->View();
+      if (!snap.ok()) {
+        Print(snap.status());
+        return true;
+      }
+      Printf("snapshot epoch %llu: %zu objects, %zu relationships\n",
+             static_cast<unsigned long long>((*snap)->epoch()),
+             (*snap)->num_objects(), (*snap)->num_relationships());
+      return true;
+    }
+    if (cmd == "workspace") {
+      Printf("%s", Printer::RenderDatabase(*db_).c_str());
+      return true;
+    }
+    return false;
+  }
+
   bool Dispatch(const std::string& line) {
     auto tokens = Tokenize(line);
     if (tokens.empty()) return true;
     const std::string& cmd = tokens[0];
+    if (cmd.front() == '#') return true;  // script comment
+    if (session_ != nullptr) {
+      // Checkout/check-in/abandon replace the session's local workspace;
+      // re-resolve before every command so we never touch a stale one.
+      db_ = session_->local();
+      vm_ = session_->local_versions();
+      if (DispatchSession(cmd, tokens)) return true;
+    }
 
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
-      std::printf(
+      Printf(
           "find <Class> [exact] [where ...] | find rel <Assoc> [exact] "
           "[where ...]\nfind <Class> <b1> join [reverse] via <Assoc> to "
           "<Class> <b2> (... up to 6 hops) [where <b> ...]\n"
@@ -177,6 +335,11 @@ class Shell {
           "index [rel] <Class|Assoc> [role] | unindex likewise\nindexes | "
           "save <dir> | load <dir> | stats | metrics | threads [n] | "
           "dot [schema] | quit\n");
+      if (session_ != nullptr) {
+        Printf(
+            "session: checkout <Name> ... | checkin | abandon | refresh | "
+            "locks | view | workspace\n");
+      }
       return true;
     }
     if (cmd == "find" || (cmd == "explain" && tokens.size() >= 2)) {
@@ -188,7 +351,7 @@ class Shell {
       if (cmd == "explain") {
         size_t at = line.find("find");
         if (at == std::string::npos) {
-          std::printf("usage: explain [analyze] find <Class> ...\n");
+          Printf("usage: explain [analyze] find <Class> ...\n");
           return true;
         }
         query.remove_prefix(at);
@@ -201,13 +364,22 @@ class Shell {
            tokens[rel_at + 3] == "join");
       auto print_plan = [&] {
         if (cmd != "explain") return;
-        std::printf("plan: %s\n",
+        Printf("plan: %s\n",
                     analyze ? trace.Render().c_str() : plan.c_str());
       };
+      // Retrieval reads the session snapshot in client mode (never the
+      // master, never the half-edited workspace) — the pin keeps the
+      // frozen state alive for the whole query.
+      auto qdb_result = QueryDb();
+      if (!qdb_result.ok()) {
+        Print(qdb_result.status());
+        return true;
+      }
+      std::shared_ptr<const Database> qdb = std::move(*qdb_result);
       size_t matches = 0;
       if (join_query) {
         auto result =
-            seed::query::RunJoinChainQuery(*db_, query, &plan, trace_ptr);
+            seed::query::RunJoinChainQuery(qdb, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
@@ -217,42 +389,42 @@ class Shell {
           std::string row;
           for (seed::ObjectId id : tuple) {
             if (!row.empty()) row += " -- ";
-            row += db_->FullName(id);
+            row += qdb->FullName(id);
           }
-          std::printf("%s\n", row.c_str());
+          Printf("%s\n", row.c_str());
         }
         matches = result->tuples.size();
       } else if (rel_query) {
         auto result =
-            seed::query::RunRelationshipQuery(*db_, query, &plan, trace_ptr);
+            seed::query::RunRelationshipQuery(qdb, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
         print_plan();
         for (seed::RelationshipId id : *result) {
-          std::printf("%s\n",
-                      Printer::RenderRelationship(*db_, id).c_str());
+          Printf("%s\n",
+                      Printer::RenderRelationship(*qdb, id).c_str());
         }
         matches = result->size();
       } else {
-        auto result = seed::query::RunQuery(*db_, query, &plan, trace_ptr);
+        auto result = seed::query::RunQuery(qdb, query, &plan, trace_ptr);
         if (!result.ok()) {
           Print(result.status());
           return true;
         }
         print_plan();
         for (seed::ObjectId id : *result) {
-          std::printf("%s\n", db_->FullName(id).c_str());
+          Printf("%s\n", qdb->FullName(id).c_str());
         }
         matches = result->size();
       }
-      std::printf("(%zu match%s)\n", matches, matches == 1 ? "" : "es");
+      Printf("(%zu match%s)\n", matches, matches == 1 ? "" : "es");
       return true;
     }
     if (cmd == "index" && tokens.size() >= 2 && tokens[1] == "rel") {
       if (tokens.size() != 4) {
-        std::printf("usage: index rel <Assoc> <role>\n");
+        Printf("usage: index rel <Assoc> <role>\n");
         return true;
       }
       auto assoc = db_->schema()->FindAssociation(tokens[2]);
@@ -278,7 +450,7 @@ class Shell {
     }
     if (cmd == "unindex" && tokens.size() >= 2 && tokens[1] == "rel") {
       if (tokens.size() != 3 && tokens.size() != 4) {
-        std::printf("usage: unindex rel <Assoc> [role]\n");
+        Printf("usage: unindex rel <Assoc> [role]\n");
         return true;
       }
       auto assoc = db_->schema()->FindAssociation(tokens[2]);
@@ -312,7 +484,7 @@ class Shell {
           auto cls = db_->schema()->GetClass(spec.cls);
           extent = cls.ok() ? (*cls)->name : "?";
         }
-        std::printf("%s%s%s%s: %zu entr%s, %zu distinct key%s\n",
+        Printf("%s%s%s%s: %zu entr%s, %zu distinct key%s\n",
                     extent.c_str(),
                     spec.role.empty() ? "" : ".",
                     spec.role.c_str(),
@@ -321,27 +493,27 @@ class Shell {
                     idx->num_distinct_keys(),
                     idx->num_distinct_keys() == 1 ? "" : "s");
       }
-      std::printf("(%zu index%s)\n", db_->attribute_indexes().size(),
+      Printf("(%zu index%s)\n", db_->attribute_indexes().size(),
                   db_->attribute_indexes().size() == 1 ? "" : "es");
       return true;
     }
     if (cmd == "schema") {
-      std::printf("%s", Printer::RenderSchema(*db_->schema()).c_str());
+      Printf("%s", Printer::RenderSchema(*db_->schema()).c_str());
       return true;
     }
     if (cmd == "stats") {
-      std::printf("%s", seed::core::CollectStats(*db_).ToString().c_str());
+      Printf("%s", seed::core::CollectStats(*db_).ToString().c_str());
       // Planner statistics: what the cost model reads — incrementally
       // maintained extent counters and per-index cardinalities.
       const auto& manager = db_->attribute_indexes();
       if (!manager.empty()) {
-        std::printf("planner statistics:\n");
+        Printf("planner statistics:\n");
         for (const auto& idx : manager.indexes()) {
           double avg = idx->num_distinct_keys() == 0
                            ? 0.0
                            : static_cast<double>(idx->num_entries()) /
                                  static_cast<double>(idx->num_distinct_keys());
-          std::printf("  %s: %zu entries, %zu distinct keys, "
+          Printf("  %s: %zu entries, %zu distinct keys, "
                       "%.1f rows/key\n",
                       idx->spec().ToString().c_str(), idx->num_entries(),
                       idx->num_distinct_keys(), avg);
@@ -350,11 +522,11 @@ class Shell {
       // Engine metrics: top counters and query-phase latency summaries
       // from the process-wide registry ('metrics' dumps the full JSON).
       std::string summary = seed::obs::MetricsRegistry::Global().Summary();
-      if (!summary.empty()) std::printf("%s", summary.c_str());
+      if (!summary.empty()) Printf("%s", summary.c_str());
       return true;
     }
     if (cmd == "metrics") {
-      std::printf("%s\n",
+      Printf("%s\n",
                   seed::obs::MetricsRegistry::Global().ToJson().c_str());
       return true;
     }
@@ -366,28 +538,28 @@ class Shell {
       if (tokens.size() >= 2) {
         int n = std::atoi(tokens[1].c_str());
         if (n < 1) {
-          std::printf("usage: threads [n>=1]\n");
+          Printf("usage: threads [n>=1]\n");
           return true;
         }
         seed::exec::SetDefaultThreads(n);
       }
-      std::printf("execution threads: %d\n", seed::exec::DefaultThreads());
+      Printf("execution threads: %d\n", seed::exec::DefaultThreads());
       return true;
     }
     if (cmd == "dot") {
       if (tokens.size() >= 2 && tokens[1] == "schema") {
-        std::printf("%s",
+        Printf("%s",
                     seed::core::DotExport::Schema(*db_->schema()).c_str());
       } else {
-        std::printf("%s", seed::core::DotExport::Database(*db_).c_str());
+        Printf("%s", seed::core::DotExport::Database(*db_).c_str());
       }
       return true;
     }
     if (cmd == "show") {
       if (tokens.size() < 2) {
-        std::printf("%s", Printer::RenderDatabase(*db_).c_str());
+        Printf("%s", Printer::RenderDatabase(*db_).c_str());
       } else if (auto id = Find(tokens[1]); id.ok()) {
-        std::printf("%s", Printer::RenderObjectTree(*db_, *id).c_str());
+        Printf("%s", Printer::RenderObjectTree(*db_, *id).c_str());
       } else {
         Print(id.status());
       }
@@ -455,7 +627,7 @@ class Shell {
       auto p1 = Find(tokens[3]);
       auto target = db_->schema()->FindAssociation(tokens[4]);
       if (!assoc.ok() || !p0.ok() || !p1.ok() || !target.ok()) {
-        std::printf("error: bad association or path\n");
+        Printf("error: bad association or path\n");
         return true;
       }
       for (seed::RelationshipId rid : db_->RelationshipsOf(*p0, *assoc, 0)) {
@@ -465,7 +637,7 @@ class Shell {
           return true;
         }
       }
-      std::printf("no such relationship\n");
+      Printf("no such relationship\n");
       return true;
     }
     if (cmd == "rels" && tokens.size() == 2) {
@@ -475,7 +647,7 @@ class Shell {
         return true;
       }
       for (seed::RelationshipId rid : db_->RelationshipsOf(*obj)) {
-        std::printf("%s\n", Printer::RenderRelationship(*db_, rid).c_str());
+        Printf("%s\n", Printer::RenderRelationship(*db_, rid).c_str());
       }
       return true;
     }
@@ -509,13 +681,13 @@ class Shell {
       } else {
         report = db_->CheckCompleteness();
       }
-      std::printf("%s", report.clean() ? "complete\n"
+      Printf("%s", report.clean() ? "complete\n"
                                        : report.ToString().c_str());
       return true;
     }
     if (cmd == "audit") {
       auto report = db_->AuditConsistency();
-      std::printf("%s", report.clean() ? "consistent\n"
+      Printf("%s", report.clean() ? "consistent\n"
                                        : report.ToString().c_str());
       return true;
     }
@@ -530,7 +702,7 @@ class Shell {
       } else {
         auto v = vm_->CreateVersion();
         if (v.ok()) {
-          std::printf("created version %s\n", v->ToString().c_str());
+          Printf("created version %s\n", v->ToString().c_str());
         } else {
           Print(v.status());
         }
@@ -540,14 +712,14 @@ class Shell {
     if (cmd == "versions") {
       for (const VersionId& v : vm_->AllVersions()) {
         auto parent = vm_->ParentOf(v);
-        std::printf("%s%s%s%s\n", v.ToString().c_str(),
+        Printf("%s%s%s%s\n", v.ToString().c_str(),
                     parent.ok() && parent->valid() ? " (from " : "",
                     parent.ok() && parent->valid()
                         ? parent->ToString().c_str()
                         : "",
                     parent.ok() && parent->valid() ? ")" : "");
       }
-      std::printf("basis: %s\n", vm_->current_basis().ToString().c_str());
+      Printf("basis: %s\n", vm_->current_basis().ToString().c_str());
       return true;
     }
     if (cmd == "select" && tokens.size() == 2) {
@@ -566,7 +738,7 @@ class Shell {
         return true;
       }
       for (const auto& hit : *hits) {
-        std::printf("%s%s\n", hit.version.ToString().c_str(),
+        Printf("%s%s\n", hit.version.ToString().c_str(),
                     hit.deleted ? " (deleted)" : "");
       }
       return true;
@@ -581,6 +753,10 @@ class Shell {
       return true;
     }
     if (cmd == "load" && tokens.size() == 2) {
+      if (owned_db_ == nullptr) {
+        Printf("load replaces the whole database; standalone mode only\n");
+        return true;
+      }
       seed::storage::KvStore kv;
       Status s = kv.Open(tokens[1]);
       if (!s.ok()) {
@@ -592,19 +768,117 @@ class Shell {
         Print(loaded.status());
         return true;
       }
-      db_ = std::move(*loaded);
-      vm_ = std::make_unique<VersionManager>(db_.get());
-      Print(seed::version::VersionPersistence::Load(vm_.get(), &kv));
+      owned_db_ = std::move(*loaded);
+      owned_vm_ = std::make_unique<VersionManager>(owned_db_.get());
+      db_ = owned_db_.get();
+      vm_ = owned_vm_.get();
+      Print(seed::version::VersionPersistence::Load(vm_, &kv));
       return true;
     }
-    std::printf("unknown command (try 'help')\n");
+    Printf("unknown command (try 'help')\n");
     return true;
   }
 
-  std::unique_ptr<Database> db_;
-  std::unique_ptr<VersionManager> vm_;
+  /// Owned only in standalone mode; master/client modes borrow.
+  std::unique_ptr<Database> owned_db_;
+  std::unique_ptr<VersionManager> owned_vm_;
+  Database* db_ = nullptr;
+  VersionManager* vm_ = nullptr;
+  ClientSession* session_ = nullptr;
+  std::string* sink_ = nullptr;
 };
+
+/// --serve: one Server, an optional single-threaded setup script against
+/// the master, then every client script in its own thread and session.
+int RunServe(const std::string& setup,
+             const std::vector<std::string>& scripts) {
+  auto fig3 = seed::spades::BuildFig3Schema();
+  Server server(fig3->schema);
+
+  if (!setup.empty()) {
+    Shell master_shell(server.master(), server.global_versions());
+    Status s = master_shell.RunFile(setup);
+    if (!s.ok()) {
+      std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Setup bypassed the check-in path; baseline items are original
+    // state, not pending changes, and sessions must see them.
+    server.master()->ClearChangeTracking();
+    server.PublishSnapshot();
+  }
+
+  std::vector<std::string> outputs(scripts.size());
+  std::vector<std::string> errors(scripts.size());
+  std::vector<std::thread> threads;
+  threads.reserve(scripts.size());
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    threads.emplace_back([&server, &scripts, &outputs, &errors, i] {
+      auto session =
+          ClientSession::Open(&server, "script-" + std::to_string(i));
+      if (!session.ok()) {
+        errors[i] = session.status().ToString();
+        return;
+      }
+      Shell client_shell(session->get(), &outputs[i]);
+      Status s = client_shell.RunFile(scripts[i]);
+      if (!s.ok()) errors[i] = s.ToString();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int rc = 0;
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    std::printf("=== client %zu: %s ===\n", i, scripts[i].c_str());
+    std::fputs(outputs[i].c_str(), stdout);
+    if (!errors[i].empty()) {
+      std::printf("error: %s\n", errors[i].c_str());
+      rc = 1;
+    }
+  }
+  std::printf(
+      "=== server: %llu checkins applied, %llu rejected, %llu lock "
+      "conflicts, snapshot epoch %llu ===\n",
+      static_cast<unsigned long long>(server.checkins_applied()),
+      static_cast<unsigned long long>(server.checkins_rejected()),
+      static_cast<unsigned long long>(server.lock_conflicts()),
+      static_cast<unsigned long long>(server.snapshot_epoch()));
+  return rc;
+}
 
 }  // namespace
 
-int main() { return Shell().Run(); }
+int main(int argc, char** argv) {
+  bool serve = false;
+  std::string setup;
+  std::vector<std::string> scripts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--setup" && i + 1 < argc) {
+      setup = argv[++i];
+    } else if (arg == "--script" && i + 1 < argc) {
+      scripts.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      scripts.push_back(std::move(arg));
+    } else {
+      std::fprintf(stderr,
+                   "usage: seed_shell [--script f.seed ...]\n"
+                   "       seed_shell --serve [--setup s.seed] "
+                   "c1.seed [c2.seed ...]\n");
+      return 2;
+    }
+  }
+  if (serve) return RunServe(setup, scripts);
+  Shell shell;
+  if (scripts.empty()) return shell.Run();
+  for (const std::string& path : scripts) {
+    Status s = shell.RunFile(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

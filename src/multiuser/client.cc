@@ -41,7 +41,7 @@ void ClientSession::CaptureWatermarks() {
 
 void ClientSession::ResetLocal() {
   CaptureWatermarks();
-  local_ = std::make_unique<core::Database>(server_->master()->schema());
+  local_ = std::make_unique<core::Database>(server_->schema());
   // New local items draw ids from the client's private stripe, above every
   // id this client ever used.
   local_->object_ids().ResetTo(object_id_watermark_ + 1);
@@ -72,8 +72,9 @@ void ClientSession::ImportBundle(const CheckoutBundle& bundle) {
 Status ClientSession::CheckoutByName(const std::vector<std::string>& names) {
   std::vector<ObjectId> roots;
   for (const std::string& name : names) {
-    SEED_ASSIGN_OR_RETURN(ObjectId id,
-                          server_->master()->FindObjectByName(name));
+    // ResolveRoot reads the master under the server's write serialization
+    // — never the session snapshot, which may predate the root.
+    SEED_ASSIGN_OR_RETURN(ObjectId id, server_->ResolveRoot(name));
     roots.push_back(id);
   }
   return Checkout(roots);
@@ -86,7 +87,8 @@ Status ClientSession::Checkout(const std::vector<ObjectId>& roots) {
   return Status::OK();
 }
 
-Status ClientSession::Checkin() {
+Status ClientSession::Checkin(std::uint64_t* commit_seq,
+                              CheckinBundle* shipped) {
   CheckinBundle bundle;
   const auto& objects = local_->objects_raw();
   for (ObjectId oid : local_->changed_objects()) {
@@ -98,7 +100,8 @@ Status ClientSession::Checkin() {
     auto it = rels.find(rid);
     if (it != rels.end()) bundle.relationships.push_back(it->second);
   }
-  SEED_RETURN_IF_ERROR(server_->Checkin(id_, bundle));
+  SEED_RETURN_IF_ERROR(server_->Checkin(id_, bundle, commit_seq));
+  if (shipped != nullptr) *shipped = bundle;
   ResetLocal();
   return Status::OK();
 }

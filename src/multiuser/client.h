@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "multiuser/server.h"
+#include "version/snapshot.h"
 #include "version/version_manager.h"
 
 namespace seed::multiuser {
@@ -26,6 +27,7 @@ class ClientSession {
   ClientSession& operator=(const ClientSession&) = delete;
 
   ClientId id() const { return id_; }
+  Server* server() const { return server_; }
 
   /// Local working copy: make updates here with the normal Database API
   /// (consistency is checked locally; incomplete local data is fine
@@ -35,17 +37,33 @@ class ClientSession {
   /// Local version control over the working copy.
   version::VersionManager* local_versions() { return local_versions_.get(); }
 
+  // --- Snapshot reads ------------------------------------------------------------
+
+  /// The frozen master snapshot this session reads (pinned at first use;
+  /// see Server::SessionSnapshot). Retrieval against it never blocks on
+  /// writers.
+  Result<version::SnapshotPtr> View() {
+    return server_->SessionSnapshot(id_);
+  }
+
+  /// Moves this session's read view to the latest published snapshot.
+  Status Refresh() { return server_->RefreshSession(id_); }
+
   // --- Checkout / check-in -------------------------------------------------------
 
-  /// Resolves `names` in the master, write-locks their subtrees, and
-  /// imports copies into the local workspace.
+  /// Resolves `names` in the master (serialized with writers, so freshly
+  /// committed roots resolve), write-locks their subtrees, and imports
+  /// copies into the local workspace.
   Status CheckoutByName(const std::vector<std::string>& names);
   Status Checkout(const std::vector<ObjectId>& roots);
 
   /// Ships every locally changed item back; on success the server applied
   /// them in one transaction, all this client's locks are released, and
-  /// the local workspace is cleared.
-  Status Checkin();
+  /// the local workspace is cleared. `commit_seq` (if non-null) receives
+  /// the commit's position in the server's total order; `shipped` (if
+  /// non-null) receives the exact bundle sent, for replay harnesses.
+  Status Checkin(std::uint64_t* commit_seq = nullptr,
+                 CheckinBundle* shipped = nullptr);
 
   /// Releases all locks and drops local changes.
   Status Abandon();

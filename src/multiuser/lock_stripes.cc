@@ -1,0 +1,152 @@
+#include "multiuser/lock_stripes.h"
+
+#include <algorithm>
+#include <string>
+
+namespace seed::multiuser {
+
+LockStripes::LockStripes(size_t num_stripes) {
+  if (num_stripes == 0) num_stripes = 1;
+  stripes_.reserve(num_stripes);
+  for (size_t i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+size_t LockStripes::StripeOf(ObjectId root) const {
+  // Fibonacci hashing: consecutive root ids (the common allocation
+  // pattern) land on different stripes instead of clustering.
+  return static_cast<size_t>(root.raw() * 0x9E3779B97F4A7C15ull) %
+         stripes_.size();
+}
+
+std::vector<size_t> LockStripes::StripeSetOf(
+    const std::vector<ObjectId>& roots) const {
+  std::vector<size_t> indices;
+  indices.reserve(roots.size());
+  for (ObjectId root : roots) indices.push_back(StripeOf(root));
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+Status LockStripes::AcquireAll(ClientId client,
+                               const std::vector<ObjectId>& roots,
+                               std::vector<ObjectId>* newly_acquired) {
+  if (newly_acquired != nullptr) newly_acquired->clear();
+  std::vector<size_t> indices = StripeSetOf(roots);
+  for (size_t i : indices) stripes_[i]->mu.Lock();
+  Status result = Status::OK();
+  for (ObjectId root : roots) {
+    const auto& owners = stripes_[StripeOf(root)]->owners;
+    auto it = owners.find(root);
+    if (it != owners.end() && it->second != client) {
+      result = Status::LockConflict(
+          "object " + std::to_string(root.raw()) +
+          " is write-locked by client " + std::to_string(it->second.raw()));
+      break;
+    }
+  }
+  if (result.ok()) {
+    for (ObjectId root : roots) {
+      auto& owners = stripes_[StripeOf(root)]->owners;
+      if (owners.emplace(root, client).second && newly_acquired != nullptr) {
+        newly_acquired->push_back(root);
+      }
+    }
+  }
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    stripes_[*it]->mu.Unlock();
+  }
+  return result;
+}
+
+Status LockStripes::Release(ClientId client,
+                            const std::vector<ObjectId>& roots) {
+  std::vector<size_t> indices = StripeSetOf(roots);
+  for (size_t i : indices) stripes_[i]->mu.Lock();
+  Status result = Status::OK();
+  for (ObjectId root : roots) {
+    const auto& owners = stripes_[StripeOf(root)]->owners;
+    auto it = owners.find(root);
+    if (it == owners.end() || it->second != client) {
+      result = Status::FailedPrecondition(
+          "client does not hold the lock on object " +
+          std::to_string(root.raw()));
+      break;
+    }
+  }
+  if (result.ok()) {
+    for (ObjectId root : roots) stripes_[StripeOf(root)]->owners.erase(root);
+  }
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    stripes_[*it]->mu.Unlock();
+  }
+  return result;
+}
+
+std::vector<ObjectId> LockStripes::ReleaseAllOf(ClientId client) {
+  // One stripe at a time: no cross-stripe atomicity is needed to drop
+  // locks, and single-stripe critical sections keep writers out of each
+  // other's way.
+  std::vector<ObjectId> released;
+  for (const auto& stripe : stripes_) {
+    common::MutexLock lock(stripe->mu);
+    for (auto it = stripe->owners.begin(); it != stripe->owners.end();) {
+      if (it->second == client) {
+        released.push_back(it->first);
+        it = stripe->owners.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::sort(released.begin(), released.end());
+  return released;
+}
+
+bool LockStripes::IsLocked(ObjectId root) const {
+  const Stripe& stripe = *stripes_[StripeOf(root)];
+  common::MutexLock lock(stripe.mu);
+  return stripe.owners.find(root) != stripe.owners.end();
+}
+
+Result<ClientId> LockStripes::OwnerOf(ObjectId root) const {
+  const Stripe& stripe = *stripes_[StripeOf(root)];
+  common::MutexLock lock(stripe.mu);
+  auto it = stripe.owners.find(root);
+  if (it == stripe.owners.end()) {
+    return Status::NotFound("no lock on object " + std::to_string(root.raw()));
+  }
+  return it->second;
+}
+
+bool LockStripes::IsHeldBy(ClientId client, ObjectId root) const {
+  const Stripe& stripe = *stripes_[StripeOf(root)];
+  common::MutexLock lock(stripe.mu);
+  auto it = stripe.owners.find(root);
+  return it != stripe.owners.end() && it->second == client;
+}
+
+std::vector<ObjectId> LockStripes::LocksOf(ClientId client) const {
+  std::vector<ObjectId> out;
+  for (const auto& stripe : stripes_) {
+    common::MutexLock lock(stripe->mu);
+    for (const auto& [root, owner] : stripe->owners) {
+      if (owner == client) out.push_back(root);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t LockStripes::num_held() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    common::MutexLock lock(stripe->mu);
+    total += stripe->owners.size();
+  }
+  return total;
+}
+
+}  // namespace seed::multiuser

@@ -1,0 +1,96 @@
+// Striped write-lock table for the multiuser server.
+//
+// The lock *unit* is the paper's checkout granularity: the independent
+// object subtree, identified by its root id. Each root hashes to one of a
+// fixed set of stripes; every stripe carries its own mutex and its own
+// root -> owner map, so checkouts and check-ins touching disjoint stripes
+// never contend on a shared lock. Multi-stripe operations (a checkout of
+// several roots) acquire their stripe mutexes in ascending stripe order —
+// the classic total-order discipline — so overlapping stripe sets cannot
+// deadlock, and acquisition is all-or-nothing: on any conflict nothing is
+// taken and the caller sees kLockConflict.
+//
+// The stripe mutexes are leaf-level locks: no LockStripes method acquires
+// anything else while holding one, so callers may invoke the single-stripe
+// queries (IsLocked, OwnerOf, IsHeldBy) under their own coarser locks
+// without ordering concerns.
+
+#ifndef SEED_MULTIUSER_LOCK_STRIPES_H_
+#define SEED_MULTIUSER_LOCK_STRIPES_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace seed::multiuser {
+
+class LockStripes {
+ public:
+  static constexpr size_t kDefaultStripes = 64;
+
+  explicit LockStripes(size_t num_stripes = kDefaultStripes);
+
+  LockStripes(const LockStripes&) = delete;
+  LockStripes& operator=(const LockStripes&) = delete;
+
+  /// Write-locks every root for `client`, all-or-nothing: if any root is
+  /// owned by another client, nothing is acquired and kLockConflict names
+  /// the first conflicting root. Roots the client already owns stay owned
+  /// (re-entrant) and are not reported in `newly_acquired`.
+  ///
+  /// AcquireAll/Release lock a runtime-computed set of stripe mutexes;
+  /// the analysis cannot follow locks held in a loop, so both opt out.
+  /// The invariant it cannot see: StripeSetOf returns ascending
+  /// deduplicated indices, every mutex in the set is locked in that order
+  /// and unlocked before returning, and each `owners` map is only touched
+  /// between its own stripe's Lock/Unlock pair.
+  Status AcquireAll(ClientId client, const std::vector<ObjectId>& roots,
+                    std::vector<ObjectId>* newly_acquired = nullptr)
+      SEED_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Releases exactly `roots`, all-or-nothing: every one must be held by
+  /// `client`, otherwise kFailedPrecondition and nothing is released.
+  Status Release(ClientId client, const std::vector<ObjectId>& roots)
+      SEED_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Releases everything `client` holds; returns the released roots
+  /// (ascending). Used on check-in success and on disconnect.
+  std::vector<ObjectId> ReleaseAllOf(ClientId client);
+
+  bool IsLocked(ObjectId root) const;
+  Result<ClientId> OwnerOf(ObjectId root) const;
+  bool IsHeldBy(ClientId client, ObjectId root) const;
+
+  /// All roots held by `client`, ascending.
+  std::vector<ObjectId> LocksOf(ClientId client) const;
+
+  /// Total roots currently locked, across all stripes.
+  size_t num_held() const;
+
+  size_t num_stripes() const { return stripes_.size(); }
+
+  /// Which stripe a root maps to (deterministic; exposed for tests).
+  size_t StripeOf(ObjectId root) const;
+
+ private:
+  struct Stripe {
+    mutable common::Mutex mu;
+    std::unordered_map<ObjectId, ClientId> owners SEED_GUARDED_BY(mu);
+  };
+
+  /// Ascending, deduplicated stripe indices covering `roots`.
+  std::vector<size_t> StripeSetOf(const std::vector<ObjectId>& roots) const;
+
+  /// Fixed at construction; Stripe is immovable (it owns a mutex), so the
+  /// vector holds stable heap slots.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace seed::multiuser
+
+#endif  // SEED_MULTIUSER_LOCK_STRIPES_H_

@@ -1,6 +1,7 @@
 #include "multiuser/server.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/macros.h"
 #include "obs/metrics.h"
@@ -17,10 +18,22 @@ obs::Gauge* SessionsGauge() {
   return gauge;
 }
 
+obs::Gauge* LocksHeldGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("server.locks.held");
+  return gauge;
+}
+
 void CountCheckinRejected() {
   static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
       "multiuser.checkins.rejected.total");
   rejected->Increment();
+}
+
+void CountSnapshotPin() {
+  static obs::Counter* pins = obs::MetricsRegistry::Global().GetCounter(
+      "server.snapshot.pins.total");
+  pins->Increment();
 }
 }  // namespace
 
@@ -30,7 +43,7 @@ Server::Server(schema::SchemaPtr schema) : schema_(std::move(schema)) {
 }
 
 Result<ClientId> Server::Connect(std::string client_name) {
-  common::MutexLock lock(mu_);
+  common::MutexLock lock(sessions_mu_);
   ClientId id = client_ids_.Next();
   ClientInfo info;
   info.name = std::move(client_name);
@@ -42,32 +55,125 @@ Result<ClientId> Server::Connect(std::string client_name) {
 }
 
 Status Server::Disconnect(ClientId client) {
-  common::MutexLock lock(mu_);
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    return Status::NotFound("client " + std::to_string(client.raw()));
+  {
+    common::MutexLock lock(sessions_mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) {
+      return Status::NotFound("client " + std::to_string(client.raw()));
+    }
+    clients_.erase(it);
+    SessionsGauge()->Add(-1);
   }
   // Release every lock the client still holds.
-  for (auto lock_it = locks_.begin(); lock_it != locks_.end();) {
-    if (lock_it->second == client) {
-      lock_it = locks_.erase(lock_it);
-    } else {
-      ++lock_it;
-    }
-  }
-  clients_.erase(it);
-  SessionsGauge()->Add(-1);
+  locks_.ReleaseAllOf(client);
+  LocksHeldGauge()->Set(static_cast<std::int64_t>(locks_.num_held()));
   return Status::OK();
 }
 
 Result<std::uint64_t> Server::IdStripeBase(ClientId client) const {
-  common::MutexLock lock(mu_);
+  common::MutexLock lock(sessions_mu_);
   auto it = clients_.find(client);
   if (it == clients_.end()) {
     return Status::NotFound("client " + std::to_string(client.raw()));
   }
   return it->second.stripe_base;
 }
+
+// --- Snapshots ---------------------------------------------------------------
+
+void Server::PublishSnapshotLocked() {
+  std::uint64_t epoch = snapshot_epoch_.load(std::memory_order_relaxed) + 1;
+  version::SnapshotPtr snap = version::Snapshot::Capture(*master_, epoch);
+  {
+    common::MutexLock lock(snapshot_mu_);
+    current_snapshot_ = std::move(snap);
+  }
+  snapshot_epoch_.store(epoch, std::memory_order_release);
+  static obs::Counter* publishes = obs::MetricsRegistry::Global().GetCounter(
+      "server.snapshot.publishes.total");
+  publishes->Increment();
+  static obs::Gauge* epoch_gauge =
+      obs::MetricsRegistry::Global().GetGauge("server.snapshot.epoch");
+  epoch_gauge->Set(static_cast<std::int64_t>(epoch));
+}
+
+void Server::PublishSnapshot() {
+  common::MutexLock lock(master_mu_);
+  PublishSnapshotLocked();
+}
+
+version::SnapshotPtr Server::PinLatest() {
+  {
+    common::MutexLock lock(snapshot_mu_);
+    if (current_snapshot_ != nullptr) return current_snapshot_;
+  }
+  // Nothing published yet: capture the initial snapshot. Two racing first
+  // pins may both publish; the second simply becomes the newer epoch.
+  PublishSnapshot();
+  common::MutexLock lock(snapshot_mu_);
+  return current_snapshot_;
+}
+
+version::SnapshotPtr Server::PinSnapshot() {
+  CountSnapshotPin();
+  return PinLatest();
+}
+
+Result<version::SnapshotPtr> Server::SessionSnapshot(ClientId client) {
+  {
+    common::MutexLock lock(sessions_mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) {
+      return Status::NotFound("client " + std::to_string(client.raw()));
+    }
+    if (it->second.snapshot != nullptr) {
+      CountSnapshotPin();
+      return it->second.snapshot;
+    }
+  }
+  version::SnapshotPtr snap = PinLatest();
+  common::MutexLock lock(sessions_mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  // First read of this session; a concurrent refresh may have pinned one
+  // in the window above, in which case that pin wins.
+  if (it->second.snapshot == nullptr) it->second.snapshot = std::move(snap);
+  CountSnapshotPin();
+  return it->second.snapshot;
+}
+
+Status Server::RefreshSession(ClientId client) {
+  version::SnapshotPtr snap = PinLatest();
+  common::MutexLock lock(sessions_mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return Status::NotFound("client " + std::to_string(client.raw()));
+  }
+  it->second.snapshot = std::move(snap);
+  CountSnapshotPin();
+  return Status::OK();
+}
+
+Result<ObjectId> Server::ResolveRoot(std::string_view name) const {
+  common::MutexLock lock(master_mu_);
+  return master_->FindObjectByName(name);
+}
+
+Result<std::vector<ObjectId>> Server::Query(ClientId client,
+                                            std::string_view text,
+                                            std::string* plan_out,
+                                            query::QueryTrace* trace) {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("server.queries.total");
+  queries->Increment();
+  SEED_ASSIGN_OR_RETURN(version::SnapshotPtr snap, SessionSnapshot(client));
+  return query::RunQuery(version::PinDatabase(std::move(snap)), text,
+                         plan_out, trace);
+}
+
+// --- Locks and checkout ------------------------------------------------------
 
 ObjectId Server::RootOf(ObjectId id) const {
   const auto& objects = master_->objects_raw();
@@ -91,245 +197,251 @@ ObjectId Server::RootOf(ObjectId id) const {
   return cur;
 }
 
-bool Server::HoldsLock(ClientId client, ObjectId root) const {
-  auto it = locks_.find(root);
-  return it != locks_.end() && it->second == client;
-}
-
-bool Server::IsLocked(ObjectId root) const {
-  common::MutexLock lock(mu_);
-  return locks_.find(root) != locks_.end();
-}
-
-Result<ClientId> Server::LockOwner(ObjectId root) const {
-  common::MutexLock lock(mu_);
-  auto it = locks_.find(root);
-  if (it == locks_.end()) {
-    return Status::NotFound("no lock on object " + std::to_string(root.raw()));
-  }
-  return it->second;
-}
-
-std::vector<ObjectId> Server::LocksOf(ClientId client) const {
-  common::MutexLock lock(mu_);
-  std::vector<ObjectId> out;
-  for (const auto& [root, owner] : locks_) {
-    if (owner == client) out.push_back(root);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 Result<CheckoutBundle> Server::Checkout(ClientId client,
                                         const std::vector<ObjectId>& roots) {
-  common::MutexLock lock(mu_);
   static obs::Counter* checkouts = obs::MetricsRegistry::Global().GetCounter(
       "multiuser.checkouts.total");
   checkouts->Increment();
-  if (clients_.find(client) == clients_.end()) {
-    return Status::NotFound("client " + std::to_string(client.raw()));
-  }
-  // Validate all roots first: existence, independence, lock availability.
-  for (ObjectId root : roots) {
-    SEED_ASSIGN_OR_RETURN(const core::ObjectItem* obj,
-                          master_->GetObject(root));
-    if (!obj->is_independent()) {
-      return Status::InvalidArgument(
-          "checkout granularity is the independent object; '" +
-          master_->FullName(root) + "' is dependent");
-    }
-    auto lock_it = locks_.find(root);
-    if (lock_it != locks_.end() && lock_it->second != client) {
-      lock_conflicts_.fetch_add(1, std::memory_order_relaxed);
-      static obs::Counter* conflicts =
-          obs::MetricsRegistry::Global().GetCounter(
-              "multiuser.lock_conflicts.total");
-      conflicts->Increment();
-      return Status::LockConflict(
-          "object '" + master_->FullName(root) + "' is write-locked by "
-          "client " + std::to_string(lock_it->second.raw()));
+  {
+    common::MutexLock lock(sessions_mu_);
+    if (clients_.find(client) == clients_.end()) {
+      return Status::NotFound("client " + std::to_string(client.raw()));
     }
   }
-  // Acquire locks and collect subtree copies.
+
+  // Take the write locks first, all-or-nothing; disjoint checkouts only
+  // ever meet inside the stripe table, never on a server-wide mutex.
+  std::vector<ObjectId> acquired;
+  Status lock_status = locks_.AcquireAll(client, roots, &acquired);
+  if (!lock_status.ok()) {
+    lock_conflicts_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* conflicts = obs::MetricsRegistry::Global().GetCounter(
+        "multiuser.lock_conflicts.total");
+    conflicts->Increment();
+    return lock_status;
+  }
+  LocksHeldGauge()->Set(static_cast<std::int64_t>(locks_.num_held()));
+
+  // The copy itself reads the master, serialized with check-in writers.
+  // Locks were granted optimistically above, so a failed validation must
+  // give back exactly the locks this call added (re-entrant holdings
+  // stay) — after the master mutex is dropped, per the lock order.
+  Status status = Status::OK();
   CheckoutBundle bundle;
-  std::unordered_set<ObjectId> in_bundle;
-  for (ObjectId root : roots) {
-    locks_[root] = client;
-    std::vector<ObjectId> work{root};
-    while (!work.empty()) {
-      ObjectId oid = work.back();
-      work.pop_back();
-      auto it = master_->objects_raw().find(oid);
-      if (it == master_->objects_raw().end() || it->second.deleted) continue;
-      if (!in_bundle.insert(oid).second) continue;
-      bundle.objects.push_back(it->second);
-      work.insert(work.end(), it->second.children.begin(),
-                  it->second.children.end());
+  {
+    common::MutexLock lock(master_mu_);
+    // Validate all roots: existence and independence.
+    for (ObjectId root : roots) {
+      auto obj = master_->GetObject(root);
+      if (!obj.ok()) {
+        status = obj.status();
+        break;
+      }
+      if (!(*obj)->is_independent()) {
+        status = Status::InvalidArgument(
+            "checkout granularity is the independent object; '" +
+            master_->FullName(root) + "' is dependent");
+        break;
+      }
+    }
+    if (status.ok()) {
+      // Collect subtree copies.
+      std::unordered_set<ObjectId> in_bundle;
+      for (ObjectId root : roots) {
+        std::vector<ObjectId> work{root};
+        while (!work.empty()) {
+          ObjectId oid = work.back();
+          work.pop_back();
+          auto it = master_->objects_raw().find(oid);
+          if (it == master_->objects_raw().end() || it->second.deleted) {
+            continue;
+          }
+          if (!in_bundle.insert(oid).second) continue;
+          bundle.objects.push_back(it->second);
+          work.insert(work.end(), it->second.children.begin(),
+                      it->second.children.end());
+        }
+      }
+      // Relationships whose both ends are in the bundle, plus their
+      // attribute subtrees.
+      for (const auto& [rid, rel] : master_->relationships_raw()) {
+        if (rel.deleted) continue;
+        if (in_bundle.count(rel.ends[0]) == 0 ||
+            in_bundle.count(rel.ends[1]) == 0) {
+          continue;
+        }
+        bundle.relationships.push_back(rel);
+        std::vector<ObjectId> work(rel.children.begin(), rel.children.end());
+        while (!work.empty()) {
+          ObjectId oid = work.back();
+          work.pop_back();
+          auto it = master_->objects_raw().find(oid);
+          if (it == master_->objects_raw().end() || it->second.deleted) {
+            continue;
+          }
+          if (!in_bundle.insert(oid).second) continue;
+          bundle.objects.push_back(it->second);
+          work.insert(work.end(), it->second.children.begin(),
+                      it->second.children.end());
+        }
+      }
     }
   }
-  // Relationships whose both ends are in the bundle, plus their attribute
-  // subtrees.
-  for (const auto& [rid, rel] : master_->relationships_raw()) {
-    if (rel.deleted) continue;
-    if (in_bundle.count(rel.ends[0]) == 0 ||
-        in_bundle.count(rel.ends[1]) == 0) {
-      continue;
-    }
-    bundle.relationships.push_back(rel);
-    std::vector<ObjectId> work(rel.children.begin(), rel.children.end());
-    while (!work.empty()) {
-      ObjectId oid = work.back();
-      work.pop_back();
-      auto it = master_->objects_raw().find(oid);
-      if (it == master_->objects_raw().end() || it->second.deleted) continue;
-      if (!in_bundle.insert(oid).second) continue;
-      bundle.objects.push_back(it->second);
-      work.insert(work.end(), it->second.children.begin(),
-                  it->second.children.end());
-    }
+  if (!status.ok()) {
+    if (!acquired.empty()) (void)locks_.Release(client, acquired);
+    LocksHeldGauge()->Set(static_cast<std::int64_t>(locks_.num_held()));
+    return status;
   }
   return bundle;
 }
 
 Status Server::ReleaseLocks(ClientId client,
                             const std::vector<ObjectId>& roots) {
-  common::MutexLock lock(mu_);
-  for (ObjectId root : roots) {
-    auto it = locks_.find(root);
-    if (it == locks_.end() || it->second != client) {
-      return Status::FailedPrecondition(
-          "client does not hold the lock on object " +
-          std::to_string(root.raw()));
-    }
-  }
-  for (ObjectId root : roots) locks_.erase(root);
+  SEED_RETURN_IF_ERROR(locks_.Release(client, roots));
+  LocksHeldGauge()->Set(static_cast<std::int64_t>(locks_.num_held()));
   return Status::OK();
 }
 
-Status Server::Checkin(ClientId client, const CheckinBundle& bundle) {
-  common::MutexLock lock(mu_);
-  auto client_it = clients_.find(client);
-  if (client_it == clients_.end()) {
-    return Status::NotFound("client " + std::to_string(client.raw()));
+// --- Check-in ----------------------------------------------------------------
+
+Status Server::Checkin(ClientId client, const CheckinBundle& bundle,
+                       std::uint64_t* commit_seq) {
+  std::uint64_t stripe_lo = 0;
+  {
+    common::MutexLock lock(sessions_mu_);
+    auto client_it = clients_.find(client);
+    if (client_it == clients_.end()) {
+      return Status::NotFound("client " + std::to_string(client.raw()));
+    }
+    stripe_lo = client_it->second.stripe_base;
   }
-  std::uint64_t stripe_lo = client_it->second.stripe_base;
   std::uint64_t stripe_hi = stripe_lo + kStripeSize;
 
-  // --- Validate lock coverage -------------------------------------------------
-  const auto& objects = master_->objects_raw();
-  const auto& rels = master_->relationships_raw();
-  for (const core::ObjectItem& obj : bundle.objects) {
-    auto existing = objects.find(obj.id);
-    if (existing != objects.end()) {
-      if (!HoldsLock(client, RootOf(obj.id))) {
+  std::uint64_t seq = 0;
+  {
+    common::MutexLock lock(master_mu_);
+
+    // --- Validate lock coverage -----------------------------------------------
+    const auto& objects = master_->objects_raw();
+    const auto& rels = master_->relationships_raw();
+    for (const core::ObjectItem& obj : bundle.objects) {
+      auto existing = objects.find(obj.id);
+      if (existing != objects.end()) {
+        if (!locks_.IsHeldBy(client, RootOf(obj.id))) {
+          checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
+          CountCheckinRejected();
+          return Status::LockConflict(
+              "modified object '" + master_->FullName(obj.id) +
+              "' is not covered by a write lock of this client");
+        }
+      } else if (obj.id.raw() < stripe_lo || obj.id.raw() >= stripe_hi) {
         checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
         CountCheckinRejected();
-        return Status::LockConflict(
-            "modified object '" + master_->FullName(obj.id) +
-            "' is not covered by a write lock of this client");
+        return Status::FailedPrecondition(
+            "new object id " + std::to_string(obj.id.raw()) +
+            " lies outside the client's id stripe");
       }
-    } else if (obj.id.raw() < stripe_lo || obj.id.raw() >= stripe_hi) {
-      checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
-      CountCheckinRejected();
-      return Status::FailedPrecondition(
-          "new object id " + std::to_string(obj.id.raw()) +
-          " lies outside the client's id stripe");
     }
-  }
-  for (const core::RelationshipItem& rel : bundle.relationships) {
-    auto existing = rels.find(rel.id);
-    if (existing == rels.end() &&
-        (rel.id.raw() < stripe_lo || rel.id.raw() >= stripe_hi)) {
-      checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
-      CountCheckinRejected();
-      return Status::FailedPrecondition(
-          "new relationship id " + std::to_string(rel.id.raw()) +
-          " lies outside the client's id stripe");
-    }
-    // Every pre-existing participant must be covered by a lock: creating
-    // or changing a relationship updates both ends' participation.
-    for (ObjectId end : rel.ends) {
-      if (objects.find(end) != objects.end() && !HoldsLock(client, RootOf(end))) {
+    for (const core::RelationshipItem& rel : bundle.relationships) {
+      auto existing = rels.find(rel.id);
+      if (existing == rels.end() &&
+          (rel.id.raw() < stripe_lo || rel.id.raw() >= stripe_hi)) {
         checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
         CountCheckinRejected();
-        return Status::LockConflict(
-            "relationship participant '" + master_->FullName(end) +
-            "' is not covered by a write lock of this client");
+        return Status::FailedPrecondition(
+            "new relationship id " + std::to_string(rel.id.raw()) +
+            " lies outside the client's id stripe");
+      }
+      // Every pre-existing participant must be covered by a lock: creating
+      // or changing a relationship updates both ends' participation.
+      for (ObjectId end : rel.ends) {
+        if (objects.find(end) != objects.end() &&
+            !locks_.IsHeldBy(client, RootOf(end))) {
+          checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
+          CountCheckinRejected();
+          return Status::LockConflict(
+              "relationship participant '" + master_->FullName(end) +
+              "' is not covered by a write lock of this client");
+        }
       }
     }
-  }
 
-  // --- Apply as a single transaction with undo log ---------------------------------
-  struct ObjectUndo {
-    ObjectId id;
-    bool existed;
-    core::ObjectItem old_state;
-  };
-  struct RelationshipUndo {
-    RelationshipId id;
-    bool existed;
-    core::RelationshipItem old_state;
-  };
-  std::vector<ObjectUndo> object_undo;
-  std::vector<RelationshipUndo> rel_undo;
-  for (const core::ObjectItem& obj : bundle.objects) {
-    auto existing = objects.find(obj.id);
-    ObjectUndo undo;
-    undo.id = obj.id;
-    undo.existed = existing != objects.end();
-    if (undo.existed) undo.old_state = existing->second;
-    object_undo.push_back(std::move(undo));
-    master_->RestoreObject(obj);
-  }
-  for (const core::RelationshipItem& rel : bundle.relationships) {
-    auto existing = rels.find(rel.id);
-    RelationshipUndo undo;
-    undo.id = rel.id;
-    undo.existed = existing != rels.end();
-    if (undo.existed) undo.old_state = existing->second;
-    rel_undo.push_back(std::move(undo));
-    master_->RestoreRelationship(rel);
-  }
-  master_->RebuildIndexes();
-
-  core::Report audit = master_->AuditConsistency();
-  if (!audit.clean()) {
-    for (auto it = rel_undo.rbegin(); it != rel_undo.rend(); ++it) {
-      if (it->existed) {
-        master_->RestoreRelationship(it->old_state);
-      } else {
-        master_->EraseRelationshipTrusted(it->id);
-      }
+    // --- Apply as a single transaction with undo log --------------------------
+    struct ObjectUndo {
+      ObjectId id;
+      bool existed;
+      core::ObjectItem old_state;
+    };
+    struct RelationshipUndo {
+      RelationshipId id;
+      bool existed;
+      core::RelationshipItem old_state;
+    };
+    std::vector<ObjectUndo> object_undo;
+    std::vector<RelationshipUndo> rel_undo;
+    for (const core::ObjectItem& obj : bundle.objects) {
+      auto existing = objects.find(obj.id);
+      ObjectUndo undo;
+      undo.id = obj.id;
+      undo.existed = existing != objects.end();
+      if (undo.existed) undo.old_state = existing->second;
+      object_undo.push_back(std::move(undo));
+      master_->RestoreObject(obj);
     }
-    for (auto it = object_undo.rbegin(); it != object_undo.rend(); ++it) {
-      if (it->existed) {
-        master_->RestoreObject(it->old_state);
-      } else {
-        master_->EraseObjectTrusted(it->id);
-      }
+    for (const core::RelationshipItem& rel : bundle.relationships) {
+      auto existing = rels.find(rel.id);
+      RelationshipUndo undo;
+      undo.id = rel.id;
+      undo.existed = existing != rels.end();
+      if (undo.existed) undo.old_state = existing->second;
+      rel_undo.push_back(std::move(undo));
+      master_->RestoreRelationship(rel);
     }
     master_->RebuildIndexes();
-    checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
-    CountCheckinRejected();
-    return Status::ConsistencyViolation(
-        "check-in rejected: " + audit.violations.front().ToString() +
-        (audit.size() > 1
-             ? " (and " + std::to_string(audit.size() - 1) + " more)"
-             : ""));
+
+    core::Report audit = master_->AuditConsistency();
+    if (!audit.clean()) {
+      for (auto it = rel_undo.rbegin(); it != rel_undo.rend(); ++it) {
+        if (it->existed) {
+          master_->RestoreRelationship(it->old_state);
+        } else {
+          master_->EraseRelationshipTrusted(it->id);
+        }
+      }
+      for (auto it = object_undo.rbegin(); it != object_undo.rend(); ++it) {
+        if (it->existed) {
+          master_->RestoreObject(it->old_state);
+        } else {
+          master_->EraseObjectTrusted(it->id);
+        }
+      }
+      master_->RebuildIndexes();
+      checkins_rejected_.fetch_add(1, std::memory_order_relaxed);
+      CountCheckinRejected();
+      // Locks are deliberately kept: the client can repair and retry.
+      return Status::ConsistencyViolation(
+          "check-in rejected: " + audit.violations.front().ToString() +
+          (audit.size() > 1
+               ? " (and " + std::to_string(audit.size() - 1) + " more)"
+               : ""));
+    }
+
+    seq = next_commit_seq_++;
+    // Publish before releasing the stripes: the next checkout winner's
+    // snapshot already contains this commit.
+    PublishSnapshotLocked();
   }
 
-  // Success: release all locks held by this client.
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    if (it->second == client) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Success: release all locks held by this client and move its session
+  // snapshot forward (read-your-writes).
+  locks_.ReleaseAllOf(client);
+  LocksHeldGauge()->Set(static_cast<std::int64_t>(locks_.num_held()));
+  (void)RefreshSession(client);
   checkins_applied_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* applied = obs::MetricsRegistry::Global().GetCounter(
       "multiuser.checkins.applied.total");
   applied->Increment();
+  if (commit_seq != nullptr) *commit_seq = seq;
   return Status::OK();
 }
 

@@ -64,6 +64,7 @@
 #ifndef SEED_QUERY_PARSER_H_
 #define SEED_QUERY_PARSER_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,6 +132,30 @@ Result<JoinChainResult> RunJoinChainQuery(const core::Database& db,
                                           std::string_view text,
                                           std::string* plan_out = nullptr,
                                           QueryTrace* trace = nullptr);
+
+// --- Snapshot-pinned entry points -----------------------------------------
+//
+// Overloads taking shared ownership of the database, for callers reading
+// an MVCC snapshot (version::PinDatabase): the pin is held for the whole
+// parse/plan/execute span, so a concurrent commit publishing a newer
+// snapshot can never free the state a running query reads. Semantics are
+// identical to the borrowing overloads above.
+
+Result<std::vector<ObjectId>> RunQuery(
+    std::shared_ptr<const core::Database> db, std::string_view text,
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
+
+Result<std::vector<RelationshipId>> RunRelationshipQuery(
+    std::shared_ptr<const core::Database> db, std::string_view text,
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
+
+Result<std::vector<std::pair<ObjectId, ObjectId>>> RunJoinQuery(
+    std::shared_ptr<const core::Database> db, std::string_view text,
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
+
+Result<JoinChainResult> RunJoinChainQuery(
+    std::shared_ptr<const core::Database> db, std::string_view text,
+    std::string* plan_out = nullptr, QueryTrace* trace = nullptr);
 
 }  // namespace seed::query
 

@@ -212,6 +212,26 @@ Result<std::unique_ptr<core::Database>> VersionManager::MaterializeView(
   return view;
 }
 
+Result<std::shared_ptr<const core::Database>> VersionManager::PinView(
+    const VersionId& id) const {
+  auto it = pinned_views_.find(id);
+  if (it != pinned_views_.end()) {
+    if (auto live = it->second.lock()) {
+      static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+          "version.view_pins.cached.total");
+      hits->Increment();
+      return live;
+    }
+  }
+  SEED_ASSIGN_OR_RETURN(auto view, MaterializeView(id));
+  std::shared_ptr<const core::Database> shared = std::move(view);
+  pinned_views_[id] = shared;
+  static obs::Counter* pins = obs::MetricsRegistry::Global().GetCounter(
+      "version.view_pins.total");
+  pins->Increment();
+  return shared;
+}
+
 Status VersionManager::SelectVersion(const VersionId& id) {
   SEED_ASSIGN_OR_RETURN(auto view, MaterializeView(id));
   // Replace the working state. Id watermarks must keep growing past every
@@ -285,6 +305,7 @@ Status VersionManager::DeleteVersion(const VersionId& id) {
         " has successors; delete them first");
   }
   records_.erase(it);
+  pinned_views_.erase(id);
   return Status::OK();
 }
 

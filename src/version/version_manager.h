@@ -131,6 +131,15 @@ class VersionManager {
   Result<std::unique_ptr<core::Database>> MaterializeView(
       const VersionId& id) const;
 
+  /// Refcounted variant of MaterializeView: the first pin of a version
+  /// materializes it once and caches a weak reference, so further pins
+  /// while any reader still holds the view are a refcount bump, not a
+  /// rebuild. Versions are immutable, so a cached view never goes stale;
+  /// DeleteVersion drops the cache entry. Not thread-safe — callers
+  /// serialize access to the manager as with every other method.
+  Result<std::shared_ptr<const core::Database>> PinView(
+      const VersionId& id) const;
+
   // --- History retrieval ("find all versions of object X, from 2.0") -------------
 
   /// All versions in which the object changed, ascending, optionally
@@ -161,6 +170,10 @@ class VersionManager {
   std::map<VersionId, VersionRecord> records_;
   /// Schema bytes by schema version, so old views decode under old schemas.
   std::unordered_map<std::uint64_t, std::string> schema_blobs_;
+  /// Weak cache of pinned views; entries outlive their last strong pin
+  /// only as expired weak_ptrs, repopulated on the next pin.
+  mutable std::map<VersionId, std::weak_ptr<const core::Database>>
+      pinned_views_;
 };
 
 }  // namespace seed::version

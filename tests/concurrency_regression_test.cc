@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "multiuser/lock_stripes.h"
 #include "multiuser/server.h"
 #include "obs/metrics.h"
 #include "spades/spec_schema.h"
@@ -199,6 +200,117 @@ TEST_F(ServerConcurrencyTest, ConcurrentDisjointCheckins) {
     EXPECT_EQ(server_->master()->objects_raw().at(roots_[t]).name,
               "Renamed" + std::to_string(t));
   }
+}
+
+// --- LockStripes units (the striped replacement for the old single
+// server mutex; docs/multiuser.md) -------------------------------------------
+
+// N threads race AcquireAll on one root: exactly one owner wins, every
+// loser sees kLockConflict and leaves nothing behind.
+TEST(LockStripesTest, SingleWinnerPerRoot) {
+  multiuser::LockStripes locks;
+  const ObjectId root(42);
+  std::atomic<int> wins{0};
+  std::atomic<int> conflicts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&locks, &wins, &conflicts, root, t] {
+      std::vector<ObjectId> acquired;
+      Status s = locks.AcquireAll(ClientId(t + 1), {root}, &acquired);
+      if (s.ok()) {
+        ASSERT_EQ(acquired.size(), 1u);
+        wins.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ASSERT_TRUE(s.IsLockConflict()) << s.ToString();
+        ASSERT_TRUE(acquired.empty());
+        conflicts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_EQ(conflicts.load(), kThreads - 1);
+  EXPECT_EQ(locks.num_held(), 1u);
+  ASSERT_TRUE(locks.OwnerOf(root).ok());
+}
+
+// Two threads repeatedly acquire overlapping root sets presented in
+// opposed orders. Stripe mutexes are taken in ascending stripe order
+// regardless of argument order, so this cannot deadlock — the test
+// finishing is the assertion — and all-or-nothing acquisition means a
+// loser never holds a partial set.
+TEST(LockStripesTest, OrderedAcquisitionAvoidsDeadlock) {
+  multiuser::LockStripes locks;
+  const std::vector<ObjectId> forward = {ObjectId(1), ObjectId(2),
+                                         ObjectId(3)};
+  const std::vector<ObjectId> backward = {ObjectId(3), ObjectId(2),
+                                          ObjectId(1)};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&locks, &forward, &backward, t] {
+      const ClientId me(t + 1);
+      const auto& mine = t == 0 ? forward : backward;
+      for (int round = 0; round < 200; ++round) {
+        Status s = locks.AcquireAll(me, mine);
+        if (s.ok()) {
+          ASSERT_TRUE(locks.IsHeldBy(me, ObjectId(2)));
+          ASSERT_EQ(locks.ReleaseAllOf(me).size(), 3u);
+        } else {
+          ASSERT_TRUE(s.IsLockConflict()) << s.ToString();
+          ASSERT_TRUE(locks.LocksOf(me).empty())
+              << "failed acquisition left locks behind";
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(locks.num_held(), 0u);
+}
+
+// Re-acquiring held roots is idempotent (and reports only the new
+// ones); release is all-or-nothing and owner-checked.
+TEST(LockStripesTest, ReentrancyAndRelease) {
+  multiuser::LockStripes locks;
+  const ClientId alice(1), bob(2);
+  ASSERT_TRUE(locks.AcquireAll(alice, {ObjectId(1), ObjectId(2)}).ok());
+  std::vector<ObjectId> acquired;
+  ASSERT_TRUE(
+      locks.AcquireAll(alice, {ObjectId(2), ObjectId(3)}, &acquired).ok());
+  EXPECT_EQ(acquired, std::vector<ObjectId>{ObjectId(3)});
+  EXPECT_EQ(locks.num_held(), 3u);
+
+  // Bob cannot release Alice's roots; the all-or-nothing failure keeps
+  // even roots he named that nobody holds.
+  EXPECT_TRUE(locks.Release(bob, {ObjectId(1)}).IsFailedPrecondition());
+  EXPECT_TRUE(
+      locks.Release(alice, {ObjectId(1), ObjectId(99)}).IsFailedPrecondition());
+  EXPECT_EQ(locks.num_held(), 3u);
+
+  ASSERT_TRUE(locks.Release(alice, {ObjectId(2)}).ok());
+  const std::vector<ObjectId> rest = locks.ReleaseAllOf(alice);
+  EXPECT_EQ(rest, (std::vector<ObjectId>{ObjectId(1), ObjectId(3)}));
+  EXPECT_EQ(locks.num_held(), 0u);
+  EXPECT_FALSE(locks.IsLocked(ObjectId(1)));
+}
+
+// Stripes partition ownership, they are not coarse locks: two clients
+// may own different roots that hash to the same stripe.
+TEST(LockStripesTest, SameStripeDifferentRootsBothLockable) {
+  multiuser::LockStripes locks;
+  const ObjectId a(7);
+  ObjectId b;
+  for (std::uint64_t raw = 8;; ++raw) {
+    if (locks.StripeOf(ObjectId(raw)) == locks.StripeOf(a)) {
+      b = ObjectId(raw);
+      break;
+    }
+  }
+  ASSERT_TRUE(locks.AcquireAll(ClientId(1), {a}).ok());
+  ASSERT_TRUE(locks.AcquireAll(ClientId(2), {b}).ok());
+  EXPECT_EQ(*locks.OwnerOf(a), ClientId(1));
+  EXPECT_EQ(*locks.OwnerOf(b), ClientId(2));
+  EXPECT_TRUE(
+      locks.AcquireAll(ClientId(2), {a}).IsLockConflict());
 }
 
 // Racing registrants of one metric name must all receive the same

@@ -356,5 +356,56 @@ TEST_F(VersionTest, PersistenceRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+// PinView is the refcounted sibling of MaterializeView: repeated pins of
+// a live version share one materialization, dropping every pin frees it,
+// and DeleteVersion invalidates the cache slot.
+TEST_F(VersionTest, PinViewSharesOneMaterialization) {
+  ObjectId a = *db_->CreateObject(ids_.action, "A");
+  ASSERT_TRUE(vm_->CreateVersion(*VersionId::Parse("1.0")).ok());
+  ASSERT_TRUE(db_->Rename(a, "A2").ok());
+  ASSERT_TRUE(vm_->CreateVersion(*VersionId::Parse("2.0")).ok());
+
+  auto first = vm_->PinView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE((*first)->FindObjectByName("A").ok());
+
+  // A second pin while the first is live is the same object, not a
+  // second clone.
+  auto second = vm_->PinView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+
+  // Once every pin drops, the weak cache empties and the next pin
+  // materializes afresh (a different allocation serving equal bytes).
+  const core::Database* old_ptr = first->get();
+  first->reset();
+  second->reset();
+  auto third = vm_->PinView(*VersionId::Parse("1.0"));
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE((*third)->FindObjectByName("A").ok());
+  (void)old_ptr;  // may or may not be reused by the allocator
+}
+
+TEST_F(VersionTest, PinViewAfterDeleteVersionFails) {
+  ObjectId a = *db_->CreateObject(ids_.action, "A");
+  ASSERT_TRUE(vm_->CreateVersion(*VersionId::Parse("1.0")).ok());
+  ASSERT_TRUE(db_->CreateObject(ids_.action, "B").ok());
+  ASSERT_TRUE(vm_->CreateVersion(*VersionId::Parse("2.0")).ok());
+  // Branch off 1.0 so 2.0 becomes a deletable leaf (not the basis).
+  ASSERT_TRUE(vm_->SelectVersion(*VersionId::Parse("1.0")).ok());
+  ASSERT_TRUE(db_->Rename(a, "ABranch").ok());
+  ASSERT_TRUE(vm_->CreateVersion().ok());
+
+  auto pin = vm_->PinView(*VersionId::Parse("2.0"));
+  ASSERT_TRUE(pin.ok());
+  ASSERT_TRUE(vm_->DeleteVersion(*VersionId::Parse("2.0")).ok());
+
+  // The held pin stays valid — deletion only unlinks the version — but
+  // new pins of the deleted id must fail, not resurrect the cache slot.
+  EXPECT_TRUE((*pin)->FindObjectByName("B").ok());
+  EXPECT_TRUE(
+      vm_->PinView(*VersionId::Parse("2.0")).status().IsNotFound());
+}
+
 }  // namespace
 }  // namespace seed::version

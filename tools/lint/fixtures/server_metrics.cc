@@ -1,0 +1,15 @@
+// Fixture: the `server.` subsystem prefix is accepted by metric-name, and
+// a server counter without a counter suffix is still rejected.
+
+namespace seed::fixtures {
+
+void ServerMetrics() {
+  static obs::Counter* ok = obs::MetricsRegistry::Global().GetCounter(
+      "server.fixture_commits.total");
+  ok->Increment();
+  static obs::Counter* bad = obs::MetricsRegistry::Global().GetCounter(
+      "server.fixture_commits");  // lint-expect: metric-name
+  bad->Increment();
+}
+
+}  // namespace seed::fixtures

@@ -40,7 +40,7 @@ import sys
 
 SUBSYSTEMS = (
     "core", "index", "storage", "multiuser", "version",
-    "query", "algebra", "exec", "obs",
+    "query", "algebra", "exec", "obs", "server",
 )
 
 METRIC_NAME_RE = re.compile(
