@@ -19,6 +19,7 @@
 //                     exit 1 when the enabled path is more than 5% slower
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cinttypes>
 #include <cstdint>
@@ -37,7 +38,9 @@
 #include "multiuser/server.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
+#include "query/plan_cache.h"
 #include "query/planner.h"
+#include "schema/schema_builder.h"
 #include "spades/spec_schema.h"
 #include "spades/spec_tool.h"
 #include "spades/workload.h"
@@ -55,7 +58,7 @@ using seed::version::VersionId;
 using seed::version::VersionManager;
 
 constexpr int kSchemaVersion = 1;
-constexpr int kPr = 9;
+constexpr int kPr = 10;
 
 [[noreturn]] void Die(const std::string& what, const seed::Status& s) {
   std::fprintf(stderr, "bench_trajectory: %s: %s\n", what.c_str(),
@@ -84,17 +87,82 @@ struct ScenarioResult {
   std::string extra_json;
 };
 
-/// Times `fn` (which returns its op count) and attributes the registry's
-/// rows-visited delta to the scenario.
+// --- Per-scenario query-phase quantiles ------------------------------------
+//
+// Every textual query records its phase durations into the global
+// query.phase.<phase>.ns histograms (obs/trace.h), whether or not it
+// asked for a trace. Diffing the bucket counts around a scenario yields
+// that scenario's own latency distribution, from which p50/p99 come out
+// as bucket lower bounds (log2 buckets: exact to within 2x, stable
+// across machines in shape if not in absolute value).
+
+using PhaseBuckets =
+    std::array<std::uint64_t, seed::obs::Histogram::kNumBuckets>;
+
+const char* const kPhaseHistograms[seed::obs::kNumQueryPhases] = {
+    "query.phase.parse.ns", "query.phase.lower.ns",
+    "query.phase.optimize.ns", "query.phase.execute.ns"};
+
+PhaseBuckets SnapshotPhaseBuckets(int phase) {
+  const seed::obs::Histogram* h =
+      seed::obs::MetricsRegistry::Global().GetHistogram(
+          kPhaseHistograms[phase]);
+  PhaseBuckets out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = h->bucket(i);
+  return out;
+}
+
+std::uint64_t DeltaQuantile(const PhaseBuckets& before,
+                            const PhaseBuckets& after, double q) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    cumulative += after[i] - before[i];
+    if (cumulative >= rank) {
+      return seed::obs::Histogram::BucketLowerBound(i);
+    }
+  }
+  return seed::obs::Histogram::BucketLowerBound(before.size() - 1);
+}
+
+/// Times `fn` (which returns its op count), attributes the registry's
+/// rows-visited delta to the scenario, and records the scenario's own
+/// query-phase p50/p99 (phases that saw no queries are omitted).
 template <typename Fn>
 ScenarioResult RunScenario(const std::string& name, Fn&& fn) {
   ScenarioResult result;
   result.name = name;
+  PhaseBuckets phases_before[seed::obs::kNumQueryPhases];
+  for (int p = 0; p < seed::obs::kNumQueryPhases; ++p) {
+    phases_before[p] = SnapshotPhaseBuckets(p);
+  }
   std::uint64_t rows_before = RowsVisitedCounter();
   std::uint64_t start = seed::obs::NowNanos();
   result.ops = fn();
   result.elapsed_ns = seed::obs::NowNanos() - start;
   result.rows_visited = RowsVisitedCounter() - rows_before;
+  for (int p = 0; p < seed::obs::kNumQueryPhases; ++p) {
+    PhaseBuckets after = SnapshotPhaseBuckets(p);
+    std::uint64_t p50 = DeltaQuantile(phases_before[p], after, 0.5);
+    std::uint64_t p99 = DeltaQuantile(phases_before[p], after, 0.99);
+    if (p50 == 0 && p99 == 0) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s_p50_ns\": %" PRIu64 ", \"%s_p99_ns\": %" PRIu64,
+                  result.extra_json.empty() ? "" : ", ",
+                  seed::obs::QueryPhaseName(
+                      static_cast<seed::obs::QueryPhase>(p)),
+                  p50,
+                  seed::obs::QueryPhaseName(
+                      static_cast<seed::obs::QueryPhase>(p)),
+                  p99);
+    result.extra_json += buf;
+  }
   std::fprintf(stderr, "  %-28s %8" PRIu64 " ops  %10.3f ms  %12" PRIu64
                        " rows visited\n",
                result.name.c_str(), result.ops,
@@ -385,6 +453,140 @@ std::uint64_t MultiuserConcurrent(std::string* extra_json) {
   return total_reads;
 }
 
+/// The textual plan-cache hot loop: one parameterized 6-hop join-chain
+/// shape, run cold (cache cleared before every query) and warm (cache
+/// retained, only the literal varies). The loop hard-gates the cache
+/// contract in-driver, like ParallelJoinSkewed gates its rows identity:
+/// warm hit rate must be >= 90%, the warm per-query optimize phase must
+/// be >= 5x cheaper than cold, and both loops must visit identical rows
+/// (a cached plan never changes the work). Hit rate and per-query plan
+/// times land in the JSON.
+std::uint64_t PlanCacheHotLoop(int scale, std::string* extra_json) {
+  constexpr int kChainHops = 6;
+  seed::schema::SchemaBuilder builder("PlanCacheWorld");
+  std::vector<seed::ClassId> classes;
+  for (int i = 0; i <= kChainHops; ++i) {
+    classes.push_back(builder.AddIndependentClass(
+        "C" + std::to_string(i),
+        i == 0 ? seed::schema::ValueType::kInt
+               : seed::schema::ValueType::kNone));
+  }
+  std::vector<seed::AssociationId> assocs;
+  for (int i = 0; i < kChainHops; ++i) {
+    assocs.push_back(builder.AddAssociation(
+        "H" + std::to_string(i + 1),
+        seed::schema::Role{"from", classes[static_cast<std::size_t>(i)],
+                           seed::schema::Cardinality::Any()},
+        seed::schema::Role{"to", classes[static_cast<std::size_t>(i) + 1],
+                           seed::schema::Cardinality::Any()}));
+  }
+  auto schema = builder.Build();
+  if (!schema.ok()) Die("SchemaBuilder::Build", schema.status());
+  Database db(*schema);
+  Check(db.CreateAttributeIndex({classes[0], ""}), "CreateAttributeIndex");
+  int n = std::max(20, scale / 10);
+  std::vector<std::vector<ObjectId>> objs(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    for (int i = 0; i < n; ++i) {
+      auto obj = db.CreateObject(
+          classes[c], "C" + std::to_string(c) + "_" + std::to_string(i));
+      if (!obj.ok()) Die("CreateObject", obj.status());
+      objs[c].push_back(*obj);
+      if (c == 0) Check(db.SetValue(*obj, Value::Int(i % 10)), "SetValue");
+    }
+  }
+  for (int h = 0; h < kChainHops; ++h) {
+    for (int i = 0; i < n; ++i) {
+      std::size_t hs = static_cast<std::size_t>(h);
+      std::size_t is = static_cast<std::size_t>(i);
+      Check(db.CreateRelationship(assocs[hs], objs[hs][is],
+                                  objs[hs + 1][is])
+                .status(),
+            "CreateRelationship");
+    }
+  }
+
+  std::string query_prefix = "find C0 b0";
+  for (int i = 0; i < kChainHops; ++i) {
+    query_prefix += " join via H" + std::to_string(i + 1) + " to C" +
+                    std::to_string(i + 1) + " b" + std::to_string(i + 1);
+  }
+  constexpr int kQueries = 200;
+  auto run_loop = [&](bool cold, std::uint64_t* optimize_ns,
+                      std::uint64_t* rows) {
+    std::uint64_t rows_before = RowsVisitedCounter();
+    *optimize_ns = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      if (cold) seed::query::PlanCache::Global().Clear();
+      seed::query::QueryTrace trace;
+      auto r = seed::query::RunJoinChainQuery(
+          db, query_prefix + " where b0 value is " + std::to_string(q % 10),
+          nullptr, &trace);
+      if (!r.ok()) Die("RunJoinChainQuery", r.status());
+      *optimize_ns += trace.ctx.phase_ns[static_cast<int>(
+                                             seed::obs::QueryPhase::kOptimize)]
+                          .load(std::memory_order_relaxed);
+    }
+    *rows = RowsVisitedCounter() - rows_before;
+  };
+
+  seed::query::PlanCache::Global().Clear();
+  std::uint64_t cold_ns = 0, cold_rows = 0;
+  run_loop(/*cold=*/true, &cold_ns, &cold_rows);
+  // The cold loop's final query left its entry behind, so the warm loop
+  // starts hot: every one of its lookups can hit.
+  std::uint64_t hits_before = seed::obs::MetricsRegistry::Global()
+                                  .GetCounter("planner.cache.hits.total")
+                                  ->value();
+  std::uint64_t warm_ns = 0, warm_rows = 0;
+  run_loop(/*cold=*/false, &warm_ns, &warm_rows);
+  std::uint64_t hits = seed::obs::MetricsRegistry::Global()
+                           .GetCounter("planner.cache.hits.total")
+                           ->value() -
+                       hits_before;
+  seed::query::PlanCache::Global().Clear();
+
+  double hit_rate = static_cast<double>(hits) / kQueries;
+  double speedup = warm_ns == 0 ? 0.0
+                                : static_cast<double>(cold_ns) /
+                                      static_cast<double>(warm_ns);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"warm_hit_rate\": %.3f, \"cold_plan_us_per_query\": %.2f, "
+                "\"warm_plan_us_per_query\": %.2f, \"plan_speedup\": %.2f",
+                hit_rate, static_cast<double>(cold_ns) / 1e3 / kQueries,
+                static_cast<double>(warm_ns) / 1e3 / kQueries, speedup);
+  *extra_json = buf;
+  std::fprintf(stderr,
+               "  %-28s warm hit rate %.1f%%, plan %.2fus -> %.2fus "
+               "per query (%.1fx)\n",
+               "plan_cache_hot_loop", hit_rate * 100.0,
+               static_cast<double>(cold_ns) / 1e3 / kQueries,
+               static_cast<double>(warm_ns) / 1e3 / kQueries, speedup);
+  if (hit_rate < 0.9) {
+    std::fprintf(stderr, "bench_trajectory: plan_cache_hot_loop warm hit "
+                         "rate %.1f%% below the 90%% gate\n",
+                 hit_rate * 100.0);
+    std::exit(1);
+  }
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "bench_trajectory: plan_cache_hot_loop warm "
+                         "planning only %.2fx cheaper than cold "
+                         "(gate: 5x)\n",
+                 speedup);
+    std::exit(1);
+  }
+  if (cold_rows != warm_rows) {
+    std::fprintf(stderr,
+                 "bench_trajectory: plan_cache_hot_loop visited %" PRIu64
+                 " rows warm vs %" PRIu64 " cold — the cache changed the "
+                 "work\n",
+                 warm_rows, cold_rows);
+    std::exit(1);
+  }
+  return 2 * kQueries;
+}
+
 /// The DP-planned skewed 5-hop chain shared with bench_query and the
 /// plan-quality smoke gate.
 std::uint64_t JoinChain5Hop(int scale) {
@@ -617,18 +819,30 @@ int main(int argc, char** argv) {
   results.push_back(RunScenario("multiuser_checkout_checkin", [&] {
     return MultiuserCheckoutCheckin(scale);
   }));
+  // Scenario-specific extras append after RunScenario's own query-phase
+  // quantile fields.
+  auto append_extra = [&](const std::string& extra) {
+    if (extra.empty()) return;
+    if (!results.back().extra_json.empty()) results.back().extra_json += ", ";
+    results.back().extra_json += extra;
+  };
   std::string multiuser_extra;
   results.push_back(RunScenario("multiuser_concurrent", [&] {
     return MultiuserConcurrent(&multiuser_extra);
   }));
-  results.back().extra_json = multiuser_extra;
+  append_extra(multiuser_extra);
   results.push_back(
       RunScenario("join_chain_5hop", [&] { return JoinChain5Hop(scale); }));
+  std::string cache_extra;
+  results.push_back(RunScenario("plan_cache_hot_loop", [&] {
+    return PlanCacheHotLoop(scale, &cache_extra);
+  }));
+  append_extra(cache_extra);
   std::string parallel_extra;
   results.push_back(RunScenario("parallel_join_skewed", [&] {
     return ParallelJoinSkewed(scale, &parallel_extra);
   }));
-  results.back().extra_json = parallel_extra;
+  append_extra(parallel_extra);
 
   FILE* out = stdout;
   if (!out_path.empty()) {

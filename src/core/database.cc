@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "common/macros.h"
@@ -58,6 +59,8 @@ void CountReclassify() {
 
 Database::Database(schema::SchemaPtr schema) : schema_(std::move(schema)) {
   assert(schema_ != nullptr);
+  static std::atomic<std::uint64_t> next_instance_id{1};
+  instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 ObjectItem* Database::MutableObject(ObjectId id) {
@@ -145,8 +148,8 @@ void Database::MoveParticipantCounts(ObjectId obj, ClassId from_cls,
     if (rel.is_pattern) continue;
     for (int role = 0; role < 2; ++role) {
       if (rel.ends[role] != obj) continue;
-      extent_counters_.RemoveParticipant(rel.assoc, role, from_cls);
-      extent_counters_.AddParticipant(rel.assoc, role, to_cls);
+      extent_counters_.RemoveParticipant(rel.assoc, role, from_cls, obj);
+      extent_counters_.AddParticipant(rel.assoc, role, to_cls, obj);
     }
   }
 }
@@ -157,8 +160,8 @@ void Database::MoveParticipantCounts(const RelationshipItem& rel,
   if (rel.is_pattern) return;
   for (int role = 0; role < 2; ++role) {
     ClassId cls = EndClass(rel.ends[role]);
-    extent_counters_.RemoveParticipant(from_assoc, role, cls);
-    extent_counters_.AddParticipant(to_assoc, role, cls);
+    extent_counters_.RemoveParticipant(from_assoc, role, cls, rel.ends[role]);
+    extent_counters_.AddParticipant(to_assoc, role, cls, rel.ends[role]);
   }
 }
 
@@ -173,7 +176,8 @@ void Database::IndexRelationship(const RelationshipItem& rel) {
     extent_counters_.AddRelationship(rel.assoc);
     for (int role = 0; role < 2; ++role) {
       extent_counters_.AddParticipant(rel.assoc, role,
-                                      EndClass(rel.ends[role]));
+                                      EndClass(rel.ends[role]),
+                                      rel.ends[role]);
     }
   }
   ++live_relationships_;
@@ -189,7 +193,8 @@ void Database::UnindexRelationship(const RelationshipItem& rel) {
     extent_counters_.RemoveRelationship(rel.assoc);
     for (int role = 0; role < 2; ++role) {
       extent_counters_.RemoveParticipant(rel.assoc, role,
-                                         EndClass(rel.ends[role]));
+                                         EndClass(rel.ends[role]),
+                                         rel.ends[role]);
     }
   }
   --live_relationships_;

@@ -17,6 +17,7 @@
 #ifndef SEED_CORE_DATABASE_H_
 #define SEED_CORE_DATABASE_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -84,6 +85,11 @@ class Database {
   Database& operator=(Database&&) = default;
 
   const schema::SchemaPtr& schema() const { return schema_; }
+
+  /// Process-unique id assigned at construction and carried through
+  /// moves. The plan cache keys on it so entries never alias across
+  /// databases (every version snapshot is a fresh instance).
+  std::uint64_t instance_id() const { return instance_id_; }
 
   // --- Object creation and update -----------------------------------------
 
@@ -377,6 +383,7 @@ class Database {
   Status DeleteRelationshipImpl(RelationshipId id);
 
   schema::SchemaPtr schema_;
+  std::uint64_t instance_id_ = 0;
 
   // Ordered maps so scans and serialization are deterministic.
   std::map<ObjectId, ObjectItem> objects_;

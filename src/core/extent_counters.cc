@@ -1,8 +1,19 @@
 #include "core/extent_counters.h"
 
+#include <bit>
 #include <vector>
 
 namespace seed::core {
+
+namespace {
+
+/// Log2 bucket index of a degree: floor(log2(d)), with degree 0 mapped
+/// to bucket 0 (never stored, but keeps the index provably in range).
+size_t DegreeBucket(size_t degree) {
+  return degree == 0 ? 0 : static_cast<size_t>(std::bit_width(degree)) - 1;
+}
+
+}  // namespace
 
 void ExtentCounters::RemoveObject(ClassId cls) {
   auto it = classes_.find(cls);
@@ -17,12 +28,17 @@ void ExtentCounters::RemoveRelationship(AssociationId assoc) {
 }
 
 void ExtentCounters::AddParticipant(AssociationId assoc, int role,
-                                    ClassId cls) {
+                                    ClassId cls, ObjectId obj) {
   ++participants_[assoc][role & 1][cls];
+  DegreeDist& dist = degrees_[assoc][role & 1][cls];
+  const size_t degree = ++dist.degree[obj];
+  if (degree > 1) --dist.buckets[DegreeBucket(degree - 1)];
+  ++dist.buckets[DegreeBucket(degree)];
+  ++dist.ends;
 }
 
 void ExtentCounters::RemoveParticipant(AssociationId assoc, int role,
-                                       ClassId cls) {
+                                       ClassId cls, ObjectId obj) {
   auto it = participants_.find(assoc);
   if (it == participants_.end()) return;
   auto& per_class = it->second[role & 1];
@@ -32,12 +48,34 @@ void ExtentCounters::RemoveParticipant(AssociationId assoc, int role,
   if (it->second[0].empty() && it->second[1].empty()) {
     participants_.erase(it);
   }
+  auto dit = degrees_.find(assoc);
+  if (dit == degrees_.end()) return;
+  auto& per_class_deg = dit->second[role & 1];
+  auto cell = per_class_deg.find(cls);
+  if (cell == per_class_deg.end()) return;
+  DegreeDist& dist = cell->second;
+  auto deg_entry = dist.degree.find(obj);
+  if (deg_entry == dist.degree.end()) return;
+  const size_t degree = deg_entry->second;
+  --dist.buckets[DegreeBucket(degree)];
+  if (degree > 1) {
+    ++dist.buckets[DegreeBucket(degree - 1)];
+    --deg_entry->second;
+  } else {
+    dist.degree.erase(deg_entry);
+  }
+  --dist.ends;
+  if (dist.degree.empty()) per_class_deg.erase(cell);
+  if (dit->second[0].empty() && dit->second[1].empty()) {
+    degrees_.erase(dit);
+  }
 }
 
 void ExtentCounters::Clear() {
   classes_.clear();
   assocs_.clear();
   participants_.clear();
+  degrees_.clear();
 }
 
 size_t ExtentCounters::CountClass(ClassId cls) const {
@@ -77,6 +115,44 @@ size_t ExtentCounters::CountParticipants(AssociationId assoc, int role,
   const auto& per_class = it->second[role & 1];
   auto entry = per_class.find(cls);
   return entry == per_class.end() ? 0 : entry->second;
+}
+
+ExtentCounters::DegreeSummary ExtentCounters::DegreeStats(
+    const schema::Schema& schema, AssociationId assoc, int role, ClassId cls,
+    bool include_specializations) const {
+  std::vector<ClassId> classes =
+      include_specializations ? schema.ClassFamily(cls)
+                              : std::vector<ClassId>{cls};
+  DegreeSummary summary;
+  size_t top_bucket = 0;
+  bool any = false;
+  for (AssociationId a : schema.AssociationFamily(assoc)) {
+    auto it = degrees_.find(a);
+    if (it == degrees_.end()) continue;
+    const auto& per_class = it->second[role & 1];
+    for (ClassId c : classes) {
+      auto cell = per_class.find(c);
+      if (cell == per_class.end()) continue;
+      const DegreeDist& dist = cell->second;
+      // Exact classes partition objects, so `distinct` sums cleanly
+      // across class cells; an object participating in several
+      // associations of the family is counted once per association —
+      // an overcount that only makes the mean degree conservative.
+      summary.distinct += dist.degree.size();
+      summary.ends += dist.ends;
+      for (size_t b = dist.buckets.size(); b-- > 0;) {
+        if (dist.buckets[b] == 0) continue;
+        any = true;
+        if (b > top_bucket) top_bucket = b;
+        break;
+      }
+    }
+  }
+  if (any) {
+    // Highest occupied bucket b holds degrees in [2^b, 2^(b+1)).
+    summary.max_degree_upper = (size_t{2} << top_bucket) - 1;
+  }
+  return summary;
 }
 
 size_t ExtentCounters::CountParticipantsExtent(

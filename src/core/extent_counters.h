@@ -45,9 +45,12 @@ class ExtentCounters {
   void RemoveRelationship(AssociationId assoc);
 
   /// One relationship end: a live non-pattern relationship of exactly
-  /// `assoc` whose role-`role` end is an object of exactly `cls`.
-  void AddParticipant(AssociationId assoc, int role, ClassId cls);
-  void RemoveParticipant(AssociationId assoc, int role, ClassId cls);
+  /// `assoc` whose role-`role` end is the object `obj` of exactly `cls`.
+  /// The object identity feeds the per-cell degree distribution.
+  void AddParticipant(AssociationId assoc, int role, ClassId cls,
+                      ObjectId obj);
+  void RemoveParticipant(AssociationId assoc, int role, ClassId cls,
+                         ObjectId obj);
 
   void Clear();
 
@@ -75,7 +78,33 @@ class ExtentCounters {
                                  AssociationId assoc, int role, ClassId cls,
                                  bool include_specializations = true) const;
 
+  /// Degree-distribution summary over the association family at `role`,
+  /// restricted to participant objects of the `cls` family: total ends,
+  /// distinct participant objects, and an upper bound on the hottest
+  /// object's degree read off the log2 degree buckets (so within 2x of
+  /// the true maximum). `ends / distinct` is the mean degree;
+  /// `max_degree_upper` against that mean is the planner's skew signal —
+  /// near-uniform graphs stay below 2x by construction of the buckets.
+  struct DegreeSummary {
+    size_t ends = 0;
+    size_t distinct = 0;
+    size_t max_degree_upper = 0;
+  };
+  DegreeSummary DegreeStats(const schema::Schema& schema,
+                            AssociationId assoc, int role, ClassId cls,
+                            bool include_specializations = true) const;
+
  private:
+  /// Per-(assoc, role, class) degree histogram: the exact per-object end
+  /// count plus log2 buckets over it (buckets[i] counts objects with
+  /// degree in [2^i, 2^(i+1))), maintained incrementally on every degree
+  /// transition so DegreeStats never scans.
+  struct DegreeDist {
+    std::unordered_map<ObjectId, size_t> degree;
+    std::array<size_t, 64> buckets{};
+    size_t ends = 0;
+  };
+
   std::unordered_map<ClassId, size_t> classes_;
   std::unordered_map<AssociationId, size_t> assocs_;
   /// participants_[assoc][role][cls] — roles of an association are
@@ -83,6 +112,10 @@ class ExtentCounters {
   std::unordered_map<AssociationId,
                      std::array<std::unordered_map<ClassId, size_t>, 2>>
       participants_;
+  /// degrees_[assoc][role][cls] — same cell structure as participants_.
+  std::unordered_map<AssociationId,
+                     std::array<std::unordered_map<ClassId, DegreeDist>, 2>>
+      degrees_;
 };
 
 }  // namespace seed::core

@@ -55,13 +55,19 @@ void AttributeIndex::Insert(const core::Value& key, EntryId id) {
     it = hash_.emplace(key, ordered_.emplace(key, std::set<EntryId>{}).first)
              .first;
   }
-  if (it->second->second.insert(id).second) ++num_entries_;
+  if (it->second->second.insert(id).second) {
+    ++num_entries_;
+    ++mutations_;
+  }
 }
 
 void AttributeIndex::Erase(const core::Value& key, EntryId id) {
   auto it = hash_.find(key);
   if (it == hash_.end()) return;
-  if (it->second->second.erase(id) != 0) --num_entries_;
+  if (it->second->second.erase(id) != 0) {
+    --num_entries_;
+    ++mutations_;
+  }
   if (it->second->second.empty()) {
     ordered_.erase(it->second);
     hash_.erase(it);
@@ -172,22 +178,109 @@ double AttributeIndex::EstimateRange(const core::Value& lo, bool lo_inclusive,
   // Budget exhausted with keys still inside the range. Walk up to
   // probe_limit more of them (counting keys, not postings) so any range
   // spanning at most 2 x probe_limit keys still pro-rates over its
-  // *actual* key population; only past that do we fall back to "all
-  // keys the index could still hold inside [lo, hi]". Either way keys
-  // outside the range never inflate the estimate.
+  // *actual* key population; wider than that, the equi-depth histogram
+  // takes over. Either way keys outside the range never inflate the
+  // estimate.
   size_t keys_ahead = 0;
   auto probe = it;
   for (; probe != end_it && keys_ahead < probe_limit; ++probe) ++keys_ahead;
-  const size_t remaining = probe == end_it
-                               ? keys_ahead
-                               : num_distinct_keys() - keys_seen;
+  if (probe != end_it) {
+    // More than 2 x probe_limit keys inside the range: the bounded walk
+    // cannot see the tail, and pro-rating the walked density over every
+    // key the index could still hold is unboundedly wrong under skew.
+    // Answer from the equi-depth histogram instead: O(log buckets) to
+    // locate the overlap, provably within half the two boundary buckets
+    // of the exact count.
+    common::MutexLock lock(histogram_mu_);
+    if (!histogram_built_ || histogram_stamp_ != mutations_) {
+      RebuildHistogramLocked();
+    }
+    return HistogramEstimate(lo, lo_inclusive, hi, hi_inclusive);
+  }
+  // At most 2 x probe_limit keys: `keys_ahead` is the exact tail key
+  // count, pro-rate the walked density over just those keys.
   const double per_key =
       static_cast<double>(counted) / static_cast<double>(keys_seen);
   const double est = static_cast<double>(counted) +
-                     per_key * static_cast<double>(remaining);
+                     per_key * static_cast<double>(keys_ahead);
   return est > static_cast<double>(num_entries_)
              ? static_cast<double>(num_entries_)
              : est;
+}
+
+void AttributeIndex::RebuildHistogramLocked() const {
+  static obs::Counter* builds = obs::MetricsRegistry::Global().GetCounter(
+      "stats.histogram.builds.total");
+  builds->Increment();
+  histogram_.clear();
+  histogram_built_ = true;
+  histogram_stamp_ = mutations_;
+  if (ordered_.empty()) return;
+  // Equal-frequency target depth; the closing key of a bucket may carry
+  // it past the target, so a bucket holds at most target - 1 + (largest
+  // posting list in it) rows.
+  const size_t target =
+      (num_entries_ + kHistogramBuckets - 1) / kHistogramBuckets;
+  HistogramBucket bucket;
+  bool open = false;
+  for (const auto& [key, ids] : ordered_) {
+    if (!open) {
+      bucket = HistogramBucket{};
+      bucket.lower = key;
+      open = true;
+    }
+    bucket.upper = key;
+    bucket.rows += ids.size();
+    bucket.keys += 1;
+    if (bucket.rows >= target) {
+      histogram_.push_back(bucket);
+      open = false;
+    }
+  }
+  if (open) histogram_.push_back(bucket);
+}
+
+double AttributeIndex::HistogramEstimate(const core::Value& lo,
+                                         bool lo_inclusive,
+                                         const core::Value& hi,
+                                         bool hi_inclusive) const {
+  if (histogram_.empty()) return 0.0;
+  // A key `v` is inside the range's lower (upper) bound:
+  const auto above_lo = [&](const core::Value& v) {
+    int c = v.Compare(lo);
+    return c > 0 || (c == 0 && lo_inclusive);
+  };
+  const auto below_hi = [&](const core::Value& v) {
+    int c = v.Compare(hi);
+    return c < 0 || (c == 0 && hi_inclusive);
+  };
+  // Buckets are disjoint and ordered, so the overlapping run is found by
+  // two binary searches; the constant-size walk over it (≤ 32 buckets)
+  // sums full buckets exactly and boundary buckets at half weight.
+  const auto first = std::partition_point(
+      histogram_.begin(), histogram_.end(),
+      [&](const HistogramBucket& b) { return !above_lo(b.upper); });
+  const auto last = std::partition_point(
+      first, histogram_.end(),
+      [&](const HistogramBucket& b) { return below_hi(b.lower); });
+  double est = 0.0;
+  for (auto it = first; it != last; ++it) {
+    const bool whole = above_lo(it->lower) && below_hi(it->upper);
+    est += whole ? static_cast<double>(it->rows)
+                 : static_cast<double>(it->rows) / 2.0;
+  }
+  return est > static_cast<double>(num_entries_)
+             ? static_cast<double>(num_entries_)
+             : est;
+}
+
+std::vector<AttributeIndex::HistogramBucket> AttributeIndex::Histogram()
+    const {
+  common::MutexLock lock(histogram_mu_);
+  if (!histogram_built_ || histogram_stamp_ != mutations_) {
+    RebuildHistogramLocked();
+  }
+  return histogram_;
 }
 
 void AttributeIndex::ForEach(
@@ -209,6 +302,7 @@ void AttributeIndex::Clear() {
   hash_.clear();
   keys_of_.clear();
   num_entries_ = 0;
+  ++mutations_;
 }
 
 }  // namespace seed::index

@@ -33,6 +33,7 @@
 #ifndef SEED_INDEX_ATTRIBUTE_INDEX_H_
 #define SEED_INDEX_ATTRIBUTE_INDEX_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/thread_annotations.h"
 #include "core/value.h"
 
 namespace seed::index {
@@ -116,17 +118,39 @@ class AttributeIndex {
   /// ordered postings counting exactly until `probe_limit` distinct keys
   /// have been visited; past the cap it walks up to `probe_limit` more
   /// keys toward the range's end — so any range spanning at most
-  /// 2 x probe_limit keys is counted exactly — and only then pro-rates
-  /// the counted density over the keys that could still lie inside
-  /// [lo, hi] (bounded by the remaining keys of the index, clamped to
-  /// the total entry count). Keys below lo or beyond hi never inflate
-  /// the estimate: a wide-but-empty range over a populated index
-  /// estimates 0, not ~num_entries. probe_limit == 0 skips the walk
-  /// entirely and answers num_entries for non-empty ranges, 0 for
-  /// provably empty ones.
+  /// 2 x probe_limit keys is counted exactly. Ranges wider than that
+  /// are answered from the lazily built equi-depth histogram: buckets
+  /// fully inside [lo, hi] contribute their exact row count, the two
+  /// partially covered boundary buckets contribute half theirs, so the
+  /// estimate is provably within (rows(b_lo) + rows(b_hi)) / 2 of the
+  /// true count. Keys below lo or beyond hi never inflate the estimate:
+  /// a wide-but-empty range over a populated index estimates 0, not
+  /// ~num_entries. probe_limit == 0 skips the walk entirely and answers
+  /// num_entries for non-empty ranges, 0 for provably empty ones.
   double EstimateRange(const core::Value& lo, bool lo_inclusive,
                        const core::Value& hi, bool hi_inclusive,
                        size_t probe_limit = 64) const;
+
+  /// One bucket of the equal-frequency histogram: all postings whose key
+  /// lies in [lower, upper] (both ends are real indexed keys), `rows`
+  /// postings over `keys` distinct keys. Buckets partition the key space
+  /// in Value::Less order and each holds ~num_entries/32 rows.
+  struct HistogramBucket {
+    core::Value lower;
+    core::Value upper;
+    size_t rows = 0;
+    size_t keys = 0;
+  };
+
+  /// Snapshot of the equi-depth histogram, rebuilding it first if the
+  /// mutation counter has moved since the last build. Diagnostic/test
+  /// surface; estimation consults it through EstimateRange.
+  std::vector<HistogramBucket> Histogram() const;
+
+  /// Monotonic count of posting mutations (inserts + erases + clears).
+  /// The histogram uses it as its rebuild stamp; the plan cache reads it
+  /// as a cheap drift fingerprint.
+  std::uint64_t mutation_count() const { return mutations_; }
 
   /// Distinct (key, object) pairs in key order; for tests and stats.
   void ForEach(
@@ -145,12 +169,18 @@ class AttributeIndex {
   using Postings = std::map<core::Value, std::set<EntryId>,
                             core::Value::Less>;
 
+  static constexpr size_t kHistogramBuckets = 32;
+
   void SetEntry(EntryId id, const std::vector<core::Value>& keys);
   void Insert(const core::Value& key, EntryId id);
   void Erase(const core::Value& key, EntryId id);
   std::vector<EntryId> RangeRaw(const core::Value& lo, bool lo_inclusive,
                                 const core::Value& hi,
                                 bool hi_inclusive) const;
+  void RebuildHistogramLocked() const SEED_REQUIRES(histogram_mu_);
+  double HistogramEstimate(const core::Value& lo, bool lo_inclusive,
+                           const core::Value& hi, bool hi_inclusive) const
+      SEED_REQUIRES(histogram_mu_);
 
   IndexSpec spec_;
   Postings ordered_;
@@ -163,6 +193,19 @@ class AttributeIndex {
   /// Inverted list: exactly the keys currently indexed per entry.
   std::unordered_map<EntryId, std::vector<core::Value>> keys_of_;
   size_t num_entries_ = 0;
+  /// Bumped by every successful Insert/Erase (and Clear). Written only
+  /// from mutation paths, which the Database contract runs exclusively;
+  /// concurrent readers only ever see a quiescent value (snapshots are
+  /// immutable), same as `num_entries_`.
+  std::uint64_t mutations_ = 0;
+  /// The histogram is built lazily *during const reads* (EstimateRange),
+  /// and reader sessions share one snapshot Database — so unlike the
+  /// postings themselves it needs a lock of its own.
+  mutable common::Mutex histogram_mu_;
+  mutable std::vector<HistogramBucket> histogram_
+      SEED_GUARDED_BY(histogram_mu_);
+  mutable bool histogram_built_ SEED_GUARDED_BY(histogram_mu_) = false;
+  mutable std::uint64_t histogram_stamp_ SEED_GUARDED_BY(histogram_mu_) = 0;
 };
 
 }  // namespace seed::index

@@ -100,6 +100,127 @@ bool ExtractSarg(const PredicateShape* shape, std::string role, Sarg* out) {
   return false;
 }
 
+/// The binder's sargable conjuncts in extraction order — the ordinal
+/// space Plan::Leg::sarg_ordinal indexes into. Counts *every* sargable
+/// conjunct (indexed or not), so the ordinal of a conjunct is derivable
+/// from the predicate alone when a cached skeleton is re-bound.
+std::vector<Sarg> CollectObjectSargs(const Predicate& p) {
+  std::vector<Sarg> out;
+  if (p.shape() == nullptr) return out;
+  std::vector<const PredicateShape*> conjuncts;
+  CollectConjuncts(p.shape(), &conjuncts);
+  for (const PredicateShape* conjunct : conjuncts) {
+    Sarg sarg;
+    if (ExtractSarg(conjunct, "", &sarg)) out.push_back(std::move(sarg));
+  }
+  return out;
+}
+
+/// Same ordinal space for a relationship binder: one sarg per condition
+/// whose inner predicate is sargable on the sub-object's own value.
+std::vector<Sarg> CollectRelSargs(
+    const std::vector<Planner::RelCondition>& conditions) {
+  std::vector<Sarg> out;
+  for (const auto& cond : conditions) {
+    if (cond.inner.shape() == nullptr) continue;
+    Sarg sarg;
+    if (!ExtractSarg(cond.inner.shape(), "", &sarg) || !sarg.role.empty()) {
+      continue;
+    }
+    out.push_back(std::move(sarg));
+  }
+  return out;
+}
+
+/// Serializes a predicate's *shape* — structure, roles and operators,
+/// with every literal parameterized out — into the plan cache key. Two
+/// predicates with the same serialization are planned identically
+/// modulo the statistics of their literals, which the cached skeleton
+/// re-estimates live at re-bind; residual evaluation always runs the
+/// live predicate, so collapsing literals never affects results.
+void AppendShapeKey(const PredicateShape* shape, std::string* out) {
+  if (shape == nullptr) {
+    *out += "?";
+    return;
+  }
+  switch (shape->kind) {
+    case Kind::kOpaque: *out += "?"; return;
+    case Kind::kTrue: *out += "t"; return;
+    case Kind::kHasValue: *out += "v"; return;
+    case Kind::kValueEquals: *out += "="; return;
+    case Kind::kValueContains: *out += "~"; return;
+    case Kind::kIntLess: *out += "<"; return;
+    case Kind::kIntGreater: *out += ">"; return;
+    case Kind::kNameIs: *out += "n"; return;
+    case Kind::kNameContains: *out += "N"; return;
+    case Kind::kOfClass: *out += "k"; return;
+    case Kind::kOnSubObject:
+      // The role is structural: it selects the index, not a literal.
+      *out += "s[" + shape->text + "](";
+      AppendShapeKey(shape->children.empty() ? nullptr
+                                             : shape->children[0].get(),
+                     out);
+      *out += ")";
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      *out += shape->kind == Kind::kAnd   ? "&("
+              : shape->kind == Kind::kOr  ? "|("
+                                          : "!(";
+      for (const auto& child : shape->children) {
+        AppendShapeKey(child.get(), out);
+        *out += ",";
+      }
+      *out += ")";
+      return;
+    }
+  }
+  *out += "?";
+}
+
+/// One adaptive mid-chain re-plan (divergent intermediate re-entered
+/// the join DP).
+void CountAdaptiveReplan() {
+  static obs::Counter* replans = obs::MetricsRegistry::Global().GetCounter(
+      "planner.adaptive.replans.total");
+  replans->Increment();
+}
+
+/// An intermediate this far off its estimate (either direction,
+/// +1-smoothed) abandons the running tree and re-enters the DP for the
+/// remaining segments.
+constexpr double kAdaptiveDivergence = 8.0;
+
+/// Participation skew past this multiple of the mean degree inflates
+/// the index-nested-loop degree estimate.
+constexpr double kDegreeSkewThreshold = 8.0;
+
+/// Degree-histogram correction for the INL driving degree: the uniform
+/// participation/extent mean undercosts a driver that lands on hot
+/// participants of a skewed association. When the tracked max-degree
+/// upper bound (within 2x of the true max, from the log2 degree
+/// buckets) exceeds kDegreeSkewThreshold x the mean participant
+/// degree, the estimate moves to the geometric mean of the two — never
+/// below the uniform estimate, never above the bound. Near-uniform
+/// data (max < 2x mean by bucket construction) is untouched, so
+/// existing plans and goldens only move under real skew.
+double SkewAdjustedDegree(const core::ExtentCounters& counters,
+                          const schema::Schema& schema, AssociationId assoc,
+                          int role, ClassId cls, double uniform_degree) {
+  const core::ExtentCounters::DegreeSummary deg =
+      counters.DegreeStats(schema, assoc, role, cls);
+  if (deg.distinct == 0) return uniform_degree;
+  const double mean =
+      static_cast<double>(deg.ends) / static_cast<double>(deg.distinct);
+  const double max_upper = static_cast<double>(deg.max_degree_upper);
+  if (mean <= 0.0 || max_upper <= mean * kDegreeSkewThreshold) {
+    return uniform_degree;
+  }
+  const double inflated = std::sqrt(mean * max_upper);
+  return std::max(uniform_degree, std::min(inflated, max_upper));
+}
+
 /// Tie-break rank at equal cost: equality, then range, then intersection,
 /// then the scan.
 int KindRank(Planner::Plan::Kind kind) {
@@ -324,13 +445,21 @@ Planner::Plan Planner::PlanSelect(ClassId cls, const Predicate& p,
   CollectConjuncts(p.shape(), &conjuncts);
 
   std::vector<Candidate> candidates;
+  // The ordinal counts *every* extracted sarg, indexed or not, so a
+  // cached leg's ordinal re-derives from the predicate alone even if
+  // the index set changed in between (the re-bind then re-resolves or
+  // invalidates).
+  size_t sarg_ordinal = 0;
   for (const PredicateShape* conjunct : conjuncts) {
     Sarg sarg;
     if (!ExtractSarg(conjunct, "", &sarg)) continue;
+    const size_t ordinal = sarg_ordinal++;
     const index::AttributeIndex* idx = manager.BestFor(
         *db_->schema(), cls, include_specializations, sarg.role);
     if (idx == nullptr) continue;
-    candidates.push_back(Candidate::FromSarg(idx, std::move(sarg)));
+    Candidate c = Candidate::FromSarg(idx, std::move(sarg));
+    c.leg.sarg_ordinal = ordinal;
+    candidates.push_back(std::move(c));
   }
   return ChooseCheapest(std::move(candidates), extent_rows);
 }
@@ -546,11 +675,17 @@ Planner::JoinPlan Planner::PlanJoinEst(AssociationId assoc, double left_rows,
                                plan.right_rows, plan.est_rows)},
       {JoinPlan::Strategy::kIndexNestedLoopLeft,
        CostModel::IndexNestedLoopJoinCost(
-           plan.left_rows, CostModel::JoinDegree(left_part, left_extent),
+           plan.left_rows,
+           SkewAdjustedDegree(counters, schema, assoc, plan.left_role,
+                              left_cls,
+                              CostModel::JoinDegree(left_part, left_extent)),
            plan.right_rows, plan.est_rows)},
       {JoinPlan::Strategy::kIndexNestedLoopRight,
        CostModel::IndexNestedLoopJoinCost(
-           plan.right_rows, CostModel::JoinDegree(right_part, right_extent),
+           plan.right_rows,
+           SkewAdjustedDegree(counters, schema, assoc, 1 - plan.left_role,
+                              right_cls,
+                              CostModel::JoinDegree(right_part, right_extent)),
            plan.left_rows, plan.est_rows)},
   };
   plan.strategy = options[0].strategy;
@@ -710,6 +845,12 @@ std::string Planner::PhysicalPlan::ToAnalyzeString(bool mask_times) const {
     if (!s.empty()) s += "; ";
     s += root->ToAnalyzeString(binders, mask_times);
   }
+  // Cache/adaptive markers only when they fired, so fresh by-the-plan
+  // executions render exactly as before.
+  if (from_cache) s += "; plan-cache: hit";
+  if (adaptive_replans > 0) {
+    s += "; adaptive-replans: " + std::to_string(adaptive_replans);
+  }
   return s;
 }
 
@@ -785,7 +926,7 @@ struct Planner::DpEntry {
 
 std::unique_ptr<Planner::Node> Planner::OptimizeJoinTree(
     const std::vector<PipelineHop>& hops,
-    const std::vector<double>& input_rows) const {
+    const std::vector<double>& input_rows, bool allow_tuple_joins) const {
   // 63 hops bounds the bitset key (and is far beyond any real chain);
   // ValidatePipelineInputs enforces the same ceiling on the executing
   // entry points.
@@ -844,7 +985,9 @@ std::unique_ptr<Planner::Node> Planner::OptimizeJoinTree(
       // Bushy tuple joins: overlapping segments [lo, m] and [m, hi]
       // merged on the shared binder m — each side executes its own hops
       // independently, so neither drags the other's intermediate.
-      for (int m = hi - 1; m > lo; --m) {
+      // Disabled for adaptive re-planning, where the inputs can be
+      // multi-column segments.
+      for (int m = allow_tuple_joins ? hi - 1 : lo; m > lo; --m) {
         double l_rows = seg_rows(lo, m);
         double r_rows = seg_rows(m, hi);
         double rows = CostModel::TupleJoinRows(l_rows, r_rows, input_rows[m]);
@@ -1126,6 +1269,188 @@ Result<QueryRelation> Planner::ExecuteTree(
   return out;
 }
 
+Result<QueryRelation> Planner::ExecuteChainAdaptive(
+    const std::vector<QueryRelation>& inputs,
+    const std::vector<PipelineHop>& hops, PhysicalPlan plan,
+    PhysicalPlan* plan_out, obs::ExecContext* ctx) const {
+  if (plan.root == nullptr) {
+    return Status::Internal("join pipeline plan has no tree");
+  }
+  // Tuple joins merge *overlapping* segments, which the adjacent-segment
+  // stepwise walk below cannot express — those trees execute as planned.
+  {
+    bool has_tuple = false;
+    auto walk = [&has_tuple](auto&& self, const Node* node) -> void {
+      if (node == nullptr) return;
+      if (node->kind == Node::Kind::kTupleJoin) has_tuple = true;
+      self(self, node->left.get());
+      self(self, node->right.get());
+    };
+    walk(walk, plan.root.get());
+    if (has_tuple) {
+      return ExecuteTree(inputs, hops, std::move(plan), plan_out, ctx);
+    }
+  }
+  const bool timed = ctx != nullptr && ctx->time_nodes;
+
+  // One contiguous, already-executed binder segment [lo, hi]. Leaves
+  // read their materialized input in place; composites own their rows.
+  struct Seg {
+    int lo = 0, hi = 0;
+    int leaf_binder = -1;
+    QueryRelation owned;
+    std::unique_ptr<Node> node;  // executed subtree; null for unread leaf
+  };
+  std::vector<Seg> segs(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    segs[i].lo = segs[i].hi = static_cast<int>(i);
+    segs[i].leaf_binder = static_cast<int>(i);
+  }
+  auto rel_of = [&inputs](const Seg& s) -> const QueryRelation& {
+    return s.leaf_binder >= 0 ? inputs[s.leaf_binder] : s.owned;
+  };
+
+  // What the current tree decides for each pending hop, and the order it
+  // executes them in (its post order): re-merging adjacent segments in
+  // post order reproduces the tree's shape exactly, so absent any
+  // re-plan the stitched tree, join strategies, estimates and actuals
+  // are byte-identical to ExecuteTree's.
+  struct HopDecision {
+    JoinPlan join;
+    double est_rows = 0.0;
+    double est_cost = 0.0;
+  };
+  std::unordered_map<int, HopDecision> decisions;
+  std::vector<int> exec_order;
+  auto adopt = [&decisions, &exec_order](const Node* root,
+                                         const std::vector<int>& real_of) {
+    exec_order.clear();
+    decisions.clear();
+    auto walk = [&](auto&& self, const Node* node) -> void {
+      if (node == nullptr) return;
+      self(self, node->left.get());
+      self(self, node->right.get());
+      if (node->kind != Node::Kind::kHopJoin) return;
+      const int real = real_of.empty() ? node->hop : real_of[node->hop];
+      exec_order.push_back(real);
+      decisions[real] =
+          HopDecision{node->join, node->est_rows, node->est_cost};
+    };
+    walk(walk, root);
+  };
+  adopt(plan.root.get(), {});
+
+  int replans = 0;
+  size_t cursor = 0;
+  while (cursor < exec_order.size()) {
+    const int m = exec_order[cursor++];
+    // Hop m joins the segment ending at binder m with the one starting
+    // at binder m + 1; post-order execution keeps them adjacent.
+    size_t li = 0;
+    while (li < segs.size() && segs[li].hi != m) ++li;
+    if (li + 1 >= segs.size() || segs[li + 1].lo != m + 1) {
+      return Status::Internal("adaptive execution lost segment adjacency");
+    }
+    Seg& left = segs[li];
+    Seg& right = segs[li + 1];
+    const HopDecision d = decisions.at(m);
+    const std::uint64_t start = timed ? obs::NowNanos() : 0;
+    auto joined = algebra_.RelationshipJoin(
+        rel_of(left), inputs[m].attributes[0], hops[m].assoc, rel_of(right),
+        inputs[m + 1].attributes[0], d.join.options());
+    if (!joined.ok()) return joined.status();
+
+    // Stitch the executed node; leaf children materialize on first use,
+    // exactly as ExecuteNode records them.
+    auto consume = [&](Seg& s) -> std::unique_ptr<Node> {
+      if (s.node != nullptr) return std::move(s.node);
+      auto leaf = MakeLeaf(s.leaf_binder,
+                           static_cast<double>(inputs[s.leaf_binder].size()));
+      leaf->actual_rows =
+          static_cast<long long>(inputs[s.leaf_binder].size());
+      if (timed) leaf->elapsed_ns = 0;  // read in place — no work to time
+      return leaf;
+    };
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::kHopJoin;
+    node->hop = m;
+    node->lo = left.lo;
+    node->hi = right.hi;
+    node->join = d.join;
+    node->est_rows = d.est_rows;
+    node->est_cost = d.est_cost;
+    node->left = consume(left);
+    node->right = consume(right);
+    node->actual_rows = static_cast<long long>(joined->size());
+    if (timed) {
+      // Inclusive wall-clock, matching ExecuteNode's semantics.
+      node->elapsed_ns = static_cast<long long>(obs::NowNanos() - start) +
+                         std::max<long long>(node->left->elapsed_ns, 0) +
+                         std::max<long long>(node->right->elapsed_ns, 0);
+    }
+    left.hi = right.hi;
+    left.leaf_binder = -1;
+    left.owned = *std::move(joined);
+    left.node = std::move(node);
+    segs.erase(segs.begin() + static_cast<long>(li) + 1);
+
+    // Divergence check: past the threshold (either direction, smoothed
+    // so empty-vs-tiny never divides by zero), the remaining segments
+    // re-enter the DP with their exact sizes. The remaining problem is
+    // isomorphic to a fresh chain — segments are pseudo-binders and the
+    // connecting hop between neighbors j, j+1 is the real hop at
+    // segs[j].hi — except that tuple joins are off (a pseudo-binder can
+    // be a multi-column segment).
+    const double actual = static_cast<double>(left.owned.size());
+    const bool diverged =
+        (actual + 1.0) / (d.est_rows + 1.0) > kAdaptiveDivergence ||
+        (d.est_rows + 1.0) / (actual + 1.0) > kAdaptiveDivergence;
+    if (diverged && segs.size() > 1) {
+      std::vector<PipelineHop> pseudo_hops;
+      std::vector<double> pseudo_rows;
+      std::vector<int> real_of;
+      for (size_t j = 0; j < segs.size(); ++j) {
+        pseudo_rows.push_back(static_cast<double>(rel_of(segs[j]).size()));
+        if (j + 1 < segs.size()) {
+          pseudo_hops.push_back(hops[segs[j].hi]);
+          real_of.push_back(segs[j].hi);
+        }
+      }
+      std::unique_ptr<Node> tree = OptimizeJoinTree(
+          pseudo_hops, pseudo_rows, /*allow_tuple_joins=*/false);
+      if (tree != nullptr) {
+        ++replans;
+        CountAdaptiveReplan();
+        adopt(tree.get(), real_of);
+        cursor = 0;
+      }
+    }
+  }
+  if (segs.size() != 1 || segs[0].node == nullptr) {
+    return Status::Internal("adaptive execution did not reach a single root");
+  }
+  plan.root = std::move(segs[0].node);
+  plan.adaptive_replans = replans;
+  if (replans > 0) {
+    // Report the estimates of the tree actually executed.
+    plan.est_rows = plan.root->est_rows;
+    plan.est_cost = plan.root->est_cost;
+    for (const Plan& select : plan.selects) plan.est_cost += select.est_cost;
+  }
+  QueryRelation joined = std::move(segs[0].owned);
+
+  RowsVisitedCounter().Increment(
+      static_cast<std::uint64_t>(plan.RowsVisited()));
+  std::vector<std::string> binders;
+  for (const QueryRelation& in : inputs) {
+    binders.push_back(in.attributes[0]);
+  }
+  auto out = algebra_.Project(joined, binders);
+  if (!out.ok()) return out.status();
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return out;
+}
+
 Planner::PhysicalPlan Planner::PlanJoinPipeline(
     const std::vector<PipelineHop>& hops,
     const std::vector<size_t>& input_rows) const {
@@ -1226,6 +1551,195 @@ std::vector<Planner::PipelineHop> Planner::LowerHops(
   return hops;
 }
 
+// --- Plan cache --------------------------------------------------------------
+
+std::string Planner::BuildShapeKey(const LogicalChain& chain) const {
+  std::string key = "db" + std::to_string(db_->instance_id());
+  for (const LogicalSelect& b : chain.binders) {
+    if (b.extent == LogicalSelect::Extent::kRelationships) {
+      key += "|r" + std::to_string(b.assoc.raw());
+      key += b.include_specializations ? "+" : "-";
+      for (const RelCondition& cond : b.rel_conditions) {
+        key += ",[" + cond.role + "]=";
+        AppendShapeKey(cond.inner.shape(), &key);
+      }
+    } else {
+      key += "|o" + std::to_string(b.cls.raw());
+      key += b.include_specializations ? "+" : "-";
+      key += ",p=";
+      AppendShapeKey(b.pred.shape(), &key);
+    }
+  }
+  // Binder names are deliberately not part of the key: they rename
+  // output columns, never the plan; a hit re-labels from the live chain.
+  for (const LogicalJoinHop& h : chain.hops) {
+    key += "|h" + std::to_string(h.assoc.raw()) + ":" +
+           std::to_string(h.left_role);
+  }
+  return key;
+}
+
+std::optional<std::vector<std::uint64_t>> Planner::LiveFingerprints(
+    const LogicalChain& chain, const CachedPlan& cached) const {
+  if (cached.selects.size() != chain.binders.size()) return std::nullopt;
+  const schema::Schema& schema = *db_->schema();
+  const core::ExtentCounters& counters = db_->extent_counters();
+  const index::IndexManager& manager = db_->attribute_indexes();
+  std::vector<std::uint64_t> fingerprints;
+  for (size_t i = 0; i < chain.binders.size(); ++i) {
+    const LogicalSelect& b = chain.binders[i];
+    fingerprints.push_back(
+        b.extent == LogicalSelect::Extent::kRelationships
+            ? counters.CountAssociationExtent(schema, b.assoc,
+                                              b.include_specializations)
+            : counters.CountClassExtent(schema, b.cls,
+                                        b.include_specializations));
+    for (const CachedPlan::Leg& leg : cached.selects[i].legs) {
+      const index::AttributeIndex* idx = manager.Find(leg.spec);
+      if (idx == nullptr) return std::nullopt;
+      fingerprints.push_back(idx->num_entries());
+    }
+  }
+  for (const LogicalJoinHop& h : chain.hops) {
+    fingerprints.push_back(counters.CountAssociationExtent(schema, h.assoc,
+                                                           true));
+  }
+  return fingerprints;
+}
+
+std::optional<Planner::Plan> Planner::RebindSelect(
+    const LogicalSelect& binder, const CachedPlan::Select& cached) const {
+  const index::IndexManager& manager = db_->attribute_indexes();
+  const bool rel = binder.extent == LogicalSelect::Extent::kRelationships;
+  const double extent_rows = static_cast<double>(
+      rel ? db_->extent_counters().CountAssociationExtent(
+                *db_->schema(), binder.assoc, binder.include_specializations)
+          : db_->extent_counters().CountClassExtent(
+                *db_->schema(), binder.cls, binder.include_specializations));
+  Plan plan;
+  plan.extent_rows = extent_rows;
+  if (cached.legs.empty()) {
+    // The skeleton pinned the full-scan decision; estimates are live.
+    plan.est_rows = extent_rows;
+    plan.est_cost = CostModel::ScanCost(extent_rows);
+    return plan;
+  }
+  const std::vector<Sarg> sargs = rel ? CollectRelSargs(binder.rel_conditions)
+                                      : CollectObjectSargs(binder.pred);
+  std::vector<Candidate> legs;
+  for (const CachedPlan::Leg& cleg : cached.legs) {
+    if (cleg.sarg_ordinal >= sargs.size()) return std::nullopt;
+    const index::AttributeIndex* idx = manager.Find(cleg.spec);
+    if (idx == nullptr) return std::nullopt;
+    Candidate c = Candidate::FromSarg(idx, sargs[cleg.sarg_ordinal]);
+    c.leg.sarg_ordinal = cleg.sarg_ordinal;
+    legs.push_back(std::move(c));
+  }
+  if (legs.size() == 1) {
+    // Estimate and cost exactly as ChooseCheapest's single-index arm,
+    // so an unchanged-statistics re-bind prints byte-identically to
+    // the fresh plan.
+    plan.kind = legs[0].kind;
+    plan.est_rows = legs[0].leg.est_rows;
+    plan.est_cost =
+        CostModel::SingleIndexCost(legs[0].probes, legs[0].leg.est_rows);
+    plan.legs.push_back(std::move(legs[0].leg));
+    return plan;
+  }
+  // Intersection: the stored (greedy-chosen) leg order with live
+  // estimates, folded with the same formulas ChooseCheapest costs with.
+  plan.kind = Plan::Kind::kIndexIntersect;
+  double legs_cost =
+      CostModel::IntersectLegCost(legs[0].probes, legs[0].leg.est_rows);
+  double inter_rows = legs[0].leg.est_rows;
+  for (size_t i = 1; i < legs.size(); ++i) {
+    legs_cost +=
+        CostModel::IntersectLegCost(legs[i].probes, legs[i].leg.est_rows);
+    inter_rows = CostModel::IntersectRows(inter_rows, legs[i].leg.est_rows,
+                                          extent_rows);
+  }
+  plan.est_rows = inter_rows;
+  plan.est_cost = legs_cost + CostModel::ResidualCost(inter_rows);
+  for (Candidate& c : legs) plan.legs.push_back(std::move(c.leg));
+  return plan;
+}
+
+std::optional<Planner::PhysicalPlan> Planner::TryCachedPlan(
+    const LogicalChain& chain, const std::string& key) const {
+  PlanCache& cache = PlanCache::Global();
+  std::optional<CachedPlan> cached = cache.Lookup(key);
+  if (!cached.has_value()) {
+    cache.NoteMiss();
+    return std::nullopt;
+  }
+  bool usable = false;
+  if (std::optional<std::vector<std::uint64_t>> live =
+          LiveFingerprints(chain, *cached);
+      live.has_value() && live->size() == cached->fingerprints.size()) {
+    const double ratio = cache.drift_ratio();
+    usable = true;
+    for (size_t i = 0; i < live->size(); ++i) {
+      const double l = static_cast<double>((*live)[i]) + 1.0;
+      const double c = static_cast<double>(cached->fingerprints[i]) + 1.0;
+      if (l / c > ratio || c / l > ratio) {
+        usable = false;
+        break;
+      }
+    }
+  }
+  PhysicalPlan plan;
+  if (usable) {
+    for (size_t i = 0; i < chain.binders.size(); ++i) {
+      std::optional<Plan> select =
+          RebindSelect(chain.binders[i], cached->selects[i]);
+      if (!select.has_value()) {
+        usable = false;
+        break;
+      }
+      plan.est_cost += select->est_cost;
+      plan.selects.push_back(std::move(*select));
+    }
+  }
+  if (!usable) {
+    cache.Invalidate(key);
+    cache.NoteMiss();
+    return std::nullopt;
+  }
+  for (const LogicalSelect& b : chain.binders) {
+    plan.binders.push_back(b.binder);
+  }
+  if (chain.relationship_form()) {
+    plan.relationship_form = true;
+    plan.est_rows = plan.selects[0].est_rows;
+  } else if (chain.hops.empty()) {
+    plan.root = MakeLeaf(0, plan.selects[0].est_rows);
+    plan.est_rows = plan.selects[0].est_rows;
+  }
+  // Hop chains leave the tree null: Run() re-derives it from the actual
+  // binder sizes, exactly as it does for fresh plans — the cache's win
+  // is skipping candidate costing and the optimize-phase DP.
+  plan.from_cache = true;
+  cache.NoteHit();
+  return plan;
+}
+
+void Planner::InsertInCache(const LogicalChain& chain, const std::string& key,
+                            const PhysicalPlan& plan) const {
+  CachedPlan cached;
+  for (const Plan& select : plan.selects) {
+    CachedPlan::Select s;
+    for (const Plan::Leg& leg : select.legs) {
+      s.legs.push_back(CachedPlan::Leg{leg.index->spec(), leg.sarg_ordinal});
+    }
+    cached.selects.push_back(std::move(s));
+  }
+  std::optional<std::vector<std::uint64_t>> fingerprints =
+      LiveFingerprints(chain, cached);
+  if (!fingerprints.has_value()) return;  // an index vanished mid-planning
+  cached.fingerprints = std::move(*fingerprints);
+  PlanCache::Global().Insert(key, std::move(cached));
+}
+
 Result<Planner::PhysicalPlan> Planner::Optimize(
     const LogicalChain& chain) const {
   SEED_RETURN_IF_ERROR(chain.Validate());
@@ -1271,7 +1785,21 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
   PhysicalPlan plan;
   {
     obs::PhaseTimer timer(ctx, obs::QueryPhase::kOptimize);
-    SEED_ASSIGN_OR_RETURN(plan, Optimize(chain));
+    // The textual hot path consults the shape-keyed plan cache first: a
+    // hit re-binds live literals into the cached skeleton and skips
+    // index selection, access-path costing and the optimize-phase DP.
+    std::string cache_key;
+    if (plan_cache_enabled_ && chain.Validate().ok()) {
+      cache_key = BuildShapeKey(chain);
+      if (std::optional<PhysicalPlan> cached =
+              TryCachedPlan(chain, cache_key)) {
+        plan = std::move(*cached);
+      }
+    }
+    if (!plan.from_cache) {
+      SEED_ASSIGN_OR_RETURN(plan, Optimize(chain));
+      if (!cache_key.empty()) InsertInCache(chain, cache_key, plan);
+    }
   }
   obs::PhaseTimer exec_timer(ctx, obs::QueryPhase::kExecute);
 
@@ -1346,9 +1874,12 @@ Result<Planner::ChainResult> Planner::Run(const LogicalChain& chain,
   plan.est_rows = plan.root->est_rows;
   plan.est_cost = plan.root->est_cost;
   for (const Plan& select : plan.selects) plan.est_cost += select.est_cost;
-  SEED_ASSIGN_OR_RETURN(
-      out.tuples,
-      ExecuteTree(inputs, LowerHops(chain), std::move(plan), plan_out, ctx));
+  // Stepwise adaptive execution: identical to ExecuteTree until an
+  // intermediate diverges from its estimate, at which point the rest of
+  // the chain is re-planned from exact sizes.
+  SEED_ASSIGN_OR_RETURN(out.tuples,
+                        ExecuteChainAdaptive(inputs, LowerHops(chain),
+                                             std::move(plan), plan_out, ctx));
   return out;
 }
 
@@ -1362,6 +1893,10 @@ Planner::Plan Planner::PlanSelectRelationships(
       static_cast<double>(db_->extent_counters().CountAssociationExtent(
           *db_->schema(), assoc, include_specializations));
   std::vector<Candidate> candidates;
+  // Ordinals over every sargable condition, as in PlanSelect: the
+  // cached-skeleton re-bind recomputes the same list from the live
+  // conditions (CollectRelSargs).
+  size_t sarg_ordinal = 0;
   for (const RelCondition& cond : conditions) {
     if (cond.inner.shape() == nullptr) continue;
     Sarg sarg;
@@ -1370,10 +1905,13 @@ Planner::Plan Planner::PlanSelectRelationships(
     if (!ExtractSarg(cond.inner.shape(), "", &sarg) || !sarg.role.empty()) {
       continue;
     }
+    const size_t ordinal = sarg_ordinal++;
     const index::AttributeIndex* idx = manager.BestForRelationships(
         *db_->schema(), assoc, include_specializations, cond.role);
     if (idx == nullptr) continue;
-    candidates.push_back(Candidate::FromSarg(idx, std::move(sarg)));
+    Candidate c = Candidate::FromSarg(idx, std::move(sarg));
+    c.leg.sarg_ordinal = ordinal;
+    candidates.push_back(std::move(c));
   }
   return ChooseCheapest(std::move(candidates), extent_rows);
 }

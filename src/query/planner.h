@@ -51,7 +51,10 @@
 #ifndef SEED_QUERY_PLANNER_H_
 #define SEED_QUERY_PLANNER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +64,7 @@
 #include "obs/trace.h"
 #include "query/algebra.h"
 #include "query/logical.h"
+#include "query/plan_cache.h"
 #include "query/predicate.h"
 
 namespace seed::query {
@@ -84,6 +88,11 @@ class Planner {
       bool hi_inclusive = true;
       /// Estimated postings this leg yields.
       double est_rows = 0.0;
+      /// Which of the binder's extracted sargable conjuncts (in
+      /// extraction order over *all* sargables, indexed or not) feeds
+      /// this leg — the literal-independent handle the plan cache uses
+      /// to re-bind live bounds/keys into a cached skeleton.
+      std::size_t sarg_ordinal = 0;
     };
 
     Kind kind = Kind::kFullScan;
@@ -217,6 +226,14 @@ class Planner {
     /// Final output estimate and total modeled cost (selects + joins).
     double est_rows = 0.0;
     double est_cost = 0.0;
+    /// True when the access paths came from the plan cache (the join
+    /// tree is always re-derived from actual binder sizes). Surfaced by
+    /// ToAnalyzeString only — the EXPLAIN golden surface is unchanged.
+    bool from_cache = false;
+    /// How many times execution abandoned the running join tree and
+    /// re-entered the DP because an intermediate diverged from its
+    /// estimate (see Planner::Run). Zero for by-the-plan executions.
+    int adaptive_replans = 0;
 
     /// True when any node in the tree is a bushy join.
     bool HasBushyJoin() const;
@@ -258,6 +275,12 @@ class Planner {
     algebra_.set_exec_policy(policy);
   }
   const exec::ExecPolicy& exec_policy() const { return policy_; }
+
+  /// Whether Run() consults the process-global PlanCache (on by
+  /// default). Tests and benches that need guaranteed-fresh planning
+  /// for comparison turn it off per Planner instance.
+  void set_plan_cache_enabled(bool enabled) { plan_cache_enabled_ = enabled; }
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
 
   // --- The unified entry point -----------------------------------------------
 
@@ -413,9 +436,13 @@ class Planner {
   /// the base input estimates. Returns null when `hops` is empty and
   /// input_rows has a single binder (the leaf is built by the caller) —
   /// otherwise always a tree covering every hop exactly once.
+  /// `allow_tuple_joins` is cleared by adaptive mid-chain re-planning,
+  /// where a "binder" can be an already-joined multi-column segment a
+  /// single-column tuple merge cannot soundly collapse.
   std::unique_ptr<Node> OptimizeJoinTree(
       const std::vector<PipelineHop>& hops,
-      const std::vector<double>& input_rows) const;
+      const std::vector<double>& input_rows,
+      bool allow_tuple_joins = true) const;
 
   /// A leaf node reading binder `i`.
   static std::unique_ptr<Node> MakeLeaf(int binder, double rows);
@@ -464,6 +491,54 @@ class Planner {
                                     PhysicalPlan* plan_out,
                                     obs::ExecContext* ctx = nullptr) const;
 
+  /// Executes an already-built hop-only tree *stepwise* (joins in the
+  /// tree's post order), watching each intermediate: when an actual
+  /// size diverges from its estimate past the adaptive threshold, the
+  /// remaining segments re-enter the DP with exact sizes and execution
+  /// continues under the new tree. Trees containing tuple joins fall
+  /// back to ExecuteTree unchanged. Result and, absent any re-plan,
+  /// the executed plan tree are identical to ExecuteTree's.
+  Result<QueryRelation> ExecuteChainAdaptive(
+      const std::vector<QueryRelation>& inputs,
+      const std::vector<PipelineHop>& hops, PhysicalPlan plan,
+      PhysicalPlan* plan_out, obs::ExecContext* ctx) const;
+
+  // --- Plan cache (query/plan_cache.h) ---------------------------------------
+
+  /// The chain's cache key: Database::instance_id() plus every binder's
+  /// extent/predicate *shape* (literals parameterized out) and every
+  /// hop's association/role.
+  std::string BuildShapeKey(const LogicalChain& chain) const;
+
+  /// The live statistics fingerprint sequence for `cached` against this
+  /// database, in the canonical capture order (per binder: extent
+  /// count, then each leg's index entry count; per hop: association
+  /// extent count). Nullopt when a cached index spec no longer
+  /// resolves.
+  std::optional<std::vector<std::uint64_t>> LiveFingerprints(
+      const LogicalChain& chain, const CachedPlan& cached) const;
+
+  /// Re-binds one binder's live sargable literals into a cached access
+  /// path skeleton, recomputing every estimate from live statistics
+  /// (so a rebound plan prints exactly like a fresh one while the
+  /// statistics are unchanged). Nullopt when the skeleton no longer
+  /// matches the live chain or indexes.
+  std::optional<Plan> RebindSelect(const LogicalSelect& binder,
+                                   const CachedPlan::Select& cached) const;
+
+  /// The cache hit path: lookup by `key`, validate fingerprints against
+  /// the drift ratio, re-bind every select. Counts the hit/miss and
+  /// invalidates stale entries. The returned plan has `from_cache` set
+  /// and, for hop chains, no join tree — Run() always re-derives it
+  /// from actual binder sizes.
+  std::optional<PhysicalPlan> TryCachedPlan(const LogicalChain& chain,
+                                            const std::string& key) const;
+
+  /// The miss path's second half: strips `plan` to its skeleton,
+  /// captures the statistics fingerprints and inserts under `key`.
+  void InsertInCache(const LogicalChain& chain, const std::string& key,
+                     const PhysicalPlan& plan) const;
+
   /// Lowers the chain's hops into PipelineHops (binder classes attached).
   static std::vector<PipelineHop> LowerHops(const LogicalChain& chain);
 
@@ -488,6 +563,7 @@ class Planner {
   const core::Database* db_;
   Algebra algebra_;
   exec::ExecPolicy policy_ = exec::ExecPolicy::Default();
+  bool plan_cache_enabled_ = true;
 };
 
 }  // namespace seed::query

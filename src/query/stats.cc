@@ -1,6 +1,47 @@
 #include "query/stats.h"
 
+#include <algorithm>
+
 namespace seed::query {
+
+double CostModel::JoinRows(double assoc_rows, double left_rows,
+                           double left_extent_rows, double right_rows,
+                           double right_extent_rows) {
+  auto coverage = [](double rows, double extent_rows) {
+    if (extent_rows <= 0.0) return 0.0;
+    double fraction = rows / extent_rows;
+    return fraction > 1.0 ? 1.0 : fraction;
+  };
+  return assoc_rows * coverage(left_rows, left_extent_rows) *
+         coverage(right_rows, right_extent_rows);
+}
+
+double CostModel::HashJoinCost(double assoc_rows, double build_rows,
+                               double probe_rows, double out_rows) {
+  return assoc_rows * (kPostingCost + kResidualCost) +
+         build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
+         out_rows * kPostingCost;
+}
+
+double CostModel::IndexNestedLoopJoinCost(double driver_rows, double degree,
+                                          double build_rows, double out_rows) {
+  return driver_rows * kProbeCost + driver_rows * degree * kResidualCost +
+         build_rows * kHashBuildCost + out_rows * kPostingCost;
+}
+
+double CostModel::TupleJoinRows(double left_rows, double right_rows,
+                                double shared_extent_rows) {
+  double cartesian = left_rows * right_rows;
+  if (shared_extent_rows <= 1.0) return cartesian;
+  double est = cartesian / shared_extent_rows;
+  return std::min(est, cartesian);
+}
+
+double CostModel::TupleJoinCost(double build_rows, double probe_rows,
+                                double out_rows) {
+  return build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
+         out_rows * kPostingCost;
+}
 
 double EstimateEqualityRows(const index::AttributeIndex& index,
                             const std::vector<core::Value>& keys) {

@@ -131,28 +131,13 @@ struct CostModel {
   /// an edge match more than once.
   static double JoinRows(double assoc_rows, double left_rows,
                          double left_extent_rows, double right_rows,
-                         double right_extent_rows) {
-    auto coverage = [](double rows, double extent) {
-      if (extent <= 0.0) return 1.0;
-      double frac = rows / extent;
-      return frac < 1.0 ? frac : 1.0;
-    };
-    return assoc_rows * coverage(left_rows, left_extent_rows) *
-           coverage(right_rows, right_extent_rows);
-  }
+                         double right_extent_rows);
 
   static double HashJoinCost(double assoc_rows, double build_rows,
-                             double probe_rows, double out_rows) {
-    return assoc_rows * (kPostingCost + kResidualCost) +
-           build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
-           out_rows * kPostingCost;
-  }
+                             double probe_rows, double out_rows);
 
   static double IndexNestedLoopJoinCost(double driver_rows, double degree,
-                                        double build_rows, double out_rows) {
-    return driver_rows * kProbeCost + driver_rows * degree * kResidualCost +
-           build_rows * kHashBuildCost + out_rows * kPostingCost;
-  }
+                                        double build_rows, double out_rows);
 
   // --- Bushy tuple joins -----------------------------------------------------
   //
@@ -167,20 +152,12 @@ struct CostModel {
   /// survives iff both picked the same shared value — 1/extent under
   /// uniformity, capped at the cartesian bound.
   static double TupleJoinRows(double left_rows, double right_rows,
-                              double shared_extent_rows) {
-    double cartesian = left_rows * right_rows;
-    if (shared_extent_rows <= 1.0) return cartesian;
-    double est = cartesian / shared_extent_rows;
-    return est < cartesian ? est : cartesian;
-  }
+                              double shared_extent_rows);
 
   /// Hash the build side by the shared column, stream the probe side,
   /// emit the merged tuples.
   static double TupleJoinCost(double build_rows, double probe_rows,
-                              double out_rows) {
-    return build_rows * kHashBuildCost + probe_rows * kHashTupleCost +
-           out_rows * kPostingCost;
-  }
+                              double out_rows);
 };
 
 /// Exact number of postings matching any of `keys` (hash probes).

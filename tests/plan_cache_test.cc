@@ -1,0 +1,274 @@
+// Plan cache and adaptive-planning tests (statistics v2).
+//
+// The contract under test: the plan cache is an optimization, never a
+// semantics or even an EXPLAIN-surface change. A cache-hit query must
+// return exactly what the fresh-planned query returns AND print a
+// byte-identical plan while the statistics are unchanged; past the
+// drift ratio the entry is invalidated and the query plans fresh, again
+// byte-identically to a cold cache. Adaptive execution extends the same
+// promise to mis-estimated intermediates: when execution abandons the
+// join tree mid-chain and re-enters the DP, the result still equals the
+// brute-force reference, and the re-plan is surfaced in EXPLAIN ANALYZE
+// and the planner.adaptive.replans.total counter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "query/plan_cache.h"
+#include "query/planner.h"
+#include "schema/schema_builder.h"
+
+namespace seed::query {
+namespace {
+
+using core::Database;
+using core::Value;
+
+std::uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Items with an indexed INT value linked to plain targets — enough for
+/// index-served selections, join chains, and statistics drift.
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema::SchemaBuilder b("CacheWorld");
+    item_ = b.AddIndependentClass("Item", schema::ValueType::kInt);
+    target_ = b.AddIndependentClass("Target", schema::ValueType::kNone);
+    link_ = b.AddAssociation(
+        "Link", schema::Role{"src", item_, schema::Cardinality::Any()},
+        schema::Role{"dst", target_, schema::Cardinality::Any()});
+    auto schema = b.Build();
+    ASSERT_TRUE(schema.ok());
+    db_ = std::make_unique<Database>(*schema);
+    ASSERT_TRUE(db_->CreateAttributeIndex({item_, ""}).ok());
+    for (int i = 0; i < 120; ++i) {
+      ObjectId id = *db_->CreateObject(item_, "I" + std::to_string(i));
+      ASSERT_TRUE(db_->SetValue(id, Value::Int(i % 10)).ok());
+      items_.push_back(id);
+      if (i < 24) {
+        targets_.push_back(
+            *db_->CreateObject(target_, "T" + std::to_string(i)));
+      }
+      if (i % 3 == 0) {
+        ASSERT_TRUE(
+            db_->CreateRelationship(link_, id, targets_[i % 24 / 3]).ok());
+      }
+    }
+    PlanCache::Global().Clear();
+    PlanCache::Global().set_drift_ratio(2.0);
+  }
+
+  void TearDown() override {
+    PlanCache::Global().Clear();
+    PlanCache::Global().set_drift_ratio(2.0);
+  }
+
+  ClassId item_, target_;
+  AssociationId link_;
+  std::unique_ptr<Database> db_;
+  std::vector<ObjectId> items_;
+  std::vector<ObjectId> targets_;
+};
+
+TEST_F(PlanCacheTest, HitExecutesAndPrintsByteIdenticallyToFresh) {
+  const std::string q = "find Item where value is 3";
+  std::uint64_t hits = CounterValue("planner.cache.hits.total");
+  std::uint64_t misses = CounterValue("planner.cache.misses.total");
+
+  std::string fresh_plan;
+  auto fresh = RunQuery(*db_, q, &fresh_plan);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(CounterValue("planner.cache.misses.total"), misses + 1);
+  EXPECT_NE(fresh_plan.find("index-equals"), std::string::npos)
+      << fresh_plan;
+
+  std::string cached_plan;
+  auto cached = RunQuery(*db_, q, &cached_plan);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(CounterValue("planner.cache.hits.total"), hits + 1);
+  EXPECT_EQ(*cached, *fresh);
+  // Unchanged statistics: the rebound plan is byte-identical, estimates
+  // included — the EXPLAIN surface cannot tell a hit from a miss.
+  EXPECT_EQ(cached_plan, fresh_plan);
+}
+
+TEST_F(PlanCacheTest, HitRebindsLiveLiterals) {
+  // Same shape, different literals: the second query must hit the first
+  // one's skeleton and still probe for ITS literal.
+  auto fresh = RunQuery(*db_, "find Item where value is 3");
+  ASSERT_TRUE(fresh.ok());
+  std::uint64_t hits = CounterValue("planner.cache.hits.total");
+  auto rebound = RunQuery(*db_, "find Item where value is 7");
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(CounterValue("planner.cache.hits.total"), hits + 1);
+  std::vector<ObjectId> expected;
+  for (ObjectId id : db_->ObjectsOfClass(item_)) {
+    auto obj = db_->GetObject(id);
+    ASSERT_TRUE(obj.ok());
+    const Value& v = (*obj)->value;
+    if (v.is_int() && v.as_int() == 7) expected.push_back(id);
+  }
+  EXPECT_EQ(*rebound, expected);
+}
+
+TEST_F(PlanCacheTest, JoinChainHitMatchesFreshByteForByte) {
+  const std::string q =
+      "find Item x join via Link to Target y where x value is 3";
+  std::string fresh_plan;
+  auto fresh = RunJoinChainQuery(*db_, q, &fresh_plan);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  std::uint64_t hits = CounterValue("planner.cache.hits.total");
+  std::string cached_plan;
+  auto cached = RunJoinChainQuery(*db_, q, &cached_plan);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(CounterValue("planner.cache.hits.total"), hits + 1);
+  EXPECT_EQ(cached->tuples, fresh->tuples);
+  EXPECT_EQ(cached_plan, fresh_plan);
+}
+
+TEST_F(PlanCacheTest, ExplainAnalyzeSurfacesTheHit) {
+  ASSERT_TRUE(RunQuery(*db_, "find Item where value is 3").ok());
+  QueryTrace trace;
+  ASSERT_TRUE(
+      RunQuery(*db_, "find Item where value is 3", nullptr, &trace).ok());
+  EXPECT_TRUE(trace.plan.from_cache);
+  EXPECT_NE(trace.Render(/*mask_times=*/true).find("plan-cache: hit"),
+            std::string::npos);
+}
+
+TEST_F(PlanCacheTest, DriftPastRatioInvalidatesAndReplansFresh) {
+  const std::string q = "find Item where value is 3";
+  ASSERT_TRUE(RunQuery(*db_, q).ok());  // warm the cache
+
+  // Triple the extent (and the index): every fingerprint drifts ~3x,
+  // past the default 2x ratio.
+  for (int i = 0; i < 260; ++i) {
+    ObjectId id = *db_->CreateObject(item_, "D" + std::to_string(i));
+    ASSERT_TRUE(db_->SetValue(id, Value::Int(i % 10)).ok());
+  }
+
+  std::uint64_t invalidations =
+      CounterValue("planner.cache.invalidations.total");
+  std::uint64_t hits = CounterValue("planner.cache.hits.total");
+  std::string replanned_plan;
+  auto replanned = RunQuery(*db_, q, &replanned_plan);
+  ASSERT_TRUE(replanned.ok());
+  EXPECT_EQ(CounterValue("planner.cache.invalidations.total"),
+            invalidations + 1);
+  EXPECT_EQ(CounterValue("planner.cache.hits.total"), hits);
+
+  // The invalidated query planned fresh: byte-identical to a cold run.
+  PlanCache::Global().Clear();
+  std::string cold_plan;
+  auto cold = RunQuery(*db_, q, &cold_plan);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(*replanned, *cold);
+  EXPECT_EQ(replanned_plan, cold_plan);
+}
+
+TEST_F(PlanCacheTest, RaisedDriftRatioKeepsEntryAlive) {
+  const std::string q = "find Item where value is 3";
+  ASSERT_TRUE(RunQuery(*db_, q).ok());
+  PlanCache::Global().set_drift_ratio(1000.0);
+  for (int i = 0; i < 260; ++i) {
+    ObjectId id = *db_->CreateObject(item_, "D" + std::to_string(i));
+    ASSERT_TRUE(db_->SetValue(id, Value::Int(i % 10)).ok());
+  }
+  std::uint64_t hits = CounterValue("planner.cache.hits.total");
+  std::string plan;
+  auto hit = RunQuery(*db_, q, &plan);
+  ASSERT_TRUE(hit.ok());
+  // Soft staleness: the skeleton is reused (a hit), but the printed
+  // estimates come from live statistics, never the stale capture.
+  EXPECT_EQ(CounterValue("planner.cache.hits.total"), hits + 1);
+  PlanCache::Global().Clear();
+  std::string cold_plan;
+  ASSERT_TRUE(RunQuery(*db_, q, &cold_plan).ok());
+  EXPECT_EQ(plan, cold_plan);
+}
+
+TEST_F(PlanCacheTest, DisabledPlannerNeverTouchesTheCache) {
+  LogicalChain chain;
+  LogicalSelect binder;
+  binder.cls = item_;
+  binder.binder = "x";
+  binder.pred = Predicate::ValueEquals(Value::Int(3));
+  chain.binders.push_back(std::move(binder));
+  Planner planner(db_.get());
+  planner.set_plan_cache_enabled(false);
+  ASSERT_TRUE(planner.Run(chain).ok());
+  EXPECT_EQ(PlanCache::Global().size(), 0u);
+  planner.set_plan_cache_enabled(true);
+  ASSERT_TRUE(planner.Run(chain).ok());
+  EXPECT_EQ(PlanCache::Global().size(), 1u);
+}
+
+/// A world built to mis-estimate: one hub Item holds every Link edge,
+/// so a selection down to the hub estimates ~assoc/extent joined rows
+/// while actually producing the association's whole population.
+TEST(AdaptivePlanningTest, MisestimatedIntermediateTriggersReplan) {
+  schema::SchemaBuilder b("SkewWorld");
+  ClassId a_cls = b.AddIndependentClass("A", schema::ValueType::kInt);
+  ClassId b_cls = b.AddIndependentClass("B", schema::ValueType::kNone);
+  ClassId c_cls = b.AddIndependentClass("C", schema::ValueType::kNone);
+  AssociationId ab = b.AddAssociation(
+      "AB", schema::Role{"a", a_cls, schema::Cardinality::Any()},
+      schema::Role{"b", b_cls, schema::Cardinality::Any()});
+  AssociationId bc = b.AddAssociation(
+      "BC", schema::Role{"b", b_cls, schema::Cardinality::Any()},
+      schema::Role{"c", c_cls, schema::Cardinality::Any()});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  Database db(*schema);
+
+  std::vector<ObjectId> as, bs, cs;
+  for (int i = 0; i < 100; ++i) {
+    as.push_back(*db.CreateObject(a_cls, "A" + std::to_string(i)));
+    cs.push_back(*db.CreateObject(c_cls, "C" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    bs.push_back(*db.CreateObject(b_cls, "B" + std::to_string(i)));
+  }
+  // Only the hub carries value 7; every AB edge hangs off it. The
+  // uniform coverage model sees 1-of-100 selectivity over 200 edges and
+  // estimates ~2 joined rows; execution produces all 200 — an 8x+
+  // divergence that must re-enter the DP mid-chain.
+  ASSERT_TRUE(db.SetValue(as[0], Value::Int(7)).ok());
+  for (int i = 1; i < 100; ++i) {
+    ASSERT_TRUE(db.SetValue(as[i], Value::Int(i % 5)).ok());
+  }
+  std::vector<std::vector<ObjectId>> expected;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.CreateRelationship(ab, as[0], bs[i]).ok());
+    ASSERT_TRUE(db.CreateRelationship(bc, bs[i], cs[i % 100]).ok());
+    expected.push_back({as[0], bs[i], cs[i % 100]});
+  }
+  std::sort(expected.begin(), expected.end());
+
+  PlanCache::Global().Clear();
+  std::uint64_t replans = CounterValue("planner.adaptive.replans.total");
+  QueryTrace trace;
+  auto r = RunJoinChainQuery(db,
+                             "find A x join via AB to B y "
+                             "join via BC to C z where x value is 7",
+                             nullptr, &trace);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples, expected);
+  EXPECT_GE(trace.plan.adaptive_replans, 1);
+  EXPECT_GT(CounterValue("planner.adaptive.replans.total"), replans);
+  EXPECT_NE(trace.Render(/*mask_times=*/true).find("adaptive-replans:"),
+            std::string::npos);
+  PlanCache::Global().Clear();
+}
+
+}  // namespace
+}  // namespace seed::query

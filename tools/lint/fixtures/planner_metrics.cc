@@ -1,0 +1,19 @@
+// Fixture: the `planner.` and `stats.` subsystem prefixes are accepted
+// by metric-name, and a planner counter without a counter suffix is
+// still rejected.
+
+namespace seed::fixtures {
+
+void PlannerMetrics() {
+  static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      "planner.fixture_cache_hits.total");
+  hits->Increment();
+  static obs::Counter* builds = obs::MetricsRegistry::Global().GetCounter(
+      "stats.fixture_histogram_builds.total");
+  builds->Increment();
+  static obs::Counter* bad = obs::MetricsRegistry::Global().GetCounter(
+      "planner.fixture_cache_hits");  // lint-expect: metric-name
+  bad->Increment();
+}
+
+}  // namespace seed::fixtures

@@ -41,6 +41,10 @@ import sys
 SUBSYSTEMS = (
     "core", "index", "storage", "multiuser", "version",
     "query", "algebra", "exec", "obs", "server",
+    # Statistics-v2 / plan-cache instruments (docs/metrics.md): the
+    # planner's cache and adaptive-execution counters, and the
+    # estimation layer's histogram instruments.
+    "planner", "stats",
 )
 
 METRIC_NAME_RE = re.compile(
