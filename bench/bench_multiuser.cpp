@@ -40,7 +40,8 @@ void BM_Multiuser_EditCycle(benchmark::State& state) {
   auto server = BuildServer(static_cast<int>(state.range(0)));
   int round = 0;
   for (auto _ : state) {
-    auto session = std::move(ClientSession::Open(server.get(), "alice")).value();
+    auto session =
+        std::move(ClientSession::Open(server.get(), "alice")).value();
     std::string target = "Action_" + std::to_string(round % state.range(0));
     if (!session->CheckoutByName({target}).ok()) {
       state.SkipWithError("checkout failed");
@@ -73,7 +74,8 @@ void BM_Multiuser_CheckoutSubtree(benchmark::State& state) {
   }
   server->master()->ClearChangeTracking();
   for (auto _ : state) {
-    auto session = std::move(ClientSession::Open(server.get(), "alice")).value();
+    auto session =
+        std::move(ClientSession::Open(server.get(), "alice")).value();
     benchmark::DoNotOptimize(session->Checkout({root}));
     (void)session->Abandon();
   }

@@ -117,7 +117,8 @@ std::uint64_t DeltaQuantile(const PhaseBuckets& before,
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < before.size(); ++i) total += after[i] - before[i];
   if (total == 0) return 0;
-  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total));
   if (rank == 0) rank = 1;
   if (rank > total) rank = total;
   std::uint64_t cumulative = 0;

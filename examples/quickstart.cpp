@@ -44,8 +44,8 @@ int main() {
   (void)db.CreateRelationship(fig2->ids.read, alarms, handler);
 
   // 3. Retrieval by dotted name (the SEED prototype's interface).
-  for (const char* path :
-       {"Alarms", "Alarms.Text[0].Selector", "Alarms.Text[0].Body.Keywords[1]"}) {
+  for (const char* path : {"Alarms", "Alarms.Text[0].Selector",
+                           "Alarms.Text[0].Body.Keywords[1]"}) {
     auto id = db.FindObjectByName(path);
     auto obj = db.GetObject(*id);
     std::printf("%-36s -> id %llu  value %s\n", path,

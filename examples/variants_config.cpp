@@ -19,9 +19,9 @@ int main() {
   // Schema: modules with a revision date, and a Uses association.
   seed::schema::SchemaBuilder b("Configurations");
   seed::ClassId module = b.AddIndependentClass("Module");
-  seed::ClassId revised =
-      b.AddDependentClass(module, "Revised", seed::schema::Cardinality::Optional(),
-                          seed::schema::ValueType::kDate);
+  seed::ClassId revised = b.AddDependentClass(
+      module, "Revised", seed::schema::Cardinality::Optional(),
+      seed::schema::ValueType::kDate);
   (void)revised;
   seed::AssociationId uses = b.AddAssociation(
       "Uses",
@@ -80,7 +80,8 @@ int main() {
 
   // ...while updating it in a variant's context is rejected.
   auto veto = pm.SetValueInContext(
-      drv_a, "Revised", Value::OfDate(*seed::schema::Date::Parse("1999-01-01")));
+      drv_a, "Revised",
+      Value::OfDate(*seed::schema::Date::Parse("1999-01-01")));
   std::printf("\nwrite in inheritor context -> %s\n",
               veto.ToString().c_str());
   return 0;

@@ -252,7 +252,7 @@ void Database::RestoreRelationship(RelationshipItem item) {
   Touch(id);
 }
 
-// --- Secondary attribute indexes -----------------------------------------------
+// --- Secondary attribute indexes ---------------------------------------------
 
 Status Database::CreateAttributeIndex(index::IndexSpec spec) {
   SEED_RETURN_IF_ERROR(attr_indexes_.CreateIndex(*schema_, spec));
@@ -299,7 +299,7 @@ void Database::RefreshRelAttrIndexes(RelationshipId id) {
   attr_indexes_.RefreshRelationship(*schema_, objects_, relationships_, id);
 }
 
-// --- Object creation -----------------------------------------------------------
+// --- Object creation ---------------------------------------------------------
 
 Result<ObjectId> Database::CreateObject(ClassId cls, std::string name,
                                         const CreateOptions& opts) {
@@ -430,7 +430,7 @@ Result<ObjectId> Database::CreateSubObject(RelationshipId parent,
                              role);
 }
 
-// --- Value updates ---------------------------------------------------------------
+// --- Value updates -----------------------------------------------------------
 
 Status Database::SetValue(ObjectId obj_id, Value value) {
   ObjectItem* obj = MutableObject(obj_id);
@@ -525,7 +525,7 @@ Status Database::Rename(ObjectId obj_id, std::string new_name) {
   return Status::OK();
 }
 
-// --- Deletion -----------------------------------------------------------------------
+// --- Deletion ----------------------------------------------------------------
 
 Status Database::DeleteObject(ObjectId root_id) {
   ObjectItem* root = MutableObject(root_id);
@@ -656,7 +656,7 @@ Status Database::DeleteRelationship(RelationshipId rel_id) {
   return Status::OK();
 }
 
-// --- Re-classification -----------------------------------------------------------
+// --- Re-classification -------------------------------------------------------
 
 Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
   ObjectItem* obj = MutableObject(obj_id);
@@ -762,7 +762,7 @@ Status Database::Reclassify(ObjectId obj_id, ClassId new_cls) {
   return Status::OK();
 }
 
-// --- Relationships --------------------------------------------------------------------
+// --- Relationships -----------------------------------------------------------
 
 Result<RelationshipId> Database::CreateRelationship(
     AssociationId assoc_id, ObjectId end0, ObjectId end1,
@@ -952,7 +952,7 @@ Status Database::ReclassifyRelationship(RelationshipId rel_id,
   return Status::OK();
 }
 
-// --- Attached procedures ------------------------------------------------------------
+// --- Attached procedures -----------------------------------------------------
 
 void Database::AttachProcedure(ClassId cls, AttachedProcedure proc) {
   class_procedures_[cls].push_back(std::move(proc));
@@ -968,14 +968,14 @@ void Database::DetachProcedures(AssociationId assoc) {
   assoc_procedures_.erase(assoc);
 }
 
-// --- Change tracking -----------------------------------------------------------------
+// --- Change tracking ---------------------------------------------------------
 
 void Database::ClearChangeTracking() {
   changed_objects_.clear();
   changed_relationships_.clear();
 }
 
-// --- Schema evolution ------------------------------------------------------------------
+// --- Schema evolution --------------------------------------------------------
 
 Status Database::MigrateToSchema(schema::SchemaPtr new_schema) {
   if (new_schema == nullptr) {

@@ -122,7 +122,7 @@ class Database {
   /// changes). The object keeps its identity.
   Status Reclassify(ObjectId obj, ClassId new_cls);
 
-  // --- Relationships ----------------------------------------------------------
+  // --- Relationships ---------------------------------------------------------
 
   /// Creates a relationship of `assoc` with `end0` filling role 0 and
   /// `end1` filling role 1.
@@ -239,14 +239,14 @@ class Database {
   /// Completeness check restricted to one object (and its subtree).
   Report CheckCompleteness(ObjectId root) const;
 
-  // --- Attached procedures -----------------------------------------------------
+  // --- Attached procedures ---------------------------------------------------
 
   void AttachProcedure(ClassId cls, AttachedProcedure proc);
   void AttachProcedure(AssociationId assoc, AttachedProcedure proc);
   void DetachProcedures(ClassId cls);
   void DetachProcedures(AssociationId assoc);
 
-  // --- Change tracking (consumed by the version layer) --------------------------
+  // --- Change tracking (consumed by the version layer) -----------------------
 
   /// Object/relationship ids touched (created, updated, deleted) since the
   /// last ClearChangeTracking().
@@ -258,13 +258,13 @@ class Database {
   }
   void ClearChangeTracking();
 
-  // --- Schema evolution ---------------------------------------------------------
+  // --- Schema evolution ------------------------------------------------------
 
   /// Swaps in an evolved schema (same element ids for existing elements).
   /// Fails if existing data would become inconsistent under the new schema.
   Status MigrateToSchema(schema::SchemaPtr new_schema);
 
-  // --- Internal access for sibling layers (version, pattern, multiuser) ---------
+  // --- Internal access for sibling layers (version, pattern, multiuser) ------
 
   /// Raw item tables, including tombstones. Read-only.
   const std::map<ObjectId, ObjectItem>& objects_raw() const {

@@ -16,7 +16,7 @@
 
 namespace seed::core {
 
-// --- Incremental consistency helpers ---------------------------------------------
+// --- Incremental consistency helpers -----------------------------------------
 
 Status Database::CheckIndependentName(const std::string& name, bool pattern,
                                       ObjectId ignore) const {
@@ -217,7 +217,7 @@ Status Database::RunProcedures(AssociationId assoc,
   return Status::OK();
 }
 
-// --- Full consistency audit ----------------------------------------------------------
+// --- Full consistency audit --------------------------------------------------
 
 Report Database::AuditConsistency() const {
   Report report;
@@ -394,7 +394,7 @@ Report Database::AuditConsistency() const {
   return report;
 }
 
-// --- Completeness ---------------------------------------------------------------------
+// --- Completeness ------------------------------------------------------------
 
 void Database::CheckObjectCompleteness(const ObjectItem& obj,
                                        Report* report) const {

@@ -37,7 +37,7 @@ class ClientSession {
   /// Local version control over the working copy.
   version::VersionManager* local_versions() { return local_versions_.get(); }
 
-  // --- Snapshot reads ------------------------------------------------------------
+  // --- Snapshot reads --------------------------------------------------------
 
   /// The frozen master snapshot this session reads (pinned at first use;
   /// see Server::SessionSnapshot). Retrieval against it never blocks on
@@ -49,7 +49,7 @@ class ClientSession {
   /// Moves this session's read view to the latest published snapshot.
   Status Refresh() { return server_->RefreshSession(id_); }
 
-  // --- Checkout / check-in -------------------------------------------------------
+  // --- Checkout / check-in ---------------------------------------------------
 
   /// Resolves `names` in the master (serialized with writers, so freshly
   /// committed roots resolve), write-locks their subtrees, and imports

@@ -321,7 +321,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle,
   {
     common::MutexLock lock(master_mu_);
 
-    // --- Validate lock coverage -----------------------------------------------
+    // --- Validate lock coverage ----------------------------------------------
     const auto& objects = master_->objects_raw();
     const auto& rels = master_->relationships_raw();
     for (const core::ObjectItem& obj : bundle.objects) {
@@ -366,7 +366,7 @@ Status Server::Checkin(ClientId client, const CheckinBundle& bundle,
       }
     }
 
-    // --- Apply as a single transaction with undo log --------------------------
+    // --- Apply as a single transaction with undo log -------------------------
     struct ObjectUndo {
       ObjectId id;
       bool existed;

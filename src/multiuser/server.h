@@ -80,7 +80,7 @@ class Server {
   version::VersionManager* global_versions() { return versions_.get(); }
   const schema::SchemaPtr& schema() const { return schema_; }
 
-  // --- Sessions ----------------------------------------------------------------
+  // --- Sessions --------------------------------------------------------------
 
   Result<ClientId> Connect(std::string client_name)
       SEED_EXCLUDES(sessions_mu_);
@@ -94,7 +94,7 @@ class Server {
   Result<std::uint64_t> IdStripeBase(ClientId client) const
       SEED_EXCLUDES(sessions_mu_);
 
-  // --- Snapshot reads ----------------------------------------------------------
+  // --- Snapshot reads --------------------------------------------------------
 
   /// The latest published snapshot; captures one first if none has been
   /// published yet. Pinning is a refcount bump — the caller may read the
@@ -134,7 +134,7 @@ class Server {
                                       query::QueryTrace* trace = nullptr)
       SEED_EXCLUDES(sessions_mu_);
 
-  // --- Locks and checkout ----------------------------------------------------------
+  // --- Locks and checkout ----------------------------------------------------
 
   /// Write-locks the subtrees rooted at `roots` for `client` and returns
   /// copies of their items plus the relationships among them. Fails with
@@ -157,7 +157,7 @@ class Server {
   /// Releases locks without checking in (abandon local changes).
   Status ReleaseLocks(ClientId client, const std::vector<ObjectId>& roots);
 
-  // --- Check-in ------------------------------------------------------------------
+  // --- Check-in --------------------------------------------------------------
 
   /// Applies the client's modified items to the master in a single
   /// transaction: every changed pre-existing item must belong to a subtree

@@ -215,8 +215,9 @@ std::string MetricsRegistry::Summary(std::size_t top_counters) const {
     std::uint64_t v = counter->value();
     if (v != 0) top.emplace_back(v, name);
   }
-  std::stable_sort(top.begin(), top.end(),
-                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::stable_sort(
+      top.begin(), top.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
   if (top.size() > top_counters) top.resize(top_counters);
 
   std::string s;

@@ -52,7 +52,7 @@ class PatternManager {
 
   core::Database* database() { return db_; }
 
-  // --- Inheritance ------------------------------------------------------------
+  // --- Inheritance -----------------------------------------------------------
 
   /// Establishes the inherits-relationship `inheritor` <- `pattern`.
   /// This is where the pattern is checked for consistency: its sub-object
@@ -69,7 +69,7 @@ class PatternManager {
   bool Inherits(ObjectId inheritor, ObjectId pattern) const;
   size_t num_edges() const { return edge_count_; }
 
-  // --- Effective (overlay) views --------------------------------------------------
+  // --- Effective (overlay) views ---------------------------------------------
 
   /// Own live sub-objects plus those projected from inherited patterns,
   /// optionally restricted to one role.
@@ -87,7 +87,7 @@ class PatternManager {
   Result<core::Value> EffectiveValue(ObjectId obj,
                                      std::string_view role) const;
 
-  // --- Write protection -------------------------------------------------------------
+  // --- Write protection ------------------------------------------------------
 
   /// Updates the value of the sub-object in `role` *in the context of*
   /// `obj`: allowed for own sub-objects, rejected with kFailedPrecondition
@@ -96,7 +96,7 @@ class PatternManager {
   Status SetValueInContext(ObjectId obj, std::string_view role,
                            core::Value value);
 
-  // --- Persistence --------------------------------------------------------------------
+  // --- Persistence -----------------------------------------------------------
 
   void EncodeTo(Encoder* enc) const;
   Status DecodeFrom(Decoder* dec);

@@ -31,7 +31,7 @@ class VariantFamily {
 
   const std::string& name() const { return name_; }
 
-  // --- Common part ------------------------------------------------------------
+  // --- Common part -----------------------------------------------------------
 
   /// Registers an ordinary object as part of the family's common part.
   Status AddCommonObject(ObjectId obj);
@@ -48,7 +48,7 @@ class VariantFamily {
 
   const std::vector<ObjectId>& connectors() const { return connectors_; }
 
-  // --- Variants ------------------------------------------------------------------
+  // --- Variants --------------------------------------------------------------
 
   /// Declares a variant: every root object of the variant part inherits
   /// every connector of the family. Fails atomically: if some member

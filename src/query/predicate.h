@@ -94,7 +94,7 @@ class Predicate {
   /// matches nothing).
   static Predicate OnSubObject(std::string role, Predicate p);
 
-  // --- Combinators -------------------------------------------------------------
+  // --- Combinators -----------------------------------------------------------
 
   Predicate And(Predicate other) const;
   Predicate Or(Predicate other) const;

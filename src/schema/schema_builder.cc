@@ -226,7 +226,7 @@ Status SchemaBuilder::Validate(const Schema& schema) const {
     }
   }
 
-  // -- Role-name collisions along generalization chains ------------------------
+  // -- Role-name collisions along generalization chains -----------------------
   for (const ObjectClass& c : classes_) {
     if (c.is_dependent()) continue;
     std::unordered_map<std::string, ClassId> roles;
@@ -244,7 +244,7 @@ Status SchemaBuilder::Validate(const Schema& schema) const {
     }
   }
 
-  // -- Associations ------------------------------------------------------------
+  // -- Associations -----------------------------------------------------------
   for (const Association& a : associations_) {
     if (a.roles[0].name == a.roles[1].name) {
       return Fail("association '" + a.name + "' has two roles named '" +
@@ -266,7 +266,7 @@ Status SchemaBuilder::Validate(const Schema& schema) const {
     }
   }
 
-  // -- Association generalization ------------------------------------------------
+  // -- Association generalization ---------------------------------------------
   for (const Association& a : associations_) {
     if (!a.is_specialized()) continue;
     AssociationId super = a.generalizes_into;
@@ -305,7 +305,7 @@ Status SchemaBuilder::Validate(const Schema& schema) const {
     }
   }
 
-  // -- Covering conditions require specializations -------------------------------
+  // -- Covering conditions require specializations ----------------------------
   for (const ObjectClass& c : classes_) {
     if (c.covering && schema.SpecializationsOf(c.id).empty()) {
       return Fail("covering class '" + c.name + "' has no specializations");

@@ -6,7 +6,7 @@
 
 namespace seed::spades {
 
-// --- SeedSpecTool -------------------------------------------------------------
+// --- SeedSpecTool ------------------------------------------------------------
 
 Result<std::unique_ptr<SeedSpecTool>> SeedSpecTool::Create() {
   SEED_ASSIGN_OR_RETURN(Fig3Schema fig3, BuildFig3Schema());
@@ -147,7 +147,7 @@ Result<std::uint64_t> SeedSpecTool::CountIncomplete() {
   return static_cast<std::uint64_t>(db_->CheckCompleteness().size());
 }
 
-// --- DirectSpecTool ---------------------------------------------------------------
+// --- DirectSpecTool ----------------------------------------------------------
 
 Status DirectSpecTool::AddThing(const std::string& name) {
   if (!nodes_.emplace(name, Node{Kind::kThing, {}}).second) {

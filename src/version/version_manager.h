@@ -123,7 +123,7 @@ class VersionManager {
   /// delta-vs-full-copy comparison).
   std::uint64_t StoredBytes() const;
 
-  // --- Views ------------------------------------------------------------------
+  // --- Views -----------------------------------------------------------------
 
   /// Materializes the read-only view to version `id`: items with the
   /// greatest version on the ancestor path <= id, minus tombstones. The
@@ -140,7 +140,7 @@ class VersionManager {
   Result<std::shared_ptr<const core::Database>> PinView(
       const VersionId& id) const;
 
-  // --- History retrieval ("find all versions of object X, from 2.0") -------------
+  // --- History retrieval ("find all versions of object X, from 2.0") ---------
 
   /// All versions in which the object changed, ascending, optionally
   /// starting at `from`.
@@ -149,7 +149,7 @@ class VersionManager {
   Result<std::vector<HistoryHit>> VersionsOfObject(
       ObjectId id, const VersionId& from = VersionId()) const;
 
-  // --- Deletion ------------------------------------------------------------------
+  // --- Deletion --------------------------------------------------------------
 
   /// Versions cannot be modified, only deleted. A version with children or
   /// serving as the current basis cannot be deleted.

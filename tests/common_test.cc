@@ -148,7 +148,7 @@ TEST(IdsTest, DistinctTagsAreDistinctTypes) {
   static_assert(!std::is_same_v<RelationshipId, AssociationId>);
 }
 
-// --- Strings and paths ----------------------------------------------------------
+// --- Strings and paths -------------------------------------------------------
 
 TEST(StringsTest, SplitAndJoin) {
   auto parts = strings::Split("a.b..c", '.');
@@ -215,7 +215,7 @@ TEST(StringsTest, ParsePathErrors) {
   EXPECT_FALSE(strings::ParsePath(".a").ok());
 }
 
-// --- Coding ----------------------------------------------------------------------
+// --- Coding ------------------------------------------------------------------
 
 TEST(CodingTest, FixedWidthRoundTrip) {
   Encoder enc;
@@ -291,7 +291,7 @@ TEST(CodingTest, Fnv1aIsStable) {
   EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
 }
 
-// --- Random ------------------------------------------------------------------------
+// --- Random ------------------------------------------------------------------
 
 TEST(RandomTest, DeterministicBySeed) {
   Random a(7), b(7), c(8);

@@ -33,7 +33,7 @@ class ConsistencyTest : public ::testing::Test {
   std::unique_ptr<Database> db_;
 };
 
-// --- Name conflicts ---------------------------------------------------------------
+// --- Name conflicts ----------------------------------------------------------
 
 TEST_F(ConsistencyTest, DuplicateNameVetoed) {
   ASSERT_TRUE(db_->CreateObject(ids_.data, "Alarms").ok());
@@ -44,7 +44,7 @@ TEST_F(ConsistencyTest, DuplicateNameVetoed) {
   EXPECT_EQ(db_->num_live_objects(), 1u);
 }
 
-// --- Maximum cardinalities -----------------------------------------------------------
+// --- Maximum cardinalities ---------------------------------------------------
 
 TEST_F(ConsistencyTest, MaxCardinalityOfSubObjectsEnforced) {
   ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
@@ -73,7 +73,7 @@ TEST_F(ConsistencyTest, DeletionFreesCardinalitySlot) {
   EXPECT_TRUE(db_->CreateSubObject(text, "Body").ok());
 }
 
-// --- Relationship membership ----------------------------------------------------------
+// --- Relationship membership -------------------------------------------------
 
 TEST_F(ConsistencyTest, RoleClassMembershipEnforced) {
   ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
@@ -103,7 +103,7 @@ TEST_F(ConsistencyTest, DuplicateRelationshipVetoed) {
   EXPECT_TRUE(db_->CreateRelationship(ids_.write, alarms, handler).ok());
 }
 
-// --- Role participation maxima ----------------------------------------------------------
+// --- Role participation maxima -----------------------------------------------
 
 TEST_F(ConsistencyTest, ContainedInAtMostOneContainer) {
   ObjectId a = *db_->CreateObject(ids_.action, "A");
@@ -117,7 +117,7 @@ TEST_F(ConsistencyTest, ContainedInAtMostOneContainer) {
   EXPECT_TRUE(db_->CreateRelationship(ids_.contained, c, b).ok());
 }
 
-// --- ACYCLIC ----------------------------------------------------------------------------
+// --- ACYCLIC -----------------------------------------------------------------
 
 TEST_F(ConsistencyTest, SelfContainmentVetoed) {
   ObjectId a = *db_->CreateObject(ids_.action, "A");
@@ -162,7 +162,7 @@ TEST_F(ConsistencyTest, NonAcyclicAssociationAllowsCycles) {
   EXPECT_TRUE(db_->CreateRelationship(ids_.write, alarms, handler).ok());
 }
 
-// --- Value types --------------------------------------------------------------------------
+// --- Value types -------------------------------------------------------------
 
 TEST_F(ConsistencyTest, ValueOnValuelessClassVetoed) {
   ObjectId alarms = *db_->CreateObject(ids_.data, "Alarms");
@@ -183,7 +183,7 @@ TEST_F(ConsistencyTest, WrongValueTypeVetoed) {
   EXPECT_TRUE(db_->SetValue(selector, Value::String("Representation")).ok());
 }
 
-// --- Attached procedures ---------------------------------------------------------------------
+// --- Attached procedures -----------------------------------------------------
 
 TEST_F(ConsistencyTest, AttachedProcedureObservesEvents) {
   std::vector<UpdateKind> seen;
@@ -292,7 +292,7 @@ TEST_F(ConsistencyTest, DetachProceduresStopsVeto) {
   EXPECT_TRUE(db_->CreateObject(ids_.data, "A").ok());
 }
 
-// --- Audit agrees with incremental checks ------------------------------------------------------
+// --- Audit agrees with incremental checks ------------------------------------
 
 TEST_F(ConsistencyTest, AuditDetectsHandCraftedViolation) {
   // Bypass the API via RestoreObject to inject a duplicate name, then make

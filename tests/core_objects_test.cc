@@ -247,7 +247,7 @@ TEST_F(Fig2DatabaseTest, ChangeTrackingAccumulatesAndClears) {
   EXPECT_EQ(db_->changed_objects().count(a), 1u);
 }
 
-// --- Value type coverage -----------------------------------------------------------
+// --- Value type coverage -----------------------------------------------------
 
 TEST(ValueTest, TypesAndToString) {
   EXPECT_EQ(Value().ToString(), "<undefined>");

@@ -104,7 +104,7 @@ TEST_F(TransitionRuleTest, VetoLeavesWorkingStateIntact) {
   EXPECT_EQ((*vm_->GetRecord(*v))->changes.size(), 1u);
 }
 
-// --- Pattern relationship index -------------------------------------------------
+// --- Pattern relationship index ----------------------------------------------
 
 TEST(PatternIndexTest, PatternRelationshipsOfFiltersCorrectly) {
   auto fig3 = BuildFig3Schema();
@@ -137,7 +137,7 @@ TEST(PatternIndexTest, PatternRelationshipsOfFiltersCorrectly) {
   EXPECT_TRUE(db.RelationshipsOf(pat).empty());
 }
 
-// --- Printer ---------------------------------------------------------------------
+// --- Printer -----------------------------------------------------------------
 
 class PrinterTest : public ::testing::Test {
  protected:

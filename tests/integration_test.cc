@@ -75,7 +75,7 @@ TEST_F(IntegrationTest, FullPaperWalkthrough) {
   ObjectId n = *db_->CreateSubObject(flow, "NumberOfWrites");
   ASSERT_TRUE(db_->SetValue(n, Value::Int(2)).ok());
 
-  // --- Fig. 4: versions -------------------------------------------------------
+  // --- Fig. 4: versions ------------------------------------------------------
   ObjectId desc = *db_->CreateSubObject(handler, "Description");
   ASSERT_TRUE(db_->SetValue(desc, Value::String("Handles alarms")).ok());
   ASSERT_TRUE(vm.CreateVersion(*VersionId::Parse("1.0")).ok());
@@ -96,7 +96,7 @@ TEST_F(IntegrationTest, FullPaperWalkthrough) {
                 ->value.as_string(),
             "Handles alarms");
 
-  // --- Fig. 5: variants ---------------------------------------------------------
+  // --- Fig. 5: variants ------------------------------------------------------
   pattern::VariantFamily family("Configs", &pm);
   ASSERT_TRUE(family.AddCommonObject(handler).ok());
   ASSERT_TRUE(family
@@ -110,7 +110,7 @@ TEST_F(IntegrationTest, FullPaperWalkthrough) {
   EXPECT_EQ(family.SharedRelationshipsOf(var_a).size(), 1u);
   EXPECT_EQ(family.SharedRelationshipsOf(var_b).size(), 1u);
 
-  // --- Query the result ------------------------------------------------------------
+  // --- Query the result ------------------------------------------------------
   query::Algebra algebra(db_.get());
   auto data = algebra.ClassExtent(ids_.data, "d");
   auto actions = algebra.ClassExtent(ids_.action, "a");
@@ -120,7 +120,7 @@ TEST_F(IntegrationTest, FullPaperWalkthrough) {
   EXPECT_EQ(joined.tuples[0][0], alarms);
   EXPECT_EQ(joined.tuples[0][1], handler);
 
-  // --- Persist everything and reload --------------------------------------------------
+  // --- Persist everything and reload -----------------------------------------
   {
     storage::KvStore kv;
     ASSERT_TRUE(kv.Open(dir_).ok());

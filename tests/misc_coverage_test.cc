@@ -23,7 +23,7 @@ using spades::BuildFig3Schema;
 using version::VersionId;
 using version::VersionManager;
 
-// --- Algebra set operators ----------------------------------------------------
+// --- Algebra set operators ---------------------------------------------------
 
 class SetOpsTest : public ::testing::Test {
  protected:
@@ -85,7 +85,7 @@ TEST_F(SetOpsTest, DeMorganOverExtents) {
   EXPECT_EQ(lhs.tuples, rhs.tuples);
 }
 
-// --- Logging -----------------------------------------------------------------------
+// --- Logging -----------------------------------------------------------------
 
 TEST(LoggingTest, LevelFiltering) {
   LogLevel old_level = GetLogLevel();
@@ -97,7 +97,7 @@ TEST(LoggingTest, LevelFiltering) {
   SetLogLevel(old_level);
 }
 
-// --- Heap file edge paths --------------------------------------------------------------
+// --- Heap file edge paths ----------------------------------------------------
 
 TEST(HeapFileEdgeTest, OpenWithInvalidFirstPageFails) {
   std::string path = ::testing::TempDir() + "/heapedge." +
@@ -126,7 +126,7 @@ TEST(HeapFileEdgeTest, DeleteOnForeignPageRejected) {
   std::remove(path.c_str());
 }
 
-// --- Version persistence after deletion ----------------------------------------------------
+// --- Version persistence after deletion --------------------------------------
 
 TEST(VersionIoTest, DeletedVersionsDisappearFromStoreOnResave) {
   static int counter = 0;
@@ -165,7 +165,7 @@ TEST(VersionIoTest, DeletedVersionsDisappearFromStoreOnResave) {
   std::filesystem::remove_all(dir);
 }
 
-// --- Buffer pool stats through the KvStore ------------------------------------------------
+// --- Buffer pool stats through the KvStore -----------------------------------
 
 TEST(KvStoreStatsTest, BufferPoolCountersVisible) {
   static int counter = 0;
@@ -191,7 +191,7 @@ TEST(KvStoreStatsTest, BufferPoolCountersVisible) {
   std::filesystem::remove_all(dir);
 }
 
-// --- Id generator ResetTo ----------------------------------------------------------------
+// --- Id generator ResetTo ----------------------------------------------------
 
 TEST(IdGeneratorTest, ResetToMovesDownward) {
   IdGenerator<ObjectId> gen;

@@ -65,7 +65,7 @@ class PatternTest : public ::testing::Test {
   CreateOptions pattern_opts_;
 };
 
-// --- Invisibility ------------------------------------------------------------------
+// --- Invisibility ------------------------------------------------------------
 
 TEST_F(PatternTest, PatternsInvisibleToRetrieval) {
   ASSERT_TRUE(
@@ -107,7 +107,7 @@ TEST_F(PatternTest, NormalRelationshipToPatternRejected) {
   EXPECT_TRUE(db_->CreateRelationship(s_.calls, p, q, opts).ok());
 }
 
-// --- Inheritance ----------------------------------------------------------------------
+// --- Inheritance -------------------------------------------------------------
 
 TEST_F(PatternTest, InheritValidatesAndEstablishesEdge) {
   ObjectId p = *db_->CreateObject(s_.procedure, "Template", pattern_opts_);
@@ -176,7 +176,7 @@ TEST_F(PatternTest, Disinherit) {
   EXPECT_TRUE(pm_->Disinherit(real, p).IsNotFound());
 }
 
-// --- Effective views and propagation ------------------------------------------------------
+// --- Effective views and propagation -----------------------------------------
 
 TEST_F(PatternTest, DeadlineExampleFromPaper) {
   // "The user may define a pattern procedure object with a given deadline.
@@ -302,7 +302,7 @@ TEST_F(PatternTest, EdgeCodecRoundTrip) {
   EXPECT_EQ(loaded.num_edges(), 2u);
 }
 
-// --- Variants (Fig. 5) -------------------------------------------------------------------
+// --- Variants (Fig. 5) -------------------------------------------------------
 
 class VariantsTest : public ::testing::Test {
  protected:

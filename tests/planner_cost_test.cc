@@ -161,7 +161,7 @@ TEST_F(PlannerCostTest, EmptyStatsFallBackToScanDeterministically) {
   EXPECT_TRUE(planner.SelectIds(world_.sensor, p).empty());
 }
 
-// --- Intersection selection ---------------------------------------------------
+// --- Intersection selection --------------------------------------------------
 
 TEST_F(PlannerCostTest, IntersectionChosenWhenBothConjunctsSelective) {
   // 1000 sensors; equality selects ~10, the zone range selects ~10.
@@ -209,7 +209,7 @@ TEST_F(PlannerCostTest, IntersectionRejectedWhenOneConjunctUnselective) {
   EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
 }
 
-// --- Regression: most selective index wins ------------------------------------
+// --- Regression: most selective index wins -----------------------------------
 
 TEST_F(PlannerCostTest, MoreSelectiveLaterEqualityIndexWins) {
   // The pre-cost planner took the *first* sargable conjunct with any
@@ -237,7 +237,7 @@ TEST_F(PlannerCostTest, MoreSelectiveLaterEqualityIndexWins) {
   EXPECT_EQ(planner.SelectIds(world_.sensor, p), ScanIds(world_.sensor, p));
 }
 
-// --- Relationship-extent planning ---------------------------------------------
+// --- Relationship-extent planning --------------------------------------------
 
 TEST_F(PlannerCostTest, RelationshipAttributePredicatePlansThroughIndex) {
   ObjectId hub = *db_->CreateObject(world_.hub, "Hub");
@@ -371,7 +371,7 @@ TEST_F(PlannerCostTest, RelationshipIndexDefinitionsSurviveSaveAndLoad) {
   fs::remove_all(dir);
 }
 
-// --- Extent counters ----------------------------------------------------------
+// --- Extent counters ---------------------------------------------------------
 
 TEST_F(PlannerCostTest, ExtentCountersTrackEveryMutationPath) {
   const auto& counters = db_->extent_counters();

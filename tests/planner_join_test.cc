@@ -64,7 +64,9 @@ QueryRelation Take(const std::vector<ObjectId>& ids, size_t n,
                    std::string attr) {
   QueryRelation out;
   out.attributes = {std::move(attr)};
-  for (size_t i = 0; i < n && i < ids.size(); ++i) out.tuples.push_back({ids[i]});
+  for (size_t i = 0; i < n && i < ids.size(); ++i) {
+    out.tuples.push_back({ids[i]});
+  }
   return out;
 }
 

@@ -57,7 +57,7 @@ class QueryTest : public ::testing::Test {
   ObjectId desc_, undef_desc_;
 };
 
-// --- Predicates ----------------------------------------------------------------
+// --- Predicates --------------------------------------------------------------
 
 TEST_F(QueryTest, UndefinedObjectMatchesNothing) {
   // Paper: "an undefined object matches nothing".
@@ -120,7 +120,7 @@ TEST_F(QueryTest, DeadObjectMatchesNothing) {
                    .Eval(*db_, doomed));
 }
 
-// --- Algebra ----------------------------------------------------------------------
+// --- Algebra -----------------------------------------------------------------
 
 TEST_F(QueryTest, ClassExtent) {
   auto actions = algebra_->ClassExtent(ids_.action, "a");

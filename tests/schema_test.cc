@@ -50,7 +50,7 @@ TEST(DateTest, Ordering) {
   EXPECT_LT(*Date::Parse("1985-12-31"), *Date::Parse("1986-01-01"));
 }
 
-// --- Builder: happy path (the paper's schemas) ----------------------------------
+// --- Builder: happy path (the paper's schemas) -------------------------------
 
 TEST(SchemaBuilderTest, Fig2SchemaBuilds) {
   auto fig2 = BuildFig2Schema();
@@ -85,7 +85,7 @@ TEST(SchemaBuilderTest, AssociationOwnedClassFullName) {
   EXPECT_EQ((*now)->full_name, "Write.NumberOfWrites");
 }
 
-// --- Builder: validation failures -------------------------------------------------
+// --- Builder: validation failures --------------------------------------------
 
 TEST(SchemaBuilderTest, RejectsBadClassName) {
   SchemaBuilder b("t");
@@ -239,7 +239,7 @@ TEST(SchemaBuilderTest, RejectsAssociationGeneralizationCycle) {
   EXPECT_TRUE(b.Build().status().IsInvalidArgument());
 }
 
-// --- Queries --------------------------------------------------------------------
+// --- Queries -----------------------------------------------------------------
 
 class Fig3QueryTest : public ::testing::Test {
  protected:
@@ -333,7 +333,7 @@ TEST_F(Fig3QueryTest, FindClassByPath) {
   EXPECT_TRUE(schema_->FindClassByPath("Write").status().IsInvalidArgument());
 }
 
-// --- Serialization ------------------------------------------------------------------
+// --- Serialization -----------------------------------------------------------
 
 TEST(SchemaIoTest, RoundTripPreservesEverything) {
   auto fig3 = BuildFig3Schema();
@@ -391,7 +391,7 @@ TEST(SchemaIoTest, BadFormatVersionRejected) {
   EXPECT_TRUE(SchemaCodec::Decode(&dec).status().IsCorruption());
 }
 
-// --- Evolution -------------------------------------------------------------------------
+// --- Evolution ---------------------------------------------------------------
 
 TEST(SchemaEvolveTest, EvolveKeepsIdsAndBumpsVersion) {
   auto fig2 = BuildFig2Schema();

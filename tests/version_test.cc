@@ -19,7 +19,7 @@ using core::Database;
 using core::Value;
 using spades::BuildFig3Schema;
 
-// --- VersionId -------------------------------------------------------------------
+// --- VersionId ---------------------------------------------------------------
 
 TEST(VersionIdTest, ParseAndPrint) {
   auto v = VersionId::Parse("2.0");
@@ -60,7 +60,7 @@ TEST(VersionIdTest, CodecRoundTrip) {
   EXPECT_EQ(*decoded, v);
 }
 
-// --- VersionManager -----------------------------------------------------------------
+// --- VersionManager ----------------------------------------------------------
 
 class VersionTest : public ::testing::Test {
  protected:
